@@ -1,0 +1,80 @@
+"""Shared fixtures for the figure-regenerating benchmarks.
+
+Datasets are generated once per session into a temp directory, at scales
+chosen so the whole suite runs in minutes on a laptop.  Scale factors
+relative to the paper are printed by each benchmark and recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets import (
+    replicate_file,
+    write_confusion,
+    write_heterogeneous,
+    write_reddit,
+)
+
+#: Laptop-scale object counts (the paper uses 16M confusion / 54M reddit).
+CONFUSION_OBJECTS = 20_000
+REDDIT_OBJECTS = 10_000
+
+
+@pytest.fixture(scope="session")
+def data_dir(tmp_path_factory) -> str:
+    return str(tmp_path_factory.mktemp("bench-data"))
+
+
+@pytest.fixture(scope="session")
+def confusion_path(data_dir: str) -> str:
+    path = os.path.join(data_dir, "confusion.json")
+    return write_confusion(path, CONFUSION_OBJECTS)
+
+
+@pytest.fixture(scope="session")
+def reddit_path(data_dir: str) -> str:
+    path = os.path.join(data_dir, "reddit.json")
+    return write_reddit(path, REDDIT_OBJECTS)
+
+
+@pytest.fixture(scope="session")
+def heterogeneous_path(data_dir: str) -> str:
+    path = os.path.join(data_dir, "messy.json")
+    return write_heterogeneous(path, 5_000)
+
+
+@pytest.fixture(scope="session")
+def confusion_20x_dir(data_dir: str, confusion_path: str) -> str:
+    """The paper's '20x duplication' at laptop scale (4x)."""
+    return replicate_file(
+        confusion_path, os.path.join(data_dir, "confusion-20x"), 4
+    )
+
+
+@pytest.fixture(scope="session")
+def confusion_sweep_paths(data_dir: str) -> dict:
+    """Geometrically growing datasets for the Figure 12 sweep."""
+    sizes = [1_000, 2_000, 4_000, 8_000, 16_000, 32_000]
+    paths = {}
+    for size in sizes:
+        path = os.path.join(data_dir, "confusion-{}.json".format(size))
+        paths[size] = write_confusion(path, size)
+    return paths
+
+
+@pytest.fixture(scope="session")
+def reddit_replicas(data_dir: str, reddit_path: str) -> dict:
+    """Replicated reddit datasets for the Figure 15 scaling curve."""
+    factors = [1, 2, 4, 8, 16]
+    replicas = {}
+    for factor in factors:
+        replicas[factor] = replicate_file(
+            reddit_path,
+            os.path.join(data_dir, "reddit-x{}".format(factor)),
+            factor,
+        )
+    return replicas

@@ -1,0 +1,154 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Three switches, each isolating one optimization the engine relies on:
+
+1. **fast paths** — compile-time extraction of ``$var.key`` keys and
+   simple comparison predicates vs the generic EVALUATE_EXPRESSION route
+   (the trade-off behind the paper's "pure Java" key-column creation);
+2. **group-by COUNT pushdown** — Section 4.7's count-only aggregation vs
+   always materializing non-grouping variables;
+3. **Catalyst-lite rules** — the mini Spark SQL with and without its
+   optimizer (predicate pushdown, TopK fusion).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.harness import measure
+from repro.bench.reporting import check_shape, render_engine_table
+from repro.bench.workloads import make_rumble_engine, rumble_query
+from repro.jsoniq.runtime.flwor import clauses
+from repro.spark import SparkSession
+from repro.spark.sql.executor import explain, run_sql
+
+
+@pytest.fixture()
+def rumble():
+    return make_rumble_engine()
+
+
+def _run_group(rumble, path: str):
+    return rumble.query(rumble_query("group", path)).count()
+
+
+def test_ablation_fast_paths(rumble, confusion_path):
+    baseline = measure(lambda: _run_group(rumble, confusion_path), repeat=2)
+    clauses.FAST_PATHS_ENABLED = False
+    try:
+        generic = measure(
+            lambda: _run_group(rumble, confusion_path), repeat=2
+        )
+    finally:
+        clauses.FAST_PATHS_ENABLED = True
+    print(render_engine_table(
+        "Ablation — compile-time fast paths",
+        {"group query": {
+            "fast paths on": baseline.render(),
+            "fast paths off": generic.render(),
+        }},
+    ))
+    check_shape(
+        "fast paths do not lose to the generic route",
+        baseline.seconds <= generic.seconds * 1.1,
+    )
+
+
+def test_ablation_group_count_pushdown(rumble, confusion_path):
+    compiled = rumble.compile(rumble_query("group", confusion_path))
+    group_by = compiled.iterator.input_clause
+    while not isinstance(group_by, clauses.GroupByClauseIterator):
+        group_by = group_by.input_clause
+    assert group_by.variable_usage == {"i": clauses.USAGE_COUNT_ONLY}
+
+    metrics = rumble.spark.spark_context.shuffle_metrics
+
+    with_pushdown = measure(lambda: compiled.run().count(), repeat=2)
+    group_by.variable_usage = {"i": clauses.USAGE_MATERIALIZE}
+    without = measure(lambda: compiled.run().count(), repeat=2)
+    group_by.variable_usage = {"i": clauses.USAGE_COUNT_ONLY}
+
+    # Weigh the shuffled payloads (Spark-UI-style data movement): the
+    # same number of rows crosses the shuffle, but count-only rows carry
+    # a length instead of the materialized items.
+    metrics.measure_bytes = True
+    try:
+        metrics.reset()
+        compiled.run().count()
+        pushdown_bytes = metrics.bytes
+        group_by.variable_usage = {"i": clauses.USAGE_MATERIALIZE}
+        metrics.reset()
+        compiled.run().count()
+        materialize_bytes = metrics.bytes
+    finally:
+        metrics.measure_bytes = False
+        group_by.variable_usage = {"i": clauses.USAGE_COUNT_ONLY}
+
+    print(render_engine_table(
+        "Ablation — group-by COUNT pushdown (Section 4.7)",
+        {"group query": {
+            "COUNT pushdown": with_pushdown.render(),
+            "materialize": without.render(),
+        },
+         "shuffled bytes": {
+            "COUNT pushdown": "{:,}".format(pushdown_bytes),
+            "materialize": "{:,}".format(materialize_bytes),
+        }},
+    ))
+    check_shape(
+        "COUNT pushdown is not slower than materializing",
+        with_pushdown.seconds <= without.seconds * 1.1,
+    )
+    check_shape(
+        "COUNT pushdown shuffles fewer bytes",
+        pushdown_bytes < materialize_bytes,
+        strict=True,
+    )
+
+
+def test_ablation_sql_optimizer(confusion_path):
+    spark = SparkSession()
+    frame = spark.read.json(confusion_path)
+    frame.create_or_replace_temp_view("dataset")
+    query = (
+        "SELECT guess, target, country FROM dataset "
+        "WHERE guess = target ORDER BY date DESC LIMIT 10"
+    )
+    optimized_plan = explain(spark, query)
+    raw_plan = explain(spark, query, rules=[])
+    assert "TopK" in optimized_plan
+    assert "TopK" not in raw_plan
+    print("optimized plan:\n" + optimized_plan)
+    print("unoptimized plan:\n" + raw_plan)
+
+    optimized = measure(
+        lambda: run_sql(spark, query).collect(), repeat=3
+    )
+    unoptimized = measure(
+        lambda: run_sql(spark, query, rules=[]).collect(), repeat=3
+    )
+    print(render_engine_table(
+        "Ablation — Catalyst-lite rules (TopK fusion + pushdown)",
+        {"sort+limit": {
+            "optimized": optimized.render(),
+            "no rules": unoptimized.render(),
+        }},
+    ))
+    check_shape(
+        "TopK fusion beats full sort",
+        optimized.seconds <= unoptimized.seconds,
+    )
+    # Same answers either way.
+    left = [r.as_dict() for r in run_sql(spark, query).collect()]
+    right = [r.as_dict() for r in run_sql(spark, query, rules=[]).collect()]
+    assert json.dumps(left, sort_keys=True) == json.dumps(
+        right, sort_keys=True
+    )
+
+
+def test_ablation_bench_fast_paths(benchmark, confusion_path):
+    benchmark.group = "ablation-fastpaths"
+    rumble = make_rumble_engine()
+    benchmark(lambda: _run_group(rumble, confusion_path))

@@ -1,0 +1,99 @@
+"""Figure 6 — heterogeneity forced into a DataFrame loses type information.
+
+The paper's Figure 5 dataset (fields whose type drifts across objects)
+imported into a DataFrame degrades heterogeneous columns to strings and
+absent values to NULLs; Rumble's item model preserves everything.  This
+bench reproduces the table and times both systems on the messy dataset.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.harness import measure
+from repro.bench.reporting import check_shape, render_engine_table
+from repro.bench.workloads import make_rumble_engine
+from repro.datasets.heterogeneous import FIGURE_5_OBJECTS
+from repro.spark import SparkSession
+from repro.spark.types import StringType
+
+GROUPING_QUERY = (
+    'for $o in json-file("{path}")\n'
+    'group by $c := ($o.country[], $o.country, "USA")[1],\n'
+    '         $t := $o.target\n'
+    'return {{ "country": $c, "target": $t, "count": count($o) }}'
+)
+
+
+def test_fig06_dataframe_loses_types():
+    """The exact Figure 5 -> Figure 6 degradation."""
+    spark = SparkSession()
+    frame = spark.create_dataframe(FIGURE_5_OBJECTS)
+    bar = frame.schema.field("bar")
+    foobar = frame.schema.field("foobar")
+    assert bar.data_type == StringType(), "heterogeneous column -> string"
+    assert foobar.data_type == StringType()
+    rows = {row["foo"]: row for row in frame.collect()}
+    assert rows["1"]["bar"] == "2"          # integer serialized to string
+    assert rows["2"]["bar"] == "[4]"        # array serialized to string
+    assert rows["1"]["foobar"] == "true"    # boolean serialized to string
+    assert rows["3"]["foobar"] is None      # absent value -> NULL
+    frame.show()
+
+
+def test_fig06_rumble_preserves_types():
+    rumble = make_rumble_engine()
+    rumble.register_collection("fig5", FIGURE_5_OBJECTS)
+    types = rumble.query(
+        'for $o in collection("fig5") return '
+        '{ "bar": $o.bar instance of integer, '
+        '"array": $o.bar instance of array, '
+        '"string": $o.bar instance of string }'
+    ).to_python()
+    assert types == [
+        {"bar": True, "array": False, "string": False},
+        {"bar": False, "array": True, "string": False},
+        {"bar": False, "array": False, "string": True},
+    ]
+
+
+def test_fig06_messy_grouping_bench(benchmark, heterogeneous_path):
+    """The Figure 7 query on a genuinely messy dataset — DataFrames cannot
+    even express it faithfully; Rumble handles it at full speed."""
+    benchmark.group = "fig06-messy"
+    rumble = make_rumble_engine()
+    query = GROUPING_QUERY.format(path=heterogeneous_path)
+
+    def run():
+        return rumble.query(query).count()
+
+    groups = benchmark(run)
+    assert groups > 0
+
+
+def test_fig06_shape(heterogeneous_path):
+    rumble = make_rumble_engine()
+    query = GROUPING_QUERY.format(path=heterogeneous_path)
+    result = rumble.query(query).to_python(cap=100_000)
+    total = sum(group["count"] for group in result)
+    with open(heterogeneous_path, "r", encoding="utf-8") as handle:
+        expected = sum(1 for line in handle if line.strip())
+    check_shape(
+        "fig6: messy grouping accounts for every object",
+        total == expected,
+        strict=True,
+    )
+    # The on-the-fly default: objects with no usable country group as USA.
+    messy = [g for g in result if g["country"] == "USA"]
+    check_shape(
+        "fig6: absent/null countries fall back to the default",
+        bool(messy),
+        strict=True,
+    )
+    timing = measure(lambda: rumble.query(query).count(), repeat=2)
+    print(render_engine_table(
+        "Figure 6/7 — messy grouping (5k heterogeneous objects)",
+        {"group-messy": {"rumble": timing.render()}},
+    ))

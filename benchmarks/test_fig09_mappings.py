@@ -1,0 +1,144 @@
+"""Figure 9 — the FLWOR-clause → Spark-transformation mapping table.
+
+The paper's Figure 9 tabulates how each FLWOR clause maps onto Spark
+primitives (for → flatMap, where → filter, group by → mapToPair +
+groupByKey + map, ...).  This bench compiles a query using every clause,
+walks the physical clause chain, prints the regenerated table, and checks
+each mapping — plus the Spark SQL templates of Sections 4.4–4.10.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import check_shape, render_engine_table
+from repro.bench.workloads import make_rumble_engine
+from repro.jsoniq.runtime.flwor.clauses import (
+    ClauseIterator,
+    CountClauseIterator,
+    ForClauseIterator,
+    GroupByClauseIterator,
+    LetClauseIterator,
+    OrderByClauseIterator,
+    ReturnClauseIterator,
+    WhereClauseIterator,
+)
+
+ALL_CLAUSES_QUERY = """
+for $i in parallelize(1 to 1000)
+let $double := $i * 2
+where $double ge 10
+group by $bucket := $double mod 7
+order by $bucket ascending
+count $rank
+return { "bucket": $bucket, "rank": $rank, "n": count($i) }
+"""
+
+EXPECTED_MAPPINGS = {
+    "ForClauseIterator": "flatMap()",
+    "LetClauseIterator": "map()",
+    "WhereClauseIterator": "filter(condition)",
+    "GroupByClauseIterator": "mapToPair() groupByKey() map()",
+    "OrderByClauseIterator": "mapToPair() sortByKey() map()",
+    "CountClauseIterator": "zipWithIndex() map()",
+    "ReturnClauseIterator": "map() + collect()/take()",
+}
+
+
+def _clause_chain(root: ReturnClauseIterator):
+    chain = [root]
+    clause = root.input_clause
+    while clause is not None:
+        chain.append(clause)
+        clause = clause.input_clause
+    return list(reversed(chain))
+
+
+def test_fig09_mapping_table():
+    rumble = make_rumble_engine()
+    compiled = rumble.compile(ALL_CLAUSES_QUERY)
+    assert isinstance(compiled.iterator, ReturnClauseIterator)
+    chain = _clause_chain(compiled.iterator)
+
+    table = {}
+    for clause in chain:
+        name = type(clause).__name__
+        table[name] = {
+            "spark mapping": clause.spark_mapping(),
+            "sql template": clause.sql_template()[:60],
+        }
+    print(render_engine_table(
+        "Figure 9 — FLWOR clause to Spark mappings", table, row_label="clause"
+    ))
+    for name, expected in EXPECTED_MAPPINGS.items():
+        actual = table.get(name, {}).get("spark mapping")
+        check_shape(
+            "fig9: {} -> {}".format(name, expected),
+            actual == expected,
+            strict=True,
+        )
+
+    # The SQL templates of Sections 4.4-4.10.
+    by_type = {type(c).__name__: c for c in chain}
+    assert "EXPLODE(EVALUATE_EXPRESSION" in (
+        by_type["ForClauseIterator"].sql_template()
+    ) or "CREATE DATAFRAME" in by_type["ForClauseIterator"].sql_template()
+    assert "EVALUATE_EXPRESSION" in by_type["LetClauseIterator"].sql_template()
+    assert "WHERE" in by_type["WhereClauseIterator"].sql_template()
+    assert "GROUP BY" in by_type["GroupByClauseIterator"].sql_template()
+    assert "ORDER BY" in by_type["OrderByClauseIterator"].sql_template()
+    assert "ZIP_WITH_INDEX" in by_type["CountClauseIterator"].sql_template()
+
+    # And the query actually runs on the DataFrame path.
+    result = compiled.run()
+    assert result.is_rdd(), "clause chain should be DataFrame-capable"
+    groups = result.to_python(cap=100)
+    assert sum(g["n"] for g in groups) == 996  # 10..1000 doubled values
+    assert [g["bucket"] for g in groups] == sorted(
+        g["bucket"] for g in groups
+    )
+
+
+def test_fig09_group_by_count_pushdown():
+    """Section 4.7's optimization: a non-grouping variable consumed only
+    by count() is aggregated with COUNT() instead of materialized."""
+    rumble = make_rumble_engine()
+    compiled = rumble.compile(
+        'for $i in parallelize(1 to 100) '
+        'group by $k := $i mod 3 '
+        'return { "k": $k, "n": count($i) }'
+    )
+    chain = _clause_chain(compiled.iterator)
+    group_by = next(
+        c for c in chain if isinstance(c, GroupByClauseIterator)
+    )
+    assert group_by.variable_usage == {"i": "count"}
+    assert "COUNT(i)" in group_by.sql_template()
+
+    compiled_materializing = rumble.compile(
+        'for $i in parallelize(1 to 100) '
+        'group by $k := $i mod 3 '
+        'return { "k": $k, "values": [ $i ] }'
+    )
+    group_by = next(
+        c for c in _clause_chain(compiled_materializing.iterator)
+        if isinstance(c, GroupByClauseIterator)
+    )
+    assert group_by.variable_usage == {"i": "materialize"}
+    assert "SEQUENCE(i)" in group_by.sql_template()
+
+    compiled_unused = rumble.compile(
+        'for $i in parallelize(1 to 100) '
+        'group by $k := $i mod 3 '
+        'return $k'
+    )
+    group_by = next(
+        c for c in _clause_chain(compiled_unused.iterator)
+        if isinstance(c, GroupByClauseIterator)
+    )
+    assert group_by.variable_usage == {"i": "unused"}
+
+
+def test_fig09_bench_compile(benchmark):
+    """Compilation cost of the all-clauses query (lexer->AST->iterators)."""
+    benchmark.group = "fig09-compile"
+    rumble = make_rumble_engine()
+    benchmark(rumble.compile, ALL_CLAUSES_QUERY)

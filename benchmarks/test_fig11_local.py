@@ -1,0 +1,84 @@
+"""Figure 11 — local execution: Rumble vs Spark vs Spark SQL vs PySpark.
+
+The paper runs the three canonical queries (filter, group, sort) on the
+16M-object confusion dataset on one laptop.  Expected shape:
+
+* Rumble competes well on the **filter** query — *faster than Spark SQL*,
+  because no schema inference is needed;
+* on **group** and **sort** it sits between raw Spark / Spark SQL on one
+  side and PySpark on the other;
+* Rumble is not slower than PySpark on any query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import measure
+from repro.bench.reporting import check_shape, render_engine_table
+from repro.bench.workloads import make_rumble_engine, run_engine
+from repro.spark import SparkSession
+
+ENGINES = ("rumble", "spark", "spark_sql", "pyspark")
+QUERIES = ("filter", "group", "sort")
+
+
+@pytest.fixture(scope="module")
+def shared():
+    return {"spark": SparkSession(), "rumble": make_rumble_engine()}
+
+
+@pytest.mark.parametrize("kind", QUERIES)
+@pytest.mark.parametrize("engine", ENGINES)
+def test_fig11_engine_query(benchmark, shared, confusion_path, engine, kind):
+    benchmark.group = "fig11-" + kind
+    benchmark(
+        run_engine,
+        engine,
+        kind,
+        confusion_path,
+        spark=shared["spark"],
+        rumble=shared["rumble"],
+    )
+
+
+def test_fig11_shape(shared, confusion_path):
+    """Regenerate the whole figure and check the qualitative shape."""
+    table = {}
+    seconds = {}
+    for kind in QUERIES:
+        table[kind] = {}
+        seconds[kind] = {}
+        for engine in ENGINES:
+            measurement = measure(
+                lambda e=engine, k=kind: run_engine(
+                    e, k, confusion_path,
+                    spark=shared["spark"], rumble=shared["rumble"],
+                ),
+                repeat=3,
+            )
+            table[kind][engine] = measurement.render()
+            seconds[kind][engine] = measurement.seconds
+    print(render_engine_table(
+        "Figure 11 — local runtimes (20k objects; paper: 16M)", table
+    ))
+    check_shape(
+        "filter: Rumble <= Spark SQL (no schema inference)",
+        seconds["filter"]["rumble"] <= seconds["filter"]["spark_sql"] * 1.1,
+    )
+    for kind in QUERIES:
+        check_shape(
+            "{}: Rumble <= PySpark".format(kind),
+            seconds[kind]["rumble"] <= seconds[kind]["pyspark"] * 1.25,
+        )
+        check_shape(
+            "{}: raw Spark is fastest".format(kind),
+            seconds[kind]["spark"] <= min(
+                seconds[kind][e] for e in ENGINES if e != "spark"
+            ),
+            strict=False,
+        )
+    check_shape(
+        "group: Rumble within ~2x of Spark SQL",
+        seconds["group"]["rumble"] <= seconds["group"]["spark_sql"] * 2.5,
+    )

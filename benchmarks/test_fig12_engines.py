@@ -1,0 +1,106 @@
+"""Figure 12 — Rumble vs Zorba vs Xidel across dataset sizes.
+
+The paper sweeps the confusion dataset size and caps runs at 600 s:
+
+* Zorba completes the filter query on all 16M objects but cannot group or
+  sort more than 4M (out of memory / over cap);
+* Xidel runs out of memory on the *filter* query at 8M, fails grouping at
+  2M and sorting at 1M;
+* Rumble handles the entire dataset on every query.
+
+At laptop scale (1k–32k objects) the baselines' memory budgets are set so
+the failure points land at the same *relative* positions: Zorba's budget
+is 8k items (group dies past 8k, sort — which also materializes keys —
+past 4k), Xidel's is 4k and it materializes even when filtering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import sweep
+from repro.bench.reporting import check_shape
+from repro.bench.harness import SeriesReport
+from repro.bench.workloads import make_rumble_engine, run_engine
+
+ZORBA_BUDGET = 8_000
+XIDEL_BUDGET = 4_000
+ENGINES = ("rumble", "zorba", "xidel")
+TIME_CAP_SECONDS = 30.0
+
+
+@pytest.fixture(scope="module")
+def rumble():
+    return make_rumble_engine()
+
+
+@pytest.mark.parametrize("kind", ("filter", "group", "sort"))
+def test_fig12_sweep(rumble, confusion_sweep_paths, kind):
+    sizes = sorted(confusion_sweep_paths)
+
+    def runner(engine: str, size: int):
+        path = confusion_sweep_paths[size]
+        budget = {"zorba": ZORBA_BUDGET, "xidel": XIDEL_BUDGET}.get(engine)
+        return lambda: run_engine(
+            engine, kind, path, rumble=rumble, budget_items=budget
+        )
+
+    table = sweep(sizes, runner, ENGINES, time_cap=TIME_CAP_SECONDS)
+    report = SeriesReport(
+        "Figure 12 ({}) — runtime vs #objects".format(kind), "#objects"
+    )
+    for engine in ENGINES:
+        for size in sizes:
+            report.add(engine, size, table[engine][size].render())
+    print(report.render())
+
+    rumble_all_ok = all(table["rumble"][s].finished for s in sizes)
+    check_shape(
+        "fig12-{}: Rumble completes every size".format(kind),
+        rumble_all_ok,
+        strict=True,
+    )
+    if kind == "filter":
+        check_shape(
+            "fig12-filter: Zorba completes every size (streams)",
+            all(table["zorba"][s].finished for s in sizes),
+            strict=True,
+        )
+        check_shape(
+            "fig12-filter: Xidel dies beyond its budget",
+            not table["xidel"][max(sizes)].finished,
+            strict=True,
+        )
+    else:
+        check_shape(
+            "fig12-{}: Zorba dies beyond its budget".format(kind),
+            not table["zorba"][max(sizes)].finished,
+            strict=True,
+        )
+        largest_zorba = max(
+            (s for s in sizes if table["zorba"][s].finished), default=0
+        )
+        largest_xidel = max(
+            (s for s in sizes if table["xidel"][s].finished), default=0
+        )
+        check_shape(
+            "fig12-{}: Xidel fails no later than Zorba".format(kind),
+            largest_xidel <= largest_zorba,
+            strict=True,
+        )
+
+
+@pytest.mark.parametrize(
+    ("engine", "size"),
+    (("rumble", 8_000), ("zorba", 8_000), ("xidel", 2_000)),
+)
+def test_fig12_filter_timing(benchmark, rumble, confusion_sweep_paths,
+                             engine, size):
+    """pytest-benchmark series, each engine at a size it survives."""
+    benchmark.group = "fig12-filter"
+    path = confusion_sweep_paths[size]
+    budget = {"zorba": ZORBA_BUDGET, "xidel": XIDEL_BUDGET}.get(engine)
+    benchmark(
+        run_engine, engine, "filter", path,
+        rumble=rumble, budget_items=budget,
+    )

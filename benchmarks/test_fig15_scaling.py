@@ -1,0 +1,75 @@
+"""Figure 15 — runtime vs collection size (billions of objects).
+
+The paper replicates the Reddit dataset up to 400x (21.6 billion objects,
+12 TB on S3) and shows that a filtering query's runtime grows *linearly*
+with the input size, i.e. Rumble rides on Spark's scalability without
+hitting its own limits.
+
+Laptop-scale stand-in: replication factors 1..16 of a generated Reddit
+file; the linearity of the measured curve (R² of a linear fit) is the
+reproduced property.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import SeriesReport, timed
+from repro.bench.reporting import check_shape, linear_fit_r2
+from repro.bench.workloads import make_rumble_engine
+
+FILTER = (
+    'count(\n'
+    '  for $c in json-file("{path}")\n'
+    '  where $c.score ge 100\n'
+    '  return $c\n'
+    ')'
+)
+
+
+def test_fig15_linear_scaling(reddit_replicas):
+    rumble = make_rumble_engine()
+    factors = sorted(reddit_replicas)
+    seconds = {}
+    counts = {}
+    for factor in factors:
+        query = FILTER.format(path=reddit_replicas[factor])
+        # Warm the OS page cache so the curve measures the engine.
+        rumble.query(query).to_python()
+        result, elapsed = timed(
+            lambda q=query: rumble.query(q).to_python()
+        )
+        seconds[factor] = elapsed
+        counts[factor] = result[0]
+
+    report = SeriesReport(
+        "Figure 15 — runtime vs replication factor", "factor"
+    )
+    for factor in factors:
+        report.add("runtime", factor, "{:.3f}s".format(seconds[factor]))
+        report.add("matches", factor, str(counts[factor]))
+    print(report.render())
+
+    check_shape(
+        "fig15: matches scale exactly with replication",
+        all(
+            counts[factor] == counts[1] * factor for factor in factors
+        ),
+        strict=True,
+    )
+    r_squared = linear_fit_r2(
+        [float(f) for f in factors], [seconds[f] for f in factors]
+    )
+    print("linear fit R^2 = {:.4f}".format(r_squared))
+    check_shape(
+        "fig15: runtime is linear in input size (R^2 >= 0.95)",
+        r_squared >= 0.95,
+    )
+
+
+@pytest.mark.parametrize("factor", (1, 4, 16))
+def test_fig15_bench(benchmark, reddit_replicas, factor):
+    benchmark.group = "fig15-scaling"
+    rumble = make_rumble_engine()
+    query = FILTER.format(path=reddit_replicas[factor])
+    benchmark(lambda: rumble.query(query).to_python())

@@ -1,0 +1,79 @@
+"""Quickstart: a tour of JSONiq on the Rumble reproduction.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Rumble
+
+
+def main() -> None:
+    rumble = Rumble()
+
+    # 1. Expressions: everything is a sequence of items.
+    print("arithmetic :", rumble.query("(3 + 4) * 2").to_python())
+    print("sequences  :", rumble.query("1 to 5").to_python())
+    print("objects    :", rumble.query(
+        '{ "name": "rumble", "tags": ["jsoniq", "spark"] }'
+    ).to_python())
+
+    # 2. FLWOR: the NoSQL relational algebra.
+    result = rumble.query(
+        """
+        for $x in 1 to 10
+        let $square := $x * $x
+        where $square gt 20
+        order by $square descending
+        return { "x": $x, "square": $square }
+        """
+    )
+    print("flwor      :", result.to_python())
+
+    # 3. Heterogeneity is painless: navigation never errors.
+    messy = rumble.query(
+        """
+        for $record in (
+          { "value": 42 },
+          { "value": [1, 2, 3] },
+          { "value": "a string" },
+          { }
+        )
+        return { "got": ($record.value[], $record.value, "missing")[1] }
+        """
+    )
+    print("messy      :", messy.to_python())
+
+    # 4. Grouping with heterogeneous keys (would error or lose types in SQL).
+    grouped = rumble.query(
+        """
+        for $i in parallelize((
+          {"key": "foo"}, {"key": 1}, {"key": 1},
+          {"key": "foo"}, {"key": true}
+        ))
+        group by $key := $i.key
+        return { "key": $key, "count": count($i) }
+        """
+    )
+    print("grouped    :", grouped.to_python())
+
+    # 5. User-defined functions (recursion included).
+    fact = rumble.query(
+        """
+        declare function local:fact($n) {
+          if ($n le 1) then 1 else $n * local:fact($n - 1)
+        };
+        local:fact(10)
+        """
+    )
+    print("udf        :", fact.to_python())
+
+    # 6. Distributed execution is transparent: the same expression is an
+    #    RDD when its source parallelizes, and local otherwise.
+    distributed = rumble.query("parallelize(1 to 100000)[$$ mod 10000 eq 0]")
+    print("is rdd     :", distributed.is_rdd())
+    print("sampled    :", [item.to_python() for item in distributed.take(5)])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""The interactive Rumble shell (paper, Section 5.4).
+
+Run interactively::
+
+    python examples/rumble_shell.py
+
+or pipe a script in::
+
+    echo 'for $x in 1 to 3 return $x * $x;' | python examples/rumble_shell.py
+
+The shell runs as one engine instance (one "Spark application"), so the
+substrate is set up once; each query's output is collected up to the cap
+(adjust with ``:cap N``).
+"""
+
+import sys
+
+from repro.core.shell import RumbleShell
+
+
+def main() -> None:
+    RumbleShell().run(sys.stdin, interactive=sys.stdin.isatty())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP-660 editable
+installs fail; this file lets ``pip install -e .`` use the legacy
+``setup.py develop`` path instead.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""Reproduction of "Rumble: Data Independence for Large Messy Data Sets".
+
+Top-level convenience surface::
+
+    from repro import Rumble
+    rumble = Rumble()
+    rumble.query('for $x in 1 to 3 return $x * $x').to_python()
+"""
+
+from repro.core import Rumble, RumbleConfig, SequenceOfItems, make_engine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Rumble",
+    "RumbleConfig",
+    "SequenceOfItems",
+    "make_engine",
+    "__version__",
+]

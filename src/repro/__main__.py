@@ -1,0 +1,100 @@
+"""Command-line interface: run JSONiq queries like the Rumble jar does.
+
+Usage::
+
+    python -m repro 'for $x in 1 to 3 return $x * $x'
+    python -m repro --query-file query.jq --output out-dir
+    python -m repro --shell
+    echo 'count(json-file("data.json"));' | python -m repro --shell
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import Rumble, RumbleConfig
+from repro.core.shell import RumbleShell
+from repro.jsoniq.errors import JsoniqException
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run JSONiq queries on the Rumble reproduction engine.",
+    )
+    parser.add_argument(
+        "query", nargs="?", help="JSONiq query text to execute"
+    )
+    parser.add_argument(
+        "--query-file", "-f", help="read the query from a file"
+    )
+    parser.add_argument(
+        "--output", "-o",
+        help="write results as JSON Lines to this directory "
+             "(parallel part files) instead of printing",
+    )
+    parser.add_argument(
+        "--cap", type=int, default=200,
+        help="maximum number of items to print (default 200)",
+    )
+    parser.add_argument(
+        "--mount", action="append", default=[], metavar="SCHEME=DIR",
+        help="serve scheme:// URIs from a local directory "
+             "(e.g. --mount hdfs=/data)",
+    )
+    parser.add_argument(
+        "--shell", action="store_true",
+        help="start the interactive shell (reads stdin)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    arguments = build_parser().parse_args(argv)
+    engine = Rumble(config=RumbleConfig(
+        materialization_cap=arguments.cap, warn_on_cap=True,
+    ))
+    for mount in arguments.mount:
+        scheme, _, root = mount.partition("=")
+        if not root:
+            print("bad --mount (expected SCHEME=DIR):", mount,
+                  file=sys.stderr)
+            return 2
+        engine.mount(scheme, root)
+
+    if arguments.shell:
+        RumbleShell(engine).run(sys.stdin)
+        return 0
+
+    if arguments.query_file:
+        with open(arguments.query_file, "r", encoding="utf-8") as handle:
+            query_text = handle.read()
+    elif arguments.query:
+        query_text = arguments.query
+    else:
+        build_parser().print_usage(sys.stderr)
+        return 2
+
+    try:
+        result = engine.query(query_text)
+        if arguments.output:
+            files = result.write_json_lines(arguments.output)
+            print("wrote {} part file(s) to {}".format(
+                len(files), arguments.output
+            ))
+            return 0
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for item in result.collect():
+                print(item.serialize())
+        return 0
+    except JsoniqException as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Every baseline of the paper's evaluation (Section 6).
+
+Each module implements the paper's three canonical queries — *filter*,
+*group* and *sort* (Section 6.1) — the way the corresponding system would:
+
+* :mod:`repro.baselines.raw_spark` — hand-written RDD pipelines over plain
+  dicts ("Spark (Java)" in Figures 11/13);
+* :mod:`repro.baselines.spark_sql` — DataFrames + SQL strings (Figure 3);
+* :mod:`repro.baselines.pyspark_sim` — the RDD pipeline with per-record
+  pickle round-trips, reproducing PySpark's Python⇄JVM serialization cost;
+* :mod:`repro.baselines.zorba_like` / :mod:`repro.baselines.xidel_like` —
+  single-threaded materializing engines with memory budgets (Figure 12);
+* :mod:`repro.baselines.handcoded` — the "experienced programmer" ad-hoc
+  reference of Section 6.3.
+"""
+
+from repro.baselines import (  # noqa: F401
+    handcoded,
+    pyspark_sim,
+    raw_spark,
+    spark_sql,
+    xidel_like,
+    zorba_like,
+)
+
+QUERY_KINDS = ("filter", "group", "sort")
+
+__all__ = [
+    "raw_spark",
+    "spark_sql",
+    "pyspark_sim",
+    "zorba_like",
+    "xidel_like",
+    "handcoded",
+    "QUERY_KINDS",
+]

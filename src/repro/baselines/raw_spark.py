@@ -1,0 +1,75 @@
+"""Hand-written RDD pipelines ("raw Spark") for the canonical queries.
+
+This is the lowest-overhead native implementation on the shared substrate:
+plain dicts, no Item boxing, no JSONiq machinery — the role "Spark (Java)"
+plays in the paper's Figures 11 and 13.  The pipelines mirror the paper's
+Figure 2.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.spark import SparkSession
+
+
+def filter_query(spark: SparkSession, path: str) -> int:
+    """``guess == target``: parse, filter, count."""
+    lines = spark.spark_context.text_file(path)
+    parsed = lines.map(json.loads)
+    matched = parsed.filter(lambda o: o.get("guess") == o.get("target"))
+    return matched.count()
+
+
+def group_query(spark: SparkSession, path: str) -> List[Tuple[Tuple, int]]:
+    """Count per (country, target) — the aggregation of Figure 2."""
+    lines = spark.spark_context.text_file(path)
+    parsed = lines.map(json.loads)
+    pairs = parsed.map(lambda o: ((o.get("country"), o.get("target")), 1))
+    reduced = pairs.reduce_by_key(lambda a, b: a + b)
+    return reduced.collect()
+
+
+def sort_query(spark: SparkSession, path: str, take: int = 10
+               ) -> List[Dict[str, object]]:
+    """Filter then total sort by (target asc, country desc, date desc)."""
+    lines = spark.spark_context.text_file(path)
+    parsed = lines.map(json.loads)
+    matched = parsed.filter(lambda o: o.get("guess") == o.get("target"))
+
+    def key(record: Dict[str, object]):
+        return (
+            record.get("target") or "",
+            _desc(record.get("country") or ""),
+            _desc(record.get("date") or ""),
+        )
+
+    return matched.sort_by(key).take(take)
+
+
+class _desc:  # noqa: N801 - tiny ordering adapter, reads like a keyword
+    """Inverts the ordering of a string inside a sort key tuple."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        self.value = value
+
+    def __lt__(self, other: "_desc") -> bool:
+        return other.value < self.value
+
+    def __le__(self, other: "_desc") -> bool:
+        return other.value <= self.value
+
+    def __gt__(self, other: "_desc") -> bool:
+        return other.value > self.value
+
+    def __ge__(self, other: "_desc") -> bool:
+        return other.value >= self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _desc) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)

@@ -1,0 +1,41 @@
+"""Spark SQL baseline: DataFrames + SQL strings (the paper's Figure 3).
+
+Reading through ``spark.read.json`` performs schema inference — a full
+extra pass over the data — which is why Rumble beats this baseline on the
+filter query (Figure 11) while Spark SQL wins on grouping, where columnar
+native types pay off.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.spark import SparkSession
+from repro.spark.types import Row
+
+
+def filter_query(spark: SparkSession, path: str) -> int:
+    frame = spark.read.json(path)
+    frame.create_or_replace_temp_view("dataset")
+    matched = spark.sql("SELECT * FROM dataset WHERE guess = target")
+    return matched.count()
+
+
+def group_query(spark: SparkSession, path: str) -> List[Row]:
+    frame = spark.read.json(path)
+    frame.create_or_replace_temp_view("dataset")
+    grouped = spark.sql(
+        "SELECT country, target, count(*) AS n FROM dataset "
+        "GROUP BY country, target"
+    )
+    return grouped.collect()
+
+
+def sort_query(spark: SparkSession, path: str, take: int = 10) -> List[Row]:
+    frame = spark.read.json(path)
+    frame.create_or_replace_temp_view("dataset")
+    ordered = spark.sql(
+        "SELECT * FROM dataset WHERE guess = target "
+        "ORDER BY target ASC, country DESC, date DESC"
+    )
+    return ordered.take(take)

@@ -1,0 +1,168 @@
+"""A Zorba-like baseline: single-threaded, materializing JSONiq engine.
+
+Zorba is the reference C++ JSONiq engine the paper compares against in
+Figure 12.  The behaviours that matter for that figure are reproduced:
+
+* **single-threaded** evaluation — no partitioning, no executors;
+* an **intermediate representation** — each line is parsed into generic
+  Python structures and only then converted to items (Zorba builds its
+  store items through a generic parse; Rumble's JSONiter-style streaming
+  decoder skips that step, Section 5.7);
+* **full materialization** for grouping and sorting, governed by a
+  *memory budget*: exceeding it raises
+  :class:`repro.jsoniq.errors.OutOfMemorySimulated`, reproducing the
+  out-of-memory failures the paper reports beyond a few million objects.
+
+Filtering streams (Zorba completed the filter query on all 16M objects),
+so only group/sort are budget-bound.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Tuple
+
+from repro.items import Item, grouping_key, item_from_python, ordering_tuple
+from repro.jsoniq.errors import OutOfMemorySimulated
+
+#: Default budget, in items, for laptop-scale benchmark runs.  The bench
+#: harness scales it so the failure points land where Figure 12 puts them
+#: (group/sort dying around a quarter of the objects the filter handles).
+DEFAULT_BUDGET = 250_000
+
+
+class MemoryBudget:
+    """Counts materialized items and fails the engine when exhausted."""
+
+    def __init__(self, max_items: int):
+        self.max_items = max_items
+        self.live_items = 0
+
+    def allocate(self, count: int = 1) -> None:
+        self.live_items += count
+        if self.live_items > self.max_items:
+            raise OutOfMemorySimulated(
+                "materialized {} items; budget is {}".format(
+                    self.live_items, self.max_items
+                )
+            )
+
+
+class ZorbaLikeEngine:
+    """The three canonical queries, evaluated the single-threaded way."""
+
+    #: How many budget units one materialized object costs.  Sorting also
+    #: materializes decorated keys, costing extra (see ``sort_query``).
+    object_cost = 1
+
+    def __init__(self, budget_items: int = DEFAULT_BUDGET):
+        self.budget_items = budget_items
+
+    # -- Parsing ----------------------------------------------------------------
+    def _parse(self, line: str) -> Item:
+        # Generic parse first, then item construction: the intermediate
+        # representation Rumble's streaming decoder avoids.
+        return item_from_python(json.loads(line))
+
+    def _stream(self, path: str) -> Iterator[Item]:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield self._parse(line)
+
+    # -- Queries -----------------------------------------------------------------
+    def filter_query(self, path: str) -> int:
+        """Streaming filter: no materialization, no budget pressure."""
+        matched = 0
+        for item in self._stream(path):
+            guess = next(item.lookup("guess"), None)
+            target = next(item.lookup("target"), None)
+            if (
+                guess is not None
+                and target is not None
+                and guess.is_string
+                and target.is_string
+                and guess.value == target.value
+            ):
+                matched += 1
+        return matched
+
+    def group_query(self, path: str) -> List[Tuple[Tuple, int]]:
+        """Group by (country, target); materializes every group member."""
+        budget = MemoryBudget(self.budget_items)
+        groups: Dict[Tuple, List[Item]] = {}
+        for item in self._stream(path):
+            budget.allocate(self.object_cost)
+            country = next(item.lookup("country"), None)
+            target = next(item.lookup("target"), None)
+            key = (
+                grouping_key(country if country and country.is_atomic else None),
+                grouping_key(target if target and target.is_atomic else None),
+            )
+            groups.setdefault(key, []).append(item)
+        return [(key, len(members)) for key, members in groups.items()]
+
+    def sort_query(self, path: str, take: int = 10) -> List[Item]:
+        """Filter + full sort; materializes items *and* decorated keys."""
+        budget = MemoryBudget(self.budget_items)
+        decorated: List[Tuple[tuple, Item]] = []
+        for item in self._stream(path):
+            guess = next(item.lookup("guess"), None)
+            target = next(item.lookup("target"), None)
+            if not (
+                guess is not None and target is not None
+                and guess.is_string and target.is_string
+                and guess.value == target.value
+            ):
+                continue
+            budget.allocate(2 * self.object_cost)  # item + sort key
+            country = next(item.lookup("country"), None)
+            date = next(item.lookup("date"), None)
+            key = (
+                ordering_tuple(target),
+                _invert(ordering_tuple(country)),
+                _invert(ordering_tuple(date)),
+            )
+            decorated.append((key, item))
+        decorated.sort(key=lambda pair: pair[0])
+        return [item for _, item in decorated[:take]]
+
+
+class _invert:  # noqa: N801 - ordering adapter
+    """Descending wrapper for one component of a sort key."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other: "_invert") -> bool:
+        return other.key < self.key
+
+    def __le__(self, other: "_invert") -> bool:
+        return other.key <= self.key
+
+    def __gt__(self, other: "_invert") -> bool:
+        return other.key > self.key
+
+    def __ge__(self, other: "_invert") -> bool:
+        return other.key >= self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _invert) and other.key == self.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+
+def filter_query(path: str, budget_items: int = DEFAULT_BUDGET) -> int:
+    return ZorbaLikeEngine(budget_items).filter_query(path)
+
+
+def group_query(path: str, budget_items: int = DEFAULT_BUDGET):
+    return ZorbaLikeEngine(budget_items).group_query(path)
+
+
+def sort_query(path: str, budget_items: int = DEFAULT_BUDGET, take: int = 10):
+    return ZorbaLikeEngine(budget_items).sort_query(path, take)

@@ -1,0 +1,17 @@
+"""Benchmark harness: workloads, timing, and paper-style reporting."""
+
+from repro.bench.harness import Measurement, sweep, timed
+from repro.bench.workloads import (
+    make_rumble_engine,
+    run_engine,
+    rumble_query,
+)
+
+__all__ = [
+    "timed",
+    "sweep",
+    "Measurement",
+    "run_engine",
+    "rumble_query",
+    "make_rumble_engine",
+]

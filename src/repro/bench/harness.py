@@ -1,0 +1,116 @@
+"""Timing utilities for the figure-regenerating benchmarks.
+
+The paper's measurements are end-to-end wall clock, capped at 600 s, with
+engines dropped from a sweep once they fail (out of memory) or exceed the
+cap — :func:`sweep` reproduces exactly that protocol at laptop scale.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.jsoniq.errors import OutOfMemorySimulated
+
+
+@dataclass
+class Measurement:
+    """One timed run."""
+
+    seconds: Optional[float]  # None means did-not-finish
+    outcome: str = "ok"  # ok | oom | over-cap | skipped
+    result: object = None
+
+    @property
+    def finished(self) -> bool:
+        return self.outcome == "ok"
+
+    def render(self) -> str:
+        if self.outcome == "ok":
+            return "{:.3f}s".format(self.seconds)
+        return self.outcome.upper()
+
+
+def timed(func: Callable, *args, **kwargs) -> Tuple[object, float]:
+    """Run once, returning (result, wall-clock seconds)."""
+    started = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - started
+
+
+def measure(func: Callable, repeat: int = 1) -> Measurement:
+    """Best-of-``repeat`` wall clock (the paper averages over 5 tries; we
+    take the minimum of few repeats, which is steadier at small scale)."""
+    best: Optional[float] = None
+    result = None
+    for _ in range(repeat):
+        try:
+            result, seconds = timed(func)
+        except OutOfMemorySimulated:
+            return Measurement(None, "oom")
+        best = seconds if best is None else min(best, seconds)
+    return Measurement(best, "ok", result)
+
+
+def sweep(
+    sizes: Sequence[int],
+    runner: Callable[[str, int], Callable],
+    engines: Sequence[str],
+    time_cap: float = 60.0,
+    repeat: int = 1,
+) -> Dict[str, Dict[int, Measurement]]:
+    """The paper's sweep protocol: for each engine, walk the sizes in
+    ascending order; once a size ends in OOM or over-cap, mark all larger
+    sizes as skipped (the paper stopped measuring there too)."""
+    table: Dict[str, Dict[int, Measurement]] = {name: {} for name in engines}
+    for engine in engines:
+        dead = False
+        for size in sizes:
+            if dead:
+                table[engine][size] = Measurement(None, "skipped")
+                continue
+            measurement = measure(runner(engine, size), repeat)
+            if measurement.finished and measurement.seconds > time_cap:
+                measurement = Measurement(measurement.seconds, "over-cap")
+            table[engine][size] = measurement
+            if not measurement.finished:
+                dead = True
+    return table
+
+
+@dataclass
+class SeriesReport:
+    """Collects (x, value) series for one figure and renders the table."""
+
+    title: str
+    x_label: str
+    series: Dict[str, List[Tuple[object, str]]] = field(default_factory=dict)
+
+    def add(self, series_name: str, x: object, rendered: str) -> None:
+        self.series.setdefault(series_name, []).append((x, rendered))
+
+    def render(self) -> str:
+        lines = ["", "== {} ==".format(self.title)]
+        names = list(self.series)
+        xs = []
+        for points in self.series.values():
+            for x, _ in points:
+                if x not in xs:
+                    xs.append(x)
+        header = [self.x_label] + names
+        rows = [header]
+        for x in xs:
+            row = [str(x)]
+            for name in names:
+                value = dict(self.series[name]).get(x, "-")
+                row.append(value)
+            rows.append(row)
+        widths = [
+            max(len(row[i]) for row in rows) for i in range(len(header))
+        ]
+        for row in rows:
+            lines.append(
+                "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            )
+        return "\n".join(lines)

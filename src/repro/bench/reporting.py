@@ -1,0 +1,77 @@
+"""Rendering of paper-style result tables and shape checks.
+
+``check_shape`` assertions encode the *qualitative* findings of each
+figure (who wins, by roughly what factor) so benchmark runs fail loudly
+when a reproduction stops matching the paper's shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+
+def render_engine_table(
+    title: str,
+    rows: Dict[str, Dict[str, str]],
+    row_label: str = "query",
+) -> str:
+    """Render {row -> {engine -> rendered value}} as an aligned table."""
+    engines = []
+    for cells in rows.values():
+        for engine in cells:
+            if engine not in engines:
+                engines.append(engine)
+    header = [row_label] + engines
+    table = [header]
+    for row_name, cells in rows.items():
+        table.append([row_name] + [cells.get(e, "-") for e in engines])
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    lines = ["", "== {} ==".format(title)]
+    for row in table:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def speedup_series(
+    wall_clock: Dict[int, float], baseline_executors: int = 1
+) -> Dict[int, float]:
+    """Speedup over the 1-executor run."""
+    baseline = wall_clock[baseline_executors]
+    return {n: baseline / seconds for n, seconds in wall_clock.items()}
+
+
+def linear_fit_r2(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """R² of the least-squares linear fit (for Figure 15's linearity)."""
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 1.0
+    return (cov * cov) / (var_x * var_y)
+
+
+def check_shape(
+    name: str,
+    condition: bool,
+    detail: str = "",
+    strict: bool = False,
+) -> Optional[str]:
+    """Report (and optionally enforce) one qualitative expectation.
+
+    Wall-clock shapes can wobble at laptop scale, so by default a failed
+    check prints a loud note instead of failing the bench run; pass
+    ``strict=True`` for structural invariants that must hold.
+    """
+    status = "OK " if condition else "MISS"
+    line = "[shape {}] {}{}".format(
+        status, name, " — " + detail if detail else ""
+    )
+    print(line)
+    if strict and not condition:
+        raise AssertionError(line)
+    return line

@@ -1,0 +1,118 @@
+"""The canonical workloads of the paper's Section 6.1, per engine.
+
+Three query kinds — ``filter``, ``group``, ``sort`` — on the confusion
+dataset, each runnable on every engine: Rumble (JSONiq), raw Spark,
+Spark SQL, PySpark(-sim), Zorba-like, Xidel-like and the hand-coded
+reference.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.baselines import (
+    handcoded,
+    pyspark_sim,
+    raw_spark,
+    spark_sql,
+    xidel_like,
+    zorba_like,
+)
+from repro.core import Rumble, RumbleConfig, make_engine
+from repro.spark import SparkSession
+
+#: The JSONiq text of each canonical query (paper Figures 4 and 7 shapes).
+RUMBLE_QUERIES: Dict[str, str] = {
+    "filter": (
+        'count(\n'
+        '  for $i in json-file("{path}")\n'
+        '  where $i.guess eq $i.target\n'
+        '  return $i\n'
+        ')'
+    ),
+    "group": (
+        'for $i in json-file("{path}")\n'
+        'group by $c := $i.country, $t := $i.target\n'
+        'return {{ "country": $c, "target": $t, "count": count($i) }}'
+    ),
+    "sort": (
+        'for $i in json-file("{path}")\n'
+        'where $i.guess = $i.target\n'
+        'order by $i.target ascending,\n'
+        '         $i.country descending,\n'
+        '         $i.date descending\n'
+        'count $c\n'
+        'where $c le 10\n'
+        'return $i'
+    ),
+}
+
+
+def rumble_query(kind: str, path: str) -> str:
+    """The JSONiq text for one canonical query over one input path."""
+    return RUMBLE_QUERIES[kind].format(path=path)
+
+
+def make_rumble_engine(
+    executors: int = 4,
+    parallelism: int = 8,
+    block_size: Optional[int] = None,
+) -> Rumble:
+    """A Rumble engine with a benchmark-friendly substrate."""
+    return make_engine(
+        executors=executors,
+        parallelism=parallelism,
+        block_size=block_size,
+        config=RumbleConfig(materialization_cap=1_000_000),
+    )
+
+
+def run_rumble(engine: Rumble, kind: str, path: str):
+    """Run one canonical query end to end (forcing full evaluation)."""
+    result = engine.query(rumble_query(kind, path))
+    if kind == "filter":
+        return result.to_python()
+    if kind == "group":
+        return result.count()
+    return result.take(10)
+
+
+def run_engine(
+    name: str,
+    kind: str,
+    path: str,
+    spark: Optional[SparkSession] = None,
+    rumble: Optional[Rumble] = None,
+    budget_items: Optional[int] = None,
+):
+    """Dispatch one (engine, query) pair; returns the query's result."""
+    if name == "rumble":
+        return run_rumble(rumble or make_rumble_engine(), kind, path)
+    if name in ("spark", "raw_spark"):
+        return _dispatch(raw_spark, kind)(spark or SparkSession(), path)
+    if name in ("spark_sql", "sparksql"):
+        return _dispatch(spark_sql, kind)(spark or SparkSession(), path)
+    if name == "pyspark":
+        return _dispatch(pyspark_sim, kind)(spark or SparkSession(), path)
+    if name == "zorba":
+        runner = _dispatch(zorba_like, kind)
+        if budget_items is None:
+            return runner(path)
+        return runner(path, budget_items=budget_items)
+    if name == "xidel":
+        runner = _dispatch(xidel_like, kind)
+        if budget_items is None:
+            return runner(path)
+        return runner(path, budget_items=budget_items)
+    if name == "handcoded":
+        return _dispatch(handcoded, kind)(path)
+    raise ValueError("unknown engine {!r}".format(name))
+
+
+def _dispatch(module, kind: str) -> Callable:
+    try:
+        return getattr(module, kind + "_query")
+    except AttributeError:
+        raise ValueError(
+            "{} does not implement the {} query".format(module.__name__, kind)
+        ) from None

@@ -1,0 +1,15 @@
+"""The Rumble engine: JSONiq with data independence on the Spark substrate."""
+
+from repro.core.config import RumbleConfig
+from repro.core.engine import CompiledQuery, Rumble, RumbleRuntime, make_engine
+from repro.core.results import MaterializationCapExceeded, SequenceOfItems
+
+__all__ = [
+    "Rumble",
+    "RumbleConfig",
+    "RumbleRuntime",
+    "CompiledQuery",
+    "SequenceOfItems",
+    "MaterializationCapExceeded",
+    "make_engine",
+]

@@ -1,0 +1,23 @@
+"""Engine configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class RumbleConfig:
+    """Tunables of the engine.
+
+    ``materialization_cap`` bounds how many items an action materializes
+    on the driver before warning (paper, Section 5.5: "a maximum number of
+    items to materialize can be specified and a warning is issued").
+    """
+
+    materialization_cap: int = 200
+    #: Warn (True) or raise (False) when the cap is exceeded.
+    warn_on_cap: bool = True
+    #: Named collections for the ``collection()`` function: name -> URI
+    #: (str) or list of items/plain values.
+    collections: Dict[str, object] = field(default_factory=dict)

@@ -1,0 +1,27 @@
+"""Dataset generators standing in for the paper's evaluation data.
+
+* :mod:`repro.datasets.language_game` — the Great Language Game
+  "confusion" dataset (paper, Figure 1 and Section 6.1);
+* :mod:`repro.datasets.reddit` — the Reddit comments dataset (Section 6.6);
+* :mod:`repro.datasets.heterogeneous` — the messy dataset of Figure 5;
+* :mod:`repro.datasets.replicate` — dataset replication (the paper's
+  20x / 400x duplication).
+"""
+
+from repro.datasets.heterogeneous import generate_heterogeneous, write_heterogeneous
+from repro.datasets.language_game import (
+    generate_confusion,
+    write_confusion,
+)
+from repro.datasets.reddit import generate_reddit, write_reddit
+from repro.datasets.replicate import replicate_file
+
+__all__ = [
+    "generate_confusion",
+    "write_confusion",
+    "generate_reddit",
+    "write_reddit",
+    "generate_heterogeneous",
+    "write_heterogeneous",
+    "replicate_file",
+]

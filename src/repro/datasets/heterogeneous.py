@@ -1,0 +1,69 @@
+"""The messy dataset of the paper's Figure 5.
+
+Values in a field may have different types across objects, or be absent —
+"95% of the values have the same type, but a few at best are absent or
+null, at worst have a different type" (Section 3.4).  ``country`` in
+particular is sometimes a string, sometimes an array of strings,
+sometimes missing — the exact situation of Figure 7.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Dict, Iterator
+
+from repro.datasets.language_game import COUNTRIES, LANGUAGES
+
+
+def generate_heterogeneous(
+    num_objects: int, seed: int = 13, mess_ratio: float = 0.05
+) -> Iterator[Dict[str, object]]:
+    """Yield confusion-like objects with a messy ``country`` field and
+    type-drifting ``bar``/``foobar`` fields (Figure 5's shape)."""
+    rng = random.Random(seed)
+    for index in range(num_objects):
+        record: Dict[str, object] = {
+            "foo": str(index % 10),
+            "target": rng.choice(LANGUAGES[:10]),
+        }
+        roll = rng.random()
+        if roll < 1 - 3 * mess_ratio:
+            record["country"] = rng.choice(COUNTRIES)
+        elif roll < 1 - 2 * mess_ratio:
+            record["country"] = rng.sample(COUNTRIES, rng.randint(1, 3))
+        elif roll < 1 - mess_ratio:
+            pass  # absent
+        else:
+            record["country"] = None
+        bar_roll = rng.random()
+        if bar_roll < 0.9:
+            record["bar"] = rng.randint(0, 100)
+        elif bar_roll < 0.95:
+            record["bar"] = [rng.randint(0, 100)]
+        else:
+            record["bar"] = str(rng.randint(0, 100))
+        foobar_roll = rng.random()
+        if foobar_roll < 0.9:
+            record["foobar"] = rng.random() < 0.5
+        elif foobar_roll < 0.95:
+            record["foobar"] = "false"
+        yield record
+
+
+def write_heterogeneous(
+    path: str, num_objects: int, seed: int = 13, mess_ratio: float = 0.05
+) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in generate_heterogeneous(num_objects, seed, mess_ratio):
+            handle.write(json.dumps(record, separators=(",", ":")))
+            handle.write("\n")
+    return path
+
+
+#: The three objects of the paper's Figure 5, verbatim.
+FIGURE_5_OBJECTS = [
+    {"foo": "1", "bar": 2, "foobar": True},
+    {"foo": "2", "bar": [4], "foobar": "false"},
+    {"foo": "3", "bar": "6"},
+]

@@ -1,0 +1,69 @@
+"""Semi-structured Reddit comments dataset generator.
+
+Stands in for the paper's 54M-object Reddit dump (Section 6.6): the same
+comment schema (body, author, subreddit, score, created_utc, and a few
+optional / occasionally-missing fields, which makes it semi-structured).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Dict, Iterator
+
+SUBREDDITS = [
+    "AskReddit", "funny", "pics", "gaming", "worldnews", "todayilearned",
+    "science", "movies", "news", "aww", "programming", "technology",
+    "politics", "books", "music", "history", "space", "sports", "food",
+    "dataisbeautiful",
+]
+
+_WORDS = (
+    "the quick brown fox jumps over lazy dog spark rumble jsoniq data "
+    "independence nested heterogeneous cluster query language json "
+    "comment thread upvote karma moderator subreddit post reply edit"
+).split()
+
+
+def generate_reddit(
+    num_objects: int, seed: int = 7, start_year: int = 2008
+) -> Iterator[Dict[str, object]]:
+    """Yield Reddit-comment objects, deterministic given the seed."""
+    rng = random.Random(seed)
+    base_utc = 1199145600  # 2008-01-01
+    span = (2015 - start_year + 1) * 365 * 24 * 3600
+    for index in range(num_objects):
+        score = int(rng.expovariate(0.05)) - 2
+        body_words = rng.randint(3, 40)
+        record: Dict[str, object] = {
+            "id": "c{:08x}".format(index),
+            "author": "user_{}".format(rng.randint(1, max(10, num_objects // 20))),
+            "subreddit": rng.choice(SUBREDDITS),
+            "body": " ".join(rng.choice(_WORDS) for _ in range(body_words)),
+            "score": score,
+            "ups": max(score, 0),
+            "downs": max(-score, 0),
+            "created_utc": base_utc + rng.randint(0, span),
+            "controversiality": 1 if rng.random() < 0.04 else 0,
+        }
+        # Semi-structured bits: fields that are only sometimes present,
+        # or change representation across "years" of the dump.
+        if rng.random() < 0.3:
+            record["edited"] = (
+                rng.random() < 0.5 and record["created_utc"] + 600
+            )
+        if rng.random() < 0.15:
+            record["gilded"] = rng.randint(1, 3)
+        if rng.random() < 0.1:
+            record["distinguished"] = "moderator"
+        if rng.random() < 0.5:
+            record["parent_id"] = "t1_c{:08x}".format(rng.randint(0, index + 1))
+        yield record
+
+
+def write_reddit(path: str, num_objects: int, seed: int = 7) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in generate_reddit(num_objects, seed):
+            handle.write(json.dumps(record, separators=(",", ":")))
+            handle.write("\n")
+    return path

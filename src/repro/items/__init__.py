@@ -1,0 +1,76 @@
+"""The JSONiq Data Model: heterogeneous, nested items.
+
+Public surface of the package::
+
+    from repro.items import (
+        Item, ObjectItem, ArrayItem, StringItem, IntegerItem, DecimalItem,
+        DoubleItem, BooleanItem, NullItem, DateItem, NULL, TRUE, FALSE,
+        item_from_python, item_from_json,
+    )
+"""
+
+from repro.items.atomics import (
+    FALSE,
+    NULL,
+    TRUE,
+    AtomicItem,
+    BooleanItem,
+    DateItem,
+    DecimalItem,
+    DoubleItem,
+    IntegerItem,
+    NullItem,
+    NumericItem,
+    StringItem,
+    make_numeric,
+)
+from repro.items.base import Item
+from repro.items.compare import (
+    check_sortable,
+    encode_sort_key,
+    grouping_key,
+    ordering_tuple,
+    value_compare,
+    values_equal,
+)
+from repro.items.factory import item_from_json, item_from_python
+from repro.items.structured import ArrayItem, ObjectItem
+from repro.items.temporal import (
+    DateTimeItem,
+    DayTimeDurationItem,
+    TimeItem,
+    YearMonthDurationItem,
+    duration_from_string,
+)
+
+__all__ = [
+    "Item",
+    "AtomicItem",
+    "NumericItem",
+    "ObjectItem",
+    "ArrayItem",
+    "StringItem",
+    "IntegerItem",
+    "DecimalItem",
+    "DoubleItem",
+    "BooleanItem",
+    "NullItem",
+    "DateItem",
+    "DateTimeItem",
+    "TimeItem",
+    "DayTimeDurationItem",
+    "YearMonthDurationItem",
+    "duration_from_string",
+    "NULL",
+    "TRUE",
+    "FALSE",
+    "item_from_python",
+    "item_from_json",
+    "make_numeric",
+    "value_compare",
+    "values_equal",
+    "encode_sort_key",
+    "ordering_tuple",
+    "grouping_key",
+    "check_sortable",
+]

@@ -1,0 +1,68 @@
+"""Construction of items from plain Python values and JSON text."""
+
+from __future__ import annotations
+
+import datetime
+import json
+from decimal import Decimal
+from typing import Any
+
+from repro.items.atomics import (
+    FALSE,
+    NULL,
+    TRUE,
+    DateItem,
+    DecimalItem,
+    DoubleItem,
+    IntegerItem,
+    StringItem,
+)
+from repro.items.base import Item
+from repro.items.structured import ArrayItem, ObjectItem
+
+
+def item_from_python(value: Any) -> Item:
+    """Wrap a plain Python value (as produced by ``json.loads``) in an item.
+
+    ``bool`` must be tested before ``int`` because it is a subclass.
+    ``datetime.date`` maps to the JSONiq ``date`` type, everything else to
+    the core JSON types.
+    """
+    if value is None:
+        return NULL
+    if isinstance(value, bool):
+        return TRUE if value else FALSE
+    if isinstance(value, int):
+        return IntegerItem(value)
+    if isinstance(value, float):
+        return DoubleItem(value)
+    if isinstance(value, Decimal):
+        return DecimalItem(value)
+    if isinstance(value, str):
+        return StringItem(value)
+    if isinstance(value, datetime.datetime):
+        from repro.items.temporal import DateTimeItem
+
+        return DateTimeItem(value)
+    if isinstance(value, datetime.date):
+        return DateItem(value)
+    if isinstance(value, datetime.time):
+        from repro.items.temporal import TimeItem
+
+        return TimeItem(value)
+    if isinstance(value, datetime.timedelta):
+        from repro.items.temporal import DayTimeDurationItem
+
+        return DayTimeDurationItem(value)
+    if isinstance(value, dict):
+        return ObjectItem({str(k): item_from_python(v) for k, v in value.items()})
+    if isinstance(value, (list, tuple)):
+        return ArrayItem([item_from_python(v) for v in value])
+    if isinstance(value, Item):
+        return value
+    raise TypeError("cannot build an item from {!r}".format(value))
+
+
+def item_from_json(text: str) -> Item:
+    """Parse one JSON value directly into an item."""
+    return item_from_python(json.loads(text))

@@ -1,0 +1,97 @@
+"""Structured items of the JSONiq Data Model: objects and arrays."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.items.base import Item, make_type_error
+
+
+class ObjectItem(Item):
+    """A JSON object: an ordered mapping from string keys to items."""
+
+    __slots__ = ("pairs",)
+    is_object = True
+
+    def __init__(self, pairs: Dict[str, Item]):
+        self.pairs = pairs
+
+    @property
+    def type_name(self) -> str:
+        return "object"
+
+    def effective_boolean_value(self) -> bool:
+        raise make_type_error(
+            "FORG0006", "objects do not have an effective boolean value"
+        )
+
+    def keys(self) -> List[str]:
+        return list(self.pairs.keys())
+
+    def lookup(self, key: str) -> Iterator[Item]:
+        value = self.pairs.get(key)
+        if value is not None:
+            yield value
+
+    def to_python(self):
+        return {key: value.to_python() for key, value in self.pairs.items()}
+
+    def serialize(self) -> str:
+        from repro.items.atomics import _serialize_string
+
+        parts = [
+            "{} : {}".format(_serialize_string(key), value.serialize())
+            for key, value in self.pairs.items()
+        ]
+        return "{ " + ", ".join(parts) + " }" if parts else "{ }"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ObjectItem)
+            and self.pairs.keys() == other.pairs.keys()
+            and all(other.pairs[key] == value for key, value in self.pairs.items())
+        )
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.pairs))
+
+
+class ArrayItem(Item):
+    """A JSON array: an ordered list of items."""
+
+    __slots__ = ("members",)
+    is_array = True
+
+    def __init__(self, members: List[Item]):
+        self.members = members
+
+    @property
+    def type_name(self) -> str:
+        return "array"
+
+    def effective_boolean_value(self) -> bool:
+        raise make_type_error(
+            "FORG0006", "arrays do not have an effective boolean value"
+        )
+
+    def array_lookup(self, index: int) -> Iterator[Item]:
+        """1-based member access, empty when out of range."""
+        if 1 <= index <= len(self.members):
+            yield self.members[index - 1]
+
+    def unbox(self) -> Iterator[Item]:
+        return iter(self.members)
+
+    def to_python(self):
+        return [member.to_python() for member in self.members]
+
+    def serialize(self) -> str:
+        if not self.members:
+            return "[ ]"
+        return "[ " + ", ".join(m.serialize() for m in self.members) + " ]"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ArrayItem) and self.members == other.members
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.members))

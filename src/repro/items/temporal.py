@@ -1,0 +1,260 @@
+"""Temporal atomic items: dateTime, time, and the two duration types.
+
+"Additional types" are listed as future work in the paper's conclusion;
+this module implements the XDM temporal family the way JSONiq specifies
+it: ``dateTime`` and ``time`` values compare chronologically,
+``dayTimeDuration`` (an exact number of seconds) and
+``yearMonthDuration`` (an exact number of months) are separate,
+non-comparable families, and arithmetic combines them with dates and
+dateTimes (see :func:`repro.jsoniq.runtime.arithmetic.compute_arithmetic`).
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+
+from repro.items.atomics import AtomicItem, _serialize_string
+
+
+class DateTimeItem(AtomicItem):
+    """An ``xs:dateTime`` value."""
+
+    __slots__ = ("value",)
+    is_datetime = True
+
+    def __init__(self, value):
+        if isinstance(value, str):
+            value = datetime.datetime.fromisoformat(value)
+        self.value = value
+
+    @property
+    def type_name(self) -> str:
+        return "dateTime"
+
+    def string_value(self) -> str:
+        return self.value.isoformat()
+
+    def to_python(self) -> datetime.datetime:
+        return self.value
+
+    def serialize(self) -> str:
+        return _serialize_string(self.value.isoformat())
+
+    def sort_key(self):
+        return self.value.timestamp() if self.value.tzinfo else (
+            self.value - datetime.datetime(1970, 1, 1)
+        ).total_seconds()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DateTimeItem) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+
+class TimeItem(AtomicItem):
+    """An ``xs:time`` value."""
+
+    __slots__ = ("value",)
+    is_time = True
+
+    def __init__(self, value):
+        if isinstance(value, str):
+            value = datetime.time.fromisoformat(value)
+        self.value = value
+
+    @property
+    def type_name(self) -> str:
+        return "time"
+
+    def string_value(self) -> str:
+        return self.value.isoformat()
+
+    def to_python(self) -> datetime.time:
+        return self.value
+
+    def serialize(self) -> str:
+        return _serialize_string(self.value.isoformat())
+
+    def sort_key(self):
+        time = self.value
+        return (
+            time.hour * 3600 + time.minute * 60 + time.second
+            + time.microsecond / 1e6
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TimeItem) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+
+_DURATION_RE = re.compile(
+    r"^(?P<sign>-)?P"
+    r"(?:(?P<years>\d+)Y)?"
+    r"(?:(?P<months>\d+)M)?"
+    r"(?:(?P<days>\d+)D)?"
+    r"(?:T"
+    r"(?:(?P<hours>\d+)H)?"
+    r"(?:(?P<minutes>\d+)M)?"
+    r"(?:(?P<seconds>\d+(?:\.\d+)?)S)?"
+    r")?$"
+)
+
+
+def parse_duration(text: str):
+    """Parse an ISO-8601 duration into ``(months, seconds)``.
+
+    Raises ``ValueError`` on malformed input or an empty duration body.
+    """
+    match = _DURATION_RE.match(text.strip())
+    if not match or text.strip() in ("P", "-P", "PT", "-PT"):
+        raise ValueError("invalid duration literal {!r}".format(text))
+    parts = match.groupdict()
+    sign = -1 if parts["sign"] else 1
+    months = int(parts["years"] or 0) * 12 + int(parts["months"] or 0)
+    seconds = (
+        int(parts["days"] or 0) * 86400
+        + int(parts["hours"] or 0) * 3600
+        + int(parts["minutes"] or 0) * 60
+        + float(parts["seconds"] or 0)
+    )
+    if months == 0 and seconds == 0 and not any(
+        parts[k] for k in ("years", "months", "days",
+                           "hours", "minutes", "seconds")
+    ):
+        raise ValueError("invalid duration literal {!r}".format(text))
+    return sign * months, sign * seconds
+
+
+def _render_day_time(seconds: float) -> str:
+    sign = "-" if seconds < 0 else ""
+    seconds = abs(seconds)
+    days, seconds = divmod(seconds, 86400)
+    hours, seconds = divmod(seconds, 3600)
+    minutes, seconds = divmod(seconds, 60)
+    pieces = [sign, "P"]
+    if days:
+        pieces.append("{}D".format(int(days)))
+    if hours or minutes or seconds or not days:
+        pieces.append("T")
+        if hours:
+            pieces.append("{}H".format(int(hours)))
+        if minutes:
+            pieces.append("{}M".format(int(minutes)))
+        if seconds or not (hours or minutes):
+            if seconds == int(seconds):
+                pieces.append("{}S".format(int(seconds)))
+            else:
+                pieces.append("{:g}S".format(seconds))
+    return "".join(pieces)
+
+
+class DayTimeDurationItem(AtomicItem):
+    """An ``xs:dayTimeDuration``: an exact number of seconds."""
+
+    __slots__ = ("seconds",)
+    is_duration = True
+    is_day_time_duration = True
+
+    def __init__(self, seconds):
+        if isinstance(seconds, datetime.timedelta):
+            seconds = seconds.total_seconds()
+        self.seconds = float(seconds)
+
+    @property
+    def type_name(self) -> str:
+        return "dayTimeDuration"
+
+    def string_value(self) -> str:
+        return _render_day_time(self.seconds)
+
+    def to_python(self) -> datetime.timedelta:
+        return datetime.timedelta(seconds=self.seconds)
+
+    def serialize(self) -> str:
+        return _serialize_string(self.string_value())
+
+    def sort_key(self):
+        return self.seconds
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DayTimeDurationItem)
+            and other.seconds == self.seconds
+        )
+
+    def __hash__(self) -> int:
+        return hash(("dayTime", self.seconds))
+
+
+class YearMonthDurationItem(AtomicItem):
+    """An ``xs:yearMonthDuration``: an exact number of months."""
+
+    __slots__ = ("months",)
+    is_duration = True
+    is_year_month_duration = True
+
+    def __init__(self, months: int):
+        self.months = int(months)
+
+    @property
+    def type_name(self) -> str:
+        return "yearMonthDuration"
+
+    def string_value(self) -> str:
+        sign = "-" if self.months < 0 else ""
+        months = abs(self.months)
+        years, months = divmod(months, 12)
+        pieces = [sign, "P"]
+        if years:
+            pieces.append("{}Y".format(years))
+        if months or not years:
+            pieces.append("{}M".format(months))
+        return "".join(pieces)
+
+    def to_python(self) -> str:
+        return self.string_value()
+
+    def serialize(self) -> str:
+        return _serialize_string(self.string_value())
+
+    def sort_key(self):
+        return self.months
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, YearMonthDurationItem)
+            and other.months == self.months
+        )
+
+    def __hash__(self) -> int:
+        return hash(("yearMonth", self.months))
+
+
+def duration_from_string(text: str) -> AtomicItem:
+    """Build the appropriate duration item from an ISO-8601 literal.
+
+    Mixed durations (months *and* seconds) are rejected, as the two
+    families do not combine.
+    """
+    months, seconds = parse_duration(text)
+    if months and seconds:
+        raise ValueError(
+            "mixed year-month and day-time duration {!r}".format(text)
+        )
+    if months:
+        return YearMonthDurationItem(months)
+    if seconds:
+        return DayTimeDurationItem(seconds)
+    # Zero durations keep the family their literal was written in:
+    # "P0M"/"P0Y" is a yearMonthDuration, "PT0S"/"P0D" a dayTimeDuration.
+    match = _DURATION_RE.match(text.strip())
+    if match and (match.group("years") or match.group("months")) and not (
+        match.group("days") or match.group("hours")
+        or match.group("minutes") or match.group("seconds")
+    ):
+        return YearMonthDurationItem(0)
+    return DayTimeDurationItem(0)

@@ -1,0 +1,24 @@
+"""The JSONiq language stack: lexer, parser, static analysis, runtime."""
+
+from repro.jsoniq.errors import (
+    CastException,
+    DynamicException,
+    JsoniqException,
+    OutOfMemorySimulated,
+    ParseException,
+    StaticException,
+    TypeException,
+)
+from repro.jsoniq.parser import parse, parse_expression
+
+__all__ = [
+    "parse",
+    "parse_expression",
+    "JsoniqException",
+    "ParseException",
+    "StaticException",
+    "DynamicException",
+    "TypeException",
+    "CastException",
+    "OutOfMemorySimulated",
+]

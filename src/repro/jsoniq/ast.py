@@ -1,0 +1,576 @@
+"""Abstract syntax tree of JSONiq expressions and FLWOR clauses.
+
+The parser produces these nodes; static analysis decorates them with
+static contexts; the compiler (:mod:`repro.jsoniq.compiler`) turns them
+into runtime iterators.  Each node exposes ``children()`` so visitors can
+walk the tree generically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+
+class AstNode:
+    """Base class: position info plus the static context attached later."""
+
+    def __init__(self, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        self.static_context = None  # filled in by static analysis
+
+    def children(self) -> List["AstNode"]:
+        return []
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    def describe(self, indent: int = 0) -> str:
+        lines = [" " * indent + self.label()]
+        for child in self.children():
+            lines.append(child.describe(indent + 2))
+        return "\n".join(lines)
+
+
+class Expression(AstNode):
+    """Any JSONiq expression (returns a sequence of items)."""
+
+
+# -- Literals and primaries --------------------------------------------------
+
+class Literal(Expression):
+    def __init__(self, kind: str, value: Any, **pos):
+        super().__init__(**pos)
+        self.kind = kind  # string | integer | decimal | double | boolean | null
+        self.value = value
+
+    def label(self) -> str:
+        return "Literal({}:{!r})".format(self.kind, self.value)
+
+
+class VariableReference(Expression):
+    def __init__(self, name: str, **pos):
+        super().__init__(**pos)
+        self.name = name
+
+    def label(self) -> str:
+        return "Var(${})".format(self.name)
+
+
+class ContextItem(Expression):
+    """The ``$$`` expression."""
+
+
+class CommaExpression(Expression):
+    """Sequence concatenation: ``e1, e2, ...``."""
+
+    def __init__(self, expressions: List[Expression], **pos):
+        super().__init__(**pos)
+        self.expressions = expressions
+
+    def children(self) -> List[AstNode]:
+        return list(self.expressions)
+
+
+class EmptySequence(Expression):
+    """The ``()`` expression."""
+
+
+class ObjectConstructor(Expression):
+    def __init__(self, pairs: List[Tuple[Expression, Expression]], **pos):
+        super().__init__(**pos)
+        self.pairs = pairs
+
+    def children(self) -> List[AstNode]:
+        return [node for pair in self.pairs for node in pair]
+
+
+class ArrayConstructor(Expression):
+    def __init__(self, content: Optional[Expression], **pos):
+        super().__init__(**pos)
+        self.content = content
+
+    def children(self) -> List[AstNode]:
+        return [self.content] if self.content else []
+
+
+class FunctionCall(Expression):
+    def __init__(self, name: str, arguments: List[Expression], **pos):
+        super().__init__(**pos)
+        self.name = name
+        self.arguments = arguments
+
+    def children(self) -> List[AstNode]:
+        return list(self.arguments)
+
+    def label(self) -> str:
+        return "FunctionCall({}#{})".format(self.name, len(self.arguments))
+
+
+# -- Operators -----------------------------------------------------------------
+
+class BinaryExpression(Expression):
+    def __init__(self, op: str, left: Expression, right: Expression, **pos):
+        super().__init__(**pos)
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self) -> List[AstNode]:
+        return [self.left, self.right]
+
+    def label(self) -> str:
+        return "Binary({})".format(self.op)
+
+
+class UnaryExpression(Expression):
+    def __init__(self, op: str, operand: Expression, **pos):
+        super().__init__(**pos)
+        self.op = op  # "-" | "+" | "not"
+        self.operand = operand
+
+    def children(self) -> List[AstNode]:
+        return [self.operand]
+
+    def label(self) -> str:
+        return "Unary({})".format(self.op)
+
+
+class ComparisonExpression(Expression):
+    def __init__(self, op: str, left: Expression, right: Expression, **pos):
+        super().__init__(**pos)
+        self.op = op  # eq ne lt le gt ge = != < <= > >=
+        self.left = left
+        self.right = right
+
+    def children(self) -> List[AstNode]:
+        return [self.left, self.right]
+
+    def label(self) -> str:
+        return "Comparison({})".format(self.op)
+
+
+class RangeExpression(Expression):
+    def __init__(self, start: Expression, end: Expression, **pos):
+        super().__init__(**pos)
+        self.start = start
+        self.end = end
+
+    def children(self) -> List[AstNode]:
+        return [self.start, self.end]
+
+
+class StringConcatExpression(Expression):
+    def __init__(self, parts: List[Expression], **pos):
+        super().__init__(**pos)
+        self.parts = parts
+
+    def children(self) -> List[AstNode]:
+        return list(self.parts)
+
+
+class InstanceOfExpression(Expression):
+    def __init__(self, operand: Expression, sequence_type: "SequenceType", **pos):
+        super().__init__(**pos)
+        self.operand = operand
+        self.sequence_type = sequence_type
+
+    def children(self) -> List[AstNode]:
+        return [self.operand]
+
+    def label(self) -> str:
+        return "InstanceOf({})".format(self.sequence_type)
+
+
+class TreatExpression(Expression):
+    def __init__(self, operand: Expression, sequence_type: "SequenceType", **pos):
+        super().__init__(**pos)
+        self.operand = operand
+        self.sequence_type = sequence_type
+
+    def children(self) -> List[AstNode]:
+        return [self.operand]
+
+
+class CastExpression(Expression):
+    def __init__(self, operand: Expression, type_name: str, allows_empty: bool,
+                 castable: bool, **pos):
+        super().__init__(**pos)
+        self.operand = operand
+        self.type_name = type_name
+        self.allows_empty = allows_empty
+        self.castable = castable  # True for "castable as"
+
+    def children(self) -> List[AstNode]:
+        return [self.operand]
+
+
+# -- Navigation ------------------------------------------------------------------
+
+class ObjectLookup(Expression):
+    def __init__(self, source: Expression, key: Expression, **pos):
+        super().__init__(**pos)
+        self.source = source
+        self.key = key
+
+    def children(self) -> List[AstNode]:
+        return [self.source, self.key]
+
+
+class ArrayLookup(Expression):
+    def __init__(self, source: Expression, index: Expression, **pos):
+        super().__init__(**pos)
+        self.source = source
+        self.index = index
+
+    def children(self) -> List[AstNode]:
+        return [self.source, self.index]
+
+
+class ArrayUnboxing(Expression):
+    def __init__(self, source: Expression, **pos):
+        super().__init__(**pos)
+        self.source = source
+
+    def children(self) -> List[AstNode]:
+        return [self.source]
+
+
+class Predicate(Expression):
+    def __init__(self, source: Expression, condition: Expression, **pos):
+        super().__init__(**pos)
+        self.source = source
+        self.condition = condition
+
+    def children(self) -> List[AstNode]:
+        return [self.source, self.condition]
+
+
+class SimpleMap(Expression):
+    """The ``!`` operator: evaluate rhs once per lhs item as ``$$``."""
+
+    def __init__(self, source: Expression, mapper: Expression, **pos):
+        super().__init__(**pos)
+        self.source = source
+        self.mapper = mapper
+
+    def children(self) -> List[AstNode]:
+        return [self.source, self.mapper]
+
+
+# -- Control flow -------------------------------------------------------------------
+
+class IfExpression(Expression):
+    def __init__(self, condition: Expression, then_branch: Expression,
+                 else_branch: Expression, **pos):
+        super().__init__(**pos)
+        self.condition = condition
+        self.then_branch = then_branch
+        self.else_branch = else_branch
+
+    def children(self) -> List[AstNode]:
+        return [self.condition, self.then_branch, self.else_branch]
+
+
+class SwitchExpression(Expression):
+    def __init__(self, subject: Expression,
+                 cases: List[Tuple[List[Expression], Expression]],
+                 default: Expression, **pos):
+        super().__init__(**pos)
+        self.subject = subject
+        self.cases = cases
+        self.default = default
+
+    def children(self) -> List[AstNode]:
+        nodes: List[AstNode] = [self.subject]
+        for tests, result in self.cases:
+            nodes.extend(tests)
+            nodes.append(result)
+        nodes.append(self.default)
+        return nodes
+
+
+class TryCatchExpression(Expression):
+    def __init__(self, try_expr: Expression, catch_expr: Expression,
+                 codes: Optional[List[str]], **pos):
+        super().__init__(**pos)
+        self.try_expr = try_expr
+        self.catch_expr = catch_expr
+        self.codes = codes  # None means catch-all ("*")
+
+    def children(self) -> List[AstNode]:
+        return [self.try_expr, self.catch_expr]
+
+
+class TypeswitchExpression(Expression):
+    """``typeswitch (expr) case <type> return ... default return ...``;
+    cases may bind a variable: ``case $v as integer return ...``."""
+
+    def __init__(self, subject: Expression,
+                 cases: List[Tuple[Optional[str], "SequenceType", Expression]],
+                 default_variable: Optional[str],
+                 default: Expression, **pos):
+        super().__init__(**pos)
+        self.subject = subject
+        self.cases = cases
+        self.default_variable = default_variable
+        self.default = default
+
+    def children(self) -> List[AstNode]:
+        nodes: List[AstNode] = [self.subject]
+        nodes.extend(result for _, _, result in self.cases)
+        nodes.append(self.default)
+        return nodes
+
+
+class QuantifiedExpression(Expression):
+    def __init__(self, quantifier: str,
+                 bindings: List[Tuple[str, Expression]],
+                 condition: Expression, **pos):
+        super().__init__(**pos)
+        self.quantifier = quantifier  # "some" | "every"
+        self.bindings = bindings
+        self.condition = condition
+
+    def children(self) -> List[AstNode]:
+        return [expr for _, expr in self.bindings] + [self.condition]
+
+    def label(self) -> str:
+        return "Quantified({})".format(self.quantifier)
+
+
+# -- FLWOR ---------------------------------------------------------------------------
+
+class Clause(AstNode):
+    """A FLWOR clause (returns a tuple stream)."""
+
+
+class ForClause(Clause):
+    def __init__(self, variable: str, expression: Expression,
+                 allowing_empty: bool = False,
+                 position_variable: Optional[str] = None, **pos):
+        super().__init__(**pos)
+        self.variable = variable
+        self.expression = expression
+        self.allowing_empty = allowing_empty
+        self.position_variable = position_variable
+
+    def children(self) -> List[AstNode]:
+        return [self.expression]
+
+    def label(self) -> str:
+        return "ForClause(${})".format(self.variable)
+
+
+class WindowVars:
+    """The optional variables a window boundary condition may bind:
+    the current item, its position, and the previous/next items."""
+
+    def __init__(self, current: Optional[str] = None,
+                 position: Optional[str] = None,
+                 previous: Optional[str] = None,
+                 next_: Optional[str] = None):
+        self.current = current
+        self.position = position
+        self.previous = previous
+        self.next = next_
+
+    def names(self) -> List[str]:
+        return [name for name in
+                (self.current, self.position, self.previous, self.next)
+                if name]
+
+
+class WindowCondition:
+    """``start|end <vars> when <expr>`` of a window clause."""
+
+    def __init__(self, variables: WindowVars, when: Expression,
+                 only: bool = False):
+        self.variables = variables
+        self.when = when
+        self.only = only  # "only end": discard windows without an end
+
+
+class WindowClause(Clause):
+    """``for tumbling|sliding window $w in expr start ... end ...``
+    (XQuery 3.0 window clauses — the paper's future-work item)."""
+
+    def __init__(self, kind: str, variable: str, expression: Expression,
+                 start: WindowCondition,
+                 end: Optional[WindowCondition], **pos):
+        super().__init__(**pos)
+        self.kind = kind  # "tumbling" | "sliding"
+        self.variable = variable
+        self.expression = expression
+        self.start = start
+        self.end = end
+
+    def children(self) -> List[AstNode]:
+        nodes: List[AstNode] = [self.expression, self.start.when]
+        if self.end is not None:
+            nodes.append(self.end.when)
+        return nodes
+
+    def label(self) -> str:
+        return "WindowClause({} ${})".format(self.kind, self.variable)
+
+
+class LetClause(Clause):
+    def __init__(self, variable: str, expression: Expression, **pos):
+        super().__init__(**pos)
+        self.variable = variable
+        self.expression = expression
+
+    def children(self) -> List[AstNode]:
+        return [self.expression]
+
+    def label(self) -> str:
+        return "LetClause(${})".format(self.variable)
+
+
+class WhereClause(Clause):
+    def __init__(self, condition: Expression, **pos):
+        super().__init__(**pos)
+        self.condition = condition
+
+    def children(self) -> List[AstNode]:
+        return [self.condition]
+
+
+class GroupByKey:
+    """One grouping variable, optionally freshly bound (``$k := expr``)."""
+
+    def __init__(self, variable: str, expression: Optional[Expression]):
+        self.variable = variable
+        self.expression = expression
+
+
+class GroupByClause(Clause):
+    def __init__(self, keys: List[GroupByKey], **pos):
+        super().__init__(**pos)
+        self.keys = keys
+
+    def children(self) -> List[AstNode]:
+        return [key.expression for key in self.keys if key.expression]
+
+    def label(self) -> str:
+        return "GroupByClause({})".format(
+            ", ".join("$" + key.variable for key in self.keys)
+        )
+
+
+class OrderSpec:
+    """One ordering key with its modifiers."""
+
+    def __init__(self, expression: Expression, ascending: bool = True,
+                 empty_greatest: bool = False):
+        self.expression = expression
+        self.ascending = ascending
+        self.empty_greatest = empty_greatest
+
+
+class OrderByClause(Clause):
+    def __init__(self, specs: List[OrderSpec], stable: bool = False, **pos):
+        super().__init__(**pos)
+        self.specs = specs
+        self.stable = stable
+
+    def children(self) -> List[AstNode]:
+        return [spec.expression for spec in self.specs]
+
+
+class CountClause(Clause):
+    def __init__(self, variable: str, **pos):
+        super().__init__(**pos)
+        self.variable = variable
+
+    def label(self) -> str:
+        return "CountClause(${})".format(self.variable)
+
+
+class ReturnClause(Clause):
+    def __init__(self, expression: Expression, **pos):
+        super().__init__(**pos)
+        self.expression = expression
+
+    def children(self) -> List[AstNode]:
+        return [self.expression]
+
+
+class FlworExpression(Expression):
+    def __init__(self, clauses: List[Clause], **pos):
+        super().__init__(**pos)
+        self.clauses = clauses  # final clause is always a ReturnClause
+
+    def children(self) -> List[AstNode]:
+        return list(self.clauses)
+
+
+# -- Types -----------------------------------------------------------------------------
+
+class SequenceType:
+    """An item type plus an occurrence indicator."""
+
+    def __init__(self, item_type: str, occurrence: str = ""):
+        self.item_type = item_type  # item | atomic | object | array | string...
+        self.occurrence = occurrence  # "" | "?" | "*" | "+" | "()" for empty
+
+    def __str__(self) -> str:
+        if self.occurrence == "()":
+            return "empty-sequence()"
+        return self.item_type + self.occurrence
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SequenceType)
+            and other.item_type == self.item_type
+            and other.occurrence == self.occurrence
+        )
+
+
+# -- Prolog / module --------------------------------------------------------------------
+
+class FunctionDeclaration(AstNode):
+    def __init__(self, name: str, parameters: List[str], body: Expression, **pos):
+        super().__init__(**pos)
+        self.name = name
+        self.parameters = parameters
+        self.body = body
+
+    def children(self) -> List[AstNode]:
+        return [self.body]
+
+    def label(self) -> str:
+        return "FunctionDeclaration({}#{})".format(
+            self.name, len(self.parameters)
+        )
+
+
+class VariableDeclaration(AstNode):
+    """``declare variable $x := expr;`` or ``declare variable $x
+    external;`` (expression is None for external variables, which the
+    caller binds at run time)."""
+
+    def __init__(self, name: str, expression: Optional[Expression], **pos):
+        super().__init__(**pos)
+        self.name = name
+        self.expression = expression
+
+    @property
+    def external(self) -> bool:
+        return self.expression is None
+
+    def children(self) -> List[AstNode]:
+        return [self.expression] if self.expression is not None else []
+
+
+class MainModule(AstNode):
+    """A whole query: prolog declarations plus the main expression."""
+
+    def __init__(self, declarations: List[AstNode], expression: Expression, **pos):
+        super().__init__(**pos)
+        self.declarations = declarations
+        self.expression = expression
+
+    def children(self) -> List[AstNode]:
+        return list(self.declarations) + [self.expression]

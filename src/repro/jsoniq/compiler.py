@@ -1,0 +1,393 @@
+"""Code generation: the expression/clause tree becomes runtime iterators.
+
+This is the third compiler stage of the paper's Section 5.1.  The visitor
+walks the analysed AST and builds the matching iterator for each node.
+The FLWOR path also runs the *variable usage analysis* of Section 4.7:
+non-grouping variables that are only counted downstream are aggregated
+with COUNT() instead of being materialized, and unused ones are dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.jsoniq import ast
+from repro.jsoniq.errors import StaticException
+from repro.jsoniq.functions.registry import build_function_iterator, is_builtin
+from repro.jsoniq.functions.udf import UdfCallIterator, UserFunction
+from repro.jsoniq.runtime.arithmetic import (
+    BinaryArithmeticIterator,
+    UnarySignIterator,
+)
+from repro.jsoniq.runtime.base import RuntimeIterator
+from repro.jsoniq.runtime.comparison import (
+    AndIterator,
+    ComparisonIterator,
+    NotIterator,
+    OrIterator,
+)
+from repro.jsoniq.runtime.control import (
+    CastIterator,
+    IfIterator,
+    InstanceOfIterator,
+    QuantifiedIterator,
+    RangeIterator,
+    StringConcatIterator,
+    SwitchIterator,
+    TreatIterator,
+    TryCatchIterator,
+)
+from repro.jsoniq.runtime.flwor.clauses import (
+    ClauseIterator,
+    CountClauseIterator,
+    ForClauseIterator,
+    GroupByClauseIterator,
+    LetClauseIterator,
+    OrderByClauseIterator,
+    ReturnClauseIterator,
+    USAGE_COUNT_ONLY,
+    USAGE_MATERIALIZE,
+    USAGE_UNUSED,
+    WhereClauseIterator,
+    WindowClauseIterator,
+)
+from repro.jsoniq.runtime.navigation import (
+    ArrayLookupIterator,
+    ArrayUnboxingIterator,
+    ObjectLookupIterator,
+    PredicateIterator,
+    SimpleMapIterator,
+)
+from repro.jsoniq.runtime.primary import (
+    ArrayConstructorIterator,
+    CommaIterator,
+    ContextItemIterator,
+    EmptySequenceIterator,
+    LiteralIterator,
+    ObjectConstructorIterator,
+    VariableIterator,
+)
+
+
+class Compiler:
+    """Builds the runtime iterator tree for one main module."""
+
+    def __init__(self) -> None:
+        self._functions: Dict[Tuple[str, int], UserFunction] = {}
+
+    def compile_module(
+        self, module: ast.MainModule
+    ) -> Tuple[RuntimeIterator, List[Tuple[str, RuntimeIterator]]]:
+        """Compile a module, returning the main iterator and the global
+        variable initializers (name, iterator) in declaration order."""
+        # Register user functions first so recursion resolves.
+        for declaration in module.declarations:
+            if isinstance(declaration, ast.FunctionDeclaration):
+                key = (declaration.name, len(declaration.parameters))
+                self._functions[key] = UserFunction(
+                    declaration.name, declaration.parameters
+                )
+        for declaration in module.declarations:
+            if isinstance(declaration, ast.FunctionDeclaration):
+                key = (declaration.name, len(declaration.parameters))
+                self._functions[key].body = self.compile(declaration.body)
+        globals_: List[Tuple[str, RuntimeIterator]] = []
+        for declaration in module.declarations:
+            if (
+                isinstance(declaration, ast.VariableDeclaration)
+                and declaration.expression is not None
+            ):
+                globals_.append(
+                    (declaration.name, self.compile(declaration.expression))
+                )
+        return self.compile(module.expression), globals_
+
+    # -- Expression dispatch ---------------------------------------------------
+    def compile(self, node: ast.Expression) -> RuntimeIterator:
+        method = getattr(
+            self, "_compile_" + type(node).__name__, None
+        )
+        if method is None:
+            raise StaticException(
+                "no compilation rule for {}".format(type(node).__name__)
+            )
+        return method(node)
+
+    def _compile_Literal(self, node: ast.Literal) -> RuntimeIterator:
+        return LiteralIterator(node.kind, node.value)
+
+    def _compile_EmptySequence(self, node) -> RuntimeIterator:
+        return EmptySequenceIterator()
+
+    def _compile_VariableReference(self, node) -> RuntimeIterator:
+        return VariableIterator(node.name)
+
+    def _compile_ContextItem(self, node) -> RuntimeIterator:
+        return ContextItemIterator()
+
+    def _compile_CommaExpression(self, node) -> RuntimeIterator:
+        return CommaIterator([self.compile(e) for e in node.expressions])
+
+    def _compile_ObjectConstructor(self, node) -> RuntimeIterator:
+        return ObjectConstructorIterator(
+            [(self.compile(k), self.compile(v)) for k, v in node.pairs]
+        )
+
+    def _compile_ArrayConstructor(self, node) -> RuntimeIterator:
+        return ArrayConstructorIterator(
+            self.compile(node.content) if node.content else None
+        )
+
+    def _compile_BinaryExpression(self, node) -> RuntimeIterator:
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+        if node.op == "and":
+            return AndIterator(left, right)
+        if node.op == "or":
+            return OrIterator(left, right)
+        return BinaryArithmeticIterator(node.op, left, right)
+
+    def _compile_UnaryExpression(self, node) -> RuntimeIterator:
+        operand = self.compile(node.operand)
+        if node.op == "not":
+            return NotIterator(operand)
+        return UnarySignIterator(node.op, operand)
+
+    def _compile_ComparisonExpression(self, node) -> RuntimeIterator:
+        return ComparisonIterator(
+            node.op, self.compile(node.left), self.compile(node.right)
+        )
+
+    def _compile_RangeExpression(self, node) -> RuntimeIterator:
+        return RangeIterator(self.compile(node.start), self.compile(node.end))
+
+    def _compile_StringConcatExpression(self, node) -> RuntimeIterator:
+        iterator = StringConcatIterator()
+        iterator.children = [self.compile(part) for part in node.parts]
+        return iterator
+
+    def _compile_InstanceOfExpression(self, node) -> RuntimeIterator:
+        return InstanceOfIterator(self.compile(node.operand), node.sequence_type)
+
+    def _compile_TreatExpression(self, node) -> RuntimeIterator:
+        return TreatIterator(self.compile(node.operand), node.sequence_type)
+
+    def _compile_CastExpression(self, node) -> RuntimeIterator:
+        return CastIterator(
+            self.compile(node.operand),
+            node.type_name,
+            node.allows_empty,
+            node.castable,
+        )
+
+    def _compile_ObjectLookup(self, node) -> RuntimeIterator:
+        return ObjectLookupIterator(
+            self.compile(node.source), self.compile(node.key)
+        )
+
+    def _compile_ArrayLookup(self, node) -> RuntimeIterator:
+        return ArrayLookupIterator(
+            self.compile(node.source), self.compile(node.index)
+        )
+
+    def _compile_ArrayUnboxing(self, node) -> RuntimeIterator:
+        return ArrayUnboxingIterator(self.compile(node.source))
+
+    def _compile_Predicate(self, node) -> RuntimeIterator:
+        return PredicateIterator(
+            self.compile(node.source), self.compile(node.condition)
+        )
+
+    def _compile_SimpleMap(self, node) -> RuntimeIterator:
+        return SimpleMapIterator(
+            self.compile(node.source), self.compile(node.mapper)
+        )
+
+    def _compile_IfExpression(self, node) -> RuntimeIterator:
+        return IfIterator(
+            self.compile(node.condition),
+            self.compile(node.then_branch),
+            self.compile(node.else_branch),
+        )
+
+    def _compile_SwitchExpression(self, node) -> RuntimeIterator:
+        return SwitchIterator(
+            self.compile(node.subject),
+            [
+                ([self.compile(test) for test in tests], self.compile(result))
+                for tests, result in node.cases
+            ],
+            self.compile(node.default),
+        )
+
+    def _compile_TypeswitchExpression(self, node) -> RuntimeIterator:
+        from repro.jsoniq.runtime.control import TypeswitchIterator
+
+        return TypeswitchIterator(
+            self.compile(node.subject),
+            [
+                (variable, sequence_type, self.compile(result))
+                for variable, sequence_type, result in node.cases
+            ],
+            node.default_variable,
+            self.compile(node.default),
+        )
+
+    def _compile_TryCatchExpression(self, node) -> RuntimeIterator:
+        return TryCatchIterator(
+            self.compile(node.try_expr),
+            self.compile(node.catch_expr),
+            node.codes,
+        )
+
+    def _compile_QuantifiedExpression(self, node) -> RuntimeIterator:
+        return QuantifiedIterator(
+            node.quantifier,
+            [(name, self.compile(expr)) for name, expr in node.bindings],
+            self.compile(node.condition),
+        )
+
+    def _compile_FunctionCall(self, node) -> RuntimeIterator:
+        arguments = [self.compile(argument) for argument in node.arguments]
+        if is_builtin(node.name, len(arguments)):
+            return build_function_iterator(node.name, arguments)
+        key = (node.name, len(arguments))
+        function = self._functions.get(key)
+        if function is None:
+            raise StaticException(
+                "unknown function {}#{}".format(node.name, len(arguments)),
+                code="XPST0017",
+            )
+        return UdfCallIterator(function, arguments)
+
+    # -- FLWOR -------------------------------------------------------------------
+    def _compile_FlworExpression(self, node: ast.FlworExpression
+                                 ) -> RuntimeIterator:
+        chain: Optional[ClauseIterator] = None
+        bound_so_far: List[str] = []
+        for index, clause in enumerate(node.clauses):
+            if isinstance(clause, ast.ForClause):
+                chain = ForClauseIterator(
+                    chain,
+                    clause.variable,
+                    self.compile(clause.expression),
+                    allowing_empty=clause.allowing_empty,
+                    position_variable=clause.position_variable,
+                )
+                bound_so_far.append(clause.variable)
+                if clause.position_variable:
+                    bound_so_far.append(clause.position_variable)
+            elif isinstance(clause, ast.WindowClause):
+                chain = WindowClauseIterator(
+                    chain,
+                    clause.kind,
+                    clause.variable,
+                    self.compile(clause.expression),
+                    clause.start.variables,
+                    self.compile(clause.start.when),
+                    end_vars=(
+                        clause.end.variables if clause.end else None
+                    ),
+                    end_when=(
+                        self.compile(clause.end.when) if clause.end else None
+                    ),
+                    end_only=(clause.end.only if clause.end else False),
+                )
+                bound_so_far.append(clause.variable)
+                bound_so_far.extend(clause.start.variables.names())
+                if clause.end is not None:
+                    bound_so_far.extend(clause.end.variables.names())
+            elif isinstance(clause, ast.LetClause):
+                chain = LetClauseIterator(
+                    chain, clause.variable, self.compile(clause.expression)
+                )
+                bound_so_far.append(clause.variable)
+            elif isinstance(clause, ast.WhereClause):
+                chain = WhereClauseIterator(
+                    chain, self.compile(clause.condition)
+                )
+            elif isinstance(clause, ast.GroupByClause):
+                keys = [
+                    (
+                        key.variable,
+                        self.compile(key.expression)
+                        if key.expression else None,
+                    )
+                    for key in clause.keys
+                ]
+                key_names = {key.variable for key in clause.keys}
+                usage = _analyse_group_usage(
+                    node.clauses[index + 1:],
+                    [name for name in bound_so_far if name not in key_names],
+                )
+                chain = GroupByClauseIterator(chain, keys, usage)
+                bound_so_far = [
+                    name for name in bound_so_far if name not in key_names
+                ] + list(key_names)
+            elif isinstance(clause, ast.OrderByClause):
+                chain = OrderByClauseIterator(
+                    chain,
+                    [
+                        (
+                            self.compile(spec.expression),
+                            spec.ascending,
+                            spec.empty_greatest,
+                        )
+                        for spec in clause.specs
+                    ],
+                    stable=clause.stable,
+                )
+            elif isinstance(clause, ast.CountClause):
+                chain = CountClauseIterator(chain, clause.variable)
+                bound_so_far.append(clause.variable)
+            elif isinstance(clause, ast.ReturnClause):
+                return ReturnClauseIterator(
+                    chain, self.compile(clause.expression)
+                )
+        raise StaticException("FLWOR without return clause")
+
+
+def _analyse_group_usage(
+    downstream: List[ast.Clause], non_grouping: List[str]
+) -> Dict[str, str]:
+    """Classify each non-grouping variable's use after the group-by.
+
+    ``count`` — every reference is the sole argument of ``count()``;
+    ``unused`` — no reference at all; ``materialize`` — anything else.
+    A later clause re-binding the variable ends its old life.
+    """
+    usage: Dict[str, str] = {name: USAGE_UNUSED for name in non_grouping}
+    alive = set(non_grouping)
+
+    def scan(node: ast.AstNode) -> None:
+        if isinstance(node, ast.FunctionCall) and node.name == "count" and \
+                len(node.arguments) == 1 and isinstance(
+                    node.arguments[0], ast.VariableReference):
+            name = node.arguments[0].name
+            if name in alive:
+                if usage[name] == USAGE_UNUSED:
+                    usage[name] = USAGE_COUNT_ONLY
+                return
+        if isinstance(node, ast.VariableReference) and node.name in alive:
+            usage[node.name] = USAGE_MATERIALIZE
+            return
+        for child in node.children():
+            scan(child)
+
+    for clause in downstream:
+        for child in clause.children():
+            scan(child)
+        # Re-declarations shadow the grouped variable from here on.
+        if isinstance(clause, (ast.ForClause, ast.LetClause)):
+            alive.discard(clause.variable)
+        elif isinstance(clause, ast.GroupByClause):
+            for key in clause.keys:
+                alive.discard(key.variable)
+        elif isinstance(clause, ast.CountClause):
+            alive.discard(clause.variable)
+    return usage
+
+
+def compile_main_module(module: ast.MainModule):
+    """Convenience wrapper used by the engine."""
+    return Compiler().compile_module(module)

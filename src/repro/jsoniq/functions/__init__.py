@@ -1,0 +1,26 @@
+"""Builtin function library.
+
+Importing this package registers every builtin into the registry; the
+compiler resolves calls through :func:`repro.jsoniq.functions.registry.
+build_function_iterator`.
+"""
+
+from repro.jsoniq.functions import (  # noqa: F401 - imported for registration
+    aggregates,
+    io,
+    numerics,
+    objects,
+    positional,
+    sequences,
+    strings,
+    temporal,
+    windows,
+)
+from repro.jsoniq import validation  # noqa: F401 - registers validate/annotate
+from repro.jsoniq.functions.registry import (
+    build_function_iterator,
+    builtin_names,
+    is_builtin,
+)
+
+__all__ = ["build_function_iterator", "builtin_names", "is_builtin"]

@@ -1,0 +1,143 @@
+"""Aggregate functions: sum, avg, min, max.
+
+All four are RDD-aware: when the argument is physically an RDD, the
+aggregation runs as a Spark reduce action and only the scalar result
+travels to the driver (paper, Section 5.5: "aggregating iterators invoke
+a Spark action on the child RDD").
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal
+from typing import Iterator, List, Optional
+
+from repro.items import (
+    DecimalItem,
+    IntegerItem,
+    Item,
+    make_numeric,
+    value_compare,
+)
+from repro.jsoniq.errors import TypeException
+from repro.jsoniq.functions.registry import iterator_function
+from repro.jsoniq.runtime.arithmetic import compute_arithmetic
+from repro.jsoniq.runtime.base import RuntimeIterator
+from repro.jsoniq.runtime.dynamic_context import DynamicContext
+
+
+class _AggregateIterator(RuntimeIterator):
+    """Shared plumbing: local fold or distributed reduce."""
+
+    name = "aggregate"
+
+    def __init__(self, arguments: List[RuntimeIterator]):
+        super().__init__(arguments)
+        self.source = arguments[0]
+
+    def _combine(self, left: Item, right: Item) -> Item:
+        raise NotImplementedError
+
+    def _check(self, item: Item) -> Item:
+        return item
+
+    def _finish(self, accumulated: Optional[Item], count: int
+                ) -> Iterator[Item]:
+        if accumulated is not None:
+            yield accumulated
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        if self.source.is_rdd(context):
+            rdd = self.source.get_rdd(context).map(self._check)
+            if rdd.is_empty():
+                yield from self._finish(None, 0)
+                return
+            count = rdd.count()
+            yield from self._finish(rdd.reduce(self._combine), count)
+            return
+        accumulated: Optional[Item] = None
+        count = 0
+        for item in self.source.iterate(context):
+            item = self._check(item)
+            count += 1
+            accumulated = (
+                item if accumulated is None
+                else self._combine(accumulated, item)
+            )
+        yield from self._finish(accumulated, count)
+
+
+def _require_numeric(item: Item, name: str) -> Item:
+    if not item.is_numeric:
+        raise TypeException(
+            "{}() requires numeric items, got {}".format(name, item.type_name)
+        )
+    return item
+
+
+@iterator_function("sum", [1, 2])
+class SumIterator(_AggregateIterator):
+    """``sum($seq[, $zero])`` — 0 (or the given zero) on empty input."""
+
+    name = "sum"
+
+    def __init__(self, arguments: List[RuntimeIterator]):
+        super().__init__(arguments[:1])
+        self.zero = arguments[1] if len(arguments) > 1 else None
+
+    def _check(self, item: Item) -> Item:
+        return _require_numeric(item, "sum")
+
+    def _combine(self, left: Item, right: Item) -> Item:
+        return compute_arithmetic("+", left, right)
+
+    def _finish(self, accumulated, count) -> Iterator[Item]:
+        if accumulated is not None:
+            yield accumulated
+        elif self.zero is None:
+            yield IntegerItem(0)
+        # A provided zero needs the dynamic context, handled in _generate.
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        produced = False
+        for item in super()._generate(context):
+            produced = True
+            yield item
+        if not produced and self.zero is not None:
+            yield from self.zero.iterate(context)
+
+
+@iterator_function("max", [1])
+class MaxIterator(_AggregateIterator):
+    name = "max"
+
+    def _combine(self, left: Item, right: Item) -> Item:
+        return right if value_compare(right, left) > 0 else left
+
+
+@iterator_function("min", [1])
+class MinIterator(_AggregateIterator):
+    name = "min"
+
+    def _combine(self, left: Item, right: Item) -> Item:
+        return right if value_compare(right, left) < 0 else left
+
+
+@iterator_function("avg", [1])
+class AvgIterator(_AggregateIterator):
+    """``avg($seq)`` — empty on empty input, exact decimal otherwise."""
+
+    name = "avg"
+
+    def _check(self, item: Item) -> Item:
+        return _require_numeric(item, "avg")
+
+    def _combine(self, left: Item, right: Item) -> Item:
+        return compute_arithmetic("+", left, right)
+
+    def _finish(self, accumulated, count) -> Iterator[Item]:
+        if accumulated is None:
+            return
+        if accumulated.is_double:
+            yield make_numeric(accumulated.value / count)
+        else:
+            yield DecimalItem(Decimal(str(accumulated.value)) / count)

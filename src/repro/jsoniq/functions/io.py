@@ -1,0 +1,281 @@
+"""Input functions: json-file, parallelize, collection, json-doc.
+
+These are the two RDD-producing function iterators of the paper's Section
+5.7 (plus convenience aliases).  They reach the Spark substrate through
+``context.runtime`` — the engine configuration installed by
+:class:`repro.core.engine.Rumble`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.items import Item, item_from_python
+from repro.jsoniq.errors import DynamicException, TypeException
+from repro.jsoniq.functions.registry import iterator_function, simple_function
+from repro.jsoniq.jsonlines import iter_json_lines, parse_json_line
+from repro.jsoniq.runtime.base import RuntimeIterator
+from repro.jsoniq.runtime.dynamic_context import DynamicContext
+
+
+def _runtime(context: DynamicContext):
+    runtime = context.runtime
+    if runtime is None:
+        raise DynamicException(
+            "no engine runtime is attached to this dynamic context"
+        )
+    return runtime
+
+
+def _one_string_argument(
+    iterator: RuntimeIterator, context: DynamicContext, name: str
+) -> str:
+    item = iterator.evaluate_atomic(context, name + " argument")
+    if item is None or not item.is_string:
+        raise TypeException(name + "() requires one string argument")
+    return item.value
+
+
+@iterator_function("json-file", [1, 2])
+class JsonFileIterator(RuntimeIterator):
+    """``json-file($path[, $partitions])`` — a partitioned read of a
+    JSON-Lines file, mapping text lines straight to items."""
+
+    def __init__(self, arguments: List[RuntimeIterator]):
+        super().__init__(arguments)
+        self.path = arguments[0]
+        self.partitions = arguments[1] if len(arguments) > 1 else None
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        return self.get_rdd(context).to_local_iterator()
+
+    def is_rdd(self, context: DynamicContext) -> bool:
+        return True
+
+    def get_rdd(self, context: DynamicContext):
+        runtime = _runtime(context)
+        path = _one_string_argument(self.path, context, "json-file")
+        min_partitions = None
+        if self.partitions is not None:
+            partitions_item = self.partitions.evaluate_atomic(
+                context, "json-file partitions"
+            )
+            if partitions_item is None or not partitions_item.is_numeric:
+                raise TypeException(
+                    "json-file() partition count must be a number"
+                )
+            min_partitions = int(partitions_item.value)
+        lines = runtime.spark.spark_context.text_file(path, min_partitions)
+        return lines.map_partitions(iter_json_lines)
+
+
+@iterator_function("json-lines", [1, 2])
+class JsonLinesIterator(JsonFileIterator):
+    """Rumble's newer alias for ``json-file``."""
+
+
+@iterator_function("parallelize", [1, 2])
+class ParallelizeIterator(RuntimeIterator):
+    """``parallelize($seq[, $partitions])`` — force a local sequence onto
+    the cluster, triggering Spark-enabled behaviour downstream."""
+
+    def __init__(self, arguments: List[RuntimeIterator]):
+        super().__init__(arguments)
+        self.source = arguments[0]
+        self.partitions = arguments[1] if len(arguments) > 1 else None
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        return self.get_rdd(context).to_local_iterator()
+
+    def is_rdd(self, context: DynamicContext) -> bool:
+        return True
+
+    def get_rdd(self, context: DynamicContext):
+        runtime = _runtime(context)
+        slices = None
+        if self.partitions is not None:
+            slices_item = self.partitions.evaluate_atomic(
+                context, "parallelize partitions"
+            )
+            if slices_item is None or not slices_item.is_numeric:
+                raise TypeException(
+                    "parallelize() partition count must be a number"
+                )
+            slices = int(slices_item.value)
+        items = self.source.materialize(context)
+        return runtime.spark.spark_context.parallelize(items, slices)
+
+
+@iterator_function("collection", [1])
+class CollectionIterator(RuntimeIterator):
+    """``collection($name)`` — a named collection registered with the
+    engine, resolving either to a storage URI or to in-memory items."""
+
+    def __init__(self, arguments: List[RuntimeIterator]):
+        super().__init__(arguments)
+        self.name = arguments[0]
+
+    def _resolve(self, context: DynamicContext):
+        runtime = _runtime(context)
+        name = _one_string_argument(self.name, context, "collection")
+        try:
+            return runtime.collections[name]
+        except KeyError:
+            raise DynamicException(
+                "unknown collection {!r}".format(name), code="FODC0002"
+            ) from None
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        return self.get_rdd(context).to_local_iterator()
+
+    def is_rdd(self, context: DynamicContext) -> bool:
+        return True
+
+    def get_rdd(self, context: DynamicContext):
+        runtime = _runtime(context)
+        name = _one_string_argument(self.name, context, "collection")
+        cached = runtime.collection_rdds.get(name)
+        if cached is not None:
+            return cached
+        binding = self._resolve(context)
+        if isinstance(binding, str):
+            lines = runtime.spark.spark_context.text_file(binding)
+            rdd = lines.map_partitions(iter_json_lines)
+        else:
+            items = [
+                item if isinstance(item, Item) else item_from_python(item)
+                for item in binding
+            ]
+            rdd = runtime.spark.spark_context.parallelize(items)
+        # Cache the materialized partitions: collections are typically the
+        # small, repeatedly-joined side (the broadcast pattern).
+        rdd.cache()
+        runtime.collection_rdds[name] = rdd
+        return rdd
+
+
+@iterator_function("text-file", [1, 2])
+class TextFileIterator(RuntimeIterator):
+    """``text-file($path[, $partitions])`` — each line as a string item,
+    read through the same partitioned storage layer as json-file."""
+
+    def __init__(self, arguments: List[RuntimeIterator]):
+        super().__init__(arguments)
+        self.path = arguments[0]
+        self.partitions = arguments[1] if len(arguments) > 1 else None
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        return self.get_rdd(context).to_local_iterator()
+
+    def is_rdd(self, context: DynamicContext) -> bool:
+        return True
+
+    def get_rdd(self, context: DynamicContext):
+        from repro.items import StringItem
+
+        runtime = _runtime(context)
+        path = _one_string_argument(self.path, context, "text-file")
+        min_partitions = None
+        if self.partitions is not None:
+            partitions_item = self.partitions.evaluate_atomic(
+                context, "text-file partitions"
+            )
+            if partitions_item is None or not partitions_item.is_numeric:
+                raise TypeException(
+                    "text-file() partition count must be a number"
+                )
+            min_partitions = int(partitions_item.value)
+        lines = runtime.spark.spark_context.text_file(path, min_partitions)
+        return lines.map(StringItem)
+
+
+@iterator_function("csv-file", [1, 2])
+class CsvFileIterator(RuntimeIterator):
+    """``csv-file($path[, $partitions])`` — CSV with a header row, each
+    record becoming an object; numeric-looking fields become numbers.
+
+    The header is read once on the driver; partitions then parse their
+    own lines, skipping the header line in the first block.
+    """
+
+    def __init__(self, arguments: List[RuntimeIterator]):
+        super().__init__(arguments)
+        self.path = arguments[0]
+        self.partitions = arguments[1] if len(arguments) > 1 else None
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        return self.get_rdd(context).to_local_iterator()
+
+    def is_rdd(self, context: DynamicContext) -> bool:
+        return True
+
+    def get_rdd(self, context: DynamicContext):
+        import csv as csv_module
+
+        from repro.spark import storage
+        from repro.jsoniq.jsonlines import _wrap_fast
+
+        runtime = _runtime(context)
+        path = _one_string_argument(self.path, context, "csv-file")
+        min_partitions = None
+        if self.partitions is not None:
+            partitions_item = self.partitions.evaluate_atomic(
+                context, "csv-file partitions"
+            )
+            if partitions_item is None or not partitions_item.is_numeric:
+                raise TypeException(
+                    "csv-file() partition count must be a number"
+                )
+            min_partitions = int(partitions_item.value)
+        local = storage.REGISTRY.resolve(path)
+        with open(local, "r", encoding="utf-8", newline="") as handle:
+            header_line = handle.readline()
+        header = next(csv_module.reader([header_line]))
+
+        def parse_lines(lines) -> Iterator[Item]:
+            for row in csv_module.reader(lines):
+                if row == header:
+                    continue  # the header line itself
+                record = {}
+                for name, raw in zip(header, row):
+                    record[name] = _coerce_csv_value(raw)
+                yield _wrap_fast(record)
+
+        lines = runtime.spark.spark_context.text_file(path, min_partitions)
+        return lines.map_partitions(parse_lines)
+
+
+def _coerce_csv_value(raw: str):
+    """CSV cells are text; recognize integers, floats and booleans."""
+    if raw == "":
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    if raw in ("true", "false"):
+        return raw == "true"
+    return raw
+
+
+@simple_function("json-doc", [1])
+def _json_doc(context, path_argument):
+    """Read one whole JSON document (not JSON-Lines) as a single item."""
+    if len(path_argument) != 1 or not path_argument[0].is_string:
+        raise TypeException("json-doc() requires one string argument")
+    from repro.spark import storage
+
+    local = storage.REGISTRY.resolve(path_argument[0].value)
+    with open(local, "r", encoding="utf-8") as handle:
+        return [parse_json_line(handle.read().strip())]
+
+
+@simple_function("parse-json", [1])
+def _parse_json(context, text_argument):
+    if len(text_argument) != 1 or not text_argument[0].is_string:
+        raise TypeException("parse-json() requires one string argument")
+    return [parse_json_line(text_argument[0].value)]

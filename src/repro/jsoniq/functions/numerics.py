@@ -1,0 +1,140 @@
+"""Numeric functions and atomic constructor functions."""
+
+from __future__ import annotations
+
+import math
+from decimal import Decimal, ROUND_HALF_UP
+
+from repro.items import (
+    FALSE,
+    TRUE,
+    DecimalItem,
+    DoubleItem,
+    make_numeric,
+)
+from repro.jsoniq.errors import JsoniqException, TypeException
+from repro.jsoniq.functions.registry import simple_function
+from repro.jsoniq.runtime.control import cast_item
+
+
+def _one_numeric(sequence, name: str):
+    if not sequence:
+        return None
+    if len(sequence) > 1 or not sequence[0].is_numeric:
+        raise TypeException("{}() requires one numeric item".format(name))
+    return sequence[0]
+
+
+@simple_function("abs", [1])
+def _abs(context, sequence):
+    item = _one_numeric(sequence, "abs")
+    return [] if item is None else [make_numeric(abs(item.value))]
+
+
+@simple_function("ceiling", [1])
+def _ceiling(context, sequence):
+    item = _one_numeric(sequence, "ceiling")
+    if item is None:
+        return []
+    if item.is_integer:
+        return [item]
+    if item.is_double:
+        return [DoubleItem(math.ceil(item.value))]
+    return [DecimalItem(item.value.to_integral_value(rounding="ROUND_CEILING"))]
+
+
+@simple_function("floor", [1])
+def _floor(context, sequence):
+    item = _one_numeric(sequence, "floor")
+    if item is None:
+        return []
+    if item.is_integer:
+        return [item]
+    if item.is_double:
+        return [DoubleItem(math.floor(item.value))]
+    return [DecimalItem(item.value.to_integral_value(rounding="ROUND_FLOOR"))]
+
+
+@simple_function("round", [1, 2])
+def _round(context, sequence, *precision):
+    item = _one_numeric(sequence, "round")
+    if item is None:
+        return []
+    digits = 0
+    if precision:
+        digit_item = _one_numeric(precision[0], "round")
+        digits = int(digit_item.value) if digit_item else 0
+    if item.is_integer:
+        return [item]
+    if item.is_double:
+        scale = 10 ** digits
+        return [DoubleItem(math.floor(item.value * scale + 0.5) / scale)]
+    quantum = Decimal(1).scaleb(-digits)
+    return [DecimalItem(item.value.quantize(quantum, rounding=ROUND_HALF_UP))]
+
+
+@simple_function("sqrt", [1])
+def _sqrt(context, sequence):
+    item = _one_numeric(sequence, "sqrt")
+    return [] if item is None else [DoubleItem(math.sqrt(float(item.value)))]
+
+
+@simple_function("exp", [1])
+def _exp(context, sequence):
+    item = _one_numeric(sequence, "exp")
+    return [] if item is None else [DoubleItem(math.exp(float(item.value)))]
+
+
+@simple_function("log", [1])
+def _log(context, sequence):
+    item = _one_numeric(sequence, "log")
+    return [] if item is None else [DoubleItem(math.log(float(item.value)))]
+
+
+@simple_function("pow", [2])
+def _pow(context, base, exponent):
+    base_item = _one_numeric(base, "pow")
+    exponent_item = _one_numeric(exponent, "pow")
+    if base_item is None or exponent_item is None:
+        return []
+    return [DoubleItem(float(base_item.value) ** float(exponent_item.value))]
+
+
+@simple_function("number", [1])
+def _number(context, sequence):
+    """Cast to double; NaN when the cast fails (XPath semantics)."""
+    if not sequence or len(sequence) > 1:
+        return [DoubleItem(float("nan"))]
+    try:
+        return [cast_item(sequence[0], "double")]
+    except JsoniqException:
+        return [DoubleItem(float("nan"))]
+
+
+def _constructor(type_name: str):
+    def construct(context, sequence):
+        if not sequence:
+            return []
+        if len(sequence) > 1:
+            raise TypeException(
+                "{}() requires at most one item".format(type_name)
+            )
+        return [cast_item(sequence[0], type_name)]
+
+    return construct
+
+
+simple_function("integer", [1])(_constructor("integer"))
+simple_function("decimal", [1])(_constructor("decimal"))
+simple_function("double", [1])(_constructor("double"))
+simple_function("date", [1])(_constructor("date"))
+
+
+@simple_function("boolean", [1])
+def _boolean(context, sequence):
+    """The effective boolean value as a function."""
+    if not sequence:
+        return [FALSE]
+    if len(sequence) > 1:
+        raise TypeException("boolean() of a sequence longer than one")
+    return [TRUE if sequence[0].effective_boolean_value() else FALSE]

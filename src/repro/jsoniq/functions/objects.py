@@ -1,0 +1,158 @@
+"""Object and array functions (the JSONiq-specific library)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.items import (
+    IntegerItem,
+    Item,
+    ObjectItem,
+    StringItem,
+)
+from repro.jsoniq.errors import TypeException
+from repro.jsoniq.functions.registry import simple_function
+
+
+@simple_function("keys", [1])
+def _keys(context, sequence):
+    """Distinct keys of all object items in the sequence, in order."""
+    seen = []
+    emitted = set()
+    for item in sequence:
+        if item.is_object:
+            for key in item.keys():
+                if key not in emitted:
+                    emitted.add(key)
+                    seen.append(StringItem(key))
+    return seen
+
+
+@simple_function("values", [1])
+def _values(context, sequence):
+    out: List[Item] = []
+    for item in sequence:
+        if item.is_object:
+            out.extend(item.pairs.values())
+    return out
+
+
+@simple_function("members", [1])
+def _members(context, sequence):
+    out: List[Item] = []
+    for item in sequence:
+        out.extend(item.unbox())
+    return out
+
+
+@simple_function("size", [1])
+def _size(context, sequence):
+    """Size of a single array (empty sequence -> empty)."""
+    if not sequence:
+        return []
+    if len(sequence) > 1 or not sequence[0].is_array:
+        raise TypeException("size() requires a single array")
+    return [IntegerItem(len(sequence[0].members))]
+
+
+@simple_function("flatten", [1])
+def _flatten(context, sequence):
+    """Recursively unbox arrays; non-arrays pass through."""
+    out: List[Item] = []
+
+    def walk(item: Item) -> None:
+        if item.is_array:
+            for member in item.members:
+                walk(member)
+        else:
+            out.append(item)
+
+    for item in sequence:
+        walk(item)
+    return out
+
+
+@simple_function("project", [2])
+def _project(context, sequence, keys):
+    """Keep only the given keys of each object."""
+    wanted = [key.value for key in keys if key.is_string]
+    out: List[Item] = []
+    for item in sequence:
+        if item.is_object:
+            out.append(ObjectItem({
+                key: value
+                for key, value in item.pairs.items()
+                if key in wanted
+            }))
+        else:
+            out.append(item)
+    return out
+
+
+@simple_function("remove-keys", [2])
+def _remove_keys(context, sequence, keys):
+    doomed = {key.value for key in keys if key.is_string}
+    out: List[Item] = []
+    for item in sequence:
+        if item.is_object:
+            out.append(ObjectItem({
+                key: value
+                for key, value in item.pairs.items()
+                if key not in doomed
+            }))
+        else:
+            out.append(item)
+    return out
+
+
+@simple_function("accumulate", [1])
+def _accumulate(context, sequence):
+    """Merge objects left to right; later values win on key clashes."""
+    merged = {}
+    for item in sequence:
+        if item.is_object:
+            merged.update(item.pairs)
+    return [ObjectItem(merged)]
+
+
+@simple_function("descendant-objects", [1])
+def _descendant_objects(context, sequence):
+    out: List[Item] = []
+
+    def walk(item: Item) -> None:
+        if item.is_object:
+            out.append(item)
+            for value in item.pairs.values():
+                walk(value)
+        elif item.is_array:
+            for member in item.members:
+                walk(member)
+
+    for item in sequence:
+        walk(item)
+    return out
+
+
+@simple_function("descendant-arrays", [1])
+def _descendant_arrays(context, sequence):
+    out: List[Item] = []
+
+    def walk(item: Item) -> None:
+        if item.is_array:
+            out.append(item)
+            for member in item.members:
+                walk(member)
+        elif item.is_object:
+            for value in item.pairs.values():
+                walk(value)
+
+    for item in sequence:
+        walk(item)
+    return out
+
+
+@simple_function("null", [0])
+def _null(context):
+    from repro.items import NULL
+
+    return [NULL]

@@ -1,0 +1,52 @@
+"""Positional context functions: ``position()`` and ``last()``.
+
+Usable inside predicates, XQuery-style: ``$seq[position() gt 2]``,
+``$seq[last()]``.  ``last()`` requires the predicate to know the filtered
+sequence's length, so predicates whose condition mentions ``last()``
+materialize their input first (detected at compile time by
+:class:`~repro.jsoniq.runtime.navigation.PredicateIterator`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.items import IntegerItem, Item
+from repro.jsoniq.errors import DynamicException
+from repro.jsoniq.functions.registry import iterator_function
+from repro.jsoniq.runtime.base import RuntimeIterator
+from repro.jsoniq.runtime.dynamic_context import DynamicContext
+
+
+@iterator_function("position", [0])
+class PositionIterator(RuntimeIterator):
+    """The 1-based position of the context item in the filtered sequence."""
+
+    def __init__(self, arguments: List[RuntimeIterator]):
+        super().__init__(arguments)
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        position = context.position
+        if position is None:
+            raise DynamicException(
+                "position() is only defined inside a predicate",
+                code="XPDY0002",
+            )
+        yield IntegerItem(position)
+
+
+@iterator_function("last", [0])
+class LastIterator(RuntimeIterator):
+    """The size of the sequence being filtered."""
+
+    def __init__(self, arguments: List[RuntimeIterator]):
+        super().__init__(arguments)
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        last = context.last
+        if last is None:
+            raise DynamicException(
+                "last() is only defined inside a materializing predicate",
+                code="XPDY0002",
+            )
+        yield IntegerItem(last)

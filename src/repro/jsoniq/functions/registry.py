@@ -1,0 +1,96 @@
+"""Builtin function registry.
+
+Two registration styles exist:
+
+* :func:`simple_function` — for functions whose semantics is a plain
+  Python computation over *materialized* argument sequences.  They are
+  wrapped in :class:`SimpleFunctionIterator`.
+
+* :func:`iterator_function` — for functions that need their own runtime
+  iterator, because they are streaming, RDD-aware (``count`` maps to a
+  Spark count action, paper Section 4.1.2) or provide input data
+  (``json-file``, ``parallelize``, Section 5.7).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from repro.items import Item
+from repro.jsoniq.errors import StaticException
+from repro.jsoniq.runtime.base import RuntimeIterator
+from repro.jsoniq.runtime.dynamic_context import DynamicContext
+
+#: name -> arity -> python callable (context, *arg_lists) -> iterable[Item]
+_SIMPLE: Dict[str, Dict[int, Callable]] = {}
+
+#: name -> (allowed_arities, factory(arg_iterators) -> RuntimeIterator)
+_FACTORIES: Dict[str, Tuple[Tuple[int, ...], Callable]] = {}
+
+
+def simple_function(name: str, arities: Iterable[int]):
+    """Register a materializing builtin under one or more arities."""
+
+    def register(func: Callable) -> Callable:
+        table = _SIMPLE.setdefault(name, {})
+        for arity in arities:
+            if arity in table:
+                raise ValueError(
+                    "duplicate builtin {}#{}".format(name, arity)
+                )
+            table[arity] = func
+        return func
+
+    return register
+
+
+def iterator_function(name: str, arities: Iterable[int]):
+    """Register a factory producing a dedicated runtime iterator."""
+
+    def register(factory: Callable) -> Callable:
+        if name in _FACTORIES:
+            raise ValueError("duplicate builtin " + name)
+        _FACTORIES[name] = (tuple(arities), factory)
+        return factory
+
+    return register
+
+
+def is_builtin(name: str, arity: int) -> bool:
+    if name in _SIMPLE and arity in _SIMPLE[name]:
+        return True
+    if name in _FACTORIES and arity in _FACTORIES[name][0]:
+        return True
+    return False
+
+
+def builtin_names() -> List[str]:
+    return sorted(set(_SIMPLE) | set(_FACTORIES))
+
+
+def build_function_iterator(
+    name: str, arguments: List[RuntimeIterator]
+) -> RuntimeIterator:
+    """Instantiate the runtime iterator for one builtin call."""
+    arity = len(arguments)
+    if name in _FACTORIES and arity in _FACTORIES[name][0]:
+        return _FACTORIES[name][1](arguments)
+    if name in _SIMPLE and arity in _SIMPLE[name]:
+        return SimpleFunctionIterator(name, _SIMPLE[name][arity], arguments)
+    raise StaticException(
+        "unknown function {}#{}".format(name, arity), code="XPST0017"
+    )
+
+
+class SimpleFunctionIterator(RuntimeIterator):
+    """Materializes every argument, then delegates to a Python callable."""
+
+    def __init__(self, name: str, func: Callable,
+                 arguments: List[RuntimeIterator]):
+        super().__init__(list(arguments))
+        self.name = name
+        self.func = func
+
+    def _generate(self, context: DynamicContext):
+        arguments = [child.materialize(context) for child in self.children]
+        yield from self.func(context, *arguments)

@@ -1,0 +1,271 @@
+"""Sequence functions: count, exists, head/tail, subsequence, distinct-values…
+
+The cardinality and slicing functions are RDD-aware: ``count`` becomes a
+Spark count action (paper, Section 4.1.2), ``exists``/``empty`` only pull
+one record, ``tail``/``subsequence`` translate to indexed filters.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List
+
+from repro.items import (
+    FALSE,
+    TRUE,
+    IntegerItem,
+    Item,
+    grouping_key,
+    values_equal,
+)
+from repro.jsoniq.errors import DynamicException, TypeException
+from repro.jsoniq.functions.registry import (
+    iterator_function,
+    simple_function,
+)
+from repro.jsoniq.runtime.base import RuntimeIterator
+from repro.jsoniq.runtime.dynamic_context import DynamicContext
+
+
+@iterator_function("count", [1])
+class CountIterator(RuntimeIterator):
+    """``count($seq)`` — a Spark count action when the child is an RDD."""
+
+    def __init__(self, arguments: List[RuntimeIterator]):
+        super().__init__(arguments)
+        self.source = arguments[0]
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        if self.source.is_rdd(context):
+            yield IntegerItem(self.source.get_rdd(context).count())
+            return
+        total = sum(1 for _ in self.source.iterate(context))
+        yield IntegerItem(total)
+
+
+@iterator_function("empty", [1])
+class EmptyIterator(RuntimeIterator):
+    def __init__(self, arguments: List[RuntimeIterator]):
+        super().__init__(arguments)
+        self.source = arguments[0]
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        if self.source.is_rdd(context):
+            yield TRUE if self.source.get_rdd(context).is_empty() else FALSE
+            return
+        first = self.source.materialize_local(context, limit=1)
+        yield FALSE if first else TRUE
+
+
+@iterator_function("exists", [1])
+class ExistsIterator(RuntimeIterator):
+    def __init__(self, arguments: List[RuntimeIterator]):
+        super().__init__(arguments)
+        self.source = arguments[0]
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        if self.source.is_rdd(context):
+            yield FALSE if self.source.get_rdd(context).is_empty() else TRUE
+            return
+        first = self.source.materialize_local(context, limit=1)
+        yield TRUE if first else FALSE
+
+
+@iterator_function("head", [1])
+class HeadIterator(RuntimeIterator):
+    def __init__(self, arguments: List[RuntimeIterator]):
+        super().__init__(arguments)
+        self.source = arguments[0]
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        if self.source.is_rdd(context):
+            yield from self.source.get_rdd(context).take(1)
+            return
+        yield from self.source.materialize_local(context, limit=1)
+
+
+@iterator_function("tail", [1])
+class TailIterator(RuntimeIterator):
+    def __init__(self, arguments: List[RuntimeIterator]):
+        super().__init__(arguments)
+        self.source = arguments[0]
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        yield from itertools.islice(self.source.iterate(context), 1, None)
+
+    def is_rdd(self, context: DynamicContext) -> bool:
+        return self.source.is_rdd(context)
+
+    def get_rdd(self, context: DynamicContext):
+        rdd = self.source.get_rdd(context)
+        return (
+            rdd.zip_with_index()
+            .filter(lambda pair: pair[1] >= 1)
+            .map(lambda pair: pair[0])
+        )
+
+
+@iterator_function("subsequence", [2, 3])
+class SubsequenceIterator(RuntimeIterator):
+    """``subsequence($seq, $start[, $length])`` with 1-based positions."""
+
+    def __init__(self, arguments: List[RuntimeIterator]):
+        super().__init__(arguments)
+        self.source = arguments[0]
+        self.start = arguments[1]
+        self.length = arguments[2] if len(arguments) > 2 else None
+
+    def _bounds(self, context: DynamicContext):
+        start_item = self.start.evaluate_atomic(context, "subsequence start")
+        if start_item is None or not start_item.is_numeric:
+            raise TypeException("subsequence start must be a number")
+        start = max(1, int(round(float(start_item.value))))
+        end = None
+        if self.length is not None:
+            length_item = self.length.evaluate_atomic(
+                context, "subsequence length"
+            )
+            if length_item is None or not length_item.is_numeric:
+                raise TypeException("subsequence length must be a number")
+            end = (
+                int(round(float(start_item.value)))
+                + int(round(float(length_item.value)))
+            )
+        return start, end
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        start, end = self._bounds(context)
+        stop = None if end is None else max(0, end - 1)
+        yield from itertools.islice(
+            self.source.iterate(context), start - 1, stop
+        )
+
+    def is_rdd(self, context: DynamicContext) -> bool:
+        return self.source.is_rdd(context)
+
+    def get_rdd(self, context: DynamicContext):
+        start, end = self._bounds(context)
+        rdd = self.source.get_rdd(context).zip_with_index()
+
+        def keep(pair) -> bool:
+            position = pair[1] + 1
+            return position >= start and (end is None or position < end)
+
+        return rdd.filter(keep).map(lambda pair: pair[0])
+
+
+@iterator_function("distinct-values", [1])
+class DistinctValuesIterator(RuntimeIterator):
+    """Distinct atomic values, JSONiq equality (cross-numeric-type)."""
+
+    def __init__(self, arguments: List[RuntimeIterator]):
+        super().__init__(arguments)
+        self.source = arguments[0]
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        if self.source.is_rdd(context):
+            yield from self.get_rdd(context).to_local_iterator()
+            return
+        seen = set()
+        for item in self.source.iterate(context):
+            key = _distinct_key(item)
+            if key not in seen:
+                seen.add(key)
+                yield item
+
+    def is_rdd(self, context: DynamicContext) -> bool:
+        return self.source.is_rdd(context)
+
+    def get_rdd(self, context: DynamicContext):
+        rdd = self.source.get_rdd(context)
+        return (
+            rdd.map(lambda item: (_distinct_key(item), item))
+            .reduce_by_key(lambda first, _: first)
+            .values()
+        )
+
+
+def _distinct_key(item: Item):
+    if item.is_atomic:
+        return grouping_key(item)
+    return ("structured", item.serialize())
+
+
+@simple_function("reverse", [1])
+def _reverse(context, sequence):
+    return reversed(sequence)
+
+
+@simple_function("insert-before", [3])
+def _insert_before(context, sequence, position, inserts):
+    if len(position) != 1 or not position[0].is_numeric:
+        raise TypeException("insert-before position must be one number")
+    index = max(1, int(position[0].value)) - 1
+    return sequence[:index] + inserts + sequence[index:]
+
+
+@simple_function("remove", [2])
+def _remove(context, sequence, position):
+    if len(position) != 1 or not position[0].is_numeric:
+        raise TypeException("remove position must be one number")
+    index = int(position[0].value) - 1
+    if 0 <= index < len(sequence):
+        return sequence[:index] + sequence[index + 1:]
+    return sequence
+
+
+@simple_function("index-of", [2])
+def _index_of(context, sequence, search):
+    if len(search) != 1 or not search[0].is_atomic:
+        raise TypeException("index-of search value must be one atomic")
+    out = []
+    for position, item in enumerate(sequence, start=1):
+        if item.is_atomic and values_equal(item, search[0]):
+            out.append(IntegerItem(position))
+    return out
+
+
+@simple_function("last-item", [1])
+def _last_item(context, sequence):
+    return sequence[-1:]
+
+
+@simple_function("zero-or-one", [1])
+def _zero_or_one(context, sequence):
+    if len(sequence) > 1:
+        raise DynamicException(
+            "zero-or-one received more than one item", code="FORG0003"
+        )
+    return sequence
+
+
+@simple_function("exactly-one", [1])
+def _exactly_one(context, sequence):
+    if len(sequence) != 1:
+        raise DynamicException(
+            "exactly-one received {} items".format(len(sequence)),
+            code="FORG0005",
+        )
+    return sequence
+
+
+@simple_function("one-or-more", [1])
+def _one_or_more(context, sequence):
+    if not sequence:
+        raise DynamicException(
+            "one-or-more received the empty sequence", code="FORG0004"
+        )
+    return sequence
+
+
+@simple_function("deep-equal", [2])
+def _deep_equal(context, left, right):
+    if len(left) != len(right):
+        return [FALSE]
+    for mine, theirs in zip(left, right):
+        if mine.is_atomic and theirs.is_atomic:
+            if not values_equal(mine, theirs):
+                return [FALSE]
+        elif mine != theirs:
+            return [FALSE]
+    return [TRUE]

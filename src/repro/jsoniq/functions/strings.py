@@ -1,0 +1,182 @@
+"""String functions (a practical slice of the W3C library)."""
+
+from __future__ import annotations
+
+import re
+
+from repro.items import (
+    FALSE,
+    TRUE,
+    IntegerItem,
+    Item,
+    StringItem,
+)
+from repro.jsoniq.errors import DynamicException, TypeException
+from repro.jsoniq.functions.registry import simple_function
+
+
+def _one_string(sequence, name: str, allow_empty: bool = True) -> str:
+    """Extract the single string argument (empty sequence -> '')."""
+    if not sequence:
+        if allow_empty:
+            return ""
+        raise TypeException("{}() requires a string".format(name))
+    if len(sequence) > 1:
+        raise TypeException("{}() requires a single string".format(name))
+    item = sequence[0]
+    if not item.is_string:
+        raise TypeException(
+            "{}() requires a string, got {}".format(name, item.type_name)
+        )
+    return item.value
+
+
+def _string_of(item: Item) -> str:
+    if item.is_string:
+        return item.value
+    if item.is_object or item.is_array:
+        raise TypeException(
+            "cannot convert {} to a string".format(item.type_name)
+        )
+    return item.serialize().strip('"')
+
+
+@simple_function("string", [1])
+def _string(context, sequence):
+    if not sequence:
+        return [StringItem("")]
+    if len(sequence) > 1:
+        raise TypeException("string() requires at most one item")
+    return [StringItem(_string_of(sequence[0]))]
+
+
+@simple_function("concat", [2, 3, 4, 5, 6, 7, 8])
+def _concat(context, *arguments):
+    pieces = []
+    for argument in arguments:
+        if argument:
+            pieces.append(_string_of(argument[0]))
+    return [StringItem("".join(pieces))]
+
+
+@simple_function("string-join", [1, 2])
+def _string_join(context, sequence, *separator):
+    glue = _one_string(separator[0], "string-join") if separator else ""
+    return [StringItem(glue.join(_string_of(item) for item in sequence))]
+
+
+@simple_function("string-length", [1])
+def _string_length(context, sequence):
+    return [IntegerItem(len(_one_string(sequence, "string-length")))]
+
+
+@simple_function("substring", [2, 3])
+def _substring(context, sequence, start, *length):
+    text = _one_string(sequence, "substring")
+    if len(start) != 1 or not start[0].is_numeric:
+        raise TypeException("substring start must be one number")
+    begin = int(round(float(start[0].value)))
+    if length:
+        if len(length[0]) != 1 or not length[0][0].is_numeric:
+            raise TypeException("substring length must be one number")
+        span = int(round(float(length[0][0].value)))
+        end = begin + span
+    else:
+        end = len(text) + 1
+    begin = max(1, begin)
+    return [StringItem(text[begin - 1:max(begin - 1, end - 1)])]
+
+
+@simple_function("upper-case", [1])
+def _upper_case(context, sequence):
+    return [StringItem(_one_string(sequence, "upper-case").upper())]
+
+
+@simple_function("lower-case", [1])
+def _lower_case(context, sequence):
+    return [StringItem(_one_string(sequence, "lower-case").lower())]
+
+
+@simple_function("contains", [2])
+def _contains(context, haystack, needle):
+    text = _one_string(haystack, "contains")
+    search = _one_string(needle, "contains")
+    return [TRUE if search in text else FALSE]
+
+
+@simple_function("starts-with", [2])
+def _starts_with(context, haystack, needle):
+    text = _one_string(haystack, "starts-with")
+    return [TRUE if text.startswith(_one_string(needle, "starts-with")) else FALSE]
+
+
+@simple_function("ends-with", [2])
+def _ends_with(context, haystack, needle):
+    text = _one_string(haystack, "ends-with")
+    return [TRUE if text.endswith(_one_string(needle, "ends-with")) else FALSE]
+
+
+@simple_function("substring-before", [2])
+def _substring_before(context, haystack, needle):
+    text = _one_string(haystack, "substring-before")
+    search = _one_string(needle, "substring-before")
+    index = text.find(search) if search else -1
+    return [StringItem(text[:index] if index >= 0 else "")]
+
+
+@simple_function("substring-after", [2])
+def _substring_after(context, haystack, needle):
+    text = _one_string(haystack, "substring-after")
+    search = _one_string(needle, "substring-after")
+    index = text.find(search) if search else -1
+    return [StringItem(text[index + len(search):] if index >= 0 else "")]
+
+
+@simple_function("normalize-space", [1])
+def _normalize_space(context, sequence):
+    return [StringItem(" ".join(_one_string(sequence, "normalize-space").split()))]
+
+
+def _compile(pattern: str, name: str) -> "re.Pattern":
+    try:
+        return re.compile(pattern)
+    except re.error as error:
+        raise DynamicException(
+            "invalid {} pattern: {}".format(name, error), code="FORX0002"
+        ) from error
+
+
+@simple_function("tokenize", [1, 2])
+def _tokenize(context, sequence, *pattern):
+    text = _one_string(sequence, "tokenize")
+    if pattern:
+        splitter = _compile(_one_string(pattern[0], "tokenize"), "tokenize")
+        parts = splitter.split(text)
+    else:
+        parts = text.split()
+    return [StringItem(part) for part in parts]
+
+
+@simple_function("matches", [2])
+def _matches(context, sequence, pattern):
+    text = _one_string(sequence, "matches")
+    regex = _compile(_one_string(pattern, "matches"), "matches")
+    return [TRUE if regex.search(text) else FALSE]
+
+
+@simple_function("replace", [3])
+def _replace(context, sequence, pattern, replacement):
+    text = _one_string(sequence, "replace")
+    regex = _compile(_one_string(pattern, "replace"), "replace")
+    substitution = _one_string(replacement, "replace").replace("$0", "\\g<0>")
+    substitution = re.sub(r"\$(\d)", r"\\\1", substitution)
+    return [StringItem(regex.sub(substitution, text))]
+
+
+@simple_function("serialize", [1])
+def _serialize(context, sequence):
+    if len(sequence) == 1:
+        return [StringItem(sequence[0].serialize())]
+    return [StringItem(
+        "(" + ", ".join(item.serialize() for item in sequence) + ")"
+    )]

@@ -1,0 +1,127 @@
+"""Temporal functions: component accessors, constructors, current-*.
+
+Complements the temporal item types (paper future work, "additional
+types"): ``dateTime()``/``time()``/``duration()`` constructors come from
+the generic cast machinery; this module adds the W3C component accessors
+and the (non-deterministic) current-* functions.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.items import (
+    DateItem,
+    DateTimeItem,
+    DecimalItem,
+    IntegerItem,
+    TimeItem,
+)
+from repro.jsoniq.errors import TypeException
+from repro.jsoniq.functions.registry import simple_function
+from repro.jsoniq.runtime.control import cast_item
+
+
+def _one_of(sequence, type_flag: str, name: str):
+    if not sequence:
+        return None
+    if len(sequence) != 1 or not getattr(sequence[0], type_flag):
+        raise TypeException(
+            "{}() requires a single {} value".format(
+                name, type_flag.replace("is_", "")
+            )
+        )
+    return sequence[0]
+
+
+def _component(name, type_flag, extract):
+    @simple_function(name, [1])
+    def accessor(context, sequence, _extract=extract, _flag=type_flag,
+                 _name=name):
+        item = _one_of(sequence, _flag, _name)
+        return [] if item is None else [_extract(item)]
+
+    return accessor
+
+
+_component("year-from-date", "is_date",
+           lambda item: IntegerItem(item.value.year))
+_component("month-from-date", "is_date",
+           lambda item: IntegerItem(item.value.month))
+_component("day-from-date", "is_date",
+           lambda item: IntegerItem(item.value.day))
+
+_component("year-from-dateTime", "is_datetime",
+           lambda item: IntegerItem(item.value.year))
+_component("month-from-dateTime", "is_datetime",
+           lambda item: IntegerItem(item.value.month))
+_component("day-from-dateTime", "is_datetime",
+           lambda item: IntegerItem(item.value.day))
+_component("hours-from-dateTime", "is_datetime",
+           lambda item: IntegerItem(item.value.hour))
+_component("minutes-from-dateTime", "is_datetime",
+           lambda item: IntegerItem(item.value.minute))
+_component("seconds-from-dateTime", "is_datetime",
+           lambda item: DecimalItem(
+               item.value.second + item.value.microsecond / 1e6
+           ))
+
+_component("hours-from-time", "is_time",
+           lambda item: IntegerItem(item.value.hour))
+_component("minutes-from-time", "is_time",
+           lambda item: IntegerItem(item.value.minute))
+_component("seconds-from-time", "is_time",
+           lambda item: DecimalItem(
+               item.value.second + item.value.microsecond / 1e6
+           ))
+
+_component("years-from-duration", "is_year_month_duration",
+           lambda item: IntegerItem(int(item.months / 12)))
+_component("months-from-duration", "is_year_month_duration",
+           lambda item: IntegerItem(
+               int(item.months - int(item.months / 12) * 12)
+           ))
+_component("days-from-duration", "is_day_time_duration",
+           lambda item: IntegerItem(int(item.seconds / 86400)))
+_component("hours-from-duration", "is_day_time_duration",
+           lambda item: IntegerItem(int(item.seconds % 86400 / 3600)))
+_component("minutes-from-duration", "is_day_time_duration",
+           lambda item: IntegerItem(int(item.seconds % 3600 / 60)))
+_component("seconds-from-duration", "is_day_time_duration",
+           lambda item: DecimalItem(str(item.seconds % 60)))
+
+
+@simple_function("duration", [1])
+def _duration(context, sequence):
+    if len(sequence) != 1:
+        raise TypeException("duration() requires one item")
+    return [cast_item(sequence[0], "duration")]
+
+
+@simple_function("dateTime", [1])
+def _datetime(context, sequence):
+    if len(sequence) != 1:
+        raise TypeException("dateTime() requires one item")
+    return [cast_item(sequence[0], "dateTime")]
+
+
+@simple_function("time", [1])
+def _time(context, sequence):
+    if len(sequence) != 1:
+        raise TypeException("time() requires one item")
+    return [cast_item(sequence[0], "time")]
+
+
+@simple_function("current-date", [0])
+def _current_date(context):
+    return [DateItem(datetime.date.today())]
+
+
+@simple_function("current-dateTime", [0])
+def _current_datetime(context):
+    return [DateTimeItem(datetime.datetime.now())]
+
+
+@simple_function("current-time", [0])
+def _current_time(context):
+    return [TimeItem(datetime.datetime.now().time())]

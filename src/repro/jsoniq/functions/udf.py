@@ -1,0 +1,68 @@
+"""User-defined functions (prolog ``declare function``).
+
+UDF support is listed as future work in the paper's conclusion; this
+reproduction implements it.  A UDF call evaluates its body in a fresh
+dynamic context with only the parameters bound — JSONiq functions do not
+close over the caller's variables, so recursion (``local:fact``) is safe.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.items import Item
+from repro.jsoniq.errors import DynamicException
+from repro.jsoniq.runtime.base import RuntimeIterator
+from repro.jsoniq.runtime.dynamic_context import DynamicContext
+
+import sys
+
+#: Recursion guard: JSONiq is Turing-complete, Python's stack is not.
+#: Each JSONiq call consumes a few dozen interpreter frames, so the
+#: interpreter limit is raised to keep this guard the one that trips.
+MAX_UDF_DEPTH = 200
+
+sys.setrecursionlimit(max(sys.getrecursionlimit(), 20_000))
+
+
+class UserFunction:
+    """A compiled user-defined function."""
+
+    def __init__(self, name: str, parameters: List[str]):
+        self.name = name
+        self.parameters = parameters
+        #: Compiled body; assigned after construction so that recursive
+        #: bodies can reference the function while being compiled.
+        self.body: RuntimeIterator | None = None
+
+
+class UdfCallIterator(RuntimeIterator):
+    """One call site of a user-defined function."""
+
+    _depth = 0  # process-wide recursion depth accounting
+
+    def __init__(self, function: UserFunction,
+                 arguments: List[RuntimeIterator]):
+        super().__init__(list(arguments))
+        self.function = function
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        if self.function.body is None:
+            raise DynamicException(
+                "function {} has no body".format(self.function.name)
+            )
+        frame = DynamicContext(runtime=context.runtime)
+        for parameter, argument in zip(self.function.parameters, self.children):
+            frame.bind(parameter, argument.materialize(context))
+        if UdfCallIterator._depth >= MAX_UDF_DEPTH:
+            raise DynamicException(
+                "maximum recursion depth exceeded in {}".format(
+                    self.function.name
+                ),
+                code="SENR0003",
+            )
+        UdfCallIterator._depth += 1
+        try:
+            yield from self.function.body.materialize(frame)
+        finally:
+            UdfCallIterator._depth -= 1

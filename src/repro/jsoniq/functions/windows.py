@@ -1,0 +1,51 @@
+"""Window functions over sequences.
+
+The paper's conclusion lists FLWOR *window clauses* as future work for
+streaming platforms; on a batch substrate the equivalent capability is
+provided as functions, the way Rumble's own library later did:
+
+* ``tumbling-window($seq, $size)`` — consecutive non-overlapping windows
+  of ``$size`` items (the last one may be shorter), each boxed as an
+  array;
+* ``sliding-window($seq, $size)`` — every window of ``$size`` consecutive
+  items, boxed as arrays.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.items import ArrayItem, Item
+from repro.jsoniq.errors import TypeException
+from repro.jsoniq.functions.registry import simple_function
+
+
+def _window_size(argument, name: str) -> int:
+    if len(argument) != 1 or not argument[0].is_numeric:
+        raise TypeException(
+            "{}() size must be a single number".format(name)
+        )
+    size = int(argument[0].value)
+    if size <= 0:
+        raise TypeException("{}() size must be positive".format(name))
+    return size
+
+
+@simple_function("tumbling-window", [2])
+def _tumbling_window(context, sequence, size_argument) -> List[Item]:
+    size = _window_size(size_argument, "tumbling-window")
+    return [
+        ArrayItem(sequence[start:start + size])
+        for start in range(0, len(sequence), size)
+    ]
+
+
+@simple_function("sliding-window", [2])
+def _sliding_window(context, sequence, size_argument) -> List[Item]:
+    size = _window_size(size_argument, "sliding-window")
+    if len(sequence) < size:
+        return []
+    return [
+        ArrayItem(sequence[start:start + size])
+        for start in range(0, len(sequence) - size + 1)
+    ]

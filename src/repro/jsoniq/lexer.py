@@ -1,0 +1,264 @@
+"""The JSONiq lexer.
+
+Hand-written tokenizer for the JSONiq grammar subset Rumble supports
+(the paper used an ANTLR-generated lexer; the token stream is the same).
+
+A JSONiq-specific subtlety: hyphens are legal inside names, so
+``json-file`` is one token while ``a - b`` is three.  Following XQuery
+lexing, a ``-`` *directly* surrounded by name characters continues the
+name; surrounded by spaces it is the minus operator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.jsoniq.errors import ParseException
+
+#: Keywords are contextual in real JSONiq; for the supported subset it is
+#: safe to reserve this set (names like ``for`` can still appear as object
+#: keys because the parser asks for "name-like" tokens there).
+KEYWORDS = frozenset({
+    "for", "let", "where", "group", "order", "by", "return", "count",
+    "stable", "ascending", "descending", "empty", "greatest", "least",
+    "in", "as", "at", "allowing",
+    "tumbling", "sliding", "window", "start", "end", "when", "only",
+    "previous", "next",
+    "if", "then", "else", "switch", "case", "default", "typeswitch",
+    "try", "catch",
+    "some", "every", "satisfies",
+    "and", "or", "not", "to",
+    "eq", "ne", "lt", "le", "gt", "ge",
+    "div", "idiv", "mod",
+    "instance", "of", "treat", "cast", "castable",
+    "true", "false", "null",
+    "declare", "function", "variable", "external",
+})
+
+#: Namespace prefixes that may qualify a name (``local:fact``).  Limiting
+#: the set keeps ``{a:b}`` lexing as three tokens instead of one name.
+NAME_PREFIXES = frozenset({"local", "fn", "math", "jn", "an"})
+
+#: Multi-character punctuation, longest first so the scanner is greedy.
+_PUNCTUATION = [
+    "[]", ":=", "!=", "<=", ">=", "||", "{", "}", "[", "]", "(", ")",
+    ",", ":", ";", "$", ".", "!", "?", "=", "<", ">", "+", "-", "*", "/",
+    "%", "#", "|",
+]
+
+_ESCAPES = {
+    '"': '"',
+    "\\": "\\",
+    "/": "/",
+    "b": "\b",
+    "f": "\f",
+    "n": "\n",
+    "r": "\r",
+    "t": "\t",
+}
+
+
+class Token:
+    """One lexical token with its source position."""
+
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind: str, text: str, line: int, column: int):
+        self.kind = kind  # keyword | name | string | integer | decimal
+        #                 # | double | punct | eof
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def matches(self, kind: str, text: Optional[str] = None) -> bool:
+        return self.kind == kind and (text is None or self.text == text)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Token({}, {!r})".format(self.kind, self.text)
+
+
+class Lexer:
+    """Scans JSONiq query text into a token list."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._position = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._position >= len(self._text):
+                tokens.append(Token("eof", "", self._line, self._column))
+                return tokens
+            tokens.append(self._next_token())
+
+    # -- Scanning helpers ----------------------------------------------------
+    def _peek(self, offset: int = 0) -> str:
+        index = self._position + offset
+        return self._text[index] if index < len(self._text) else ""
+
+    def _take(self) -> str:
+        char = self._text[self._position]
+        self._position += 1
+        if char == "\n":
+            self._line += 1
+            self._column = 1
+        else:
+            self._column += 1
+        return char
+
+    def _error(self, message: str) -> ParseException:
+        return ParseException(message, line=self._line, column=self._column)
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self._position < len(self._text):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._take()
+            elif char == "(" and self._peek(1) == ":":
+                self._skip_comment()
+            else:
+                return
+
+    def _skip_comment(self) -> None:
+        self._take()
+        self._take()
+        depth = 1
+        while depth > 0:
+            if self._position >= len(self._text):
+                raise self._error("unterminated comment")
+            if self._peek() == "(" and self._peek(1) == ":":
+                self._take()
+                self._take()
+                depth += 1
+            elif self._peek() == ":" and self._peek(1) == ")":
+                self._take()
+                self._take()
+                depth -= 1
+            else:
+                self._take()
+
+    # -- Token scanners --------------------------------------------------------
+    def _next_token(self) -> Token:
+        line, column = self._line, self._column
+        char = self._peek()
+        if char == '"':
+            return Token("string", self._scan_string(), line, column)
+        if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+            return self._scan_number(line, column)
+        if char.isalpha() or char == "_":
+            return self._scan_name(line, column)
+        if char == "$" and self._peek(1) == "$":
+            self._take()
+            self._take()
+            return Token("punct", "$$", line, column)
+        for punct in _PUNCTUATION:
+            if self._text.startswith(punct, self._position):
+                for _ in punct:
+                    self._take()
+                return Token("punct", punct, line, column)
+        raise self._error("unexpected character {!r}".format(char))
+
+    def _scan_string(self) -> str:
+        self._take()  # opening quote
+        pieces: List[str] = []
+        while True:
+            if self._position >= len(self._text):
+                raise self._error("unterminated string literal")
+            char = self._take()
+            if char == '"':
+                return "".join(pieces)
+            if char == "\\":
+                escape = self._take()
+                if escape == "u":
+                    digits = "".join(self._take() for _ in range(4))
+                    try:
+                        code = int(digits, 16)
+                    except ValueError:
+                        raise self._error(
+                            "bad unicode escape \\u" + digits
+                        ) from None
+                    if (
+                        0xD800 <= code <= 0xDBFF
+                        and self._peek() == "\\"
+                        and self._peek(1) == "u"
+                    ):
+                        self._take()
+                        self._take()
+                        low_digits = "".join(
+                            self._take() for _ in range(4)
+                        )
+                        try:
+                            low = int(low_digits, 16)
+                        except ValueError:
+                            raise self._error(
+                                "bad unicode escape \\u" + low_digits
+                            ) from None
+                        code = 0x10000 + ((code - 0xD800) << 10) + (
+                            low - 0xDC00
+                        )
+                    pieces.append(chr(code))
+                elif escape in _ESCAPES:
+                    pieces.append(_ESCAPES[escape])
+                else:
+                    raise self._error("bad escape \\" + escape)
+            else:
+                pieces.append(char)
+
+    def _scan_number(self, line: int, column: int) -> Token:
+        digits: List[str] = []
+        kind = "integer"
+        while self._peek().isdigit():
+            digits.append(self._take())
+        if self._peek() == "." and self._peek(1).isdigit():
+            kind = "decimal"
+            digits.append(self._take())
+            while self._peek().isdigit():
+                digits.append(self._take())
+        elif self._peek() == "." and not (
+            self._peek(1).isalpha() or self._peek(1) == "_"
+        ):
+            # "1." is a decimal; "1.foo" is integer then object lookup.
+            kind = "decimal"
+            digits.append(self._take())
+        if self._peek() in "eE":
+            follower = self._peek(1)
+            if follower.isdigit() or (
+                follower in "+-" and self._peek(2).isdigit()
+            ):
+                kind = "double"
+                digits.append(self._take())
+                if self._peek() in "+-":
+                    digits.append(self._take())
+                while self._peek().isdigit():
+                    digits.append(self._take())
+        return Token(kind, "".join(digits), line, column)
+
+    def _scan_name(self, line: int, column: int) -> Token:
+        chars: List[str] = [self._take()]
+        while True:
+            char = self._peek()
+            if char.isalnum() or char == "_":
+                chars.append(self._take())
+            elif char == "-" and (self._peek(1).isalnum() or self._peek(1) == "_"):
+                chars.append(self._take())
+            elif (
+                char == ":"
+                and (self._peek(1).isalpha() or self._peek(1) == "_")
+                and "".join(chars) in NAME_PREFIXES
+            ):
+                # Namespace-qualified name such as local:fact.
+                chars.append(self._take())
+            else:
+                break
+        text = "".join(chars)
+        kind = "keyword" if text in KEYWORDS else "name"
+        return Token(kind, text, line, column)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize JSONiq query text."""
+    return Lexer(text).tokenize()

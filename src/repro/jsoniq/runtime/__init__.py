@@ -1,0 +1,9 @@
+"""Runtime iterators: the executable form of JSONiq queries.
+
+Two iterator families exist, mirroring the paper's Section 5.4:
+
+* *expression* iterators (:class:`~repro.jsoniq.runtime.base.RuntimeIterator`)
+  return sequences of items, via a pull-based local API or as an RDD;
+* *clause* iterators (:mod:`repro.jsoniq.runtime.flwor`) return tuple
+  streams, via a local API or as a DataFrame.
+"""

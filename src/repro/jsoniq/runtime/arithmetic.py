@@ -1,0 +1,240 @@
+"""Arithmetic iterators with JSONiq numeric promotion.
+
+``integer op integer`` stays integer (except ``div``, which produces a
+decimal), mixing in a decimal promotes to decimal, mixing in a double
+promotes to double.  An empty operand makes the whole result empty; a
+non-numeric operand is a type error.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal, InvalidOperation
+from typing import Iterator, Optional
+
+from repro.items import (
+    DecimalItem,
+    DoubleItem,
+    IntegerItem,
+    Item,
+    make_numeric,
+)
+from repro.items.atomics import promote_pair
+from repro.jsoniq.errors import DynamicException, TypeException
+from repro.jsoniq.runtime.base import RuntimeIterator
+from repro.jsoniq.runtime.dynamic_context import DynamicContext
+
+
+def _numeric_operand(
+    iterator: RuntimeIterator, context: DynamicContext, op: str
+) -> Optional[Item]:
+    item = iterator.evaluate_atomic(context, "operand of " + op)
+    if item is None:
+        return None
+    if not item.is_numeric:
+        raise TypeException(
+            "operand of {} must be numeric, got {}".format(op, item.type_name)
+        )
+    return item
+
+
+class BinaryArithmeticIterator(RuntimeIterator):
+    """``+ - * div idiv mod`` — numeric, plus the temporal combinations
+    (date/dateTime/time ± duration, dateTime − dateTime, duration scaling)."""
+
+    def __init__(self, op: str, left: RuntimeIterator, right: RuntimeIterator):
+        super().__init__([left, right])
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        left = self.left.evaluate_atomic(context, "operand of " + self.op)
+        right = self.right.evaluate_atomic(context, "operand of " + self.op)
+        if left is None or right is None:
+            return
+        if _is_temporal(left) or _is_temporal(right):
+            yield compute_temporal_arithmetic(self.op, left, right)
+            return
+        for operand in (left, right):
+            if not operand.is_numeric:
+                raise TypeException(
+                    "operand of {} must be numeric, got {}".format(
+                        self.op, operand.type_name
+                    )
+                )
+        yield compute_arithmetic(self.op, left, right)
+
+
+def compute_arithmetic(op: str, left: Item, right: Item) -> Item:
+    """Apply one arithmetic operator to two numeric items."""
+    lhs, rhs, family = promote_pair(left, right)
+    if op == "+":
+        return make_numeric(lhs + rhs)
+    if op == "-":
+        return make_numeric(lhs - rhs)
+    if op == "*":
+        return make_numeric(lhs * rhs)
+    if op == "div":
+        if family == "double":
+            if rhs == 0:
+                return DoubleItem(
+                    float("nan") if lhs == 0 else
+                    float("inf") if lhs > 0 else float("-inf")
+                )
+            return DoubleItem(lhs / rhs)
+        if rhs == 0:
+            raise DynamicException("division by zero", code="FOAR0001")
+        try:
+            return DecimalItem(Decimal(lhs) / Decimal(rhs))
+        except InvalidOperation as error:
+            raise DynamicException(str(error), code="FOAR0002") from error
+    if op == "idiv":
+        if rhs == 0:
+            raise DynamicException("integer division by zero", code="FOAR0001")
+        return IntegerItem(_truncating_divide(lhs, rhs))
+    if op == "mod":
+        if rhs == 0:
+            if family == "double":
+                return DoubleItem(float("nan"))
+            raise DynamicException("modulus by zero", code="FOAR0001")
+        # XQuery mod keeps the sign of the dividend (unlike Python's %).
+        remainder = lhs - rhs * _truncating_divide(lhs, rhs)
+        return make_numeric(remainder)
+    raise ValueError("unknown arithmetic operator " + op)
+
+
+def _is_temporal(item: Item) -> bool:
+    return item.is_date or item.is_datetime or item.is_time or item.is_duration
+
+
+def compute_temporal_arithmetic(op: str, left: Item, right: Item) -> Item:
+    """The XDM temporal operator table (the supported slice)."""
+    import datetime
+
+    from repro.items import DateItem
+    from repro.items.temporal import (
+        DateTimeItem,
+        DayTimeDurationItem,
+        TimeItem,
+        YearMonthDurationItem,
+    )
+
+    def add_months(date_value, months: int):
+        month_index = date_value.month - 1 + months
+        year = date_value.year + month_index // 12
+        month = month_index % 12 + 1
+        import calendar
+
+        day = min(date_value.day, calendar.monthrange(year, month)[1])
+        return date_value.replace(year=year, month=month, day=day)
+
+    # date/dateTime/time  ±  duration
+    if (left.is_date or left.is_datetime or left.is_time) and right.is_duration:
+        sign = 1 if op == "+" else -1 if op == "-" else None
+        if sign is None:
+            raise TypeException(
+                "cannot apply {} to {} and {}".format(
+                    op, left.type_name, right.type_name
+                )
+            )
+        if right.is_year_month_duration:
+            if left.is_time:
+                raise TypeException("cannot add months to a time")
+            shifted = add_months(left.value, sign * right.months)
+            return DateItem(shifted) if left.is_date else DateTimeItem(shifted)
+        delta = datetime.timedelta(seconds=sign * right.seconds)
+        if left.is_date:
+            return DateItem(
+                (datetime.datetime.combine(left.value, datetime.time())
+                 + delta).date()
+            )
+        if left.is_datetime:
+            return DateTimeItem(left.value + delta)
+        anchor = datetime.datetime.combine(
+            datetime.date(2000, 1, 1), left.value
+        )
+        return TimeItem((anchor + delta).time())
+    # duration + date/dateTime (commutative +)
+    if op == "+" and left.is_duration and (
+        right.is_date or right.is_datetime or right.is_time
+    ):
+        return compute_temporal_arithmetic("+", right, left)
+    # dateTime - dateTime, date - date, time - time
+    if op == "-" and left.is_datetime and right.is_datetime:
+        return DayTimeDurationItem((left.value - right.value).total_seconds())
+    if op == "-" and left.is_date and right.is_date:
+        return DayTimeDurationItem(
+            (left.value - right.value).total_seconds()
+        )
+    if op == "-" and left.is_time and right.is_time:
+        return DayTimeDurationItem(left.sort_key() - right.sort_key())
+    # duration ± duration (same family)
+    if left.is_day_time_duration and right.is_day_time_duration:
+        if op == "+":
+            return DayTimeDurationItem(left.seconds + right.seconds)
+        if op == "-":
+            return DayTimeDurationItem(left.seconds - right.seconds)
+        if op == "div":
+            if right.seconds == 0:
+                raise DynamicException("division by zero", code="FOAR0001")
+            return DecimalItem(
+                Decimal(str(left.seconds)) / Decimal(str(right.seconds))
+            )
+    if left.is_year_month_duration and right.is_year_month_duration:
+        if op == "+":
+            return YearMonthDurationItem(left.months + right.months)
+        if op == "-":
+            return YearMonthDurationItem(left.months - right.months)
+        if op == "div":
+            if right.months == 0:
+                raise DynamicException("division by zero", code="FOAR0001")
+            return DecimalItem(Decimal(left.months) / Decimal(right.months))
+    # duration * number / duration div number (and commutative *)
+    if left.is_duration and right.is_numeric:
+        factor = float(right.value)
+        if op == "*":
+            scaled = factor
+        elif op == "div":
+            if factor == 0:
+                raise DynamicException("division by zero", code="FOAR0001")
+            scaled = 1.0 / factor
+        else:
+            scaled = None
+        if scaled is not None:
+            if left.is_day_time_duration:
+                return DayTimeDurationItem(left.seconds * scaled)
+            return YearMonthDurationItem(round(left.months * scaled))
+    if op == "*" and left.is_numeric and right.is_duration:
+        return compute_temporal_arithmetic("*", right, left)
+    raise TypeException(
+        "cannot apply {} to {} and {}".format(
+            op, left.type_name, right.type_name
+        )
+    )
+
+
+def _truncating_divide(lhs, rhs) -> int:
+    """Integer division truncating toward zero (XQuery ``idiv``), exact
+    for arbitrarily large integers."""
+    if isinstance(lhs, int) and isinstance(rhs, int):
+        quotient = abs(lhs) // abs(rhs)
+        return quotient if (lhs < 0) == (rhs < 0) else -quotient
+    return int(lhs / rhs)
+
+
+class UnarySignIterator(RuntimeIterator):
+    """Unary ``-`` and ``+``."""
+
+    def __init__(self, op: str, operand: RuntimeIterator):
+        super().__init__([operand])
+        self.op = op
+        self.operand = operand
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        item = _numeric_operand(self.operand, context, "unary " + self.op)
+        if item is None:
+            return
+        if self.op == "-":
+            yield make_numeric(-item.value)
+        else:
+            yield item

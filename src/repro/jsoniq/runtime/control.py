@@ -1,0 +1,432 @@
+"""Control-flow and type iterators: if, switch, try-catch, quantifiers,
+ranges, string concatenation, instance-of / treat / cast."""
+
+from __future__ import annotations
+
+import datetime
+from decimal import Decimal, InvalidOperation
+from typing import Iterator, List, Tuple
+
+from repro.items import (
+    FALSE,
+    NULL,
+    TRUE,
+    DateItem,
+    DecimalItem,
+    DoubleItem,
+    IntegerItem,
+    Item,
+    StringItem,
+    values_equal,
+)
+from repro.jsoniq.ast import SequenceType
+from repro.jsoniq.errors import CastException, JsoniqException, TypeException
+from repro.jsoniq.runtime.base import RuntimeIterator
+from repro.jsoniq.runtime.dynamic_context import DynamicContext
+
+
+class IfIterator(RuntimeIterator):
+    def __init__(self, condition: RuntimeIterator, then_branch: RuntimeIterator,
+                 else_branch: RuntimeIterator):
+        super().__init__([condition, then_branch, else_branch])
+        self.condition = condition
+        self.then_branch = then_branch
+        self.else_branch = else_branch
+
+    def _pick(self, context: DynamicContext) -> RuntimeIterator:
+        if self.condition.effective_boolean_value(context):
+            return self.then_branch
+        return self.else_branch
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        yield from self._pick(context).iterate(context)
+
+    def is_rdd(self, context: DynamicContext) -> bool:
+        return self._pick(context).is_rdd(context)
+
+    def get_rdd(self, context: DynamicContext):
+        return self._pick(context).get_rdd(context)
+
+
+class SwitchIterator(RuntimeIterator):
+    """``switch`` compares the subject with each case by value equality."""
+
+    def __init__(self, subject: RuntimeIterator,
+                 cases: List[Tuple[List[RuntimeIterator], RuntimeIterator]],
+                 default: RuntimeIterator):
+        children = [subject]
+        for tests, result in cases:
+            children.extend(tests)
+            children.append(result)
+        children.append(default)
+        super().__init__(children)
+        self.subject = subject
+        self.cases = cases
+        self.default = default
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        subject = self.subject.evaluate_atomic(context, "switch subject")
+        for tests, result in self.cases:
+            for test in tests:
+                candidate = test.evaluate_atomic(context, "switch case")
+                if subject is None and candidate is None:
+                    yield from result.iterate(context)
+                    return
+                if (
+                    subject is not None
+                    and candidate is not None
+                    and values_equal(subject, candidate)
+                ):
+                    yield from result.iterate(context)
+                    return
+        yield from self.default.iterate(context)
+
+
+class TypeswitchIterator(RuntimeIterator):
+    """``typeswitch``: first case whose sequence type matches wins; the
+    case variable (when present) is bound to the subject sequence."""
+
+    def __init__(self, subject: RuntimeIterator,
+                 cases,  # List[(variable|None, SequenceType, iterator)]
+                 default_variable, default: RuntimeIterator):
+        children = [subject]
+        children.extend(result for _, _, result in cases)
+        children.append(default)
+        super().__init__(children)
+        self.subject = subject
+        self.cases = cases
+        self.default_variable = default_variable
+        self.default = default
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        subject = self.subject.materialize(context)
+        for variable, sequence_type, result in self.cases:
+            if matches_sequence_type(subject, sequence_type):
+                yield from self._branch(result, variable, subject, context)
+                return
+        yield from self._branch(
+            self.default, self.default_variable, subject, context
+        )
+
+    @staticmethod
+    def _branch(result, variable, subject, context):
+        if variable:
+            inner = context.child()
+            inner.bind_shared(variable, subject)
+            return result.materialize_local(inner)
+        return result.iterate(context)
+
+
+class TryCatchIterator(RuntimeIterator):
+    """``try { ... } catch code|code { ... }`` — dynamic errors only.
+
+    Because evaluation is lazy, the try expression is materialized eagerly
+    inside the try scope, as JSONiq requires.
+    """
+
+    def __init__(self, try_expr: RuntimeIterator, catch_expr: RuntimeIterator,
+                 codes):
+        super().__init__([try_expr, catch_expr])
+        self.try_expr = try_expr
+        self.catch_expr = catch_expr
+        self.codes = codes  # None catches everything
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        try:
+            items = self.try_expr.materialize(context)
+        except JsoniqException as error:
+            if self.codes is None or error.code in self.codes:
+                yield from self.catch_expr.iterate(context)
+                return
+            raise
+        yield from items
+
+
+class QuantifiedIterator(RuntimeIterator):
+    """``some/every $v in expr (, ...) satisfies condition``."""
+
+    def __init__(self, quantifier: str,
+                 bindings: List[Tuple[str, RuntimeIterator]],
+                 condition: RuntimeIterator):
+        super().__init__([expr for _, expr in bindings] + [condition])
+        self.quantifier = quantifier
+        self.bindings = bindings
+        self.condition = condition
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        result = self._evaluate(context, 0)
+        yield TRUE if result else FALSE
+
+    def _evaluate(self, context: DynamicContext, depth: int) -> bool:
+        if depth == len(self.bindings):
+            return self.condition.effective_boolean_value(context)
+        name, expression = self.bindings[depth]
+        some = self.quantifier == "some"
+        for item in expression.iterate(context):
+            inner = context.child()
+            inner.bind(name, [item])
+            satisfied = self._evaluate(inner, depth + 1)
+            if some and satisfied:
+                return True
+            if not some and not satisfied:
+                return False
+        return not some
+
+
+class RangeIterator(RuntimeIterator):
+    """``start to end`` — the ascending integer range, empty if start > end."""
+
+    def __init__(self, start: RuntimeIterator, end: RuntimeIterator):
+        super().__init__([start, end])
+        self.start = start
+        self.end = end
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        start = self.start.evaluate_atomic(context, "range start")
+        end = self.end.evaluate_atomic(context, "range end")
+        if start is None or end is None:
+            return
+        if not (start.is_numeric and end.is_numeric):
+            raise TypeException("range bounds must be numeric")
+        for value in range(int(start.value), int(end.value) + 1):
+            yield IntegerItem(value)
+
+
+class StringConcatIterator(RuntimeIterator):
+    """``a || b`` — empty operands become empty strings."""
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        pieces = []
+        for child in self.children:
+            item = child.evaluate_atomic(context, "operand of ||")
+            pieces.append("" if item is None else _string_of(item))
+        yield StringItem("".join(pieces))
+
+
+def _string_of(item: Item) -> str:
+    if item.is_string:
+        return item.value
+    if item.is_null:
+        return "null"
+    return item.serialize().strip('"')
+
+
+def matches_item_type(item: Item, type_name: str) -> bool:
+    """Does one item match an item type name?"""
+    if type_name in ("item", "json-item"):
+        return True if type_name == "item" else True
+    if type_name == "atomic":
+        return item.is_atomic
+    if type_name == "object":
+        return item.is_object
+    if type_name == "array":
+        return item.is_array
+    if type_name == "string":
+        return item.is_string
+    if type_name == "integer":
+        return item.is_integer
+    if type_name == "decimal":
+        # integer is derived from decimal in the XDM hierarchy
+        return item.is_decimal or item.is_integer
+    if type_name == "double":
+        return item.is_double
+    if type_name == "number":
+        return item.is_numeric
+    if type_name == "boolean":
+        return item.is_boolean
+    if type_name == "null":
+        return item.is_null
+    if type_name == "date":
+        return item.is_date
+    if type_name == "dateTime":
+        return item.is_datetime
+    if type_name == "time":
+        return item.is_time
+    if type_name == "duration":
+        return item.is_duration
+    if type_name == "dayTimeDuration":
+        return item.is_day_time_duration
+    if type_name == "yearMonthDuration":
+        return item.is_year_month_duration
+    raise TypeException("unknown item type " + type_name)
+
+
+def matches_sequence_type(items: List[Item], sequence_type: SequenceType) -> bool:
+    occurrence = sequence_type.occurrence
+    if occurrence == "()":
+        return not items
+    if not items:
+        return occurrence in ("?", "*")
+    if len(items) > 1 and occurrence not in ("*", "+"):
+        return False
+    return all(
+        matches_item_type(item, sequence_type.item_type) for item in items
+    )
+
+
+class InstanceOfIterator(RuntimeIterator):
+    def __init__(self, operand: RuntimeIterator, sequence_type: SequenceType):
+        super().__init__([operand])
+        self.operand = operand
+        self.sequence_type = sequence_type
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        items = self.operand.materialize(context)
+        yield TRUE if matches_sequence_type(items, self.sequence_type) else FALSE
+
+
+class TreatIterator(RuntimeIterator):
+    def __init__(self, operand: RuntimeIterator, sequence_type: SequenceType):
+        super().__init__([operand])
+        self.operand = operand
+        self.sequence_type = sequence_type
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        items = self.operand.materialize(context)
+        if not matches_sequence_type(items, self.sequence_type):
+            raise TypeException(
+                "sequence does not match type {}".format(self.sequence_type),
+            )
+        yield from items
+
+
+def cast_item(item: Item, type_name: str) -> Item:
+    """Cast one atomic item to a target atomic type."""
+    if not item.is_atomic:
+        raise CastException("cannot cast " + item.type_name)
+    try:
+        if type_name == "string":
+            return StringItem(_string_of(item))
+        if type_name == "integer":
+            if item.is_string:
+                return IntegerItem(int(item.value.strip()))
+            if item.is_numeric:
+                return IntegerItem(int(item.value))
+            if item.is_boolean:
+                return IntegerItem(1 if item.value else 0)
+        if type_name == "decimal":
+            if item.is_string:
+                return DecimalItem(Decimal(item.value.strip()))
+            if item.is_numeric:
+                return DecimalItem(Decimal(str(item.value)))
+            if item.is_boolean:
+                return DecimalItem(Decimal(1 if item.value else 0))
+        if type_name == "double":
+            if item.is_string:
+                return DoubleItem(float(item.value.strip()))
+            if item.is_numeric:
+                return DoubleItem(float(item.value))
+            if item.is_boolean:
+                return DoubleItem(1.0 if item.value else 0.0)
+        if type_name == "boolean":
+            if item.is_boolean:
+                return item
+            if item.is_string:
+                text = item.value.strip()
+                if text in ("true", "1"):
+                    return TRUE
+                if text in ("false", "0"):
+                    return FALSE
+                raise CastException("cannot cast {!r} to boolean".format(text))
+            if item.is_numeric:
+                return TRUE if item.value != 0 else FALSE
+        if type_name == "date":
+            if item.is_date:
+                return item
+            if item.is_datetime:
+                return DateItem(item.value.date())
+            if item.is_string:
+                return DateItem(datetime.date.fromisoformat(item.value.strip()))
+        if type_name == "dateTime":
+            from repro.items.temporal import DateTimeItem
+
+            if item.is_datetime:
+                return item
+            if item.is_date:
+                return DateTimeItem(
+                    datetime.datetime.combine(item.value, datetime.time())
+                )
+            if item.is_string:
+                return DateTimeItem(
+                    datetime.datetime.fromisoformat(item.value.strip())
+                )
+        if type_name == "time":
+            from repro.items.temporal import TimeItem
+
+            if item.is_time:
+                return item
+            if item.is_datetime:
+                return TimeItem(item.value.time())
+            if item.is_string:
+                return TimeItem(
+                    datetime.time.fromisoformat(item.value.strip())
+                )
+        if type_name in ("duration", "dayTimeDuration", "yearMonthDuration"):
+            from repro.items.temporal import duration_from_string
+
+            if item.is_string:
+                parsed = duration_from_string(item.value.strip())
+            elif item.is_duration:
+                parsed = item
+            else:
+                parsed = None
+            if parsed is not None:
+                if type_name == "dayTimeDuration" and not (
+                    parsed.is_day_time_duration
+                ):
+                    raise CastException(
+                        "not a dayTimeDuration: " + parsed.string_value()
+                    )
+                if type_name == "yearMonthDuration" and not (
+                    parsed.is_year_month_duration
+                ):
+                    raise CastException(
+                        "not a yearMonthDuration: " + parsed.string_value()
+                    )
+                return parsed
+        if type_name == "null":
+            if item.is_null:
+                return NULL
+    except (ValueError, InvalidOperation) as error:
+        raise CastException(
+            "cannot cast {} to {}: {}".format(item.type_name, type_name, error)
+        ) from error
+    raise CastException(
+        "cannot cast {} to {}".format(item.type_name, type_name)
+    )
+
+
+class CastIterator(RuntimeIterator):
+    """``cast as`` and ``castable as``."""
+
+    def __init__(self, operand: RuntimeIterator, type_name: str,
+                 allows_empty: bool, castable: bool):
+        super().__init__([operand])
+        self.operand = operand
+        self.type_name = type_name
+        self.allows_empty = allows_empty
+        self.castable = castable
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        items = self.operand.materialize_local(context, limit=2)
+        if self.castable:
+            yield TRUE if self._is_castable(items) else FALSE
+            return
+        if not items:
+            if self.allows_empty:
+                return
+            raise CastException("cannot cast the empty sequence")
+        if len(items) > 1:
+            raise TypeException("cast requires at most one item")
+        yield cast_item(items[0], self.type_name)
+
+    def _is_castable(self, items: List[Item]) -> bool:
+        if not items:
+            return self.allows_empty
+        if len(items) > 1:
+            return False
+        try:
+            cast_item(items[0], self.type_name)
+            return True
+        except JsoniqException:
+            return False

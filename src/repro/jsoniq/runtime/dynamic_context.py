@@ -1,0 +1,141 @@
+"""Dynamic contexts: run-time variable bindings.
+
+A dynamic context binds sequences of items to variables in scope, plus the
+context item ``$$`` and, during FLWOR evaluation, the current tuple's
+bindings.  Contexts chain to their parent like static contexts do.
+
+Variables are usually bound to materialized lists of items; a binding can
+also be an RDD of items (e.g. a let on a ``json-file()`` source), which is
+only materialized if a consumer needs the local API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.items import Item
+from repro.jsoniq.errors import DynamicException
+
+
+class DynamicContext:
+    """One frame of run-time bindings."""
+
+    __slots__ = ("parent", "runtime", "_variables", "_context_item",
+                 "_position", "_last")
+
+    def __init__(self, runtime=None, parent: Optional["DynamicContext"] = None):
+        self.parent = parent
+        #: The engine runtime (Spark session, config); inherited from parent.
+        self.runtime = runtime if runtime is not None else (
+            parent.runtime if parent is not None else None
+        )
+        self._variables: Dict[str, object] = {}
+        self._context_item: Optional[Item] = None
+        self._position: Optional[int] = None
+        self._last: Optional[int] = None
+
+    def child(self) -> "DynamicContext":
+        return DynamicContext(parent=self)
+
+    # -- Variables ------------------------------------------------------------
+    def bind(self, name: str, items: List[Item]) -> None:
+        self._variables[name] = list(items)
+
+    def bind_shared(self, name: str, items: List[Item]) -> None:
+        """Bind without a defensive copy (hot path for FLWOR tuples; the
+        caller must not mutate ``items`` afterwards)."""
+        self._variables[name] = items
+
+    def bind_rdd(self, name: str, rdd) -> None:
+        self._variables[name] = _RddBinding(rdd)
+
+    def bind_counted(self, name: str, counted) -> None:
+        """Bind a count-only sequence (see
+        :class:`repro.jsoniq.runtime.flwor.tuples.CountedSequence`)."""
+        self._variables[name] = counted
+
+    def get(self, name: str) -> List[Item]:
+        binding = self._raw(name)
+        if isinstance(binding, _RddBinding):
+            return binding.materialize()
+        return binding
+
+    def get_rdd(self, name: str):
+        """The RDD behind a binding, or None when bound locally."""
+        binding = self._raw(name)
+        if isinstance(binding, _RddBinding):
+            return binding.rdd
+        return None
+
+    def has(self, name: str) -> bool:
+        context: Optional[DynamicContext] = self
+        while context is not None:
+            if name in context._variables:
+                return True
+            context = context.parent
+        return False
+
+    def _raw(self, name: str):
+        context: Optional[DynamicContext] = self
+        while context is not None:
+            if name in context._variables:
+                return context._variables[name]
+            context = context.parent
+        raise DynamicException(
+            "variable ${} is not bound".format(name), code="XPDY0002"
+        )
+
+    # -- Context item ------------------------------------------------------------
+    def with_context_item(self, item: Item, position: Optional[int] = None,
+                          last: Optional[int] = None) -> "DynamicContext":
+        context = self.child()
+        context._context_item = item
+        context._position = position
+        context._last = last
+        return context
+
+    @property
+    def context_item(self) -> Item:
+        context: Optional[DynamicContext] = self
+        while context is not None:
+            if context._context_item is not None:
+                return context._context_item
+            context = context.parent
+        raise DynamicException(
+            "the context item ($$) is not defined here", code="XPDY0002"
+        )
+
+    @property
+    def position(self) -> Optional[int]:
+        context: Optional[DynamicContext] = self
+        while context is not None:
+            if context._context_item is not None:
+                return context._position
+            context = context.parent
+        return None
+
+    @property
+    def last(self) -> Optional[int]:
+        """The size of the sequence being filtered, when known (only
+        materializing predicates provide it — see ``last()``)."""
+        context: Optional[DynamicContext] = self
+        while context is not None:
+            if context._context_item is not None:
+                return context._last
+            context = context.parent
+        return None
+
+
+class _RddBinding:
+    """A variable bound to a distributed sequence of items."""
+
+    __slots__ = ("rdd", "_materialized")
+
+    def __init__(self, rdd):
+        self.rdd = rdd
+        self._materialized: Optional[List[Item]] = None
+
+    def materialize(self) -> List[Item]:
+        if self._materialized is None:
+            self._materialized = self.rdd.collect()
+        return self._materialized

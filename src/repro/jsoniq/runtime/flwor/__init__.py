@@ -1,0 +1,5 @@
+"""FLWOR clause iterators and their DataFrame mappings (paper, Section 4)."""
+
+from repro.jsoniq.runtime.flwor.tuples import FlworTuple
+
+__all__ = ["FlworTuple"]

@@ -1,0 +1,159 @@
+"""Navigation iterators: object lookup, array lookup/unboxing, predicates.
+
+These are the expressions the paper parallelizes as flatMap
+transformations (Section 4.1.2 and 5.6): applied to each item of an RDD,
+non-matching items simply contribute nothing — navigation never errors on
+the "wrong" kind of item, which is what makes heterogeneous collections
+painless to query.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.items import Item
+from repro.jsoniq.errors import TypeException
+from repro.jsoniq.runtime.base import RuntimeIterator, TransformingIterator
+from repro.jsoniq.runtime.dynamic_context import DynamicContext
+
+
+class ObjectLookupIterator(TransformingIterator):
+    """``expr.key`` — value for objects holding the key, nothing otherwise."""
+
+    def __init__(self, source: RuntimeIterator, key: RuntimeIterator):
+        super().__init__(source, [key])
+        self.key = key
+        # Constant keys (the overwhelmingly common case, e.g. ``$o.country``)
+        # are resolved once at compile time.
+        from repro.jsoniq.runtime.primary import LiteralIterator
+
+        self._constant_key = (
+            key.item.value
+            if isinstance(key, LiteralIterator) and key.item.is_string
+            else None
+        )
+
+    def _transform(self, item: Item, context: DynamicContext):
+        key = self._constant_key
+        if key is None:
+            key_item = self.key.evaluate_atomic(context, "object lookup key")
+            if key_item is None:
+                return
+            key = (
+                key_item.value if key_item.is_string else
+                key_item.serialize().strip('"')
+            )
+        if item.is_object:
+            value = item.pairs.get(key)
+            if value is not None:
+                yield value
+            return
+        yield from item.lookup(key)
+
+
+class ArrayLookupIterator(TransformingIterator):
+    """``expr[[i]]`` — the i-th member of each array item (1-based)."""
+
+    def __init__(self, source: RuntimeIterator, index: RuntimeIterator):
+        super().__init__(source, [index])
+        self.index = index
+
+    def _transform(self, item: Item, context: DynamicContext):
+        index_item = self.index.evaluate_atomic(context, "array index")
+        if index_item is None:
+            return
+        if not index_item.is_numeric:
+            raise TypeException(
+                "array index must be numeric, got " + index_item.type_name
+            )
+        yield from item.array_lookup(int(index_item.value))
+
+
+class ArrayUnboxingIterator(TransformingIterator):
+    """``expr[]`` — members of each array item, nothing for non-arrays."""
+
+    def _transform(self, item: Item, context: DynamicContext):
+        yield from item.unbox()
+
+
+class PredicateIterator(RuntimeIterator):
+    """``expr[condition]``.
+
+    If the condition evaluates to a number it is positional (selecting the
+    item at that 1-based position); otherwise its effective boolean value
+    filters items, with ``$$`` bound to the current item.
+    """
+
+    def __init__(self, source: RuntimeIterator, condition: RuntimeIterator):
+        super().__init__([source, condition])
+        self.source = source
+        self.condition = condition
+        #: Conditions mentioning last() force the source to materialize
+        #: so the sequence length is available to every evaluation.
+        self.uses_last = _mentions_last(condition)
+
+    def _decide(self, item: Item, position: int, context: DynamicContext,
+                last=None):
+        """Returns True/False for a filter, or the integer target position."""
+        inner = context.with_context_item(item, position, last)
+        values = self.condition.materialize_local(inner, limit=2)
+        if len(values) == 1 and values[0].is_numeric:
+            return int(values[0].value)
+        if not values:
+            return False
+        if len(values) == 1:
+            return values[0].effective_boolean_value()
+        raise TypeException(
+            "predicate must evaluate to a boolean or a number"
+        )
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        if self.uses_last:
+            items = self.source.materialize(context)
+            last = len(items)
+            for position, item in enumerate(items, start=1):
+                decision = self._decide(item, position, context, last)
+                if decision is True or decision == position:
+                    if decision is not False:
+                        yield item
+            return
+        for position, item in enumerate(self.source.iterate(context), start=1):
+            decision = self._decide(item, position, context)
+            if decision is True or decision == position:
+                if decision is not False:
+                    yield item
+
+    def is_rdd(self, context: DynamicContext) -> bool:
+        # A last()-dependent predicate needs the whole sequence locally.
+        return not self.uses_last and self.source.is_rdd(context)
+
+    def get_rdd(self, context: DynamicContext):
+        rdd = self.source.get_rdd(context)
+        decide = self._decide
+
+        def keep(pair) -> bool:
+            item, index = pair
+            decision = decide(item, index + 1, context)
+            return decision is True or decision == index + 1
+
+        return rdd.zip_with_index().filter(keep).map(lambda pair: pair[0])
+
+
+def _mentions_last(iterator: RuntimeIterator) -> bool:
+    from repro.jsoniq.functions.positional import LastIterator
+
+    if isinstance(iterator, LastIterator):
+        return True
+    return any(_mentions_last(child) for child in iterator.children)
+
+
+class SimpleMapIterator(TransformingIterator):
+    """``expr ! mapper`` — evaluate the mapper once per item as ``$$``."""
+
+    def __init__(self, source: RuntimeIterator, mapper: RuntimeIterator):
+        super().__init__(source, [mapper])
+        self.mapper = mapper
+
+    def _transform(self, item: Item, context: DynamicContext):
+        inner = context.with_context_item(item)
+        yield from self.mapper.materialize_local(inner)

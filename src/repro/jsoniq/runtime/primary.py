@@ -1,0 +1,145 @@
+"""Iterators for primary expressions: literals, variables, constructors."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.items import (
+    FALSE,
+    NULL,
+    TRUE,
+    ArrayItem,
+    DecimalItem,
+    DoubleItem,
+    IntegerItem,
+    Item,
+    ObjectItem,
+    StringItem,
+)
+from repro.jsoniq.errors import TypeException
+from repro.jsoniq.runtime.base import RuntimeIterator
+from repro.jsoniq.runtime.dynamic_context import DynamicContext
+
+
+class LiteralIterator(RuntimeIterator):
+    """A constant atomic item."""
+
+    def __init__(self, kind: str, value):
+        super().__init__()
+        if kind == "string":
+            self.item: Item = StringItem(value)
+        elif kind == "integer":
+            self.item = IntegerItem(value)
+        elif kind == "decimal":
+            self.item = DecimalItem(value)
+        elif kind == "double":
+            self.item = DoubleItem(value)
+        elif kind == "boolean":
+            self.item = TRUE if value else FALSE
+        elif kind == "null":
+            self.item = NULL
+        else:
+            raise ValueError("unknown literal kind " + kind)
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        yield self.item
+
+
+class EmptySequenceIterator(RuntimeIterator):
+    """The ``()`` expression."""
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        return iter(())
+
+
+class VariableIterator(RuntimeIterator):
+    """A variable reference; RDD-capable when the binding is an RDD."""
+
+    def __init__(self, name: str):
+        super().__init__()
+        self.name = name
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        binding = context._raw(self.name)
+        from repro.jsoniq.runtime.dynamic_context import _RddBinding
+
+        if isinstance(binding, _RddBinding):
+            return binding.rdd.to_local_iterator()
+        return iter(binding)
+
+    def is_rdd(self, context: DynamicContext) -> bool:
+        return context.get_rdd(self.name) is not None
+
+    def get_rdd(self, context: DynamicContext):
+        return context.get_rdd(self.name)
+
+
+class ContextItemIterator(RuntimeIterator):
+    """The ``$$`` expression."""
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        yield context.context_item
+
+
+class CommaIterator(RuntimeIterator):
+    """Sequence concatenation ``e1, e2, ...`` — flat, per the JDM."""
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        for child in self.children:
+            yield from child.iterate(context)
+
+    def is_rdd(self, context: DynamicContext) -> bool:
+        return all(child.is_rdd(context) for child in self.children)
+
+    def get_rdd(self, context: DynamicContext):
+        rdd = self.children[0].get_rdd(context)
+        for child in self.children[1:]:
+            rdd = rdd.union(child.get_rdd(context))
+        return rdd
+
+
+class ObjectConstructorIterator(RuntimeIterator):
+    """``{ key : value, ... }`` with dynamic keys and values.
+
+    Key expressions must produce exactly one atomic castable to string;
+    value expressions are materialized — an empty sequence becomes ``null``
+    and a longer sequence is boxed into an array, following Rumble.
+    """
+
+    def __init__(self, pairs: List[Tuple[RuntimeIterator, RuntimeIterator]]):
+        super().__init__([node for pair in pairs for node in pair])
+        self.pairs = pairs
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        members = {}
+        for key_iterator, value_iterator in self.pairs:
+            key_item = key_iterator.evaluate_atomic(context, "object key")
+            if key_item is None:
+                raise TypeException("object keys cannot be empty sequences")
+            key = (
+                key_item.value
+                if key_item.is_string
+                else key_item.serialize().strip('"')
+            )
+            values = value_iterator.materialize(context)
+            if not values:
+                members[key] = NULL
+            elif len(values) == 1:
+                members[key] = values[0]
+            else:
+                members[key] = ArrayItem(values)
+        yield ObjectItem(members)
+
+
+class ArrayConstructorIterator(RuntimeIterator):
+    """``[ expr ]`` — boxes the content sequence into one array item."""
+
+    def __init__(self, content: RuntimeIterator | None):
+        super().__init__([content] if content else [])
+        self.content = content
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        if self.content is None:
+            yield ArrayItem([])
+        else:
+            yield ArrayItem(self.content.materialize(context))

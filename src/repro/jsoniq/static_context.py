@@ -1,0 +1,79 @@
+"""Chained static contexts (paper, Section 5.3).
+
+Each expression is analysed in a static context holding the in-scope
+variables and known user-defined functions.  Contexts are chained — a
+child context references its parent instead of copying bindings — so that
+variable declaration is O(1) and lookups walk the chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.jsoniq.errors import StaticException
+
+
+class StaticContext:
+    """One scope in the chain."""
+
+    def __init__(self, parent: Optional["StaticContext"] = None):
+        self.parent = parent
+        self._variables: Dict[str, object] = {}
+        # Functions live in the root context only (JSONiq prolog scope).
+        self._functions: Dict[Tuple[str, int], object] = {} if parent is None else None
+
+    # -- Variables ------------------------------------------------------------
+    def bind_variable(self, name: str, declared_type: object = None) -> "StaticContext":
+        """Return a child context with one more in-scope variable."""
+        child = StaticContext(self)
+        child._variables[name] = declared_type
+        return child
+
+    def has_variable(self, name: str) -> bool:
+        context: Optional[StaticContext] = self
+        while context is not None:
+            if name in context._variables:
+                return True
+            context = context.parent
+        return False
+
+    def require_variable(self, name: str, line: int = 0, column: int = 0) -> None:
+        if not self.has_variable(name):
+            raise StaticException(
+                "undeclared variable ${}".format(name),
+                code="XPST0008",
+                line=line,
+                column=column,
+            )
+
+    def in_scope_variables(self) -> Dict[str, object]:
+        """All visible variables, innermost binding winning."""
+        chain = []
+        context: Optional[StaticContext] = self
+        while context is not None:
+            chain.append(context._variables)
+            context = context.parent
+        merged: Dict[str, object] = {}
+        for variables in reversed(chain):
+            merged.update(variables)
+        return merged
+
+    # -- Functions --------------------------------------------------------------
+    def _root(self) -> "StaticContext":
+        context = self
+        while context.parent is not None:
+            context = context.parent
+        return context
+
+    def declare_function(self, name: str, arity: int, declaration) -> None:
+        root = self._root()
+        key = (name, arity)
+        if key in root._functions:
+            raise StaticException(
+                "function {}#{} declared twice".format(name, arity),
+                code="XQST0034",
+            )
+        root._functions[key] = declaration
+
+    def lookup_function(self, name: str, arity: int):
+        return self._root()._functions.get((name, arity))

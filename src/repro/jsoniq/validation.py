@@ -1,0 +1,233 @@
+"""JSound-lite schema validation and annotation.
+
+Schema validation is listed as future work in the paper's conclusion;
+this module implements a compact JSound-style dialect.  A schema is
+itself a JSON value:
+
+* an atomic type name — ``"string"``, ``"integer"``, ``"decimal"``,
+  ``"double"``, ``"number"``, ``"boolean"``, ``"null"``, ``"date"``,
+  ``"atomic"``, ``"item"``;
+* an object — field name to nested schema; a ``?`` suffix on the field
+  name marks it optional (``{"name": "string", "age?": "integer"}``);
+* a one-element array — an array of that member schema (``["string"]``);
+* a type name with a ``?`` suffix — nullable/absent allowed
+  (``"integer?"``).
+
+Three builtin functions are registered:
+
+* ``validate($seq, $schema)`` — returns the items unchanged, raising a
+  dynamic error (code ``JNTY0004``) on the first violation;
+* ``is-valid($seq, $schema)`` — boolean;
+* ``annotate($seq, $schema)`` — *casts* values to the declared types
+  where possible (``"5"`` → 5 for an ``integer`` field), the JSound
+  annotation behaviour that makes messy data clean.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.items import Item, ObjectItem, ArrayItem
+from repro.jsoniq.errors import DynamicException, JsoniqException
+from repro.jsoniq.functions.registry import simple_function
+from repro.jsoniq.runtime.control import cast_item, matches_item_type
+
+_ATOMIC_NAMES = {
+    "string", "integer", "decimal", "double", "number", "boolean",
+    "null", "date", "atomic", "item",
+}
+
+
+class ValidationError(DynamicException):
+    """A value does not match its declared schema."""
+
+    default_code = "JNTY0004"
+
+
+class SchemaError(DynamicException):
+    """The schema itself is malformed."""
+
+    default_code = "JNTY0001"
+
+
+class Validator:
+    """A compiled schema node."""
+
+    def check(self, item: Item, path: str) -> Optional[str]:
+        """None when valid, else a human-readable violation."""
+        raise NotImplementedError
+
+    def annotate(self, item: Item, path: str) -> Item:
+        """The item coerced to this schema; raises on impossible values."""
+        raise NotImplementedError
+
+
+class AtomicValidator(Validator):
+    def __init__(self, type_name: str, nullable: bool):
+        self.type_name = type_name
+        self.nullable = nullable
+
+    def check(self, item: Item, path: str) -> Optional[str]:
+        if self.nullable and item.is_null:
+            return None
+        if matches_item_type(item, self.type_name):
+            return None
+        return "{}: expected {}, got {}".format(
+            path, self.type_name, item.type_name
+        )
+
+    def annotate(self, item: Item, path: str) -> Item:
+        if self.nullable and item.is_null:
+            return item
+        if matches_item_type(item, self.type_name):
+            return item
+        if self.type_name in ("item", "atomic", "number"):
+            raise ValidationError(
+                "{}: cannot annotate {} as {}".format(
+                    path, item.type_name, self.type_name
+                )
+            )
+        try:
+            return cast_item(item, self.type_name)
+        except JsoniqException as error:
+            raise ValidationError(
+                "{}: cannot cast {} to {}".format(
+                    path, item.type_name, self.type_name
+                )
+            ) from error
+
+
+class ObjectValidator(Validator):
+    def __init__(self, fields):
+        #: field name -> (validator, required)
+        self.fields = fields
+
+    def check(self, item: Item, path: str) -> Optional[str]:
+        if not item.is_object:
+            return "{}: expected an object, got {}".format(
+                path, item.type_name
+            )
+        for name, (validator, required) in self.fields.items():
+            value = item.pairs.get(name)
+            if value is None:
+                if required:
+                    return "{}: missing required field {!r}".format(
+                        path, name
+                    )
+                continue
+            violation = validator.check(value, path + "." + name)
+            if violation:
+                return violation
+        return None
+
+    def annotate(self, item: Item, path: str) -> Item:
+        if not item.is_object:
+            raise ValidationError(
+                "{}: expected an object, got {}".format(path, item.type_name)
+            )
+        out = {}
+        for name, value in item.pairs.items():
+            spec = self.fields.get(name)
+            if spec is None:
+                out[name] = value  # open schema: extra fields pass through
+            else:
+                out[name] = spec[0].annotate(value, path + "." + name)
+        for name, (validator, required) in self.fields.items():
+            if required and name not in item.pairs:
+                raise ValidationError(
+                    "{}: missing required field {!r}".format(path, name)
+                )
+        return ObjectItem(out)
+
+
+class ArrayValidator(Validator):
+    def __init__(self, member: Validator):
+        self.member = member
+
+    def check(self, item: Item, path: str) -> Optional[str]:
+        if not item.is_array:
+            return "{}: expected an array, got {}".format(
+                path, item.type_name
+            )
+        for index, member in enumerate(item.members, start=1):
+            violation = self.member.check(
+                member, "{}[[{}]]".format(path, index)
+            )
+            if violation:
+                return violation
+        return None
+
+    def annotate(self, item: Item, path: str) -> Item:
+        if not item.is_array:
+            raise ValidationError(
+                "{}: expected an array, got {}".format(path, item.type_name)
+            )
+        return ArrayItem([
+            self.member.annotate(member, "{}[[{}]]".format(path, index))
+            for index, member in enumerate(item.members, start=1)
+        ])
+
+
+def compile_schema(schema: Item) -> Validator:
+    """Compile a schema item into a validator tree."""
+    if schema.is_string:
+        name = schema.value
+        nullable = name.endswith("?")
+        if nullable:
+            name = name[:-1]
+        if name not in _ATOMIC_NAMES:
+            raise SchemaError("unknown schema type {!r}".format(name))
+        return AtomicValidator(name, nullable)
+    if schema.is_object:
+        fields = {}
+        for raw_name, nested in schema.pairs.items():
+            required = not raw_name.endswith("?")
+            name = raw_name if required else raw_name[:-1]
+            fields[name] = (compile_schema(nested), required)
+        return ObjectValidator(fields)
+    if schema.is_array:
+        if len(schema.members) != 1:
+            raise SchemaError(
+                "array schemas must have exactly one member schema"
+            )
+        return ArrayValidator(compile_schema(schema.members[0]))
+    raise SchemaError(
+        "a schema must be a type name, object or array, got "
+        + schema.type_name
+    )
+
+
+def _schema_argument(sequence, name: str) -> Validator:
+    if len(sequence) != 1:
+        raise SchemaError("{}() requires a single schema item".format(name))
+    return compile_schema(sequence[0])
+
+
+@simple_function("validate", [2])
+def _validate(context, sequence, schema) -> List[Item]:
+    validator = _schema_argument(schema, "validate")
+    for position, item in enumerate(sequence, start=1):
+        violation = validator.check(item, "$[{}]".format(position))
+        if violation:
+            raise ValidationError(violation)
+    return sequence
+
+
+@simple_function("is-valid", [2])
+def _is_valid(context, sequence, schema) -> List[Item]:
+    from repro.items import FALSE, TRUE
+
+    validator = _schema_argument(schema, "is-valid")
+    for position, item in enumerate(sequence, start=1):
+        if validator.check(item, "$[{}]".format(position)):
+            return [FALSE]
+    return [TRUE]
+
+
+@simple_function("annotate", [2])
+def _annotate(context, sequence, schema) -> List[Item]:
+    validator = _schema_argument(schema, "annotate")
+    return [
+        validator.annotate(item, "$[{}]".format(position))
+        for position, item in enumerate(sequence, start=1)
+    ]

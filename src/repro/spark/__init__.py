@@ -1,0 +1,50 @@
+"""The Spark substrate: RDDs, DataFrames, mini Spark SQL, storage, cluster.
+
+This package is the from-scratch stand-in for Apache Spark that Rumble's
+mappings (paper, Section 4) execute on.  Public surface::
+
+    from repro.spark import (
+        SparkConf, SparkContext, SparkSession, RDD, DataFrame,
+        col, lit, explode, Row,
+    )
+"""
+
+from repro.spark.column import Column, SortOrder, col, explode, lit, row_udf, udf
+from repro.spark.context import SparkConf, SparkContext, SparkSession
+from repro.spark.dataframe import (
+    DataFrame,
+    agg_avg,
+    agg_collect_list,
+    agg_count,
+    agg_first,
+    agg_max,
+    agg_min,
+    agg_sum,
+)
+from repro.spark.rdd import RDD
+from repro.spark.types import Row, StructField, StructType
+
+__all__ = [
+    "SparkConf",
+    "SparkContext",
+    "SparkSession",
+    "RDD",
+    "DataFrame",
+    "Row",
+    "StructField",
+    "StructType",
+    "Column",
+    "SortOrder",
+    "col",
+    "lit",
+    "explode",
+    "udf",
+    "row_udf",
+    "agg_count",
+    "agg_sum",
+    "agg_avg",
+    "agg_min",
+    "agg_max",
+    "agg_collect_list",
+    "agg_first",
+]

@@ -1,0 +1,174 @@
+"""Executor pool and cluster model.
+
+The paper's cluster experiments (Figures 13-15) run Spark with a varying
+number of executors.  Our substrate reproduces this with two cooperating
+pieces:
+
+* :class:`ExecutorPool` actually runs the tasks of a stage — inline, or on
+  a thread pool — measuring per-task CPU time and retrying failed tasks
+  (Spark's lineage-based recomputation: a task is a pure function of its
+  partition, so re-running it is recovery).
+
+* :func:`simulate_makespan` converts the measured per-task costs into the
+  wall-clock a cluster of *N* executors would need, using the same greedy
+  earliest-free-executor policy as Spark's scheduler.  This is the
+  documented substitution for real EC2 nodes: speedup curves are a
+  property of the task-time distribution and the scheduler, both of which
+  we retain.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+
+class TaskFailure(RuntimeError):
+    """A task failed more times than ``max_retries`` allows."""
+
+
+@dataclass
+class TaskMetrics:
+    """Cost of one executed task."""
+
+    partition: int
+    seconds: float
+    attempts: int
+
+
+@dataclass
+class StageMetrics:
+    """Costs of one stage: the unit between two shuffle boundaries."""
+
+    stage_id: int
+    tasks: List[TaskMetrics] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(task.seconds for task in self.tasks)
+
+    def makespan(self, num_executors: int) -> float:
+        return simulate_makespan(
+            [task.seconds for task in self.tasks], num_executors
+        )
+
+
+class ExecutorPool:
+    """Runs the tasks of one stage and records their metrics.
+
+    ``mode`` is ``"inline"`` (deterministic, single-threaded — the default,
+    and what benchmarks use together with :func:`simulate_makespan`) or
+    ``"threads"`` (a real thread pool, for wall-clock parallelism on
+    workloads that release the GIL).
+    """
+
+    def __init__(
+        self,
+        num_executors: int = 4,
+        mode: str = "inline",
+        max_retries: int = 3,
+        failure_injector: Optional[Callable[[int, int], bool]] = None,
+    ):
+        if mode not in ("inline", "threads"):
+            raise ValueError("unknown executor mode: " + mode)
+        self.num_executors = num_executors
+        self.mode = mode
+        self.max_retries = max_retries
+        #: Called as ``failure_injector(partition, attempt)``; returning
+        #: True makes the attempt fail.  Used by fault-injection tests.
+        self.failure_injector = failure_injector
+        self.stages: List[StageMetrics] = []
+        self._next_stage_id = 0
+
+    def run_stage(
+        self, tasks: Sequence[Callable[[], Any]], label: str = ""
+    ) -> List[Any]:
+        """Execute every task, returning results in task order."""
+        stage = StageMetrics(stage_id=self._next_stage_id)
+        self._next_stage_id += 1
+        self.stages.append(stage)
+        if self.mode == "threads" and len(tasks) > 1:
+            workers = min(self.num_executors, len(tasks))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(self._run_task, stage, index, task)
+                    for index, task in enumerate(tasks)
+                ]
+                return [future.result() for future in futures]
+        return [
+            self._run_task(stage, index, task)
+            for index, task in enumerate(tasks)
+        ]
+
+    def _run_task(
+        self, stage: StageMetrics, index: int, task: Callable[[], Any]
+    ) -> Any:
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, self.max_retries + 2):
+            started = time.perf_counter()
+            try:
+                if self.failure_injector and self.failure_injector(
+                    index, attempt
+                ):
+                    raise RuntimeError(
+                        "injected failure in partition {}".format(index)
+                    )
+                result = task()
+            except Exception as error:  # noqa: BLE001 - retried below
+                if not getattr(error, "retryable", True):
+                    raise
+                last_error = error
+                continue
+            stage.tasks.append(
+                TaskMetrics(
+                    partition=index,
+                    seconds=time.perf_counter() - started,
+                    attempts=attempt,
+                )
+            )
+            return result
+        raise TaskFailure(
+            "partition {} failed after {} attempts: {}".format(
+                index, self.max_retries + 1, last_error
+            )
+        ) from last_error
+
+    # -- Reporting -----------------------------------------------------------
+    def total_task_seconds(self) -> float:
+        """Aggregate CPU time over all stages (the paper's Figure 14
+        'aggregated runtime over the cluster')."""
+        return sum(stage.total_seconds for stage in self.stages)
+
+    def simulated_wall_clock(self, num_executors: Optional[int] = None) -> float:
+        """Makespan of the recorded stages on ``num_executors`` executors.
+
+        Stages are barriers: stage *k+1* starts only when stage *k* is done,
+        so the total is the sum of per-stage makespans.
+        """
+        executors = num_executors or self.num_executors
+        return sum(stage.makespan(executors) for stage in self.stages)
+
+    def reset_metrics(self) -> None:
+        self.stages = []
+        self._next_stage_id = 0
+
+
+def simulate_makespan(task_seconds: Sequence[float], num_executors: int) -> float:
+    """Wall-clock of scheduling tasks greedily on ``num_executors`` cores.
+
+    Tasks are assigned in submission order to the earliest-free executor,
+    matching Spark's FIFO task scheduling within a stage.
+    """
+    if num_executors <= 0:
+        raise ValueError("num_executors must be positive")
+    if not task_seconds:
+        return 0.0
+    free_at = [0.0] * min(num_executors, len(task_seconds))
+    heapq.heapify(free_at)
+    for cost in task_seconds:
+        soonest = heapq.heappop(free_at)
+        heapq.heappush(free_at, soonest + cost)
+    return max(free_at)

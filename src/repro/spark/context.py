@@ -1,0 +1,130 @@
+"""SparkConf, SparkContext and the session entry point of the substrate."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.spark.cluster import ExecutorPool
+from repro.spark.shuffle import ShuffleMetrics
+from repro.spark import storage
+
+
+class SparkConf:
+    """A tiny key-value configuration, mirroring Spark's SparkConf."""
+
+    def __init__(self, **settings: Any):
+        self._settings: Dict[str, Any] = {
+            "spark.default.parallelism": 8,
+            "spark.executor.instances": 4,
+            "spark.executor.mode": "inline",
+            "spark.storage.blockSize": storage.DEFAULT_BLOCK_SIZE,
+        }
+        self._settings.update(settings)
+
+    def set(self, key: str, value: Any) -> "SparkConf":
+        self._settings[key] = value
+        return self
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._settings.get(key, default)
+
+
+class SparkContext:
+    """The driver-side handle: creates RDDs and owns the executor pool."""
+
+    def __init__(self, conf: Optional[SparkConf] = None):
+        self.conf = conf or SparkConf()
+        self.default_parallelism = int(
+            self.conf.get("spark.default.parallelism")
+        )
+        self.executors = ExecutorPool(
+            num_executors=int(self.conf.get("spark.executor.instances")),
+            mode=self.conf.get("spark.executor.mode"),
+        )
+        self.shuffle_metrics = ShuffleMetrics()
+        self._next_rdd_id = 0
+
+    # -- RDD creation --------------------------------------------------------
+    def parallelize(self, data: Iterable[Any], num_slices: Optional[int] = None):
+        """Distribute a local collection into an RDD."""
+        from repro.spark.rdd import RDD
+
+        records: List[Any] = list(data)
+        slices = num_slices or min(self.default_parallelism, max(1, len(records)))
+        slices = max(1, slices)
+        chunk = -(-len(records) // slices) if records else 1
+        partitions = [
+            records[i * chunk:(i + 1) * chunk] for i in range(slices)
+        ]
+
+        def compute(split: int):
+            return iter(partitions[split])
+
+        return RDD(self, compute, len(partitions), name="parallelize")
+
+    def empty_rdd(self):
+        return self.parallelize([], 1)
+
+    def text_file(self, uri: str, min_partitions: Optional[int] = None):
+        """Read a text file (or directory) as an RDD of lines.
+
+        The file is split into HDFS-style blocks; each block becomes one
+        partition, so partition count tracks input size exactly as in Spark.
+        """
+        from repro.spark.rdd import RDD
+
+        blocks = storage.split_input(
+            uri,
+            min_partitions=min_partitions,
+            block_size=int(self.conf.get("spark.storage.blockSize")),
+        )
+
+        def compute(split: int):
+            return blocks[split].read_lines()
+
+        return RDD(self, compute, len(blocks), name="textFile({})".format(uri))
+
+    # PySpark-style aliases, so baseline code reads like the paper's Figure 2.
+    textFile = text_file
+
+    # -- Bookkeeping ---------------------------------------------------------
+    def next_rdd_id(self) -> int:
+        self._next_rdd_id += 1
+        return self._next_rdd_id
+
+    def reset_metrics(self) -> None:
+        self.executors.reset_metrics()
+        self.shuffle_metrics.reset()
+
+
+class SparkSession:
+    """The unified entry point (``SparkSession.builder...``-style)."""
+
+    def __init__(self, context: Optional[SparkContext] = None):
+        self.spark_context = context or SparkContext()
+        from repro.spark.sql.catalog import Catalog
+
+        self.catalog = Catalog()
+
+    @property
+    def sparkContext(self) -> SparkContext:  # noqa: N802 - PySpark spelling
+        return self.spark_context
+
+    @property
+    def read(self):
+        from repro.spark.dataframe import DataFrameReader
+
+        return DataFrameReader(self)
+
+    def create_dataframe(self, rows, schema=None):
+        from repro.spark.dataframe import DataFrame, dataframe_from_rows
+
+        return dataframe_from_rows(self, rows, schema)
+
+    createDataFrame = create_dataframe
+
+    def sql(self, query: str):
+        """Run a Spark SQL query against the registered temp views."""
+        from repro.spark.sql.executor import run_sql
+
+        return run_sql(self, query)

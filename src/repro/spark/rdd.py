@@ -1,0 +1,503 @@
+"""Resilient Distributed Datasets: lazy, partitioned, immutable collections.
+
+The RDD is the first-class citizen of the substrate (paper, Section 2.2).
+Transformations are lazy — they build lineage — and actions trigger
+execution on the context's executor pool, one task per partition.  Wide
+transformations (``reduceByKey``, ``groupByKey``, ``sortBy``...) introduce a
+stage boundary backed by :mod:`repro.spark.shuffle`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.spark.shuffle import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    shuffle_pairs,
+)
+
+
+class RDD:
+    """A lazy partitioned collection.
+
+    ``compute(split)`` returns an iterator over the records of partition
+    ``split``.  Narrow transformations wrap the parent's compute; wide ones
+    materialize through a shuffle on first use and then serve buckets.
+    """
+
+    def __init__(
+        self,
+        context,
+        compute: Callable[[int], Iterator[Any]],
+        num_partitions: int,
+        name: str = "rdd",
+    ):
+        self.context = context
+        self._compute = compute
+        self.num_partitions = max(1, num_partitions)
+        self.name = name
+        self.rdd_id = context.next_rdd_id()
+        self._cache: Optional[List[List[Any]]] = None
+
+    # -- Internal plumbing ---------------------------------------------------
+    def compute_partition(self, split: int) -> Iterator[Any]:
+        if self._cache is not None:
+            return iter(self._cache[split])
+        return self._compute(split)
+
+    def _derive(
+        self,
+        transform: Callable[[int, Iterator[Any]], Iterator[Any]],
+        name: str,
+        num_partitions: Optional[int] = None,
+    ) -> "RDD":
+        parent = self
+
+        def compute(split: int) -> Iterator[Any]:
+            return transform(split, parent.compute_partition(split))
+
+        return RDD(
+            self.context,
+            compute,
+            num_partitions or self.num_partitions,
+            name="{}<-{}".format(name, self.name),
+        )
+
+    def _run_all_partitions(self) -> List[List[Any]]:
+        """Evaluate every partition as one stage on the executor pool."""
+        if self._cache is not None:
+            return self._cache
+
+        def make_task(split: int) -> Callable[[], List[Any]]:
+            return lambda: list(self.compute_partition(split))
+
+        tasks = [make_task(split) for split in range(self.num_partitions)]
+        return self.context.executors.run_stage(tasks, label=self.name)
+
+    # -- Caching -------------------------------------------------------------
+    def cache(self) -> "RDD":
+        """Materialize on first evaluation and serve from memory after."""
+        if self._cache is None:
+            self._cache = self._run_all_partitions()
+        return self
+
+    persist = cache
+
+    def unpersist(self) -> "RDD":
+        self._cache = None
+        return self
+
+    # -- Narrow transformations ------------------------------------------------
+    def map(self, func: Callable[[Any], Any]) -> "RDD":
+        return self._derive(
+            lambda _, part: (func(record) for record in part), "map"
+        )
+
+    def flat_map(self, func: Callable[[Any], Iterable[Any]]) -> "RDD":
+        return self._derive(
+            lambda _, part: (
+                out for record in part for out in func(record)
+            ),
+            "flatMap",
+        )
+
+    flatMap = flat_map
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "RDD":
+        return self._derive(
+            lambda _, part: (r for r in part if predicate(r)), "filter"
+        )
+
+    def map_partitions(
+        self, func: Callable[[Iterator[Any]], Iterable[Any]]
+    ) -> "RDD":
+        return self._derive(lambda _, part: iter(func(part)), "mapPartitions")
+
+    mapPartitions = map_partitions
+
+    def map_partitions_with_index(
+        self, func: Callable[[int, Iterator[Any]], Iterable[Any]]
+    ) -> "RDD":
+        return self._derive(
+            lambda split, part: iter(func(split, part)),
+            "mapPartitionsWithIndex",
+        )
+
+    mapPartitionsWithIndex = map_partitions_with_index
+
+    def map_values(self, func: Callable[[Any], Any]) -> "RDD":
+        return self.map(lambda pair: (pair[0], func(pair[1])))
+
+    mapValues = map_values
+
+    def keys(self) -> "RDD":
+        return self.map(lambda pair: pair[0])
+
+    def values(self) -> "RDD":
+        return self.map(lambda pair: pair[1])
+
+    def glom(self) -> "RDD":
+        return self._derive(lambda _, part: iter([list(part)]), "glom")
+
+    def union(self, other: "RDD") -> "RDD":
+        left, left_count = self, self.num_partitions
+
+        def compute(split: int) -> Iterator[Any]:
+            if split < left_count:
+                return left.compute_partition(split)
+            return other.compute_partition(split - left_count)
+
+        return RDD(
+            self.context,
+            compute,
+            left_count + other.num_partitions,
+            name="union",
+        )
+
+    def zip_with_index(self) -> "RDD":
+        """Pair each record with its global index.
+
+        Needs the per-partition counts first — the same two-pass scheme as
+        Spark's ``zipWithIndex`` — so it triggers one counting job.  The
+        input is cached first so lineage is not recomputed for each pass.
+        """
+        self.cache()
+        counts = [
+            sum(1 for _ in self.compute_partition(split))
+            for split in range(self.num_partitions)
+        ]
+        offsets = [0]
+        for count in counts[:-1]:
+            offsets.append(offsets[-1] + count)
+
+        def transform(split: int, part: Iterator[Any]) -> Iterator[Any]:
+            return (
+                (record, offsets[split] + position)
+                for position, record in enumerate(part)
+            )
+
+        return self._derive_with_index(transform, "zipWithIndex")
+
+    zipWithIndex = zip_with_index
+
+    def _derive_with_index(self, transform, name: str) -> "RDD":
+        parent = self
+
+        def compute(split: int) -> Iterator[Any]:
+            return transform(split, parent.compute_partition(split))
+
+        return RDD(self.context, compute, self.num_partitions, name=name)
+
+    def sample(self, fraction: float, seed: int = 17) -> "RDD":
+        def transform(split: int, part: Iterator[Any]) -> Iterator[Any]:
+            rng = random.Random(seed * 1000003 + split)
+            return (r for r in part if rng.random() < fraction)
+
+        return self._derive_with_index(transform, "sample")
+
+    # -- Wide transformations ---------------------------------------------------
+    def _shuffled(
+        self,
+        to_pairs: Callable[[Iterator[Any]], Iterator[Tuple[Any, Any]]],
+        partitioner: Partitioner,
+        name: str,
+    ) -> "RDD":
+        """Build the child of a shuffle boundary.
+
+        The shuffle itself runs lazily, once, on first partition access:
+        the parent's partitions are evaluated as a stage, pairs are routed
+        to buckets, and the child serves bucket ``i`` as partition ``i``.
+        """
+        parent = self
+        state: Dict[str, Any] = {}
+
+        def buckets() -> List[List[Tuple[Any, Any]]]:
+            if "buckets" not in state:
+                parts = parent._run_all_partitions()
+                state["buckets"] = shuffle_pairs(
+                    (to_pairs(iter(part)) for part in parts),
+                    partitioner,
+                    metrics=parent.context.shuffle_metrics,
+                )
+            return state["buckets"]
+
+        def compute(split: int) -> Iterator[Tuple[Any, Any]]:
+            return iter(buckets()[split])
+
+        return RDD(
+            self.context,
+            compute,
+            partitioner.num_partitions,
+            name="{}<-{}".format(name, self.name),
+        )
+
+    def reduce_by_key(
+        self, func: Callable[[Any, Any], Any],
+        num_partitions: Optional[int] = None,
+    ) -> "RDD":
+        """Combine values per key with map-side pre-aggregation, as Spark
+        does: each input partition reduces locally before the shuffle."""
+        def combine_local(part: Iterator[Tuple[Any, Any]]):
+            acc: Dict[Any, Any] = {}
+            for key, value in part:
+                acc[key] = func(acc[key], value) if key in acc else value
+            return iter(acc.items())
+
+        partitioner = HashPartitioner(
+            num_partitions or self.num_partitions
+        )
+        shuffled = self._shuffled(combine_local, partitioner, "reduceByKey")
+
+        def reduce_bucket(part: Iterator[Tuple[Any, Any]]):
+            acc: Dict[Any, Any] = {}
+            for key, value in part:
+                acc[key] = func(acc[key], value) if key in acc else value
+            return iter(acc.items())
+
+        return shuffled.map_partitions(reduce_bucket)
+
+    reduceByKey = reduce_by_key
+
+    def group_by_key(self, num_partitions: Optional[int] = None) -> "RDD":
+        partitioner = HashPartitioner(num_partitions or self.num_partitions)
+        shuffled = self._shuffled(lambda part: part, partitioner, "groupByKey")
+
+        def group_bucket(part: Iterator[Tuple[Any, Any]]):
+            groups: Dict[Any, List[Any]] = {}
+            for key, value in part:
+                groups.setdefault(key, []).append(value)
+            return iter(groups.items())
+
+        return shuffled.map_partitions(group_bucket)
+
+    groupByKey = group_by_key
+
+    def map_to_pair(self, func: Callable[[Any], Tuple[Any, Any]]) -> "RDD":
+        """Java-Spark spelling for building a pair RDD."""
+        return self.map(func)
+
+    mapToPair = map_to_pair
+
+    def sort_by(
+        self,
+        key_func: Callable[[Any], Any],
+        ascending: bool = True,
+        num_partitions: Optional[int] = None,
+    ) -> "RDD":
+        """Total sort: range-partition by sampled bounds, sort in place."""
+        target = num_partitions or self.num_partitions
+        sample = [
+            record
+            for split in range(self.num_partitions)
+            for record in itertools.islice(
+                self.compute_partition(split), 0, 200
+            )
+        ]
+        partitioner = RangePartitioner(
+            target, [key_func(r) for r in sample] or [0]
+        )
+        shuffled = self._shuffled(
+            lambda part: ((key_func(r), r) for r in part),
+            partitioner,
+            "sortBy",
+        )
+
+        def sort_bucket(part: Iterator[Tuple[Any, Any]]):
+            pairs = sorted(part, key=lambda kv: kv[0], reverse=not ascending)
+            return iter(pair[1] for pair in pairs)
+
+        sorted_rdd = shuffled.map_partitions(sort_bucket)
+        if ascending:
+            return sorted_rdd
+        # Descending order must also reverse the partition order.
+        parent = sorted_rdd
+
+        def compute(split: int) -> Iterator[Any]:
+            return parent.compute_partition(parent.num_partitions - 1 - split)
+
+        return RDD(self.context, compute, parent.num_partitions, "sortByDesc")
+
+    sortBy = sort_by
+
+    def sort_by_key(
+        self, ascending: bool = True, num_partitions: Optional[int] = None
+    ) -> "RDD":
+        return self.sort_by(
+            lambda pair: pair[0], ascending, num_partitions
+        )
+
+    sortByKey = sort_by_key
+
+    def distinct(self, num_partitions: Optional[int] = None) -> "RDD":
+        paired = self.map(lambda record: (record, None))
+        return paired.reduce_by_key(lambda a, _: a, num_partitions).keys()
+
+    def repartition(self, num_partitions: int) -> "RDD":
+        counter = itertools.count()
+        partitioner = HashPartitioner(num_partitions)
+        shuffled = self._shuffled(
+            lambda part: ((next(counter), r) for r in part),
+            partitioner,
+            "repartition",
+        )
+        return shuffled.values()
+
+    def coalesce(self, num_partitions: int) -> "RDD":
+        """Merge partitions without a shuffle."""
+        parent = self
+        target = min(num_partitions, self.num_partitions)
+        groups: List[List[int]] = [[] for _ in range(target)]
+        for split in range(self.num_partitions):
+            groups[split % target].append(split)
+
+        def compute(split: int) -> Iterator[Any]:
+            return itertools.chain.from_iterable(
+                parent.compute_partition(parent_split)
+                for parent_split in groups[split]
+            )
+
+        return RDD(self.context, compute, target, name="coalesce")
+
+    def join(self, other: "RDD", num_partitions: Optional[int] = None) -> "RDD":
+        """Inner equi-join of two pair RDDs."""
+        target = num_partitions or max(self.num_partitions, other.num_partitions)
+        left = self.map(lambda pair: (pair[0], ("L", pair[1])))
+        right = other.map(lambda pair: (pair[0], ("R", pair[1])))
+        grouped = left.union(right).group_by_key(target)
+
+        def emit(pair):
+            key, tagged = pair
+            lefts = [value for tag, value in tagged if tag == "L"]
+            rights = [value for tag, value in tagged if tag == "R"]
+            return [
+                (key, (lv, rv)) for lv in lefts for rv in rights
+            ]
+
+        return grouped.flat_map(emit)
+
+    # -- Actions -----------------------------------------------------------------
+    def collect(self) -> List[Any]:
+        return [
+            record
+            for part in self._run_all_partitions()
+            for record in part
+        ]
+
+    def count(self) -> int:
+        def make_task(split: int) -> Callable[[], int]:
+            return lambda: sum(1 for _ in self.compute_partition(split))
+
+        tasks = [make_task(s) for s in range(self.num_partitions)]
+        return sum(self.context.executors.run_stage(tasks, label="count"))
+
+    def take(self, count: int) -> List[Any]:
+        """Evaluate partitions one at a time until enough records exist."""
+        taken: List[Any] = []
+        for split in range(self.num_partitions):
+            if len(taken) >= count:
+                break
+            for record in self.compute_partition(split):
+                taken.append(record)
+                if len(taken) >= count:
+                    break
+        return taken
+
+    def first(self) -> Any:
+        records = self.take(1)
+        if not records:
+            raise ValueError("RDD is empty")
+        return records[0]
+
+    def is_empty(self) -> bool:
+        return not self.take(1)
+
+    isEmpty = is_empty
+
+    def reduce(self, func: Callable[[Any, Any], Any]) -> Any:
+        def make_task(split: int):
+            def reduce_partition():
+                part = list(self.compute_partition(split))
+                if not part:
+                    return None
+                acc = part[0]
+                for record in part[1:]:
+                    acc = func(acc, record)
+                return (acc,)
+
+            return reduce_partition
+
+        partials = [
+            result[0]
+            for result in self.context.executors.run_stage(
+                [make_task(s) for s in range(self.num_partitions)],
+                label="reduce",
+            )
+            if result is not None
+        ]
+        if not partials:
+            raise ValueError("cannot reduce an empty RDD")
+        acc = partials[0]
+        for value in partials[1:]:
+            acc = func(acc, value)
+        return acc
+
+    def aggregate(self, zero, seq_op, comb_op) -> Any:
+        partials = [
+            _fold_partition(self.compute_partition(split), zero, seq_op)
+            for split in range(self.num_partitions)
+        ]
+        acc = zero
+        for value in partials:
+            acc = comb_op(acc, value)
+        return acc
+
+    def count_by_key(self) -> Dict[Any, int]:
+        counts: Dict[Any, int] = {}
+        for key, _ in self.collect():
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    countByKey = count_by_key
+
+    def save_as_text_file(self, uri: str) -> List[str]:
+        from repro.spark import storage
+
+        parts = self._run_all_partitions()
+        return storage.write_partitioned_text(
+            uri, [[str(record) for record in part] for part in parts]
+        )
+
+    saveAsTextFile = save_as_text_file
+
+    def to_local_iterator(self) -> Iterator[Any]:
+        for split in range(self.num_partitions):
+            yield from self.compute_partition(split)
+
+    toLocalIterator = to_local_iterator
+
+    def get_num_partitions(self) -> int:
+        return self.num_partitions
+
+    getNumPartitions = get_num_partitions
+
+
+def _fold_partition(part: Iterator[Any], zero, seq_op) -> Any:
+    import copy
+
+    acc = copy.deepcopy(zero)
+    for record in part:
+        acc = seq_op(acc, record)
+    return acc

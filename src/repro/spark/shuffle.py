@@ -1,0 +1,147 @@
+"""Partitioners and the shuffle used by wide transformations.
+
+A *shuffle* redistributes records across partitions by key, exactly as
+Spark does between map and reduce stages.  The implementation keeps per-
+shuffle metrics (records and approximate bytes moved) so benchmarks can
+report data movement the way Spark's UI does.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Sequence, Tuple
+
+
+class Partitioner:
+    """Maps a key to a partition index in ``range(num_partitions)``."""
+
+    def __init__(self, num_partitions: int):
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        self.num_partitions = num_partitions
+
+    def partition_for(self, key: Any) -> int:
+        raise NotImplementedError
+
+
+class HashPartitioner(Partitioner):
+    """Spark's default partitioner: ``hash(key) mod n``.
+
+    Python randomizes string hashes per process; for deterministic tests we
+    hash the pickled key with a stable algorithm instead.
+    """
+
+    def partition_for(self, key: Any) -> int:
+        return stable_hash(key) % self.num_partitions
+
+
+class RangePartitioner(Partitioner):
+    """Range partitioner used by sortByKey: samples bounds, then bisects."""
+
+    def __init__(self, num_partitions: int, keys: Sequence[Any],
+                 key_func: Callable[[Any], Any] = lambda key: key):
+        super().__init__(num_partitions)
+        self._key_func = key_func
+        sample = sorted(key_func(key) for key in keys)
+        bounds = []
+        if sample and num_partitions > 1:
+            step = len(sample) / num_partitions
+            bounds = [
+                sample[min(len(sample) - 1, int(step * i))]
+                for i in range(1, num_partitions)
+            ]
+        self.bounds = bounds
+
+    def partition_for(self, key: Any) -> int:
+        target = self._key_func(key)
+        low, high = 0, len(self.bounds)
+        while low < high:
+            mid = (low + high) // 2
+            if target <= self.bounds[mid]:
+                high = mid
+            else:
+                low = mid + 1
+        return low
+
+
+def stable_hash(key: Any) -> int:
+    """A process-stable, deterministic hash for arbitrary picklable keys.
+
+    Tuples (the common shuffle key shape), strings, numbers, booleans and
+    None are hashed structurally; anything else falls back to hashing its
+    pickle, which stays deterministic but costs a serialization.
+    """
+    kind = type(key)
+    if kind is str:
+        return zlib.crc32(key.encode("utf-8")) & 0x7FFFFFFF
+    if kind is bool:
+        return 7 if key else 11
+    if kind is int:
+        return key & 0x7FFFFFFF
+    if key is None:
+        return 5381
+    if kind is float:
+        if key == int(key) and abs(key) < 2 ** 31:
+            return int(key) & 0x7FFFFFFF
+        return zlib.crc32(repr(key).encode()) & 0x7FFFFFFF
+    if kind is tuple:
+        value = 2166136261
+        for part in key:
+            value = (value * 16777619 + stable_hash(part)) & 0x7FFFFFFF
+        return value
+    return zlib.crc32(pickle.dumps(key, protocol=4)) & 0x7FFFFFFF
+
+
+@dataclass
+class ShuffleMetrics:
+    """Accumulated cost of the shuffles executed by one context.
+
+    ``measure_bytes`` makes every shuffle also pickle its records to
+    weigh them — expensive, so it is off by default and only switched on
+    by benchmarks that report data movement.
+    """
+
+    shuffles: int = 0
+    records: int = 0
+    bytes: int = 0
+    measure_bytes: bool = False
+
+    def record(self, count: int, size: int) -> None:
+        self.shuffles += 1
+        self.records += count
+        self.bytes += size
+
+    def reset(self) -> None:
+        self.shuffles = 0
+        self.records = 0
+        self.bytes = 0
+
+
+def shuffle_pairs(
+    partitions: Iterable[Iterable[Tuple[Any, Any]]],
+    partitioner: Partitioner,
+    metrics: "ShuffleMetrics | None" = None,
+    measure_bytes: bool = False,
+) -> List[List[Tuple[Any, Any]]]:
+    """Redistribute key-value pairs into ``partitioner.num_partitions``
+    output partitions.  This is the materialization point of a stage
+    boundary: everything upstream is evaluated here.
+    """
+    buckets: List[List[Tuple[Any, Any]]] = [
+        [] for _ in range(partitioner.num_partitions)
+    ]
+    moved = 0
+    size = 0
+    weigh = measure_bytes or (metrics is not None and metrics.measure_bytes)
+    for partition in partitions:
+        for pair in partition:
+            key = pair[0]
+            buckets[partitioner.partition_for(key)].append(pair)
+            moved += 1
+            if weigh:
+                size += len(pickle.dumps(pair, protocol=4))
+    if metrics is not None:
+        metrics.record(moved, size)
+    return buckets

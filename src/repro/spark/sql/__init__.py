@@ -1,0 +1,13 @@
+"""A miniature Spark SQL: SQL text -> logical plan -> optimized DataFrame ops.
+
+Pipeline::
+
+    parser.parse_sql(text)      ->  plan.LogicalPlan
+    optimizer.optimize(plan)    ->  plan.LogicalPlan
+    executor.execute(session, plan)  ->  DataFrame
+"""
+
+from repro.spark.sql.executor import run_sql
+from repro.spark.sql.parser import parse_sql
+
+__all__ = ["run_sql", "parse_sql"]

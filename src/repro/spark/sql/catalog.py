@@ -1,0 +1,33 @@
+"""Temp-view catalog mapping names to DataFrames."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class CatalogError(KeyError):
+    """An unknown view was referenced."""
+
+
+class Catalog:
+    """Session-scoped registry of temp views."""
+
+    def __init__(self) -> None:
+        self._views: Dict[str, object] = {}
+
+    def register(self, name: str, frame) -> None:
+        self._views[name.lower()] = frame
+
+    def lookup(self, name: str):
+        try:
+            return self._views[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                "table or view not found: {}".format(name)
+            ) from None
+
+    def drop(self, name: str) -> None:
+        self._views.pop(name.lower(), None)
+
+    def names(self) -> List[str]:
+        return sorted(self._views)

@@ -1,0 +1,124 @@
+"""Physical execution: logical plan -> DataFrame operators."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional
+
+from repro.spark.column import Alias, ColumnRef
+from repro.spark.dataframe import DataFrame, _null_safe_key
+from repro.spark.sql.optimizer import optimize
+from repro.spark.sql.parser import parse_sql
+from repro.spark.sql.plan import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Scan,
+    Sort,
+    TopK,
+)
+
+
+def run_sql(session, query: str, rules: Optional[List[str]] = None) -> DataFrame:
+    """Parse, optimize and execute one SQL statement."""
+    plan = optimize(parse_sql(query), rules)
+    return execute(session, plan)
+
+
+def explain(session, query: str, rules: Optional[List[str]] = None) -> str:
+    """The optimized plan as explain-style text."""
+    return optimize(parse_sql(query), rules).describe()
+
+
+def execute(session, plan: LogicalPlan) -> DataFrame:
+    if isinstance(plan, Scan):
+        return session.catalog.lookup(plan.view)
+    if isinstance(plan, Filter):
+        return execute(session, plan.child).where(plan.condition)
+    if isinstance(plan, Project):
+        frame = execute(session, plan.child)
+        if plan.star and not plan.columns:
+            return frame
+        columns = [Alias(expr, name) for name, expr in plan.columns]
+        if plan.star:
+            existing = [ColumnRef(name) for name in frame.columns]
+            columns = existing + columns
+        return frame.select(*columns)
+    if isinstance(plan, Aggregate):
+        frame = execute(session, plan.child)
+        keys = [Alias(expr, name) for name, expr in plan.groupings]
+        if not keys:
+            # Global aggregation: group everything under one constant key.
+            from repro.spark.column import lit
+
+            keys = [Alias(lit(0), "__global__")]
+            grouped = frame.group_by(*keys).agg(*plan.aggregates)
+            return grouped.drop("__global__")
+        return frame.group_by(*keys).agg(*plan.aggregates)
+    if isinstance(plan, Join):
+        left = execute(session, plan.left)
+        right = execute(session, plan.right)
+        if plan.right_key != plan.left_key:
+            right = right.with_column_renamed(
+                plan.right_key, plan.left_key
+            )
+        return left.join(right, on=plan.left_key, how=plan.how)
+    if isinstance(plan, Sort):
+        return execute(session, plan.child).order_by(*plan.orders)
+    if isinstance(plan, Limit):
+        return execute(session, plan.child).limit(plan.count)
+    if isinstance(plan, TopK):
+        return _execute_topk(session, plan)
+    raise TypeError("cannot execute plan node {!r}".format(plan))
+
+
+def _execute_topk(session, plan: TopK) -> DataFrame:
+    """Heap-based top-k: per-partition heaps, merged on the driver."""
+    frame = execute(session, plan.child)
+    orders = plan.orders
+    count = plan.count
+
+    def sort_key(row: Dict[str, Any]):
+        return tuple(
+            _null_safe_key(order.column.eval(row), order.ascending)
+            for order in orders
+        )
+
+    def partition_topk(part):
+        best = heapq.nsmallest(count, part, key=sort_key)
+        return iter(best)
+
+    rdd = frame.rdd.map_partitions(partition_topk)
+    merged = heapq.nsmallest(count, rdd.collect(), key=sort_key)
+    local = session.spark_context.parallelize(merged, 1)
+    return DataFrame(session, local, frame.schema)
+
+
+class _Neg:
+    """Inverts ordering of a wrapped key inside a heap comparison tuple."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Any):
+        self.key = key
+
+    def __lt__(self, other: "_Neg") -> bool:
+        return other.key < self.key
+
+    def __le__(self, other: "_Neg") -> bool:
+        return other.key <= self.key
+
+    def __gt__(self, other: "_Neg") -> bool:
+        return other.key > self.key
+
+    def __ge__(self, other: "_Neg") -> bool:
+        return other.key >= self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Neg) and other.key == self.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)

@@ -1,0 +1,515 @@
+"""SQL lexer and recursive-descent parser for the supported dialect.
+
+Supported statement shape::
+
+    SELECT <star-or-expr-list>
+    FROM <view>
+    [WHERE <predicate>]
+    [GROUP BY <expr-list>]
+    [HAVING <predicate>]
+    [ORDER BY <expr> [ASC|DESC], ...]
+    [LIMIT <n>]
+
+Expressions cover literals, dotted identifiers, arithmetic, comparisons,
+``AND``/``OR``/``NOT``, ``IS [NOT] NULL``, ``IN (...)`` and function calls
+(including the aggregates and ``EXPLODE``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Optional, Tuple
+
+from repro.spark.column import (
+    BinaryOp,
+    CaseWhen,
+    Column,
+    ColumnRef,
+    ExplodeColumn,
+    LikeColumn,
+    Literal,
+    SortOrder,
+    UdfColumn,
+    UnaryOp,
+)
+from repro.spark.dataframe import (
+    AggCall,
+    agg_avg,
+    agg_collect_list,
+    agg_count,
+    agg_first,
+    agg_max,
+    agg_min,
+    agg_sum,
+)
+from repro.spark.sql.plan import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Scan,
+    Sort,
+)
+
+
+class SqlParseError(ValueError):
+    """Malformed SQL text."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(\.\d+)?([eE][+-]?\d+)?)
+  | (?P<string>'(?:[^']|'')*'|"(?:[^"]|"")*")
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*(\.[A-Za-z_][A-Za-z_0-9]*)*)
+  | (?P<op><>|!=|<=|>=|[=<>+\-*/%(),.])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "group", "by", "having", "order", "limit",
+    "asc", "desc", "and", "or", "not", "as", "is", "null", "true", "false",
+    "in", "distinct", "join", "inner", "on", "left", "outer",
+    "between", "like", "case", "when", "then", "else", "end",
+}
+
+_AGGREGATES = {
+    "count": agg_count,
+    "sum": agg_sum,
+    "avg": agg_avg,
+    "min": agg_min,
+    "max": agg_max,
+    "collect_list": agg_collect_list,
+    "sequence": agg_collect_list,   # the paper's SEQUENCE() UDAF
+    "first": agg_first,
+    "array_distinct": agg_first,    # over a grouping key: same result
+}
+
+_SCALAR_FUNCTIONS = {
+    "upper": lambda v: None if v is None else str(v).upper(),
+    "lower": lambda v: None if v is None else str(v).lower(),
+    "length": lambda v: None if v is None else len(str(v)),
+    "abs": lambda v: None if v is None else abs(v),
+    "concat": lambda *vs: "".join("" if v is None else str(v) for v in vs),
+    "coalesce": lambda *vs: next((v for v in vs if v is not None), None),
+    "size": lambda v: len(v) if isinstance(v, (list, dict, str)) else -1,
+}
+
+
+class _Token:
+    __slots__ = ("kind", "text")
+
+    def __init__(self, kind: str, text: str):
+        self.kind = kind
+        self.text = text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "{}:{}".format(self.kind, self.text)
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match:
+            raise SqlParseError(
+                "unexpected character {!r} at offset {}".format(
+                    text[position], position
+                )
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        value = match.group()
+        if kind == "ident" and value.lower() in _KEYWORDS:
+            tokens.append(_Token("kw", value.lower()))
+        else:
+            tokens.append(_Token(kind or "op", value))
+    tokens.append(_Token("eof", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- Token helpers -------------------------------------------------------
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._accept(kind, text)
+        if token is None:
+            raise SqlParseError(
+                "expected {} {!r}, found {!r}".format(
+                    kind, text or "", self._peek().text
+                )
+            )
+        return token
+
+    # -- Statement ------------------------------------------------------------
+    def parse_select(self) -> LogicalPlan:
+        self._expect("kw", "select")
+        star = False
+        selections: List[Tuple[Optional[str], Any]] = []
+        if self._accept("op", "*"):
+            star = True
+        else:
+            selections.append(self._select_item())
+            while self._accept("op", ","):
+                selections.append(self._select_item())
+        self._expect("kw", "from")
+        view = self._expect("ident").text
+        plan: LogicalPlan = Scan(view)
+        while True:
+            how = "inner"
+            if self._accept("kw", "inner"):
+                pass
+            elif self._accept("kw", "left"):
+                self._accept("kw", "outer")
+                how = "left"
+            elif not (
+                self._peek().kind == "kw" and self._peek().text == "join"
+            ):
+                break
+            self._expect("kw", "join")
+            right_view = self._expect("ident").text
+            self._expect("kw", "on")
+            left_key, right_key = self._join_keys(view, right_view)
+            plan = Join(plan, Scan(right_view), left_key, right_key, how)
+
+        if self._accept("kw", "where"):
+            plan = Filter(plan, self._expression())
+
+        groupings: List[Tuple[str, Column]] = []
+        if self._accept("kw", "group"):
+            self._expect("kw", "by")
+            groupings.append(self._named_expression())
+            while self._accept("op", ","):
+                groupings.append(self._named_expression())
+
+        having: Optional[Column] = None
+        if self._accept("kw", "having"):
+            having = self._expression()
+
+        aggregates = [
+            item for item in selections if isinstance(item[1], AggCall)
+        ]
+        if groupings or aggregates:
+            agg_calls = []
+            for name, item in selections:
+                if isinstance(item, AggCall):
+                    agg_calls.append(item.alias(name) if name else item)
+            plan = Aggregate(plan, groupings, agg_calls)
+            if having is not None:
+                plan = Filter(plan, having)
+            extra = [
+                (name or expr.output_name(), expr)
+                for name, expr in selections
+                if isinstance(expr, Column)
+            ]
+            keep = [name for name, _ in groupings]
+            keep += [agg.output_name for agg in agg_calls]
+            columns = [(name, ColumnRef(name)) for name in keep]
+            if extra:
+                columns += extra
+            plan = Project(plan, columns)
+        elif not star:
+            plan = Project(
+                plan,
+                [
+                    (name or expr.output_name(), expr)
+                    for name, expr in selections
+                ],
+            )
+
+        if self._accept("kw", "order"):
+            self._expect("kw", "by")
+            orders = [self._sort_order()]
+            while self._accept("op", ","):
+                orders.append(self._sort_order())
+            plan = _attach_sort(plan, orders)
+
+        if self._accept("kw", "limit"):
+            count = int(self._expect("number").text)
+            plan = Limit(plan, count)
+
+        self._expect("eof")
+        return plan
+
+    def _join_keys(self, left_view: str, right_view: str):
+        """Parse ``a.x = b.y`` (either order) into per-side key names.
+
+        Qualified names resolve by their table prefix; unqualified names
+        are taken as-is for both sides (``ON key = key``)."""
+        first = self._expect("ident").text
+        self._expect("op", "=")
+        second = self._expect("ident").text
+
+        def split(name):
+            if "." in name:
+                prefix, _, column = name.partition(".")
+                return prefix, column
+            return None, name
+
+        first_table, first_column = split(first)
+        second_table, second_column = split(second)
+        if first_table == right_view or second_table == left_view:
+            return second_column, first_column
+        return first_column, second_column
+
+    def _select_item(self) -> Tuple[Optional[str], Any]:
+        expr = self._expression_or_aggregate()
+        if self._accept("kw", "as"):
+            return self._expect("ident").text, expr
+        token = self._accept("ident")
+        if token:
+            return token.text, expr
+        return None, expr
+
+    def _named_expression(self) -> Tuple[str, Column]:
+        expr = self._expression()
+        return expr.output_name(), expr
+
+    def _sort_order(self) -> SortOrder:
+        expr = self._expression()
+        ascending = True
+        if self._accept("kw", "desc"):
+            ascending = False
+        else:
+            self._accept("kw", "asc")
+        return SortOrder(expr, ascending)
+
+    # -- Expressions ------------------------------------------------------------
+    def _expression_or_aggregate(self):
+        token = self._peek()
+        if token.kind == "ident" and token.text.lower() in _AGGREGATES:
+            following = self._tokens[self._index + 1]
+            if following.kind == "op" and following.text == "(":
+                return self._aggregate_call()
+        return self._expression()
+
+    def _aggregate_call(self) -> AggCall:
+        name = self._advance().text.lower()
+        factory = _AGGREGATES[name]
+        self._expect("op", "(")
+        if self._accept("op", "*"):
+            self._expect("op", ")")
+            return agg_count()
+        self._accept("kw", "distinct")
+        argument = self._expression()
+        self._expect("op", ")")
+        return factory(argument)
+
+    def _expression(self) -> Column:
+        return self._or_expr()
+
+    def _or_expr(self) -> Column:
+        left = self._and_expr()
+        while self._accept("kw", "or"):
+            left = BinaryOp(left, self._and_expr(), "OR")
+        return left
+
+    def _and_expr(self) -> Column:
+        left = self._not_expr()
+        while self._accept("kw", "and"):
+            left = BinaryOp(left, self._not_expr(), "AND")
+        return left
+
+    def _not_expr(self) -> Column:
+        if self._accept("kw", "not"):
+            return UnaryOp(self._not_expr(), "NOT")
+        return self._comparison()
+
+    def _comparison(self) -> Column:
+        left = self._additive()
+        token = self._peek()
+        if token.kind == "op" and token.text in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            self._advance()
+            op = "<>" if token.text == "!=" else token.text
+            return BinaryOp(left, self._additive(), op)
+        if self._accept("kw", "is"):
+            negated = bool(self._accept("kw", "not"))
+            self._expect("kw", "null")
+            return UnaryOp(left, "ISNOTNULL" if negated else "ISNULL")
+        if self._accept("kw", "between"):
+            low = self._additive()
+            self._expect("kw", "and")
+            high = self._additive()
+            return BinaryOp(
+                BinaryOp(left, low, ">="),
+                BinaryOp(left, high, "<="),
+                "AND",
+            )
+        if self._accept("kw", "like"):
+            pattern = self._expect("string").text
+            quote = pattern[0]
+            return LikeColumn(left, pattern[1:-1].replace(quote * 2, quote))
+        if self._peek().kind == "kw" and self._peek().text == "not":
+            following = self._tokens[self._index + 1]
+            if following.kind == "kw" and following.text == "like":
+                self._advance()
+                self._advance()
+                pattern = self._expect("string").text
+                quote = pattern[0]
+                return LikeColumn(
+                    left, pattern[1:-1].replace(quote * 2, quote),
+                    negated=True,
+                )
+        if self._accept("kw", "in"):
+            self._expect("op", "(")
+            members = [self._expression()]
+            while self._accept("op", ","):
+                members.append(self._expression())
+            self._expect("op", ")")
+            clause: Column = BinaryOp(left, members[0], "=")
+            for member in members[1:]:
+                clause = BinaryOp(clause, BinaryOp(left, member, "="), "OR")
+            return clause
+        return left
+
+    def _additive(self) -> Column:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.text in ("+", "-"):
+                self._advance()
+                left = BinaryOp(left, self._multiplicative(), token.text)
+            else:
+                return left
+
+    def _multiplicative(self) -> Column:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.text in ("*", "/", "%"):
+                self._advance()
+                left = BinaryOp(left, self._unary(), token.text)
+            else:
+                return left
+
+    def _unary(self) -> Column:
+        if self._accept("op", "-"):
+            return UnaryOp(self._unary(), "NEG")
+        return self._primary()
+
+    def _primary(self) -> Column:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            text = token.text
+            if "." in text or "e" in text or "E" in text:
+                return Literal(float(text))
+            return Literal(int(text))
+        if token.kind == "string":
+            self._advance()
+            quote = token.text[0]
+            inner = token.text[1:-1].replace(quote * 2, quote)
+            return Literal(inner)
+        if token.kind == "kw" and token.text in ("true", "false"):
+            self._advance()
+            return Literal(token.text == "true")
+        if token.kind == "kw" and token.text == "null":
+            self._advance()
+            return Literal(None)
+        if token.kind == "kw" and token.text == "case":
+            return self._case_expression()
+        if self._accept("op", "("):
+            inner = self._expression()
+            self._expect("op", ")")
+            return inner
+        if token.kind == "ident":
+            following = self._tokens[self._index + 1]
+            if following.kind == "op" and following.text == "(":
+                return self._function_call()
+            self._advance()
+            return ColumnRef(token.text)
+        raise SqlParseError("unexpected token {!r}".format(token.text))
+
+    def _case_expression(self) -> Column:
+        self._expect("kw", "case")
+        branches = []
+        while self._accept("kw", "when"):
+            condition = self._expression()
+            self._expect("kw", "then")
+            branches.append((condition, self._expression()))
+        if not branches:
+            raise SqlParseError("CASE requires at least one WHEN branch")
+        default = None
+        if self._accept("kw", "else"):
+            default = self._expression()
+        self._expect("kw", "end")
+        return CaseWhen(branches, default)
+
+    def _function_call(self) -> Column:
+        name = self._advance().text.lower()
+        self._expect("op", "(")
+        args: List[Column] = []
+        if not self._accept("op", ")"):
+            args.append(self._expression())
+            while self._accept("op", ","):
+                args.append(self._expression())
+            self._expect("op", ")")
+        if name == "explode":
+            if len(args) != 1:
+                raise SqlParseError("EXPLODE takes exactly one argument")
+            return ExplodeColumn(args[0])
+        func = _SCALAR_FUNCTIONS.get(name)
+        if func is None:
+            raise SqlParseError("unknown function {!r}".format(name))
+        return UdfColumn(func, args, name=name)
+
+
+def _attach_sort(plan: LogicalPlan, orders: List[SortOrder]) -> LogicalPlan:
+    """Place the Sort correctly relative to the projection.
+
+    SQL allows ORDER BY keys the SELECT list drops (``SELECT name FROM t
+    ORDER BY age``).  When every key survives the projection the Sort goes
+    on top; otherwise the keys ride through as hidden ``#sort<i>`` columns
+    that a final projection strips — the same trick real engines use.
+    """
+    if not isinstance(plan, Project) or plan.star:
+        return Sort(plan, orders)
+    projected = {name for name, _ in plan.columns}
+    surviving = all(
+        isinstance(order.column, ColumnRef)
+        and order.column.name in projected
+        for order in orders
+    )
+    if surviving:
+        return Sort(plan, orders)
+    hidden = [
+        ("#sort{}".format(index), order.column)
+        for index, order in enumerate(orders)
+    ]
+    widened = Project(plan.child, plan.columns + hidden, plan.star)
+    sorted_plan = Sort(widened, [
+        SortOrder(ColumnRef(name), order.ascending)
+        for (name, _), order in zip(hidden, orders)
+    ])
+    return Project(
+        sorted_plan,
+        [(name, ColumnRef(name)) for name, _ in plan.columns],
+    )
+
+
+def parse_sql(text: str) -> LogicalPlan:
+    """Parse one SELECT statement into a logical plan."""
+    return _Parser(_tokenize(text.strip().rstrip(";"))).parse_select()

@@ -1,0 +1,198 @@
+"""Logical plan nodes shared by the SQL parser, optimizer and executor."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.spark.column import Column, SortOrder
+
+
+class LogicalPlan:
+    """Base node; children are exposed for generic rewriting."""
+
+    def children(self) -> List["LogicalPlan"]:
+        return []
+
+    def with_children(self, children: List["LogicalPlan"]) -> "LogicalPlan":
+        raise NotImplementedError
+
+    def describe(self, indent: int = 0) -> str:
+        """Explain-style text rendering of the plan subtree."""
+        line = " " * indent + self._label()
+        return "\n".join(
+            [line] + [child.describe(indent + 2) for child in self.children()]
+        )
+
+    def _label(self) -> str:
+        return type(self).__name__
+
+
+class Scan(LogicalPlan):
+    """Read a registered temp view."""
+
+    def __init__(self, view: str):
+        self.view = view
+
+    def with_children(self, children: List[LogicalPlan]) -> "Scan":
+        return self
+
+    def _label(self) -> str:
+        return "Scan({})".format(self.view)
+
+
+class Project(LogicalPlan):
+    """Projection; ``star`` keeps all input columns before the extras."""
+
+    def __init__(
+        self,
+        child: LogicalPlan,
+        columns: List[Tuple[str, Column]],
+        star: bool = False,
+    ):
+        self.child = child
+        self.columns = columns
+        self.star = star
+
+    def children(self) -> List[LogicalPlan]:
+        return [self.child]
+
+    def with_children(self, children: List[LogicalPlan]) -> "Project":
+        return Project(children[0], self.columns, self.star)
+
+    def _label(self) -> str:
+        names = ["*"] if self.star else []
+        names += [name for name, _ in self.columns]
+        return "Project({})".format(", ".join(names))
+
+
+class Filter(LogicalPlan):
+    def __init__(self, child: LogicalPlan, condition: Column):
+        self.child = child
+        self.condition = condition
+
+    def children(self) -> List[LogicalPlan]:
+        return [self.child]
+
+    def with_children(self, children: List[LogicalPlan]) -> "Filter":
+        return Filter(children[0], self.condition)
+
+    def _label(self) -> str:
+        return "Filter({})".format(self.condition.output_name())
+
+
+class Join(LogicalPlan):
+    """Equi-join of two inputs on one key per side (inner or left)."""
+
+    def __init__(self, left: LogicalPlan, right: LogicalPlan,
+                 left_key: str, right_key: str, how: str = "inner"):
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self.how = how
+
+    def children(self) -> List["LogicalPlan"]:
+        return [self.left, self.right]
+
+    def with_children(self, children: List["LogicalPlan"]) -> "Join":
+        return Join(children[0], children[1], self.left_key,
+                    self.right_key, self.how)
+
+    def _label(self) -> str:
+        return "Join[{}]({} = {})".format(
+            self.how, self.left_key, self.right_key
+        )
+
+
+class Aggregate(LogicalPlan):
+    """GROUP BY: grouping expressions plus aggregate calls."""
+
+    def __init__(
+        self,
+        child: LogicalPlan,
+        groupings: List[Tuple[str, Column]],
+        aggregates: List,  # List[AggCall]
+    ):
+        self.child = child
+        self.groupings = groupings
+        self.aggregates = aggregates
+
+    def children(self) -> List[LogicalPlan]:
+        return [self.child]
+
+    def with_children(self, children: List[LogicalPlan]) -> "Aggregate":
+        return Aggregate(children[0], self.groupings, self.aggregates)
+
+    def _label(self) -> str:
+        return "Aggregate(keys=[{}], aggs=[{}])".format(
+            ", ".join(name for name, _ in self.groupings),
+            ", ".join(agg.output_name for agg in self.aggregates),
+        )
+
+
+class Sort(LogicalPlan):
+    def __init__(self, child: LogicalPlan, orders: List[SortOrder]):
+        self.child = child
+        self.orders = orders
+
+    def children(self) -> List[LogicalPlan]:
+        return [self.child]
+
+    def with_children(self, children: List[LogicalPlan]) -> "Sort":
+        return Sort(children[0], self.orders)
+
+    def _label(self) -> str:
+        return "Sort({})".format(
+            ", ".join(
+                "{} {}".format(
+                    order.column.output_name(),
+                    "ASC" if order.ascending else "DESC",
+                )
+                for order in self.orders
+            )
+        )
+
+
+class Limit(LogicalPlan):
+    def __init__(self, child: LogicalPlan, count: int):
+        self.child = child
+        self.count = count
+
+    def children(self) -> List[LogicalPlan]:
+        return [self.child]
+
+    def with_children(self, children: List[LogicalPlan]) -> "Limit":
+        return Limit(children[0], self.count)
+
+    def _label(self) -> str:
+        return "Limit({})".format(self.count)
+
+
+class TopK(LogicalPlan):
+    """Fused Sort+Limit produced by the optimizer: a heap-based top-k that
+    avoids the full sort shuffle."""
+
+    def __init__(self, child: LogicalPlan, orders: List[SortOrder], count: int):
+        self.child = child
+        self.orders = orders
+        self.count = count
+
+    def children(self) -> List[LogicalPlan]:
+        return [self.child]
+
+    def with_children(self, children: List[LogicalPlan]) -> "TopK":
+        return TopK(children[0], self.orders, self.count)
+
+    def _label(self) -> str:
+        return "TopK({}, {})".format(
+            ", ".join(o.column.output_name() for o in self.orders), self.count
+        )
+
+
+def transform_up(plan: LogicalPlan, rule) -> LogicalPlan:
+    """Apply ``rule`` bottom-up over the tree; rule returns a node or None."""
+    children = [transform_up(child, rule) for child in plan.children()]
+    if children:
+        plan = plan.with_children(children)
+    replaced = rule(plan)
+    return replaced if replaced is not None else plan

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core import Rumble, RumbleConfig, make_engine
+from repro.spark import SparkSession
+
+
+@pytest.fixture()
+def rumble() -> Rumble:
+    return Rumble(config=RumbleConfig(materialization_cap=100_000))
+
+
+@pytest.fixture()
+def spark() -> SparkSession:
+    return SparkSession()
+
+
+@pytest.fixture()
+def run(rumble):
+    """Run a query and return plain-Python results."""
+
+    def _run(query: str, **bindings):
+        return rumble.query(query, bindings or None).to_python()
+
+    return _run
+
+
+@pytest.fixture()
+def jsonl_file(tmp_path):
+    """Write records to a JSON-Lines file and return its path."""
+
+    def _write(records, name: str = "data.json") -> str:
+        path = os.path.join(str(tmp_path), name)
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record))
+                handle.write("\n")
+        return path
+
+    return _write
+
+
+@pytest.fixture()
+def confusion_small(jsonl_file):
+    from repro.datasets import generate_confusion
+
+    return jsonl_file(generate_confusion(500, seed=3), "confusion.json")

@@ -1,0 +1,136 @@
+"""Baselines: all engines agree on answers; failure modes reproduce."""
+
+import pytest
+
+from repro.baselines import handcoded, pyspark_sim, raw_spark, spark_sql
+from repro.baselines import xidel_like, zorba_like
+from repro.bench.workloads import (
+    make_rumble_engine,
+    run_engine,
+    rumble_query,
+)
+from repro.jsoniq.errors import OutOfMemorySimulated
+from repro.spark import SparkSession
+
+
+@pytest.fixture(scope="module")
+def small_confusion(tmp_path_factory):
+    from repro.datasets import write_confusion
+
+    path = tmp_path_factory.mktemp("baselines") / "confusion.json"
+    return write_confusion(str(path), 400, seed=11)
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return {"spark": SparkSession(), "rumble": make_rumble_engine()}
+
+
+class TestAnswerAgreement:
+    def test_filter_counts_agree(self, small_confusion, engines):
+        expected = raw_spark.filter_query(engines["spark"], small_confusion)
+        assert spark_sql.filter_query(
+            engines["spark"], small_confusion
+        ) == expected
+        assert pyspark_sim.filter_query(
+            engines["spark"], small_confusion
+        ) == expected
+        assert zorba_like.filter_query(small_confusion) == expected
+        assert xidel_like.filter_query(small_confusion) == expected
+        assert handcoded.filter_query(small_confusion) == expected
+        rumble_count = run_engine(
+            "rumble", "filter", small_confusion, rumble=engines["rumble"]
+        )
+        assert rumble_count == [expected]
+
+    def test_group_counts_agree(self, small_confusion, engines):
+        reference = dict(
+            raw_spark.group_query(engines["spark"], small_confusion)
+        )
+        sql_rows = spark_sql.group_query(engines["spark"], small_confusion)
+        assert {
+            (r["country"], r["target"]): r["n"] for r in sql_rows
+        } == reference
+        assert dict(pyspark_sim.group_query(
+            engines["spark"], small_confusion
+        )) == reference
+        assert handcoded.group_query(small_confusion) == reference
+        assert sum(
+            count for _, count in zorba_like.group_query(small_confusion)
+        ) == sum(reference.values())
+        rumble_rows = engines["rumble"].query(
+            rumble_query("group", small_confusion)
+        ).to_python(cap=100_000)
+        assert {
+            (r["country"], r["target"]): r["count"] for r in rumble_rows
+        } == reference
+
+    def test_sort_heads_agree(self, small_confusion, engines):
+        reference = raw_spark.sort_query(
+            engines["spark"], small_confusion, take=5
+        )
+        sql_rows = spark_sql.sort_query(
+            engines["spark"], small_confusion, take=5
+        )
+        keys = [(r["target"], r["country"], r["date"]) for r in reference]
+        assert [
+            (r["target"], r["country"], r["date"]) for r in sql_rows
+        ] == keys
+        zorba_rows = zorba_like.sort_query(small_confusion, take=5)
+        assert [
+            (r.to_python()["target"], r.to_python()["country"],
+             r.to_python()["date"])
+            for r in zorba_rows
+        ] == keys
+        rumble_rows = engines["rumble"].query(
+            rumble_query("sort", small_confusion)
+        ).to_python(cap=100)
+        assert [
+            (r["target"], r["country"], r["date"]) for r in rumble_rows[:5]
+        ] == keys
+
+
+class TestMemoryBudgets:
+    def test_zorba_filter_streams(self, small_confusion):
+        # Tiny budget, but filtering never materializes: must succeed.
+        assert zorba_like.filter_query(
+            small_confusion, budget_items=10
+        ) >= 0
+
+    def test_zorba_group_oom(self, small_confusion):
+        with pytest.raises(OutOfMemorySimulated):
+            zorba_like.group_query(small_confusion, budget_items=100)
+
+    def test_zorba_sort_costs_double(self, small_confusion, engines):
+        matching = raw_spark.filter_query(engines["spark"], small_confusion)
+        # Budget of exactly 2x the matching rows succeeds; below it, OOM.
+        zorba_like.sort_query(
+            small_confusion, budget_items=2 * matching
+        )
+        with pytest.raises(OutOfMemorySimulated):
+            zorba_like.sort_query(
+                small_confusion, budget_items=2 * matching - 1
+            )
+
+    def test_xidel_materializes_even_for_filter(self, small_confusion):
+        with pytest.raises(OutOfMemorySimulated):
+            xidel_like.filter_query(small_confusion, budget_items=100)
+
+    def test_xidel_with_budget_succeeds(self, small_confusion):
+        assert xidel_like.filter_query(
+            small_confusion, budget_items=10_000
+        ) >= 0
+
+
+class TestPySparkOverhead:
+    def test_boundary_round_trip_preserves_records(self):
+        from repro.baselines.pyspark_sim import _boundary
+
+        double = _boundary(lambda record: {"v": record["v"] * 2})
+        assert double({"v": 21}) == {"v": 42}
+
+    def test_channel_handles_large_payload(self):
+        from repro.baselines.pyspark_sim import _CHANNEL
+
+        payload = {"data": list(range(50_000))}
+        assert _CHANNEL.round_trip(payload) == payload

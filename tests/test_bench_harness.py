@@ -1,0 +1,125 @@
+"""The benchmark harness: timing, the sweep protocol, reporting."""
+
+import pytest
+
+from repro.bench.harness import (
+    Measurement,
+    SeriesReport,
+    measure,
+    sweep,
+    timed,
+)
+from repro.bench.reporting import (
+    check_shape,
+    linear_fit_r2,
+    render_engine_table,
+    speedup_series,
+)
+from repro.jsoniq.errors import OutOfMemorySimulated
+
+
+class TestTiming:
+    def test_timed(self):
+        result, seconds = timed(lambda: 21 * 2)
+        assert result == 42
+        assert seconds >= 0.0
+
+    def test_measure_ok(self):
+        measurement = measure(lambda: "x", repeat=2)
+        assert measurement.finished
+        assert measurement.result == "x"
+        assert measurement.render().endswith("s")
+
+    def test_measure_oom(self):
+        def boom():
+            raise OutOfMemorySimulated("too big")
+
+        measurement = measure(boom)
+        assert measurement.outcome == "oom"
+        assert measurement.render() == "OOM"
+
+
+class TestSweep:
+    def test_dead_engine_skipped_at_larger_sizes(self):
+        def runner(engine, size):
+            def run():
+                if engine == "fragile" and size > 2:
+                    raise OutOfMemorySimulated("budget")
+                return size
+
+            return run
+
+        table = sweep([1, 2, 3, 4], runner, ["robust", "fragile"])
+        assert all(table["robust"][s].finished for s in (1, 2, 3, 4))
+        assert table["fragile"][2].finished
+        assert table["fragile"][3].outcome == "oom"
+        assert table["fragile"][4].outcome == "skipped"
+
+    def test_over_cap_marks_engine_dead(self):
+        import time
+
+        def runner(engine, size):
+            def run():
+                if size >= 2:
+                    time.sleep(0.05)
+
+            return run
+
+        table = sweep([1, 2, 3], runner, ["slow"], time_cap=0.01)
+        assert table["slow"][1].finished
+        assert table["slow"][2].outcome == "over-cap"
+        assert table["slow"][3].outcome == "skipped"
+
+
+class TestReporting:
+    def test_series_report_renders(self):
+        report = SeriesReport("title", "x")
+        report.add("a", 1, "1.0s")
+        report.add("a", 2, "2.0s")
+        report.add("b", 1, "OOM")
+        text = report.render()
+        assert "title" in text and "OOM" in text and "2.0s" in text
+
+    def test_engine_table(self):
+        text = render_engine_table(
+            "t", {"filter": {"rumble": "1s", "spark": "2s"}}
+        )
+        assert "rumble" in text and "filter" in text
+
+    def test_speedup_series(self):
+        speedups = speedup_series({1: 10.0, 2: 5.0, 4: 2.5})
+        assert speedups == {1: 1.0, 2: 2.0, 4: 4.0}
+
+    def test_linear_fit(self):
+        assert linear_fit_r2([1, 2, 3], [2.0, 4.0, 6.0]) == \
+            pytest.approx(1.0)
+        noisy = linear_fit_r2([1, 2, 3, 4], [1.0, 2.2, 2.9, 4.1])
+        assert 0.95 < noisy <= 1.0
+        assert linear_fit_r2([1, 2, 3], [5.0, 5.0, 5.0]) == 1.0
+
+    def test_check_shape_strict(self):
+        assert "OK" in check_shape("fine", True)
+        assert "MISS" in check_shape("off", False)
+        with pytest.raises(AssertionError):
+            check_shape("hard", False, strict=True)
+
+
+class TestWorkloads:
+    def test_rumble_query_templates_compile(self, rumble):
+        from repro.bench.workloads import RUMBLE_QUERIES, rumble_query
+
+        for kind in RUMBLE_QUERIES:
+            text = rumble_query(kind, "/tmp/fake.json")
+            rumble.compile(text)  # must parse and analyse
+
+    def test_unknown_engine_rejected(self):
+        from repro.bench.workloads import run_engine
+
+        with pytest.raises(ValueError):
+            run_engine("duckdb", "filter", "/tmp/x.json")
+
+    def test_unsupported_query_rejected(self):
+        from repro.bench.workloads import run_engine
+
+        with pytest.raises(ValueError):
+            run_engine("handcoded", "sort", "/tmp/x.json")

@@ -1,0 +1,82 @@
+"""The ``python -m repro`` command-line interface."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestMainFunction:
+    def test_inline_query(self, capsys):
+        assert main(["1 + 1"]) == 0
+        assert capsys.readouterr().out.strip() == "2"
+
+    def test_serialized_objects(self, capsys):
+        assert main(['{ "a": [1, true] }']) == 0
+        assert capsys.readouterr().out.strip() == '{ "a" : [ 1, true ] }'
+
+    def test_query_file(self, tmp_path, capsys):
+        script = tmp_path / "query.jq"
+        script.write_text("for $x in 1 to 3 return $x\n")
+        assert main(["--query-file", str(script)]) == 0
+        assert capsys.readouterr().out.split() == ["1", "2", "3"]
+
+    def test_output_directory(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "out")
+        assert main(["parallelize(1 to 5)", "--output", out_dir]) == 0
+        assert os.path.exists(os.path.join(out_dir, "_SUCCESS"))
+
+    def test_cap(self, capsys):
+        assert main(["1 to 100", "--cap", "3"]) == 0
+        assert capsys.readouterr().out.split() == ["1", "2", "3"]
+
+    def test_mount(self, tmp_path, capsys):
+        data = tmp_path / "d.json"
+        data.write_text(json.dumps({"v": 7}) + "\n")
+        assert main([
+            'json-file("data:///d.json").v',
+            "--mount", "data={}".format(tmp_path),
+        ]) == 0
+        assert capsys.readouterr().out.strip() == "7"
+
+    def test_bad_mount(self, capsys):
+        assert main(["1", "--mount", "nodirectory"]) == 2
+
+    def test_query_error_exit_code(self, capsys):
+        assert main(["1 div 0"]) == 1
+        assert "FOAR0001" in capsys.readouterr().err
+
+    def test_parse_error_exit_code(self, capsys):
+        assert main(["1 +"]) == 1
+
+    def test_no_query_usage(self, capsys):
+        assert main([]) == 2
+
+
+class TestSubprocess:
+    """One end-to-end spawn to prove the module entry point wiring."""
+
+    def test_module_invocation(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "sum(1 to 10)"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert completed.stdout.strip() == "55"
+
+    def test_shell_via_stdin(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "--shell"],
+            input="1 + 2;\n:quit\n",
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "3" in completed.stdout

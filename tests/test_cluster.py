@@ -1,0 +1,128 @@
+"""Executor pool: scheduling, retries, failure injection, makespan."""
+
+import pytest
+
+from repro.spark.cluster import (
+    ExecutorPool,
+    TaskFailure,
+    simulate_makespan,
+)
+from repro.jsoniq.errors import DynamicException
+
+
+class TestRunStage:
+    def test_results_in_order(self):
+        pool = ExecutorPool()
+        results = pool.run_stage([lambda i=i: i * 10 for i in range(5)])
+        assert results == [0, 10, 20, 30, 40]
+
+    def test_metrics_recorded(self):
+        pool = ExecutorPool()
+        pool.run_stage([lambda: 1, lambda: 2])
+        assert len(pool.stages) == 1
+        assert len(pool.stages[0].tasks) == 2
+        assert pool.total_task_seconds() >= 0
+
+    def test_threads_mode(self):
+        pool = ExecutorPool(num_executors=4, mode="threads")
+        results = pool.run_stage([lambda i=i: i for i in range(8)])
+        assert results == list(range(8))
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutorPool(mode="quantum")
+
+    def test_reset_metrics(self):
+        pool = ExecutorPool()
+        pool.run_stage([lambda: 1])
+        pool.reset_metrics()
+        assert pool.stages == []
+
+
+class TestFailureRecovery:
+    def test_transient_failure_retried(self):
+        """Lineage-based recovery: re-running the task is recovery."""
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise RuntimeError("transient")
+            return "ok"
+
+        pool = ExecutorPool(max_retries=3)
+        assert pool.run_stage([flaky]) == ["ok"]
+        assert pool.stages[0].tasks[0].attempts == 3
+
+    def test_permanent_failure_raises_task_failure(self):
+        def broken():
+            raise RuntimeError("always")
+
+        pool = ExecutorPool(max_retries=2)
+        with pytest.raises(TaskFailure) as info:
+            pool.run_stage([broken])
+        assert "always" in str(info.value)
+
+    def test_injected_failures(self):
+        pool = ExecutorPool(
+            failure_injector=lambda partition, attempt:
+                partition == 1 and attempt == 1
+        )
+        results = pool.run_stage([lambda i=i: i for i in range(3)])
+        assert results == [0, 1, 2]
+        partition_one = [t for t in pool.stages[0].tasks if t.partition == 1]
+        assert partition_one[0].attempts == 2
+
+    def test_query_errors_not_retried(self):
+        attempts = {"n": 0}
+
+        def typed_error():
+            attempts["n"] += 1
+            raise DynamicException("deterministic")
+
+        pool = ExecutorPool(max_retries=3)
+        with pytest.raises(DynamicException):
+            pool.run_stage([typed_error])
+        assert attempts["n"] == 1
+
+
+class TestMakespanSimulation:
+    def test_single_executor_sums(self):
+        assert simulate_makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_perfect_split(self):
+        assert simulate_makespan([1.0] * 8, 4) == pytest.approx(2.0)
+
+    def test_bounded_by_longest_task(self):
+        assert simulate_makespan([5.0, 0.1, 0.1], 3) == pytest.approx(5.0)
+
+    def test_more_executors_never_slower(self):
+        tasks = [0.5, 1.5, 0.2, 0.9, 2.0, 0.1, 0.7]
+        times = [simulate_makespan(tasks, n) for n in (1, 2, 4, 8, 16)]
+        assert times == sorted(times, reverse=True)
+
+    def test_empty(self):
+        assert simulate_makespan([], 4) == 0.0
+
+    def test_invalid_executors(self):
+        with pytest.raises(ValueError):
+            simulate_makespan([1.0], 0)
+
+    def test_pool_simulated_wall_clock(self):
+        pool = ExecutorPool(num_executors=2)
+        pool.run_stage([lambda: sum(range(10000)) for _ in range(4)])
+        one = pool.simulated_wall_clock(1)
+        four = pool.simulated_wall_clock(4)
+        assert one >= four >= 0.0
+        assert pool.simulated_wall_clock() <= one
+
+
+class TestStageBarriers:
+    def test_wall_clock_sums_stages(self):
+        pool = ExecutorPool()
+        pool.run_stage([lambda: 1])
+        pool.run_stage([lambda: 2])
+        total = pool.simulated_wall_clock(16)
+        assert total == pytest.approx(
+            pool.stages[0].makespan(16) + pool.stages[1].makespan(16)
+        )

@@ -1,0 +1,235 @@
+"""The DataFrame API."""
+
+import pytest
+
+from repro.spark import (
+    SparkSession,
+    agg_avg,
+    agg_collect_list,
+    agg_count,
+    agg_max,
+    agg_min,
+    agg_sum,
+    col,
+    explode,
+    lit,
+)
+
+PEOPLE = [
+    {"name": "ada", "age": 36, "team": "eng"},
+    {"name": "grace", "age": 45, "team": "eng"},
+    {"name": "alan", "age": 41, "team": "math"},
+    {"name": "edsger", "age": 40, "team": "math"},
+]
+
+
+@pytest.fixture()
+def spark():
+    return SparkSession()
+
+
+@pytest.fixture()
+def people(spark):
+    return spark.create_dataframe(PEOPLE)
+
+
+class TestProjection:
+    def test_select_columns(self, people):
+        rows = people.select("name").collect()
+        assert [r["name"] for r in rows] == [
+            "ada", "grace", "alan", "edsger",
+        ]
+
+    def test_select_expressions(self, people):
+        rows = people.select(
+            col("name"), (col("age") + 1).alias("next")
+        ).collect()
+        assert rows[0]["next"] == 37
+
+    def test_with_column(self, people):
+        frame = people.with_column("senior", col("age") >= 41)
+        values = [r["senior"] for r in frame.collect()]
+        assert values == [False, True, True, False]
+
+    def test_drop(self, people):
+        frame = people.drop("age", "team")
+        assert frame.columns == ["name"]
+        assert "age" not in frame.first().as_dict()
+
+    def test_rename(self, people):
+        frame = people.with_column_renamed("name", "who")
+        assert frame.first()["who"] == "ada"
+
+
+class TestFilter:
+    def test_where(self, people):
+        rows = people.where(col("team") == "eng").collect()
+        assert len(rows) == 2
+
+    def test_compound_condition(self, people):
+        rows = people.where(
+            (col("team") == "math") & (col("age") > 40)
+        ).collect()
+        assert [r["name"] for r in rows] == ["alan"]
+
+    def test_null_condition_filters_out(self, spark):
+        frame = spark.create_dataframe([{"v": 1}, {"v": None}])
+        rows = frame.where(col("v") > 0).collect()
+        assert len(rows) == 1
+
+
+class TestExplode:
+    def test_fan_out(self, spark):
+        frame = spark.create_dataframe([
+            {"k": "a", "vals": [1, 2]},
+            {"k": "b", "vals": [3]},
+        ])
+        rows = frame.select(
+            col("k"), explode(col("vals")).alias("v")
+        ).collect()
+        assert [(r["k"], r["v"]) for r in rows] == [
+            ("a", 1), ("a", 2), ("b", 3),
+        ]
+
+    def test_empty_array_drops_row(self, spark):
+        frame = spark.create_dataframe([{"k": "a", "vals": []}])
+        rows = frame.select(
+            col("k"), explode(col("vals")).alias("v")
+        ).collect()
+        assert rows == []
+
+    def test_two_explodes_rejected(self, spark):
+        frame = spark.create_dataframe([{"a": [1], "b": [2]}])
+        with pytest.raises(ValueError):
+            frame.select(explode(col("a")), explode(col("b")))
+
+
+class TestGroupBy:
+    def test_count(self, people):
+        rows = people.group_by("team").count().collect()
+        counts = {r["team"]: r["count"] for r in rows}
+        assert counts == {"eng": 2, "math": 2}
+
+    def test_aggregates(self, people):
+        rows = people.group_by("team").agg(
+            agg_sum("age").alias("total"),
+            agg_avg("age").alias("mean"),
+            agg_min("age").alias("young"),
+            agg_max("age").alias("old"),
+            agg_collect_list("name").alias("names"),
+        ).collect()
+        eng = next(r for r in rows if r["team"] == "eng")
+        assert eng["total"] == 81
+        assert eng["mean"] == pytest.approx(40.5)
+        assert eng["young"] == 36 and eng["old"] == 45
+        assert eng["names"] == ["ada", "grace"]
+
+    def test_count_skips_nulls_on_column(self, spark):
+        frame = spark.create_dataframe([{"v": 1}, {"v": None}])
+        rows = frame.group_by(lit(0).alias("g")).agg(
+            agg_count("v").alias("n"), agg_count().alias("all")
+        ).collect()
+        assert rows[0]["n"] == 1 and rows[0]["all"] == 2
+
+    def test_group_by_expression(self, people):
+        rows = people.group_by(
+            (col("age") / 10).alias("decade")
+        ).agg(agg_count().alias("n")).collect()
+        assert sum(r["n"] for r in rows) == 4
+
+
+class TestOrderBy:
+    def test_single_key(self, people):
+        rows = people.order_by("age").collect()
+        assert [r["age"] for r in rows] == [36, 40, 41, 45]
+
+    def test_descending(self, people):
+        rows = people.order_by(col("age").desc()).collect()
+        assert [r["age"] for r in rows] == [45, 41, 40, 36]
+
+    def test_multi_key_mixed_direction(self, people):
+        rows = people.order_by(
+            col("team").asc(), col("age").desc()
+        ).collect()
+        assert [(r["team"], r["age"]) for r in rows] == [
+            ("eng", 45), ("eng", 36), ("math", 41), ("math", 40),
+        ]
+
+    def test_ascending_flags(self, people):
+        rows = people.order_by(
+            "team", "age", ascending=[True, False]
+        ).collect()
+        assert rows[0]["age"] == 45
+
+    def test_nulls_first_ascending(self, spark):
+        frame = spark.create_dataframe([{"v": 2}, {"v": None}, {"v": 1}])
+        rows = frame.order_by("v").collect()
+        assert [r["v"] for r in rows] == [None, 1, 2]
+
+
+class TestMisc:
+    def test_limit(self, people):
+        assert people.limit(2).count() == 2
+
+    def test_union(self, people):
+        assert people.union(people).count() == 8
+
+    def test_distinct(self, spark):
+        frame = spark.create_dataframe([{"v": 1}, {"v": 1}, {"v": 2}])
+        assert frame.distinct().count() == 2
+
+    def test_join(self, spark, people):
+        teams = spark.create_dataframe([
+            {"team": "eng", "floor": 3},
+            {"team": "math", "floor": 5},
+        ])
+        joined = people.join(teams, on="team")
+        rows = {r["name"]: r["floor"] for r in joined.collect()}
+        assert rows == {"ada": 3, "grace": 3, "alan": 5, "edsger": 5}
+
+    def test_with_row_index(self, people):
+        frame = people.with_row_index("idx")
+        assert [r["idx"] for r in frame.collect()] == [0, 1, 2, 3]
+
+    def test_take_and_first(self, people):
+        assert people.take(1)[0]["name"] == "ada"
+        assert people.first()["name"] == "ada"
+
+    def test_show_renders_table(self, people, capsys):
+        text = people.limit(1).show()
+        assert "name" in text and "ada" in text
+        assert text.count("+") >= 6
+
+    def test_temp_view_registration(self, spark, people):
+        people.create_or_replace_temp_view("people")
+        assert spark.catalog.lookup("people") is people
+
+
+class TestReader:
+    def test_read_json(self, spark, tmp_path):
+        import json
+
+        path = tmp_path / "in.json"
+        with open(path, "w") as handle:
+            for record in PEOPLE:
+                handle.write(json.dumps(record) + "\n")
+        frame = spark.read.json(str(path))
+        assert frame.count() == 4
+        assert set(frame.columns) == {"name", "age", "team"}
+
+    def test_read_infers_figure6_schema(self, spark, tmp_path):
+        import json
+
+        from repro.datasets.heterogeneous import FIGURE_5_OBJECTS
+
+        path = tmp_path / "messy.json"
+        with open(path, "w") as handle:
+            for record in FIGURE_5_OBJECTS:
+                handle.write(json.dumps(record) + "\n")
+        frame = spark.read.json(str(path))
+        from repro.spark.types import StringType
+
+        assert frame.schema.field("bar").data_type == StringType()
+        rows = {r["foo"]: r for r in frame.collect()}
+        assert rows["2"]["bar"] == "[4]"
+        assert rows["3"]["foobar"] is None

@@ -1,0 +1,120 @@
+"""Dataset generators: schemas, determinism, distributions."""
+
+import json
+import os
+
+from repro.datasets import (
+    generate_confusion,
+    generate_heterogeneous,
+    generate_reddit,
+    replicate_file,
+    write_confusion,
+    write_reddit,
+)
+from repro.datasets.heterogeneous import FIGURE_5_OBJECTS
+from repro.datasets.language_game import COUNTRIES, LANGUAGES
+
+
+class TestConfusion:
+    def test_schema_matches_figure1(self):
+        record = next(generate_confusion(1))
+        assert set(record) == {
+            "guess", "target", "country", "choices", "sample", "date",
+        }
+
+    def test_deterministic(self):
+        first = list(generate_confusion(50, seed=9))
+        second = list(generate_confusion(50, seed=9))
+        assert first == second
+        different = list(generate_confusion(50, seed=10))
+        assert first != different
+
+    def test_target_among_choices(self):
+        for record in generate_confusion(200):
+            assert record["target"] in record["choices"]
+            assert record["guess"] in record["choices"]
+            assert record["country"] in COUNTRIES
+            assert record["target"] in LANGUAGES
+
+    def test_accuracy_near_paper_rate(self):
+        records = list(generate_confusion(5000))
+        correct = sum(
+            1 for r in records if r["guess"] == r["target"]
+        )
+        assert 0.68 < correct / len(records) < 0.78
+
+    def test_language_skew_is_zipfian(self):
+        from collections import Counter
+
+        counts = Counter(
+            r["target"] for r in generate_confusion(5000)
+        )
+        most_common = counts.most_common()
+        assert most_common[0][1] > 4 * most_common[-1][1]
+
+    def test_write_json_lines(self, tmp_path):
+        path = write_confusion(str(tmp_path / "c.json"), 20)
+        with open(path) as handle:
+            lines = [json.loads(line) for line in handle]
+        assert len(lines) == 20
+
+
+class TestReddit:
+    def test_core_schema(self):
+        record = next(generate_reddit(1))
+        for field in ("id", "author", "subreddit", "body", "score",
+                      "ups", "downs", "created_utc", "controversiality"):
+            assert field in record
+
+    def test_semi_structured_fields_sometimes_absent(self):
+        records = list(generate_reddit(1000))
+        gilded = sum(1 for r in records if "gilded" in r)
+        assert 0 < gilded < len(records)
+        distinguished = sum(1 for r in records if "distinguished" in r)
+        assert 0 < distinguished < len(records)
+
+    def test_deterministic(self):
+        assert list(generate_reddit(20, seed=2)) == list(
+            generate_reddit(20, seed=2)
+        )
+
+    def test_write(self, tmp_path):
+        path = write_reddit(str(tmp_path / "r.json"), 10)
+        assert os.path.getsize(path) > 0
+
+
+class TestHeterogeneous:
+    def test_country_field_is_messy(self):
+        records = list(generate_heterogeneous(2000, mess_ratio=0.1))
+        kinds = {"str": 0, "list": 0, "absent": 0, "null": 0}
+        for record in records:
+            if "country" not in record:
+                kinds["absent"] += 1
+            elif record["country"] is None:
+                kinds["null"] += 1
+            elif isinstance(record["country"], list):
+                kinds["list"] += 1
+            else:
+                kinds["str"] += 1
+        assert all(count > 0 for count in kinds.values())
+        assert kinds["str"] > kinds["list"]
+
+    def test_figure5_objects_verbatim(self):
+        assert FIGURE_5_OBJECTS[0] == {"foo": "1", "bar": 2, "foobar": True}
+        assert FIGURE_5_OBJECTS[1]["bar"] == [4]
+        assert "foobar" not in FIGURE_5_OBJECTS[2]
+
+
+class TestReplication:
+    def test_replicate_file(self, tmp_path):
+        source = write_confusion(str(tmp_path / "src.json"), 10)
+        target = replicate_file(source, str(tmp_path / "x4"), 4)
+        parts = [p for p in os.listdir(target) if p.startswith("part-")]
+        assert len(parts) == 4
+
+    def test_replicated_collection_readable(self, tmp_path, rumble):
+        source = write_confusion(str(tmp_path / "src.json"), 10)
+        target = replicate_file(source, str(tmp_path / "x3"), 3)
+        assert rumble.query(
+            'count(json-file("{}"))'.format(target)
+        ).to_python() == [30]

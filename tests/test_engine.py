@@ -1,0 +1,192 @@
+"""The Rumble engine façade, results API and shell."""
+
+import io
+import warnings
+
+import pytest
+
+from repro.core import (
+    MaterializationCapExceeded,
+    Rumble,
+    RumbleConfig,
+    make_engine,
+)
+from repro.core.shell import RumbleShell
+from repro.jsoniq.errors import DynamicException, ParseException
+
+
+class TestEngineApi:
+    def test_query_round_trip(self, rumble):
+        assert rumble.query("1 + 1").to_python() == [2]
+
+    def test_compile_then_run_repeatedly(self, rumble):
+        compiled = rumble.compile("for $x in 1 to 3 return $x")
+        assert compiled.run().to_python() == [1, 2, 3]
+        assert compiled.run().to_python() == [1, 2, 3]
+
+    def test_compile_with_external_variables(self, rumble):
+        compiled = rumble.compile("$n * 2", external_variables=["n"])
+        assert compiled.run({"n": 21}).to_python() == [42]
+
+    def test_declare_external(self, rumble):
+        compiled = rumble.compile(
+            "declare variable $n external; $n + 1",
+        )
+        assert compiled.run({"n": 1}).to_python() == [2]
+
+    def test_unbound_external_raises_at_runtime(self, rumble):
+        compiled = rumble.compile("declare variable $n external; $n")
+        with pytest.raises(DynamicException):
+            compiled.run().to_python()
+
+    def test_explain(self, rumble):
+        text = rumble.compile("for $x in (1,2) return $x").explain()
+        assert "FlworExpression" in text and "ForClause" in text
+
+    def test_parse_error_carries_position(self, rumble):
+        with pytest.raises(ParseException) as info:
+            rumble.query("1 +")
+        assert info.value.code == "XPST0003"
+
+    def test_make_engine_configures_substrate(self):
+        engine = make_engine(executors=2, parallelism=3)
+        context = engine.spark.spark_context
+        assert context.executors.num_executors == 2
+        assert context.default_parallelism == 3
+
+
+class TestResults:
+    def test_items_stream(self, rumble):
+        items = list(rumble.query("1 to 5").items())
+        assert [item.to_python() for item in items] == [1, 2, 3, 4, 5]
+
+    def test_take_and_first(self, rumble):
+        result = rumble.query("1 to 100")
+        assert [i.to_python() for i in result.take(3)] == [1, 2, 3]
+        assert result.first().to_python() == 1
+
+    def test_first_of_empty(self, rumble):
+        assert rumble.query("()").first() is None
+
+    def test_count(self, rumble):
+        assert rumble.query("1 to 42").count() == 42
+        assert rumble.query("parallelize(1 to 42)").count() == 42
+
+    def test_serialize(self, rumble):
+        assert rumble.query('{"a": 1}, 2').serialize() == \
+            '{ "a" : 1 }\n2'
+
+    def test_collect_cap_warns(self):
+        engine = Rumble(config=RumbleConfig(materialization_cap=10))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            items = engine.query("1 to 100").collect()
+        assert len(items) == 10
+        assert any(
+            issubclass(w.category, MaterializationCapExceeded)
+            for w in caught
+        )
+
+    def test_collect_cap_strict_raises(self):
+        engine = Rumble(config=RumbleConfig(
+            materialization_cap=10, warn_on_cap=False
+        ))
+        with pytest.raises(DynamicException):
+            engine.query("1 to 100").collect()
+
+    def test_collect_explicit_cap(self, rumble):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            items = rumble.query("1 to 100").collect(cap=5)
+        assert len(items) == 5
+
+    def test_iteration_protocol(self, rumble):
+        assert [i.to_python() for i in rumble.query("(1, 2)")] == [1, 2]
+
+
+class TestShell:
+    def _shell(self):
+        output = io.StringIO()
+        shell = RumbleShell(output=output)
+        return shell, output
+
+    def test_execute(self):
+        shell, _ = self._shell()
+        assert shell.execute("1 + 1") == ["2"]
+
+    def test_run_script(self):
+        shell, output = self._shell()
+        shell.run([
+            "for $x in 1 to 3",
+            "return $x * $x;",
+            ":quit",
+        ])
+        text = output.getvalue()
+        assert "1\n4\n9" in text
+
+    def test_error_reported_not_raised(self):
+        shell, output = self._shell()
+        shell.run(["1 div 0;", ":quit"])
+        assert "FOAR0001" in output.getvalue()
+
+    def test_cap_command(self):
+        shell, output = self._shell()
+        shell.run([":cap 3", "1 to 100;", ":quit"])
+        lines = [
+            line for line in output.getvalue().splitlines()
+            if line.strip().isdigit()
+        ]
+        assert lines == ["1", "2", "3"]
+
+    def test_help_and_unknown_command(self):
+        shell, output = self._shell()
+        shell.run([":help", ":banana", ":quit"])
+        text = output.getvalue()
+        assert "unknown command" in text
+
+    def test_results_capped_by_default(self):
+        shell, output = self._shell()
+        shell.run(["1 to 1000;", ":quit"])
+        digits = [
+            line for line in output.getvalue().splitlines()
+            if line.strip().isdigit()
+        ]
+        assert len(digits) == 20
+
+
+class TestDataFrameInterop:
+    def test_to_dataframe(self, rumble):
+        result = rumble.query(
+            'for $x in 1 to 3 return {"x": $x, "sq": $x * $x}'
+        )
+        frame = result.to_dataframe()
+        assert frame.count() == 3
+        assert set(frame.columns) == {"x", "sq"}
+
+    def test_sql_over_jsoniq_results(self, rumble):
+        rumble.query(
+            'for $x in parallelize(1 to 100) '
+            'return {"x": $x, "bucket": $x mod 10}'
+        ).create_or_replace_temp_view("numbers")
+        rows = rumble.spark.sql(
+            "SELECT bucket, count(*) AS n FROM numbers "
+            "GROUP BY bucket ORDER BY bucket LIMIT 3"
+        ).collect()
+        assert [(r["bucket"], r["n"]) for r in rows] == [
+            (0, 10), (1, 10), (2, 10),
+        ]
+
+    def test_heterogeneity_degrades_at_the_boundary(self, rumble):
+        """The Figure 6 trade-off becomes explicit when leaving JSONiq."""
+        from repro.spark.types import StringType
+
+        frame = rumble.query(
+            '({"v": 1}, {"v": "x"})'
+        ).to_dataframe()
+        assert frame.schema.field("v").data_type == StringType()
+
+    def test_non_object_items_rejected(self, rumble):
+        from repro.jsoniq.errors import TypeException
+
+        with pytest.raises(TypeException):
+            rumble.query("1 to 3").to_dataframe()

@@ -1,0 +1,63 @@
+"""Smoke tests: every example program runs end to end.
+
+Each example is executed in a subprocess (the way a user would run it)
+and its output spot-checked, so the examples cannot silently rot.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+
+def run_example(name: str, stdin: str = "") -> str:
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        input=stdin,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    return completed.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "arithmetic : [14]" in out
+        assert "udf        : [3628800]" in out
+        assert "is rdd     : True" in out
+
+    def test_data_cleaning(self):
+        out = run_example("data_cleaning.py")
+        assert "DataFrame schema" in out
+        assert "cleaned objects:" in out
+
+    def test_language_game_analytics(self):
+        out = run_example("language_game_analytics.py")
+        assert "PySpark-style aggregation" in out
+        assert "Per-language accuracy" in out
+
+    def test_reddit_trends(self):
+        out = run_example("reddit_trends.py")
+        assert "top subreddits:" in out
+        assert "moderator comments:" in out
+
+    def test_event_sessions(self):
+        out = run_example("event_sessions.py")
+        assert "hourly histogram" in out
+        assert "funnel:" in out
+
+    def test_shell(self):
+        out = run_example(
+            "rumble_shell.py",
+            stdin="for $x in 1 to 3 return $x * $x;\n:quit\n",
+        )
+        assert "1" in out and "4" in out and "9" in out

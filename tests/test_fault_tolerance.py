@@ -1,0 +1,152 @@
+"""Fault tolerance at the engine level: a query survives transient task
+failures through lineage-based recomputation, and new language features
+(typeswitch, RDD-backed let, physical explain) behave."""
+
+import pytest
+
+from repro.core import Rumble, make_engine
+from repro.jsoniq.errors import TypeException
+from repro.spark.cluster import TaskFailure
+
+
+class TestQueryLevelFaultTolerance:
+    def _flaky_engine(self, fail_attempts: int) -> Rumble:
+        engine = make_engine(executors=2)
+        failures = {}
+
+        def injector(partition: int, attempt: int) -> bool:
+            count = failures.get(partition, 0)
+            if count < fail_attempts:
+                failures[partition] = count + 1
+                return True
+            return False
+
+        engine.spark.spark_context.executors.failure_injector = injector
+        return engine
+
+    def test_query_survives_transient_failures(self, jsonl_file):
+        engine = self._flaky_engine(fail_attempts=2)
+        path = jsonl_file([{"v": i} for i in range(50)])
+        out = engine.query(
+            'count(for $o in json-file("{}") where $o.v ge 25 return $o)'
+            .format(path)
+        ).to_python()
+        assert out == [25]
+        attempts = [
+            task.attempts
+            for stage in engine.spark.spark_context.executors.stages
+            for task in stage.tasks
+        ]
+        assert max(attempts) > 1, "retries must actually have happened"
+
+    def test_permanent_failure_surfaces(self, jsonl_file):
+        engine = make_engine(executors=2)
+        engine.spark.spark_context.executors.failure_injector = (
+            lambda partition, attempt: True
+        )
+        path = jsonl_file([{"v": 1}])
+        with pytest.raises(TaskFailure):
+            engine.query(
+                'count(json-file("{}"))'.format(path)
+            ).to_python()
+
+
+class TestTypeswitch:
+    def test_dispatch(self, run):
+        query = (
+            'typeswitch ({subject}) '
+            'case integer return "int" '
+            'case string return "str" '
+            'case array return "arr" '
+            'default return "other"'
+        )
+        assert run(query.format(subject="1")) == ["int"]
+        assert run(query.format(subject='"x"')) == ["str"]
+        assert run(query.format(subject="[1]")) == ["arr"]
+        assert run(query.format(subject="null")) == ["other"]
+
+    def test_case_variable_binding(self, run):
+        assert run(
+            "typeswitch ((1, 2, 3)) "
+            "case $xs as integer+ return sum($xs) "
+            "default return -1"
+        ) == [6]
+
+    def test_default_variable(self, run):
+        assert run(
+            'typeswitch ("a") '
+            "case integer return 0 "
+            "default $d return $d || $d"
+        ) == ["aa"]
+
+    def test_occurrence_matching(self, run):
+        assert run(
+            "typeswitch (()) "
+            "case empty-sequence() return \"was empty\" "
+            'default return \"not empty\"'
+        ) == ["was empty"]
+
+    def test_first_match_wins(self, run):
+        assert run(
+            'typeswitch (1) '
+            'case number return "number" '
+            'case integer return "integer" '
+            'default return "other"'
+        ) == ["number"]
+
+    def test_case_variable_scoped_per_branch(self, rumble):
+        from repro.jsoniq.errors import StaticException
+
+        with pytest.raises(StaticException):
+            rumble.compile(
+                "typeswitch (1) "
+                "case $a as integer return $a "
+                "default return $a"
+            )
+
+
+class TestRddLetBindings:
+    def test_count_runs_as_action(self, rumble):
+        assert rumble.query(
+            "let $xs := parallelize(1 to 10000) return count($xs)"
+        ).to_python() == [10000]
+
+    def test_aggregates_on_binding(self, rumble):
+        out = rumble.query(
+            "let $xs := parallelize(1 to 100) "
+            "return [min($xs), max($xs), sum($xs)]"
+        ).to_python()
+        assert out == [[1, 100, 5050]]
+
+    def test_binding_usable_positionally(self, rumble):
+        assert rumble.query(
+            "let $xs := parallelize((5, 6, 7)) return $xs[2]"
+        ).to_python() == [6]
+
+    def test_chained_let_still_works(self, rumble):
+        assert rumble.query(
+            "let $xs := parallelize(1 to 10) let $n := count($xs) "
+            "return $n * 2"
+        ).to_python() == [20]
+
+
+class TestPhysicalExplain:
+    def test_flwor_dataframe_mode(self, rumble):
+        compiled = rumble.compile(
+            "for $x in parallelize(1 to 10) where $x gt 5 "
+            "group by $k := $x mod 2 order by $k count $c return $k"
+        )
+        text = compiled.physical_explain()
+        assert "dataframe/rdd execution" in text
+        assert "ForClauseIterator" in text and "flatMap()" in text
+        assert "GroupByClauseIterator" in text
+        assert "mapToPair() groupByKey() map()" in text
+
+    def test_flwor_local_mode(self, rumble):
+        compiled = rumble.compile("for $x in 1 to 10 return $x")
+        assert "local execution" in compiled.physical_explain()
+
+    def test_non_flwor(self, rumble):
+        compiled = rumble.compile("1 + 1")
+        text = compiled.physical_explain()
+        assert "local execution" in text

@@ -1,0 +1,285 @@
+"""Local (pull-based) FLWOR semantics, clause by clause."""
+
+import pytest
+
+from repro.jsoniq.errors import TypeException
+
+
+class TestForClause:
+    def test_iteration(self, run):
+        assert run("for $x in (1, 2, 3) return $x * 10") == [10, 20, 30]
+
+    def test_cartesian_product(self, run):
+        assert run(
+            'for $x in (1, 2), $y in ("a", "b") return $x || $y'
+        ) == ["1a", "1b", "2a", "2b"]
+
+    def test_nested_for_reference(self, run):
+        assert run(
+            "for $x in (1, 2) for $y in 1 to $x return [$x, $y]"
+        ) == [[1, 1], [2, 1], [2, 2]]
+
+    def test_empty_source_kills_tuple(self, run):
+        assert run("for $x in (1, 2), $y in () return $x") == []
+
+    def test_allowing_empty(self, run):
+        assert run(
+            "for $x in (1, 2), $y allowing empty in () return [$x]"
+        ) == [[1], [2]]
+
+    def test_position_variable(self, run):
+        assert run(
+            'for $x at $i in ("a", "b", "c") return [$i, $x]'
+        ) == [[1, "a"], [2, "b"], [3, "c"]]
+
+    def test_variable_redeclaration(self, run):
+        assert run(
+            "for $x in (1, 2) for $x in ($x * 10) return $x"
+        ) == [10, 20]
+
+
+class TestLetClause:
+    def test_binds_whole_sequence(self, run):
+        assert run("let $xs := (1, 2, 3) return count($xs)") == [3]
+
+    def test_leading_let_single_tuple(self, run):
+        assert run("let $x := 5 return $x") == [5]
+
+    def test_let_inside_for(self, run):
+        assert run(
+            "for $x in (1, 2) let $y := $x * 2 return $y"
+        ) == [2, 4]
+
+    def test_redeclaration_shadows(self, run):
+        assert run(
+            "let $x := 1 let $x := $x + 1 return $x"
+        ) == [2]
+
+
+class TestWhereClause:
+    def test_filters(self, run):
+        assert run(
+            "for $x in 1 to 10 where $x mod 3 eq 0 return $x"
+        ) == [3, 6, 9]
+
+    def test_multiple_where(self, run):
+        assert run(
+            "for $x in 1 to 20 where $x gt 5 where $x lt 9 return $x"
+        ) == [6, 7, 8]
+
+    def test_where_empty_condition_false(self, run):
+        assert run(
+            'for $o in ({"a": 1}, {"b": 2}) where $o.a eq 1 return $o'
+        ) == [{"a": 1}]
+
+
+class TestGroupByClause:
+    def test_basic_grouping(self, run):
+        out = run(
+            'for $x in (1, 2, 3, 4, 5) group by $k := $x mod 2 '
+            'order by $k return { "k": $k, "n": count($x) }'
+        )
+        assert out == [{"k": 0, "n": 2}, {"k": 1, "n": 3}]
+
+    def test_non_grouping_materialized(self, run):
+        out = run(
+            "for $x in (1, 2, 3, 4) group by $k := $x mod 2 "
+            "order by $k return [ $x ]"
+        )
+        assert out == [[2, 4], [1, 3]]
+
+    def test_grouping_by_existing_variable(self, run):
+        out = run(
+            'for $o in ({"k": 1, "v": 5}, {"k": 1, "v": 6}) '
+            "let $k := $o.k group by $k return sum($o.v)"
+        )
+        assert out == [11]
+
+    def test_heterogeneous_keys_no_error(self, run):
+        """The paper's Section 4.7 example, verbatim semantics."""
+        out = run(
+            'for $i in parallelize(('
+            '{"key" : "foo", "value" : "anything"},'
+            '{"key" : 1, "value" : "anything"},'
+            '{"key" : 1, "value" : "anything"},'
+            '{"key" : "foo", "value" : "anything"},'
+            '{"key" : true, "value" : "anything"}'
+            ')) group by $key := $i.key '
+            'return { "key" : $key, "count" : count($i) }'
+        )
+        by_key = {str(o["key"]): o["count"] for o in out}
+        assert by_key == {"foo": 2, "1": 2, "True": 1}
+
+    def test_absent_key_forms_group(self, run):
+        out = run(
+            'for $o in ({"k": 1}, {"x": 0}, {"k": 1}) '
+            "group by $k := $o.k return count($o)"
+        )
+        assert sorted(out) == [1, 2]
+
+    def test_compound_keys(self, run):
+        out = run(
+            'for $o in ({"a": 1, "b": 1}, {"a": 1, "b": 2}, '
+            '{"a": 1, "b": 1}) '
+            "group by $x := $o.a, $y := $o.b "
+            "order by $y return [$x, $y, count($o)]"
+        )
+        assert out == [[1, 1, 2], [1, 2, 1]]
+
+    def test_multi_item_key_errors(self, run):
+        with pytest.raises(TypeException):
+            run("for $x in (1, 2) group by $k := (1, 2) return $k")
+
+    def test_non_atomic_key_errors(self, run):
+        with pytest.raises(TypeException):
+            run("for $x in (1, 2) group by $k := [1] return $k")
+
+    def test_aggregations_after_grouping(self, run):
+        out = run(
+            "for $x in 1 to 10 group by $k := $x mod 2 "
+            "order by $k return { "
+            '"sum": sum($x), "min": min($x), "max": max($x) }'
+        )
+        assert out == [
+            {"sum": 30, "min": 2, "max": 10},
+            {"sum": 25, "min": 1, "max": 9},
+        ]
+
+
+class TestOrderByClause:
+    def test_ascending_default(self, run):
+        assert run(
+            "for $x in (3, 1, 2) order by $x return $x"
+        ) == [1, 2, 3]
+
+    def test_descending(self, run):
+        assert run(
+            "for $x in (3, 1, 2) order by $x descending return $x"
+        ) == [3, 2, 1]
+
+    def test_multiple_keys(self, run):
+        out = run(
+            'for $o in ({"a": 1, "b": 2}, {"a": 1, "b": 1}, {"a": 0, "b": 9}) '
+            "order by $o.a, $o.b descending return [$o.a, $o.b]"
+        )
+        assert out == [[0, 9], [1, 2], [1, 1]]
+
+    def test_empty_least_by_default(self, run):
+        out = run(
+            'for $o in ({"v": 2}, {}, {"v": 1}) '
+            "order by $o.v return ($o.v, -1)[1]"
+        )
+        assert out == [-1, 1, 2]
+
+    def test_empty_greatest(self, run):
+        out = run(
+            'for $o in ({"v": 2}, {}, {"v": 1}) '
+            "order by $o.v empty greatest return ($o.v, -1)[1]"
+        )
+        assert out == [1, 2, -1]
+
+    def test_null_sorts_before_values(self, run):
+        out = run(
+            'for $o in ({"v": 1}, {"v": null}) order by $o.v '
+            "return string($o.v)"
+        )
+        assert out == ["null", "1"]
+
+    def test_incompatible_types_error(self, run):
+        with pytest.raises(TypeException):
+            run(
+                'for $o in ({"v": 1}, {"v": "x"}) order by $o.v return $o'
+            )
+
+    def test_stable_sort_preserves_input_order(self, run):
+        out = run(
+            'for $o in ({"k": 1, "t": "a"}, {"k": 1, "t": "b"}, '
+            '{"k": 0, "t": "c"}) '
+            "stable order by $o.k return $o.t"
+        )
+        assert out == ["c", "a", "b"]
+
+    def test_sequence_key_errors(self, run):
+        with pytest.raises(TypeException):
+            run("for $x in (1, 2) order by (1, 2) return $x")
+
+
+class TestCountClause:
+    def test_positions(self, run):
+        assert run(
+            'for $x in ("a", "b") count $c return [$c, $x]'
+        ) == [[1, "a"], [2, "b"]]
+
+    def test_after_where(self, run):
+        assert run(
+            "for $x in 1 to 10 where $x mod 2 eq 0 count $c return $c"
+        ) == [1, 2, 3, 4, 5]
+
+    def test_count_then_filter_is_limit(self, run):
+        """The paper's Figure 4 pattern: count $c where $c le N."""
+        assert run(
+            "for $x in 100 to 200 count $c where $c le 3 return $x"
+        ) == [100, 101, 102]
+
+
+class TestReturnClause:
+    def test_sequence_flattening(self, run):
+        assert run("for $x in (1, 2) return ($x, $x)") == [1, 1, 2, 2]
+
+    def test_empty_return(self, run):
+        assert run("for $x in (1, 2) return ()") == []
+
+    def test_construction(self, run):
+        assert run(
+            'for $x in (1) return {"v": $x, "arr": [$x, $x]}'
+        ) == [{"v": 1, "arr": [1, 1]}]
+
+
+class TestComposedFlwor:
+    def test_full_pipeline(self, run):
+        """Every clause in one query."""
+        out = run(
+            """
+            for $x in 1 to 20
+            let $bucket := $x mod 3
+            where $x gt 2
+            group by $bucket
+            let $size := count($x)
+            order by $size descending, $bucket ascending
+            count $rank
+            return { "rank": $rank, "bucket": $bucket, "size": $size }
+            """
+        )
+        assert out == [
+            {"rank": 1, "bucket": 0, "size": 6},
+            {"rank": 2, "bucket": 1, "size": 6},
+            {"rank": 3, "bucket": 2, "size": 6},
+        ]
+
+    def test_nested_flwor(self, run):
+        out = run(
+            "for $x in (1, 2) return "
+            "[ for $y in 1 to $x return $y * $x ]"
+        )
+        assert out == [[1], [2, 4]]
+
+    def test_paper_intro_query_shape(self, run):
+        """The FLWOR from the paper's Section 2.3 on in-memory data."""
+        out = run(
+            """
+            for $person in (
+              {"age": 30, "position": "dev"},
+              {"age": 70, "position": "dev"},
+              {"age": 40, "position": "ops"},
+              {"age": 50, "position": "dev"}
+            )
+            where $person.age le 65
+            group by $pos := $person.position
+            let $count := count($person) gt 10
+            order by $count descending
+            return { "position" : $pos, "count" : $count }
+            """
+        )
+        assert {o["position"]: o["count"] for o in out} == {
+            "dev": False, "ops": False,
+        }

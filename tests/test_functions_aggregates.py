@@ -1,0 +1,82 @@
+"""Aggregate functions, local and distributed."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.jsoniq.errors import TypeException
+
+
+class TestSum:
+    def test_basic(self, run):
+        assert run("sum((1, 2, 3))") == [6]
+        assert run("sum(1 to 100)") == [5050]
+
+    def test_empty_is_zero(self, run):
+        assert run("sum(())") == [0]
+
+    def test_explicit_zero(self, run):
+        assert run("sum((), 42)") == [42]
+        assert run("sum((1, 2), 42)") == [3]
+
+    def test_mixed_numeric_types(self, run):
+        assert run("sum((1, 2.5))") == [Decimal("3.5")]
+        assert run("sum((1, 1.5e0))") == [2.5]
+
+    def test_non_numeric_errors(self, run):
+        with pytest.raises(TypeException):
+            run('sum((1, "a"))')
+
+
+class TestMinMax:
+    def test_numbers(self, run):
+        assert run("min((3, 1, 2))") == [1]
+        assert run("max((3, 1, 2))") == [3]
+
+    def test_strings(self, run):
+        assert run('min(("b", "a", "c"))') == ["a"]
+        assert run('max(("b", "a", "c"))') == ["c"]
+
+    def test_empty_yields_empty(self, run):
+        assert run("min(())") == []
+        assert run("max(())") == []
+
+    def test_cross_numeric(self, run):
+        assert run("min((2, 1.5))") == [Decimal("1.5")]
+
+    def test_incompatible_errors(self, run):
+        with pytest.raises(TypeException):
+            run('max((1, "a"))')
+
+
+class TestAvg:
+    def test_basic(self, run):
+        assert run("avg((2, 4, 6))") == [4]
+
+    def test_decimal_exactness(self, run):
+        assert run("avg((1, 2))") == [Decimal("1.5")]
+
+    def test_empty_yields_empty(self, run):
+        assert run("avg(())") == []
+
+    def test_double(self, run):
+        assert run("avg((1e0, 2e0))") == [1.5]
+
+
+class TestDistributedAggregates:
+    def test_sum_on_rdd(self, run):
+        assert run("sum(parallelize(1 to 1000))") == [500500]
+
+    def test_min_max_on_rdd(self, run):
+        assert run("min(parallelize((5, 3, 9)))") == [3]
+        assert run("max(parallelize((5, 3, 9)))") == [9]
+
+    def test_avg_on_rdd(self, run):
+        assert run("avg(parallelize(2 to 4))") == [3]
+
+    def test_sum_empty_rdd(self, run):
+        assert run("sum(parallelize(()))") == [0]
+
+    def test_aggregate_of_projection(self, run, jsonl_file):
+        path = jsonl_file([{"v": i} for i in range(1, 11)])
+        assert run('sum(json-file("{}").v)'.format(path)) == [55]

@@ -1,0 +1,80 @@
+"""Numeric and constructor functions."""
+
+import math
+from decimal import Decimal
+
+import pytest
+
+from repro.jsoniq.errors import CastException, TypeException
+
+
+class TestRounding:
+    def test_abs(self, run):
+        assert run("abs(-3)") == [3]
+        assert run("abs(2.5)") == [Decimal("2.5")]
+        assert run("abs(())") == []
+
+    def test_ceiling(self, run):
+        assert run("ceiling(1.2)") == [Decimal("2")]
+        assert run("ceiling(-1.2)") == [Decimal("-1")]
+        assert run("ceiling(3)") == [3]
+        assert run("ceiling(1.5e0)") == [2.0]
+
+    def test_floor(self, run):
+        assert run("floor(1.8)") == [Decimal("1")]
+        assert run("floor(-1.2)") == [Decimal("-2")]
+
+    def test_round(self, run):
+        assert run("round(2.5)") == [Decimal("3")]
+        assert run("round(2.4)") == [Decimal("2")]
+        assert run("round(2.5e0)") == [3.0]
+        assert run("round(7)") == [7]
+
+    def test_round_with_precision(self, run):
+        assert run("round(3.14159, 2)") == [Decimal("3.14")]
+
+    def test_non_numeric_errors(self, run):
+        with pytest.raises(TypeException):
+            run('abs("x")')
+
+
+class TestMath:
+    def test_sqrt(self, run):
+        assert run("sqrt(9)") == [3.0]
+
+    def test_pow_exp_log(self, run):
+        assert run("pow(2, 10)") == [1024.0]
+        assert run("log(exp(1))") == [pytest.approx(1.0)]
+
+
+class TestNumberFunction:
+    def test_casts(self, run):
+        assert run('number("3.5")') == [3.5]
+        assert run("number(7)") == [7.0]
+        assert run("number(true)") == [1.0]
+
+    def test_nan_on_failure(self, run):
+        assert math.isnan(run('number("zebra")')[0])
+        assert math.isnan(run("number(())")[0])
+        assert math.isnan(run("number((1, 2))")[0])
+
+
+class TestConstructors:
+    def test_integer(self, run):
+        assert run('integer("12")') == [12]
+        assert run("integer(3.9)") == [3]
+        assert run("integer(())") == []
+
+    def test_decimal_double(self, run):
+        assert run('decimal("1.5")') == [Decimal("1.5")]
+        assert run('double("1.5")') == [1.5]
+
+    def test_boolean_function_is_ebv(self, run):
+        assert run('boolean("")') == [False]
+        assert run('boolean("x")') == [True]
+        assert run("boolean(0)") == [False]
+        assert run("boolean(())") == [False]
+
+    def test_failed_constructor_raises(self, run):
+        with pytest.raises(CastException):
+            run('integer("x")')

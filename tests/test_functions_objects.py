@@ -1,0 +1,76 @@
+"""Object and array functions."""
+
+import pytest
+
+from repro.jsoniq.errors import TypeException
+
+
+class TestKeysValues:
+    def test_keys(self, run):
+        assert run('keys({"a": 1, "b": 2})') == ["a", "b"]
+
+    def test_keys_distinct_over_sequence(self, run):
+        assert run('keys(({"a": 1}, {"b": 2}, {"a": 3}))') == ["a", "b"]
+
+    def test_keys_of_non_object_empty(self, run):
+        assert run("keys((1, [2]))") == []
+
+    def test_values(self, run):
+        assert run('values({"a": 1, "b": [2]})') == [1, [2]]
+
+
+class TestArrays:
+    def test_members(self, run):
+        assert run("members([1, 2])") == [1, 2]
+        assert run("members(([1], [2, 3]))") == [1, 2, 3]
+
+    def test_size(self, run):
+        assert run("size([1, 2, 3])") == [3]
+        assert run("size([])") == [0]
+        assert run("size(())") == []
+
+    def test_size_of_non_array_errors(self, run):
+        with pytest.raises(TypeException):
+            run('size("x")')
+
+    def test_flatten(self, run):
+        assert run("flatten([1, [2, [3, 4]], 5])") == [1, 2, 3, 4, 5]
+        assert run('flatten(("a", [1, ["b"]]))') == ["a", 1, "b"]
+
+
+class TestReshaping:
+    def test_project(self, run):
+        assert run(
+            'project({"a": 1, "b": 2, "c": 3}, ("a", "c"))'
+        ) == [{"a": 1, "c": 3}]
+
+    def test_project_passes_non_objects(self, run):
+        assert run('project((1, {"a": 1}), "a")') == [1, {"a": 1}]
+
+    def test_remove_keys(self, run):
+        assert run(
+            'remove-keys({"a": 1, "b": 2}, "a")'
+        ) == [{"b": 2}]
+
+    def test_accumulate(self, run):
+        assert run(
+            'accumulate(({"a": 1}, {"b": 2}, {"a": 9}))'
+        ) == [{"a": 9, "b": 2}]
+
+
+class TestDescendants:
+    def test_descendant_objects(self, run):
+        result = run(
+            'count(descendant-objects({"a": {"b": [{"c": 1}]}}))'
+        )
+        assert result == [3]
+
+    def test_descendant_arrays(self, run):
+        assert run(
+            'count(descendant-arrays([{"a": [1, [2]]}]))'
+        ) == [3]
+
+
+class TestNullFunction:
+    def test_null(self, run):
+        assert run("null()") == [None]

@@ -1,0 +1,124 @@
+"""The sequence function library."""
+
+import pytest
+
+from repro.jsoniq.errors import DynamicException, TypeException
+
+
+class TestCardinality:
+    def test_count(self, run):
+        assert run("count(())") == [0]
+        assert run("count(1)") == [1]
+        assert run("count((1, 2, 3))") == [3]
+        assert run("count(1 to 1000)") == [1000]
+
+    def test_count_heterogeneous(self, run):
+        assert run('count((1, "a", [1], {"x": 1}, null))') == [5]
+
+    def test_empty_exists(self, run):
+        assert run("empty(())") == [True]
+        assert run("empty((1))") == [False]
+        assert run("exists(())") == [False]
+        assert run("exists((1, 2))") == [True]
+
+    def test_zero_or_one(self, run):
+        assert run("zero-or-one(())") == []
+        assert run("zero-or-one((1))") == [1]
+        with pytest.raises(DynamicException):
+            run("zero-or-one((1, 2))")
+
+    def test_exactly_one(self, run):
+        assert run("exactly-one((7))") == [7]
+        with pytest.raises(DynamicException):
+            run("exactly-one(())")
+        with pytest.raises(DynamicException):
+            run("exactly-one((1, 2))")
+
+    def test_one_or_more(self, run):
+        assert run("one-or-more((1, 2))") == [1, 2]
+        with pytest.raises(DynamicException):
+            run("one-or-more(())")
+
+
+class TestSlicing:
+    def test_head_tail(self, run):
+        assert run("head((1, 2, 3))") == [1]
+        assert run("head(())") == []
+        assert run("tail((1, 2, 3))") == [2, 3]
+        assert run("tail((1))") == []
+        assert run("tail(())") == []
+
+    def test_subsequence_two_args(self, run):
+        assert run("subsequence((1, 2, 3, 4), 2)") == [2, 3, 4]
+        assert run("subsequence((1, 2, 3), 0)") == [1, 2, 3]
+
+    def test_subsequence_three_args(self, run):
+        assert run("subsequence((1, 2, 3, 4, 5), 2, 2)") == [2, 3]
+        assert run("subsequence((1, 2, 3), 1, 0)") == []
+        assert run("subsequence((1, 2), 5, 3)") == []
+
+    def test_subsequence_type_errors(self, run):
+        with pytest.raises(TypeException):
+            run('subsequence((1, 2), "x")')
+
+    def test_reverse(self, run):
+        assert run("reverse((1, 2, 3))") == [3, 2, 1]
+        assert run("reverse(())") == []
+
+    def test_insert_before(self, run):
+        assert run("insert-before((1, 4), 2, (2, 3))") == [1, 2, 3, 4]
+        assert run("insert-before((1, 2), 9, (3))") == [1, 2, 3]
+
+    def test_remove(self, run):
+        assert run("remove((1, 2, 3), 2)") == [1, 3]
+        assert run("remove((1, 2), 9)") == [1, 2]
+
+
+class TestDistinctAndSearch:
+    def test_distinct_values(self, run):
+        assert run("distinct-values((1, 2, 1, 3, 2))") == [1, 2, 3]
+
+    def test_distinct_cross_numeric(self, run):
+        assert run("distinct-values((1, 1.0, 2))") == [1, 2]
+
+    def test_distinct_keeps_type_distinctions(self, run):
+        assert run('distinct-values((1, "1", true))') == [1, "1", True]
+
+    def test_distinct_first_occurrence_wins(self, run):
+        assert run('distinct-values(("b", "a", "b"))') == ["b", "a"]
+
+    def test_index_of(self, run):
+        assert run("index-of((10, 20, 10), 10)") == [1, 3]
+        assert run("index-of((1, 2), 5)") == []
+
+    def test_deep_equal(self, run):
+        assert run(
+            'deep-equal(({"a": [1]}, 2), ({"a": [1]}, 2))'
+        ) == [True]
+        assert run('deep-equal((1, 2), (1, 3))') == [False]
+        assert run("deep-equal((1), (1, 1))") == [False]
+        assert run("deep-equal((1.0), (1))") == [True]
+
+
+class TestDistributedVariants:
+    """The same functions when the argument is physically an RDD."""
+
+    def test_count_on_rdd(self, run):
+        assert run("count(parallelize(1 to 5000))") == [5000]
+
+    def test_exists_on_rdd(self, run):
+        assert run("exists(parallelize(()))") == [False]
+        assert run("exists(parallelize((1, 2)))") == [True]
+
+    def test_head_tail_on_rdd(self, run):
+        assert run("head(parallelize(1 to 100))") == [1]
+        assert run("count(tail(parallelize(1 to 100)))") == [99]
+
+    def test_subsequence_on_rdd(self, run):
+        assert run("subsequence(parallelize(1 to 100), 98)") == [98, 99, 100]
+        assert run("subsequence(parallelize(1 to 100), 5, 2)") == [5, 6]
+
+    def test_distinct_on_rdd(self, run):
+        assert sorted(run(
+            "distinct-values(parallelize((1, 2, 2, 3, 3, 3)))"
+        )) == [1, 2, 3]

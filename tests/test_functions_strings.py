@@ -1,0 +1,93 @@
+"""The string function library."""
+
+import pytest
+
+from repro.jsoniq.errors import DynamicException, TypeException
+
+
+class TestConversion:
+    def test_string_of_atomics(self, run):
+        assert run("string(42)") == ["42"]
+        assert run("string(true)") == ["true"]
+        assert run("string(null)") == ["null"]
+        assert run('string("x")') == ["x"]
+        assert run("string(())") == [""]
+
+    def test_string_of_structured_errors(self, run):
+        with pytest.raises(TypeException):
+            run("string([1])")
+
+
+class TestBuildAndJoin:
+    def test_concat(self, run):
+        assert run('concat("a", "b", "c")') == ["abc"]
+        assert run('concat("a", (), 1)') == ["a1"]
+
+    def test_string_join(self, run):
+        assert run('string-join(("a", "b", "c"), "-")') == ["a-b-c"]
+        assert run('string-join(("a", "b"))') == ["ab"]
+        assert run('string-join((), ",")') == [""]
+
+
+class TestInspection:
+    def test_string_length(self, run):
+        assert run('string-length("hello")') == [5]
+        assert run("string-length(())") == [0]
+
+    def test_substring(self, run):
+        assert run('substring("hello", 2)') == ["ello"]
+        assert run('substring("hello", 2, 3)') == ["ell"]
+        assert run('substring("hello", 0)') == ["hello"]
+        assert run('substring("hi", 9)') == [""]
+
+    def test_contains_starts_ends(self, run):
+        assert run('contains("hello", "ell")') == [True]
+        assert run('contains("hello", "xyz")') == [False]
+        assert run('starts-with("hello", "he")') == [True]
+        assert run('ends-with("hello", "lo")') == [True]
+        assert run('ends-with("hello", "he")') == [False]
+
+    def test_substring_before_after(self, run):
+        assert run('substring-before("a=b", "=")') == ["a"]
+        assert run('substring-after("a=b", "=")') == ["b"]
+        assert run('substring-before("ab", "x")') == [""]
+
+
+class TestCasing:
+    def test_upper_lower(self, run):
+        assert run('upper-case("MiXeD")') == ["MIXED"]
+        assert run('lower-case("MiXeD")') == ["mixed"]
+
+
+class TestRegex:
+    def test_tokenize_default_whitespace(self, run):
+        assert run('tokenize("a b  c")') == ["a", "b", "c"]
+
+    def test_tokenize_pattern(self, run):
+        assert run('tokenize("a,b,,c", ",")') == ["a", "b", "", "c"]
+
+    def test_matches(self, run):
+        assert run('matches("hello42", "[0-9]+")') == [True]
+        assert run('matches("hello", "^[0-9]+$")') == [False]
+
+    def test_replace(self, run):
+        assert run('replace("banana", "an", "X")') == ["bXXa"]
+        assert run('replace("a1b2", "[0-9]", "#")') == ["a#b#"]
+
+    def test_replace_group_reference(self, run):
+        assert run(r'replace("ab", "(a)(b)", "$2$1")') == ["ba"]
+
+    def test_bad_pattern_raises(self, run):
+        with pytest.raises(DynamicException):
+            run('matches("x", "[unclosed")')
+
+
+class TestMisc:
+    def test_normalize_space(self, run):
+        assert run('normalize-space("  a   b  ")') == ["a b"]
+
+    def test_serialize(self, run):
+        assert run('serialize({"a": [1, true]})') == [
+            '{ "a" : [ 1, true ] }'
+        ]
+        assert run("serialize((1, 2))") == ["(1, 2)"]

@@ -1,0 +1,238 @@
+"""End-to-end scenario tests: multi-collection analytics, data cleaning
+pipelines, and cross-feature interactions on realistic shapes."""
+
+import json
+
+import pytest
+
+from repro.core import Rumble, RumbleConfig
+
+
+@pytest.fixture()
+def store(rumble):
+    """A small order-management store (the paper's Figure 8 domain)."""
+    rumble.register_collection("customers", [
+        {"cid": 1, "name": "Acme", "country": "USA"},
+        {"cid": 2, "name": "Globex", "country": "FR"},
+        {"cid": 3, "name": "Initech", "country": "USA"},
+    ])
+    rumble.register_collection("products", [
+        {"pid": "p1", "name": "Widget", "price": 10},
+        {"pid": "p2", "name": "Gadget", "price": 25},
+        {"pid": "p3", "name": "Gizmo", "price": 40},
+    ])
+    rumble.register_collection("orders", [
+        {"oid": 100, "customer": 1, "date": "2020-01-01",
+         "items": [{"pid": "p1", "qty": 2}, {"pid": "p2", "qty": 1}]},
+        {"oid": 101, "customer": 2, "date": "2020-01-01",
+         "items": [{"pid": "p3", "qty": 1}]},
+        {"oid": 102, "customer": 1, "date": "2020-01-02",
+         "items": [{"pid": "p1", "qty": 5}]},
+        {"oid": 103, "customer": 3, "date": "2020-01-02",
+         "items": [{"pid": "p2", "qty": 2}, {"pid": "p3", "qty": 2}]},
+    ])
+    return rumble
+
+
+class TestOrderAnalytics:
+    def test_nested_join_order_totals(self, store):
+        out = store.query(
+            """
+            for $order in collection("orders")
+            let $total := sum(
+              for $item in $order.items[]
+              for $product in collection("products")
+              where $product.pid eq $item.pid
+              return $item.qty * $product.price
+            )
+            order by $total descending
+            return { "oid": $order.oid, "total": $total }
+            """
+        ).to_python()
+        assert out == [
+            {"oid": 103, "total": 130},
+            {"oid": 102, "total": 50},
+            {"oid": 100, "total": 45},
+            {"oid": 101, "total": 40},
+        ]
+
+    def test_revenue_per_customer_country(self, store):
+        out = store.query(
+            """
+            for $order in collection("orders")
+            let $customer := collection("customers")
+                             [$$.cid eq $order.customer]
+            let $revenue := sum(
+              for $item in $order.items[]
+              return $item.qty * collection("products")
+                                 [$$.pid eq $item.pid].price
+            )
+            group by $country := $customer.country
+            order by $country
+            return { "country": $country,
+                     "orders": count($order),
+                     "revenue": sum($revenue) }
+            """
+        ).to_python()
+        assert out == [
+            {"country": "FR", "orders": 1, "revenue": 40},
+            {"country": "USA", "orders": 3, "revenue": 225},
+        ]
+
+    def test_busiest_day_report(self, store):
+        out = store.query(
+            """
+            for $order in collection("orders")
+            group by $date := $order.date
+            let $n := count($order)
+            order by $n descending, $date
+            count $rank
+            return { "date": $date, "rank": $rank, "orders": $n }
+            """
+        ).to_python()
+        assert [o["rank"] for o in out] == [1, 2]
+        assert all(o["orders"] == 2 for o in out)
+
+    def test_product_popularity_with_windows(self, store):
+        out = store.query(
+            """
+            let $quantities :=
+              for $order in collection("orders")
+              for $item in $order.items[]
+              group by $pid := $item.pid
+              order by $pid
+              return sum($item.qty)
+            return [ sliding-window($quantities, 2) ! avg($$[]) ]
+            """
+        ).to_python()
+        # quantities per product: p1=7, p2=3, p3=3
+        assert out == [[5, 3]]
+
+
+class TestCleaningPipeline:
+    def test_validate_then_clean_then_write(self, rumble, tmp_path):
+        dirty = [
+            {"id": "1", "score": "10"},
+            {"id": "2", "score": 20},
+            {"id": 3, "score": "not a number"},
+            {"id": "4"},
+        ]
+        path = tmp_path / "dirty.json"
+        with open(path, "w") as handle:
+            for record in dirty:
+                handle.write(json.dumps(record) + "\n")
+
+        result = rumble.query(
+            """
+            for $r in json-file("{path}")
+            let $clean := try {{
+              annotate($r, {{"id": "integer", "score": "integer"}})
+            }} catch * {{ () }}
+            where exists($clean)
+            return $clean
+            """.format(path=path)
+        )
+        out_dir = str(tmp_path / "clean")
+        result.write_json_lines(out_dir)
+        cleaned = rumble.query(
+            'json-file("{}")'.format(out_dir)
+        ).to_python()
+        assert cleaned == [
+            {"id": 1, "score": 10},
+            {"id": 2, "score": 20},
+        ]
+
+    def test_quarantine_split(self, rumble):
+        rumble.register_collection("events", [
+            {"type": "click", "ts": 1},
+            {"type": 7, "ts": 2},
+            {"type": "view", "ts": "three"},
+            {"type": "click", "ts": 4},
+        ])
+        schema = '{"type": "string", "ts": "integer"}'
+        good = rumble.query(
+            'count(collection("events")[is-valid($$, %s)])' % schema
+        ).to_python()
+        bad = rumble.query(
+            'count(collection("events")[not is-valid($$, %s)])' % schema
+        ).to_python()
+        assert good == [2] and bad == [2]
+
+
+class TestWordCount:
+    def test_classic_wordcount_over_text_file(self, rumble, tmp_path):
+        path = tmp_path / "corpus.txt"
+        path.write_text(
+            "to be or not to be\nthat is the question\nbe brave\n"
+        )
+        out = rumble.query(
+            """
+            for $line in text-file("{path}")
+            for $word in tokenize($line)
+            group by $w := $word
+            let $n := count($word)
+            where $n ge 2
+            order by $n descending, $w
+            return {{ "word": $w, "n": $n }}
+            """.format(path=path)
+        ).to_python()
+        assert out == [
+            {"word": "be", "n": 3},
+            {"word": "to", "n": 2},
+        ]
+
+
+class TestSessionReuse:
+    def test_many_queries_one_engine(self):
+        engine = Rumble(config=RumbleConfig(materialization_cap=1000))
+        for i in range(20):
+            assert engine.query("{} * 2".format(i)).to_python() == [i * 2]
+
+    def test_compiled_query_reuse_with_different_bindings(self, rumble):
+        compiled = rumble.compile(
+            "for $x in $data[] where $x gt $min return $x",
+            external_variables=["data", "min"],
+        )
+        first = compiled.run({"data": [[1, 5, 9]], "min": 4})
+        assert first.to_python() == [5, 9]
+        second = compiled.run({"data": [[2, 3]], "min": 2})
+        assert second.to_python() == [3]
+
+    def test_collections_isolated_per_engine(self):
+        left = Rumble()
+        right = Rumble()
+        left.register_collection("c", [{"v": 1}])
+        from repro.jsoniq.errors import DynamicException
+
+        assert left.query('collection("c").v').to_python() == [1]
+        with pytest.raises(DynamicException):
+            right.query('collection("c")').to_python()
+
+
+class TestDeepNesting:
+    def test_deeply_nested_navigation(self, run):
+        depth = 30
+        value = 42
+        obj = value
+        for _ in range(depth):
+            obj = {"n": obj}
+        literal = json.dumps(obj)
+        query = "parse-json('{}'){}".format(
+            literal.replace("'", ""), ".n" * depth
+        )
+        # parse-json over a double-quoted JSON literal inside JSONiq
+        query = 'parse-json("{}"){}'.format(
+            literal.replace('"', '\\"'), ".n" * depth
+        )
+        assert run(query) == [value]
+
+    def test_wide_objects(self, run, jsonl_file):
+        record = {"f{}".format(i): i for i in range(200)}
+        path = jsonl_file([record])
+        assert run('json-file("{}").f199'.format(path)) == [199]
+
+    def test_unicode_round_trip(self, rumble, jsonl_file):
+        record = {"text": "héllo 世界 🚀", "ключ": [1, 2]}
+        path = jsonl_file([record])
+        out = rumble.query('json-file("{}")'.format(path)).to_python()
+        assert out == [record]

@@ -1,0 +1,151 @@
+"""Unit tests for the JSONiq Data Model items."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.items import (
+    FALSE,
+    NULL,
+    TRUE,
+    ArrayItem,
+    BooleanItem,
+    DateItem,
+    DecimalItem,
+    DoubleItem,
+    IntegerItem,
+    ObjectItem,
+    StringItem,
+    item_from_json,
+    item_from_python,
+    make_numeric,
+)
+from repro.jsoniq.errors import TypeException
+
+
+class TestAtomics:
+    def test_null_singleton(self):
+        assert NULL.is_null and NULL.is_atomic
+        assert NULL.to_python() is None
+        assert NULL.serialize() == "null"
+        assert not NULL.effective_boolean_value()
+
+    def test_booleans(self):
+        assert TRUE.value is True and FALSE.value is False
+        assert TRUE.serialize() == "true"
+        assert FALSE.serialize() == "false"
+        assert TRUE.effective_boolean_value()
+        assert not FALSE.effective_boolean_value()
+        assert BooleanItem(1) == TRUE
+
+    def test_string_ebv(self):
+        assert StringItem("x").effective_boolean_value()
+        assert not StringItem("").effective_boolean_value()
+
+    def test_string_serialization_escapes(self):
+        assert StringItem('a"b').serialize() == '"a\\"b"'
+        assert StringItem("a\nb").serialize() == '"a\\nb"'
+        assert StringItem("a\x01b").serialize() == '"a\\u0001b"'
+
+    def test_integer(self):
+        item = IntegerItem(42)
+        assert item.is_numeric and item.is_integer
+        assert item.serialize() == "42"
+        assert item.effective_boolean_value()
+        assert not IntegerItem(0).effective_boolean_value()
+
+    def test_decimal(self):
+        item = DecimalItem("3.14")
+        assert item.is_decimal
+        assert item.serialize() == "3.14"
+        assert item.value == Decimal("3.14")
+
+    def test_double_serialization(self):
+        assert DoubleItem(2.5).serialize() == "2.5"
+        assert DoubleItem(3.0).serialize() == "3.0"
+        assert DoubleItem(float("nan")).serialize() == "NaN"
+        assert DoubleItem(float("inf")).serialize() == "Infinity"
+        assert DoubleItem(float("-inf")).serialize() == "-Infinity"
+
+    def test_nan_ebv_is_false(self):
+        assert not DoubleItem(float("nan")).effective_boolean_value()
+
+    def test_date(self):
+        item = DateItem("2013-08-19")
+        assert item.is_date
+        assert item.string_value() == "2013-08-19"
+        assert item.to_python() == datetime.date(2013, 8, 19)
+
+    def test_cross_type_numeric_equality(self):
+        assert IntegerItem(2) == DoubleItem(2.0)
+        assert IntegerItem(2) == DecimalItem("2")
+
+    def test_make_numeric_rejects_bool(self):
+        with pytest.raises(TypeException):
+            make_numeric(True)
+
+
+class TestStructured:
+    def test_object_lookup(self):
+        obj = ObjectItem({"a": IntegerItem(1)})
+        assert list(obj.lookup("a")) == [IntegerItem(1)]
+        assert list(obj.lookup("missing")) == []
+        assert obj.keys() == ["a"]
+
+    def test_object_ebv_errors(self):
+        with pytest.raises(Exception):
+            ObjectItem({}).effective_boolean_value()
+
+    def test_array_lookup_one_based(self):
+        arr = ArrayItem([IntegerItem(10), IntegerItem(20)])
+        assert list(arr.array_lookup(1)) == [IntegerItem(10)]
+        assert list(arr.array_lookup(2)) == [IntegerItem(20)]
+        assert list(arr.array_lookup(0)) == []
+        assert list(arr.array_lookup(3)) == []
+
+    def test_array_unbox(self):
+        arr = ArrayItem([IntegerItem(1), StringItem("x")])
+        assert list(arr.unbox()) == [IntegerItem(1), StringItem("x")]
+        assert list(IntegerItem(1).unbox()) == []
+
+    def test_nested_serialization(self):
+        item = item_from_python({"a": [1, None, {"b": True}]})
+        assert item.serialize() == (
+            '{ "a" : [ 1, null, { "b" : true } ] }'
+        )
+
+    def test_empty_containers(self):
+        assert ObjectItem({}).serialize() == "{ }"
+        assert ArrayItem([]).serialize() == "[ ]"
+
+    def test_equality_and_hash(self):
+        left = item_from_python({"a": [1, 2]})
+        right = item_from_python({"a": [1, 2]})
+        assert left == right
+        assert hash(left) == hash(right)
+        assert left != item_from_python({"a": [1, 3]})
+
+
+class TestFactory:
+    def test_round_trip(self):
+        value = {"s": "x", "i": 7, "f": 1.5, "b": False, "n": None,
+                 "a": [1, [2]], "o": {"k": "v"}}
+        assert item_from_python(value).to_python() == value
+
+    def test_from_json_text(self):
+        item = item_from_json('{"x": [1, 2.5, "three"]}')
+        assert item.to_python() == {"x": [1, 2.5, "three"]}
+
+    def test_date_value(self):
+        item = item_from_python(datetime.date(2020, 1, 2))
+        assert item.is_date
+
+    def test_bool_before_int(self):
+        assert item_from_python(True) is TRUE
+        assert item_from_python(1) == IntegerItem(1)
+        assert item_from_python(1) != TRUE
+
+    def test_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            item_from_python(object())

@@ -1,0 +1,151 @@
+"""Comparison semantics and the Section 4.7 key encodings."""
+
+import pytest
+
+from repro.items import (
+    FALSE,
+    NULL,
+    TRUE,
+    ArrayItem,
+    DateItem,
+    DecimalItem,
+    DoubleItem,
+    IntegerItem,
+    ObjectItem,
+    StringItem,
+    check_sortable,
+    encode_sort_key,
+    grouping_key,
+    ordering_tuple,
+    value_compare,
+    values_equal,
+)
+from repro.items.compare import (
+    CODE_FALSE,
+    CODE_NULL,
+    CODE_NUMBER,
+    CODE_STRING,
+    CODE_TRUE,
+    EMPTY_GREATEST,
+    EMPTY_LEAST,
+)
+from repro.jsoniq.errors import TypeException
+
+
+class TestValueCompare:
+    def test_numbers_cross_type(self):
+        assert value_compare(IntegerItem(2), DoubleItem(2.0)) == 0
+        assert value_compare(IntegerItem(1), DecimalItem("1.5")) == -1
+        assert value_compare(DoubleItem(3.0), IntegerItem(2)) == 1
+
+    def test_strings(self):
+        assert value_compare(StringItem("a"), StringItem("b")) == -1
+        assert value_compare(StringItem("b"), StringItem("b")) == 0
+
+    def test_booleans(self):
+        assert value_compare(FALSE, TRUE) == -1
+        assert value_compare(TRUE, TRUE) == 0
+
+    def test_dates(self):
+        assert value_compare(
+            DateItem("2020-01-01"), DateItem("2020-06-01")
+        ) == -1
+
+    def test_null_smaller_than_everything(self):
+        for other in (IntegerItem(-10), StringItem(""), FALSE,
+                      DateItem("1970-01-01")):
+            assert value_compare(NULL, other) == -1
+            assert value_compare(other, NULL) == 1
+        assert value_compare(NULL, NULL) == 0
+
+    def test_incompatible_types_error(self):
+        with pytest.raises(TypeException):
+            value_compare(StringItem("1"), IntegerItem(1))
+        with pytest.raises(TypeException):
+            value_compare(TRUE, IntegerItem(1))
+
+    def test_structured_items_error(self):
+        with pytest.raises(TypeException):
+            value_compare(ArrayItem([]), ArrayItem([]))
+        with pytest.raises(TypeException):
+            value_compare(ObjectItem({}), StringItem("x"))
+
+
+class TestValuesEqual:
+    def test_no_error_on_mismatch(self):
+        assert not values_equal(StringItem("1"), IntegerItem(1))
+        assert not values_equal(TRUE, IntegerItem(1))
+
+    def test_numeric_promotion(self):
+        assert values_equal(IntegerItem(2), DoubleItem(2.0))
+
+
+class TestEncodings:
+    def test_paper_type_codes(self):
+        """The exact code assignment of Section 4.7."""
+        assert encode_sort_key(None)[0] == EMPTY_LEAST == 1
+        assert encode_sort_key(NULL)[0] == CODE_NULL == 2
+        assert encode_sort_key(TRUE)[0] == CODE_TRUE == 3
+        assert encode_sort_key(FALSE)[0] == CODE_FALSE == 4
+        assert encode_sort_key(StringItem("x"))[0] == CODE_STRING == 5
+        assert encode_sort_key(IntegerItem(1))[0] == CODE_NUMBER == 6
+        assert encode_sort_key(None, empty_greatest=True)[0] \
+            == EMPTY_GREATEST == 7
+
+    def test_string_column(self):
+        assert encode_sort_key(StringItem("abc")) == (5, "abc", 0.0)
+        assert encode_sort_key(IntegerItem(3)) == (6, "", 3.0)
+
+    def test_ordering_tuple_orders_jsoniq_style(self):
+        """empty < null < false < true < strings/numbers."""
+        ordered = [
+            ordering_tuple(None),
+            ordering_tuple(NULL),
+            ordering_tuple(FALSE),
+            ordering_tuple(TRUE),
+        ]
+        assert ordered == sorted(ordered)
+
+    def test_ordering_tuple_empty_greatest(self):
+        assert ordering_tuple(None, empty_greatest=True) > ordering_tuple(
+            StringItem("zzz")
+        )
+
+    def test_grouping_key_distinguishes_types(self):
+        """The paper's heterogeneous group-by example: 1, "foo" and true
+        land in different groups without any error."""
+        keys = {
+            grouping_key(IntegerItem(1)),
+            grouping_key(StringItem("foo")),
+            grouping_key(TRUE),
+            grouping_key(NULL),
+            grouping_key(None),
+        }
+        assert len(keys) == 5
+
+    def test_grouping_key_equates_cross_numeric(self):
+        assert grouping_key(IntegerItem(2)) == grouping_key(DoubleItem(2.0))
+
+    def test_grouping_structured_errors(self):
+        with pytest.raises(TypeException):
+            grouping_key(ArrayItem([]))
+
+
+class TestCheckSortable:
+    def test_compatible_chain(self):
+        family = check_sortable(None, IntegerItem(1))
+        family = check_sortable(family, DoubleItem(2.0))
+        assert family == "number"
+
+    def test_null_is_wildcard(self):
+        family = check_sortable(None, NULL)
+        assert check_sortable(family, StringItem("x")) == "string"
+
+    def test_incompatible_raises(self):
+        family = check_sortable(None, StringItem("x"))
+        with pytest.raises(TypeException):
+            check_sortable(family, IntegerItem(1))
+
+    def test_non_atomic_raises(self):
+        with pytest.raises(TypeException):
+            check_sortable(None, ArrayItem([]))

@@ -1,0 +1,142 @@
+"""The JSONiq lexer."""
+
+import pytest
+
+from repro.jsoniq.errors import ParseException
+from repro.jsoniq.lexer import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == "eof"
+
+    def test_keywords_vs_names(self):
+        assert kinds("for") == [("keyword", "for")]
+        assert kinds("forty") == [("name", "forty")]
+
+    def test_punctuation(self):
+        assert kinds("{ } ( ) , ;") == [
+            ("punct", "{"), ("punct", "}"), ("punct", "("),
+            ("punct", ")"), ("punct", ","), ("punct", ";"),
+        ]
+
+    def test_multi_char_punctuation(self):
+        assert kinds(":= != <= >= || []") == [
+            ("punct", ":="), ("punct", "!="), ("punct", "<="),
+            ("punct", ">="), ("punct", "||"), ("punct", "[]"),
+        ]
+
+    def test_context_item_token(self):
+        assert kinds("$$") == [("punct", "$$")]
+        assert kinds("$x") == [("punct", "$"), ("name", "x")]
+
+
+class TestHyphenNames:
+    def test_hyphen_inside_name(self):
+        assert kinds("json-file") == [("name", "json-file")]
+        assert kinds("distinct-values") == [("name", "distinct-values")]
+
+    def test_minus_with_spaces(self):
+        assert kinds("a - b") == [
+            ("name", "a"), ("punct", "-"), ("name", "b"),
+        ]
+
+    def test_hyphen_digit_continues_name(self):
+        # As in XQuery, "a-1" is a single name; subtraction needs spaces.
+        assert kinds("a-1") == [("name", "a-1")]
+        assert kinds("a -1") == [
+            ("name", "a"), ("punct", "-"), ("integer", "1"),
+        ]
+
+    def test_qualified_name(self):
+        assert kinds("local:fact") == [("name", "local:fact")]
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert kinds("42") == [("integer", "42")]
+
+    def test_decimal(self):
+        assert kinds("3.14") == [("decimal", "3.14")]
+
+    def test_double(self):
+        assert kinds("1e3") == [("double", "1e3")]
+        assert kinds("2.5E-2") == [("double", "2.5E-2")]
+
+    def test_integer_then_lookup(self):
+        # "1.foo" must lex as integer, dot, name (object lookup).
+        assert kinds("1.foo") == [
+            ("integer", "1"), ("punct", "."), ("name", "foo"),
+        ]
+
+
+class TestStrings:
+    def test_simple(self):
+        assert kinds('"abc"') == [("string", "abc")]
+
+    def test_escapes(self):
+        assert kinds(r'"a\"b\n\t\\"') == [("string", 'a"b\n\t\\')]
+
+    def test_unicode_escape(self):
+        assert kinds(r'"é"') == [("string", "é")]
+
+    def test_unterminated_raises(self):
+        with pytest.raises(ParseException):
+            tokenize('"abc')
+
+    def test_bad_escape_raises(self):
+        with pytest.raises(ParseException):
+            tokenize(r'"\q"')
+
+
+class TestComments:
+    def test_simple_comment(self):
+        assert kinds("1 (: a comment :) 2") == [
+            ("integer", "1"), ("integer", "2"),
+        ]
+
+    def test_nested_comment(self):
+        assert kinds("1 (: outer (: inner :) still :) 2") == [
+            ("integer", "1"), ("integer", "2"),
+        ]
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(ParseException):
+            tokenize("1 (: never closed")
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize("1 +\n  2")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (1, 3)
+        assert (tokens[2].line, tokens[2].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseException) as info:
+            tokenize("1 @ 2")
+        assert "@" in str(info.value)
+
+
+class TestQualifiedNamePrefixes:
+    def test_known_prefix_continues(self):
+        assert kinds("local:fact") == [("name", "local:fact")]
+        assert kinds("math:pi") == [("name", "math:pi")]
+
+    def test_unknown_prefix_splits(self):
+        # `{a:b}` must lex as three tokens so compact constructors work.
+        assert kinds("a:b") == [
+            ("name", "a"), ("punct", ":"), ("name", "b"),
+        ]
+
+    def test_compact_object_constructor(self):
+        tokens = kinds("{a:1}")
+        assert tokens == [
+            ("punct", "{"), ("name", "a"), ("punct", ":"),
+            ("integer", "1"), ("punct", "}"),
+        ]

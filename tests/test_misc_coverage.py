@@ -1,0 +1,108 @@
+"""Odds and ends: configuration, explain branches, reader options."""
+
+import json
+
+import pytest
+
+from repro.core import Rumble, RumbleConfig, make_engine
+from repro.spark import SparkConf, SparkContext, SparkSession
+
+
+class TestSparkConf:
+    def test_defaults(self):
+        conf = SparkConf()
+        assert conf.get("spark.default.parallelism") == 8
+        assert conf.get("missing.key") is None
+        assert conf.get("missing.key", "fallback") == "fallback"
+
+    def test_set_chains(self):
+        conf = SparkConf().set("a", 1).set("b", 2)
+        assert conf.get("a") == 1 and conf.get("b") == 2
+
+    def test_constructor_overrides(self):
+        conf = SparkConf(**{"spark.default.parallelism": 3})
+        assert SparkContext(conf).default_parallelism == 3
+
+
+class TestPhysicalExplainBranches:
+    def test_rdd_expression(self, rumble):
+        compiled = rumble.compile("parallelize(1 to 3)")
+        text = compiled.physical_explain()
+        assert "rdd execution" in text
+
+    def test_window_clause_shows_local(self, rumble):
+        compiled = rumble.compile(
+            "for tumbling window $w in parallelize(1 to 9) "
+            "start at $i when $i mod 3 eq 1 return count($w)"
+        )
+        text = compiled.physical_explain()
+        assert "local execution" in text
+        assert "WindowClauseIterator" in text
+
+
+class TestReaderOptions:
+    def test_min_partitions(self, tmp_path):
+        path = tmp_path / "rows.json"
+        with open(path, "w") as handle:
+            for index in range(500):
+                handle.write(json.dumps({"i": index}) + "\n")
+        spark = SparkSession()
+        frame = spark.read.json(str(path), min_partitions=6)
+        assert frame.rdd.num_partitions >= 6
+        assert frame.count() == 500
+
+
+class TestConfigCollections:
+    def test_collections_seeded_from_config(self):
+        engine = Rumble(config=RumbleConfig(
+            collections={"seeded": [{"v": 1}, {"v": 2}]}
+        ))
+        assert engine.query(
+            'sum(collection("seeded").v)'
+        ).to_python() == [3]
+
+
+class TestRuntimeMetadata:
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_builtin_names_inventory(self):
+        from repro.jsoniq.functions import builtin_names, is_builtin
+
+        names = builtin_names()
+        assert len(names) > 80
+        for expected in ("count", "json-file", "tumbling-window",
+                         "validate", "year-from-date", "position"):
+            assert expected in names
+        assert is_builtin("count", 1)
+        assert not is_builtin("count", 3)
+
+    def test_engine_reuse_after_error(self, rumble):
+        with pytest.raises(Exception):
+            rumble.query("1 div 0").to_python()
+        assert rumble.query("1 + 1").to_python() == [2]
+
+
+class TestShowAndRepr:
+    def test_dataframe_show_null_rendering(self):
+        spark = SparkSession()
+        frame = spark.create_dataframe([{"a": None, "b": [1]}])
+        text = frame.show()
+        assert "NULL" in text and "[1]" in text
+
+    def test_item_reprs(self):
+        from repro.items import IntegerItem, item_from_python
+
+        assert "42" in repr(IntegerItem(42))
+        assert "a" in repr(item_from_python({"a": 1}))
+
+    def test_plan_describe_nests(self):
+        from repro.spark.sql.parser import parse_sql
+
+        text = parse_sql(
+            "SELECT a FROM t WHERE b = 1 ORDER BY a LIMIT 2"
+        ).describe()
+        assert text.index("Limit") < text.index("Sort")
+        assert text.index("Sort") < text.index("Scan")

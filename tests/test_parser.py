@@ -1,0 +1,329 @@
+"""The JSONiq recursive-descent parser."""
+
+import pytest
+
+from repro.jsoniq import ast
+from repro.jsoniq.errors import ParseException
+from repro.jsoniq.parser import parse, parse_expression
+
+
+class TestLiterals:
+    def test_integer(self):
+        node = parse_expression("42")
+        assert isinstance(node, ast.Literal)
+        assert node.kind == "integer" and node.value == 42
+
+    def test_decimal_and_double(self):
+        assert parse_expression("3.14").kind == "decimal"
+        assert parse_expression("1e3").kind == "double"
+
+    def test_string(self):
+        node = parse_expression('"hi"')
+        assert node.kind == "string" and node.value == "hi"
+
+    def test_booleans_and_null(self):
+        assert parse_expression("true").value is True
+        assert parse_expression("false").value is False
+        assert parse_expression("null").kind == "null"
+
+    def test_empty_sequence(self):
+        assert isinstance(parse_expression("()"), ast.EmptySequence)
+
+
+class TestPrecedence:
+    def test_multiplication_binds_tighter(self):
+        node = parse_expression("1 + 2 * 3")
+        assert isinstance(node, ast.BinaryExpression) and node.op == "+"
+        assert isinstance(node.right, ast.BinaryExpression)
+        assert node.right.op == "*"
+
+    def test_comparison_above_additive(self):
+        node = parse_expression("1 + 2 eq 3")
+        assert isinstance(node, ast.ComparisonExpression)
+
+    def test_and_binds_tighter_than_or(self):
+        node = parse_expression("true or false and false")
+        assert node.op == "or"
+        assert isinstance(node.right, ast.BinaryExpression)
+        assert node.right.op == "and"
+
+    def test_not_unary(self):
+        node = parse_expression("not true and false")
+        # not applies to `true` only, per JSONiq precedence.
+        assert node.op == "and"
+        assert isinstance(node.left, ast.UnaryExpression)
+
+    def test_range_below_additive(self):
+        node = parse_expression("1 to 2 + 3")
+        assert isinstance(node, ast.RangeExpression)
+        assert isinstance(node.end, ast.BinaryExpression)
+
+    def test_concat_chain(self):
+        node = parse_expression('"a" || "b" || "c"')
+        assert isinstance(node, ast.StringConcatExpression)
+        assert len(node.parts) == 3
+
+    def test_comma_is_lowest(self):
+        node = parse_expression("1, 2 + 3")
+        assert isinstance(node, ast.CommaExpression)
+        assert len(node.expressions) == 2
+
+    def test_unary_minus(self):
+        node = parse_expression("-1 + 2")
+        assert node.op == "+"
+        assert isinstance(node.left, ast.UnaryExpression)
+
+
+class TestConstructors:
+    def test_object(self):
+        node = parse_expression('{"a": 1, "b": 2}')
+        assert isinstance(node, ast.ObjectConstructor)
+        assert len(node.pairs) == 2
+
+    def test_object_unquoted_keys(self):
+        node = parse_expression("{ count : 1, target : 2 }")
+        keys = [key.value for key, _ in node.pairs]
+        assert keys == ["count", "target"]
+
+    def test_empty_object(self):
+        assert parse_expression("{}").pairs == []
+
+    def test_array(self):
+        node = parse_expression("[1, 2]")
+        assert isinstance(node, ast.ArrayConstructor)
+        assert isinstance(node.content, ast.CommaExpression)
+
+    def test_empty_array_fused_token(self):
+        node = parse_expression("[]")
+        assert isinstance(node, ast.ArrayConstructor)
+        assert node.content is None
+
+    def test_empty_array_spaced(self):
+        node = parse_expression("[ ]")
+        assert isinstance(node, ast.ArrayConstructor)
+
+
+class TestPostfix:
+    def test_object_lookup(self):
+        node = parse_expression("$o.country")
+        assert isinstance(node, ast.ObjectLookup)
+        assert node.key.value == "country"
+
+    def test_lookup_chain(self):
+        node = parse_expression("$o.a.b")
+        assert isinstance(node, ast.ObjectLookup)
+        assert isinstance(node.source, ast.ObjectLookup)
+
+    def test_lookup_string_key(self):
+        node = parse_expression('$o."weird key"')
+        assert node.key.value == "weird key"
+
+    def test_lookup_keyword_key(self):
+        node = parse_expression("$o.count")
+        assert node.key.value == "count"
+
+    def test_lookup_dynamic_key(self):
+        node = parse_expression("$o.($k)")
+        assert isinstance(node.key, ast.VariableReference)
+
+    def test_array_unboxing(self):
+        assert isinstance(parse_expression("$a[]"), ast.ArrayUnboxing)
+
+    def test_array_lookup(self):
+        node = parse_expression("$a[[2]]")
+        assert isinstance(node, ast.ArrayLookup)
+
+    def test_predicate(self):
+        node = parse_expression("$a[$$ gt 1]")
+        assert isinstance(node, ast.Predicate)
+
+    def test_mixed_chain(self):
+        node = parse_expression('json-file("x").foo[].bar[$$.z eq 1]')
+        assert isinstance(node, ast.Predicate)
+        assert isinstance(node.source, ast.ObjectLookup)
+        assert isinstance(node.source.source, ast.ArrayUnboxing)
+
+    def test_simple_map(self):
+        node = parse_expression("(1,2) ! ($$ * 2)")
+        assert isinstance(node, ast.SimpleMap)
+
+
+class TestControlFlow:
+    def test_if(self):
+        node = parse_expression('if (1 eq 1) then "y" else "n"')
+        assert isinstance(node, ast.IfExpression)
+
+    def test_switch(self):
+        node = parse_expression(
+            'switch ($x) case 1 return "a" case 2 case 3 return "b" '
+            'default return "c"'
+        )
+        assert isinstance(node, ast.SwitchExpression)
+        assert len(node.cases) == 2
+        assert len(node.cases[1][0]) == 2  # two tests share a branch
+
+    def test_switch_requires_case(self):
+        with pytest.raises(ParseException):
+            parse_expression('switch ($x) default return "c"')
+
+    def test_try_catch_all(self):
+        node = parse_expression('try { 1 } catch * { 2 }')
+        assert isinstance(node, ast.TryCatchExpression)
+        assert node.codes is None
+
+    def test_try_catch_codes(self):
+        node = parse_expression('try { 1 } catch FOAR0001 | XPDY0002 { 2 }')
+        assert node.codes == ["FOAR0001", "XPDY0002"]
+
+    def test_quantified(self):
+        node = parse_expression(
+            "some $x in (1,2), $y in (3,4) satisfies $x lt $y"
+        )
+        assert isinstance(node, ast.QuantifiedExpression)
+        assert node.quantifier == "some"
+        assert len(node.bindings) == 2
+
+
+class TestTypes:
+    def test_instance_of(self):
+        node = parse_expression("$x instance of integer+")
+        assert isinstance(node, ast.InstanceOfExpression)
+        assert str(node.sequence_type) == "integer+"
+
+    def test_treat_as(self):
+        node = parse_expression("$x treat as item()")
+        assert isinstance(node, ast.TreatExpression)
+
+    def test_cast_as(self):
+        node = parse_expression('"5" cast as integer')
+        assert isinstance(node, ast.CastExpression)
+        assert not node.castable
+
+    def test_castable_with_empty(self):
+        node = parse_expression('$x castable as decimal?')
+        assert node.castable and node.allows_empty
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ParseException):
+            parse_expression("$x instance of widget")
+
+
+class TestFlwor:
+    def test_minimal(self):
+        node = parse_expression("for $x in (1,2) return $x")
+        assert isinstance(node, ast.FlworExpression)
+        assert isinstance(node.clauses[0], ast.ForClause)
+        assert isinstance(node.clauses[-1], ast.ReturnClause)
+
+    def test_multi_variable_for(self):
+        node = parse_expression("for $x in (1,2), $y in (3,4) return $x")
+        assert len([c for c in node.clauses
+                    if isinstance(c, ast.ForClause)]) == 2
+
+    def test_for_modifiers(self):
+        node = parse_expression(
+            "for $x allowing empty at $i in () return $i"
+        )
+        clause = node.clauses[0]
+        assert clause.allowing_empty and clause.position_variable == "i"
+
+    def test_let(self):
+        node = parse_expression("let $x := 1, $y := 2 return $x + $y")
+        lets = [c for c in node.clauses if isinstance(c, ast.LetClause)]
+        assert [c.variable for c in lets] == ["x", "y"]
+
+    def test_group_by_with_binding(self):
+        node = parse_expression(
+            "for $i in (1,2) group by $k := $i mod 2, $j return $k"
+        )
+        group = next(c for c in node.clauses
+                     if isinstance(c, ast.GroupByClause))
+        assert group.keys[0].variable == "k"
+        assert group.keys[0].expression is not None
+        assert group.keys[1].expression is None
+
+    def test_order_by_modifiers(self):
+        node = parse_expression(
+            "for $i in (1,2) order by $i descending empty greatest, "
+            "$i ascending return $i"
+        )
+        order = next(c for c in node.clauses
+                     if isinstance(c, ast.OrderByClause))
+        assert not order.specs[0].ascending
+        assert order.specs[0].empty_greatest
+        assert order.specs[1].ascending
+
+    def test_stable_order_by(self):
+        node = parse_expression(
+            "for $i in (1,2) stable order by $i return $i"
+        )
+        order = next(c for c in node.clauses
+                     if isinstance(c, ast.OrderByClause))
+        assert order.stable
+
+    def test_count_clause(self):
+        node = parse_expression("for $i in (1,2) count $c return $c")
+        assert any(isinstance(c, ast.CountClause) for c in node.clauses)
+
+    def test_clause_order_free(self):
+        """FLWOR clauses combine freely, unlike SQL (paper, Section 2.3)."""
+        node = parse_expression(
+            "for $i in (1,2) where $i gt 0 count $a where $a gt 0 "
+            "order by $i let $x := 1 return $i"
+        )
+        names = [type(c).__name__ for c in node.clauses]
+        assert names == [
+            "ForClause", "WhereClause", "CountClause", "WhereClause",
+            "OrderByClause", "LetClause", "ReturnClause",
+        ]
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(ParseException):
+            parse_expression("for $x in (1,2)")
+
+
+class TestProlog:
+    def test_function_declaration(self):
+        module = parse(
+            "declare function local:add($a, $b) { $a + $b }; "
+            "local:add(1, 2)"
+        )
+        assert len(module.declarations) == 1
+        decl = module.declarations[0]
+        assert decl.name == "local:add"
+        assert decl.parameters == ["a", "b"]
+
+    def test_variable_declaration(self):
+        module = parse("declare variable $x := 5; $x")
+        assert isinstance(module.declarations[0], ast.VariableDeclaration)
+
+    def test_typed_parameters(self):
+        module = parse(
+            "declare function local:f($a as integer) as integer { $a }; "
+            "local:f(1)"
+        )
+        assert module.declarations[0].parameters == ["a"]
+
+    def test_bad_declaration(self):
+        with pytest.raises(ParseException):
+            parse("declare banana $x := 5; $x")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "", "1 +", "for $x return $x", "{ 'a': 1 }", "(1, 2",
+        "$", "if (1) then 2", "1 2", "let $x = 1 return $x",
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(ParseException):
+            parse(bad)
+
+    def test_trailing_input(self):
+        with pytest.raises(ParseException) as info:
+            parse("1 + 1 banana")
+        assert "banana" in str(info.value)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseException) as info:
+            parse("1 +\n  *")
+        assert info.value.line == 2

@@ -1,0 +1,243 @@
+"""RDD transformations and actions against plain-Python reference
+semantics."""
+
+import pytest
+
+from repro.spark import SparkConf, SparkContext
+
+
+@pytest.fixture()
+def sc():
+    return SparkContext(SparkConf())
+
+
+class TestCreation:
+    def test_parallelize_round_trip(self, sc):
+        data = list(range(37))
+        assert sc.parallelize(data, 5).collect() == data
+
+    def test_partition_count(self, sc):
+        assert sc.parallelize(range(100), 7).num_partitions == 7
+
+    def test_empty(self, sc):
+        rdd = sc.empty_rdd()
+        assert rdd.collect() == []
+        assert rdd.is_empty()
+
+    def test_single_element(self, sc):
+        assert sc.parallelize([42]).collect() == [42]
+
+
+class TestNarrowTransformations:
+    def test_map(self, sc):
+        assert sc.parallelize([1, 2, 3]).map(lambda x: x * 2).collect() \
+            == [2, 4, 6]
+
+    def test_flat_map(self, sc):
+        rdd = sc.parallelize([1, 2]).flat_map(lambda x: [x] * x)
+        assert rdd.collect() == [1, 2, 2]
+
+    def test_filter(self, sc):
+        rdd = sc.parallelize(range(10), 3).filter(lambda x: x % 2 == 0)
+        assert rdd.collect() == [0, 2, 4, 6, 8]
+
+    def test_map_partitions(self, sc):
+        rdd = sc.parallelize(range(10), 2).map_partitions(
+            lambda part: [sum(part)]
+        )
+        assert sum(rdd.collect()) == 45
+        assert rdd.num_partitions == 2
+
+    def test_map_partitions_with_index(self, sc):
+        rdd = sc.parallelize(range(4), 2).map_partitions_with_index(
+            lambda index, part: [(index, list(part))]
+        )
+        assert rdd.collect() == [(0, [0, 1]), (1, [2, 3])]
+
+    def test_keys_values_mapvalues(self, sc):
+        pairs = sc.parallelize([("a", 1), ("b", 2)])
+        assert pairs.keys().collect() == ["a", "b"]
+        assert pairs.values().collect() == [1, 2]
+        assert pairs.map_values(lambda v: v * 10).collect() == [
+            ("a", 10), ("b", 20),
+        ]
+
+    def test_union(self, sc):
+        left = sc.parallelize([1, 2], 2)
+        right = sc.parallelize([3], 1)
+        merged = left.union(right)
+        assert merged.collect() == [1, 2, 3]
+        assert merged.num_partitions == 3
+
+    def test_glom(self, sc):
+        parts = sc.parallelize(range(4), 2).glom().collect()
+        assert parts == [[0, 1], [2, 3]]
+
+    def test_zip_with_index(self, sc):
+        rdd = sc.parallelize("abcde", 3).zip_with_index()
+        assert rdd.collect() == [
+            ("a", 0), ("b", 1), ("c", 2), ("d", 3), ("e", 4),
+        ]
+
+    def test_sample_deterministic(self, sc):
+        rdd = sc.parallelize(range(1000), 4)
+        first = rdd.sample(0.1, seed=5).collect()
+        second = rdd.sample(0.1, seed=5).collect()
+        assert first == second
+        assert 20 < len(first) < 250
+
+    def test_coalesce(self, sc):
+        rdd = sc.parallelize(range(12), 6).coalesce(2)
+        assert rdd.num_partitions == 2
+        assert sorted(rdd.collect()) == list(range(12))
+
+    def test_laziness(self, sc):
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x
+
+        rdd = sc.parallelize([1, 2, 3]).map(spy)
+        assert calls == []
+        rdd.collect()
+        assert calls == [1, 2, 3]
+
+
+class TestWideTransformations:
+    def test_reduce_by_key(self, sc):
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("c", 4), ("b", 5)]
+        result = dict(
+            sc.parallelize(pairs, 3).reduce_by_key(lambda x, y: x + y)
+            .collect()
+        )
+        assert result == {"a": 4, "b": 7, "c": 4}
+
+    def test_group_by_key(self, sc):
+        pairs = [("a", 1), ("b", 2), ("a", 3)]
+        result = dict(sc.parallelize(pairs, 2).group_by_key().collect())
+        assert result == {"a": [1, 3], "b": [2]}
+
+    def test_sort_by_total_order(self, sc):
+        data = [5, 3, 8, 1, 9, 2, 7]
+        assert sc.parallelize(data, 3).sort_by(lambda x: x).collect() \
+            == sorted(data)
+
+    def test_sort_descending(self, sc):
+        data = list(range(100))
+        assert sc.parallelize(data, 4).sort_by(
+            lambda x: x, ascending=False
+        ).collect() == sorted(data, reverse=True)
+
+    def test_sort_by_key(self, sc):
+        pairs = [(3, "c"), (1, "a"), (2, "b")]
+        assert sc.parallelize(pairs).sort_by_key().collect() == [
+            (1, "a"), (2, "b"), (3, "c"),
+        ]
+
+    def test_distinct(self, sc):
+        assert sorted(
+            sc.parallelize([1, 2, 2, 3, 1, 3], 3).distinct().collect()
+        ) == [1, 2, 3]
+
+    def test_repartition(self, sc):
+        rdd = sc.parallelize(range(20), 2).repartition(5)
+        assert rdd.num_partitions == 5
+        assert sorted(rdd.collect()) == list(range(20))
+
+    def test_join(self, sc):
+        left = sc.parallelize([("a", 1), ("b", 2), ("a", 3)])
+        right = sc.parallelize([("a", "x"), ("c", "y")])
+        joined = sorted(left.join(right).collect())
+        assert joined == [("a", (1, "x")), ("a", (3, "x"))]
+
+    def test_shuffle_metrics_recorded(self, sc):
+        sc.parallelize([("a", 1)] * 10, 2).reduce_by_key(
+            lambda x, y: x + y
+        ).collect()
+        assert sc.shuffle_metrics.shuffles >= 1
+        assert sc.shuffle_metrics.records >= 1
+
+
+class TestActions:
+    def test_count(self, sc):
+        assert sc.parallelize(range(123), 7).count() == 123
+
+    def test_take_stops_early(self, sc):
+        evaluated = []
+
+        def spy(x):
+            evaluated.append(x)
+            return x
+
+        rdd = sc.parallelize(range(100), 10).map(spy)
+        assert rdd.take(3) == [0, 1, 2]
+        # Only the first partition(s) should have been computed.
+        assert len(evaluated) <= 20
+
+    def test_first(self, sc):
+        assert sc.parallelize([9, 8]).first() == 9
+        with pytest.raises(ValueError):
+            sc.empty_rdd().first()
+
+    def test_reduce(self, sc):
+        assert sc.parallelize(range(1, 101), 8).reduce(
+            lambda x, y: x + y
+        ) == 5050
+        with pytest.raises(ValueError):
+            sc.empty_rdd().reduce(lambda x, y: x)
+
+    def test_reduce_with_empty_partitions(self, sc):
+        rdd = sc.parallelize([1, 2], 8)
+        assert rdd.reduce(lambda x, y: x + y) == 3
+
+    def test_aggregate(self, sc):
+        result = sc.parallelize(range(10), 3).aggregate(
+            (0, 0),
+            lambda acc, x: (acc[0] + x, acc[1] + 1),
+            lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        )
+        assert result == (45, 10)
+
+    def test_count_by_key(self, sc):
+        pairs = [("a", 1), ("b", 1), ("a", 1)]
+        assert sc.parallelize(pairs).count_by_key() == {"a": 2, "b": 1}
+
+    def test_to_local_iterator(self, sc):
+        assert list(sc.parallelize(range(5), 2).to_local_iterator()) \
+            == [0, 1, 2, 3, 4]
+
+    def test_is_empty(self, sc):
+        assert sc.parallelize([]).is_empty()
+        assert not sc.parallelize([0]).is_empty()
+
+
+class TestCaching:
+    def test_cache_avoids_recompute(self, sc):
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x
+
+        rdd = sc.parallelize([1, 2, 3]).map(spy).cache()
+        rdd.collect()
+        rdd.collect()
+        assert calls == [1, 2, 3]
+
+    def test_unpersist(self, sc):
+        calls = []
+        rdd = sc.parallelize([1]).map(calls.append).cache()
+        rdd.collect()
+        rdd.unpersist()
+        rdd.collect()
+        assert len(calls) == 2
+
+
+class TestSaveAsTextFile:
+    def test_round_trip(self, sc, tmp_path):
+        rdd = sc.parallelize(["x", "y", "z"], 2)
+        files = rdd.save_as_text_file(str(tmp_path / "out"))
+        assert len(files) == 2
+        lines = sc.text_file(str(tmp_path / "out")).collect()
+        assert sorted(lines) == ["x", "y", "z"]

@@ -1,0 +1,197 @@
+"""The runtime iterator protocol of the paper's Section 5.5:
+open() / hasNext() / next() / reset() / close(), plus the seamless
+local ↔ RDD switching of Section 5.6."""
+
+import pytest
+
+from repro.items import IntegerItem
+from repro.jsoniq.errors import DynamicException, TypeException
+from repro.jsoniq.runtime.base import RuntimeIterator, TransformingIterator
+from repro.jsoniq.runtime.dynamic_context import DynamicContext
+from repro.jsoniq.runtime.primary import LiteralIterator
+
+
+def compile_iterator(rumble, query):
+    return rumble.compile(query).iterator, rumble.fresh_context()
+
+
+class TestPullApi:
+    def test_open_next_close(self, rumble):
+        iterator, context = compile_iterator(rumble, "(10, 20, 30)")
+        iterator.open(context)
+        values = []
+        while iterator.has_next():
+            values.append(iterator.next().to_python())
+        iterator.close()
+        assert values == [10, 20, 30]
+
+    def test_has_next_is_idempotent(self, rumble):
+        iterator, context = compile_iterator(rumble, "(1)")
+        iterator.open(context)
+        assert iterator.has_next()
+        assert iterator.has_next()
+        assert iterator.next().to_python() == 1
+        assert not iterator.has_next()
+        assert not iterator.has_next()
+        iterator.close()
+
+    def test_next_past_end_raises(self, rumble):
+        iterator, context = compile_iterator(rumble, "()")
+        iterator.open(context)
+        with pytest.raises(DynamicException):
+            iterator.next()
+        iterator.close()
+
+    def test_use_before_open_raises(self, rumble):
+        iterator, _ = compile_iterator(rumble, "(1)")
+        with pytest.raises(DynamicException):
+            iterator.has_next()
+
+    def test_double_open_raises(self, rumble):
+        iterator, context = compile_iterator(rumble, "(1)")
+        iterator.open(context)
+        with pytest.raises(DynamicException):
+            iterator.open(context)
+        iterator.close()
+
+    def test_reset_restarts(self, rumble):
+        iterator, context = compile_iterator(rumble, "(1, 2)")
+        iterator.open(context)
+        assert iterator.next().to_python() == 1
+        iterator.reset(context)
+        assert iterator.next().to_python() == 1
+        assert iterator.next().to_python() == 2
+        iterator.close()
+
+    def test_reset_with_new_context(self, rumble):
+        iterator = rumble.compile(
+            "$x * 10", external_variables=["x"]
+        ).iterator
+        first = rumble.fresh_context()
+        first.bind("x", [IntegerItem(1)])
+        second = rumble.fresh_context()
+        second.bind("x", [IntegerItem(2)])
+        iterator.open(first)
+        assert iterator.next().to_python() == 10
+        iterator.reset(second)
+        assert iterator.next().to_python() == 20
+        iterator.close()
+
+    def test_close_then_reopen(self, rumble):
+        iterator, context = compile_iterator(rumble, "(7)")
+        iterator.open(context)
+        iterator.close()
+        iterator.open(context)
+        assert iterator.next().to_python() == 7
+        iterator.close()
+
+
+class TestConvenienceApi:
+    def test_materialize_local_limit(self, rumble):
+        iterator, context = compile_iterator(rumble, "1 to 1000000")
+        items = iterator.materialize_local(context, limit=5)
+        assert [i.to_python() for i in items] == [1, 2, 3, 4, 5]
+
+    def test_evaluate_atomic(self, rumble):
+        iterator, context = compile_iterator(rumble, "(42)")
+        assert iterator.evaluate_atomic(context, "test").to_python() == 42
+
+    def test_evaluate_atomic_empty(self, rumble):
+        iterator, context = compile_iterator(rumble, "()")
+        assert iterator.evaluate_atomic(context, "test") is None
+
+    def test_evaluate_atomic_rejects_sequence(self, rumble):
+        iterator, context = compile_iterator(rumble, "(1, 2)")
+        with pytest.raises(TypeException):
+            iterator.evaluate_atomic(context, "test")
+
+    def test_evaluate_atomic_rejects_structured(self, rumble):
+        iterator, context = compile_iterator(rumble, "[1]")
+        with pytest.raises(TypeException):
+            iterator.evaluate_atomic(context, "test")
+
+
+class TestModeSwitching:
+    """Section 5.5/5.6: the consumer never needs to know the layout."""
+
+    def test_materialize_prefers_rdd(self, rumble):
+        iterator, context = compile_iterator(
+            rumble, "parallelize(1 to 100)"
+        )
+        assert iterator.is_rdd(context)
+        items = iterator.materialize(context)
+        assert len(items) == 100
+
+    def test_local_api_over_rdd_capable_iterator(self, rumble):
+        """The local pull API works even when the physical layout is an
+        RDD — the switching is invisible (Section 5.5)."""
+        iterator, context = compile_iterator(
+            rumble, "parallelize((5, 6, 7))"
+        )
+        iterator.open(context)
+        assert iterator.next().to_python() == 5
+        assert iterator.next().to_python() == 6
+        iterator.close()
+
+    def test_transforming_iterator_follows_child(self, rumble):
+        distributed, context = compile_iterator(
+            rumble, 'parallelize(({"a": 1}, {"a": 2})).a'
+        )
+        assert distributed.is_rdd(context)
+        local, context = compile_iterator(rumble, '({"a": 1}).a')
+        assert not local.is_rdd(context)
+
+    def test_get_rdd_unavailable_locally(self, rumble):
+        iterator, context = compile_iterator(rumble, "(1, 2)")
+        assert not iterator.is_rdd(context)
+        with pytest.raises(DynamicException):
+            iterator.get_rdd(context)
+
+    def test_closure_evaluation_inside_transformations(self, rumble):
+        """Section 5.6: predicates travel inside the flatMap closure and
+        are evaluated with their local API on the 'cluster'."""
+        result = rumble.query(
+            "parallelize(1 to 1000)[$$ mod 250 eq 0]"
+        )
+        assert result.is_rdd()
+        assert result.to_python() == [250, 500, 750, 1000]
+
+
+class TestCustomIterators:
+    def test_generator_backed_subclass(self, rumble):
+        class Constant(RuntimeIterator):
+            def _generate(self, context):
+                yield IntegerItem(99)
+
+        iterator = Constant()
+        context = rumble.fresh_context()
+        iterator.open(context)
+        assert iterator.next().to_python() == 99
+        assert not iterator.has_next()
+
+    def test_transforming_subclass(self, rumble):
+        class Doubler(TransformingIterator):
+            def _transform(self, item, context):
+                yield IntegerItem(item.value * 2)
+
+        source, context = compile_iterator(rumble, "(1, 2, 3)")
+        doubler = Doubler(source)
+        assert [i.to_python() for i in doubler.iterate(context)] == [2, 4, 6]
+
+    def test_transforming_subclass_on_rdd(self, rumble):
+        class Doubler(TransformingIterator):
+            def _transform(self, item, context):
+                yield IntegerItem(item.value * 2)
+
+        source, context = compile_iterator(rumble, "parallelize((1, 2))")
+        doubler = Doubler(source)
+        assert doubler.is_rdd(context)
+        assert [
+            i.to_python() for i in doubler.get_rdd(context).collect()
+        ] == [2, 4]
+
+    def test_literal_iterator_kinds(self):
+        assert LiteralIterator("string", "x").item.is_string
+        assert LiteralIterator("boolean", True).item.is_boolean
+        with pytest.raises(ValueError):
+            LiteralIterator("banana", 1)

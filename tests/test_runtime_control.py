@@ -1,0 +1,200 @@
+"""Control flow: if, switch, try-catch, quantifiers, types and casts."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.jsoniq.errors import (
+    CastException,
+    DynamicException,
+    TypeException,
+)
+
+
+class TestIf:
+    def test_branches(self, run):
+        assert run('if (1 eq 1) then "y" else "n"') == ["y"]
+        assert run('if (1 eq 2) then "y" else "n"') == ["n"]
+
+    def test_condition_ebv(self, run):
+        assert run('if ("") then 1 else 2') == [2]
+        assert run("if ((5)) then 1 else 2") == [1]
+        assert run("if (()) then 1 else 2") == [2]
+
+    def test_untaken_branch_not_evaluated(self, run):
+        assert run("if (true) then 1 else 1 div 0") == [1]
+
+    def test_nested(self, run):
+        assert run(
+            'if (false) then 1 else if (true) then 2 else 3'
+        ) == [2]
+
+
+class TestSwitch:
+    def test_matching_case(self, run):
+        query = (
+            'switch ({x}) case 1 return "one" case 2 return "two" '
+            'default return "many"'
+        )
+        assert run(query.format(x=1)) == ["one"]
+        assert run(query.format(x=2)) == ["two"]
+        assert run(query.format(x=9)) == ["many"]
+
+    def test_shared_cases(self, run):
+        query = (
+            'switch ({x}) case 1 case 2 return "small" '
+            'default return "big"'
+        )
+        assert run(query.format(x=2)) == ["small"]
+        assert run(query.format(x=3)) == ["big"]
+
+    def test_string_subject(self, run):
+        assert run(
+            'switch ("b") case "a" return 1 case "b" return 2 '
+            'default return 3'
+        ) == [2]
+
+    def test_cross_type_no_match(self, run):
+        assert run(
+            'switch (1) case "1" return "s" default return "d"'
+        ) == ["d"]
+
+    def test_empty_matches_empty(self, run):
+        assert run(
+            'switch (()) case () return "empty" default return "other"'
+        ) == ["empty"]
+
+
+class TestTryCatch:
+    def test_catches_dynamic_error(self, run):
+        assert run('try { 1 div 0 } catch * { "caught" }') == ["caught"]
+
+    def test_no_error_passes_through(self, run):
+        assert run("try { 1 + 1 } catch * { 0 }") == [2]
+
+    def test_specific_code_matches(self, run):
+        assert run(
+            'try { 1 div 0 } catch FOAR0001 { "div" }'
+        ) == ["div"]
+
+    def test_specific_code_mismatch_propagates(self, run):
+        with pytest.raises(DynamicException):
+            run('try { 1 div 0 } catch XPTY0004 { "nope" }')
+
+    def test_multiple_codes(self, run):
+        assert run(
+            'try { "a" + 1 } catch FOAR0001 | XPTY0004 { "typed" }'
+        ) == ["typed"]
+
+    def test_eager_materialization(self, run):
+        """The error must be caught even though sequences are lazy."""
+        assert run(
+            'count(try { (1, 2, 1 div 0) } catch * { (9, 9) })'
+        ) == [2]
+
+
+class TestQuantified:
+    def test_some(self, run):
+        assert run("some $x in (1, 2, 3) satisfies $x gt 2") == [True]
+        assert run("some $x in (1, 2, 3) satisfies $x gt 5") == [False]
+
+    def test_every(self, run):
+        assert run("every $x in (1, 2, 3) satisfies $x gt 0") == [True]
+        assert run("every $x in (1, 2, 3) satisfies $x gt 1") == [False]
+
+    def test_empty_domain(self, run):
+        assert run("some $x in () satisfies true") == [False]
+        assert run("every $x in () satisfies false") == [True]
+
+    def test_multiple_bindings(self, run):
+        assert run(
+            "some $x in (1, 2), $y in (3, 4) satisfies $x + $y eq 6"
+        ) == [True]
+        assert run(
+            "every $x in (1, 2), $y in (3, 4) satisfies $x lt $y"
+        ) == [True]
+
+    def test_nested_quantifiers(self, run):
+        """The paper's Figure 8 shape: every ... satisfies some ..."""
+        assert run(
+            "every $a in (1, 2) satisfies "
+            "some $b in (2, 4) satisfies $b eq $a * 2"
+        ) == [True]
+
+
+class TestInstanceOf:
+    @pytest.mark.parametrize(("query", "expected"), [
+        ("1 instance of integer", True),
+        ("1 instance of decimal", True),   # integer derives from decimal
+        ("1 instance of double", False),
+        ("1.5 instance of decimal", True),
+        ("1e0 instance of double", True),
+        ('"x" instance of string', True),
+        ("true instance of boolean", True),
+        ("null instance of null", True),
+        ("[1] instance of array", True),
+        ('{"a":1} instance of object', True),
+        ("1 instance of item", True),
+        ("1 instance of atomic", True),
+        ("[1] instance of atomic", False),
+        ("(1, 2) instance of integer+", True),
+        ("(1, 2) instance of integer", False),
+        ("() instance of integer?", True),
+        ("() instance of integer", False),
+        ("() instance of empty-sequence()", True),
+        ("1 instance of empty-sequence()", False),
+        ('(1, "x") instance of integer*', False),
+        ("(1, 2, 3) instance of number*", True),
+    ])
+    def test_matrix(self, run, query, expected):
+        assert run(query) == [expected]
+
+
+class TestTreat:
+    def test_passes_matching(self, run):
+        assert run("(1, 2) treat as integer+") == [1, 2]
+
+    def test_rejects_mismatch(self, run):
+        with pytest.raises(TypeException):
+            run('"x" treat as integer')
+
+
+class TestCast:
+    def test_string_to_numbers(self, run):
+        assert run('"5" cast as integer') == [5]
+        assert run('"5.5" cast as decimal') == [Decimal("5.5")]
+        assert run('"2.5" cast as double') == [2.5]
+
+    def test_numeric_conversions(self, run):
+        assert run("3.7 cast as integer") == [3]
+        assert run("3 cast as double") == [3.0]
+
+    def test_to_string(self, run):
+        assert run("42 cast as string") == ["42"]
+        assert run("true cast as string") == ["true"]
+
+    def test_boolean_casts(self, run):
+        assert run('"true" cast as boolean') == [True]
+        assert run('"0" cast as boolean') == [False]
+        assert run("1 cast as boolean") == [True]
+
+    def test_failed_cast_raises(self, run):
+        with pytest.raises(CastException):
+            run('"abc" cast as integer')
+
+    def test_empty_with_question_mark(self, run):
+        assert run("() cast as integer?") == []
+        with pytest.raises(CastException):
+            run("() cast as integer")
+
+    def test_castable(self, run):
+        assert run('"5" castable as integer') == [True]
+        assert run('"x" castable as integer') == [False]
+        assert run("() castable as integer?") == [True]
+        assert run("() castable as integer") == [False]
+        assert run("(1, 2) castable as integer") == [False]
+
+    def test_date_cast(self, run):
+        assert run('"2020-01-02" cast as date instance of date') == [True]
+        with pytest.raises(CastException):
+            run('"not a date" cast as date')

@@ -1,0 +1,198 @@
+"""Runtime semantics of arithmetic, comparison and logic expressions."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.jsoniq.errors import DynamicException, TypeException
+
+
+class TestArithmetic:
+    def test_integer_ops_stay_integer(self, run):
+        assert run("2 + 3") == [5]
+        assert run("2 - 5") == [-3]
+        assert run("4 * 3") == [12]
+        assert all(isinstance(v, int) for v in run("(2+3, 2*3)"))
+
+    def test_div_produces_decimal(self, run):
+        result = run("7 div 2")
+        assert result == [Decimal("3.5")]
+
+    def test_double_propagates(self, run):
+        assert run("1 + 1.5e0") == [2.5]
+        assert isinstance(run("2e0 * 3")[0], float)
+
+    def test_decimal_propagates(self, run):
+        assert run("1 + 0.5") == [Decimal("1.5")]
+
+    def test_idiv_truncates_toward_zero(self, run):
+        assert run("7 idiv 2") == [3]
+        assert run("-7 idiv 2") == [-3]
+        assert run("7 idiv -2") == [-3]
+
+    def test_mod_keeps_dividend_sign(self, run):
+        assert run("7 mod 3") == [1]
+        assert run("-7 mod 3") == [-1]
+        assert run("7 mod -3") == [1]
+
+    def test_division_by_zero(self, run):
+        with pytest.raises(DynamicException) as info:
+            run("1 div 0")
+        assert info.value.code == "FOAR0001"
+        with pytest.raises(DynamicException):
+            run("1 idiv 0")
+        with pytest.raises(DynamicException):
+            run("1 mod 0")
+
+    def test_double_division_by_zero_is_infinite(self, run):
+        assert run("1e0 div 0") == [float("inf")]
+        assert run("-1e0 div 0") == [float("-inf")]
+        result = run("0e0 div 0")[0]
+        assert result != result  # NaN
+
+    def test_empty_operand_yields_empty(self, run):
+        assert run("() + 1") == []
+        assert run("1 * ()") == []
+
+    def test_non_numeric_operand_errors(self, run):
+        with pytest.raises(TypeException):
+            run('"a" + 1')
+        with pytest.raises(TypeException):
+            run("true + 1")
+
+    def test_sequence_operand_errors(self, run):
+        with pytest.raises(TypeException):
+            run("(1, 2) + 1")
+
+    def test_unary(self, run):
+        assert run("-5") == [-5]
+        assert run("--5") == [5]
+        assert run("+5") == [5]
+        assert run("-()") == []
+
+    def test_big_integers(self, run):
+        assert run("1000000000000000000000 * 2") == [2 * 10 ** 21]
+
+
+class TestValueComparisons:
+    def test_basic(self, run):
+        assert run("1 eq 1") == [True]
+        assert run("1 ne 2") == [True]
+        assert run("1 lt 2") == [True]
+        assert run("2 le 2") == [True]
+        assert run("3 gt 2") == [True]
+        assert run("2 ge 3") == [False]
+
+    def test_cross_numeric(self, run):
+        assert run("1 eq 1.0") == [True]
+        assert run("0.5 lt 1") == [True]
+
+    def test_strings(self, run):
+        assert run('"abc" lt "abd"') == [True]
+
+    def test_null_comparisons(self, run):
+        assert run("null eq null") == [True]
+        assert run("null lt 0") == [True]
+        assert run('null lt ""') == [True]
+
+    def test_empty_operand_yields_empty(self, run):
+        assert run("() eq 1") == []
+        assert run("1 eq ()") == []
+
+    def test_incompatible_types_error(self, run):
+        with pytest.raises(TypeException):
+            run('"1" eq 1')
+
+    def test_sequence_operand_errors(self, run):
+        with pytest.raises(TypeException):
+            run("(1, 2) eq 1")
+
+
+class TestGeneralComparisons:
+    def test_existential(self, run):
+        assert run("(1, 2, 3) = 2") == [True]
+        assert run("(1, 2, 3) = 5") == [False]
+        assert run("(1, 2) != (1, 2)") == [True]  # 1 != 2 exists
+
+    def test_empty_is_false(self, run):
+        assert run("() = 1") == [False]
+        assert run("() = ()") == [False]
+
+    def test_operators(self, run):
+        assert run("(1, 5) > 4") == [True]
+        assert run("(1, 5) < 0") == [False]
+        assert run("(1, 5) >= 5") == [True]
+        assert run("(1, 5) <= 1") == [True]
+
+
+class TestLogic:
+    def test_and_or_not(self, run):
+        assert run("true and true") == [True]
+        assert run("true and false") == [False]
+        assert run("false or true") == [True]
+        assert run("not true") == [False]
+        assert run("not ()") == [True]
+
+    def test_ebv_coercion(self, run):
+        assert run('"" or false') == [False]
+        assert run('"x" and 1') == [True]
+        assert run("0 or ()") == [False]
+
+    def test_short_circuit(self, run):
+        # The right side would divide by zero; `and` must not evaluate it.
+        assert run("false and (1 div 0 eq 1)") == [False]
+        assert run("true or (1 div 0 eq 1)") == [True]
+
+    def test_ebv_of_long_sequence_errors(self, run):
+        with pytest.raises(TypeException):
+            run("not (1, 2)")
+
+    def test_ebv_of_object_errors(self, run):
+        with pytest.raises(Exception):
+            run('not {"a": 1}')
+
+
+class TestSequences:
+    def test_comma_flattens(self, run):
+        assert run("(1, (2, 3), ())") == [1, 2, 3]
+
+    def test_range(self, run):
+        assert run("1 to 4") == [1, 2, 3, 4]
+        assert run("4 to 1") == []
+        assert run("2 to 2") == [2]
+        assert run("() to 3") == []
+
+    def test_range_non_numeric_errors(self, run):
+        with pytest.raises(TypeException):
+            run('"a" to "z"')
+
+    def test_string_concat(self, run):
+        assert run('"a" || "b"') == ["ab"]
+        assert run('() || "b"') == ["b"]
+        assert run('1 || "x"') == ["1x"]
+        assert run("null || 2") == ["null2"]
+
+
+class TestConstructors:
+    def test_object_values(self, run):
+        assert run('{"a": 1+1}') == [{"a": 2}]
+
+    def test_object_empty_value_becomes_null(self, run):
+        assert run('{"a": ()}') == [{"a": None}]
+
+    def test_object_sequence_value_boxed(self, run):
+        assert run('{"a": (1, 2)}') == [{"a": [1, 2]}]
+
+    def test_object_dynamic_key(self, run):
+        assert run('{ "k" || "ey" : 1 }') == [{"key": 1}]
+
+    def test_object_empty_key_errors(self, run):
+        with pytest.raises(TypeException):
+            run("{ (): 1 }")
+
+    def test_array_boxes_sequence(self, run):
+        assert run("[ 1 to 3 ]") == [[1, 2, 3]]
+        assert run("[]") == [[]]
+
+    def test_nested(self, run):
+        assert run('[{"a": [1]}]') == [[{"a": [1]}]]

@@ -1,0 +1,156 @@
+"""Navigation: lookups, unboxing, predicates, simple map —
+the expressions that make heterogeneous data painless (paper, Section 3.4).
+"""
+
+import pytest
+
+from repro.jsoniq.errors import TypeException
+
+
+class TestObjectLookup:
+    def test_basic(self, run):
+        assert run('{"a": 1}.a') == [1]
+
+    def test_missing_key_yields_empty(self, run):
+        assert run('{"a": 1}.b') == []
+
+    def test_non_object_yields_empty(self, run):
+        assert run("(1).a") == []
+        assert run('"str".a') == []
+        assert run("[1, 2].a") == []
+
+    def test_lookup_over_sequence(self, run):
+        assert run('({"a": 1}, {"a": 2}, {"b": 3}).a') == [1, 2]
+
+    def test_heterogeneous_sequence(self, run):
+        assert run('({"a": 1}, 42, "x", {"a": 2}).a') == [1, 2]
+
+    def test_chained(self, run):
+        assert run('{"a": {"b": {"c": 7}}}.a.b.c') == [7]
+
+    def test_string_key(self, run):
+        assert run('{"weird key": 1}."weird key"') == [1]
+
+    def test_dynamic_key(self, run):
+        assert run('let $k := "a" return {"a": 1}.($k)') == [1]
+        assert run('let $k := "a" return {"a": 1}.$k') == [1]
+
+    def test_keyword_key(self, run):
+        assert run('{"count": 5}.count') == [5]
+
+
+class TestArrayNavigation:
+    def test_lookup_one_based(self, run):
+        assert run("[10, 20, 30][[2]]") == [20]
+
+    def test_lookup_out_of_range(self, run):
+        assert run("[10][[5]]") == []
+        assert run("[10][[0]]") == []
+
+    def test_lookup_on_non_array(self, run):
+        assert run("(1)[[1]]") == []
+        assert run('{"a": 1}[[1]]') == []
+
+    def test_unboxing(self, run):
+        assert run("[1, 2, 3][]") == [1, 2, 3]
+        assert run("([1], [2, 3])[]") == [1, 2, 3]
+
+    def test_unboxing_skips_non_arrays(self, run):
+        assert run("([1], 5, [2])[]") == [1, 2]
+
+    def test_nested_unboxing(self, run):
+        assert run("[[1, 2], [3]][][]") == [1, 2, 3]
+
+    def test_lookup_dynamic_index(self, run):
+        assert run("let $i := 2 return [5, 6, 7][[$i]]") == [6]
+
+    def test_lookup_non_numeric_index_errors(self, run):
+        with pytest.raises(TypeException):
+            run('[1][["one"]]')
+
+
+class TestPredicates:
+    def test_boolean_filter(self, run):
+        assert run("(1, 2, 3, 4)[$$ gt 2]") == [3, 4]
+
+    def test_positional(self, run):
+        assert run("(10, 20, 30)[2]") == [20]
+        assert run('("a", "b")[1]') == ["a"]
+
+    def test_positional_out_of_range(self, run):
+        assert run("(1, 2)[5]") == []
+
+    def test_computed_position(self, run):
+        assert run("(10, 20, 30)[1 + 1]") == [20]
+
+    def test_empty_condition_is_false(self, run):
+        assert run("(1, 2)[()]") == []
+
+    def test_context_item_fields(self, run):
+        assert run(
+            '({"v": 1}, {"v": 5}, {"v": 3})[$$.v ge 3].v'
+        ) == [5, 3]
+
+    def test_paper_fallback_pattern(self, run):
+        """Figure 7: first array member, else the value, else a default."""
+        query = '({code}.country[], {code}.country, "USA")[1]'
+        assert run(query.format(code='{"country": ["FR", "DE"]}')) == ["FR"]
+        assert run(query.format(code='{"country": "AU"}')) == ["AU"]
+        assert run(query.format(code='{"other": 1}')) == ["USA"]
+
+    def test_filter_on_file_pipeline(self, run, jsonl_file):
+        path = jsonl_file([
+            {"foo": [{"bar": {"foobar": "a"}}]},
+            {"foo": [{"bar": {"foobar": "b"}}]},
+        ])
+        query = (
+            'json-file("{}").foo[].bar[$$.foobar eq "a"]'.format(path)
+        )
+        assert run(query) == [{"foobar": "a"}]
+
+
+class TestSimpleMap:
+    def test_maps_each_item(self, run):
+        assert run("(1, 2, 3) ! ($$ * 10)") == [10, 20, 30]
+
+    def test_chained(self, run):
+        assert run("(1, 2) ! ($$ + 1) ! ($$ * 2)") == [4, 6]
+
+    def test_mapper_can_expand(self, run):
+        assert run("(1, 3) ! ($$ to $$ + 1)") == [1, 2, 3, 4]
+
+    def test_on_objects(self, run):
+        assert run('({"a": 1}, {"a": 2}) ! $$.a') == [1, 2]
+
+
+class TestPositionalFunctions:
+    def test_position_in_predicate(self, run):
+        assert run("(10, 20, 30)[position() ge 2]") == [20, 30]
+        assert run('("a", "b", "c")[position() eq 2]') == ["b"]
+
+    def test_last_in_predicate(self, run):
+        assert run("(10, 20, 30)[last()]") == [30]
+        assert run("(10, 20, 30)[last() - 1]") == [20]
+        assert run("(10, 20, 30)[position() lt last()]") == [10, 20]
+
+    def test_on_distributed_sequence(self, rumble):
+        assert rumble.query(
+            "parallelize(1 to 100)[position() le 3]"
+        ).to_python() == [1, 2, 3]
+        assert rumble.query(
+            "parallelize(1 to 100)[last()]"
+        ).to_python() == [100]
+
+    def test_last_forces_local_evaluation(self, rumble):
+        result = rumble.query("parallelize(1 to 10)[last()]")
+        assert not result.is_rdd()
+        plain = rumble.query("parallelize(1 to 10)[$$ gt 5]")
+        assert plain.is_rdd()
+
+    def test_outside_predicate_errors(self, run):
+        from repro.jsoniq.errors import DynamicException
+
+        with pytest.raises(DynamicException):
+            run("position()")
+        with pytest.raises(DynamicException):
+            run("last()")

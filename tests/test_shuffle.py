@@ -1,0 +1,95 @@
+"""Partitioners, stable hashing and the shuffle."""
+
+import pytest
+
+from repro.spark.shuffle import (
+    HashPartitioner,
+    RangePartitioner,
+    ShuffleMetrics,
+    shuffle_pairs,
+    stable_hash,
+)
+
+
+class TestStableHash:
+    def test_deterministic_for_common_types(self):
+        values = ["abc", "", 42, -7, 3.5, 2.0, True, False, None,
+                  ("a", 1), (1, (2, "x")), (None,)]
+        for value in values:
+            assert stable_hash(value) == stable_hash(value)
+            assert 0 <= stable_hash(value) < 2 ** 31
+
+    def test_distinguishes_values(self):
+        assert stable_hash("a") != stable_hash("b")
+        assert stable_hash(("a", 1)) != stable_hash(("a", 2))
+
+    def test_bool_not_confused_with_int(self):
+        assert stable_hash(True) != stable_hash(1)
+
+    def test_fallback_for_arbitrary_objects(self):
+        assert stable_hash(frozenset({1, 2})) == stable_hash(
+            frozenset({1, 2})
+        )
+
+
+class TestHashPartitioner:
+    def test_range(self):
+        partitioner = HashPartitioner(4)
+        for key in ["a", "b", 1, ("x", 2), None]:
+            assert 0 <= partitioner.partition_for(key) < 4
+
+    def test_same_key_same_partition(self):
+        partitioner = HashPartitioner(8)
+        assert partitioner.partition_for("k") == partitioner.partition_for("k")
+
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+    def test_spreads_keys(self):
+        partitioner = HashPartitioner(8)
+        used = {partitioner.partition_for(i) for i in range(1000)}
+        assert len(used) == 8
+
+
+class TestRangePartitioner:
+    def test_ordering_preserved_across_partitions(self):
+        keys = list(range(100))
+        partitioner = RangePartitioner(4, keys)
+        assignments = [partitioner.partition_for(k) for k in keys]
+        assert assignments == sorted(assignments)
+        assert set(assignments) == {0, 1, 2, 3}
+
+    def test_single_partition(self):
+        partitioner = RangePartitioner(1, [5, 3])
+        assert partitioner.partition_for(100) == 0
+
+    def test_empty_sample(self):
+        partitioner = RangePartitioner(3, [])
+        assert partitioner.partition_for(42) == 0
+
+
+class TestShufflePairs:
+    def test_routes_by_key(self):
+        partitioner = HashPartitioner(4)
+        pairs = [("a", 1), ("b", 2), ("a", 3)]
+        buckets = shuffle_pairs([pairs], partitioner)
+        assert sum(len(b) for b in buckets) == 3
+        bucket_of_a = partitioner.partition_for("a")
+        assert [p for p in buckets[bucket_of_a] if p[0] == "a"] == [
+            ("a", 1), ("a", 3),
+        ]
+
+    def test_metrics(self):
+        metrics = ShuffleMetrics()
+        shuffle_pairs(
+            [[("k", i) for i in range(10)]],
+            HashPartitioner(2),
+            metrics=metrics,
+            measure_bytes=True,
+        )
+        assert metrics.shuffles == 1
+        assert metrics.records == 10
+        assert metrics.bytes > 0
+        metrics.reset()
+        assert metrics.records == 0

@@ -1,0 +1,165 @@
+"""Static analysis: scoping, chained contexts, function resolution."""
+
+import pytest
+
+from repro.jsoniq.errors import StaticException
+from repro.jsoniq.parser import parse
+from repro.jsoniq.static_analysis import analyse
+from repro.jsoniq.static_context import StaticContext
+
+
+def check(text: str) -> None:
+    analyse(parse(text))
+
+
+class TestVariableScoping:
+    def test_undeclared_variable(self):
+        with pytest.raises(StaticException) as info:
+            check("$nope")
+        assert "nope" in str(info.value)
+        assert info.value.code == "XPST0008"
+
+    def test_flwor_binds_downstream(self):
+        check("for $x in (1,2) let $y := $x return $x + $y")
+
+    def test_for_variable_not_visible_in_own_source(self):
+        with pytest.raises(StaticException):
+            check("for $x in ($x) return $x")
+
+    def test_let_sees_earlier_let(self):
+        check("let $a := 1, $b := $a return $b")
+
+    def test_position_variable_in_scope(self):
+        check("for $x at $i in (1,2) return $i")
+
+    def test_quantified_binding(self):
+        check("some $x in (1,2) satisfies $x gt 1")
+        with pytest.raises(StaticException):
+            check("some $x in (1,2) satisfies $y gt 1")
+
+    def test_quantified_sequential_bindings(self):
+        check("some $x in (1,2), $y in ($x) satisfies $y gt 1")
+
+    def test_count_clause_binds(self):
+        check("for $x in (1,2) count $c return $c")
+
+    def test_group_by_fresh_key(self):
+        check("for $x in (1,2) group by $k := $x mod 2 return $k")
+
+    def test_group_by_existing_variable_required(self):
+        with pytest.raises(StaticException):
+            check("for $x in (1,2) group by $missing return 1")
+
+    def test_global_variable(self):
+        check("declare variable $t := 5; $t + 1")
+
+    def test_global_sees_previous_global(self):
+        check("declare variable $a := 1; declare variable $b := $a; $b")
+
+    def test_global_cannot_see_later_global(self):
+        with pytest.raises(StaticException):
+            check("declare variable $a := $b; declare variable $b := 1; $a")
+
+
+class TestFunctions:
+    def test_builtin_resolves(self):
+        check("count((1,2))")
+
+    def test_unknown_function(self):
+        with pytest.raises(StaticException) as info:
+            check("frobnicate(1)")
+        assert info.value.code == "XPST0017"
+
+    def test_wrong_arity(self):
+        with pytest.raises(StaticException):
+            check("count(1, 2, 3)")
+
+    def test_user_function(self):
+        check("declare function local:f($x) { $x }; local:f(1)")
+
+    def test_user_function_params_scoped(self):
+        with pytest.raises(StaticException):
+            check("declare function local:f($x) { $y }; local:f(1)")
+
+    def test_recursion_resolves(self):
+        check(
+            "declare function local:f($n) "
+            "{ if ($n le 0) then 0 else local:f($n - 1) }; local:f(3)"
+        )
+
+    def test_mutual_recursion(self):
+        check(
+            "declare function local:a($n) "
+            "{ if ($n le 0) then 0 else local:b($n - 1) }; "
+            "declare function local:b($n) { local:a($n) }; "
+            "local:a(3)"
+        )
+
+    def test_duplicate_declaration(self):
+        with pytest.raises(StaticException):
+            check(
+                "declare function local:f($x) { 1 }; "
+                "declare function local:f($y) { 2 }; local:f(1)"
+            )
+
+    def test_overloading_by_arity(self):
+        check(
+            "declare function local:f($x) { 1 }; "
+            "declare function local:f($x, $y) { 2 }; "
+            "local:f(1) + local:f(1, 2)"
+        )
+
+    def test_function_body_not_a_closure(self):
+        """JSONiq functions see only their parameters, not outer FLWOR
+        variables."""
+        with pytest.raises(StaticException):
+            check(
+                "declare variable $v := 1; "
+                "declare function local:f() { $outer }; "
+                "for $outer in (1,2) return local:f()"
+            )
+
+
+class TestFlworShape:
+    def test_must_start_with_for_or_let(self):
+        # The parser already rejects this; the analysis double-checks the
+        # tree shape for programmatically built ASTs.
+        from repro.jsoniq import ast
+        from repro.jsoniq.static_analysis import _analyse_flwor
+
+        flwor = ast.FlworExpression([
+            ast.WhereClause(ast.Literal("boolean", True)),
+            ast.ReturnClause(ast.Literal("integer", 1)),
+        ])
+        with pytest.raises(StaticException):
+            _analyse_flwor(flwor, StaticContext())
+
+
+class TestStaticContextChaining:
+    def test_lookup_walks_chain(self):
+        root = StaticContext()
+        child = root.bind_variable("a")
+        grand = child.bind_variable("b")
+        assert grand.has_variable("a")
+        assert grand.has_variable("b")
+        assert not root.has_variable("a")
+
+    def test_in_scope_variables_inner_wins(self):
+        root = StaticContext()
+        outer = root.bind_variable("x", "outer-type")
+        inner = outer.bind_variable("x", "inner-type")
+        assert inner.in_scope_variables()["x"] == "inner-type"
+
+    def test_functions_live_in_root(self):
+        root = StaticContext()
+        child = root.bind_variable("a")
+        child.declare_function("f", 1, "decl")
+        assert root.lookup_function("f", 1) == "decl"
+        assert child.lookup_function("f", 2) is None
+
+    def test_annotations_attached(self):
+        module = parse("for $x in (1,2) return $x")
+        analyse(module)
+        flwor = module.expression
+        return_clause = flwor.clauses[-1]
+        assert return_clause.static_context.has_variable("x")

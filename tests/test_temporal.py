@@ -1,0 +1,243 @@
+"""Temporal types: dateTime, time, durations, and their arithmetic."""
+
+import datetime
+
+import pytest
+
+from repro.items import (
+    DateTimeItem,
+    DayTimeDurationItem,
+    TimeItem,
+    YearMonthDurationItem,
+    duration_from_string,
+    item_from_python,
+    value_compare,
+)
+from repro.items.temporal import parse_duration
+from repro.jsoniq.errors import CastException, TypeException
+
+
+class TestDurationParsing:
+    @pytest.mark.parametrize(("text", "months", "seconds"), [
+        ("P1Y", 12, 0),
+        ("P2M", 2, 0),
+        ("P1Y6M", 18, 0),
+        ("P3D", 0, 3 * 86400),
+        ("PT4H", 0, 4 * 3600),
+        ("PT5M", 0, 300),
+        ("PT6S", 0, 6),
+        ("PT1.5S", 0, 1.5),
+        ("P1DT2H3M4S", 0, 86400 + 7384),
+        ("-P1M", -1, 0),
+        ("-PT30S", 0, -30),
+    ])
+    def test_parse(self, text, months, seconds):
+        assert parse_duration(text) == (months, seconds)
+
+    @pytest.mark.parametrize("bad", ["", "P", "PT", "1Y", "P1H", "banana"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_duration(bad)
+
+    def test_mixed_duration_rejected(self):
+        with pytest.raises(ValueError):
+            duration_from_string("P1Y2D")
+
+    def test_round_trip_serialization(self):
+        for text in ("P1Y2M", "P3D", "PT4H5M6S", "P1DT2H", "PT0S"):
+            item = duration_from_string(text)
+            assert duration_from_string(item.string_value()) == item
+
+
+class TestItems:
+    def test_datetime_item(self):
+        item = DateTimeItem("2020-01-02T10:30:00")
+        assert item.is_datetime and item.is_atomic
+        assert item.to_python() == datetime.datetime(2020, 1, 2, 10, 30)
+        assert "2020-01-02T10:30:00" in item.serialize()
+
+    def test_time_item(self):
+        item = TimeItem("10:30:00")
+        assert item.is_time
+        assert item.sort_key() == 10 * 3600 + 30 * 60
+
+    def test_factory_mappings(self):
+        assert item_from_python(datetime.datetime(2020, 1, 1)).is_datetime
+        assert item_from_python(datetime.time(1, 2)).is_time
+        assert item_from_python(datetime.timedelta(hours=1)).is_duration
+        assert item_from_python(datetime.date(2020, 1, 1)).is_date
+
+    def test_comparisons_within_family(self):
+        early = DateTimeItem("2020-01-01T00:00:00")
+        late = DateTimeItem("2021-01-01T00:00:00")
+        assert value_compare(early, late) == -1
+        assert value_compare(
+            DayTimeDurationItem(60), DayTimeDurationItem(120)
+        ) == -1
+        assert value_compare(
+            YearMonthDurationItem(1), YearMonthDurationItem(12)
+        ) == -1
+
+    def test_cross_family_comparison_errors(self):
+        with pytest.raises(TypeException):
+            value_compare(
+                DayTimeDurationItem(60), YearMonthDurationItem(1)
+            )
+
+
+class TestCasts:
+    def test_string_to_datetime(self, run):
+        assert run(
+            '"2020-01-02T03:04:05" cast as dateTime instance of dateTime'
+        ) == [True]
+
+    def test_date_to_datetime(self, run):
+        out = run('dateTime("2020-01-02" cast as date)')
+        assert out == [datetime.datetime(2020, 1, 2)]
+
+    def test_datetime_to_date_and_time(self, run):
+        assert run(
+            '("2020-01-02T03:04:05" cast as dateTime) cast as date'
+        ) == [datetime.date(2020, 1, 2)]
+        assert run(
+            'time("2020-01-02T03:04:05" cast as dateTime)'
+        ) == [datetime.time(3, 4, 5)]
+
+    def test_duration_family_casts(self, run):
+        assert run(
+            '"PT90M" cast as dayTimeDuration instance of dayTimeDuration'
+        ) == [True]
+        with pytest.raises(CastException):
+            run('"P1Y" cast as dayTimeDuration')
+        with pytest.raises(CastException):
+            run('"PT1H" cast as yearMonthDuration')
+
+    def test_bad_literal(self, run):
+        with pytest.raises(CastException):
+            run('"gibberish" cast as duration')
+
+
+class TestArithmetic:
+    def test_date_plus_day_duration(self, run):
+        assert run('("2020-12-30" cast as date) + duration("P3D")') == [
+            datetime.date(2021, 1, 2)
+        ]
+
+    def test_date_plus_month_duration_clamps(self, run):
+        assert run('("2020-01-31" cast as date) + duration("P1M")') == [
+            datetime.date(2020, 2, 29)
+        ]
+
+    def test_duration_plus_date_commutes(self, run):
+        assert run('duration("P1D") + ("2020-01-01" cast as date)') == [
+            datetime.date(2020, 1, 2)
+        ]
+
+    def test_datetime_minus_datetime(self, run):
+        out = run(
+            '("2020-01-02T00:00:00" cast as dateTime) - '
+            '("2020-01-01T12:00:00" cast as dateTime)'
+        )
+        assert out == [datetime.timedelta(hours=12)]
+
+    def test_time_plus_duration_wraps(self, run):
+        assert run('time("23:30:00") + duration("PT45M")') == [
+            datetime.time(0, 15)
+        ]
+
+    def test_duration_sum_and_scale(self, run):
+        assert run('duration("PT1H") + duration("PT30M")') == [
+            datetime.timedelta(minutes=90)
+        ]
+        assert run('duration("PT1H") * 2.5') == [
+            datetime.timedelta(hours=2, minutes=30)
+        ]
+        assert run('(duration("P1Y") + duration("P6M")) instance of '
+                   "yearMonthDuration") == [True]
+
+    def test_duration_div_duration(self, run):
+        from decimal import Decimal
+
+        assert run('duration("PT3H") div duration("PT30M")') == [
+            Decimal("6")
+        ]
+
+    def test_cross_family_arithmetic_errors(self, run):
+        with pytest.raises(TypeException):
+            run('duration("P1Y") + duration("PT1S")')
+        with pytest.raises(TypeException):
+            run('time("10:00:00") + duration("P1M")')
+        with pytest.raises(TypeException):
+            run('("2020-01-01" cast as date) * 2')
+
+
+class TestAccessors:
+    def test_date_components(self, run):
+        date = '("2021-07-04" cast as date)'
+        assert run("year-from-date({})".format(date)) == [2021]
+        assert run("month-from-date({})".format(date)) == [7]
+        assert run("day-from-date({})".format(date)) == [4]
+
+    def test_datetime_components(self, run):
+        stamp = 'dateTime("2021-07-04T08:09:10")'
+        assert run("hours-from-dateTime({})".format(stamp)) == [8]
+        assert run("minutes-from-dateTime({})".format(stamp)) == [9]
+        assert run("seconds-from-dateTime({})".format(stamp)) == [10]
+
+    def test_duration_components(self, run):
+        assert run('days-from-duration(duration("P2DT3H"))') == [2]
+        assert run('hours-from-duration(duration("P2DT3H"))') == [3]
+        assert run('years-from-duration(duration("P30M"))') == [2]
+        assert run('months-from-duration(duration("P30M"))') == [6]
+
+    def test_empty_propagates(self, run):
+        assert run("year-from-date(())") == []
+
+    def test_wrong_type_errors(self, run):
+        with pytest.raises(TypeException):
+            run("year-from-date(1)")
+
+
+class TestInQueries:
+    def test_order_by_datetime(self, run):
+        out = run(
+            'for $s in ("2020-03-01T00:00:00", "2020-01-01T00:00:00", '
+            '"2020-02-01T00:00:00") '
+            "let $t := $s cast as dateTime "
+            "order by $t descending "
+            "return month-from-dateTime($t)"
+        )
+        assert out == [3, 2, 1]
+
+    def test_group_by_month(self, rumble):
+        out = rumble.query(
+            'for $d in parallelize(("2020-01-05", "2020-01-20", '
+            '"2020-02-10")) '
+            "let $date := $d cast as date "
+            "group by $m := month-from-date($date) "
+            "order by $m "
+            'return {"month": $m, "n": count($d)}'
+        ).to_python()
+        assert out == [
+            {"month": 1, "n": 2},
+            {"month": 2, "n": 1},
+        ]
+
+    def test_session_length_analytics(self, rumble):
+        rumble.register_collection("sessions", [
+            {"start": "2020-01-01T10:00:00", "end": "2020-01-01T10:45:00"},
+            {"start": "2020-01-01T11:00:00", "end": "2020-01-01T11:05:00"},
+        ])
+        out = rumble.query(
+            'for $s in collection("sessions") '
+            "let $length := ($s.end cast as dateTime) - "
+            "               ($s.start cast as dateTime) "
+            'where $length gt duration("PT30M") '
+            "return minutes-from-duration($length)"
+        ).to_python()
+        assert out == [45]
+
+    def test_current_functions_exist(self, run):
+        assert run("current-date() instance of date") == [True]
+        assert run("current-dateTime() instance of dateTime") == [True]
+        assert run("current-time() instance of time") == [True]

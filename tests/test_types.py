@@ -1,0 +1,138 @@
+"""Schema types, inference, merging and coercion (Figure 6 semantics)."""
+
+import pytest
+
+from repro.spark.types import (
+    ArrayType,
+    BooleanType,
+    DoubleType,
+    LongType,
+    NullType,
+    Row,
+    StringType,
+    StructField,
+    StructType,
+    coerce_record,
+    coerce_value,
+    infer_schema,
+    infer_type,
+    merge_types,
+)
+
+
+class TestInferType:
+    @pytest.mark.parametrize(("value", "expected"), [
+        (None, NullType()),
+        (True, BooleanType()),
+        (3, LongType()),
+        (2.5, DoubleType()),
+        ("x", StringType()),
+        ([1, 2], ArrayType(LongType())),
+        ([], ArrayType(NullType())),
+    ])
+    def test_scalars_and_arrays(self, value, expected):
+        assert infer_type(value) == expected
+
+    def test_struct(self):
+        inferred = infer_type({"a": 1, "b": "x"})
+        assert isinstance(inferred, StructType)
+        assert inferred.field("a").data_type == LongType()
+        assert inferred.field("b").data_type == StringType()
+
+    def test_heterogeneous_array_element(self):
+        assert infer_type([1, "x"]) == ArrayType(StringType())
+
+
+class TestMergeTypes:
+    def test_identity(self):
+        assert merge_types(LongType(), LongType()) == LongType()
+
+    def test_null_is_absorbed(self):
+        assert merge_types(NullType(), StringType()) == StringType()
+        assert merge_types(LongType(), NullType()) == LongType()
+
+    def test_numeric_widening(self):
+        assert merge_types(LongType(), DoubleType()) == DoubleType()
+
+    def test_incompatible_degrade_to_string(self):
+        """The Figure 6 behaviour: heterogeneity loses the types."""
+        assert merge_types(LongType(), StringType()) == StringType()
+        assert merge_types(BooleanType(), LongType()) == StringType()
+        assert merge_types(ArrayType(LongType()), LongType()) == StringType()
+
+    def test_array_merge(self):
+        assert merge_types(
+            ArrayType(LongType()), ArrayType(DoubleType())
+        ) == ArrayType(DoubleType())
+
+    def test_struct_merge_unions_fields(self):
+        left = infer_type({"a": 1})
+        right = infer_type({"b": "x"})
+        merged = merge_types(left, right)
+        assert set(merged.field_names) == {"a", "b"}
+
+
+class TestInferSchema:
+    def test_union_of_columns(self):
+        schema = infer_schema([{"a": 1}, {"b": 2.0}])
+        assert set(schema.field_names) == {"a", "b"}
+
+    def test_figure5_dataset(self):
+        """The paper's Figure 5 objects produce Figure 6's schema."""
+        from repro.datasets.heterogeneous import FIGURE_5_OBJECTS
+
+        schema = infer_schema(FIGURE_5_OBJECTS)
+        assert schema.field("foo").data_type == StringType()
+        assert schema.field("bar").data_type == StringType()
+        assert schema.field("foobar").data_type == StringType()
+
+
+class TestCoercion:
+    def test_value_to_string_column(self):
+        assert coerce_value(2, StringType()) == "2"
+        assert coerce_value(True, StringType()) == "true"
+        assert coerce_value([4], StringType()) == "[4]"
+        assert coerce_value({"a": 1}, StringType()) == '{"a":1}'
+
+    def test_absent_becomes_null(self):
+        schema = StructType([StructField("x", LongType())])
+        assert coerce_record({}, schema) == {"x": None}
+
+    def test_wrong_type_becomes_null(self):
+        assert coerce_value("nope", LongType()) is None
+        assert coerce_value("nope", DoubleType()) is None
+
+    def test_numeric_widening_applied(self):
+        assert coerce_value(3, DoubleType()) == 3.0
+
+    def test_nested_struct(self):
+        schema = infer_type({"inner": {"v": 1}})
+        coerced = coerce_value({"inner": {"v": 5, "extra": 1}}, schema)
+        assert coerced == {"inner": {"v": 5}}
+
+
+class TestRow:
+    def test_access_styles(self):
+        row = Row(a=1, b="x")
+        assert row["a"] == 1
+        assert row.b == "x"
+        assert row.get("missing") is None
+        assert "a" in row
+
+    def test_equality_and_hash(self):
+        assert Row(a=1) == Row(a=1)
+        assert hash(Row(a=[1, 2])) == hash(Row(a=[1, 2]))
+
+    def test_as_dict(self):
+        assert Row(a=1).as_dict() == {"a": 1}
+
+    def test_missing_attribute(self):
+        with pytest.raises(AttributeError):
+            Row(a=1).missing
+
+    def test_schema_strings(self):
+        schema = StructType([
+            StructField("a", LongType()),
+            StructField("b", ArrayType(StringType())),
+        ])
+        assert schema.simple_string() == "struct<a:bigint, b:array<string>>"

@@ -1,0 +1,103 @@
+"""User-defined functions and global variables (prolog)."""
+
+import pytest
+
+from repro.jsoniq.errors import DynamicException, StaticException
+
+
+class TestUserFunctions:
+    def test_simple(self, run):
+        assert run(
+            "declare function local:add($a, $b) { $a + $b }; "
+            "local:add(2, 3)"
+        ) == [5]
+
+    def test_sequence_parameters(self, run):
+        assert run(
+            "declare function local:total($xs) { sum($xs) }; "
+            "local:total((1, 2, 3))"
+        ) == [6]
+
+    def test_sequence_result(self, run):
+        assert run(
+            "declare function local:twice($x) { $x, $x }; "
+            "local:twice(7)"
+        ) == [7, 7]
+
+    def test_recursion(self, run):
+        assert run(
+            "declare function local:fact($n) "
+            "{ if ($n le 1) then 1 else $n * local:fact($n - 1) }; "
+            "local:fact(6)"
+        ) == [720]
+
+    def test_mutual_recursion(self, run):
+        assert run(
+            "declare function local:even($n) "
+            "{ if ($n eq 0) then true else local:odd($n - 1) }; "
+            "declare function local:odd($n) "
+            "{ if ($n eq 0) then false else local:even($n - 1) }; "
+            "local:even(10)"
+        ) == [True]
+
+    def test_arity_overloading(self, run):
+        assert run(
+            "declare function local:f($x) { $x }; "
+            "declare function local:f($x, $y) { $x * $y }; "
+            "local:f(3) + local:f(3, 4)"
+        ) == [15]
+
+    def test_recursion_depth_guard(self, run):
+        with pytest.raises(DynamicException) as info:
+            run(
+                "declare function local:loop($n) { local:loop($n + 1) }; "
+                "local:loop(0)"
+            )
+        assert info.value.code == "SENR0003"
+
+    def test_used_in_flwor(self, run):
+        assert run(
+            "declare function local:sq($x) { $x * $x }; "
+            "for $i in 1 to 4 return local:sq($i)"
+        ) == [1, 4, 9, 16]
+
+    def test_unknown_function_is_static_error(self, rumble):
+        with pytest.raises(StaticException):
+            rumble.compile("local:ghost(1)")
+
+
+class TestGlobalVariables:
+    def test_basic(self, run):
+        assert run("declare variable $limit := 10; $limit * 2") == [20]
+
+    def test_chained_globals(self, run):
+        assert run(
+            "declare variable $a := 2; "
+            "declare variable $b := $a * 3; "
+            "$b + $a"
+        ) == [8]
+
+    def test_sequence_global(self, run):
+        assert run(
+            "declare variable $xs := (1, 2, 3); count($xs)"
+        ) == [3]
+
+    def test_global_in_flwor(self, run):
+        assert run(
+            "declare variable $min := 3; "
+            "for $x in 1 to 5 where $x ge $min return $x"
+        ) == [3, 4, 5]
+
+
+class TestExternalBindings:
+    def test_scalar_binding(self, rumble):
+        result = rumble.query("$x + 1", {"x": 41})
+        assert result.to_python() == [42]
+
+    def test_sequence_binding(self, rumble):
+        result = rumble.query("sum($xs)", {"xs": [1, 2, 3]})
+        assert result.to_python() == [6]
+
+    def test_object_binding(self, rumble):
+        result = rumble.query("$person.name", {"person": {"name": "ada"}})
+        assert result.to_python() == ["ada"]

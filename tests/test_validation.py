@@ -1,0 +1,192 @@
+"""JSound-lite schema validation and annotation (paper future work)."""
+
+import pytest
+
+from repro.jsoniq.errors import DynamicException
+from repro.jsoniq.validation import SchemaError, ValidationError
+
+PERSON_SCHEMA = (
+    '{"name": "string", "age": "integer", "tags?": ["string"], '
+    '"address?": {"city": "string", "zip?": "string"}}'
+)
+
+
+class TestValidate:
+    def test_valid_passes_through(self, run):
+        out = run(
+            'validate({{"name": "ada", "age": 36}}, {schema})'
+            .format(schema=PERSON_SCHEMA)
+        )
+        assert out == [{"name": "ada", "age": 36}]
+
+    def test_missing_required_field(self, run):
+        with pytest.raises(ValidationError) as info:
+            run('validate({{"name": "ada"}}, {schema})'
+                .format(schema=PERSON_SCHEMA))
+        assert "age" in str(info.value)
+        assert info.value.code == "JNTY0004"
+
+    def test_wrong_type(self, run):
+        with pytest.raises(ValidationError):
+            run('validate({{"name": "ada", "age": "old"}}, {schema})'
+                .format(schema=PERSON_SCHEMA))
+
+    def test_optional_field_absent_ok(self, run):
+        run('validate({{"name": "a", "age": 1}}, {schema})'
+            .format(schema=PERSON_SCHEMA))
+
+    def test_optional_field_present_checked(self, run):
+        with pytest.raises(ValidationError):
+            run('validate({{"name": "a", "age": 1, "tags": [1]}}, {schema})'
+                .format(schema=PERSON_SCHEMA))
+
+    def test_nested_object(self, run):
+        run('validate({{"name": "a", "age": 1, '
+            '"address": {{"city": "ZRH"}}}}, {schema})'
+            .format(schema=PERSON_SCHEMA))
+        with pytest.raises(ValidationError):
+            run('validate({{"name": "a", "age": 1, '
+                '"address": {{"zip": "8000"}}}}, {schema})'
+                .format(schema=PERSON_SCHEMA))
+
+    def test_open_schema_allows_extra_fields(self, run):
+        run('validate({{"name": "a", "age": 1, "extra": true}}, {schema})'
+            .format(schema=PERSON_SCHEMA))
+
+    def test_sequence_validated_item_by_item(self, run):
+        with pytest.raises(ValidationError):
+            run('validate(({{"name": "a", "age": 1}}, {{"name": "b"}}), '
+                '{schema})'.format(schema=PERSON_SCHEMA))
+
+    def test_nullable_type(self, run):
+        run('validate({"v": null}, {"v": "integer?"})')
+        with pytest.raises(ValidationError):
+            run('validate({"v": null}, {"v": "integer"})')
+
+    def test_atomic_schema_on_scalars(self, run):
+        assert run('validate((1, 2, 3), "integer")') == [1, 2, 3]
+        with pytest.raises(ValidationError):
+            run('validate((1, "x"), "integer")')
+
+
+class TestIsValid:
+    def test_boolean_result(self, run):
+        assert run('is-valid({"a": 1}, {"a": "integer"})') == [True]
+        assert run('is-valid({"a": "x"}, {"a": "integer"})') == [False]
+
+    def test_usable_in_where_clause(self, run):
+        out = run(
+            'for $o in ({"v": 1}, {"v": "bad"}, {"v": 3}) '
+            'where is-valid($o, {"v": "integer"}) '
+            'return $o.v'
+        )
+        assert out == [1, 3]
+
+
+class TestAnnotate:
+    def test_casts_strings_to_declared_types(self, run):
+        out = run(
+            'annotate({"age": "42", "score": "3.5"}, '
+            '{"age": "integer", "score": "double"})'
+        )
+        assert out == [{"age": 42, "score": 3.5}]
+
+    def test_nested_and_arrays(self, run):
+        out = run(
+            'annotate({"xs": ["1", "2"]}, {"xs": ["integer"]})'
+        )
+        assert out == [{"xs": [1, 2]}]
+
+    def test_impossible_cast_raises(self, run):
+        with pytest.raises(ValidationError):
+            run('annotate({"age": "old"}, {"age": "integer"})')
+
+    def test_figure5_cleanup(self, run):
+        """The paper's Figure 5 mess, annotated clean."""
+        out = run(
+            'for $o in parallelize(('
+            '{"foo": "1", "bar": 2, "foobar": true},'
+            '{"foo": "2", "bar": 4, "foobar": "false"},'
+            '{"foo": "3", "bar": "6"}'
+            ')) return annotate($o, '
+            '{"foo": "integer", "bar": "integer", "foobar?": "boolean"})'
+        )
+        assert out == [
+            {"foo": 1, "bar": 2, "foobar": True},
+            {"foo": 2, "bar": 4, "foobar": False},
+            {"foo": 3, "bar": 6},
+        ]
+
+
+class TestSchemaErrors:
+    def test_unknown_type_name(self, run):
+        with pytest.raises(SchemaError):
+            run('validate(1, "widget")')
+
+    def test_bad_array_schema(self, run):
+        with pytest.raises(SchemaError):
+            run('validate([1], ["integer", "string"])')
+
+    def test_non_schema_value(self, run):
+        with pytest.raises(DynamicException):
+            run("validate(1, 42)")
+
+
+class TestWindows:
+    def test_tumbling(self, run):
+        assert run("tumbling-window(1 to 7, 3)") == [
+            [1, 2, 3], [4, 5, 6], [7],
+        ]
+        assert run("tumbling-window((), 3)") == []
+        assert run("tumbling-window((1, 2), 5)") == [[1, 2]]
+
+    def test_sliding(self, run):
+        assert run("sliding-window(1 to 4, 2)") == [
+            [1, 2], [2, 3], [3, 4],
+        ]
+        assert run("sliding-window((1,), 2)" .replace("(1,)", "(1)")) == []
+
+    def test_size_validation(self, run):
+        from repro.jsoniq.errors import TypeException
+
+        with pytest.raises(TypeException):
+            run("tumbling-window((1, 2), 0)")
+        with pytest.raises(TypeException):
+            run('sliding-window((1, 2), "x")')
+
+    def test_moving_average(self, run):
+        out = run(
+            "for $w in sliding-window((1, 2, 3, 4), 2) "
+            "return avg($w[])"
+        )
+        assert out == [1.5, 2.5, 3.5]
+
+
+class TestTextFile:
+    def test_reads_lines_as_strings(self, rumble, tmp_path):
+        path = tmp_path / "lines.txt"
+        path.write_text("alpha\nbeta\ngamma\n")
+        out = rumble.query('text-file("{}")'.format(path)).to_python()
+        assert out == ["alpha", "beta", "gamma"]
+
+    def test_is_rdd(self, rumble, tmp_path):
+        path = tmp_path / "lines.txt"
+        path.write_text("x\n" * 100)
+        result = rumble.query('text-file("{}", 4)'.format(path))
+        assert result.is_rdd()
+        assert result.rdd().num_partitions >= 4
+
+    def test_tokenize_pipeline(self, rumble, tmp_path):
+        path = tmp_path / "words.txt"
+        path.write_text("a b\nb c\n")
+        out = rumble.query(
+            'for $line in text-file("{}") '
+            "for $word in tokenize($line) "
+            "group by $w := $word order by $w "
+            'return {{"word": $w, "n": count($word)}}'.format(path)
+        ).to_python()
+        assert out == [
+            {"word": "a", "n": 1},
+            {"word": "b", "n": 2},
+            {"word": "c", "n": 1},
+        ]

@@ -1,0 +1,187 @@
+"""FLWOR window clauses (XQuery 3.0) — the paper's future-work item."""
+
+import pytest
+
+from repro.jsoniq.errors import ParseException, StaticException
+
+
+class TestTumblingWindows:
+    def test_start_condition_only(self, run):
+        out = run(
+            "for tumbling window $w in (1, 2, 3, 4, 5, 6) "
+            "start at $i when $i mod 3 eq 1 "
+            "return [$w]"
+        )
+        assert out == [[1, 2, 3], [4, 5, 6]]
+
+    def test_start_on_value(self, run):
+        out = run(
+            'for tumbling window $w in ("a", "B", "c", "D", "e") '
+            "start $s when upper-case($s) eq $s "
+            "return [$w]"
+        )
+        assert out == [["B", "c"], ["D", "e"]]
+
+    def test_leading_items_before_first_start_dropped(self, run):
+        out = run(
+            "for tumbling window $w in (9, 9, 1, 2) "
+            "start $s when $s eq 1 "
+            "return [$w]"
+        )
+        assert out == [[1, 2]]
+
+    def test_with_end_condition(self, run):
+        out = run(
+            "for tumbling window $w in (2, 4, 6, 1, 3, 2, 5) "
+            "start $s when $s mod 2 eq 0 "
+            "end $e when $e mod 2 eq 1 "
+            "return [$w]"
+        )
+        assert out == [[2, 4, 6, 1], [2, 5]]
+
+    def test_unfinished_window_kept_by_default(self, run):
+        out = run(
+            "for tumbling window $w in (2, 4, 6) "
+            "start $s when $s mod 2 eq 0 "
+            "end $e when $e mod 2 eq 1 "
+            "return [$w]"
+        )
+        assert out == [[2, 4, 6]]
+
+    def test_only_end_discards_unfinished(self, run):
+        out = run(
+            "for tumbling window $w in (2, 4, 6) "
+            "start $s when $s mod 2 eq 0 "
+            "only end $e when $e mod 2 eq 1 "
+            "return [$w]"
+        )
+        assert out == []
+
+    def test_windows_do_not_overlap(self, run):
+        # Every item satisfies the start condition, so tumbling windows
+        # of one item each.
+        out = run(
+            "for tumbling window $w in (1, 2, 3) "
+            "start when true "
+            "return count($w)"
+        )
+        assert out == [1, 1, 1]
+
+
+class TestSlidingWindows:
+    def test_fixed_size(self, run):
+        out = run(
+            "for sliding window $w in (1, 2, 3, 4) "
+            "start at $i when true "
+            "end at $j when $j eq $i + 2 "
+            "return [$w]"
+        )
+        assert out == [[1, 2, 3], [2, 3, 4], [3, 4], [4]]
+
+    def test_only_end_drops_short_tails(self, run):
+        out = run(
+            "for sliding window $w in (1, 2, 3, 4) "
+            "start at $i when true "
+            "only end at $j when $j eq $i + 2 "
+            "return [$w]"
+        )
+        assert out == [[1, 2, 3], [2, 3, 4]]
+
+    def test_requires_end_condition(self, rumble):
+        with pytest.raises(ParseException):
+            rumble.compile(
+                "for sliding window $w in (1, 2) start when true return $w"
+            )
+
+    def test_moving_average(self, run):
+        out = run(
+            "for sliding window $w in (2, 4, 6, 8) "
+            "start at $i when true "
+            "only end at $j when $j eq $i + 1 "
+            "return avg($w)"
+        )
+        assert out == [3, 5, 7]
+
+
+class TestBoundaryVariables:
+    def test_all_start_vars(self, run):
+        out = run(
+            "for tumbling window $w in (10, 20, 30, 40) "
+            "start $cur at $pos previous $prev next $nxt "
+            "when $pos mod 2 eq 1 "
+            "return { "
+            '"cur": $cur, "pos": $pos, '
+            '"prev": ($prev, -1)[1], "next": ($nxt, -1)[1] }'
+        )
+        assert out == [
+            {"cur": 10, "pos": 1, "prev": -1, "next": 20},
+            {"cur": 30, "pos": 3, "prev": 20, "next": 40},
+        ]
+
+    def test_end_vars(self, run):
+        out = run(
+            "for tumbling window $w in (1, 2, 3, 4, 5) "
+            "start when true "
+            "end $ecur at $epos when $ecur mod 2 eq 0 "
+            "return [$ecur, $epos]"
+        )
+        # First window starts at 1, ends at 2; next starts at 3, ends 4;
+        # the tail window [5] has no end and is kept.
+        assert out[:2] == [[2, 2], [4, 4]]
+
+    def test_end_condition_sees_start_vars(self, run):
+        out = run(
+            "for sliding window $w in (1, 2, 3, 4, 5) "
+            "start $s at $i when $s mod 2 eq 1 "
+            "only end $e when $e eq $s + 2 "
+            "return [$w]"
+        )
+        assert out == [[1, 2, 3], [3, 4, 5]]
+
+    def test_undeclared_boundary_var_rejected(self, rumble):
+        with pytest.raises(StaticException):
+            rumble.compile(
+                "for tumbling window $w in (1, 2) "
+                "start when $ghost eq 1 return $w"
+            )
+
+
+class TestWindowsInPipelines:
+    def test_window_then_group(self, run):
+        out = run(
+            "for tumbling window $w in 1 to 12 "
+            "start at $i when $i mod 4 eq 1 "
+            "group by $k := count($w) "
+            "return { "
+            '"size": $k, "windows": count($w) div $k }'
+        )
+        assert out == [{"size": 4, "windows": 3}]
+
+    def test_window_over_distributed_source_runs_locally(self, rumble):
+        result = rumble.query(
+            "for tumbling window $w in parallelize(1 to 10) "
+            "start at $i when $i mod 5 eq 1 "
+            "return sum($w)"
+        )
+        assert not result.is_rdd()
+        assert result.to_python() == [15, 40]
+
+    def test_window_with_where_and_order(self, run):
+        out = run(
+            "for tumbling window $w in (5, 1, 4, 2, 3, 6) "
+            "start at $i when $i mod 2 eq 1 "
+            "let $total := sum($w) "
+            "where $total gt 5 "
+            "order by $total "
+            "return $total"
+        )
+        assert out == [6, 6, 9]
+
+    def test_sessionization(self, run):
+        """The streaming motivation: split a gap-separated event stream."""
+        out = run(
+            "for tumbling window $session in (1, 2, 3, 10, 11, 30) "
+            "start $s previous $p when empty($p) or $s - $p gt 5 "
+            "return [$session]"
+        )
+        assert out == [[1, 2, 3], [10, 11], [30]]
