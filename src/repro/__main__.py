@@ -27,6 +27,11 @@ def build_parser() -> argparse.ArgumentParser:
         "query", nargs="?", help="JSONiq query text to execute"
     )
     parser.add_argument(
+        "--query", "-q", dest="query_option", metavar="QUERY",
+        help="JSONiq query text to execute (alternative to the "
+             "positional argument)",
+    )
+    parser.add_argument(
         "--query-file", "-f", help="read the query from a file"
     )
     parser.add_argument(
@@ -46,6 +51,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--shell", action="store_true",
         help="start the interactive shell (reads stdin)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the query under the profiler and print the per-phase/"
+             "per-operator breakdown after the results",
+    )
+    parser.add_argument(
+        "--profile-events", metavar="FILE",
+        help="with --profile, also write the Spark-UI-style event log "
+             "as JSON Lines to FILE",
     )
     return parser
 
@@ -70,6 +85,8 @@ def main(argv=None) -> int:
     if arguments.query_file:
         with open(arguments.query_file, "r", encoding="utf-8") as handle:
             query_text = handle.read()
+    elif arguments.query_option:
+        query_text = arguments.query_option
     elif arguments.query:
         query_text = arguments.query
     else:
@@ -77,6 +94,27 @@ def main(argv=None) -> int:
         return 2
 
     try:
+        if arguments.profile:
+            report = engine.profile(query_text, cap=arguments.cap)
+            for item in report.items:
+                print(item.serialize())
+            print(report.render())
+            if arguments.profile_events:
+                from repro.obs import EventLog
+
+                log = EventLog()
+                log.events = list(report.events)
+                try:
+                    log.write(arguments.profile_events)
+                except OSError as error:
+                    print("cannot write --profile-events file: {}".format(
+                        error
+                    ), file=sys.stderr)
+                    return 1
+                print("wrote {} event(s) to {}".format(
+                    len(report.events), arguments.profile_events
+                ))
+            return 0
         result = engine.query(query_text)
         if arguments.output:
             files = result.write_json_lines(arguments.output)

@@ -7,6 +7,7 @@ cap — :func:`sweep` reproduces exactly that protocol at laptop scale.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -21,6 +22,9 @@ class Measurement:
     seconds: Optional[float]  # None means did-not-finish
     outcome: str = "ok"  # ok | oom | over-cap | skipped
     result: object = None
+    #: Timing-free profile summary (counters, shuffle, stages) when the
+    #: run was profiled — the deterministic part of a metrics sidecar.
+    metrics: Optional[Dict[str, object]] = None
 
     @property
     def finished(self) -> bool:
@@ -51,6 +55,58 @@ def measure(func: Callable, repeat: int = 1) -> Measurement:
             return Measurement(None, "oom")
         best = seconds if best is None else min(best, seconds)
     return Measurement(best, "ok", result)
+
+
+def deterministic_profile_summary(report) -> Dict[str, object]:
+    """The timing-free slice of a :class:`~repro.obs.ProfileReport`.
+
+    Counters, shuffle volume and stage shapes are functions of the query
+    and the data — identical across runs — while durations are not, so a
+    sidecar built from this summary is byte-stable and diffable.
+    """
+    counters = dict(report.metrics.get("counters", {}))
+    return {
+        "query": report.query,
+        "mode": report.mode,
+        "counters": counters,
+        "shuffle": report.shuffle(),
+        # Stage ids are monotonic per context, so expose ordinal
+        # positions — identical reruns then produce identical summaries.
+        "stages": [
+            {
+                "index": index,
+                "label": stage["label"],
+                "tasks": len(stage["tasks"]),
+            }
+            for index, stage in enumerate(report.stages())
+        ],
+    }
+
+
+def measure_profiled(engine, query_text: str, repeat: int = 1) -> Measurement:
+    """Best-of-``repeat`` wall clock of a profiled run, with the
+    deterministic metrics summary attached to the measurement."""
+    best: Optional[float] = None
+    report = None
+    for _ in range(repeat):
+        try:
+            candidate, seconds = timed(engine.profile, query_text)
+        except OutOfMemorySimulated:
+            return Measurement(None, "oom")
+        if best is None or seconds < best:
+            best, report = seconds, candidate
+    return Measurement(
+        best, "ok", report, metrics=deterministic_profile_summary(report)
+    )
+
+
+def write_metrics_sidecar(path: str, summaries: object) -> str:
+    """Write profile summaries as deterministic JSON (sorted keys, stable
+    indentation, trailing newline) next to a benchmark's timing output."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(summaries, sort_keys=True, indent=2))
+        handle.write("\n")
+    return path
 
 
 def sweep(

@@ -11,6 +11,7 @@ execution (local or on the Spark substrate), all behind one class::
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.config import RumbleConfig
@@ -21,6 +22,7 @@ from repro.jsoniq import static_analysis
 from repro.jsoniq.compiler import compile_main_module
 from repro.jsoniq.runtime.base import RuntimeIterator
 from repro.jsoniq.runtime.dynamic_context import DynamicContext
+from repro.obs import NOOP, Observability, ProfileReport
 from repro.spark import SparkConf, SparkSession
 
 
@@ -31,6 +33,10 @@ class RumbleRuntime:
         self.spark = spark
         self.config = config
         self.collections: Dict[str, object] = dict(config.collections)
+        #: The observability bundle instrumentation sites consult.  The
+        #: default is the shared disabled bundle, so per-row guards reduce
+        #: to one attribute load and a falsy ``enabled`` check.
+        self.obs = NOOP
         #: Memoized collection RDDs: nested FLWOR closures re-evaluate
         #: ``collection(...)`` per tuple, so the RDD (and its cached
         #: partitions) is built once per name — the broadcast-variable
@@ -132,6 +138,67 @@ class Rumble:
             query_text, external_variables=bindings or ()
         )
         return compiled.run(bindings)
+
+    # -- Profiled execution ------------------------------------------------------------
+    def profile(self, query_text: str,
+                bindings: Optional[Dict[str, object]] = None,
+                cap: Optional[int] = None) -> ProfileReport:
+        """Run a query under full observability and return the report.
+
+        The compile pipeline runs phase by phase under tracing spans
+        (lex, parse, static-analysis, compile, optimize, execute), the
+        substrate emits stage/task/shuffle events, and every instrumented
+        row path counts into the metrics registry.  The report carries
+        the query result, so profiling never means running twice.
+        """
+        from repro.jsoniq.lexer import tokenize
+        from repro.obs.events import QUERY_END, QUERY_START
+
+        obs = Observability(enabled=True)
+        previous = self.runtime.obs
+        self.runtime.obs = obs
+        obs.attach(self.spark.spark_context)
+        obs.events.emit(QUERY_START, query=query_text)
+        mode = "local"
+        try:
+            with obs.tracer.span("query", query=query_text) as root:
+                with obs.tracer.span("lex") as lex_span:
+                    tokens = tokenize(query_text)
+                    lex_span.attributes["tokens"] = len(tokens)
+                with obs.tracer.span("parse"):
+                    module = jsoniq_parser.parse(query_text)
+                with obs.tracer.span("static-analysis"):
+                    static_analysis.analyse(
+                        module, external=tuple(bindings or ())
+                    )
+                with obs.tracer.span("compile"):
+                    iterator, globals_ = compile_main_module(module)
+                    compiled = CompiledQuery(self, module, iterator, globals_)
+                with obs.tracer.span("optimize") as opt_span:
+                    # Physical planning: choose the execution mode per
+                    # clause chain (the Figure-9 mapping).
+                    opt_span.attributes["plan"] = compiled.physical_explain()
+                with obs.tracer.span("execute") as exec_span:
+                    result = compiled.run(bindings)
+                    mode = "distributed" if result.is_rdd() else "local"
+                    exec_span.attributes["mode"] = mode
+                    with warnings.catch_warnings():
+                        warnings.simplefilter("ignore")
+                        items = result.collect(cap)
+            obs.events.emit(
+                QUERY_END, query=query_text, mode=mode, items=len(items)
+            )
+        finally:
+            self.runtime.obs = previous
+            obs.detach(self.spark.spark_context)
+        return ProfileReport(
+            query=query_text,
+            root_span=root,
+            metrics=obs.metrics.snapshot(),
+            events=obs.events.events,
+            items=items,
+            mode=mode,
+        )
 
     # -- Environment -------------------------------------------------------------------
     def fresh_context(self) -> DynamicContext:

@@ -14,7 +14,7 @@ from typing import Iterator, List, Optional
 
 from repro.items import Item
 from repro.jsoniq.errors import DynamicException
-from repro.jsoniq.runtime.base import RuntimeIterator
+from repro.jsoniq.runtime.base import RuntimeIterator, _obs_of
 from repro.jsoniq.runtime.dynamic_context import DynamicContext
 
 
@@ -65,6 +65,11 @@ class SequenceOfItems:
         """Materialize on the driver, applying the configured cap."""
         limit = cap if cap is not None else self._config.materialization_cap
         taken = self.take(limit + 1)
+        obs = _obs_of(self._context)
+        if obs is not None:
+            obs.metrics.counter("rumble.result.items").inc(
+                min(len(taken), limit)
+            )
         if len(taken) > limit:
             message = (
                 "result has more than {} items; truncating (raise the "

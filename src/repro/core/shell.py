@@ -23,6 +23,7 @@ Rumble (reproduction) — JSONiq on a Spark substrate
 Type a JSONiq query, end it with ';' on its own line. Commands:
   :help      this message
   :cap N     set the materialization cap
+  :profile   toggle per-query profiling (phases, operators, shuffle)
   :quit      leave the shell
 """
 
@@ -39,10 +40,20 @@ class RumbleShell:
             materialization_cap=20, warn_on_cap=True,
         ))
         self.output = output or sys.stdout
+        self.profiling = False
 
     # -- One query ------------------------------------------------------------
     def execute(self, query_text: str) -> List[str]:
-        """Run one query; returns the serialized items (capped)."""
+        """Run one query; returns the serialized items (capped).
+
+        With profiling toggled on (``:profile``) the query runs under the
+        profiler and the breakdown table follows the items.
+        """
+        if self.profiling:
+            report = self.engine.profile(query_text)
+            rendered = [item.serialize() for item in report.items]
+            rendered.extend(report.render().splitlines())
+            return rendered
         result = self.engine.query(query_text)
         import warnings
 
@@ -67,6 +78,11 @@ class RumbleShell:
         elif command == ":cap" and len(parts) == 2 and parts[1].isdigit():
             self.engine.config.materialization_cap = int(parts[1])
             self._print("materialization cap set to " + parts[1])
+        elif command == ":profile":
+            self.profiling = not self.profiling
+            self._print("profiling {}".format(
+                "on" if self.profiling else "off"
+            ))
         else:
             self._print("unknown command: " + line)
         return True

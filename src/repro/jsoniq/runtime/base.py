@@ -16,6 +16,21 @@ from repro.jsoniq.errors import DynamicException, TypeException
 from repro.jsoniq.runtime.dynamic_context import DynamicContext
 
 
+def _obs_of(context: DynamicContext):
+    """The enabled observability bundle of this run, or None.
+
+    The guard is two attribute loads and a branch — the price every
+    instrumented call site pays when profiling is off.
+    """
+    runtime = context.runtime
+    if runtime is None:
+        return None
+    obs = getattr(runtime, "obs", None)
+    if obs is None or not obs.enabled:
+        return None
+    return obs
+
+
 class RuntimeIterator:
     """An executable expression returning a sequence of items."""
 
@@ -75,13 +90,34 @@ class RuntimeIterator:
 
     # -- Convenience -----------------------------------------------------------------
     def iterate(self, context: DynamicContext) -> Iterator[Item]:
-        """Stream the items of this expression in a fresh evaluation."""
+        """Stream the items of this expression in a fresh evaluation.
+
+        When the engine runs under a profiler the stream is counted into
+        the ``rumble.iterator.rows`` metric, labelled by iterator class;
+        the disabled path is the plain generator (no allocation).
+        """
+        obs = _obs_of(context)
+        if obs is not None:
+            return self._counted_generate(context, obs)
         return self._generate(context)
+
+    def _counted_generate(self, context: DynamicContext, obs) -> Iterator[Item]:
+        counter = obs.metrics.counter(
+            "rumble.iterator.rows", iterator=type(self).__name__
+        )
+        for item in self._generate(context):
+            counter.inc()
+            yield item
 
     def materialize(self, context: DynamicContext) -> List[Item]:
         """Fully evaluate into a list, preferring the RDD path if available
         (seamless switching, paper Section 5.5)."""
         if self.is_rdd(context):
+            obs = _obs_of(context)
+            if obs is not None:
+                obs.metrics.counter(
+                    "rumble.execution.switches", via="materialize"
+                ).inc()
             return self.get_rdd(context).collect()
         return list(self._generate(context))
 

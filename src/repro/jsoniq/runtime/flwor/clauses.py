@@ -23,7 +23,7 @@ from repro.items import (
     ordering_tuple,
 )
 from repro.jsoniq.errors import TypeException
-from repro.jsoniq.runtime.base import RuntimeIterator
+from repro.jsoniq.runtime.base import RuntimeIterator, _obs_of
 from repro.jsoniq.runtime.dynamic_context import DynamicContext
 from repro.jsoniq.runtime.flwor.tuples import CountedSequence, FlworTuple
 from repro.spark.column import col, explode, row_udf
@@ -64,7 +64,18 @@ class ClauseIterator:
         if self.input_clause is None:
             yield FlworTuple()
             return
-        yield from self.input_clause.tuple_stream(context)
+        stream = self.input_clause.tuple_stream(context)
+        obs = _obs_of(context)
+        if obs is None:
+            yield from stream
+            return
+        # Profiled run: count the tuples flowing into this clause.
+        counter = obs.metrics.counter(
+            "rumble.clause.tuples_in", clause=type(self).__name__
+        )
+        for tuple_ in stream:
+            counter.inc()
+            yield tuple_
 
     @staticmethod
     def _frame(session, rdd, variables: List[str]) -> DataFrame:
@@ -258,10 +269,23 @@ class ForClauseIterator(ClauseIterator):
 
     def get_dataframe(self, context: DynamicContext) -> DataFrame:
         runtime = context.runtime
+        obs = _obs_of(context)
         if self.input_clause is None:
             rdd = self.expression.get_rdd(context)
             variable = self.variable
-            rows = rdd.map(lambda item: {variable: [item]})
+            if obs is not None:
+                scanned = obs.metrics.counter(
+                    "rumble.clause.rows_out", clause="ForClauseIterator",
+                    source=type(self.expression).__name__,
+                )
+
+                def bind(item):
+                    scanned.inc()
+                    return {variable: [item]}
+
+                rows = rdd.map(bind)
+            else:
+                rows = rdd.map(lambda item: {variable: [item]})
             return self._frame(runtime.spark, rows, [variable])
         frame = self.input_clause.get_dataframe(context)
         evaluator = _row_evaluator(self.expression, context)
@@ -272,6 +296,17 @@ class ForClauseIterator(ClauseIterator):
             if not items and allowing_empty:
                 return [[]]
             return [[item] for item in items]
+
+        if obs is not None:
+            inner_fan_out = fan_out
+            fanned = obs.metrics.counter(
+                "rumble.clause.rows_out", clause="ForClauseIterator"
+            )
+
+            def fan_out(row: Dict[str, object]) -> List[List[Item]]:
+                out = inner_fan_out(row)
+                fanned.inc(len(out))
+                return out
 
         existing = [col(name) for name in frame.columns if name != self.variable]
         exploded = explode(row_udf(fan_out, name="EVALUATE_EXPRESSION"))
@@ -523,6 +558,23 @@ class WhereClauseIterator(ClauseIterator):
                 return condition.effective_boolean_value(
                     _row_context(context, row)
                 )
+
+        obs = _obs_of(context)
+        if obs is not None:
+            inner_predicate = predicate
+            rows_in = obs.metrics.counter(
+                "rumble.clause.rows_in", clause="WhereClauseIterator"
+            )
+            rows_out = obs.metrics.counter(
+                "rumble.clause.rows_out", clause="WhereClauseIterator"
+            )
+
+            def predicate(row: Dict[str, object]) -> bool:
+                rows_in.inc()
+                selected = inner_predicate(row)
+                if selected:
+                    rows_out.inc()
+                return selected
 
         return frame.where(row_udf(predicate, name="EVALUATE_EXPRESSION"))
 
@@ -976,9 +1028,18 @@ class ReturnClauseIterator(RuntimeIterator):
         self.expression = expression
 
     def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        obs = _obs_of(context)
         if self.is_rdd(context):
+            if obs is not None:
+                obs.metrics.counter(
+                    "rumble.execution.switches", via="flwor-distributed"
+                ).inc()
             yield from self.get_rdd(context).to_local_iterator()
             return
+        if obs is not None:
+            obs.metrics.counter(
+                "rumble.execution.switches", via="flwor-local"
+            ).inc()
         for tuple_ in self.input_clause.tuple_stream(context):
             yield from _evaluate_in_tuple(self.expression, tuple_, context)
 
@@ -991,9 +1052,21 @@ class ReturnClauseIterator(RuntimeIterator):
     def get_rdd(self, context: DynamicContext):
         frame = self.input_clause.get_dataframe(context)
         expression = self.expression
+        obs = _obs_of(context)
 
         def emit(row: Dict[str, object]) -> List[Item]:
             return expression.materialize_local(_row_context(context, row))
+
+        if obs is not None:
+            inner_emit = emit
+            returned = obs.metrics.counter(
+                "rumble.clause.rows_out", clause="ReturnClauseIterator"
+            )
+
+            def emit(row: Dict[str, object]) -> List[Item]:
+                out = inner_emit(row)
+                returned.inc(len(out))
+                return out
 
         return frame.rdd.flat_map(emit)
 

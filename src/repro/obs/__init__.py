@@ -1,0 +1,136 @@
+"""Unified query observability: tracing, metrics, and the event log.
+
+One :class:`Observability` object bundles the three instruments the
+engine threads through every layer (paper-style accounting — the
+Figures 11–15 evaluations all hinge on per-stage/per-operator detail):
+
+* a :class:`~repro.obs.tracing.Tracer` building the span tree of the
+  query lifecycle;
+* a :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges and
+  histograms (``rumble.*`` namespace, see ``docs/observability.md``);
+* an :class:`~repro.obs.events.EventLog` of Spark-UI-style listener
+  events emitted by the executor pool, the shuffle and the SQL layer.
+
+The module-level :data:`NOOP` instance is the engine default: disabled,
+with a no-op tracer.  Every instrumentation site guards with
+``obs.enabled`` (or receives :data:`NOOP`'s no-op tracer), so the hot
+per-row paths neither allocate nor record when observability is off.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import (
+    EventLog,
+    SHUFFLE_COMPLETED,
+    SQL_EXECUTION_END,
+    SQL_EXECUTION_START,
+    STAGE_COMPLETED,
+    STAGE_SUBMITTED,
+    TASK_END,
+    shuffle_totals,
+    stage_tree,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_name,
+)
+from repro.obs.profile import ProfileReport
+from repro.obs.tracing import (
+    NOOP_SPAN,
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    Tracer,
+)
+
+
+class Observability:
+    """Tracer + metrics + event log for one profiled scope."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.tracer = Tracer() if enabled else NOOP_TRACER
+        self.metrics = MetricsRegistry()
+        self.events = EventLog()
+
+    # -- Listener interface (executor pool, shuffle, SQL) --------------------
+    def emit(self, event: str, **fields) -> None:
+        """Record one listener event and roll it into the metrics."""
+        self.events.emit(event, **fields)
+        metrics = self.metrics
+        if event == TASK_END:
+            metrics.counter("rumble.task.launched").inc()
+            retries = int(fields.get("attempts", 1)) - 1
+            if retries > 0:
+                metrics.counter("rumble.task.retries").inc(retries)
+            seconds = fields.get("seconds")
+            if seconds is not None:
+                metrics.histogram("rumble.task.seconds").observe(seconds)
+        elif event == STAGE_COMPLETED:
+            metrics.counter("rumble.stage.count").inc()
+
+    def on_shuffle(self, records: int, size: int) -> None:
+        """Called by :class:`repro.spark.shuffle.ShuffleMetrics`."""
+        self.metrics.counter("rumble.shuffle.count").inc()
+        self.metrics.counter("rumble.shuffle.records").inc(records)
+        self.metrics.counter("rumble.shuffle.bytes").inc(size)
+        self.emit(SHUFFLE_COMPLETED, records=records, bytes=size)
+
+    # -- Wiring into a substrate context -------------------------------------
+    def attach(self, spark_context) -> None:
+        """Subscribe to a SparkContext's executors and shuffle layer.
+
+        Shuffle byte-weighing is switched on for the duration (profiled
+        runs report data movement like the Spark UI does); ``detach``
+        restores the previous setting.
+        """
+        spark_context.obs = self
+        spark_context.executors.add_listener(self)
+        shuffle_metrics = spark_context.shuffle_metrics
+        shuffle_metrics.observer = self
+        self._measured_bytes_before = shuffle_metrics.measure_bytes
+        shuffle_metrics.measure_bytes = True
+
+    def detach(self, spark_context) -> None:
+        if spark_context.obs is self:
+            spark_context.obs = None
+        spark_context.executors.remove_listener(self)
+        shuffle_metrics = spark_context.shuffle_metrics
+        if shuffle_metrics.observer is self:
+            shuffle_metrics.observer = None
+            shuffle_metrics.measure_bytes = getattr(
+                self, "_measured_bytes_before", False
+            )
+
+
+#: The engine-wide default: observability off, no-op tracer, and the
+#: instrumentation guards short-circuit on ``enabled`` being False.
+NOOP = Observability(enabled=False)
+
+__all__ = [
+    "Observability",
+    "NOOP",
+    "Span",
+    "Tracer",
+    "NoopTracer",
+    "NOOP_SPAN",
+    "NOOP_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_name",
+    "EventLog",
+    "stage_tree",
+    "shuffle_totals",
+    "ProfileReport",
+    "STAGE_SUBMITTED",
+    "STAGE_COMPLETED",
+    "TASK_END",
+    "SHUFFLE_COMPLETED",
+    "SQL_EXECUTION_START",
+    "SQL_EXECUTION_END",
+]

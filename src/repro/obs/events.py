@@ -1,0 +1,118 @@
+"""The Spark-UI-style event log.
+
+Execution emits a flat stream of listener events (the same shapes
+Spark's ``SparkListener`` interface delivers to its UI): stages are
+submitted, tasks end, stages complete, shuffles report their volume,
+SQL executions start and end.  The log serializes to JSON Lines and
+parses back losslessly, and :func:`stage_tree` reconstructs the per-
+stage task breakdown from a flat event list — the round trip the event
+log tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, List, Optional
+
+#: Event names, Spark's listener vocabulary.
+STAGE_SUBMITTED = "SparkListenerStageSubmitted"
+STAGE_COMPLETED = "SparkListenerStageCompleted"
+TASK_END = "SparkListenerTaskEnd"
+SHUFFLE_COMPLETED = "SparkListenerShuffleCompleted"
+SQL_EXECUTION_START = "SparkListenerSQLExecutionStart"
+SQL_EXECUTION_END = "SparkListenerSQLExecutionEnd"
+QUERY_START = "QueryStart"
+QUERY_END = "QueryEnd"
+
+
+class EventLog:
+    """An append-only, thread-safe list of event dicts.
+
+    Every event carries a monotonically increasing ``seq`` so the order
+    survives the JSONL round trip even when a reader re-sorts lines.
+    """
+
+    def __init__(self):
+        self.events: List[Dict[str, object]] = []
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    def emit(self, event: str, **fields) -> Dict[str, object]:
+        with self._lock:
+            record: Dict[str, object] = {"seq": self._seq, "event": event}
+            record.update(fields)
+            self._seq += 1
+            self.events.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def filter(self, event: str) -> List[Dict[str, object]]:
+        return [e for e in self.events if e["event"] == event]
+
+    # -- JSONL round trip ----------------------------------------------------
+    def to_jsonl(self) -> str:
+        return "\n".join(
+            json.dumps(event, sort_keys=True) for event in self.events
+        )
+
+    @staticmethod
+    def parse_jsonl(text: str) -> List[Dict[str, object]]:
+        events = [
+            json.loads(line) for line in text.splitlines() if line.strip()
+        ]
+        events.sort(key=lambda e: e.get("seq", 0))
+        return events
+
+    def write(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+            if self.events:
+                handle.write("\n")
+        return path
+
+
+def stage_tree(events: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Reconstruct the stage/task hierarchy from a flat event list.
+
+    Returns one dict per submitted stage, in submission order, with its
+    ``TaskEnd`` events nested under ``"tasks"`` and the completion stats
+    merged in — the structure Spark's UI stage page shows.
+    """
+    stages: Dict[object, Dict[str, object]] = {}
+    order: List[object] = []
+    for event in events:
+        kind = event.get("event")
+        stage_id = event.get("stage_id")
+        if kind == STAGE_SUBMITTED:
+            stages[stage_id] = {
+                "stage_id": stage_id,
+                "label": event.get("label", ""),
+                "num_tasks": event.get("num_tasks", 0),
+                "tasks": [],
+                "completed": False,
+            }
+            order.append(stage_id)
+        elif kind == TASK_END and stage_id in stages:
+            stages[stage_id]["tasks"].append({
+                "partition": event.get("partition"),
+                "seconds": event.get("seconds"),
+                "attempts": event.get("attempts", 1),
+            })
+        elif kind == STAGE_COMPLETED and stage_id in stages:
+            stages[stage_id]["completed"] = True
+            stages[stage_id]["seconds"] = event.get("seconds")
+    return [stages[stage_id] for stage_id in order]
+
+
+def shuffle_totals(events: List[Dict[str, object]]) -> Dict[str, int]:
+    """Aggregate shuffle volume from the event stream."""
+    totals = {"shuffles": 0, "records": 0, "bytes": 0}
+    for event in events:
+        if event.get("event") == SHUFFLE_COMPLETED:
+            totals["shuffles"] += 1
+            totals["records"] += int(event.get("records", 0))
+            totals["bytes"] += int(event.get("bytes", 0))
+    return totals

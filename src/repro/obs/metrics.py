@@ -1,0 +1,189 @@
+"""The metrics registry: counters, gauges and histograms with labels.
+
+Metric names live in a stable, documented namespace (``rumble.*`` — see
+``docs/observability.md``).  A metric instance is identified by its name
+plus its sorted label set, Prometheus-style::
+
+    registry.counter("rumble.shuffle.records").inc(10)
+    registry.counter("rumble.clause.tuples_in",
+                     clause="WhereClauseIterator").inc()
+
+Instruments are plain Python objects mutating ints/floats — cheap enough
+to stay live during profiled runs; when profiling is off the engine
+never reaches the registry at all (call sites guard on
+``obs.enabled``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+def _key(name: str, labels: Dict[str, object]) -> Tuple:
+    return (name,) + tuple(sorted(labels.items()))
+
+
+def render_name(name: str, labels: Dict[str, object]) -> str:
+    """Canonical rendered form: ``name{k=v,...}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(
+        "{}={}".format(k, v) for k, v in sorted(labels.items())
+    )
+    return "{}{{{}}}".format(name, inner)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, object]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; got {}".format(amount))
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (or hold a string, e.g. a mode)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, object]):
+        self.name = name
+        self.labels = labels
+        self.value: object = None
+
+    def set(self, value: object) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value = (self.value or 0) + amount
+
+
+class Histogram:
+    """A distribution of observed values (all samples kept: profiled runs
+    observe thousands of values, not millions)."""
+
+    __slots__ = ("name", "labels", "values")
+
+    def __init__(self, name: str, labels: Dict[str, object]):
+        self.name = name
+        self.labels = labels
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def minimum(self) -> Optional[float]:
+        return min(self.values) if self.values else None
+
+    @property
+    def maximum(self) -> Optional[float]:
+        return max(self.values) if self.values else None
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.values else None
+
+    def percentile(self, fraction: float) -> Optional[float]:
+        """Nearest-rank percentile; ``fraction`` in [0, 1]."""
+        if not self.values:
+            return None
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        ordered = sorted(self.values)
+        rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of all instruments of one profiled run."""
+
+    def __init__(self):
+        self._counters: Dict[Tuple, Counter] = {}
+        self._gauges: Dict[Tuple, Gauge] = {}
+        self._histograms: Dict[Tuple, Histogram] = {}
+
+    # -- Instrument accessors ------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        key = _key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, labels)
+        return instrument
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = _key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, labels)
+        return instrument
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        key = _key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(name, labels)
+        return instrument
+
+    # -- Read access ---------------------------------------------------------
+    def counter_value(self, name: str, **labels) -> int:
+        """The current count; 0 when the counter was never touched."""
+        instrument = self._counters.get(_key(name, labels))
+        return instrument.value if instrument is not None else 0
+
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        return {
+            render_name(c.name, c.labels): c.value
+            for c in self._counters.values()
+            if c.name.startswith(prefix)
+        }
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Everything, as a plain JSON-able dict keyed by rendered name."""
+        return {
+            "counters": {
+                render_name(c.name, c.labels): c.value
+                for c in sorted(
+                    self._counters.values(),
+                    key=lambda c: render_name(c.name, c.labels),
+                )
+            },
+            "gauges": {
+                render_name(g.name, g.labels): g.value
+                for g in sorted(
+                    self._gauges.values(),
+                    key=lambda g: render_name(g.name, g.labels),
+                )
+            },
+            "histograms": {
+                render_name(h.name, h.labels): h.summary()
+                for h in sorted(
+                    self._histograms.values(),
+                    key=lambda h: render_name(h.name, h.labels),
+                )
+            },
+        }

@@ -1,0 +1,192 @@
+"""Tracing spans: the time axis of the observability subsystem.
+
+A :class:`Span` covers one phase or operator of the query lifecycle
+(lex -> parse -> static analysis -> compile -> execute, and nested
+spans for stages, shuffles and SQL operators).  Spans are context
+managers and nest lexically::
+
+    with tracer.span("query") as root:
+        with tracer.span("parse"):
+            ...
+
+The default tracer of an engine is the :data:`NOOP_TRACER`: its
+``span()`` returns one shared, pre-allocated no-op object, so call
+sites on hot paths cost a method call and nothing else when tracing
+is off.  Code that would allocate per *row* must additionally guard on
+``tracer.enabled`` (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed, named, attributed section of the query lifecycle."""
+
+    __slots__ = ("name", "attributes", "start", "end", "children",
+                 "parent", "_tracer")
+
+    def __init__(self, name: str, parent: Optional["Span"] = None,
+                 attributes: Optional[Dict[str, object]] = None):
+        self.name = name
+        self.parent = parent
+        self.attributes: Dict[str, object] = attributes or {}
+        self.start: Optional[float] = None
+        self.end: Optional[float] = None
+        self.children: List["Span"] = []
+        self._tracer: Optional["Tracer"] = None
+
+    # -- Lifecycle ----------------------------------------------------------
+    def __enter__(self) -> "Span":
+        self.start = time.perf_counter()
+        if self._tracer is not None:
+            self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = time.perf_counter()
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        if self._tracer is not None:
+            self._tracer._pop(self)
+        return False
+
+    def set_attribute(self, key: str, value: object) -> "Span":
+        self.attributes[key] = value
+        return self
+
+    # -- Introspection ------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.start is not None and self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Seconds between open and close (0.0 while still open)."""
+        if self.start is None or self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "seconds": self.duration,
+        }
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Span({!r}, {:.6f}s, {} children)".format(
+            self.name, self.duration, len(self.children)
+        )
+
+
+class Tracer:
+    """Builds the span tree of one traced query run."""
+
+    enabled = True
+
+    def __init__(self):
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def span(self, name: str, **attributes) -> Span:
+        span = Span(
+            name,
+            parent=self._stack[-1] if self._stack else None,
+            attributes=attributes or None,
+        )
+        span._tracer = self
+        return span
+
+    # -- Stack maintenance (driven by Span.__enter__/__exit__) --------------
+    def _push(self, span: Span) -> None:
+        if span.parent is None and self._stack:
+            # Opened from a handle created before an enclosing span: adopt.
+            span.parent = self._stack[-1]
+        if span.parent is not None:
+            span.parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+
+    # -- Introspection ------------------------------------------------------
+    def all_spans(self) -> Iterator[Span]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def open_spans(self) -> List[Span]:
+        """Spans entered but not yet exited (empty after a clean run)."""
+        return list(self._stack)
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out by :class:`NoopTracer`."""
+
+    __slots__ = ()
+
+    name = "noop"
+    start = None
+    end = None
+    duration = 0.0
+    finished = False
+    children = ()
+    attributes: Dict[str, object] = {}
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: object) -> "_NoopSpan":
+        return self
+
+
+#: Shared instance: ``NoopTracer.span()`` always returns this object, so a
+#: disabled tracer never allocates.
+NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """The disabled tracer: one shared span, no recording, no allocation."""
+
+    enabled = False
+
+    roots: List[Span] = []
+
+    def span(self, name: str = "", **attributes) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def all_spans(self):
+        return iter(())
+
+    def open_spans(self) -> List[Span]:
+        return []
+
+
+#: The default tracer of every engine until profiling is switched on.
+NOOP_TRACER = NoopTracer()

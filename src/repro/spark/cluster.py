@@ -44,6 +44,7 @@ class StageMetrics:
     """Costs of one stage: the unit between two shuffle boundaries."""
 
     stage_id: int
+    label: str = ""
     tasks: List[TaskMetrics] = field(default_factory=list)
 
     @property
@@ -82,14 +83,36 @@ class ExecutorPool:
         self.failure_injector = failure_injector
         self.stages: List[StageMetrics] = []
         self._next_stage_id = 0
+        #: Event listeners (``listener.emit(event, **fields)``); empty by
+        #: default, so the un-observed path pays one truthiness check.
+        self.listeners: List[Any] = []
+
+    def add_listener(self, listener: Any) -> None:
+        if listener not in self.listeners:
+            self.listeners.append(listener)
+
+    def remove_listener(self, listener: Any) -> None:
+        if listener in self.listeners:
+            self.listeners.remove(listener)
+
+    def _emit(self, event: str, **fields) -> None:
+        for listener in self.listeners:
+            listener.emit(event, **fields)
 
     def run_stage(
         self, tasks: Sequence[Callable[[], Any]], label: str = ""
     ) -> List[Any]:
         """Execute every task, returning results in task order."""
-        stage = StageMetrics(stage_id=self._next_stage_id)
+        stage = StageMetrics(stage_id=self._next_stage_id, label=label)
         self._next_stage_id += 1
         self.stages.append(stage)
+        if self.listeners:
+            self._emit(
+                "SparkListenerStageSubmitted",
+                stage_id=stage.stage_id,
+                label=label,
+                num_tasks=len(tasks),
+            )
         if self.mode == "threads" and len(tasks) > 1:
             workers = min(self.num_executors, len(tasks))
             with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -97,11 +120,21 @@ class ExecutorPool:
                     pool.submit(self._run_task, stage, index, task)
                     for index, task in enumerate(tasks)
                 ]
-                return [future.result() for future in futures]
-        return [
-            self._run_task(stage, index, task)
-            for index, task in enumerate(tasks)
-        ]
+                results = [future.result() for future in futures]
+        else:
+            results = [
+                self._run_task(stage, index, task)
+                for index, task in enumerate(tasks)
+            ]
+        if self.listeners:
+            self._emit(
+                "SparkListenerStageCompleted",
+                stage_id=stage.stage_id,
+                label=label,
+                num_tasks=len(tasks),
+                seconds=stage.total_seconds,
+            )
+        return results
 
     def _run_task(
         self, stage: StageMetrics, index: int, task: Callable[[], Any]
@@ -122,13 +155,22 @@ class ExecutorPool:
                     raise
                 last_error = error
                 continue
+            seconds = time.perf_counter() - started
             stage.tasks.append(
                 TaskMetrics(
                     partition=index,
-                    seconds=time.perf_counter() - started,
+                    seconds=seconds,
                     attempts=attempt,
                 )
             )
+            if self.listeners:
+                self._emit(
+                    "SparkListenerTaskEnd",
+                    stage_id=stage.stage_id,
+                    partition=index,
+                    seconds=seconds,
+                    attempts=attempt,
+                )
             return result
         raise TaskFailure(
             "partition {} failed after {} attempts: {}".format(

@@ -42,6 +42,9 @@ class SparkContext:
             mode=self.conf.get("spark.executor.mode"),
         )
         self.shuffle_metrics = ShuffleMetrics()
+        #: The active observability bundle (None when not profiling);
+        #: installed/removed by :meth:`repro.obs.Observability.attach`.
+        self.obs = None
         self._next_rdd_id = 0
 
     # -- RDD creation --------------------------------------------------------

@@ -195,9 +195,16 @@ class DataFrame:
     def columns(self) -> List[str]:
         return self.schema.field_names
 
+    def _record_op(self, op: str) -> None:
+        """Count one relational-operator application while profiling."""
+        obs = self.session.spark_context.obs
+        if obs is not None and obs.enabled:
+            obs.metrics.counter("rumble.dataframe.ops", op=op).inc()
+
     # -- Relational operators --------------------------------------------------
     def select(self, *columns: ColumnLike) -> "DataFrame":
         """Projection; at most one EXPLODE column fans rows out."""
+        self._record_op("select")
         exprs = [_as_column(c) for c in columns]
         names = [expr.output_name() for expr in exprs]
         explode_at = [
@@ -238,6 +245,7 @@ class DataFrame:
         return DataFrame(self.session, rdd, StructType(fields))
 
     def where(self, condition: ColumnLike) -> "DataFrame":
+        self._record_op("where")
         predicate = _as_column(condition)
         rdd = self.rdd.filter(lambda row: predicate.eval(row) is True)
         return DataFrame(self.session, rdd, self.schema)
@@ -245,6 +253,8 @@ class DataFrame:
     filter = where
 
     def with_column(self, name: str, column: Column) -> "DataFrame":
+        self._record_op("withColumn")
+
         def extend(row: Dict[str, Any]) -> Dict[str, Any]:
             out = dict(row)
             out[name] = column.eval(row)
@@ -281,6 +291,7 @@ class DataFrame:
     withColumnRenamed = with_column_renamed
 
     def group_by(self, *keys: ColumnLike) -> GroupedData:
+        self._record_op("groupBy")
         return GroupedData(self, [_as_column(key) for key in keys])
 
     groupBy = group_by
@@ -295,6 +306,7 @@ class DataFrame:
         Sorting pulls rows through a range-partitioned shuffle via
         ``RDD.sortBy``, so the physical behaviour matches Spark's.
         """
+        self._record_op("orderBy")
         specs: List[SortOrder] = []
         for order in orders:
             if isinstance(order, SortOrder):
@@ -326,6 +338,7 @@ class DataFrame:
     sort = order_by
 
     def limit(self, count: int) -> "DataFrame":
+        self._record_op("limit")
         rows = self.rdd.take(count)
         return DataFrame(
             self.session,
@@ -352,6 +365,7 @@ class DataFrame:
         ``left`` (unmatched left rows keep NULLs for right columns)."""
         if how not in ("inner", "left"):
             raise ValueError("unsupported join type: " + how)
+        self._record_op("join")
         keys = [on] if isinstance(on, str) else list(on)
 
         def key_of(row: Dict[str, Any]):

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import itertools
 import random
+import weakref
 from typing import (
     Any,
     Callable,
@@ -51,10 +52,30 @@ class RDD:
         self.name = name
         self.rdd_id = context.next_rdd_id()
         self._cache: Optional[List[List[Any]]] = None
+        #: Downstream RDDs (weakly held) whose memoized state — shuffle
+        #: buckets, zipWithIndex offsets — derives from this one, so
+        #: :meth:`unpersist` can invalidate their lineage.
+        self._children: List["weakref.ref[RDD]"] = []
+        #: Callables clearing this RDD's own memoized state.
+        self._memo_resets: List[Callable[[], None]] = []
 
     # -- Internal plumbing ---------------------------------------------------
+    def _obs(self):
+        """The active observability bundle, or None when not profiling."""
+        obs = self.context.obs
+        if obs is not None and obs.enabled:
+            return obs
+        return None
+
+    def _register_child(self, child: "RDD") -> "RDD":
+        self._children.append(weakref.ref(child))
+        return child
+
     def compute_partition(self, split: int) -> Iterator[Any]:
         if self._cache is not None:
+            obs = self._obs()
+            if obs is not None:
+                obs.metrics.counter("rumble.rdd.cache.hits").inc()
             return iter(self._cache[split])
         return self._compute(split)
 
@@ -69,12 +90,12 @@ class RDD:
         def compute(split: int) -> Iterator[Any]:
             return transform(split, parent.compute_partition(split))
 
-        return RDD(
+        return self._register_child(RDD(
             self.context,
             compute,
             num_partitions or self.num_partitions,
             name="{}<-{}".format(name, self.name),
-        )
+        ))
 
     def _run_all_partitions(self) -> List[List[Any]]:
         """Evaluate every partition as one stage on the executor pool."""
@@ -91,14 +112,43 @@ class RDD:
     def cache(self) -> "RDD":
         """Materialize on first evaluation and serve from memory after."""
         if self._cache is None:
+            obs = self._obs()
+            if obs is not None:
+                obs.metrics.counter(
+                    "rumble.rdd.cache.materializations"
+                ).inc()
             self._cache = self._run_all_partitions()
         return self
 
     persist = cache
 
     def unpersist(self) -> "RDD":
+        """Drop the materialized partitions and invalidate lineage.
+
+        Downstream RDDs built while the cache was live may have memoized
+        state (shuffle buckets, zipWithIndex offsets) computed from the
+        cached lists; dropping the cache without invalidating them would
+        silently serve stale data on re-evaluation, so invalidation
+        cascades through every registered descendant.
+        """
         self._cache = None
+        self._invalidate_children()
         return self
+
+    def _invalidate_children(self) -> None:
+        live = []
+        for ref in self._children:
+            child = ref()
+            if child is not None:
+                child._invalidate()
+                live.append(ref)
+        self._children = live
+
+    def _invalidate(self) -> None:
+        self._cache = None
+        for reset in self._memo_resets:
+            reset()
+        self._invalidate_children()
 
     # -- Narrow transformations ------------------------------------------------
     def map(self, func: Callable[[Any], Any]) -> "RDD":
@@ -160,12 +210,15 @@ class RDD:
                 return left.compute_partition(split)
             return other.compute_partition(split - left_count)
 
-        return RDD(
+        child = RDD(
             self.context,
             compute,
             left_count + other.num_partitions,
             name="union",
         )
+        self._register_child(child)
+        other._register_child(child)
+        return child
 
     def zip_with_index(self) -> "RDD":
         """Pair each record with its global index.
@@ -173,23 +226,35 @@ class RDD:
         Needs the per-partition counts first — the same two-pass scheme as
         Spark's ``zipWithIndex`` — so it triggers one counting job.  The
         input is cached first so lineage is not recomputed for each pass.
+        The counts are memoized lazily so ``unpersist()`` on the parent
+        can invalidate them along with the cache.
         """
         self.cache()
-        counts = [
-            sum(1 for _ in self.compute_partition(split))
-            for split in range(self.num_partitions)
-        ]
-        offsets = [0]
-        for count in counts[:-1]:
-            offsets.append(offsets[-1] + count)
+        parent = self
+        state: Dict[str, List[int]] = {}
+
+        def offsets() -> List[int]:
+            if "offsets" not in state:
+                counts = [
+                    sum(1 for _ in parent.compute_partition(split))
+                    for split in range(parent.num_partitions)
+                ]
+                acc = [0]
+                for count in counts[:-1]:
+                    acc.append(acc[-1] + count)
+                state["offsets"] = acc
+            return state["offsets"]
 
         def transform(split: int, part: Iterator[Any]) -> Iterator[Any]:
+            base = offsets()[split]
             return (
-                (record, offsets[split] + position)
+                (record, base + position)
                 for position, record in enumerate(part)
             )
 
-        return self._derive_with_index(transform, "zipWithIndex")
+        child = self._derive_with_index(transform, "zipWithIndex")
+        child._memo_resets.append(state.clear)
+        return child
 
     zipWithIndex = zip_with_index
 
@@ -199,7 +264,9 @@ class RDD:
         def compute(split: int) -> Iterator[Any]:
             return transform(split, parent.compute_partition(split))
 
-        return RDD(self.context, compute, self.num_partitions, name=name)
+        return self._register_child(
+            RDD(self.context, compute, self.num_partitions, name=name)
+        )
 
     def sample(self, fraction: float, seed: int = 17) -> "RDD":
         def transform(split: int, part: Iterator[Any]) -> Iterator[Any]:
@@ -237,12 +304,16 @@ class RDD:
         def compute(split: int) -> Iterator[Tuple[Any, Any]]:
             return iter(buckets()[split])
 
-        return RDD(
+        child = RDD(
             self.context,
             compute,
             partitioner.num_partitions,
             name="{}<-{}".format(name, self.name),
         )
+        # The memoized buckets are the "shuffle files" of this boundary;
+        # invalidating the parent's cache must also drop them.
+        child._memo_resets.append(state.clear)
+        return self._register_child(child)
 
     def reduce_by_key(
         self, func: Callable[[Any, Any], Any],
@@ -328,7 +399,9 @@ class RDD:
         def compute(split: int) -> Iterator[Any]:
             return parent.compute_partition(parent.num_partitions - 1 - split)
 
-        return RDD(self.context, compute, parent.num_partitions, "sortByDesc")
+        return parent._register_child(
+            RDD(self.context, compute, parent.num_partitions, "sortByDesc")
+        )
 
     sortBy = sort_by
 
@@ -369,7 +442,9 @@ class RDD:
                 for parent_split in groups[split]
             )
 
-        return RDD(self.context, compute, target, name="coalesce")
+        return self._register_child(
+            RDD(self.context, compute, target, name="coalesce")
+        )
 
     def join(self, other: "RDD", num_partitions: Optional[int] = None) -> "RDD":
         """Inner equi-join of two pair RDDs."""
@@ -389,7 +464,13 @@ class RDD:
         return grouped.flat_map(emit)
 
     # -- Actions -----------------------------------------------------------------
+    def _record_action(self, action: str) -> None:
+        obs = self._obs()
+        if obs is not None:
+            obs.metrics.counter("rumble.rdd.action", action=action).inc()
+
     def collect(self) -> List[Any]:
+        self._record_action("collect")
         return [
             record
             for part in self._run_all_partitions()
@@ -397,6 +478,8 @@ class RDD:
         ]
 
     def count(self) -> int:
+        self._record_action("count")
+
         def make_task(split: int) -> Callable[[], int]:
             return lambda: sum(1 for _ in self.compute_partition(split))
 
@@ -405,6 +488,7 @@ class RDD:
 
     def take(self, count: int) -> List[Any]:
         """Evaluate partitions one at a time until enough records exist."""
+        self._record_action("take")
         taken: List[Any] = []
         for split in range(self.num_partitions):
             if len(taken) >= count:
@@ -427,6 +511,8 @@ class RDD:
     isEmpty = is_empty
 
     def reduce(self, func: Callable[[Any, Any], Any]) -> Any:
+        self._record_action("reduce")
+
         def make_task(split: int):
             def reduce_partition():
                 part = list(self.compute_partition(split))

@@ -107,11 +107,16 @@ class ShuffleMetrics:
     records: int = 0
     bytes: int = 0
     measure_bytes: bool = False
+    #: Optional observability sink (``observer.on_shuffle(count, size)``);
+    #: attached by :meth:`repro.obs.Observability.attach` during profiling.
+    observer: object = None
 
     def record(self, count: int, size: int) -> None:
         self.shuffles += 1
         self.records += count
         self.bytes += size
+        if self.observer is not None:
+            self.observer.on_shuffle(count, size)
 
     def reset(self) -> None:
         self.shuffles = 0

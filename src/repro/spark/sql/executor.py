@@ -23,9 +23,30 @@ from repro.spark.sql.plan import (
 
 
 def run_sql(session, query: str, rules: Optional[List[str]] = None) -> DataFrame:
-    """Parse, optimize and execute one SQL statement."""
-    plan = optimize(parse_sql(query), rules)
-    return execute(session, plan)
+    """Parse, optimize and execute one SQL statement.
+
+    When an observability bundle is attached to the session's context the
+    three phases run under nested spans and the run is bracketed by
+    Spark-UI-style SQL execution events.
+    """
+    obs = session.spark_context.obs
+    if obs is None or not obs.enabled:
+        plan = optimize(parse_sql(query), rules)
+        return execute(session, plan)
+
+    from repro.obs.events import SQL_EXECUTION_END, SQL_EXECUTION_START
+
+    obs.metrics.counter("rumble.sql.queries").inc()
+    obs.emit(SQL_EXECUTION_START, query=query)
+    with obs.tracer.span("sql.query", query=query):
+        with obs.tracer.span("sql.parse"):
+            parsed = parse_sql(query)
+        with obs.tracer.span("sql.optimize"):
+            plan = optimize(parsed, rules)
+        with obs.tracer.span("sql.execute"):
+            frame = execute(session, plan)
+    obs.emit(SQL_EXECUTION_END, query=query)
+    return frame
 
 
 def explain(session, query: str, rules: Optional[List[str]] = None) -> str:

@@ -123,3 +123,69 @@ class TestWorkloads:
 
         with pytest.raises(ValueError):
             run_engine("handcoded", "sort", "/tmp/x.json")
+
+
+class TestMetricsSidecar:
+    @pytest.fixture()
+    def engine(self):
+        from repro.core import Rumble, RumbleConfig
+
+        engine = Rumble(config=RumbleConfig(materialization_cap=100_000))
+        engine.register_collection("c", [{"a": i} for i in range(6)])
+        return engine
+
+    def test_measure_profiled_attaches_metrics(self, engine):
+        from repro.bench.harness import measure_profiled
+
+        measurement = measure_profiled(
+            engine, 'count(collection("c"))', repeat=2
+        )
+        assert measurement.finished
+        # count() reduces to one number on the driver, so the *result* is
+        # local even though the collection scan ran as an RDD action.
+        assert measurement.metrics["mode"] == "local"
+        assert measurement.metrics["counters"][
+            "rumble.rdd.action{action=count}"
+        ] == 1
+        assert [i.to_python() for i in measurement.result.items] == [6]
+
+    def test_summary_is_deterministic_across_runs(self, engine):
+        from repro.bench.harness import (
+            deterministic_profile_summary,
+        )
+
+        query = (
+            'for $x in collection("c") where $x.a ge 2 '
+            'order by $x.a descending return $x.a'
+        )
+        engine.profile(query)  # cold run materializes the collection cache
+        first = deterministic_profile_summary(engine.profile(query))
+        second = deterministic_profile_summary(engine.profile(query))
+        assert first == second
+        assert "total_seconds" not in first  # timing-free by construction
+        assert first["shuffle"]["records"] == 4
+        assert [stage["index"] for stage in first["stages"]] == \
+            list(range(len(first["stages"])))
+
+    def test_sidecar_file_is_byte_stable(self, engine, tmp_path):
+        import json
+
+        from repro.bench.harness import (
+            deterministic_profile_summary,
+            write_metrics_sidecar,
+        )
+
+        query = 'count(collection("c"))'
+        engine.profile(query)  # warm the collection cache
+        summary_a = deterministic_profile_summary(engine.profile(query))
+        summary_b = deterministic_profile_summary(engine.profile(query))
+        path_a = write_metrics_sidecar(str(tmp_path / "a.json"), [summary_a])
+        path_b = write_metrics_sidecar(str(tmp_path / "b.json"), [summary_b])
+        with open(path_a, "rb") as handle:
+            bytes_a = handle.read()
+        with open(path_b, "rb") as handle:
+            bytes_b = handle.read()
+        assert bytes_a == bytes_b
+        assert bytes_a.endswith(b"\n")
+        parsed = json.loads(bytes_a)
+        assert parsed[0]["query"] == query

@@ -56,6 +56,43 @@ class TestMainFunction:
     def test_no_query_usage(self, capsys):
         assert main([]) == 2
 
+    def test_query_option_flag(self, capsys):
+        assert main(["-q", "2 + 3"]) == 0
+        assert capsys.readouterr().out.strip() == "5"
+
+    def test_profile_flag_prints_breakdown(self, capsys):
+        assert main(["--profile", "-q", "1+1"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "2"  # result precedes the table
+        assert "== query profile (local execution) ==" in out
+        for phase in ("lex", "parse", "static-analysis", "compile",
+                      "optimize", "execute", "total"):
+            assert phase in out
+
+    def test_profile_distributed_query(self, capsys):
+        assert main([
+            "--profile", "-q",
+            "for $x in parallelize(1 to 4) order by $x descending "
+            "return $x",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[:4] == ["4", "3", "2", "1"]
+        assert "== query profile (distributed execution) ==" in out
+        assert "-- shuffle --" in out
+        assert "-- stages --" in out
+
+    def test_profile_events_file(self, tmp_path, capsys):
+        from repro.obs import EventLog
+
+        path = str(tmp_path / "events.jsonl")
+        assert main(["--profile", "--profile-events", path, "-q",
+                     "count(parallelize(1 to 6))"]) == 0
+        with open(path, "r", encoding="utf-8") as handle:
+            events = EventLog.parse_jsonl(handle.read())
+        assert events, "event log should not be empty"
+        assert events[0]["event"] == "QueryStart"
+        assert any(e["event"] == "SparkListenerTaskEnd" for e in events)
+
 
 class TestSubprocess:
     """One end-to-end spawn to prove the module entry point wiring."""
@@ -80,3 +117,14 @@ class TestSubprocess:
         )
         assert completed.returncode == 0
         assert "3" in completed.stdout
+
+    def test_profile_smoke(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "--profile", "-q", "1+1"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert completed.stdout.splitlines()[0] == "2"
+        assert "query profile" in completed.stdout

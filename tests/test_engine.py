@@ -190,3 +190,62 @@ class TestDataFrameInterop:
 
         with pytest.raises(TypeException):
             rumble.query("1 to 3").to_dataframe()
+
+
+class TestMetricsAccuracy:
+    """Exact metric counts for hand-computable queries.
+
+    A 5-item collection parallelizes into 5 partitions (one per item at
+    the default parallelism of 8), so per-partition cache behaviour is
+    exact: first use materializes once and every partition read after
+    that is a hit.
+    """
+
+    @pytest.fixture()
+    def engine(self):
+        engine = Rumble(config=RumbleConfig(materialization_cap=100_000))
+        engine.register_collection("c", [{"a": i} for i in range(5)])
+        return engine
+
+    def test_first_run_materializes_once_then_hits_every_partition(
+            self, engine):
+        report = engine.profile('count(collection("c"))')
+        assert [i.to_python() for i in report.items] == [5]
+        assert report.counter("rumble.rdd.cache.materializations") == 1
+        assert report.counter("rumble.rdd.cache.hits") == 5
+        assert report.counter("rumble.rdd.action", action="count") == 1
+
+    def test_second_run_serves_entirely_from_cache(self, engine):
+        engine.profile('count(collection("c"))')
+        report = engine.profile('count(collection("c"))')
+        assert report.counter("rumble.rdd.cache.materializations") == 0
+        assert report.counter("rumble.rdd.cache.hits") == 5
+
+    def test_clause_row_counts_are_exact(self, engine):
+        report = engine.profile(
+            'for $x in collection("c") where $x.a ge 2 return $x.a'
+        )
+        assert [i.to_python() for i in report.items] == [2, 3, 4]
+        assert report.counter(
+            "rumble.clause.rows_out",
+            clause="ForClauseIterator", source="CollectionIterator",
+        ) == 5
+        assert report.counter(
+            "rumble.clause.rows_in", clause="WhereClauseIterator"
+        ) == 5
+        assert report.counter(
+            "rumble.clause.rows_out", clause="WhereClauseIterator"
+        ) == 3
+        assert report.counter(
+            "rumble.clause.rows_out", clause="ReturnClauseIterator"
+        ) == 3
+
+    def test_result_items_counted(self, engine):
+        report = engine.profile('for $x in collection("c") return $x.a')
+        assert report.counter("rumble.result.items") == 5
+
+    def test_plain_query_touches_no_metrics(self, engine):
+        from repro.obs import NOOP
+
+        assert engine.query('count(collection("c"))').to_python() == [5]
+        assert NOOP.metrics.snapshot()["counters"] == {}

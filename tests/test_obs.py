@@ -1,0 +1,393 @@
+"""The observability subsystem: spans, metrics, the event log, and the
+profiler wiring through the engine and the substrate."""
+
+import json
+import time
+
+import pytest
+
+from repro.core import Rumble, RumbleConfig
+from repro.obs import (
+    NOOP,
+    NOOP_SPAN,
+    NOOP_TRACER,
+    EventLog,
+    MetricsRegistry,
+    NoopTracer,
+    Observability,
+    ProfileReport,
+    Tracer,
+    render_name,
+    shuffle_totals,
+    stage_tree,
+)
+from repro.obs.events import (
+    SHUFFLE_COMPLETED,
+    STAGE_COMPLETED,
+    STAGE_SUBMITTED,
+    TASK_END,
+)
+from repro.spark import SparkConf, SparkContext
+
+
+@pytest.fixture()
+def rumble():
+    return Rumble(config=RumbleConfig(materialization_cap=100_000))
+
+
+# ---------------------------------------------------------------------------
+# Tracing spans
+# ---------------------------------------------------------------------------
+
+class TestSpans:
+    def test_nesting_follows_lexical_structure(self):
+        tracer = Tracer()
+        with tracer.span("query") as root:
+            with tracer.span("parse") as parse:
+                pass
+            with tracer.span("execute") as execute:
+                with tracer.span("stage"):
+                    pass
+        assert tracer.roots == [root]
+        assert root.children == [parse, execute]
+        assert [s.name for s in execute.children] == ["stage"]
+        assert parse.parent is root
+        assert execute.children[0].parent is execute
+
+    def test_timing_monotonicity(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                time.sleep(0.001)
+        assert outer.finished and inner.finished
+        assert outer.start <= inner.start <= inner.end <= outer.end
+        assert inner.duration <= outer.duration
+        assert outer.duration > 0
+
+    def test_every_opened_span_is_closed_after_clean_run(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert tracer.open_spans() == []
+        assert all(span.finished for span in tracer.all_spans())
+
+    def test_exception_closes_span_and_records_error(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom") as span:
+                raise ValueError("nope")
+        assert span.finished
+        assert span.attributes["error"] == "ValueError"
+        assert tracer.open_spans() == []
+
+    def test_walk_and_find(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("left"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("right"):
+                pass
+        assert [s.name for s in root.walk()] == [
+            "root", "left", "leaf", "right",
+        ]
+        assert root.find("leaf").name == "leaf"
+        assert root.find("missing") is None
+
+    def test_attributes_and_to_dict(self):
+        tracer = Tracer()
+        with tracer.span("phase", mode="local") as span:
+            span.set_attribute("rows", 7)
+        as_dict = span.to_dict()
+        assert as_dict["name"] == "phase"
+        assert as_dict["attributes"] == {"mode": "local", "rows": 7}
+        assert as_dict["seconds"] == pytest.approx(span.duration)
+
+    def test_unfinished_span_duration_is_zero(self):
+        span = Tracer().span("open")
+        assert span.duration == 0.0
+        assert not span.finished
+
+
+class TestNoopTracer:
+    def test_disabled_and_shared_span(self):
+        tracer = NoopTracer()
+        assert not tracer.enabled
+        assert tracer.span("anything", key="value") is NOOP_SPAN
+        assert tracer.span("other") is NOOP_SPAN  # same object, no alloc
+
+    def test_noop_span_is_inert_context_manager(self):
+        with NOOP_TRACER.span("x") as span:
+            span.set_attribute("ignored", 1)
+        assert span.duration == 0.0
+        assert span.attributes == {}
+        assert list(NOOP_TRACER.all_spans()) == []
+        assert NOOP_TRACER.open_spans() == []
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+class TestMetrics:
+    def test_counter_get_or_create_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("rumble.x", op="map")
+        b = registry.counter("rumble.x", op="map")
+        c = registry.counter("rumble.x", op="filter")
+        assert a is b
+        assert a is not c
+        a.inc()
+        a.inc(4)
+        assert registry.counter_value("rumble.x", op="map") == 5
+        assert registry.counter_value("rumble.x", op="filter") == 0
+        assert registry.counter_value("rumble.never") == 0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("rumble.mode")
+        gauge.set("local")
+        assert registry.gauge("rumble.mode").value == "local"
+        depth = registry.gauge("rumble.depth")
+        depth.add(2)
+        depth.add(-1)
+        assert depth.value == 1
+
+    def test_histogram_statistics(self):
+        histogram = MetricsRegistry().histogram("rumble.task.seconds")
+        for value in [4.0, 1.0, 3.0, 2.0]:
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.total == 10.0
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 4.0
+        assert histogram.mean == 2.5
+        assert histogram.percentile(0.0) == 1.0
+        assert histogram.percentile(1.0) == 4.0
+        assert histogram.summary() == {
+            "count": 4, "sum": 10.0, "min": 1.0, "max": 4.0,
+        }
+
+    def test_empty_histogram(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.mean is None
+        assert histogram.minimum is None
+        assert histogram.percentile(0.5) is None
+
+    def test_percentile_rejects_bad_fraction(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(2.0)
+
+    def test_render_name_sorts_labels(self):
+        assert render_name("m", {}) == "m"
+        assert render_name("m", {"b": 2, "a": 1}) == "m{a=1,b=2}"
+
+    def test_snapshot_is_json_able_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z").inc()
+        registry.counter("a", k="v").inc(2)
+        registry.gauge("g").set(3)
+        registry.histogram("h").observe(1.5)
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)  # must not raise
+        assert list(snapshot["counters"]) == ["a{k=v}", "z"]
+        assert snapshot["counters"]["a{k=v}"] == 2
+        assert snapshot["gauges"]["g"] == 3
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_counters_with_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("rumble.clause.rows_in", clause="Where").inc(3)
+        registry.counter("rumble.shuffle.bytes").inc(100)
+        rows = registry.counters_with_prefix("rumble.clause.")
+        assert rows == {"rumble.clause.rows_in{clause=Where}": 3}
+
+
+# ---------------------------------------------------------------------------
+# Event log
+# ---------------------------------------------------------------------------
+
+class TestEventLog:
+    def test_emit_assigns_monotonic_seq(self):
+        log = EventLog()
+        first = log.emit(STAGE_SUBMITTED, stage_id=0)
+        second = log.emit(TASK_END, stage_id=0, partition=0)
+        assert first["seq"] == 0 and second["seq"] == 1
+        assert len(log) == 2
+        assert log.filter(TASK_END) == [second]
+
+    def test_jsonl_round_trip_reconstructs_stage_tree(self, tmp_path):
+        log = EventLog()
+        log.emit(STAGE_SUBMITTED, stage_id=0, label="map", num_tasks=2)
+        log.emit(TASK_END, stage_id=0, partition=0, seconds=0.5, attempts=1)
+        log.emit(TASK_END, stage_id=0, partition=1, seconds=0.25, attempts=2)
+        log.emit(STAGE_COMPLETED, stage_id=0, seconds=0.75)
+        log.emit(SHUFFLE_COMPLETED, records=10, bytes=420)
+
+        path = str(tmp_path / "events.jsonl")
+        log.write(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+
+        parsed = EventLog.parse_jsonl(text)
+        assert parsed == log.events
+
+        tree = stage_tree(parsed)
+        assert len(tree) == 1
+        stage = tree[0]
+        assert stage["stage_id"] == 0
+        assert stage["label"] == "map"
+        assert stage["completed"] is True
+        assert stage["seconds"] == 0.75
+        assert [t["partition"] for t in stage["tasks"]] == [0, 1]
+        assert stage["tasks"][1]["attempts"] == 2
+
+        assert shuffle_totals(parsed) == {
+            "shuffles": 1, "records": 10, "bytes": 420,
+        }
+
+    def test_parse_jsonl_restores_order_from_seq(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        log.emit("c")
+        lines = log.to_jsonl().splitlines()
+        shuffled = "\n".join([lines[2], lines[0], lines[1]])
+        assert EventLog.parse_jsonl(shuffled) == log.events
+
+
+# ---------------------------------------------------------------------------
+# The Observability bundle on the substrate
+# ---------------------------------------------------------------------------
+
+class TestObservabilityBundle:
+    def test_attach_collects_stage_task_and_shuffle_events(self):
+        sc = SparkContext(SparkConf())
+        obs = Observability()
+        obs.attach(sc)
+        try:
+            pairs = sc.parallelize([("a", 1), ("b", 2), ("a", 3)], 2)
+            assert dict(pairs.reduce_by_key(lambda x, y: x + y).collect()) \
+                == {"a": 4, "b": 2}
+        finally:
+            obs.detach(sc)
+        kinds = {event["event"] for event in obs.events.events}
+        assert STAGE_SUBMITTED in kinds
+        assert STAGE_COMPLETED in kinds
+        assert TASK_END in kinds
+        assert SHUFFLE_COMPLETED in kinds
+        assert obs.metrics.counter_value("rumble.shuffle.count") == 1
+        assert obs.metrics.counter_value("rumble.shuffle.records") == 3
+        assert obs.metrics.counter_value("rumble.shuffle.bytes") > 0
+        assert obs.metrics.counter_value("rumble.task.launched") > 0
+        assert obs.metrics.counter_value("rumble.stage.count") > 0
+        stages = stage_tree(obs.events.events)
+        assert stages and all(stage["completed"] for stage in stages)
+
+    def test_detach_restores_untracked_execution(self):
+        sc = SparkContext(SparkConf())
+        obs = Observability()
+        obs.attach(sc)
+        obs.detach(sc)
+        sc.parallelize(range(4), 2).collect()
+        assert sc.obs is None
+        assert len(obs.events) == 0
+
+    def test_task_retries_counted_from_attempts(self):
+        obs = Observability()
+        obs.emit(TASK_END, stage_id=0, partition=0, seconds=0.1, attempts=3)
+        assert obs.metrics.counter_value("rumble.task.retries") == 2
+        assert obs.metrics.histogram("rumble.task.seconds").count == 1
+
+    def test_noop_bundle_is_disabled(self):
+        assert not NOOP.enabled
+        assert NOOP.tracer is NOOP_TRACER
+
+
+class TestNoopAddsZeroEvents:
+    def test_untraced_run_emits_no_events_and_no_metrics(self, rumble):
+        rumble.register_collection("c", [{"a": i} for i in range(10)])
+        obs = rumble.runtime.obs
+        assert obs is NOOP
+        result = rumble.query(
+            'for $x in collection("c") return $x.a'
+        ).to_python()
+        assert result == list(range(10))
+        assert len(obs.events) == 0
+        assert obs.metrics.snapshot()["counters"] == {}
+        assert list(obs.tracer.all_spans()) == []
+
+
+# ---------------------------------------------------------------------------
+# Rumble.profile()
+# ---------------------------------------------------------------------------
+
+class TestProfile:
+    def test_report_has_phases_in_pipeline_order(self, rumble):
+        report = rumble.profile("1 + 1")
+        assert isinstance(report, ProfileReport)
+        assert list(report.phases) == [
+            "lex", "parse", "static-analysis", "compile", "optimize",
+            "execute",
+        ]
+        assert all(seconds >= 0 for seconds in report.phases.values())
+        assert report.total_seconds > 0
+        assert [item.to_python() for item in report.items] == [2]
+        assert report.mode == "local"
+
+    def test_distributed_query_reports_operators_and_stages(self, rumble):
+        rumble.register_collection("c", [{"a": i} for i in range(8)])
+        report = rumble.profile(
+            'for $x in collection("c") where $x.a ge 4 return $x.a'
+        )
+        assert report.mode == "distributed"
+        assert [item.to_python() for item in report.items] == [4, 5, 6, 7]
+        rows = report.operator_rows()
+        assert rows[
+            "rumble.clause.rows_in{clause=WhereClauseIterator}"
+        ] == 8
+        assert rows[
+            "rumble.clause.rows_out{clause=WhereClauseIterator}"
+        ] == 4
+        assert report.stages()  # at least the parallelize stage
+        rendered = report.render()
+        assert "query profile (distributed execution)" in rendered
+        assert "-- operators --" in rendered
+
+    def test_profile_leaves_engine_unprofiled(self, rumble):
+        rumble.profile("1 + 1")
+        assert rumble.runtime.obs is NOOP
+        assert rumble.spark.spark_context.obs is None
+        assert rumble.spark.spark_context.executors.listeners == []
+        assert rumble.spark.spark_context.shuffle_metrics.observer is None
+
+    def test_order_by_query_reports_shuffle(self, rumble):
+        rumble.register_collection("c", [{"a": i % 5} for i in range(20)])
+        report = rumble.profile(
+            'for $x in collection("c") order by $x.a return $x.a'
+        )
+        assert report.shuffle()["shuffles"] >= 1
+        assert report.shuffle()["records"] > 0
+        assert report.counter("rumble.shuffle.bytes") > 0
+
+    def test_to_dict_is_json_able(self, rumble):
+        report = rumble.profile("for $x in 1 to 3 return $x")
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["query"] == "for $x in 1 to 3 return $x"
+        assert set(payload["phases"]) == set(report.phases)
+        assert payload["spans"]["name"] == "query"
+
+    def test_profile_failure_restores_noop(self, rumble):
+        from repro.jsoniq.errors import JsoniqException
+
+        with pytest.raises(JsoniqException):
+            rumble.profile("for $x in")
+        assert rumble.runtime.obs is NOOP
+        assert rumble.spark.spark_context.obs is None

@@ -380,3 +380,58 @@ class TestValidationProperties:
         once = schema.annotate(item, "$")
         twice = schema.annotate(once, "$")
         assert once == twice
+
+
+# -- Profiler invariants -----------------------------------------------------------------
+
+@st.composite
+def profiled_queries(draw):
+    """A small JSONiq query whose shape (arithmetic, FLWOR local or
+    distributed) varies, with its expected result."""
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        a = draw(st.integers(-50, 50))
+        b = draw(st.integers(-50, 50))
+        return "{} + {}".format(a, b), [a + b]
+    if kind == 1:
+        n = draw(st.integers(1, 12))
+        return (
+            "for $x in 1 to {} return $x".format(n),
+            list(range(1, n + 1)),
+        )
+    n = draw(st.integers(1, 12))
+    return (
+        "for $x in parallelize(1 to {}) return $x".format(n),
+        list(range(1, n + 1)),
+    )
+
+
+class TestProfileProperties:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(profiled_queries())
+    def test_phase_durations_sum_within_total(self, case):
+        from repro.core import Rumble, RumbleConfig
+
+        query, expected = case
+        engine = Rumble(config=RumbleConfig(materialization_cap=100_000))
+        report = engine.profile(query)
+        assert [item.to_python() for item in report.items] == expected
+        assert sum(report.phases.values()) <= report.total_seconds
+        assert all(seconds >= 0 for seconds in report.phases.values())
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(profiled_queries())
+    def test_every_opened_span_is_closed(self, case):
+        from repro.core import Rumble, RumbleConfig
+
+        query, _ = case
+        engine = Rumble(config=RumbleConfig(materialization_cap=100_000))
+        report = engine.profile(query)
+        for span in report.root_span.walk():
+            assert span.finished, span.name
+            assert span.start <= span.end
+            for child in span.children:
+                assert span.start <= child.start
+                assert child.end <= span.end

@@ -241,3 +241,97 @@ class TestSaveAsTextFile:
         assert len(files) == 2
         lines = sc.text_file(str(tmp_path / "out")).collect()
         assert sorted(lines) == ["x", "y", "z"]
+
+
+class TestUnpersistLineage:
+    """``unpersist()`` must invalidate downstream memoized state, not just
+    drop this RDD's cached partitions — otherwise children built while the
+    cache was live keep serving stale data."""
+
+    def test_unpersist_returns_self_and_recomputes(self, sc):
+        source = {"offset": 0}
+        rdd = sc.parallelize(range(5), 2).map(
+            lambda x: x + source["offset"]
+        )
+        cached = rdd.cache()
+        assert cached is rdd
+        assert cached.collect() == [0, 1, 2, 3, 4]
+        source["offset"] = 10
+        # Cache is live: still the materialized values.
+        assert cached.collect() == [0, 1, 2, 3, 4]
+        assert cached.unpersist() is cached
+        assert cached.collect() == [10, 11, 12, 13, 14]
+
+    def test_downstream_narrow_child_recomputes(self, sc):
+        source = {"offset": 0}
+        cached = sc.parallelize(range(4), 2).map(
+            lambda x: x + source["offset"]
+        ).cache()
+        child = cached.map(lambda x: x * 10)
+        assert child.collect() == [0, 10, 20, 30]
+        source["offset"] = 1
+        cached.unpersist()
+        assert child.collect() == [10, 20, 30, 40]
+
+    def test_downstream_shuffle_buckets_invalidated(self, sc):
+        source = {"offset": 0}
+        cached = sc.parallelize(range(6), 3).map(
+            lambda x: x + source["offset"]
+        ).cache()
+        summed = cached.map(lambda x: (x % 2, x)).reduce_by_key(
+            lambda a, b: a + b
+        )
+        first = dict(summed.collect())
+        assert first == {0: 0 + 2 + 4, 1: 1 + 3 + 5}
+        source["offset"] = 100
+        # Shuffle buckets are memoized: without invalidation this would
+        # keep returning `first` forever.
+        cached.unpersist()
+        second = dict(summed.collect())
+        assert second == {0: 100 + 102 + 104, 1: 101 + 103 + 105}
+
+    def test_downstream_zip_with_index_invalidated(self, sc):
+        source = {"keep": 5}
+        cached = sc.parallelize(range(10), 3).filter(
+            lambda x: x < source["keep"]
+        ).cache()
+        indexed = cached.zip_with_index()
+        assert indexed.collect() == [(x, x) for x in range(5)]
+        source["keep"] = 3
+        cached.unpersist()
+        # Partition offsets must be recomputed for the shorter partitions.
+        assert indexed.collect() == [(x, x) for x in range(3)]
+
+    def test_invalidation_cascades_through_grandchildren(self, sc):
+        source = {"offset": 0}
+        cached = sc.parallelize(range(4), 2).map(
+            lambda x: x + source["offset"]
+        ).cache()
+        child = cached.map(lambda x: (0, x))
+        grandchild = child.group_by_key()
+        assert dict(grandchild.collect())[0] == [0, 1, 2, 3]
+        source["offset"] = 7
+        cached.unpersist()
+        assert dict(grandchild.collect())[0] == [7, 8, 9, 10]
+
+    def test_unpersist_drops_downstream_caches_too(self, sc):
+        source = {"offset": 0}
+        cached = sc.parallelize(range(3), 1).map(
+            lambda x: x + source["offset"]
+        ).cache()
+        child = cached.map(lambda x: -x).cache()
+        assert child.collect() == [0, -1, -2]
+        source["offset"] = 1
+        cached.unpersist()
+        assert child.collect() == [-1, -2, -3]
+
+    def test_sorted_descending_view_invalidated(self, sc):
+        source = {"offset": 0}
+        cached = sc.parallelize([3, 1, 2], 2).map(
+            lambda x: x + source["offset"]
+        ).cache()
+        ordered = cached.sort_by(lambda x: x, ascending=False)
+        assert ordered.collect() == [3, 2, 1]
+        source["offset"] = 10
+        cached.unpersist()
+        assert ordered.collect() == [13, 12, 11]
