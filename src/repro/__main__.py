@@ -53,6 +53,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="start the interactive shell (reads stdin)",
     )
     parser.add_argument(
+        "--parse-mode", choices=("failfast", "permissive", "dropmalformed"),
+        default="failfast",
+        help="how json-file()/structured-json-file() treat malformed "
+             "lines: failfast raises, permissive captures the raw line "
+             "under _corrupt_record, dropmalformed skips it",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, metavar="SEED",
+        help="run under the deterministic chaos harness with this seed "
+             "(injects task crashes, executor deaths, shuffle-fetch "
+             "failures and stragglers; recovery is reported on stderr)",
+    )
+    parser.add_argument(
+        "--chaos-crash-rate", type=float, default=0.1, metavar="RATE",
+        help="with --chaos-seed, per-attempt task crash probability "
+             "(default 0.1)",
+    )
+    parser.add_argument(
+        "--chaos-fetch-rate", type=float, default=0.05, metavar="RATE",
+        help="with --chaos-seed, shuffle-fetch failure probability "
+             "(default 0.05)",
+    )
+    parser.add_argument(
+        "--chaos-slow-rate", type=float, default=0.05, metavar="RATE",
+        help="with --chaos-seed, straggler-task probability "
+             "(default 0.05)",
+    )
+    parser.add_argument(
         "--profile", action="store_true",
         help="run the query under the profiler and print the per-phase/"
              "per-operator breakdown after the results",
@@ -67,9 +95,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     arguments = build_parser().parse_args(argv)
-    engine = Rumble(config=RumbleConfig(
+    config = RumbleConfig(
         materialization_cap=arguments.cap, warn_on_cap=True,
-    ))
+        parse_mode=arguments.parse_mode,
+    )
+    if arguments.chaos_seed is not None:
+        from repro.core import make_engine
+        from repro.spark import FaultPlan
+
+        fault_plan = FaultPlan(
+            seed=arguments.chaos_seed,
+            crash_rate=arguments.chaos_crash_rate,
+            executor_death_rate=arguments.chaos_crash_rate / 4.0,
+            fetch_failure_rate=arguments.chaos_fetch_rate,
+            slow_task_rate=arguments.chaos_slow_rate,
+        )
+        engine = make_engine(config=config, fault_plan=fault_plan)
+    else:
+        engine = Rumble(config=config)
     for mount in arguments.mount:
         scheme, _, root = mount.partition("=")
         if not root:
@@ -114,6 +157,7 @@ def main(argv=None) -> int:
                 print("wrote {} event(s) to {}".format(
                     len(report.events), arguments.profile_events
                 ))
+            _report_chaos(engine, arguments)
             return 0
         result = engine.query(query_text)
         if arguments.output:
@@ -121,6 +165,7 @@ def main(argv=None) -> int:
             print("wrote {} part file(s) to {}".format(
                 len(files), arguments.output
             ))
+            _report_chaos(engine, arguments)
             return 0
         import warnings
 
@@ -128,10 +173,26 @@ def main(argv=None) -> int:
             warnings.simplefilter("ignore")
             for item in result.collect():
                 print(item.serialize())
+        _report_chaos(engine, arguments)
         return 0
     except JsoniqException as error:
         print("error: {}".format(error), file=sys.stderr)
         return 1
+
+
+def _report_chaos(engine: Rumble, arguments) -> None:
+    """After a chaos run, summarize injections and recoveries on stderr."""
+    if arguments.chaos_seed is None:
+        return
+    counts = engine.spark.spark_context.faults.counts
+    summary = ", ".join(
+        "{}={}".format(kind, count)
+        for kind, count in sorted(counts.items())
+    ) or "no faults fired"
+    print(
+        "chaos[seed={}]: {}".format(arguments.chaos_seed, summary),
+        file=sys.stderr,
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

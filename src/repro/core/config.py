@@ -21,3 +21,20 @@ class RumbleConfig:
     #: Named collections for the ``collection()`` function: name -> URI
     #: (str) or list of items/plain values.
     collections: Dict[str, object] = field(default_factory=dict)
+    #: How ``json-file()``/``structured-json-file()`` react to a malformed
+    #: input line: ``failfast`` (raise), ``permissive`` (capture the raw
+    #: line under :attr:`corrupt_record_field`) or ``dropmalformed``
+    #: (skip it).  See docs/fault_tolerance.md.
+    parse_mode: str = "failfast"
+    #: The field name a permissive read stores unparseable lines under.
+    corrupt_record_field: str = "_corrupt_record"
+
+    def __post_init__(self) -> None:
+        from repro.jsoniq.jsonlines import PARSE_MODES
+
+        if self.parse_mode not in PARSE_MODES:
+            raise ValueError(
+                "unknown parse_mode {!r} (expected one of {})".format(
+                    self.parse_mode, ", ".join(PARSE_MODES)
+                )
+            )

@@ -225,12 +225,22 @@ def make_engine(
     executor_mode: str = "inline",
     block_size: Optional[int] = None,
     config: Optional[RumbleConfig] = None,
+    fault_plan: Optional[object] = None,
+    max_retries: Optional[int] = None,
+    speculation: Optional[bool] = None,
+    blacklist_threshold: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    retry_backoff: Optional[float] = None,
 ) -> Rumble:
     """Build an engine with an explicitly sized substrate cluster.
 
     ``block_size`` controls the storage layer's input-split size, hence
     how many partitions (tasks) a ``json-file()`` read produces — the knob
     the cluster benchmarks use to get realistic task counts.
+
+    ``fault_plan`` installs a :class:`repro.spark.FaultPlan` (the chaos
+    harness); the remaining keyword arguments override the fault-
+    tolerance defaults documented in docs/fault_tolerance.md.
     """
     conf = SparkConf()
     conf.set("spark.executor.instances", executors)
@@ -238,6 +248,18 @@ def make_engine(
     conf.set("spark.executor.mode", executor_mode)
     if block_size is not None:
         conf.set("spark.storage.blockSize", block_size)
+    if fault_plan is not None:
+        conf.set("spark.chaos.plan", fault_plan)
+    if max_retries is not None:
+        conf.set("spark.task.maxRetries", max_retries)
+    if speculation is not None:
+        conf.set("spark.speculation", speculation)
+    if blacklist_threshold is not None:
+        conf.set("spark.blacklist.threshold", blacklist_threshold)
+    if task_timeout is not None:
+        conf.set("spark.task.timeoutSeconds", task_timeout)
+    if retry_backoff is not None:
+        conf.set("spark.task.retryBackoffSeconds", retry_backoff)
     from repro.spark import SparkContext
 
     return Rumble(SparkSession(SparkContext(conf)), config)

@@ -36,6 +36,42 @@ def _one_string_argument(
     return item.value
 
 
+def _parse_settings(runtime):
+    """The engine's parse mode and corrupt-record field name."""
+    config = runtime.config
+    return (
+        getattr(config, "parse_mode", "failfast"),
+        getattr(config, "corrupt_record_field", "_corrupt_record"),
+    )
+
+
+def _json_lines_reader(runtime, mode: str, corrupt_field: str):
+    """A partition-mapper decoding JSON lines under ``mode``, reporting
+    every tolerated malformed line to the context's fault ledger."""
+    if mode == "failfast":
+        return iter_json_lines
+    faults = runtime.spark.spark_context.faults
+    kind = (
+        "malformed_dropped" if mode == "dropmalformed"
+        else "malformed_captured"
+    )
+
+    def on_malformed(line: str, error: Exception) -> None:
+        faults.record(
+            kind, "MalformedRecord", mode=mode, reason=str(error)[:120]
+        )
+
+    def read(lines) -> Iterator[Item]:
+        return iter_json_lines(
+            lines,
+            mode=mode,
+            corrupt_field=corrupt_field,
+            on_malformed=on_malformed,
+        )
+
+    return read
+
+
 @iterator_function("json-file", [1, 2])
 class JsonFileIterator(RuntimeIterator):
     """``json-file($path[, $partitions])`` — a partitioned read of a
@@ -65,13 +101,62 @@ class JsonFileIterator(RuntimeIterator):
                     "json-file() partition count must be a number"
                 )
             min_partitions = int(partitions_item.value)
-        lines = runtime.spark.spark_context.text_file(path, min_partitions)
-        return lines.map_partitions(iter_json_lines)
+        mode, corrupt_field = _parse_settings(runtime)
+        lines = runtime.spark.spark_context.text_file(
+            path, min_partitions,
+            decode_errors="strict" if mode == "failfast" else "replace",
+        )
+        return lines.map_partitions(
+            _json_lines_reader(runtime, mode, corrupt_field)
+        )
 
 
 @iterator_function("json-lines", [1, 2])
 class JsonLinesIterator(JsonFileIterator):
     """Rumble's newer alias for ``json-file``."""
+
+
+@iterator_function("structured-json-file", [1, 2])
+class StructuredJsonFileIterator(RuntimeIterator):
+    """``structured-json-file($path[, $partitions])`` — the DataFrame
+    read path: schema inference plus record coercion, honouring the same
+    parse modes as ``json-file`` (a corrupt line becomes a row whose
+    fields are null except the corrupt-record column)."""
+
+    def __init__(self, arguments: List[RuntimeIterator]):
+        super().__init__(arguments)
+        self.path = arguments[0]
+        self.partitions = arguments[1] if len(arguments) > 1 else None
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        return self.get_rdd(context).to_local_iterator()
+
+    def is_rdd(self, context: DynamicContext) -> bool:
+        return True
+
+    def get_rdd(self, context: DynamicContext):
+        from repro.jsoniq.jsonlines import _wrap_fast
+
+        runtime = _runtime(context)
+        path = _one_string_argument(
+            self.path, context, "structured-json-file"
+        )
+        min_partitions = None
+        if self.partitions is not None:
+            partitions_item = self.partitions.evaluate_atomic(
+                context, "structured-json-file partitions"
+            )
+            if partitions_item is None or not partitions_item.is_numeric:
+                raise TypeException(
+                    "structured-json-file() partition count must be a number"
+                )
+            min_partitions = int(partitions_item.value)
+        mode, corrupt_field = _parse_settings(runtime)
+        frame = runtime.spark.read.json(
+            path, min_partitions, mode=mode, corrupt_field=corrupt_field,
+            faults=runtime.spark.spark_context.faults,
+        )
+        return frame.rdd.map(_wrap_fast)
 
 
 @iterator_function("parallelize", [1, 2])
@@ -139,8 +224,14 @@ class CollectionIterator(RuntimeIterator):
             return cached
         binding = self._resolve(context)
         if isinstance(binding, str):
-            lines = runtime.spark.spark_context.text_file(binding)
-            rdd = lines.map_partitions(iter_json_lines)
+            mode, corrupt_field = _parse_settings(runtime)
+            lines = runtime.spark.spark_context.text_file(
+                binding,
+                decode_errors="strict" if mode == "failfast" else "replace",
+            )
+            rdd = lines.map_partitions(
+                _json_lines_reader(runtime, mode, corrupt_field)
+            )
         else:
             items = [
                 item if isinstance(item, Item) else item_from_python(item)

@@ -106,12 +106,53 @@ def _wrap_fast(value) -> Item:
     raise JsonSyntaxError("unsupported JSON value {!r}".format(value))
 
 
-def iter_json_lines(lines) -> Iterator[Item]:
-    """Decode an iterable of JSON-Lines text lines into items."""
+#: Spark-style parse modes for messy JSON-Lines input.
+PARSE_MODES = ("failfast", "permissive", "dropmalformed")
+
+#: The field a ``permissive`` read stores an unparseable line under,
+#: mirroring Spark's ``columnNameOfCorruptRecord``.
+CORRUPT_RECORD_FIELD = "_corrupt_record"
+
+
+def iter_json_lines(
+    lines,
+    mode: str = "failfast",
+    corrupt_field: str = CORRUPT_RECORD_FIELD,
+    on_malformed=None,
+) -> Iterator[Item]:
+    """Decode an iterable of JSON-Lines text lines into items.
+
+    ``mode`` decides what one malformed line does to the read (the
+    paper's premise is *messy* data sets, so this must be a choice, not
+    a crash):
+
+    * ``failfast`` — raise :class:`JsonSyntaxError` (the default);
+    * ``permissive`` — yield an object holding the raw line under
+      ``corrupt_field`` instead, so downstream queries can inspect it;
+    * ``dropmalformed`` — skip the line.
+
+    ``on_malformed(line, error)`` is called for every tolerated bad line
+    (the hook the fault ledger uses to count dropped/captured records).
+    """
+    if mode not in PARSE_MODES:
+        raise ValueError(
+            "unknown parse mode {!r} (expected one of {})".format(
+                mode, ", ".join(PARSE_MODES)
+            )
+        )
     for line in lines:
         stripped = line.strip()
-        if stripped:
+        if not stripped:
+            continue
+        try:
             yield parse_json_line(stripped)
+        except JsonSyntaxError as error:
+            if mode == "failfast":
+                raise
+            if on_malformed is not None:
+                on_malformed(stripped, error)
+            if mode == "permissive":
+                yield ObjectItem({corrupt_field: StringItem(stripped)})
 
 
 def _skip_ws(text: str, position: int) -> int:

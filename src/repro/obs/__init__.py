@@ -21,12 +21,21 @@ from __future__ import annotations
 
 from repro.obs.events import (
     EventLog,
+    EXECUTOR_BLACKLISTED,
+    EXECUTOR_REMOVED,
+    FAULT_INJECTED,
+    MALFORMED_RECORD,
     SHUFFLE_COMPLETED,
+    SHUFFLE_FETCH_FAILED,
+    SHUFFLE_RECOVERY,
+    SPECULATIVE_TASK_END,
+    SPECULATIVE_TASK_SUBMITTED,
     SQL_EXECUTION_END,
     SQL_EXECUTION_START,
     STAGE_COMPLETED,
     STAGE_SUBMITTED,
     TASK_END,
+    TASK_RETRY,
     shuffle_totals,
     stage_tree,
 )
@@ -93,6 +102,9 @@ class Observability:
         shuffle_metrics.observer = self
         self._measured_bytes_before = shuffle_metrics.measure_bytes
         shuffle_metrics.measure_bytes = True
+        faults = getattr(spark_context, "faults", None)
+        if faults is not None:
+            faults.observer = self
 
     def detach(self, spark_context) -> None:
         if spark_context.obs is self:
@@ -104,6 +116,9 @@ class Observability:
             shuffle_metrics.measure_bytes = getattr(
                 self, "_measured_bytes_before", False
             )
+        faults = getattr(spark_context, "faults", None)
+        if faults is not None and faults.observer is self:
+            faults.observer = None
 
 
 #: The engine-wide default: observability off, no-op tracer, and the
@@ -130,7 +145,16 @@ __all__ = [
     "STAGE_SUBMITTED",
     "STAGE_COMPLETED",
     "TASK_END",
+    "TASK_RETRY",
     "SHUFFLE_COMPLETED",
+    "SHUFFLE_FETCH_FAILED",
+    "SHUFFLE_RECOVERY",
     "SQL_EXECUTION_START",
     "SQL_EXECUTION_END",
+    "FAULT_INJECTED",
+    "EXECUTOR_REMOVED",
+    "EXECUTOR_BLACKLISTED",
+    "SPECULATIVE_TASK_SUBMITTED",
+    "SPECULATIVE_TASK_END",
+    "MALFORMED_RECORD",
 ]

@@ -25,6 +25,18 @@ SQL_EXECUTION_END = "SparkListenerSQLExecutionEnd"
 QUERY_START = "QueryStart"
 QUERY_END = "QueryEnd"
 
+#: Fault-tolerance vocabulary (emitted through the FaultManager while an
+#: observability bundle is attached; see docs/fault_tolerance.md).
+FAULT_INJECTED = "FaultInjected"
+TASK_RETRY = "TaskRetry"
+EXECUTOR_REMOVED = "SparkListenerExecutorRemoved"
+EXECUTOR_BLACKLISTED = "SparkListenerExecutorBlacklisted"
+SPECULATIVE_TASK_SUBMITTED = "SparkListenerSpeculativeTaskSubmitted"
+SPECULATIVE_TASK_END = "SparkListenerSpeculativeTaskEnd"
+SHUFFLE_FETCH_FAILED = "ShuffleFetchFailed"
+SHUFFLE_RECOVERY = "ShuffleRecovery"
+MALFORMED_RECORD = "MalformedRecord"
+
 
 class EventLog:
     """An append-only, thread-safe list of event dicts.

@@ -11,6 +11,13 @@ mappings (paper, Section 4) execute on.  Public surface::
 
 from repro.spark.column import Column, SortOrder, col, explode, lit, row_udf, udf
 from repro.spark.context import SparkConf, SparkContext, SparkSession
+from repro.spark.faults import (
+    ExecutorLostError,
+    FaultManager,
+    FaultPlan,
+    ShuffleFetchFailure,
+    TaskFailure,
+)
 from repro.spark.dataframe import (
     DataFrame,
     agg_avg,
@@ -28,6 +35,11 @@ __all__ = [
     "SparkConf",
     "SparkContext",
     "SparkSession",
+    "FaultPlan",
+    "FaultManager",
+    "TaskFailure",
+    "ExecutorLostError",
+    "ShuffleFetchFailure",
     "RDD",
     "DataFrame",
     "Row",

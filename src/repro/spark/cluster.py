@@ -5,38 +5,68 @@ number of executors.  Our substrate reproduces this with two cooperating
 pieces:
 
 * :class:`ExecutorPool` actually runs the tasks of a stage — inline, or on
-  a thread pool — measuring per-task CPU time and retrying failed tasks
-  (Spark's lineage-based recomputation: a task is a pure function of its
-  partition, so re-running it is recovery).
+  a thread pool — measuring per-task CPU time and recovering from failed
+  attempts (Spark's lineage-based recomputation: a task is a pure function
+  of its partition, so re-running it is recovery).  Recovery covers
+  retries with exponential backoff, executor blacklisting after repeated
+  failures, executor-death replacement, per-task timeouts and speculative
+  re-execution of straggler tasks; every action is reported through the
+  context's :class:`~repro.spark.faults.FaultManager`.  Faults themselves
+  come from a deterministic :class:`~repro.spark.faults.FaultPlan` (the
+  chaos harness) when one is installed.
 
 * :func:`simulate_makespan` converts the measured per-task costs into the
   wall-clock a cluster of *N* executors would need, using the same greedy
   earliest-free-executor policy as Spark's scheduler.  This is the
   documented substitution for real EC2 nodes: speedup curves are a
   property of the task-time distribution and the scheduler, both of which
-  we retain.
+  we retain.  A task's recorded cost is its full executor occupancy —
+  failed attempts and cancelled speculative copies included — so retries
+  are visible in the Figure 13-15 speedup curves.
 """
 
 from __future__ import annotations
 
 import heapq
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
+from repro.spark.faults import (
+    ExecutorLostError,
+    FaultManager,
+    InjectedTaskCrash,
+    TaskFailure,
+    wrap_task_error,
+)
 
-class TaskFailure(RuntimeError):
-    """A task failed more times than ``max_retries`` allows."""
+__all__ = [
+    "ExecutorPool",
+    "StageMetrics",
+    "TaskFailure",
+    "TaskMetrics",
+    "simulate_makespan",
+]
 
 
 @dataclass
 class TaskMetrics:
-    """Cost of one executed task."""
+    """Cost of one executed task (all attempts of one partition).
+
+    ``seconds`` is the task's total executor occupancy: every failed
+    attempt, the successful attempt, and the occupancy of a cancelled
+    speculative copy all count, because each of them held an executor
+    for that long.  ``attempt_seconds`` keeps the per-attempt breakdown
+    in execution order.
+    """
 
     partition: int
     seconds: float
     attempts: int
+    attempt_seconds: List[float] = field(default_factory=list)
+    speculative_copies: int = 0
 
 
 @dataclass
@@ -64,6 +94,11 @@ class ExecutorPool:
     and what benchmarks use together with :func:`simulate_makespan`) or
     ``"threads"`` (a real thread pool, for wall-clock parallelism on
     workloads that release the GIL).
+
+    ``faults`` is the context's :class:`FaultManager`; its plan (when one
+    is installed) is consulted once per fault site, keyed by
+    ``(stage_id, partition, attempt)``, so fault decisions are identical
+    in both modes and independent of thread interleaving.
     """
 
     def __init__(
@@ -71,21 +106,34 @@ class ExecutorPool:
         num_executors: int = 4,
         mode: str = "inline",
         max_retries: int = 3,
-        failure_injector: Optional[Callable[[int, int], bool]] = None,
+        faults: Optional[FaultManager] = None,
+        speculation: bool = True,
+        blacklist_threshold: int = 2,
+        task_timeout: Optional[float] = None,
+        retry_backoff: float = 0.0,
     ):
         if mode not in ("inline", "threads"):
             raise ValueError("unknown executor mode: " + mode)
         self.num_executors = num_executors
         self.mode = mode
         self.max_retries = max_retries
-        #: Called as ``failure_injector(partition, attempt)``; returning
-        #: True makes the attempt fail.  Used by fault-injection tests.
-        self.failure_injector = failure_injector
+        self.faults = faults if faults is not None else FaultManager()
+        self.speculation = speculation
+        self.blacklist_threshold = blacklist_threshold
+        self.task_timeout = task_timeout
+        self.retry_backoff = retry_backoff
         self.stages: List[StageMetrics] = []
         self._next_stage_id = 0
         #: Event listeners (``listener.emit(event, **fields)``); empty by
         #: default, so the un-observed path pays one truthiness check.
         self.listeners: List[Any] = []
+        # -- Executor registry (ids survive the pool's whole lifetime) -------
+        self.executor_ids: List[int] = list(range(num_executors))
+        self.blacklisted: Set[int] = set()
+        self.dead: Set[int] = set()
+        self._executor_failures: Dict[int, int] = {}
+        self._next_executor_id = num_executors
+        self._lock = threading.Lock()
 
     def add_listener(self, listener: Any) -> None:
         if listener not in self.listeners:
@@ -136,47 +184,239 @@ class ExecutorPool:
             )
         return results
 
+    # -- Executor bookkeeping ------------------------------------------------
+    def _pick_executor(self, stage_id: int, partition: int,
+                       attempt: int) -> int:
+        """Deterministic assignment among live, non-blacklisted executors.
+
+        Retries land on a different executor (the ``attempt`` term), the
+        way Spark's scheduler avoids the node that just failed the task.
+        """
+        with self._lock:
+            live = [
+                e for e in self.executor_ids if e not in self.blacklisted
+            ]
+            if not live:  # never leave a stage unschedulable
+                live = list(self.executor_ids)
+        return live[
+            (stage_id * 131 + partition * 7 + (attempt - 1) * 31) % len(live)
+        ]
+
+    def _lose_executor(self, executor: int, stage_id: int, partition: int,
+                       attempt: int) -> None:
+        """Remove a dead executor and provision a replacement."""
+        with self._lock:
+            if executor not in self.dead:
+                self.dead.add(executor)
+                if executor in self.executor_ids:
+                    self.executor_ids.remove(executor)
+                replacement = self._next_executor_id
+                self._next_executor_id += 1
+                self.executor_ids.append(replacement)
+        self.faults.record(
+            "executor_deaths", "SparkListenerExecutorRemoved",
+            executor=executor, stage_id=stage_id, partition=partition,
+            attempt=attempt,
+        )
+
+    def _note_executor_failure(self, executor: int) -> None:
+        """Count a task failure against its executor; blacklist after
+        ``blacklist_threshold`` failures (but never the last one left)."""
+        with self._lock:
+            count = self._executor_failures.get(executor, 0) + 1
+            self._executor_failures[executor] = count
+            live = [
+                e for e in self.executor_ids if e not in self.blacklisted
+            ]
+            should_blacklist = (
+                count >= self.blacklist_threshold
+                and executor not in self.blacklisted
+                and executor in live
+                and len(live) > 1
+            )
+            if should_blacklist:
+                self.blacklisted.add(executor)
+        if should_blacklist:
+            self.faults.record(
+                "blacklisted_executors", "SparkListenerExecutorBlacklisted",
+                executor=executor, failures=count,
+            )
+
+    # -- Task execution ------------------------------------------------------
     def _run_task(
         self, stage: StageMetrics, index: int, task: Callable[[], Any]
     ) -> Any:
+        metrics = TaskMetrics(partition=index, seconds=0.0, attempts=0)
+        plan = self.faults.plan
         last_error: Optional[BaseException] = None
         for attempt in range(1, self.max_retries + 2):
+            metrics.attempts = attempt
+            if attempt > 1 and self.retry_backoff > 0.0:
+                time.sleep(self.retry_backoff * (2 ** (attempt - 2)))
+            executor = self._pick_executor(stage.stage_id, index, attempt)
             started = time.perf_counter()
             try:
-                if self.failure_injector and self.failure_injector(
-                    index, attempt
+                if plan is not None and plan.executor_dies(
+                    stage.stage_id, index, attempt
                 ):
-                    raise RuntimeError(
+                    self._lose_executor(
+                        executor, stage.stage_id, index, attempt
+                    )
+                    raise ExecutorLostError(
+                        "executor {} died running partition {}".format(
+                            executor, index
+                        )
+                    )
+                if plan is not None and plan.should_crash(
+                    stage.stage_id, index, attempt
+                ):
+                    self.faults.record(
+                        "crashes", "FaultInjected",
+                        stage_id=stage.stage_id, partition=index,
+                        attempt=attempt, executor=executor,
+                    )
+                    raise InjectedTaskCrash(
                         "injected failure in partition {}".format(index)
                     )
                 result = task()
             except Exception as error:  # noqa: BLE001 - retried below
+                elapsed = time.perf_counter() - started
+                metrics.attempt_seconds.append(elapsed)
+                metrics.seconds += elapsed
                 if not getattr(error, "retryable", True):
-                    raise
+                    self._finish_failed(stage, metrics, error)
+                    raise wrap_task_error(
+                        error, stage.stage_id, index, attempt
+                    ) from error
                 last_error = error
-                continue
-            seconds = time.perf_counter() - started
-            stage.tasks.append(
-                TaskMetrics(
-                    partition=index,
-                    seconds=seconds,
-                    attempts=attempt,
+                if not isinstance(error, ExecutorLostError):
+                    self._note_executor_failure(executor)
+                self.faults.record(
+                    "retries", "TaskRetry",
+                    stage_id=stage.stage_id, partition=index,
+                    attempt=attempt, executor=executor,
+                    reason=type(error).__name__,
                 )
+                continue
+            elapsed = time.perf_counter() - started
+            delay = (
+                plan.slow_task_delay(stage.stage_id, index, attempt)
+                if plan is not None else 0.0
             )
+            if delay > 0.0:
+                # The injected delay is virtual: it pads the recorded
+                # occupancy (so makespans see the straggler) without
+                # sleeping, keeping chaos runs fast and deterministic.
+                elapsed += delay
+                self.faults.record(
+                    "slow_tasks", "FaultInjected",
+                    stage_id=stage.stage_id, partition=index,
+                    attempt=attempt, executor=executor, delay=delay,
+                )
+            if (
+                self.task_timeout is not None
+                and elapsed > self.task_timeout
+            ):
+                metrics.attempt_seconds.append(elapsed)
+                metrics.seconds += elapsed
+                last_error = TimeoutError(
+                    "partition {} attempt {} exceeded the {}s task "
+                    "timeout".format(index, attempt, self.task_timeout)
+                )
+                self.faults.record(
+                    "timeouts", "TaskRetry",
+                    stage_id=stage.stage_id, partition=index,
+                    attempt=attempt, executor=executor,
+                    reason="TimeoutError",
+                )
+                continue
+            if delay > 0.0 and self.speculation:
+                result, elapsed = self._speculate(
+                    stage, index, attempt, task, result, elapsed, metrics
+                )
+            metrics.attempt_seconds.append(elapsed)
+            metrics.seconds += elapsed
+            stage.tasks.append(metrics)
             if self.listeners:
                 self._emit(
                     "SparkListenerTaskEnd",
                     stage_id=stage.stage_id,
                     partition=index,
-                    seconds=seconds,
+                    seconds=metrics.seconds,
                     attempts=attempt,
                 )
             return result
-        raise TaskFailure(
+        failure = TaskFailure(
             "partition {} failed after {} attempts: {}".format(
                 index, self.max_retries + 1, last_error
             )
-        ) from last_error
+        )
+        failure.stage_id = stage.stage_id
+        failure.partition = index
+        failure.attempt = metrics.attempts
+        self._finish_failed(stage, metrics, failure)
+        raise failure from last_error
+
+    def _finish_failed(self, stage: StageMetrics, metrics: TaskMetrics,
+                       error: BaseException) -> None:
+        """Record a permanently failed task: its occupancy still counts,
+        and a failed ``TaskEnd`` carries the partition/stage context in
+        inline and thread mode alike."""
+        stage.tasks.append(metrics)
+        if self.listeners:
+            self._emit(
+                "SparkListenerTaskEnd",
+                stage_id=stage.stage_id,
+                partition=metrics.partition,
+                seconds=metrics.seconds,
+                attempts=metrics.attempts,
+                failed=True,
+                reason=type(error).__name__,
+            )
+
+    def _speculate(self, stage: StageMetrics, index: int, attempt: int,
+                   task: Callable[[], Any], result: Any, elapsed: float,
+                   metrics: TaskMetrics):
+        """Race a speculative copy against a straggling attempt.
+
+        The first finisher wins; the loser is cancelled the moment the
+        winner completes, so it occupied an executor for exactly the
+        winner's duration — that occupancy is recorded as an extra entry
+        in ``attempt_seconds``.  The task is a pure function of its
+        partition, so both copies produce identical results and the
+        winner's identity never changes the query's output.
+        """
+        self.faults.record(
+            "speculative_launched", "SparkListenerSpeculativeTaskSubmitted",
+            stage_id=stage.stage_id, partition=index, attempt=attempt,
+        )
+        metrics.speculative_copies += 1
+        started = time.perf_counter()
+        try:
+            backup_result = task()
+        except Exception:  # noqa: BLE001 - the original attempt stands
+            self.faults.record(
+                "speculative_losses", "SparkListenerSpeculativeTaskEnd",
+                stage_id=stage.stage_id, partition=index, winner="original",
+                reason="backup-failed",
+            )
+            return result, elapsed
+        backup_elapsed = time.perf_counter() - started
+        if backup_elapsed < elapsed:
+            winner_result, winner_elapsed = backup_result, backup_elapsed
+            winner = "speculative"
+        else:
+            winner_result, winner_elapsed = result, elapsed
+            winner = "original"
+        self.faults.record(
+            "speculative_wins", "SparkListenerSpeculativeTaskEnd",
+            stage_id=stage.stage_id, partition=index, winner=winner,
+        )
+        self.faults.record("speculative_losses")
+        # The cancelled copy held its executor until the winner finished.
+        metrics.attempt_seconds.append(winner_elapsed)
+        metrics.seconds += winner_elapsed
+        return winner_result, winner_elapsed
 
     # -- Reporting -----------------------------------------------------------
     def total_task_seconds(self) -> float:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional
 
 from repro.spark.cluster import ExecutorPool
+from repro.spark.faults import FaultManager
 from repro.spark.shuffle import ShuffleMetrics
 from repro.spark import storage
 
@@ -18,6 +19,14 @@ class SparkConf:
             "spark.executor.instances": 4,
             "spark.executor.mode": "inline",
             "spark.storage.blockSize": storage.DEFAULT_BLOCK_SIZE,
+            # -- Fault tolerance (see docs/fault_tolerance.md) --------------
+            "spark.task.maxRetries": 3,
+            "spark.task.timeoutSeconds": None,
+            "spark.task.retryBackoffSeconds": 0.0,
+            "spark.speculation": True,
+            "spark.blacklist.threshold": 2,
+            #: A :class:`repro.spark.faults.FaultPlan` instance, or None.
+            "spark.chaos.plan": None,
         }
         self._settings.update(settings)
 
@@ -37,15 +46,30 @@ class SparkContext:
         self.default_parallelism = int(
             self.conf.get("spark.default.parallelism")
         )
+        #: Recovery ledger (and optional chaos plan) shared by the
+        #: executor pool, the shuffle read path and the parse modes.
+        self.faults = FaultManager(self.conf.get("spark.chaos.plan"))
+        timeout = self.conf.get("spark.task.timeoutSeconds")
         self.executors = ExecutorPool(
             num_executors=int(self.conf.get("spark.executor.instances")),
             mode=self.conf.get("spark.executor.mode"),
+            max_retries=int(self.conf.get("spark.task.maxRetries", 3)),
+            faults=self.faults,
+            speculation=bool(self.conf.get("spark.speculation", True)),
+            blacklist_threshold=int(
+                self.conf.get("spark.blacklist.threshold", 2)
+            ),
+            task_timeout=float(timeout) if timeout is not None else None,
+            retry_backoff=float(
+                self.conf.get("spark.task.retryBackoffSeconds", 0.0)
+            ),
         )
         self.shuffle_metrics = ShuffleMetrics()
         #: The active observability bundle (None when not profiling);
         #: installed/removed by :meth:`repro.obs.Observability.attach`.
         self.obs = None
         self._next_rdd_id = 0
+        self._next_shuffle_id = 0
 
     # -- RDD creation --------------------------------------------------------
     def parallelize(self, data: Iterable[Any], num_slices: Optional[int] = None):
@@ -68,11 +92,15 @@ class SparkContext:
     def empty_rdd(self):
         return self.parallelize([], 1)
 
-    def text_file(self, uri: str, min_partitions: Optional[int] = None):
+    def text_file(self, uri: str, min_partitions: Optional[int] = None,
+                  decode_errors: str = "strict"):
         """Read a text file (or directory) as an RDD of lines.
 
         The file is split into HDFS-style blocks; each block becomes one
         partition, so partition count tracks input size exactly as in Spark.
+        ``decode_errors`` is handed to the UTF-8 decoder — the tolerant
+        parse modes pass ``"replace"`` so undecodable bytes surface as
+        malformed records instead of aborting the whole read.
         """
         from repro.spark.rdd import RDD
 
@@ -83,7 +111,7 @@ class SparkContext:
         )
 
         def compute(split: int):
-            return blocks[split].read_lines()
+            return blocks[split].read_lines(decode_errors=decode_errors)
 
         return RDD(self, compute, len(blocks), name="textFile({})".format(uri))
 
@@ -95,9 +123,15 @@ class SparkContext:
         self._next_rdd_id += 1
         return self._next_rdd_id
 
+    def next_shuffle_id(self) -> int:
+        shuffle_id = self._next_shuffle_id
+        self._next_shuffle_id += 1
+        return shuffle_id
+
     def reset_metrics(self) -> None:
         self.executors.reset_metrics()
         self.shuffle_metrics.reset()
+        self.faults.reset()
 
 
 class SparkSession:

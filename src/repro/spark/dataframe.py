@@ -534,9 +534,53 @@ class DataFrameReader:
     def __init__(self, session):
         self.session = session
 
-    def json(self, uri: str, min_partitions: Optional[int] = None) -> DataFrame:
-        lines = self.session.spark_context.text_file(uri, min_partitions)
-        raw = lines.map(json.loads).cache()
+    def json(self, uri: str, min_partitions: Optional[int] = None,
+             mode: str = "failfast",
+             corrupt_field: str = "_corrupt_record",
+             faults=None) -> DataFrame:
+        """Read JSON Lines with schema inference.
+
+        ``mode`` is the Spark-style parse mode (``failfast``,
+        ``permissive``, ``dropmalformed``); in ``permissive`` mode a
+        corrupt line becomes a record carrying the raw text under
+        ``corrupt_field``, which schema inference then surfaces as a
+        string column.  ``faults`` is an optional
+        :class:`repro.spark.faults.FaultManager` that counts every
+        tolerated malformed line.
+        """
+        from repro.jsoniq.jsonlines import PARSE_MODES, JsonSyntaxError
+
+        if mode not in PARSE_MODES:
+            raise ValueError("unknown parse mode: " + mode)
+        lines = self.session.spark_context.text_file(
+            uri, min_partitions,
+            decode_errors="strict" if mode == "failfast" else "replace",
+        )
+
+        def decode(text: str):
+            try:
+                return json.loads(text)
+            except ValueError as error:
+                if mode == "failfast":
+                    raise JsonSyntaxError(str(error)) from error
+                if faults is not None:
+                    faults.record(
+                        "malformed_dropped" if mode == "dropmalformed"
+                        else "malformed_captured",
+                        "MalformedRecord",
+                        mode=mode, reason=str(error)[:120],
+                    )
+                if mode == "permissive":
+                    return {corrupt_field: text}
+                return None
+
+        def decode_lines(part):
+            for line in part:
+                record = decode(line)
+                if record is not None:
+                    yield record
+
+        raw = lines.map_partitions(decode_lines).cache()
         schema = infer_schema(raw.to_local_iterator())
         records = raw.map(lambda record: coerce_record(record, schema))
         return DataFrame(self.session, records, schema)

@@ -1,0 +1,291 @@
+"""Fault injection and recovery bookkeeping for the substrate.
+
+Spark's headline property — the reason the paper runs JSONiq *on Spark*
+rather than on a single-machine engine — is lineage-based fault
+tolerance: every partition is a pure function of its inputs, so any lost
+piece of work can be recomputed instead of failing the query.  This
+module provides the two halves of reproducing that story:
+
+* :class:`FaultPlan`, a deterministic, seed-driven *chaos harness*.  A
+  plan is a pure function from fault-site coordinates (stage, partition,
+  attempt — or shuffle, reduce partition, attempt) to fault decisions,
+  so the same seed injects exactly the same crashes, executor deaths,
+  shuffle-fetch failures and slow-task delays in every run, regardless
+  of thread interleaving or ``PYTHONHASHSEED``.
+
+* :class:`FaultManager`, the per-context ledger of recovery actions
+  (retries, blacklists, speculation outcomes, recomputed partitions,
+  malformed records).  Every action is counted locally and, while an
+  observability bundle is attached, mirrored as a ``rumble.fault.*``
+  metric plus an event-log entry — so ``Rumble.profile()`` shows the
+  full recovery history of a chaos run.
+
+The key invariant (pinned by the property tests): under any plan whose
+``max_failures_per_task`` stays at or below the executor pool's retry
+budget, every query returns results identical to a fault-free run.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+
+class TaskFailure(RuntimeError):
+    """A task failed more times than ``max_retries`` allows, or failed
+    with a non-retryable error (then also an instance of that error's
+    class, via :func:`wrap_task_error`).  Carries ``stage_id``,
+    ``partition`` and ``attempt`` when raised by the executor pool."""
+
+    stage_id: Optional[int] = None
+    partition: Optional[int] = None
+    attempt: Optional[int] = None
+
+
+class InjectedTaskCrash(RuntimeError):
+    """A chaos-harness-injected task crash.  Retryable by definition:
+    the fault models infrastructure, not the query."""
+
+    retryable = True
+
+
+class ExecutorLostError(RuntimeError):
+    """The executor running a task died; the attempt is lost."""
+
+    retryable = True
+
+
+class ShuffleFetchFailure(RuntimeError):
+    """Reading a shuffle bucket failed: a map output is gone.
+
+    Spark reacts by invalidating the lost map output and re-running only
+    the producing partition (lineage recovery), which is exactly what
+    :meth:`repro.spark.rdd.RDD._shuffled` does on catching the injected
+    form of this failure.
+    """
+
+    retryable = True
+
+    def __init__(self, shuffle_id: int, reduce_partition: int,
+                 lost_map_partition: int):
+        super().__init__(
+            "shuffle {} fetch failed for reduce partition {}: map output "
+            "{} is lost".format(shuffle_id, reduce_partition,
+                                lost_map_partition)
+        )
+        self.shuffle_id = shuffle_id
+        self.reduce_partition = reduce_partition
+        self.lost_map_partition = lost_map_partition
+
+
+_WRAPPED_CLASSES: Dict[type, type] = {}
+
+
+def wrap_task_error(error: BaseException, stage_id: int, partition: int,
+                    attempt: int) -> TaskFailure:
+    """Wrap a non-retryable task error in :class:`TaskFailure` without
+    losing its catchability.
+
+    The wrapper class derives from *both* ``TaskFailure`` and the
+    original error's class, so ``except TypeException`` (the query-level
+    contract) and ``except TaskFailure`` (the substrate-level contract)
+    both still catch it, and the partition/stage/attempt context travels
+    with the exception in inline and thread mode alike.
+    """
+    cls = type(error)
+    if isinstance(error, TaskFailure):
+        wrapped = error
+    else:
+        derived = _WRAPPED_CLASSES.get(cls)
+        if derived is None:
+            derived = type(cls.__name__, (TaskFailure, cls), {
+                "__module__": cls.__module__,
+            })
+            _WRAPPED_CLASSES[cls] = derived
+        wrapped = derived.__new__(derived)
+        wrapped.__dict__.update(getattr(error, "__dict__", {}))
+        wrapped.args = error.args
+        wrapped.__cause__ = error
+    wrapped.stage_id = stage_id
+    wrapped.partition = partition
+    wrapped.attempt = attempt
+    return wrapped
+
+
+def _site_rng(seed: int, *coordinates: int) -> random.Random:
+    """A deterministic RNG for one fault site.
+
+    Mixes the coordinates arithmetically (no ``hash()``, which would
+    vary with ``PYTHONHASHSEED`` for some types) so a decision depends
+    only on (seed, site), never on evaluation order.
+    """
+    value = (seed & 0xFFFFFFFF) ^ 0x9E3779B9
+    for coordinate in coordinates:
+        value = (value * 1_000_003 + coordinate * 2 + 1) & 0xFFFFFFFFFFFF
+    return random.Random(value)
+
+
+class FaultPlan:
+    """A deterministic schedule of infrastructure faults.
+
+    Two ways to schedule faults, freely combined:
+
+    * **rates** — each potential fault site fails independently with the
+      given probability, derived from ``seed`` (the chaos-harness mode);
+    * **explicit sites** — exact ``(stage_id, partition, attempt)``
+      coordinates (and ``(shuffle_id, reduce_partition, attempt) ->
+      lost_map`` for fetch failures), for tests that need exact counts.
+
+    ``max_failures_per_task`` bounds how many attempts of one task the
+    *rate-driven* faults may hit; keeping it at or below the executor
+    pool's ``max_retries`` guarantees recovery (the acceptance property).
+    Explicit sites are taken literally — scheduling one past the budget
+    is how tests provoke a permanent :class:`TaskFailure`.
+
+    The plan counts everything it injects in :attr:`injected`, so tests
+    can assert that the observed ``rumble.fault.*`` metrics match the
+    injected fault counts exactly.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        crash_rate: float = 0.0,
+        executor_death_rate: float = 0.0,
+        fetch_failure_rate: float = 0.0,
+        slow_task_rate: float = 0.0,
+        slow_task_seconds: float = 1.0,
+        max_failures_per_task: int = 2,
+        crashes: Iterable[Tuple[int, int, int]] = (),
+        executor_deaths: Iterable[Tuple[int, int, int]] = (),
+        fetch_failures: Optional[Dict[Tuple[int, int, int], int]] = None,
+        slow_tasks: Optional[Dict[Tuple[int, int, int], float]] = None,
+    ):
+        self.seed = seed
+        self.crash_rate = crash_rate
+        self.executor_death_rate = executor_death_rate
+        self.fetch_failure_rate = fetch_failure_rate
+        self.slow_task_rate = slow_task_rate
+        self.slow_task_seconds = slow_task_seconds
+        self.max_failures_per_task = max_failures_per_task
+        self.crashes: Set[Tuple[int, int, int]] = set(crashes)
+        self.executor_deaths: Set[Tuple[int, int, int]] = set(
+            executor_deaths
+        )
+        self.fetch_failures: Dict[Tuple[int, int, int], int] = dict(
+            fetch_failures or {}
+        )
+        self.slow_tasks: Dict[Tuple[int, int, int], float] = dict(
+            slow_tasks or {}
+        )
+        self.injected: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def _count(self, kind: str) -> None:
+        with self._lock:
+            self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    def _within_budget(self, attempt: int) -> bool:
+        return attempt <= self.max_failures_per_task
+
+    # -- Decision points consulted by the executor pool ----------------------
+    def executor_dies(self, stage_id: int, partition: int,
+                      attempt: int) -> bool:
+        site = (stage_id, partition, attempt)
+        hit = site in self.executor_deaths or (
+            self.executor_death_rate > 0.0
+            and self._within_budget(attempt)
+            and _site_rng(self.seed, 1, *site).random()
+            < self.executor_death_rate
+        )
+        if hit:
+            self._count("executor_deaths")
+        return hit
+
+    def should_crash(self, stage_id: int, partition: int,
+                     attempt: int) -> bool:
+        site = (stage_id, partition, attempt)
+        hit = site in self.crashes or (
+            self.crash_rate > 0.0
+            and self._within_budget(attempt)
+            and _site_rng(self.seed, 2, *site).random() < self.crash_rate
+        )
+        if hit:
+            self._count("crashes")
+        return hit
+
+    def slow_task_delay(self, stage_id: int, partition: int,
+                        attempt: int) -> float:
+        site = (stage_id, partition, attempt)
+        if site in self.slow_tasks:
+            self._count("slow_tasks")
+            return self.slow_tasks[site]
+        if (
+            self.slow_task_rate > 0.0
+            and _site_rng(self.seed, 3, *site).random()
+            < self.slow_task_rate
+        ):
+            self._count("slow_tasks")
+            return self.slow_task_seconds
+        return 0.0
+
+    # -- Decision point consulted by the shuffle read path -------------------
+    def fetch_failure(self, shuffle_id: int, reduce_partition: int,
+                      attempt: int, num_map_partitions: int
+                      ) -> Optional[int]:
+        """The map partition lost for this fetch attempt, or None."""
+        if num_map_partitions <= 0:
+            return None
+        site = (shuffle_id, reduce_partition, attempt)
+        if site in self.fetch_failures:
+            self._count("fetch_failures")
+            return self.fetch_failures[site] % num_map_partitions
+        if self.fetch_failure_rate > 0.0 and self._within_budget(attempt):
+            rng = _site_rng(self.seed, 4, *site)
+            if rng.random() < self.fetch_failure_rate:
+                self._count("fetch_failures")
+                return rng.randrange(num_map_partitions)
+        return None
+
+    def reset_counts(self) -> None:
+        with self._lock:
+            self.injected = {}
+
+
+class FaultManager:
+    """The per-context ledger of faults observed and recoveries taken.
+
+    Always counts (plain dict increments — cheap enough to leave on),
+    and mirrors every action into the attached observability bundle as a
+    ``rumble.fault.<kind>`` counter plus an event-log entry.  Owned by
+    :class:`repro.spark.context.SparkContext`; the executor pool, the
+    shuffle read path and the JSON parse modes all report through it.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None):
+        self.plan = plan
+        self.counts: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        #: The attached :class:`repro.obs.Observability`, installed and
+        #: removed by its ``attach``/``detach``; None when not profiling.
+        self.observer = None
+
+    def record(self, kind: str, event: Optional[str] = None,
+               **fields) -> None:
+        with self._lock:
+            self.counts[kind] = self.counts.get(kind, 0) + 1
+        observer = self.observer
+        if observer is not None:
+            observer.metrics.counter("rumble.fault." + kind).inc()
+            if event is not None:
+                observer.events.emit(event, kind=kind, **fields)
+
+    def count(self, kind: str) -> int:
+        return self.counts.get(kind, 0)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.counts = {}
+        if self.plan is not None:
+            self.plan.reset_counts()

@@ -27,7 +27,7 @@ from repro.spark.shuffle import (
     HashPartitioner,
     Partitioner,
     RangePartitioner,
-    shuffle_pairs,
+    bucketize,
 )
 
 
@@ -285,24 +285,89 @@ class RDD:
         """Build the child of a shuffle boundary.
 
         The shuffle itself runs lazily, once, on first partition access:
-        the parent's partitions are evaluated as a stage, pairs are routed
-        to buckets, and the child serves bucket ``i`` as partition ``i``.
+        the parent's partitions are evaluated as a stage and each one's
+        pairs are routed into its *own* per-reducer buckets — the map
+        outputs.  The child serves reduce partition ``i`` by fetching
+        bucket ``i`` from every map output in order (byte-identical to a
+        single global shuffle).
+
+        Keeping map outputs separate per producing partition is what
+        makes lineage recovery surgical: a shuffle-fetch failure (from
+        the chaos plan) invalidates only the lost map output, and only
+        that producing partition is re-run — not the reading task, not
+        the whole upstream stage.
         """
         parent = self
+        context = self.context
         state: Dict[str, Any] = {}
+        shuffle_id = context.next_shuffle_id()
 
-        def buckets() -> List[List[Tuple[Any, Any]]]:
-            if "buckets" not in state:
+        def build_map_outputs() -> List[List[List[Tuple[Any, Any]]]]:
+            if "outputs" not in state:
                 parts = parent._run_all_partitions()
-                state["buckets"] = shuffle_pairs(
-                    (to_pairs(iter(part)) for part in parts),
-                    partitioner,
-                    metrics=parent.context.shuffle_metrics,
-                )
-            return state["buckets"]
+                metrics = context.shuffle_metrics
+                weigh = metrics.measure_bytes
+                outputs = []
+                moved = 0
+                size = 0
+                for part in parts:
+                    buckets, part_moved, part_size = bucketize(
+                        to_pairs(iter(part)), partitioner, weigh
+                    )
+                    outputs.append(buckets)
+                    moved += part_moved
+                    size += part_size
+                state["outputs"] = outputs
+                metrics.record(moved, size)
+            return state["outputs"]
+
+        def recompute_map_output(lost: int) -> None:
+            """Lineage recovery: re-run only the producing partition."""
+
+            def recompute_task() -> List[Any]:
+                return list(parent.compute_partition(lost))
+
+            part = context.executors.run_stage(
+                [recompute_task],
+                label="recompute({}<-{})".format(name, parent.name),
+            )[0]
+            buckets, _, _ = bucketize(to_pairs(iter(part)), partitioner)
+            state["outputs"][lost] = buckets
+            context.faults.record(
+                "recomputed_partitions", "ShuffleRecovery",
+                shuffle_id=shuffle_id, map_partition=lost,
+            )
+
+        def fetch(split: int) -> List[List[Tuple[Any, Any]]]:
+            """The reduce-side fetch of bucket ``split``, with recovery."""
+            outputs = build_map_outputs()
+            plan = context.faults.plan
+            if plan is not None:
+                recovered = state.setdefault("recovered", set())
+                if split not in recovered:
+                    recovered.add(split)
+                    budget = context.executors.max_retries + 1
+                    for attempt in range(1, budget + 1):
+                        lost = plan.fetch_failure(
+                            shuffle_id, split, attempt, len(outputs)
+                        )
+                        if lost is None:
+                            break
+                        context.faults.record(
+                            "fetch_failures", "ShuffleFetchFailed",
+                            shuffle_id=shuffle_id, reduce_partition=split,
+                            attempt=attempt, map_partition=lost,
+                        )
+                        recompute_map_output(lost)
+                    else:
+                        from repro.spark.faults import ShuffleFetchFailure
+
+                        raise ShuffleFetchFailure(shuffle_id, split, lost)
+                    outputs = state["outputs"]
+            return [output[split] for output in outputs]
 
         def compute(split: int) -> Iterator[Tuple[Any, Any]]:
-            return iter(buckets()[split])
+            return itertools.chain.from_iterable(fetch(split))
 
         child = RDD(
             self.context,

@@ -124,6 +124,31 @@ class ShuffleMetrics:
         self.bytes = 0
 
 
+def bucketize(
+    pairs: Iterable[Tuple[Any, Any]],
+    partitioner: Partitioner,
+    weigh: bool = False,
+) -> Tuple[List[List[Tuple[Any, Any]]], int, int]:
+    """Route one map partition's pairs into per-reducer buckets.
+
+    This is the *map side* of a shuffle: the returned bucket list is the
+    map output one task writes, kept separately per producing partition
+    so a lost output can be recomputed alone (lineage recovery).
+    Returns ``(buckets, records_moved, approximate_bytes)``.
+    """
+    buckets: List[List[Tuple[Any, Any]]] = [
+        [] for _ in range(partitioner.num_partitions)
+    ]
+    moved = 0
+    size = 0
+    for pair in pairs:
+        buckets[partitioner.partition_for(pair[0])].append(pair)
+        moved += 1
+        if weigh:
+            size += len(pickle.dumps(pair, protocol=4))
+    return buckets, moved, size
+
+
 def shuffle_pairs(
     partitions: Iterable[Iterable[Tuple[Any, Any]]],
     partitioner: Partitioner,
@@ -141,12 +166,13 @@ def shuffle_pairs(
     size = 0
     weigh = measure_bytes or (metrics is not None and metrics.measure_bytes)
     for partition in partitions:
-        for pair in partition:
-            key = pair[0]
-            buckets[partitioner.partition_for(key)].append(pair)
-            moved += 1
-            if weigh:
-                size += len(pickle.dumps(pair, protocol=4))
+        part_buckets, part_moved, part_size = bucketize(
+            partition, partitioner, weigh
+        )
+        for index, bucket in enumerate(part_buckets):
+            buckets[index].extend(bucket)
+        moved += part_moved
+        size += part_size
     if metrics is not None:
         metrics.record(moved, size)
     return buckets

@@ -38,7 +38,11 @@ class FileBlock:
     start: int
     length: int
 
-    def read_lines(self) -> Iterator[str]:
+    def read_lines(self, decode_errors: str = "strict") -> Iterator[str]:
+        """Yield the block's lines.  ``decode_errors`` follows the codec
+        convention (``"strict"``, ``"replace"``, ...): the tolerant parse
+        modes read with ``"replace"`` so one undecodable byte becomes a
+        malformed *record* rather than aborting the whole partition."""
         end = self.start + self.length
         with open(self.path, "rb") as handle:
             if self.start > 0:
@@ -54,7 +58,9 @@ class FileBlock:
                 line = handle.readline()
                 if not line:
                     return
-                text = line.decode("utf-8").rstrip("\n").rstrip("\r")
+                text = line.decode(
+                    "utf-8", errors=decode_errors
+                ).rstrip("\n").rstrip("\r")
                 if text:
                     yield text
 

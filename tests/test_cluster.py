@@ -7,6 +7,7 @@ from repro.spark.cluster import (
     TaskFailure,
     simulate_makespan,
 )
+from repro.spark.faults import FaultManager, FaultPlan
 from repro.jsoniq.errors import DynamicException
 
 
@@ -65,8 +66,7 @@ class TestFailureRecovery:
 
     def test_injected_failures(self):
         pool = ExecutorPool(
-            failure_injector=lambda partition, attempt:
-                partition == 1 and attempt == 1
+            faults=FaultManager(FaultPlan(crashes={(0, 1, 1)}))
         )
         results = pool.run_stage([lambda i=i: i for i in range(3)])
         assert results == [0, 1, 2]
@@ -84,6 +84,20 @@ class TestFailureRecovery:
         with pytest.raises(DynamicException):
             pool.run_stage([typed_error])
         assert attempts["n"] == 1
+
+    def test_query_errors_carry_task_context(self):
+        """A non-retryable error is wrapped: still catchable by its own
+        class, but also a TaskFailure carrying partition/attempt info."""
+
+        def typed_error():
+            raise DynamicException("deterministic")
+
+        pool = ExecutorPool(max_retries=3)
+        with pytest.raises(DynamicException) as info:
+            pool.run_stage([lambda: 1, typed_error])
+        assert isinstance(info.value, TaskFailure)
+        assert info.value.partition == 1
+        assert info.value.attempt == 1
 
 
 class TestMakespanSimulation:

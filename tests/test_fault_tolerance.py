@@ -7,22 +7,15 @@ import pytest
 from repro.core import Rumble, make_engine
 from repro.jsoniq.errors import TypeException
 from repro.spark.cluster import TaskFailure
+from repro.spark.faults import FaultPlan
 
 
 class TestQueryLevelFaultTolerance:
     def _flaky_engine(self, fail_attempts: int) -> Rumble:
-        engine = make_engine(executors=2)
-        failures = {}
-
-        def injector(partition: int, attempt: int) -> bool:
-            count = failures.get(partition, 0)
-            if count < fail_attempts:
-                failures[partition] = count + 1
-                return True
-            return False
-
-        engine.spark.spark_context.executors.failure_injector = injector
-        return engine
+        """Every task crashes on its first ``fail_attempts`` attempts."""
+        return make_engine(executors=2, fault_plan=FaultPlan(
+            crash_rate=1.0, max_failures_per_task=fail_attempts,
+        ))
 
     def test_query_survives_transient_failures(self, jsonl_file):
         engine = self._flaky_engine(fail_attempts=2)
@@ -40,10 +33,10 @@ class TestQueryLevelFaultTolerance:
         assert max(attempts) > 1, "retries must actually have happened"
 
     def test_permanent_failure_surfaces(self, jsonl_file):
-        engine = make_engine(executors=2)
-        engine.spark.spark_context.executors.failure_injector = (
-            lambda partition, attempt: True
-        )
+        # A plan past the retry budget: every attempt of every task crashes.
+        engine = make_engine(executors=2, fault_plan=FaultPlan(
+            crash_rate=1.0, max_failures_per_task=10_000,
+        ))
         path = jsonl_file([{"v": 1}])
         with pytest.raises(TaskFailure):
             engine.query(
