@@ -1,0 +1,8 @@
+(: Grouping with heterogeneous keys — would error or lose types in SQL
+   (paper, Section 2).  parallelize() seeds RDD execution mode. :)
+for $i in parallelize((
+  { "key": "foo" }, { "key": 1 }, { "key": 1 },
+  { "key": "foo" }, { "key": true }
+))
+group by $key := $i.key
+return { "key": $key, "count": count($i) }

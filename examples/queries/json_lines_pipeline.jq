@@ -1,0 +1,11 @@
+(: A distributed pipeline: json-file() seeds the RDD execution mode and
+   the whole FLWOR stays distributed (see Rumble.explain()).  Linting
+   only analyses the query — the file is never opened. :)
+for $event in json-file("events.jsonl")
+where $event.status eq "error"
+group by $service := $event.service
+return {
+  "service": $service,
+  "errors": count($event),
+  "first": min($event.timestamp)
+}

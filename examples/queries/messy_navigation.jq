@@ -1,0 +1,9 @@
+(: Data independence over messy data: navigation never errors, absent
+   fields yield the empty sequence (paper, Section 3). :)
+for $record in (
+  { "value": 42 },
+  { "value": [1, 2, 3] },
+  { "value": "a string" },
+  { }
+)
+return { "got": ($record.value[], $record.value, "missing")[1] }

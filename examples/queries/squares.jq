@@ -1,0 +1,6 @@
+(: FLWOR basics: bind, filter, order, construct (quickstart §2). :)
+for $x in 1 to 10
+let $square := $x * $x
+where $square gt 20
+order by $square descending
+return { "x": $x, "square": $square }

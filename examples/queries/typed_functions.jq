@@ -1,0 +1,13 @@
+(: User-defined functions with declared sequence types: the static
+   analyzer checks the argument and trusts the return annotation. :)
+declare function local:fahrenheit($celsius as decimal) as decimal {
+  $celsius * 9 div 5 + 32
+};
+for $reading in (
+  { "city": "zurich", "celsius": 21.5 },
+  { "city": "oslo", "celsius": -3.0 }
+)
+return {
+  "city": $reading.city,
+  "fahrenheit": local:fahrenheit($reading.celsius cast as decimal)
+}

@@ -81,6 +81,16 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 0.05)",
     )
     parser.add_argument(
+        "--lint", action="store_true",
+        help="statically analyse the query and print diagnostics instead "
+             "of running it; exits 1 when any error-severity diagnostic "
+             "is reported",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="with --lint, how to render the diagnostics (default text)",
+    )
+    parser.add_argument(
         "--profile", action="store_true",
         help="run the query under the profiler and print the per-phase/"
              "per-operator breakdown after the results",
@@ -136,6 +146,9 @@ def main(argv=None) -> int:
         build_parser().print_usage(sys.stderr)
         return 2
 
+    if arguments.lint:
+        return _lint(query_text, arguments.format)
+
     try:
         if arguments.profile:
             report = engine.profile(query_text, cap=arguments.cap)
@@ -178,6 +191,24 @@ def main(argv=None) -> int:
     except JsoniqException as error:
         print("error: {}".format(error), file=sys.stderr)
         return 1
+
+
+def _lint(query_text: str, output_format: str) -> int:
+    """Run the linter and render its findings; exit 1 on errors."""
+    from repro.jsoniq.analysis.diagnostics import ERROR
+    from repro.jsoniq.analysis.linter import lint_query
+
+    diagnostics = lint_query(query_text)
+    if output_format == "json":
+        import json
+
+        print(json.dumps([d.to_dict() for d in diagnostics], indent=2))
+    elif diagnostics:
+        for diagnostic in diagnostics:
+            print(diagnostic.render())
+    else:
+        print("no issues found")
+    return 1 if any(d.severity == ERROR for d in diagnostics) else 0
 
 
 def _report_chaos(engine: Rumble, arguments) -> None:

@@ -139,6 +139,26 @@ class Rumble:
         )
         return compiled.run(bindings)
 
+    # -- Static tooling ----------------------------------------------------------------
+    def explain(self, query_text: str,
+                external_variables: Optional[Iterable[str]] = None) -> str:
+        """The statically annotated plan of a query, without running it.
+
+        Every line shows a node with its inferred sequence type and
+        planned execution mode (``local``/``rdd``/``dataframe``).
+        """
+        from repro.jsoniq.analysis.explain import render_module
+
+        module = jsoniq_parser.parse(query_text)
+        static_analysis.analyse(module, external=external_variables or ())
+        return render_module(module)
+
+    def lint(self, query_text: str):
+        """Diagnostics for a query (see docs/static_typing.md)."""
+        from repro.jsoniq.analysis.linter import lint_query
+
+        return lint_query(query_text)
+
     # -- Profiled execution ------------------------------------------------------------
     def profile(self, query_text: str,
                 bindings: Optional[Dict[str, object]] = None,
@@ -169,10 +189,18 @@ class Rumble:
                     module = jsoniq_parser.parse(query_text)
                 with obs.tracer.span("static-analysis"):
                     static_analysis.analyse(
-                        module, external=tuple(bindings or ())
+                        module, external=tuple(bindings or ()), obs=obs
                     )
                 with obs.tracer.span("compile"):
-                    iterator, globals_ = compile_main_module(module)
+                    from repro.jsoniq.compiler import Compiler
+
+                    compiler = Compiler()
+                    iterator, globals_ = compiler.compile_module(module)
+                    for kind, fired in compiler.stats.items():
+                        if fired:
+                            obs.metrics.counter(
+                                "rumble.static.fastpath", kind=kind
+                            ).inc(fired)
                     compiled = CompiledQuery(self, module, iterator, globals_)
                 with obs.tracer.span("optimize") as opt_span:
                     # Physical planning: choose the execution mode per

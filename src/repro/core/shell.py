@@ -24,6 +24,7 @@ Type a JSONiq query, end it with ';' on its own line. Commands:
   :help      this message
   :cap N     set the materialization cap
   :profile   toggle per-query profiling (phases, operators, shuffle)
+  :lint      toggle linting (diagnostics precede each query's results)
   :quit      leave the shell
 """
 
@@ -41,26 +42,42 @@ class RumbleShell:
         ))
         self.output = output or sys.stdout
         self.profiling = False
+        self.linting = False
 
     # -- One query ------------------------------------------------------------
     def execute(self, query_text: str) -> List[str]:
         """Run one query; returns the serialized items (capped).
 
         With profiling toggled on (``:profile``) the query runs under the
-        profiler and the breakdown table follows the items.
+        profiler and the breakdown table follows the items.  With linting
+        on (``:lint``) diagnostics precede the results, and a query with
+        error-severity diagnostics is not executed at all.
         """
+        if self.linting:
+            from repro.jsoniq.analysis.diagnostics import ERROR
+
+            diagnostics = self.engine.lint(query_text)
+            rendered = [
+                "lint: " + diagnostic.render()
+                for diagnostic in diagnostics
+            ]
+            if any(d.severity == ERROR for d in diagnostics):
+                return rendered
+            prefix = rendered
+        else:
+            prefix = []
         if self.profiling:
             report = self.engine.profile(query_text)
             rendered = [item.serialize() for item in report.items]
             rendered.extend(report.render().splitlines())
-            return rendered
+            return prefix + rendered
         result = self.engine.query(query_text)
         import warnings
 
         with warnings.catch_warnings():
             warnings.simplefilter("ignore")
             items = result.collect()
-        return [item.serialize() for item in items]
+        return prefix + [item.serialize() for item in items]
 
     def _print(self, text: str) -> None:
         self.output.write(text)
@@ -82,6 +99,11 @@ class RumbleShell:
             self.profiling = not self.profiling
             self._print("profiling {}".format(
                 "on" if self.profiling else "off"
+            ))
+        elif command == ":lint":
+            self.linting = not self.linting
+            self._print("linting {}".format(
+                "on" if self.linting else "off"
             ))
         else:
             self._print("unknown command: " + line)

@@ -1,0 +1,43 @@
+"""Static analysis: type inference, mode planning and linting.
+
+The package splits into:
+
+* :mod:`~repro.jsoniq.analysis.types` — the sequence-type lattice;
+* :mod:`~repro.jsoniq.analysis.modes` — the execution-mode lattice;
+* :mod:`~repro.jsoniq.analysis.signatures` — builtin type signatures;
+* :mod:`~repro.jsoniq.analysis.diagnostics` — the diagnostic sink;
+* :mod:`~repro.jsoniq.analysis.inference` — the analyzer itself;
+* :mod:`~repro.jsoniq.analysis.linter` — ``--lint`` rule layer;
+* :mod:`~repro.jsoniq.analysis.explain` — the annotated plan renderer.
+"""
+
+from repro.jsoniq.analysis.diagnostics import (  # noqa: F401
+    Diagnostic,
+    DiagnosticSink,
+    ERROR,
+    INFO,
+    WARNING,
+    render_text,
+)
+from repro.jsoniq.analysis.explain import render_module  # noqa: F401
+from repro.jsoniq.analysis.inference import (  # noqa: F401
+    AnalysisResult,
+    Analyzer,
+    Binding,
+)
+from repro.jsoniq.analysis.linter import lint_query  # noqa: F401
+from repro.jsoniq.analysis.modes import (  # noqa: F401
+    DATAFRAME,
+    LOCAL,
+    RDD,
+    combine,
+    is_distributed,
+)
+from repro.jsoniq.analysis.types import (  # noqa: F401
+    ITEM_STAR,
+    SType,
+    from_sequence_type,
+    lub,
+    may_match,
+    subtype,
+)

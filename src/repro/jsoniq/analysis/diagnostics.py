@@ -1,0 +1,105 @@
+"""Diagnostics: the sink the analyzer and linter report into.
+
+A :class:`Diagnostic` is one finding — a W3C error code or an ``RBL``
+lint code, a severity, a source position and a message.  The sink
+collects them during analysis; the CLI (``--lint``), the shell
+(``:lint``) and the CI lint job render them as text or JSON.
+
+Lint codes (see docs/static_typing.md for the full table):
+
+========  ========  =====================================================
+code      severity  meaning
+========  ========  =====================================================
+RBL001    warning   variable is bound but never referenced
+RBL002    warning   binding shadows an earlier binding of the same name
+RBL003    info      constant subexpression could be folded
+RBL004    warning   comparison of incompatible types (false/empty always)
+RBL005    warning   ``count($x) eq 0`` antipattern — use empty()/exists()
+========  ========  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+class Diagnostic:
+    """One finding of the static analyzer or the linter."""
+
+    __slots__ = ("code", "severity", "line", "column", "message")
+
+    def __init__(self, code: str, severity: str, message: str,
+                 line: int = 0, column: int = 0):
+        self.code = code
+        self.severity = severity
+        self.message = message
+        self.line = line or 0
+        self.column = column or 0
+
+    def render(self) -> str:
+        return "{}:{} {} [{}] {}".format(
+            self.line, self.column, self.severity, self.code, self.message
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Diagnostic({})".format(self.render())
+
+
+class DiagnosticSink:
+    """Collects diagnostics during one analysis run."""
+
+    def __init__(self) -> None:
+        self.diagnostics: List[Diagnostic] = []
+
+    def add(self, diagnostic: Diagnostic) -> Diagnostic:
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def report(self, code: str, severity: str, message: str,
+               node=None, line: int = 0, column: int = 0) -> Diagnostic:
+        if node is not None:
+            line = getattr(node, "line", 0) or line
+            column = getattr(node, "column", 0) or column
+        return self.add(Diagnostic(code, severity, message, line, column))
+
+    def has_errors(self) -> bool:
+        return any(d.severity == ERROR for d in self.diagnostics)
+
+    def severity_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.severity] = counts.get(
+                diagnostic.severity, 0
+            ) + 1
+        return counts
+
+    def sorted(self) -> List[Diagnostic]:
+        """Position order, errors first within one position."""
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (
+                d.line, d.column, _SEVERITY_RANK.get(d.severity, 3), d.code
+            ),
+        )
+
+
+def render_text(diagnostics: List[Diagnostic],
+                header: Optional[str] = None) -> str:
+    lines = [header] if header else []
+    lines.extend(d.render() for d in diagnostics)
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Render an analysed module as an annotated static plan.
+
+Used by ``Rumble.explain(query)``: every line shows the node label plus
+its inferred sequence type and planned execution mode, so a user can see
+*before running anything* which part of the query stays on the driver
+and which part the engine will push to the cluster.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.jsoniq import ast
+
+
+def _label(node: ast.AstNode) -> str:
+    name = type(node).__name__
+    extra = ""
+    if isinstance(node, ast.Literal):
+        extra = " {!r}".format(node.value)
+    elif isinstance(node, ast.VariableReference):
+        extra = " ${}".format(node.name)
+    elif isinstance(node, ast.FunctionCall):
+        extra = " {}#{}".format(node.name, len(node.arguments))
+    elif isinstance(node, (ast.BinaryExpression,
+                           ast.ComparisonExpression,
+                           ast.UnaryExpression)):
+        extra = " {}".format(node.op)
+    elif isinstance(node, (ast.ForClause, ast.LetClause,
+                           ast.CountClause, ast.WindowClause)):
+        extra = " ${}".format(node.variable)
+    elif isinstance(node, ast.ObjectLookup):
+        key = node.key
+        if isinstance(key, ast.Literal):
+            extra = " .{}".format(key.value)
+    return name + extra
+
+
+def _annotate(node: ast.AstNode) -> str:
+    static_type = getattr(node, "static_type", None)
+    mode = getattr(node, "execution_mode", None)
+    return "{}  [type={}, mode={}]".format(
+        _label(node), static_type if static_type else "item*",
+        mode if mode else "local",
+    )
+
+
+def render_node(node: ast.AstNode, indent: int = 0,
+                lines: List[str] = None) -> List[str]:
+    if lines is None:
+        lines = []
+    lines.append("  " * indent + _annotate(node))
+    for child in node.children():
+        render_node(child, indent + 1, lines)
+    return lines
+
+
+def render_module(module: ast.MainModule) -> str:
+    lines = ["Static plan"]
+    for declaration in module.declarations:
+        if isinstance(declaration, ast.FunctionDeclaration):
+            lines.append("declare function {}#{}".format(
+                declaration.name, len(declaration.parameters)
+            ))
+            render_node(declaration.body, 1, lines)
+        elif isinstance(declaration, ast.VariableDeclaration):
+            lines.append("declare variable ${}".format(declaration.name))
+            if declaration.expression is not None:
+                render_node(declaration.expression, 1, lines)
+    render_node(module.expression, 0, lines)
+    return "\n".join(lines)

@@ -1,0 +1,1037 @@
+"""The multi-pass static analyzer: types, modes, diagnostics.
+
+Pass 1 (*infer*) walks the AST exactly once, doing four jobs at every
+node:
+
+* chain static contexts and resolve variables/functions (the paper's
+  Section 5.3 scope analysis, previously the whole static phase);
+* infer a :class:`~repro.jsoniq.analysis.types.SType` and store it on
+  ``node.static_type``;
+* plan the execution mode (``local``/``rdd``/``dataframe``) and store it
+  on ``node.execution_mode``;
+* report diagnostics into the sink — and raise
+  :class:`~repro.jsoniq.errors.StaticTypeException` for operations that
+  are *guaranteed* to fail at run time (unless analysing for the linter,
+  which collects instead of raising, or inside a ``try`` block, whose
+  errors are catchable by design and therefore only warned about).
+
+Pass 2 (*verify*) sweeps the tree and backfills conservative defaults
+(``item*`` / ``local``) on any node an exotic construction path skipped,
+so downstream consumers can rely on the annotations unconditionally.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Dict, List, Optional, Tuple
+
+from repro.jsoniq import ast
+from repro.jsoniq.analysis import modes
+from repro.jsoniq.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticSink,
+    ERROR,
+    WARNING,
+)
+from repro.jsoniq.analysis.signatures import signature_for
+from repro.jsoniq.analysis.types import (
+    EMPTY,
+    ITEM_STAR,
+    ONE,
+    OPTIONAL,
+    PLUS,
+    STAR,
+    SType,
+    arity_concat,
+    arity_from_range,
+    arity_multiply,
+    arity_union,
+    comparison_family,
+    from_sequence_type,
+    is_numeric_kind,
+    is_structured_kind,
+    is_temporal_kind,
+    kind_lub,
+    may_match,
+    sequence_lub,
+)
+from repro.jsoniq.errors import (
+    StaticCastException,
+    StaticException,
+    StaticTypeException,
+)
+from repro.jsoniq.static_context import StaticContext
+
+
+class Binding:
+    """What a variable name resolves to during analysis.
+
+    ``declared`` is the prolog/clause type annotation (enforced at run
+    time by the compiler's treat wrappers), ``inferred`` the analyzer's
+    estimate; the declared type wins when present.  ``origin`` chains
+    re-bindings — after a group-by, a non-grouping variable gets a fresh
+    Binding whose origin is the pre-group one, so usage counting
+    (`touch`) credits the original binding too.
+    """
+
+    __slots__ = ("name", "kind", "declared", "inferred", "mode",
+                 "line", "column", "references", "origin")
+
+    def __init__(self, name: str, kind: str = "let",
+                 declared: Optional[SType] = None,
+                 inferred: Optional[SType] = None,
+                 mode: str = modes.LOCAL,
+                 line: int = 0, column: int = 0,
+                 origin: Optional["Binding"] = None):
+        self.name = name
+        self.kind = kind  # let|for|window|position|count|group-key|param|...
+        self.declared = declared
+        self.inferred = inferred
+        self.mode = mode
+        self.line = line
+        self.column = column
+        self.references = 0
+        self.origin = origin
+
+    @property
+    def type(self) -> SType:
+        return self.declared or self.inferred or ITEM_STAR
+
+    def touch(self) -> None:
+        binding: Optional[Binding] = self
+        while binding is not None:
+            binding.references += 1
+            binding = binding.origin
+
+
+class AnalysisResult:
+    """Summary attached to the module as ``module.analysis``."""
+
+    def __init__(self, sink: DiagnosticSink, node_count: int,
+                 binding_count: int):
+        self.sink = sink
+        self.node_count = node_count
+        self.binding_count = binding_count
+
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        return self.sink.sorted()
+
+
+#: Binding kinds the unused-variable lint reports on.  Parameters and
+#: globals are excluded (both are legitimate as part of an interface),
+#: as are grouping keys — the GroupByClause itself consumes the key even
+#: when the return expression never mentions it.
+LINTABLE_BINDINGS = frozenset(
+    {"let", "for", "window", "position", "count"}
+)
+
+
+class Analyzer:
+    """One analysis run over one main module (or expression)."""
+
+    def __init__(self, sink: Optional[DiagnosticSink] = None,
+                 collect_type_errors: bool = False):
+        self.sink = sink if sink is not None else DiagnosticSink()
+        #: Linter mode: collect guaranteed type errors as diagnostics and
+        #: keep going, instead of raising on the first one.
+        self.collect_type_errors = collect_type_errors
+        self.bindings: List[Binding] = []
+        self._try_depth = 0
+        self._context_item_types: List[SType] = []
+
+    # -- entry points --------------------------------------------------------
+    def analyse_module(self, module: ast.MainModule, external=(),
+                       obs=None) -> StaticContext:
+        tracer = obs.tracer if obs is not None and obs.enabled else None
+        span = tracer.span("static.infer") if tracer else nullcontext()
+        with span:
+            root = self._infer_module(module, external)
+        span = tracer.span("static.verify") if tracer else nullcontext()
+        with span:
+            node_count = self._verify(module)
+        module.analysis = AnalysisResult(
+            self.sink, node_count, len(self.bindings)
+        )
+        if obs is not None and obs.enabled:
+            metrics = obs.metrics
+            metrics.counter("rumble.static.nodes").inc(node_count)
+            metrics.counter("rumble.static.bindings").inc(len(self.bindings))
+            for severity, count in self.sink.severity_counts().items():
+                metrics.counter(
+                    "rumble.static.diagnostics", severity=severity
+                ).inc(count)
+        return root
+
+    def _infer_module(self, module: ast.MainModule,
+                      external) -> StaticContext:
+        root = StaticContext()
+        for declaration in module.declarations:
+            if isinstance(declaration, ast.FunctionDeclaration):
+                root.declare_function(
+                    declaration.name, len(declaration.parameters), declaration
+                )
+        context: StaticContext = root
+        for name in external:
+            context = self._bind(
+                context, Binding(name, kind="external"), shadow_check=False
+            )
+        for declaration in module.declarations:
+            if isinstance(declaration, ast.FunctionDeclaration):
+                self._analyse_function(declaration, context)
+            elif isinstance(declaration, ast.VariableDeclaration):
+                declared = _declared_stype(declaration)
+                mode = modes.LOCAL
+                if declaration.expression is not None:
+                    inferred = self.visit(declaration.expression, context)
+                    self._check_declared(
+                        declared, inferred, declaration,
+                        "global variable ${}".format(declaration.name),
+                    )
+                    mode = declaration.expression.execution_mode
+                else:
+                    inferred = None
+                context = self._bind(context, Binding(
+                    declaration.name, kind="global", declared=declared,
+                    inferred=inferred, mode=mode,
+                    line=declaration.line, column=declaration.column,
+                ))
+            declaration.static_context = context
+        self.visit(module.expression, context)
+        module.static_context = context
+        module.static_type = module.expression.static_type
+        module.execution_mode = module.expression.execution_mode
+        return root
+
+    def _analyse_function(self, declaration: ast.FunctionDeclaration,
+                          context: StaticContext) -> None:
+        parameter_types = getattr(declaration, "parameter_types", None) or []
+        body_context = context
+        for index, parameter in enumerate(declaration.parameters):
+            declared = None
+            if index < len(parameter_types) and parameter_types[index]:
+                declared = from_sequence_type(parameter_types[index])
+            body_context = self._bind(body_context, Binding(
+                parameter, kind="param", declared=declared,
+                line=declaration.line, column=declaration.column,
+            ), shadow_check=False)
+        inferred = self.visit(declaration.body, body_context)
+        return_type = getattr(declaration, "return_type", None)
+        declared_return = (
+            from_sequence_type(return_type) if return_type else None
+        )
+        self._check_declared(
+            declared_return, inferred, declaration,
+            "body of function {}".format(declaration.name),
+        )
+        declaration.inferred_return = declared_return or inferred
+        declaration.static_type = declaration.inferred_return
+        declaration.execution_mode = declaration.body.execution_mode
+
+    # -- dispatch ------------------------------------------------------------
+    def visit(self, node: ast.AstNode, context: StaticContext) -> SType:
+        node.static_context = context
+        method = getattr(self, "_visit_" + type(node).__name__, None)
+        if method is None:
+            result = self._visit_generic(node, context)
+        else:
+            result = method(node, context)
+        node.static_type = result
+        if node.execution_mode is None:
+            node.execution_mode = modes.LOCAL
+        return result
+
+    def _visit_generic(self, node: ast.AstNode,
+                       context: StaticContext) -> SType:
+        child_modes = []
+        for child in node.children():
+            self.visit(child, context)
+            child_modes.append(child.execution_mode)
+        node.execution_mode = modes.combine(child_modes)
+        return ITEM_STAR
+
+    # -- helpers -------------------------------------------------------------
+    def _bind(self, context: StaticContext, binding: Binding,
+              shadow_check: bool = True) -> StaticContext:
+        self.bindings.append(binding)
+        if (
+            shadow_check
+            and binding.origin is None
+            and context.lookup_variable(binding.name) is not None
+        ):
+            self.sink.report(
+                "RBL002", WARNING,
+                "binding of ${} shadows an earlier binding".format(
+                    binding.name
+                ),
+                line=binding.line, column=binding.column,
+            )
+        return context.bind_variable(binding.name, binding)
+
+    def _type_error(self, message: str, node: ast.AstNode,
+                    code: str = "XPTY0004", exc=StaticTypeException) -> None:
+        """A guaranteed runtime failure, reported at compile time.
+
+        Inside a ``try`` block the error stays a warning: the query
+        author may be relying on catching it.
+        """
+        severity = WARNING if self._try_depth > 0 else ERROR
+        self.sink.report(code, severity, message, node=node)
+        if severity == ERROR and not self.collect_type_errors:
+            raise exc(
+                message, code=code, line=node.line, column=node.column
+            )
+
+    def _check_declared(self, declared: Optional[SType],
+                        inferred: Optional[SType], node: ast.AstNode,
+                        what: str) -> None:
+        if declared is None or inferred is None:
+            return
+        if not may_match(inferred, declared):
+            self._type_error(
+                "{} can never match its declared type {} "
+                "(inferred {})".format(what, declared, inferred),
+                node,
+            )
+
+    def _check_atomizable(self, operand_type: SType, node: ast.AstNode,
+                          what: str) -> None:
+        """Objects and arrays never atomize — a guaranteed XPTY0004
+        when the operand is provably non-empty."""
+        if (
+            is_structured_kind(operand_type.kind)
+            and operand_type.min_count >= 1
+        ):
+            self._type_error(
+                "{} must be atomic, got {}".format(what, operand_type), node
+            )
+
+    def _binding_of(self, context: StaticContext,
+                    name: str) -> Optional[Binding]:
+        value = context.lookup_variable(name)
+        return value if isinstance(value, Binding) else None
+
+    # -- literals and primaries ---------------------------------------------
+    def _visit_Literal(self, node: ast.Literal,
+                       context: StaticContext) -> SType:
+        node.is_constant = True
+        return SType(node.kind, ONE)
+
+    def _visit_EmptySequence(self, node, context) -> SType:
+        node.is_constant = True
+        return SType("item", EMPTY)
+
+    def _visit_VariableReference(self, node: ast.VariableReference,
+                                 context: StaticContext) -> SType:
+        context.require_variable(node.name, node.line, node.column)
+        binding = self._binding_of(context, node.name)
+        if binding is None:
+            return ITEM_STAR
+        binding.touch()
+        node.execution_mode = binding.mode
+        return binding.type
+
+    def _visit_ContextItem(self, node, context) -> SType:
+        if self._context_item_types:
+            return self._context_item_types[-1]
+        return SType("item", ONE)
+
+    def _visit_CommaExpression(self, node: ast.CommaExpression,
+                               context: StaticContext) -> SType:
+        types = [self.visit(child, context) for child in node.expressions]
+        node.execution_mode = modes.combine(
+            child.execution_mode for child in node.expressions
+        )
+        node.is_constant = all(
+            getattr(child, "is_constant", False)
+            for child in node.expressions
+        )
+        result = types[0]
+        for other in types[1:]:
+            kind = (
+                other.kind if result.arity == EMPTY
+                else result.kind if other.arity == EMPTY
+                else kind_lub(result.kind, other.kind)
+            )
+            result = SType(kind, arity_concat(result.arity, other.arity))
+        return result
+
+    def _visit_ObjectConstructor(self, node: ast.ObjectConstructor,
+                                 context: StaticContext) -> SType:
+        for key, value in node.pairs:
+            self.visit(key, context)
+            self.visit(value, context)
+        return SType("object", ONE)
+
+    def _visit_ArrayConstructor(self, node: ast.ArrayConstructor,
+                                context: StaticContext) -> SType:
+        if node.content is not None:
+            self.visit(node.content, context)
+        return SType("array", ONE)
+
+    # -- operators -----------------------------------------------------------
+    def _visit_BinaryExpression(self, node: ast.BinaryExpression,
+                                context: StaticContext) -> SType:
+        left = self.visit(node.left, context)
+        right = self.visit(node.right, context)
+        node.is_constant = (
+            getattr(node.left, "is_constant", False)
+            and getattr(node.right, "is_constant", False)
+        )
+        if node.op in ("and", "or"):
+            return SType("boolean", ONE)
+        return self._arithmetic_type(node, left, right)
+
+    def _arithmetic_type(self, node: ast.BinaryExpression, left: SType,
+                         right: SType) -> SType:
+        for operand in (left, right):
+            self._check_atomizable(
+                operand, node, "operand of {}".format(node.op)
+            )
+            family = comparison_family(operand.kind)
+            if (
+                family is not None
+                and family != "number"
+                and not is_temporal_kind(operand.kind)
+                and operand.min_count >= 1
+            ):
+                self._type_error(
+                    "operand of {} must be numeric, got {}".format(
+                        node.op, operand
+                    ),
+                    node,
+                )
+        arity = (
+            ONE if left.is_one and right.is_one
+            else EMPTY if (left.arity == EMPTY or right.arity == EMPTY)
+            else OPTIONAL
+        )
+        if arity == EMPTY:
+            return SType("item", EMPTY)
+        if is_numeric_kind(left.kind) and is_numeric_kind(right.kind):
+            return SType(_promote(node.op, left.kind, right.kind), arity)
+        if is_temporal_kind(left.kind) or is_temporal_kind(right.kind):
+            return SType("atomic", arity)
+        return SType("atomic", arity)
+
+    def _visit_UnaryExpression(self, node: ast.UnaryExpression,
+                               context: StaticContext) -> SType:
+        operand = self.visit(node.operand, context)
+        node.execution_mode = modes.LOCAL
+        node.is_constant = getattr(node.operand, "is_constant", False)
+        if node.op == "not":
+            return SType("boolean", ONE)
+        self._check_atomizable(
+            operand, node, "operand of unary {}".format(node.op)
+        )
+        family = comparison_family(operand.kind)
+        if family is not None and family != "number" \
+                and operand.min_count >= 1:
+            self._type_error(
+                "operand of unary {} must be numeric, got {}".format(
+                    node.op, operand
+                ),
+                node,
+            )
+        kind = operand.kind if is_numeric_kind(operand.kind) else "number"
+        return SType(kind, ONE if operand.is_one else OPTIONAL)
+
+    def _visit_ComparisonExpression(self, node: ast.ComparisonExpression,
+                                    context: StaticContext) -> SType:
+        left = self.visit(node.left, context)
+        right = self.visit(node.right, context)
+        node.is_constant = (
+            getattr(node.left, "is_constant", False)
+            and getattr(node.right, "is_constant", False)
+        )
+        value_comparison = node.op in (
+            "eq", "ne", "lt", "le", "gt", "ge"
+        )
+        for operand in (left, right):
+            self._check_atomizable(operand, node, "comparison operand")
+        left_family = comparison_family(left.kind)
+        right_family = comparison_family(right.kind)
+        if (
+            left_family is not None
+            and right_family is not None
+            and left_family != right_family
+            and "null" not in (left.kind, right.kind)
+        ):
+            if left.min_count >= 1 and right.min_count >= 1:
+                self._type_error(
+                    "cannot compare {} with {}".format(left, right), node
+                )
+            else:
+                self.sink.report(
+                    "RBL004", WARNING,
+                    "comparison of {} with {} can never be true".format(
+                        left, right
+                    ),
+                    node=node,
+                )
+        if value_comparison:
+            arity = ONE if left.is_one and right.is_one else OPTIONAL
+            return SType("boolean", arity)
+        return SType("boolean", ONE)
+
+    def _visit_RangeExpression(self, node: ast.RangeExpression,
+                               context: StaticContext) -> SType:
+        for child in (node.start, node.end):
+            operand = self.visit(child, context)
+            self._check_atomizable(operand, node, "range operand")
+            family = comparison_family(operand.kind)
+            if family is not None and family != "number" \
+                    and operand.min_count >= 1:
+                self._type_error(
+                    "range operand must be numeric, got {}".format(operand),
+                    node,
+                )
+        node.is_constant = (
+            getattr(node.start, "is_constant", False)
+            and getattr(node.end, "is_constant", False)
+        )
+        return SType("integer", STAR)
+
+    def _visit_StringConcatExpression(self, node: ast.StringConcatExpression,
+                                      context: StaticContext) -> SType:
+        for part in node.parts:
+            operand = self.visit(part, context)
+            self._check_atomizable(operand, part, "operand of ||")
+        node.is_constant = all(
+            getattr(part, "is_constant", False) for part in node.parts
+        )
+        return SType("string", ONE)
+
+    def _visit_InstanceOfExpression(self, node: ast.InstanceOfExpression,
+                                    context: StaticContext) -> SType:
+        self.visit(node.operand, context)
+        node.is_constant = getattr(node.operand, "is_constant", False)
+        return SType("boolean", ONE)
+
+    def _visit_TreatExpression(self, node: ast.TreatExpression,
+                               context: StaticContext) -> SType:
+        operand = self.visit(node.operand, context)
+        target = from_sequence_type(node.sequence_type)
+        if not may_match(operand, target):
+            self._type_error(
+                "treat as {} can never succeed on {}".format(
+                    node.sequence_type, operand
+                ),
+                node,
+                code="XPDY0050",
+            )
+        node.execution_mode = node.operand.execution_mode
+        return target
+
+    def _visit_CastExpression(self, node: ast.CastExpression,
+                              context: StaticContext) -> SType:
+        operand = self.visit(node.operand, context)
+        if node.castable:
+            return SType("boolean", ONE)
+        self._check_atomizable(operand, node, "cast operand")
+        if operand.arity == EMPTY and not node.allows_empty:
+            # The runtime reports this as a cast failure (FORG0001), so
+            # the compile-time version must be catchable as one too.
+            self._type_error(
+                "cannot cast the empty sequence to {}".format(
+                    node.type_name
+                ),
+                node,
+                code="FORG0001",
+                exc=StaticCastException,
+            )
+        kind = node.type_name if node.type_name in _CAST_KINDS else "atomic"
+        arity = (
+            OPTIONAL if (operand.can_be_empty and node.allows_empty)
+            else ONE
+        )
+        return SType(kind, arity)
+
+    # -- navigation ----------------------------------------------------------
+    def _visit_ObjectLookup(self, node: ast.ObjectLookup,
+                            context: StaticContext) -> SType:
+        source = self.visit(node.source, context)
+        self.visit(node.key, context)
+        node.execution_mode = node.source.execution_mode
+        return SType("item", arity_from_range(0, source.max_count))
+
+    def _visit_ArrayLookup(self, node: ast.ArrayLookup,
+                           context: StaticContext) -> SType:
+        source = self.visit(node.source, context)
+        index = self.visit(node.index, context)
+        family = comparison_family(index.kind)
+        if family is not None and family != "number" \
+                and index.min_count >= 1:
+            self._type_error(
+                "array index must be numeric, got {}".format(index), node
+            )
+        node.execution_mode = node.source.execution_mode
+        return SType("item", arity_from_range(0, source.max_count))
+
+    def _visit_ArrayUnboxing(self, node: ast.ArrayUnboxing,
+                             context: StaticContext) -> SType:
+        self.visit(node.source, context)
+        node.execution_mode = node.source.execution_mode
+        return ITEM_STAR
+
+    def _visit_Predicate(self, node: ast.Predicate,
+                         context: StaticContext) -> SType:
+        source = self.visit(node.source, context)
+        self._context_item_types.append(SType(source.kind, ONE))
+        try:
+            self.visit(node.condition, context)
+        finally:
+            self._context_item_types.pop()
+        node.execution_mode = node.source.execution_mode
+        return SType(source.kind, arity_from_range(0, source.max_count))
+
+    def _visit_SimpleMap(self, node: ast.SimpleMap,
+                         context: StaticContext) -> SType:
+        source = self.visit(node.source, context)
+        self._context_item_types.append(SType(source.kind, ONE))
+        try:
+            mapper = self.visit(node.mapper, context)
+        finally:
+            self._context_item_types.pop()
+        node.execution_mode = node.source.execution_mode
+        return SType(
+            mapper.kind, arity_multiply(source.arity, mapper.arity)
+        )
+
+    # -- control flow --------------------------------------------------------
+    def _visit_IfExpression(self, node: ast.IfExpression,
+                            context: StaticContext) -> SType:
+        self.visit(node.condition, context)
+        then_type = self.visit(node.then_branch, context)
+        else_type = self.visit(node.else_branch, context)
+        node.execution_mode = modes.combine(
+            (node.then_branch.execution_mode, node.else_branch.execution_mode)
+        )
+        return sequence_lub([then_type, else_type])
+
+    def _visit_SwitchExpression(self, node: ast.SwitchExpression,
+                                context: StaticContext) -> SType:
+        self.visit(node.subject, context)
+        results = []
+        for tests, result in node.cases:
+            for test in tests:
+                self.visit(test, context)
+            results.append(self.visit(result, context))
+        results.append(self.visit(node.default, context))
+        return sequence_lub(results)
+
+    def _visit_TryCatchExpression(self, node: ast.TryCatchExpression,
+                                  context: StaticContext) -> SType:
+        self._try_depth += 1
+        try:
+            try_type = self.visit(node.try_expr, context)
+        finally:
+            self._try_depth -= 1
+        catch_type = self.visit(node.catch_expr, context)
+        node.execution_mode = modes.combine(
+            (node.try_expr.execution_mode, node.catch_expr.execution_mode)
+        )
+        return sequence_lub([try_type, catch_type])
+
+    def _visit_TypeswitchExpression(self, node: ast.TypeswitchExpression,
+                                    context: StaticContext) -> SType:
+        self.visit(node.subject, context)
+        results = []
+        for variable, sequence_type, result in node.cases:
+            branch = context
+            if variable:
+                branch = self._bind(branch, Binding(
+                    variable, kind="case",
+                    declared=from_sequence_type(sequence_type),
+                    line=node.line, column=node.column,
+                ), shadow_check=False)
+            results.append(self.visit(result, branch))
+        branch = context
+        if node.default_variable:
+            branch = self._bind(branch, Binding(
+                node.default_variable, kind="case",
+                inferred=node.subject.static_type,
+                line=node.line, column=node.column,
+            ), shadow_check=False)
+        results.append(self.visit(node.default, branch))
+        return sequence_lub(results)
+
+    def _visit_QuantifiedExpression(self, node: ast.QuantifiedExpression,
+                                    context: StaticContext) -> SType:
+        binding_types = getattr(node, "binding_types", None) or []
+        inner = context
+        for index, (variable, expression) in enumerate(node.bindings):
+            source = self.visit(expression, inner)
+            declared = None
+            if index < len(binding_types) and binding_types[index]:
+                declared = from_sequence_type(binding_types[index])
+            inner = self._bind(inner, Binding(
+                variable, kind="quantifier", declared=declared,
+                inferred=SType(source.kind, ONE),
+                line=node.line, column=node.column,
+            ))
+        self.visit(node.condition, inner)
+        return SType("boolean", ONE)
+
+    # -- function calls ------------------------------------------------------
+    def _visit_FunctionCall(self, node: ast.FunctionCall,
+                            context: StaticContext) -> SType:
+        from repro.jsoniq.functions.registry import is_builtin
+
+        argument_types = [
+            self.visit(argument, context) for argument in node.arguments
+        ]
+        argument_modes = [
+            argument.execution_mode for argument in node.arguments
+        ]
+        if is_builtin(node.name, len(node.arguments)):
+            signature = signature_for(node.name, len(node.arguments))
+            if signature is None:
+                node.execution_mode = modes.combine(argument_modes)
+                return ITEM_STAR
+            for index, argument_type in enumerate(argument_types):
+                expected = signature.param_at(index)
+                if not may_match(argument_type, expected):
+                    self._type_error(
+                        "argument {} of {}() can never match {} "
+                        "(got {})".format(
+                            index + 1, node.name, expected, argument_type
+                        ),
+                        node.arguments[index],
+                    )
+            node.execution_mode = signature.mode or modes.LOCAL
+            return signature.return_type(argument_types)
+        declaration = context.lookup_function(
+            node.name, len(node.arguments)
+        )
+        if declaration is None:
+            raise StaticException(
+                "unknown function {}#{}".format(
+                    node.name, len(node.arguments)
+                ),
+                code="XPST0017",
+                line=node.line,
+                column=node.column,
+            )
+        parameter_types = getattr(declaration, "parameter_types", None) or []
+        for index, argument_type in enumerate(argument_types):
+            if index < len(parameter_types) and parameter_types[index]:
+                expected = from_sequence_type(parameter_types[index])
+                if not may_match(argument_type, expected):
+                    self._type_error(
+                        "argument {} of {}() can never match its declared "
+                        "type {} (got {})".format(
+                            index + 1, node.name, expected, argument_type
+                        ),
+                        node.arguments[index],
+                    )
+        node.execution_mode = modes.LOCAL
+        return getattr(declaration, "inferred_return", None) or ITEM_STAR
+
+    # -- FLWOR ---------------------------------------------------------------
+    def _visit_FlworExpression(self, node: ast.FlworExpression,
+                               context: StaticContext) -> SType:
+        if (
+            not node.clauses
+            or not isinstance(node.clauses[-1], ast.ReturnClause)
+        ):
+            raise StaticException(
+                "FLWOR expression must end with return",
+                code="XPST0003", line=node.line, column=node.column,
+            )
+        if not isinstance(
+            node.clauses[0],
+            (ast.ForClause, ast.LetClause, ast.WindowClause),
+        ):
+            raise StaticException(
+                "FLWOR expression must start with for or let",
+                code="XPST0003", line=node.line, column=node.column,
+            )
+        current = context
+        stream_mode = modes.LOCAL
+        #: how many tuples the stream may carry, as an occurrence range
+        multiplicity = ONE
+        flwor_bindings: Dict[str, Binding] = {}
+        return_type = ITEM_STAR
+        for clause in node.clauses:
+            clause.static_context = current
+            if isinstance(clause, ast.ForClause):
+                current, multiplicity, stream_mode = self._for_clause(
+                    clause, current, multiplicity, stream_mode,
+                    flwor_bindings,
+                )
+            elif isinstance(clause, ast.LetClause):
+                current = self._let_clause(clause, current, flwor_bindings)
+            elif isinstance(clause, ast.WindowClause):
+                current, multiplicity, stream_mode = self._window_clause(
+                    clause, current, stream_mode, flwor_bindings
+                )
+            elif isinstance(clause, ast.WhereClause):
+                self.visit(clause.condition, current)
+                multiplicity = arity_from_range(
+                    0, _range_high(multiplicity)
+                )
+            elif isinstance(clause, ast.GroupByClause):
+                current, multiplicity = self._group_by_clause(
+                    clause, current, multiplicity, flwor_bindings
+                )
+            elif isinstance(clause, ast.OrderByClause):
+                for spec in clause.specs:
+                    key_type = self.visit(spec.expression, current)
+                    self._check_atomizable(
+                        key_type, spec.expression, "order by key"
+                    )
+            elif isinstance(clause, ast.CountClause):
+                binding = Binding(
+                    clause.variable, kind="count",
+                    inferred=SType("integer", ONE),
+                    line=clause.line, column=clause.column,
+                )
+                current = self._bind(current, binding)
+                flwor_bindings[clause.variable] = binding
+            elif isinstance(clause, ast.ReturnClause):
+                return_type = self.visit(clause.expression, current)
+                clause.execution_mode = modes.combine(
+                    (stream_mode, clause.expression.execution_mode)
+                )
+            if clause.execution_mode is None:
+                clause.execution_mode = stream_mode
+            if clause.static_type is None:
+                clause.static_type = ITEM_STAR
+        node.execution_mode = modes.combine(
+            (stream_mode, node.clauses[-1].execution_mode)
+        )
+        result_arity = arity_multiply(multiplicity, return_type.arity)
+        return SType(return_type.kind, result_arity)
+
+    def _for_clause(self, clause: ast.ForClause, context: StaticContext,
+                    multiplicity: str, stream_mode: str,
+                    flwor_bindings: Dict[str, Binding]):
+        source = self.visit(clause.expression, context)
+        declared = _declared_stype(clause)
+        item_arity = ONE
+        source_arity = source.arity
+        if clause.allowing_empty:
+            item_arity = OPTIONAL if source.can_be_empty else ONE
+            source_arity = arity_from_range(
+                1, max(_range_high_or(source.arity, 1), 1)
+            )
+        inferred = SType(source.kind, item_arity)
+        if declared is not None:
+            self._check_declared(
+                declared, SType(source.kind, ONE), clause,
+                "for variable ${}".format(clause.variable),
+            )
+        binding = Binding(
+            clause.variable, kind="for", declared=declared,
+            inferred=inferred,
+            line=clause.line, column=clause.column,
+        )
+        context = self._bind(context, binding)
+        flwor_bindings[clause.variable] = binding
+        if clause.position_variable:
+            position_binding = Binding(
+                clause.position_variable, kind="position",
+                inferred=SType("integer", ONE),
+                line=clause.line, column=clause.column,
+            )
+            context = self._bind(context, position_binding)
+            flwor_bindings[clause.position_variable] = position_binding
+        stream_mode = modes.combine(
+            (stream_mode, clause.expression.execution_mode)
+        )
+        clause.execution_mode = stream_mode
+        return (
+            context, arity_multiply(multiplicity, source_arity), stream_mode
+        )
+
+    def _let_clause(self, clause: ast.LetClause, context: StaticContext,
+                    flwor_bindings: Dict[str, Binding]) -> StaticContext:
+        inferred = self.visit(clause.expression, context)
+        declared = _declared_stype(clause)
+        self._check_declared(
+            declared, inferred, clause,
+            "let variable ${}".format(clause.variable),
+        )
+        binding = Binding(
+            clause.variable, kind="let", declared=declared,
+            inferred=inferred, mode=clause.expression.execution_mode,
+            line=clause.line, column=clause.column,
+        )
+        flwor_bindings[clause.variable] = binding
+        return self._bind(context, binding)
+
+    def _window_clause(self, clause: ast.WindowClause,
+                       context: StaticContext, stream_mode: str,
+                       flwor_bindings: Dict[str, Binding]):
+        source = self.visit(clause.expression, context)
+        item_type = SType(source.kind, ONE)
+
+        def bind_condition_vars(variables: ast.WindowVars,
+                                scope: StaticContext):
+            created = []
+            specs = (
+                (variables.current, item_type),
+                (variables.position, SType("integer", ONE)),
+                (variables.previous, SType(source.kind, OPTIONAL)),
+                (variables.next, SType(source.kind, OPTIONAL)),
+            )
+            for name, stype in specs:
+                if name:
+                    boundary = Binding(
+                        name, kind="window-var", inferred=stype,
+                        line=clause.line, column=clause.column,
+                    )
+                    scope = self._bind(scope, boundary, shadow_check=False)
+                    created.append(boundary)
+            return scope, created
+
+        start_scope, start_bindings = bind_condition_vars(
+            clause.start.variables, context
+        )
+        self.visit(clause.start.when, start_scope)
+        end_bindings = []
+        if clause.end is not None:
+            end_scope, end_bindings = bind_condition_vars(
+                clause.end.variables, start_scope
+            )
+            self.visit(clause.end.when, end_scope)
+        declared = _declared_stype(clause)
+        window_binding = Binding(
+            clause.variable, kind="window", declared=declared,
+            inferred=SType(source.kind, PLUS),
+            line=clause.line, column=clause.column,
+        )
+        context = self._bind(context, window_binding)
+        flwor_bindings[clause.variable] = window_binding
+        for boundary in start_bindings + end_bindings:
+            context = self._bind(
+                context,
+                Binding(
+                    boundary.name, kind="window-var",
+                    inferred=boundary.inferred, origin=boundary,
+                    line=clause.line, column=clause.column,
+                ),
+                shadow_check=False,
+            )
+        stream_mode = modes.combine(
+            (stream_mode, clause.expression.execution_mode)
+        )
+        clause.execution_mode = stream_mode
+        return context, STAR, stream_mode
+
+    def _group_by_clause(self, clause: ast.GroupByClause,
+                         context: StaticContext, multiplicity: str,
+                         flwor_bindings: Dict[str, Binding]):
+        key_names = set()
+        for key in clause.keys:
+            key_names.add(key.variable)
+            if key.expression is not None:
+                key_type = self.visit(key.expression, context)
+                self._check_atomizable(
+                    key_type, key.expression, "group by key"
+                )
+                binding = Binding(
+                    key.variable, kind="group-key",
+                    inferred=SType(key_type.kind, ONE),
+                    mode=modes.LOCAL,
+                    line=clause.line, column=clause.column,
+                    origin=flwor_bindings.get(key.variable),
+                )
+                context = self._bind(context, binding, shadow_check=False)
+                flwor_bindings[key.variable] = binding
+            else:
+                context.require_variable(
+                    key.variable, clause.line, clause.column
+                )
+                old = self._binding_of(context, key.variable)
+                key_kind = old.type.kind if old else "atomic"
+                binding = Binding(
+                    key.variable, kind="group-key",
+                    inferred=SType(key_kind, ONE), mode=modes.LOCAL,
+                    line=clause.line, column=clause.column, origin=old,
+                )
+                context = self._bind(context, binding, shadow_check=False)
+                flwor_bindings[key.variable] = binding
+        # Satellite fix: non-grouping variables are re-bound after the
+        # group-by — each now holds the *sequence* of its per-tuple
+        # values within one group, so its static type widens to a
+        # sequence of the pre-group item kind.
+        for name, old in list(flwor_bindings.items()):
+            if name in key_names or old.kind in ("position", "count"):
+                if old.kind in ("position", "count") and name not in key_names:
+                    pass  # fall through to re-bind below
+                else:
+                    continue
+            pre_group = old.type
+            grouped_arity = (
+                PLUS if pre_group.min_count >= 1 else STAR
+            )
+            regrouped = Binding(
+                name, kind="grouped",
+                inferred=SType(pre_group.kind, grouped_arity),
+                mode=old.mode,
+                line=clause.line, column=clause.column, origin=old,
+            )
+            context = self._bind(context, regrouped, shadow_check=False)
+            flwor_bindings[name] = regrouped
+        # At least one group exists iff at least one tuple did; at most
+        # one group per tuple.
+        return context, arity_from_range(
+            min(1, _range_low(multiplicity)), _range_high(multiplicity)
+        )
+
+    # -- the verify pass -----------------------------------------------------
+    def _verify(self, module: ast.MainModule) -> int:
+        count = 0
+        stack: List[ast.AstNode] = [module]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if getattr(node, "static_type", None) is None:
+                node.static_type = ITEM_STAR
+            if getattr(node, "execution_mode", None) is None:
+                node.execution_mode = modes.LOCAL
+            stack.extend(node.children())
+        return count
+
+
+_CAST_KINDS = frozenset({
+    "string", "integer", "decimal", "double", "boolean", "null",
+    "date", "dateTime", "time", "duration",
+    "dayTimeDuration", "yearMonthDuration",
+})
+
+
+def _promote(op: str, left_kind: str, right_kind: str) -> str:
+    """JSONiq numeric promotion for a statically-numeric operator."""
+    if op == "idiv":
+        return "integer"
+    kinds = {left_kind, right_kind}
+    if "number" in kinds:
+        return "number"
+    if "double" in kinds:
+        return "double"
+    if op == "div":
+        return "decimal"
+    if "decimal" in kinds:
+        return "decimal"
+    return "integer"
+
+
+def _declared_stype(node) -> Optional[SType]:
+    declared = getattr(node, "declared_type", None)
+    return from_sequence_type(declared) if declared else None
+
+
+def _range_low(arity: str) -> int:
+    return SType("item", arity).min_count
+
+
+def _range_high(arity: str) -> Optional[int]:
+    return SType("item", arity).max_count
+
+
+def _range_high_or(arity: str, default: int) -> int:
+    high = _range_high(arity)
+    return default if high is None else high

@@ -1,0 +1,43 @@
+"""Static execution-mode planning (paper, Section 4).
+
+Every expression and FLWOR clause is annotated with one of three modes:
+
+* ``local`` — evaluated on the driver through the pull API;
+* ``rdd`` — backed by an RDD of items (``json-file``, ``parallelize``,
+  ``collection``, ``text-file``, ``csv-file`` and everything their tuple
+  streams flow through);
+* ``dataframe`` — backed by the structured read path
+  (``structured-json-file``), where a schema is known.
+
+Modes propagate upward: a FLWOR whose ``for`` clause ranges over an RDD
+source keeps the distributed mode through clause composition until an
+aggregating operator (``count``, ``sum`` …) collapses it back to local.
+``combine`` implements the join of the three-point mode lattice
+(local < dataframe < rdd): a dataframe falls back to rdd when mixed with
+one, and anything mixed with local keeps the distributed mode.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+LOCAL = "local"
+RDD = "rdd"
+DATAFRAME = "dataframe"
+
+MODES = (LOCAL, RDD, DATAFRAME)
+
+
+def combine(modes: Iterable[str]) -> str:
+    """The mode of an expression composed from sub-expression modes."""
+    result = LOCAL
+    for mode in modes:
+        if mode == RDD:
+            return RDD
+        if mode == DATAFRAME:
+            result = DATAFRAME
+    return result
+
+
+def is_distributed(mode: str) -> bool:
+    return mode in (RDD, DATAFRAME)

@@ -1,0 +1,253 @@
+"""Static signatures for every builtin in the function registry.
+
+Each entry gives the parameter types the runtime implementation will
+accept and the (possibly argument-dependent) return type, plus the
+execution mode the function *seeds* — ``rdd`` for the partitioned input
+readers, ``dataframe`` for the structured read path.
+
+Parameter types are deliberately no tighter than the runtime: the
+analyzer raises a static error only when an argument type can *never*
+match (``may_match`` is false), so a too-narrow parameter here would
+reject queries that run fine.  ``tests/test_analysis_types.py`` asserts
+that every registered builtin/arity pair has an explicit entry, so a new
+builtin without a signature fails CI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.jsoniq.analysis import modes
+from repro.jsoniq.analysis.types import (
+    ONE,
+    OPTIONAL,
+    PLUS,
+    STAR,
+    SType,
+    is_numeric_kind,
+)
+
+ReturnRule = Union[SType, Callable[[List[SType]], SType]]
+
+
+class Signature:
+    """Parameter types, return rule and seeded mode of one builtin."""
+
+    def __init__(self, params: List[SType], returns: ReturnRule,
+                 mode: Optional[str] = None, variadic: bool = False):
+        self.params = params
+        self.returns = returns
+        self.mode = mode
+        self.variadic = variadic
+
+    def param_at(self, index: int) -> SType:
+        if index < len(self.params):
+            return self.params[index]
+        if self.variadic and self.params:
+            return self.params[-1]
+        return SType("item", STAR)
+
+    def return_type(self, arg_types: List[SType]) -> SType:
+        if callable(self.returns):
+            return self.returns(arg_types)
+        return self.returns
+
+
+def _t(kind: str, arity: str = ONE) -> SType:
+    return SType(kind, arity)
+
+
+# -- argument-dependent return rules ----------------------------------------
+
+def _prime(args: List[SType], arity: str) -> SType:
+    """The first argument's item kind with a fixed occurrence."""
+    kind = args[0].kind if args else "item"
+    return SType(kind, arity)
+
+
+def _prime_opt(args: List[SType]) -> SType:
+    return _prime(args, OPTIONAL)
+
+
+def _prime_star(args: List[SType]) -> SType:
+    return _prime(args, STAR)
+
+
+def _prime_plus(args: List[SType]) -> SType:
+    return _prime(args, PLUS)
+
+
+def _prime_one(args: List[SType]) -> SType:
+    return _prime(args, ONE)
+
+
+def _numeric(args: List[SType], arity: str) -> SType:
+    """Numeric result preserving the argument's numeric kind."""
+    kind = args[0].kind if args and is_numeric_kind(args[0].kind) else "number"
+    return SType(kind, arity)
+
+
+def _numeric_preserve(args: List[SType]) -> SType:
+    arity = OPTIONAL if (not args or args[0].can_be_empty) else ONE
+    return _numeric(args, arity)
+
+
+#: (name, arity) -> Signature.  Shared param shorthands below.
+_ITEMS = _t("item", STAR)
+_ITEM_OPT = _t("item", OPTIONAL)
+_ATOMICS = _t("atomic", STAR)
+_ATOMIC_OPT = _t("atomic", OPTIONAL)
+_STR = _t("string")
+_STR_OPT = _t("string", OPTIONAL)
+_NUM = _t("number")
+_NUM_OPT = _t("number", OPTIONAL)
+_NUMS = _t("number", STAR)
+_INT = _t("integer")
+_INT_OPT = _t("integer", OPTIONAL)
+_BOOL = _t("boolean")
+_DUR_OPT = _t("duration", OPTIONAL)
+_DATE_OPT = _t("date", OPTIONAL)
+_DATETIME_OPT = _t("dateTime", OPTIONAL)
+_TIME_OPT = _t("time", OPTIONAL)
+
+SIGNATURES: Dict[Tuple[str, int], Signature] = {}
+
+
+def _sig(name: str, arities, params: List[SType], returns: ReturnRule,
+         mode: Optional[str] = None, variadic: bool = False) -> None:
+    for arity in arities:
+        SIGNATURES[(name, arity)] = Signature(
+            params, returns, mode=mode, variadic=variadic
+        )
+
+
+# -- sequences ---------------------------------------------------------------
+_sig("count", [1], [_ITEMS], _INT)
+_sig("empty", [1], [_ITEMS], _BOOL)
+_sig("exists", [1], [_ITEMS], _BOOL)
+_sig("head", [1], [_ITEMS], _prime_opt)
+_sig("tail", [1], [_ITEMS], _prime_star)
+_sig("last-item", [1], [_ITEMS], _prime_opt)
+_sig("reverse", [1], [_ITEMS], _prime_star)
+_sig("insert-before", [3], [_ITEMS, _INT, _ITEMS], _ITEMS)
+_sig("remove", [2], [_ITEMS, _INT], _prime_star)
+_sig("subsequence", [2, 3], [_ITEMS, _NUM, _NUM_OPT], _prime_star)
+_sig("distinct-values", [1], [_ATOMICS], _prime_star)
+_sig("index-of", [2], [_ATOMICS, _ATOMIC_OPT], _t("integer", STAR))
+_sig("deep-equal", [2], [_ITEMS, _ITEMS], _BOOL)
+_sig("exactly-one", [1], [_ITEMS], _prime_one)
+_sig("one-or-more", [1], [_ITEMS], _prime_plus)
+_sig("zero-or-one", [1], [_ITEMS], _prime_opt)
+_sig("last", [0], [], _INT)
+_sig("position", [0], [], _INT)
+_sig("accumulate", [1], [_ITEMS], _ITEMS)
+_sig("sliding-window", [2], [_ITEMS, _INT], _t("array", STAR))
+_sig("tumbling-window", [2], [_ITEMS, _INT], _t("array", STAR))
+
+# -- aggregates --------------------------------------------------------------
+_sig("sum", [1], [_NUMS], _NUM)
+_sig("sum", [2], [_NUMS, _ATOMIC_OPT], _t("number", OPTIONAL))
+_sig("avg", [1], [_NUMS], _NUM_OPT)
+_sig("min", [1], [_ATOMICS], _prime_opt)
+_sig("max", [1], [_ATOMICS], _prime_opt)
+
+# -- numerics ----------------------------------------------------------------
+_sig("abs", [1], [_NUM_OPT], _numeric_preserve)
+_sig("ceiling", [1], [_NUM_OPT], _numeric_preserve)
+_sig("floor", [1], [_NUM_OPT], _numeric_preserve)
+_sig("round", [1], [_NUM_OPT], _numeric_preserve)
+_sig("round", [2], [_NUM_OPT, _INT], _numeric_preserve)
+_sig("exp", [1], [_NUM_OPT], _t("double", OPTIONAL))
+_sig("log", [1], [_NUM_OPT], _t("double", OPTIONAL))
+_sig("sqrt", [1], [_NUM_OPT], _t("double", OPTIONAL))
+_sig("pow", [2], [_NUM_OPT, _NUM], _t("number", OPTIONAL))
+_sig("number", [1], [_ATOMIC_OPT], _t("double", OPTIONAL))
+
+# -- strings -----------------------------------------------------------------
+_sig("concat", [2, 3, 4, 5, 6, 7, 8], [_ATOMIC_OPT], _STR, variadic=True)
+_sig("string", [1], [_ATOMIC_OPT], _STR)
+_sig("string-join", [1], [_ATOMICS], _STR)
+_sig("string-join", [2], [_ATOMICS, _STR], _STR)
+_sig("string-length", [1], [_STR_OPT], _INT_OPT)
+_sig("substring", [2, 3], [_STR_OPT, _NUM, _NUM_OPT], _STR_OPT)
+_sig("substring-after", [2], [_STR_OPT, _STR_OPT], _STR_OPT)
+_sig("substring-before", [2], [_STR_OPT, _STR_OPT], _STR_OPT)
+_sig("upper-case", [1], [_STR_OPT], _STR_OPT)
+_sig("lower-case", [1], [_STR_OPT], _STR_OPT)
+_sig("normalize-space", [1], [_STR_OPT], _STR)
+_sig("contains", [2], [_STR_OPT, _STR_OPT], _BOOL)
+_sig("starts-with", [2], [_STR_OPT, _STR_OPT], _BOOL)
+_sig("ends-with", [2], [_STR_OPT, _STR_OPT], _BOOL)
+_sig("matches", [2], [_STR_OPT, _STR], _BOOL)
+_sig("replace", [3], [_STR_OPT, _STR, _STR], _STR_OPT)
+_sig("tokenize", [1, 2], [_STR_OPT, _STR], _t("string", STAR))
+_sig("serialize", [1], [_ITEM_OPT], _STR)
+
+# -- constructors and booleans ----------------------------------------------
+_sig("boolean", [1], [_ITEMS], _BOOL)
+_sig("null", [0], [], _t("null"))
+_sig("integer", [1], [_ATOMIC_OPT], _INT_OPT)
+_sig("decimal", [1], [_ATOMIC_OPT], _t("decimal", OPTIONAL))
+_sig("double", [1], [_ATOMIC_OPT], _t("double", OPTIONAL))
+
+# -- temporal ----------------------------------------------------------------
+_sig("date", [1], [_ATOMIC_OPT], _DATE_OPT)
+_sig("dateTime", [1], [_ATOMIC_OPT], _DATETIME_OPT)
+_sig("time", [1], [_ATOMIC_OPT], _TIME_OPT)
+_sig("duration", [1], [_ATOMIC_OPT], _DUR_OPT)
+_sig("current-date", [0], [], _t("date"))
+_sig("current-dateTime", [0], [], _t("dateTime"))
+_sig("current-time", [0], [], _t("time"))
+_sig("year-from-date", [1], [_DATE_OPT], _INT_OPT)
+_sig("month-from-date", [1], [_DATE_OPT], _INT_OPT)
+_sig("day-from-date", [1], [_DATE_OPT], _INT_OPT)
+_sig("year-from-dateTime", [1], [_DATETIME_OPT], _INT_OPT)
+_sig("month-from-dateTime", [1], [_DATETIME_OPT], _INT_OPT)
+_sig("day-from-dateTime", [1], [_DATETIME_OPT], _INT_OPT)
+_sig("hours-from-dateTime", [1], [_DATETIME_OPT], _INT_OPT)
+_sig("minutes-from-dateTime", [1], [_DATETIME_OPT], _INT_OPT)
+_sig("seconds-from-dateTime", [1], [_DATETIME_OPT],
+     _t("decimal", OPTIONAL))
+_sig("hours-from-time", [1], [_TIME_OPT], _INT_OPT)
+_sig("minutes-from-time", [1], [_TIME_OPT], _INT_OPT)
+_sig("seconds-from-time", [1], [_TIME_OPT], _t("decimal", OPTIONAL))
+_sig("years-from-duration", [1], [_DUR_OPT], _INT_OPT)
+_sig("months-from-duration", [1], [_DUR_OPT], _INT_OPT)
+_sig("days-from-duration", [1], [_DUR_OPT], _INT_OPT)
+_sig("hours-from-duration", [1], [_DUR_OPT], _INT_OPT)
+_sig("minutes-from-duration", [1], [_DUR_OPT], _INT_OPT)
+_sig("seconds-from-duration", [1], [_DUR_OPT], _t("decimal", OPTIONAL))
+
+# -- objects and arrays ------------------------------------------------------
+_sig("keys", [1], [_ITEMS], _t("string", STAR))
+_sig("values", [1], [_ITEMS], _ITEMS)
+_sig("members", [1], [_ITEMS], _ITEMS)
+_sig("size", [1], [_t("array", OPTIONAL)], _INT_OPT)
+_sig("flatten", [1], [_ITEMS], _ITEMS)
+_sig("project", [2], [_ITEMS, _t("string", STAR)], _ITEMS)
+_sig("remove-keys", [2], [_ITEMS, _t("string", STAR)], _ITEMS)
+_sig("descendant-arrays", [1], [_ITEMS], _t("array", STAR))
+_sig("descendant-objects", [1], [_ITEMS], _t("object", STAR))
+_sig("annotate", [2], [_ITEMS, _t("object")], _ITEMS)
+_sig("is-valid", [2], [_ITEMS, _ITEMS], _BOOL)
+_sig("validate", [2], [_ITEMS, _ITEMS], _ITEMS)
+
+# -- input sources (mode seeds, paper Section 5.7) ---------------------------
+_sig("json-file", [1, 2], [_STR, _INT_OPT], _ITEMS, mode=modes.RDD)
+_sig("json-lines", [1, 2], [_STR, _INT_OPT], _ITEMS, mode=modes.RDD)
+_sig("structured-json-file", [1, 2], [_STR, _INT_OPT],
+     _t("object", STAR), mode=modes.DATAFRAME)
+_sig("text-file", [1, 2], [_STR, _INT_OPT], _t("string", STAR),
+     mode=modes.RDD)
+_sig("csv-file", [1, 2], [_STR, _INT_OPT], _t("object", STAR),
+     mode=modes.RDD)
+_sig("collection", [1], [_STR], _ITEMS, mode=modes.RDD)
+_sig("parallelize", [1], [_ITEMS], _prime_star, mode=modes.RDD)
+_sig("parallelize", [2], [_ITEMS, _INT], _prime_star, mode=modes.RDD)
+_sig("json-doc", [1], [_STR_OPT], _ITEM_OPT)
+_sig("parse-json", [1], [_STR_OPT], _ITEMS)
+
+
+def signature_for(name: str, arity: int) -> Optional[Signature]:
+    """The signature of a registered builtin, or None for UDF names."""
+    return SIGNATURES.get((name, arity))

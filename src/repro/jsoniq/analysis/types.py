@@ -1,0 +1,293 @@
+"""The JSONiq sequence-type lattice used by static inference.
+
+A static type is an *item kind* (a node in the kind tree below) plus an
+*arity* — one of the JSONiq occurrence indicators ``()`` (empty), ``""``
+(exactly one), ``?``, ``*`` and ``+``.  The lattice supports the three
+operations inference needs:
+
+* :func:`subtype` — is every instance of one type an instance of another;
+* :func:`lub` — the least upper bound (for ``if``/``switch`` branches and
+  comma expressions);
+* :func:`may_match` — whether the instance sets of two types intersect at
+  all, which is what turns "this argument can never satisfy the
+  parameter" into a compile-time ``XPTY0004``.
+
+The kind tree follows the JSONiq data model: ``item`` splits into
+``atomic`` and ``json-item``; atomics split into strings, booleans,
+nulls, numbers and the temporal kinds; numbers refine ``decimal`` into
+``integer`` (the only multi-level chain, mirroring XML Schema).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: child kind -> parent kind; ``item`` is the root.
+_PARENT: Dict[str, str] = {
+    "atomic": "item",
+    "json-item": "item",
+    "object": "json-item",
+    "array": "json-item",
+    "string": "atomic",
+    "boolean": "atomic",
+    "null": "atomic",
+    "number": "atomic",
+    "decimal": "number",
+    "double": "number",
+    "integer": "decimal",
+    "date": "atomic",
+    "dateTime": "atomic",
+    "time": "atomic",
+    "duration": "atomic",
+    "dayTimeDuration": "duration",
+    "yearMonthDuration": "duration",
+}
+
+KINDS = frozenset(_PARENT) | {"item"}
+
+#: occurrence indicator -> (minimum count, maximum count; None = unbounded)
+_ARITY_RANGE: Dict[str, Tuple[int, Optional[int]]] = {
+    "()": (0, 0),
+    "": (1, 1),
+    "?": (0, 1),
+    "*": (0, None),
+    "+": (1, None),
+}
+
+EMPTY = "()"
+ONE = ""
+OPTIONAL = "?"
+STAR = "*"
+PLUS = "+"
+
+
+def kind_ancestors(kind: str) -> List[str]:
+    """The kind itself followed by its ancestors up to ``item``."""
+    chain = [kind]
+    while kind in _PARENT:
+        kind = _PARENT[kind]
+        chain.append(kind)
+    return chain
+
+
+def kind_subsumes(sup: str, sub: str) -> bool:
+    """True when every item of kind ``sub`` is also of kind ``sup``."""
+    return sup in kind_ancestors(sub)
+
+
+def kinds_intersect(a: str, b: str) -> bool:
+    """In a tree, two kinds share instances iff one subsumes the other."""
+    return kind_subsumes(a, b) or kind_subsumes(b, a)
+
+
+def kind_lub(a: str, b: str) -> str:
+    """The nearest common ancestor of two kinds."""
+    ancestors = kind_ancestors(a)
+    for candidate in kind_ancestors(b):
+        if candidate in ancestors:
+            return candidate
+    return "item"
+
+
+#: kind -> comparison family (types whose values order against each
+#: other under value comparison).  Kinds absent here are ambiguous —
+#: ``item``/``atomic``/``number``/``duration`` could still resolve to a
+#: comparable pair at run time, so no family verdict is possible.
+_FAMILY: Dict[str, str] = {
+    "integer": "number",
+    "decimal": "number",
+    "double": "number",
+    "string": "string",
+    "boolean": "boolean",
+    "date": "date",
+    "dateTime": "dateTime",
+    "time": "time",
+    "dayTimeDuration": "dayTimeDuration",
+    "yearMonthDuration": "yearMonthDuration",
+}
+
+
+def comparison_family(kind: str) -> Optional[str]:
+    """The value-comparison family of a kind, or None when unknown.
+
+    ``null`` compares against everything (nulls sort first), so it also
+    reports None — it can never make a comparison fail statically.
+    """
+    return _FAMILY.get(kind)
+
+
+def is_numeric_kind(kind: str) -> bool:
+    return kind_subsumes("number", kind)
+
+
+def is_structured_kind(kind: str) -> bool:
+    """Objects and arrays — the kinds atomization always rejects."""
+    return kind_subsumes("json-item", kind)
+
+
+def is_temporal_kind(kind: str) -> bool:
+    return any(
+        kind_subsumes(base, kind)
+        for base in ("date", "dateTime", "time", "duration")
+    )
+
+
+class SType:
+    """One point of the lattice: an item kind plus an occurrence range."""
+
+    __slots__ = ("kind", "arity")
+
+    def __init__(self, kind: str, arity: str = ONE):
+        if kind not in KINDS:
+            raise ValueError("unknown item kind {!r}".format(kind))
+        if arity not in _ARITY_RANGE:
+            raise ValueError("unknown occurrence {!r}".format(arity))
+        self.kind = kind
+        self.arity = arity
+
+    # -- arity accessors -----------------------------------------------------
+    @property
+    def min_count(self) -> int:
+        return _ARITY_RANGE[self.arity][0]
+
+    @property
+    def max_count(self) -> Optional[int]:
+        return _ARITY_RANGE[self.arity][1]
+
+    @property
+    def can_be_empty(self) -> bool:
+        return self.min_count == 0
+
+    @property
+    def is_one(self) -> bool:
+        return self.arity == ONE
+
+    def exact_count(self) -> Optional[int]:
+        """The statically-known length of every instance, or None."""
+        low, high = _ARITY_RANGE[self.arity]
+        return low if low == high else None
+
+    # -- identity ------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SType)
+            and other.kind == self.kind
+            and other.arity == self.arity
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.arity))
+
+    def __str__(self) -> str:
+        if self.arity == EMPTY:
+            return "empty-sequence()"
+        return self.kind + self.arity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SType({})".format(self)
+
+
+ITEM_STAR = SType("item", STAR)
+
+
+def arity_from_range(low: int, high: Optional[int]) -> str:
+    """The tightest occurrence indicator covering a count range."""
+    if high == 0:
+        return EMPTY
+    if low >= 1:
+        return ONE if high == 1 else PLUS
+    return OPTIONAL if high == 1 else STAR
+
+
+def _range(arity: str) -> Tuple[int, Optional[int]]:
+    return _ARITY_RANGE[arity]
+
+
+def arity_concat(a: str, b: str) -> str:
+    """The arity of concatenating two sequences (count addition)."""
+    low_a, high_a = _range(a)
+    low_b, high_b = _range(b)
+    high = None if high_a is None or high_b is None else high_a + high_b
+    return arity_from_range(low_a + low_b, high)
+
+
+def arity_union(a: str, b: str) -> str:
+    """The tightest arity covering instances of either operand."""
+    low_a, high_a = _range(a)
+    low_b, high_b = _range(b)
+    high = None if high_a is None or high_b is None else max(high_a, high_b)
+    return arity_from_range(min(low_a, low_b), high)
+
+
+def arity_multiply(a: str, b: str) -> str:
+    """The arity of producing a ``b``-sized sequence per item of an
+    ``a``-sized stream (FLWOR multiplicity composition)."""
+    low_a, high_a = _range(a)
+    low_b, high_b = _range(b)
+    if high_a == 0 or high_b == 0:
+        high = 0  # zero of anything is zero, even of an unbounded count
+    elif high_a is None or high_b is None:
+        high = None
+    else:
+        high = high_a * high_b
+    return arity_from_range(low_a * low_b, high)
+
+
+def subtype(sub: SType, sup: SType) -> bool:
+    """Every instance of ``sub`` is an instance of ``sup``."""
+    low_sub, high_sub = _range(sub.arity)
+    low_sup, high_sup = _range(sup.arity)
+    if low_sub < low_sup:
+        return False
+    if high_sup is not None and (high_sub is None or high_sub > high_sup):
+        return False
+    if high_sub == 0:
+        return True  # only the empty sequence; kind is irrelevant
+    return kind_subsumes(sup.kind, sub.kind)
+
+
+def lub(a: SType, b: SType) -> SType:
+    """The least upper bound of two static types."""
+    if a.arity == EMPTY:
+        kind = b.kind
+    elif b.arity == EMPTY:
+        kind = a.kind
+    else:
+        kind = kind_lub(a.kind, b.kind)
+    return SType(kind, arity_union(a.arity, b.arity))
+
+
+def sequence_lub(types: List[SType]) -> SType:
+    """lub of several types; empty input is the empty sequence."""
+    if not types:
+        return SType("item", EMPTY)
+    result = types[0]
+    for other in types[1:]:
+        result = lub(result, other)
+    return result
+
+
+def may_match(actual: SType, expected: SType) -> bool:
+    """Could *some* instance of ``actual`` match ``expected``?
+
+    False means the match is guaranteed to fail at run time — the static
+    analyzer's licence to raise ``XPTY0004`` at compile time.
+    """
+    low_a, high_a = _range(actual.arity)
+    low_e, high_e = _range(expected.arity)
+    low = max(low_a, low_e)
+    highs = [h for h in (high_a, high_e) if h is not None]
+    high = min(highs) if highs else None
+    if high is not None and low > high:
+        return False  # no shared sequence length at all
+    if low == 0:
+        return True  # the empty sequence satisfies both
+    return kinds_intersect(actual.kind, expected.kind)
+
+
+def from_sequence_type(sequence_type) -> SType:
+    """Convert a parsed :class:`repro.jsoniq.ast.SequenceType`."""
+    kind = sequence_type.item_type
+    if kind not in KINDS:
+        kind = "item"
+    return SType(kind, sequence_type.occurrence)

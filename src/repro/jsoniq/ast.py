@@ -18,6 +18,9 @@ class AstNode:
         self.line = line
         self.column = column
         self.static_context = None  # filled in by static analysis
+        self.static_type = None  # analysis.types.SType, filled by inference
+        self.execution_mode = None  # "local" | "rdd" | "dataframe"
+        self.is_constant = False  # no variable/function/data dependence
 
     def children(self) -> List["AstNode"]:
         return []
@@ -326,11 +329,14 @@ class TypeswitchExpression(Expression):
 class QuantifiedExpression(Expression):
     def __init__(self, quantifier: str,
                  bindings: List[Tuple[str, Expression]],
-                 condition: Expression, **pos):
+                 condition: Expression,
+                 binding_types: Optional[List[Optional["SequenceType"]]] = None,
+                 **pos):
         super().__init__(**pos)
         self.quantifier = quantifier  # "some" | "every"
         self.bindings = bindings
         self.condition = condition
+        self.binding_types = binding_types  # parallel to bindings, or None
 
     def children(self) -> List[AstNode]:
         return [expr for _, expr in self.bindings] + [self.condition]
@@ -348,12 +354,14 @@ class Clause(AstNode):
 class ForClause(Clause):
     def __init__(self, variable: str, expression: Expression,
                  allowing_empty: bool = False,
-                 position_variable: Optional[str] = None, **pos):
+                 position_variable: Optional[str] = None,
+                 declared_type: Optional["SequenceType"] = None, **pos):
         super().__init__(**pos)
         self.variable = variable
         self.expression = expression
         self.allowing_empty = allowing_empty
         self.position_variable = position_variable
+        self.declared_type = declared_type  # "for $x as integer in ..."
 
     def children(self) -> List[AstNode]:
         return [self.expression]
@@ -397,13 +405,15 @@ class WindowClause(Clause):
 
     def __init__(self, kind: str, variable: str, expression: Expression,
                  start: WindowCondition,
-                 end: Optional[WindowCondition], **pos):
+                 end: Optional[WindowCondition],
+                 declared_type: Optional["SequenceType"] = None, **pos):
         super().__init__(**pos)
         self.kind = kind  # "tumbling" | "sliding"
         self.variable = variable
         self.expression = expression
         self.start = start
         self.end = end
+        self.declared_type = declared_type
 
     def children(self) -> List[AstNode]:
         nodes: List[AstNode] = [self.expression, self.start.when]
@@ -416,10 +426,12 @@ class WindowClause(Clause):
 
 
 class LetClause(Clause):
-    def __init__(self, variable: str, expression: Expression, **pos):
+    def __init__(self, variable: str, expression: Expression,
+                 declared_type: Optional["SequenceType"] = None, **pos):
         super().__init__(**pos)
         self.variable = variable
         self.expression = expression
+        self.declared_type = declared_type  # "let $x as string? := ..."
 
     def children(self) -> List[AstNode]:
         return [self.expression]
@@ -531,11 +543,16 @@ class SequenceType:
 # -- Prolog / module --------------------------------------------------------------------
 
 class FunctionDeclaration(AstNode):
-    def __init__(self, name: str, parameters: List[str], body: Expression, **pos):
+    def __init__(self, name: str, parameters: List[str], body: Expression,
+                 parameter_types: Optional[List[Optional["SequenceType"]]] = None,
+                 return_type: Optional["SequenceType"] = None, **pos):
         super().__init__(**pos)
         self.name = name
         self.parameters = parameters
         self.body = body
+        self.parameter_types = parameter_types  # parallel to parameters
+        self.return_type = return_type
+        self.inferred_return = None  # filled by static inference
 
     def children(self) -> List[AstNode]:
         return [self.body]
@@ -551,10 +568,12 @@ class VariableDeclaration(AstNode):
     external;`` (expression is None for external variables, which the
     caller binds at run time)."""
 
-    def __init__(self, name: str, expression: Optional[Expression], **pos):
+    def __init__(self, name: str, expression: Optional[Expression],
+                 declared_type: Optional["SequenceType"] = None, **pos):
         super().__init__(**pos)
         self.name = name
         self.expression = expression
+        self.declared_type = declared_type
 
     @property
     def external(self) -> bool:
@@ -571,6 +590,7 @@ class MainModule(AstNode):
         super().__init__(**pos)
         self.declarations = declarations
         self.expression = expression
+        self.analysis = None  # analysis.inference.AnalysisResult
 
     def children(self) -> List[AstNode]:
         return list(self.declarations) + [self.expression]

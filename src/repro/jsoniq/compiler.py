@@ -12,6 +12,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.jsoniq import ast
+from repro.jsoniq.analysis.types import (
+    SType,
+    comparison_family,
+    is_numeric_kind,
+)
 from repro.jsoniq.errors import StaticException
 from repro.jsoniq.functions.registry import build_function_iterator, is_builtin
 from repro.jsoniq.functions.udf import UdfCallIterator, UserFunction
@@ -74,6 +79,16 @@ class Compiler:
 
     def __init__(self) -> None:
         self._functions: Dict[Tuple[str, int], UserFunction] = {}
+        self._function_decls: Dict[Tuple[str, int],
+                                   ast.FunctionDeclaration] = {}
+        #: How often each type-driven rewrite fired; surfaced by the
+        #: profiler as ``rumble.static.fastpath`` counters.
+        self.stats: Dict[str, int] = {
+            "count_fold": 0,
+            "fast_arithmetic": 0,
+            "fast_comparison": 0,
+            "treat_wrapped": 0,
+        }
 
     def compile_module(
         self, module: ast.MainModule
@@ -87,20 +102,38 @@ class Compiler:
                 self._functions[key] = UserFunction(
                     declaration.name, declaration.parameters
                 )
+                self._function_decls[key] = declaration
         for declaration in module.declarations:
             if isinstance(declaration, ast.FunctionDeclaration):
                 key = (declaration.name, len(declaration.parameters))
-                self._functions[key].body = self.compile(declaration.body)
+                body = self.compile(declaration.body)
+                return_type = getattr(declaration, "return_type", None)
+                if return_type is not None:
+                    body = self._treat(body, return_type)
+                self._functions[key].body = body
         globals_: List[Tuple[str, RuntimeIterator]] = []
         for declaration in module.declarations:
             if (
                 isinstance(declaration, ast.VariableDeclaration)
                 and declaration.expression is not None
             ):
-                globals_.append(
-                    (declaration.name, self.compile(declaration.expression))
-                )
+                initializer = self.compile(declaration.expression)
+                declared = getattr(declaration, "declared_type", None)
+                if declared is not None:
+                    initializer = self._treat(initializer, declared)
+                globals_.append((declaration.name, initializer))
         return self.compile(module.expression), globals_
+
+    def _treat(self, iterator: RuntimeIterator,
+               sequence_type: ast.SequenceType) -> RuntimeIterator:
+        """Enforce a declared type at run time.
+
+        Static inference trusts declared types, so they must hold
+        dynamically — a treat wrapper turns a lying annotation into the
+        ``XPTY0004`` the annotation promised to rule out.
+        """
+        self.stats["treat_wrapped"] += 1
+        return TreatIterator(iterator, sequence_type)
 
     # -- Expression dispatch ---------------------------------------------------
     def compile(self, node: ast.Expression) -> RuntimeIterator:
@@ -145,7 +178,16 @@ class Compiler:
             return AndIterator(left, right)
         if node.op == "or":
             return OrIterator(left, right)
-        return BinaryArithmeticIterator(node.op, left, right)
+        # Type-driven win #1: when inference proved both operands are
+        # single numerics, the iterator skips the materialize/singleton/
+        # atomicity checks on every evaluation.
+        static_numeric = _is_single_numeric(node.left) and \
+            _is_single_numeric(node.right)
+        if static_numeric:
+            self.stats["fast_arithmetic"] += 1
+        return BinaryArithmeticIterator(
+            node.op, left, right, static_numeric=static_numeric
+        )
 
     def _compile_UnaryExpression(self, node) -> RuntimeIterator:
         operand = self.compile(node.operand)
@@ -154,8 +196,18 @@ class Compiler:
         return UnarySignIterator(node.op, operand)
 
     def _compile_ComparisonExpression(self, node) -> RuntimeIterator:
+        # Type-driven win #2: a value comparison between two provably
+        # single comparable atomics skips the per-side checks.
+        static_atomic = (
+            node.op in ("eq", "ne", "lt", "le", "gt", "ge")
+            and _is_single_comparable(node.left)
+            and _is_single_comparable(node.right)
+        )
+        if static_atomic:
+            self.stats["fast_comparison"] += 1
         return ComparisonIterator(
-            node.op, self.compile(node.left), self.compile(node.right)
+            node.op, self.compile(node.left), self.compile(node.right),
+            static_atomic=static_atomic,
         )
 
     def _compile_RangeExpression(self, node) -> RuntimeIterator:
@@ -248,6 +300,11 @@ class Compiler:
         )
 
     def _compile_FunctionCall(self, node) -> RuntimeIterator:
+        # Type-driven win #3: count() of a side-effect-free argument
+        # whose length inference pinned exactly folds to a literal.
+        folded = self._fold_count(node)
+        if folded is not None:
+            return folded
         arguments = [self.compile(argument) for argument in node.arguments]
         if is_builtin(node.name, len(arguments)):
             return build_function_iterator(node.name, arguments)
@@ -258,7 +315,37 @@ class Compiler:
                 "unknown function {}#{}".format(node.name, len(arguments)),
                 code="XPST0017",
             )
+        declaration = self._function_decls.get(key)
+        parameter_types = (
+            getattr(declaration, "parameter_types", None) or []
+        ) if declaration is not None else []
+        for index, parameter_type in enumerate(parameter_types):
+            if parameter_type is not None and index < len(arguments):
+                arguments[index] = self._treat(
+                    arguments[index], parameter_type
+                )
         return UdfCallIterator(function, arguments)
+
+    def _fold_count(self, node: ast.FunctionCall
+                    ) -> Optional[RuntimeIterator]:
+        if node.name != "count" or len(node.arguments) != 1:
+            return None
+        argument = node.arguments[0]
+        # Only nodes whose evaluation cannot fail or have effects — a
+        # folded count must not hide its argument's runtime errors.
+        if not isinstance(argument, (
+            ast.VariableReference, ast.Literal, ast.EmptySequence,
+            ast.ContextItem,
+        )):
+            return None
+        static_type = getattr(argument, "static_type", None)
+        if not isinstance(static_type, SType):
+            return None
+        exact = static_type.exact_count()
+        if exact is None:
+            return None
+        self.stats["count_fold"] += 1
+        return LiteralIterator("integer", exact)
 
     # -- FLWOR -------------------------------------------------------------------
     def _compile_FlworExpression(self, node: ast.FlworExpression
@@ -267,10 +354,18 @@ class Compiler:
         bound_so_far: List[str] = []
         for index, clause in enumerate(node.clauses):
             if isinstance(clause, ast.ForClause):
+                source = self.compile(clause.expression)
+                declared = getattr(clause, "declared_type", None)
+                if declared is not None:
+                    # Every bound item must match the item type; the
+                    # source as a whole may have any length.
+                    source = self._treat(source, ast.SequenceType(
+                        declared.item_type, "*"
+                    ))
                 chain = ForClauseIterator(
                     chain,
                     clause.variable,
-                    self.compile(clause.expression),
+                    source,
                     allowing_empty=clause.allowing_empty,
                     position_variable=clause.position_variable,
                 )
@@ -298,8 +393,12 @@ class Compiler:
                 if clause.end is not None:
                     bound_so_far.extend(clause.end.variables.names())
             elif isinstance(clause, ast.LetClause):
+                binding = self.compile(clause.expression)
+                declared = getattr(clause, "declared_type", None)
+                if declared is not None:
+                    binding = self._treat(binding, declared)
                 chain = LetClauseIterator(
-                    chain, clause.variable, self.compile(clause.expression)
+                    chain, clause.variable, binding
                 )
                 bound_so_far.append(clause.variable)
             elif isinstance(clause, ast.WhereClause):
@@ -345,6 +444,24 @@ class Compiler:
                     chain, self.compile(clause.expression)
                 )
         raise StaticException("FLWOR without return clause")
+
+
+def _is_single_numeric(node: ast.AstNode) -> bool:
+    static_type = getattr(node, "static_type", None)
+    return (
+        isinstance(static_type, SType)
+        and static_type.is_one
+        and is_numeric_kind(static_type.kind)
+    )
+
+
+def _is_single_comparable(node: ast.AstNode) -> bool:
+    static_type = getattr(node, "static_type", None)
+    return (
+        isinstance(static_type, SType)
+        and static_type.is_one
+        and comparison_family(static_type.kind) is not None
+    )
 
 
 def _analyse_group_usage(

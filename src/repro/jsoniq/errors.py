@@ -54,8 +54,29 @@ class TypeException(DynamicException):
     default_code = "XPTY0004"
 
 
+class StaticTypeException(StaticException, TypeException):
+    """A type error provable at compile time.
+
+    Inherits from both :class:`StaticException` (it is raised before any
+    data is read) and :class:`TypeException` (it is the same ``XPTY0004``
+    failure that would otherwise surface at run time), so callers
+    catching either taxonomy keep working when an error moves from the
+    dynamic phase to the static phase.
+    """
+
+    default_code = "XPTY0004"
+
+
 class CastException(DynamicException):
     """A cast or constructor function received an uncastable value."""
+
+    default_code = "FORG0001"
+
+
+class StaticCastException(StaticException, CastException):
+    """A cast provably failing at compile time (same dual-taxonomy
+    rationale as :class:`StaticTypeException`, for callers catching
+    :class:`CastException`)."""
 
     default_code = "FORG0001"
 

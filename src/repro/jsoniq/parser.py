@@ -115,30 +115,38 @@ class Parser:
         name = self._expect("name").text
         self._expect("punct", "(")
         parameters: List[str] = []
+        parameter_types: List[Optional[ast.SequenceType]] = []
         if not self._accept("punct", ")"):
             while True:
                 self._expect("punct", "$")
                 parameters.append(self._expect_name_text())
-                self._maybe_type_annotation()
+                parameter_types.append(self._maybe_type_annotation())
                 if not self._accept("punct", ","):
                     break
             self._expect("punct", ")")
-        self._maybe_return_type()
+        return_type = self._maybe_return_type()
         self._expect("punct", "{")
         body = self.parse_expression()
         self._expect("punct", "}")
-        return ast.FunctionDeclaration(name, parameters, body, **pos)
+        return ast.FunctionDeclaration(
+            name, parameters, body,
+            parameter_types=parameter_types, return_type=return_type, **pos
+        )
 
     def _parse_variable_declaration(self) -> ast.VariableDeclaration:
         pos = self._pos()
         self._expect("punct", "$")
         name = self._expect_name_text()
-        self._maybe_type_annotation()
+        declared_type = self._maybe_type_annotation()
         if self._accept("keyword", "external"):
-            return ast.VariableDeclaration(name, None, **pos)
+            return ast.VariableDeclaration(
+                name, None, declared_type=declared_type, **pos
+            )
         self._expect("punct", ":=")
         expression = self.parse_expression_single()
-        return ast.VariableDeclaration(name, expression, **pos)
+        return ast.VariableDeclaration(
+            name, expression, declared_type=declared_type, **pos
+        )
 
     def _expect_name_text(self) -> str:
         token = self._name_like()
@@ -248,7 +256,7 @@ class Parser:
         self._expect("keyword", "window")
         self._expect("punct", "$")
         variable = self._expect_name_text()
-        self._maybe_type_annotation()
+        declared_type = self._maybe_type_annotation()
         self._expect("keyword", "in")
         expression = self.parse_expression_single()
         self._expect("keyword", "start")
@@ -271,7 +279,7 @@ class Parser:
                 "sliding windows require an end condition"
             )
         return ast.WindowClause(kind, variable, expression, start, end,
-                                **pos)
+                                declared_type=declared_type, **pos)
 
     def _parse_window_vars(self) -> ast.WindowVars:
         current = position = previous = next_ = None
@@ -300,7 +308,7 @@ class Parser:
             pos = self._pos()
             self._expect("punct", "$")
             variable = self._expect_name_text()
-            self._maybe_type_annotation()
+            declared_type = self._maybe_type_annotation()
             allowing_empty = False
             if self._accept("keyword", "allowing"):
                 self._expect("keyword", "empty")
@@ -317,6 +325,7 @@ class Parser:
                     expression,
                     allowing_empty=allowing_empty,
                     position_variable=position_variable,
+                    declared_type=declared_type,
                     **pos,
                 )
             )
@@ -330,10 +339,12 @@ class Parser:
             pos = self._pos()
             self._expect("punct", "$")
             variable = self._expect_name_text()
-            self._maybe_type_annotation()
+            declared_type = self._maybe_type_annotation()
             self._expect("punct", ":=")
             expression = self.parse_expression_single()
-            clauses.append(ast.LetClause(variable, expression, **pos))
+            clauses.append(ast.LetClause(
+                variable, expression, declared_type=declared_type, **pos
+            ))
             if not self._accept("punct", ","):
                 return clauses
 
@@ -457,17 +468,21 @@ class Parser:
         pos = self._pos()
         quantifier = self._advance().text  # some | every
         bindings: List[Tuple[str, ast.Expression]] = []
+        binding_types: List[Optional[ast.SequenceType]] = []
         while True:
             self._expect("punct", "$")
             variable = self._expect_name_text()
-            self._maybe_type_annotation()
+            binding_types.append(self._maybe_type_annotation())
             self._expect("keyword", "in")
             bindings.append((variable, self.parse_expression_single()))
             if not self._accept("punct", ","):
                 break
         self._expect("keyword", "satisfies")
         condition = self.parse_expression_single()
-        return ast.QuantifiedExpression(quantifier, bindings, condition, **pos)
+        return ast.QuantifiedExpression(
+            quantifier, bindings, condition,
+            binding_types=binding_types, **pos
+        )
 
     # -- Operator precedence chain -------------------------------------------------------------
     def _parse_or(self) -> ast.Expression:

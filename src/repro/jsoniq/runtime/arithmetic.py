@@ -41,13 +41,24 @@ class BinaryArithmeticIterator(RuntimeIterator):
     """``+ - * div idiv mod`` — numeric, plus the temporal combinations
     (date/dateTime/time ± duration, dateTime − dateTime, duration scaling)."""
 
-    def __init__(self, op: str, left: RuntimeIterator, right: RuntimeIterator):
+    def __init__(self, op: str, left: RuntimeIterator, right: RuntimeIterator,
+                 static_numeric: bool = False):
         super().__init__([left, right])
         self.op = op
         self.left = left
         self.right = right
+        #: Set by the compiler when static inference proved both operands
+        #: are single numerics — enables the checkless fast path.
+        self.static_numeric = static_numeric
 
     def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        if self.static_numeric:
+            left = self.left.evaluate_single(context)
+            right = self.right.evaluate_single(context)
+            if left is None or right is None:
+                return
+            yield compute_arithmetic(self.op, left, right)
+            return
         left = self.left.evaluate_atomic(context, "operand of " + self.op)
         right = self.right.evaluate_atomic(context, "operand of " + self.op)
         if left is None or right is None:

@@ -137,6 +137,18 @@ class RuntimeIterator:
             )
         return item
 
+    def evaluate_single(self, context: DynamicContext) -> Optional[Item]:
+        """The first item of this expression, or None for empty.
+
+        Fast path for call sites where *static inference already proved*
+        the result is a single atomic of the right kind — it skips the
+        two-item materialization, the singleton check and the atomicity
+        check of :meth:`evaluate_atomic`.
+        """
+        for item in self._generate(context):
+            return item
+        return None
+
     def materialize_local(
         self, context: DynamicContext, limit: Optional[int] = None
     ) -> List[Item]:

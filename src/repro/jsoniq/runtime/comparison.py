@@ -42,11 +42,15 @@ def _apply(op: str, left: Item, right: Item) -> bool:
 class ComparisonIterator(RuntimeIterator):
     """Both comparison families, selected by the operator's spelling."""
 
-    def __init__(self, op: str, left: RuntimeIterator, right: RuntimeIterator):
+    def __init__(self, op: str, left: RuntimeIterator, right: RuntimeIterator,
+                 static_atomic: bool = False):
         super().__init__([left, right])
         self.op = op
         self.left = left
         self.right = right
+        #: Set by the compiler when static inference proved both operands
+        #: are single comparable atomics — enables the checkless path.
+        self.static_atomic = static_atomic
 
     def _generate(self, context: DynamicContext) -> Iterator[Item]:
         if self.op in _VALUE_OPS:
@@ -55,6 +59,13 @@ class ComparisonIterator(RuntimeIterator):
             yield from self._general_comparison(context)
 
     def _value_comparison(self, context: DynamicContext) -> Iterator[Item]:
+        if self.static_atomic:
+            left = self.left.evaluate_single(context)
+            right = self.right.evaluate_single(context)
+            if left is None or right is None:
+                return
+            yield TRUE if _apply(self.op, left, right) else FALSE
+            return
         left = self.left.evaluate_atomic(context, "comparison operand")
         right = self.right.evaluate_atomic(context, "comparison operand")
         if left is None or right is None:

@@ -1,160 +1,46 @@
-"""Static analysis: scope checking and function resolution.
+"""Static analysis entry point: scoping, typing, mode planning.
 
-Walks the AST recursively, chaining static contexts (paper, Section 5.3):
-every variable reference must resolve, every function call must name a
-builtin or a prolog-declared function with the right arity.  Each node's
-``static_context`` attribute is populated for later phases.
+Historically this module only chained static contexts (paper, Section
+5.3).  The actual work now lives in :mod:`repro.jsoniq.analysis.inference`,
+which additionally infers a static sequence type and plans an execution
+mode for every node, and reports diagnostics; this module keeps the
+stable ``analyse`` entry point (plus the legacy ``_analyse_expression`` /
+``_analyse_flwor`` helpers some callers import directly).
 """
 
 from __future__ import annotations
 
 from repro.jsoniq import ast
-from repro.jsoniq.errors import StaticException
+from repro.jsoniq.analysis.inference import Analyzer
 from repro.jsoniq.static_context import StaticContext
 
 
-def analyse(module: ast.MainModule, external=()) -> StaticContext:
+def analyse(module: ast.MainModule, external=(), sink=None,
+            collect_type_errors: bool = False, obs=None) -> StaticContext:
     """Analyse a main module in place, returning the root context.
 
     ``external`` names variables that the host application will bind at
     run time (the engine passes the binding keys here), in addition to
-    any ``declare variable $x external;`` declarations.
+    any ``declare variable $x external;`` declarations.  ``sink``
+    optionally collects diagnostics (a fresh one is created otherwise);
+    with ``collect_type_errors`` guaranteed type failures become error
+    diagnostics instead of raised exceptions (linter mode).  ``obs`` is
+    an optional :class:`repro.obs.Observability` bundle — when given,
+    the analysis emits ``static.infer``/``static.verify`` spans and
+    ``rumble.static.*`` metrics.
     """
-    root = StaticContext()
-    # First pass over the prolog: register functions so that mutual
-    # recursion works, then analyse bodies and global variables in order.
-    for declaration in module.declarations:
-        if isinstance(declaration, ast.FunctionDeclaration):
-            root.declare_function(
-                declaration.name, len(declaration.parameters), declaration
-            )
-    context: StaticContext = root
-    for name in external:
-        context = context.bind_variable(name)
-    for declaration in module.declarations:
-        if isinstance(declaration, ast.FunctionDeclaration):
-            body_context = context
-            for parameter in declaration.parameters:
-                body_context = body_context.bind_variable(parameter)
-            _analyse_expression(declaration.body, body_context)
-        elif isinstance(declaration, ast.VariableDeclaration):
-            if declaration.expression is not None:
-                _analyse_expression(declaration.expression, context)
-            context = context.bind_variable(declaration.name)
-        declaration.static_context = context
-    _analyse_expression(module.expression, context)
-    module.static_context = context
-    return root
+    analyzer = Analyzer(sink=sink, collect_type_errors=collect_type_errors)
+    return analyzer.analyse_module(module, external=external, obs=obs)
 
 
-def _analyse_expression(node: ast.Expression, context: StaticContext) -> None:
-    node.static_context = context
-    if isinstance(node, ast.VariableReference):
-        context.require_variable(node.name, node.line, node.column)
-        return
-    if isinstance(node, ast.FunctionCall):
-        _check_function(node, context)
-        for argument in node.arguments:
-            _analyse_expression(argument, context)
-        return
-    if isinstance(node, ast.FlworExpression):
-        _analyse_flwor(node, context)
-        return
-    if isinstance(node, ast.TypeswitchExpression):
-        _analyse_expression(node.subject, context)
-        for variable, _, result in node.cases:
-            branch = context.bind_variable(variable) if variable else context
-            _analyse_expression(result, branch)
-        branch = (
-            context.bind_variable(node.default_variable)
-            if node.default_variable else context
-        )
-        _analyse_expression(node.default, branch)
-        return
-    if isinstance(node, ast.QuantifiedExpression):
-        inner = context
-        for variable, expression in node.bindings:
-            _analyse_expression(expression, inner)
-            inner = inner.bind_variable(variable)
-        _analyse_expression(node.condition, inner)
-        return
-    if isinstance(node, (ast.Predicate, ast.SimpleMap)):
-        _analyse_expression(node.children()[0], context)
-        # The context item ($$) is implicitly in scope on the right side.
-        _analyse_expression(node.children()[1], context)
-        return
-    for child in node.children():
-        _analyse_expression(child, context)
+def _analyse_expression(node: ast.Expression,
+                        context: StaticContext) -> None:
+    """Legacy helper: analyse one expression in a given context."""
+    Analyzer().visit(node, context)
 
 
-def _analyse_flwor(node: ast.FlworExpression, context: StaticContext) -> None:
-    if not node.clauses or not isinstance(node.clauses[-1], ast.ReturnClause):
-        raise StaticException("FLWOR expression must end with return")
-    if not isinstance(
-        node.clauses[0], (ast.ForClause, ast.LetClause, ast.WindowClause)
-    ):
-        raise StaticException("FLWOR expression must start with for or let")
-    current = context
-    for clause in node.clauses:
-        clause.static_context = current
-        if isinstance(clause, ast.WindowClause):
-            _analyse_expression(clause.expression, current)
-            start_scope = current
-            for name in clause.start.variables.names():
-                start_scope = start_scope.bind_variable(name)
-            _analyse_expression(clause.start.when, start_scope)
-            if clause.end is not None:
-                end_scope = start_scope
-                for name in clause.end.variables.names():
-                    end_scope = end_scope.bind_variable(name)
-                _analyse_expression(clause.end.when, end_scope)
-            # Downstream clauses see the window variable plus every
-            # boundary variable.
-            current = current.bind_variable(clause.variable)
-            for name in clause.start.variables.names():
-                current = current.bind_variable(name)
-            if clause.end is not None:
-                for name in clause.end.variables.names():
-                    current = current.bind_variable(name)
-        elif isinstance(clause, ast.ForClause):
-            _analyse_expression(clause.expression, current)
-            current = current.bind_variable(clause.variable)
-            if clause.position_variable:
-                current = current.bind_variable(clause.position_variable)
-        elif isinstance(clause, ast.LetClause):
-            _analyse_expression(clause.expression, current)
-            current = current.bind_variable(clause.variable)
-        elif isinstance(clause, ast.WhereClause):
-            _analyse_expression(clause.condition, current)
-        elif isinstance(clause, ast.GroupByClause):
-            for key in clause.keys:
-                if key.expression is not None:
-                    _analyse_expression(key.expression, current)
-                    current = current.bind_variable(key.variable)
-                else:
-                    current.require_variable(
-                        key.variable, clause.line, clause.column
-                    )
-        elif isinstance(clause, ast.OrderByClause):
-            for spec in clause.specs:
-                _analyse_expression(spec.expression, current)
-        elif isinstance(clause, ast.CountClause):
-            current = current.bind_variable(clause.variable)
-        elif isinstance(clause, ast.ReturnClause):
-            _analyse_expression(clause.expression, current)
-    node.static_context = context
-
-
-def _check_function(node: ast.FunctionCall, context: StaticContext) -> None:
-    from repro.jsoniq.functions.registry import is_builtin
-
-    if is_builtin(node.name, len(node.arguments)):
-        return
-    declaration = context.lookup_function(node.name, len(node.arguments))
-    if declaration is None:
-        raise StaticException(
-            "unknown function {}#{}".format(node.name, len(node.arguments)),
-            code="XPST0017",
-            line=node.line,
-            column=node.column,
-        )
+def _analyse_flwor(node: ast.FlworExpression,
+                   context: StaticContext) -> None:
+    """Legacy helper: analyse one FLWOR expression in a given context."""
+    analyzer = Analyzer()
+    analyzer.visit(node, context)

@@ -29,6 +29,20 @@ class StaticContext:
         child._variables[name] = declared_type
         return child
 
+    def lookup_variable(self, name: str):
+        """The innermost binding object for a name, or None.
+
+        Returns whatever ``bind_variable`` stored — the static analyzer
+        stores :class:`repro.jsoniq.analysis.inference.Binding` objects,
+        older callers may store plain declared-type markers.
+        """
+        context: Optional[StaticContext] = self
+        while context is not None:
+            if name in context._variables:
+                return context._variables[name]
+            context = context.parent
+        return None
+
     def has_variable(self, name: str) -> bool:
         context: Optional[StaticContext] = self
         while context is not None:

@@ -1,0 +1,193 @@
+"""The sequence-type lattice and builtin signature table."""
+
+import pytest
+
+from repro.jsoniq.analysis import modes
+from repro.jsoniq.analysis.signatures import SIGNATURES, signature_for
+from repro.jsoniq.analysis.types import (
+    EMPTY,
+    ONE,
+    OPTIONAL,
+    PLUS,
+    STAR,
+    SType,
+    arity_concat,
+    arity_multiply,
+    arity_union,
+    comparison_family,
+    kind_lub,
+    kind_subsumes,
+    kinds_intersect,
+    lub,
+    may_match,
+    subtype,
+)
+
+
+class TestKindTree:
+    @pytest.mark.parametrize("sup,sub", [
+        ("item", "integer"),
+        ("atomic", "integer"),
+        ("number", "integer"),
+        ("decimal", "integer"),
+        ("number", "double"),
+        ("json-item", "object"),
+        ("json-item", "array"),
+        ("atomic", "string"),
+        ("duration", "dayTimeDuration"),
+        ("item", "item"),
+    ])
+    def test_subsumes(self, sup, sub):
+        assert kind_subsumes(sup, sub)
+
+    @pytest.mark.parametrize("sup,sub", [
+        ("integer", "decimal"),
+        ("string", "integer"),
+        ("object", "array"),
+        ("atomic", "object"),
+        ("number", "string"),
+    ])
+    def test_not_subsumes(self, sup, sub):
+        assert not kind_subsumes(sup, sub)
+
+    def test_intersection_is_ancestry(self):
+        assert kinds_intersect("number", "integer")
+        assert kinds_intersect("integer", "atomic")
+        assert not kinds_intersect("string", "integer")
+        assert not kinds_intersect("object", "string")
+
+    @pytest.mark.parametrize("a,b,expected", [
+        ("integer", "integer", "integer"),
+        ("integer", "decimal", "decimal"),
+        ("integer", "double", "number"),
+        ("integer", "string", "atomic"),
+        ("object", "array", "json-item"),
+        ("object", "string", "item"),
+    ])
+    def test_lub(self, a, b, expected):
+        assert kind_lub(a, b) == expected
+        assert kind_lub(b, a) == expected
+
+    def test_comparison_families(self):
+        assert comparison_family("integer") == "number"
+        assert comparison_family("double") == "number"
+        assert comparison_family("string") == "string"
+        # Ambiguous or compares-with-everything kinds have no family.
+        assert comparison_family("item") is None
+        assert comparison_family("atomic") is None
+        assert comparison_family("null") is None
+
+
+class TestArities:
+    def test_concat(self):
+        assert arity_concat(ONE, ONE) == PLUS
+        assert arity_concat(EMPTY, ONE) == ONE
+        assert arity_concat(OPTIONAL, OPTIONAL) == STAR
+        assert arity_concat(STAR, PLUS) == PLUS
+
+    def test_union(self):
+        assert arity_union(ONE, EMPTY) == OPTIONAL
+        assert arity_union(ONE, PLUS) == PLUS
+        assert arity_union(EMPTY, STAR) == STAR
+        assert arity_union(ONE, ONE) == ONE
+
+    def test_multiply(self):
+        assert arity_multiply(PLUS, ONE) == PLUS
+        assert arity_multiply(STAR, ONE) == STAR
+        assert arity_multiply(ONE, OPTIONAL) == OPTIONAL
+        assert arity_multiply(PLUS, STAR) == STAR
+        assert arity_multiply(EMPTY, PLUS) == EMPTY
+
+    def test_exact_count(self):
+        assert SType("integer", ONE).exact_count() == 1
+        assert SType("integer", EMPTY).exact_count() == 0
+        assert SType("integer", STAR).exact_count() is None
+
+
+class TestSubtypingAndMatching:
+    def test_subtype(self):
+        assert subtype(SType("integer", ONE), SType("number", OPTIONAL))
+        assert subtype(SType("integer", EMPTY), SType("string", STAR))
+        assert not subtype(SType("integer", STAR), SType("integer", ONE))
+        assert not subtype(SType("string", ONE), SType("integer", ONE))
+
+    def test_may_match_disjoint_kinds(self):
+        # Both guaranteed non-empty with disjoint kinds: impossible.
+        assert not may_match(SType("string", ONE), SType("integer", ONE))
+        # An empty instance satisfies both when allowed on both sides.
+        assert may_match(SType("string", OPTIONAL),
+                         SType("integer", STAR))
+
+    def test_may_match_disjoint_counts(self):
+        assert not may_match(SType("integer", PLUS),
+                             SType("integer", EMPTY))
+        assert may_match(SType("integer", STAR), SType("integer", ONE))
+
+    def test_str(self):
+        assert str(SType("integer", ONE)) == "integer"
+        assert str(SType("item", STAR)) == "item*"
+        assert str(SType("string", EMPTY)) == "empty-sequence()"
+
+
+class TestModes:
+    def test_combine_lattice(self):
+        assert modes.combine([]) == modes.LOCAL
+        assert modes.combine([modes.LOCAL, modes.LOCAL]) == modes.LOCAL
+        assert modes.combine([modes.LOCAL, modes.RDD]) == modes.RDD
+        assert modes.combine(
+            [modes.DATAFRAME, modes.LOCAL]
+        ) == modes.DATAFRAME
+        assert modes.combine([modes.DATAFRAME, modes.RDD]) == modes.RDD
+
+
+class TestSignatureTable:
+    def test_every_builtin_has_a_signature(self):
+        from repro.jsoniq.functions.registry import (
+            _FACTORIES,
+            _SIMPLE,
+        )
+
+        pairs = [
+            (name, arity)
+            for name, by_arity in _SIMPLE.items()
+            for arity in by_arity
+        ] + [
+            (name, arity)
+            for name, (arities, _cls) in _FACTORIES.items()
+            for arity in arities
+        ]
+        missing = [
+            (name, arity)
+            for name, arity in pairs
+            if signature_for(name, arity) is None
+        ]
+        assert missing == []
+
+    def test_no_phantom_signatures(self):
+        from repro.jsoniq.functions.registry import is_builtin
+
+        for name, arity in SIGNATURES:
+            assert is_builtin(name, arity), (name, arity)
+
+    def test_io_sources_are_distributed(self):
+        assert signature_for("json-file", 1).mode == modes.RDD
+        assert signature_for("parallelize", 1).mode == modes.RDD
+        assert signature_for(
+            "structured-json-file", 1
+        ).mode == modes.DATAFRAME
+        assert signature_for("count", 1).mode is None
+
+    def test_return_types(self):
+        integer_one = SType("integer", ONE)
+        assert str(signature_for("count", 1).return_type(
+            [SType("item", STAR)]
+        )) == "integer"
+        assert str(signature_for("abs", 1).return_type(
+            [integer_one]
+        )) == "integer"
+        assert str(signature_for("abs", 1).return_type(
+            [SType("integer", OPTIONAL)]
+        )) == "integer?"
+        assert str(signature_for("keys", 1).return_type(
+            [SType("object", ONE)]
+        )) == "string*"

@@ -1,0 +1,177 @@
+"""The query linter: rules, CLI (--lint) and shell (:lint) surfaces."""
+
+import io
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.shell import RumbleShell
+from repro.jsoniq.analysis.linter import lint_query
+
+
+def codes(text):
+    return [d.code for d in lint_query(text)]
+
+
+class TestLintRules:
+    def test_clean_query(self):
+        assert lint_query("for $x in (1, 2) return $x + 1") == []
+
+    def test_unused_variable(self):
+        diagnostics = lint_query("let $dead := 1 return 42")
+        assert [d.code for d in diagnostics] == ["RBL001"]
+        assert diagnostics[0].severity == "warning"
+        assert "$dead" in diagnostics[0].message
+
+    def test_used_variable_not_reported(self):
+        assert "RBL001" not in codes("let $x := 1 return $x")
+
+    def test_grouped_variable_use_counts(self):
+        # $x is only referenced after the group-by re-binding; the
+        # origin chain must credit the original for-binding.
+        assert "RBL001" not in codes(
+            "for $x in (1, 2) group by $k := $x mod 2 return count($x)"
+        )
+
+    def test_shadowed_binding(self):
+        assert "RBL002" in codes(
+            "let $x := 1 let $x := 2 return $x"
+        )
+
+    def test_no_shadow_warning_for_distinct_names(self):
+        assert "RBL002" not in codes(
+            "let $x := 1 let $y := 2 return $x + $y"
+        )
+
+    def test_constant_foldable(self):
+        diagnostics = lint_query("let $x := 1 + 2 * 3 return $x")
+        folds = [d for d in diagnostics if d.code == "RBL003"]
+        assert len(folds) == 1  # topmost constant subtree only
+        assert folds[0].severity == "info"
+
+    def test_literals_not_reported_as_foldable(self):
+        assert "RBL003" not in codes("let $x := 5 return $x")
+
+    def test_incompatible_comparison_warning(self):
+        # One side can be empty, so not a guaranteed error — but the
+        # comparison can never be true.
+        diagnostics = lint_query(
+            'for $x in (1, 2) return $x[$$ gt 5] eq "a"'
+        )
+        assert "RBL004" in [d.code for d in diagnostics]
+
+    def test_count_antipattern(self):
+        for query, should in [
+            ("for $x in (1,2) group by $k := $x mod 2 "
+             "return count($x) eq 0", True),
+            ("for $x in (1,2) group by $k := $x mod 2 "
+             "return count($x) gt 0", True),
+            ("for $x in (1,2) group by $k := $x mod 2 "
+             "return 0 lt count($x)", True),
+            ("for $x in (1,2) group by $k := $x mod 2 "
+             "return count($x) eq 2", False),
+        ]:
+            found = "RBL005" in codes(query)
+            assert found == should, query
+
+    def test_type_errors_collected_not_raised(self):
+        diagnostics = lint_query('1 + "a"')
+        assert [d.code for d in diagnostics] == ["XPTY0004"]
+        assert diagnostics[0].severity == "error"
+
+    def test_parse_errors_reported(self):
+        diagnostics = lint_query("for $x in")
+        assert diagnostics
+        assert diagnostics[0].severity == "error"
+        assert diagnostics[0].code == "XPST0003"
+
+    def test_scope_errors_reported(self):
+        diagnostics = lint_query("$nowhere")
+        assert [d.code for d in diagnostics] == ["XPST0008"]
+
+    def test_diagnostics_sorted_by_position(self):
+        diagnostics = lint_query(
+            "let $a := 1\nlet $b := 2\nreturn 3"
+        )
+        lines = [d.line for d in diagnostics]
+        assert lines == sorted(lines)
+
+
+class TestLintCli:
+    def test_clean_query_exits_zero(self, capsys):
+        assert main(["--lint", "-q", "for $x in (1, 2) return $x"]) == 0
+        assert "no issues found" in capsys.readouterr().out
+
+    def test_warning_exits_zero(self, capsys):
+        assert main(["--lint", "-q", "let $dead := 1 return 2"]) == 0
+        assert "RBL001" in capsys.readouterr().out
+
+    def test_error_exits_one(self, capsys):
+        assert main(["--lint", "-q", '1 + "a"']) == 1
+        assert "XPTY0004" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        assert main(
+            ["--lint", "--format=json", "-q", "let $dead := 1 return 2"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["code"] == "RBL001"
+        assert payload[0]["severity"] == "warning"
+        assert {"line", "column", "message"} <= set(payload[0])
+
+    def test_query_file(self, tmp_path, capsys):
+        query = tmp_path / "q.jq"
+        query.write_text('"x" + 1')
+        assert main(["--lint", "-f", str(query)]) == 1
+
+
+class TestExampleQueries:
+    """The CI lint job's contract: the shipped corpus stays clean."""
+
+    def test_example_corpus_lints_clean(self):
+        import pathlib
+
+        corpus = sorted(
+            pathlib.Path(__file__).parent.parent.glob(
+                "examples/queries/*.jq"
+            )
+        )
+        assert corpus, "examples/queries/*.jq corpus is missing"
+        for path in corpus:
+            diagnostics = lint_query(path.read_text())
+            assert diagnostics == [], (path.name, [
+                d.render() for d in diagnostics
+            ])
+
+
+class TestShellLint:
+    def shell(self):
+        return RumbleShell(output=io.StringIO())
+
+    def test_toggle(self):
+        shell = self.shell()
+        assert shell.linting is False
+        shell.handle_command(":lint")
+        assert shell.linting is True
+        shell.handle_command(":lint")
+        assert shell.linting is False
+
+    def test_diagnostics_precede_results(self):
+        shell = self.shell()
+        shell.handle_command(":lint")
+        lines = shell.execute("let $dead := 1 return 42")
+        assert any("RBL001" in line for line in lines)
+        assert lines[-1] == "42"
+
+    def test_error_blocks_execution(self):
+        shell = self.shell()
+        shell.handle_command(":lint")
+        lines = shell.execute('1 + "a"')
+        assert any("XPTY0004" in line for line in lines)
+        assert "2" not in lines  # never executed
+
+    def test_banner_mentions_lint(self):
+        from repro.core.shell import BANNER
+
+        assert ":lint" in BANNER

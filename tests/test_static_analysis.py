@@ -163,3 +163,389 @@ class TestStaticContextChaining:
         flwor = module.expression
         return_clause = flwor.clauses[-1]
         assert return_clause.static_context.has_variable("x")
+
+
+# ---------------------------------------------------------------------------
+# Static type inference, mode planning, diagnostics (docs/static_typing.md)
+# ---------------------------------------------------------------------------
+
+import hypothesis  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.core import Rumble  # noqa: E402
+from repro.jsoniq import ast  # noqa: E402
+from repro.jsoniq.analysis import LOCAL, RDD, SType  # noqa: E402
+from repro.jsoniq.analysis.inference import Binding  # noqa: E402
+from repro.jsoniq.errors import (  # noqa: E402
+    CastException,
+    JsoniqException,
+    TypeException,
+)
+
+
+def infer(text: str) -> str:
+    module = parse(text)
+    analyse(module)
+    return str(module.expression.static_type)
+
+
+class TestTypeInference:
+    @pytest.mark.parametrize("query,expected", [
+        ("1", "integer"),
+        ("1.5", "decimal"),
+        ("1e0", "double"),
+        ('"a"', "string"),
+        ("true", "boolean"),
+        ("null", "null"),
+        ("()", "empty-sequence()"),
+        ("(1, 2)", "integer+"),
+        ('(1, "a")', "atomic+"),
+        ("(1, 2.5)", "decimal+"),
+        ("1 + 2", "integer"),
+        ("1 + 2.5", "decimal"),
+        ("1 div 2", "decimal"),
+        ("4 idiv 2", "integer"),
+        ("1 + 1e0", "double"),
+        ("1 to 5", "integer*"),
+        ("1 eq 2", "boolean"),
+        ("1 lt 2", "boolean"),
+        ("count((1, 2))", "integer"),
+        ("sum((1, 2))", "number"),
+        ("exists(())", "boolean"),
+        ('upper-case("a")', "string?"),
+        ('string-length("abc")', "integer?"),
+        ('{"a": 1}', "object"),
+        ("[1, 2]", "array"),
+        ('keys({"a": 1})', "string*"),
+        ("1 instance of integer", "boolean"),
+        ('"5" cast as integer', "integer"),
+        ("() cast as integer?", "integer?"),
+        ("for $x in (1, 2, 3) return $x * 2", "integer+"),
+        ("for $x in (1, 2) where $x gt 1 return $x", "integer*"),
+        ("let $x := 5 return $x + 1", "integer"),
+        ("for $x in () return $x", "empty-sequence()"),
+        ("if (1 eq 1) then 1 else 2.5", "decimal"),
+        ("if (1 eq 1) then 1 else ()", "integer?"),
+        ("some $x in (1, 2) satisfies $x gt 1", "boolean"),
+        ('"a" || "b"', "string"),
+    ])
+    def test_inferred_type(self, query, expected):
+        assert infer(query) == expected
+
+    def test_every_node_annotated(self):
+        module = parse(
+            "declare function local:f($x) { $x + 1 }; "
+            "for $x in (1, 2) let $y := local:f($x) "
+            "where $y gt 1 group by $k := $y mod 2 "
+            "order by $k count $c return { 'k': $k, 'n': count($x) }"
+            .replace("'", '"')
+        )
+        analyse(module)
+        stack = [module]
+        seen = 0
+        while stack:
+            node = stack.pop()
+            seen += 1
+            assert node.static_type is not None, type(node).__name__
+            assert node.execution_mode is not None, type(node).__name__
+            stack.extend(node.children())
+        assert seen > 20
+        assert module.analysis is not None
+        assert module.analysis.node_count == seen
+
+    def test_declared_type_trusted(self):
+        module = parse("for $x as integer in $data return $x + 1")
+        analyse(module, external=("data",))
+        assert str(module.expression.static_type) == "integer*"
+
+    def test_udf_return_type_inferred(self):
+        module = parse(
+            "declare function local:f($x as integer) { $x * 2 }; "
+            "local:f(3)"
+        )
+        analyse(module)
+        assert str(module.expression.static_type) == "integer"
+
+
+class TestStaticTypeErrors:
+    @pytest.mark.parametrize("query,code", [
+        ('"a" + 1', "XPTY0004"),
+        ("true + 1", "XPTY0004"),
+        ('1 eq "a"', "XPTY0004"),
+        ('"a" lt true', "XPTY0004"),
+        ('"x" treat as integer', "XPDY0050"),
+        ("() cast as integer", "FORG0001"),
+        ('abs("x")', "XPTY0004"),
+        ('floor("x")', "XPTY0004"),
+        ('{"a": 1} + 1', "XPTY0004"),
+        ("[1] eq 1", "XPTY0004"),
+        ('"a" to 5', "XPTY0004"),
+        ('-"a"', "XPTY0004"),
+        ('{"a": 1} || "x"', "XPTY0004"),
+        ('sum("a")', "XPTY0004"),
+        ('let $x as integer := "a" return $x', "XPTY0004"),
+    ])
+    def test_rejected_at_compile_time(self, query, code):
+        with pytest.raises(StaticException) as info:
+            check(query)
+        assert info.value.code == code
+        # The same failure is still catchable under the dynamic taxonomy
+        # (these errors used to surface at run time).
+        assert isinstance(info.value, (TypeException, CastException))
+
+    def test_error_carries_position(self):
+        with pytest.raises(StaticException) as info:
+            check('1 +\n"a" + 2')
+        assert info.value.line is not None
+        assert info.value.line >= 1
+
+    @pytest.mark.parametrize("query", [
+        "(1, 2) + 1",          # non-singleton: dynamic, not static
+        "sum((1, \"a\"))",     # lub is atomic — may still be numeric
+        "() eq 1",             # empty operand: result is empty, no error
+        "$x + 1",              # external: item* — could be fine
+    ])
+    def test_ambiguous_stays_dynamic(self, query):
+        module = parse(query)
+        analyse(module, external=("x",))  # must not raise
+
+    def test_try_block_defers_to_runtime(self):
+        engine = Rumble()
+        result = engine.query(
+            'try { "a" + 1 } catch FOAR0001 | XPTY0004 { "typed" }'
+        ).to_python()
+        assert result == ["typed"]
+
+    def test_try_block_constant_errors_still_dynamic(self):
+        engine = Rumble()
+        result = engine.query(
+            'try { 1 div 0 } catch FOAR0001 { "caught" }'
+        ).to_python()
+        assert result == ["caught"]
+
+
+class TestDeclaredTypes:
+    def test_let_annotation_enforced_at_runtime(self):
+        engine = Rumble()
+        with pytest.raises(TypeException):
+            engine.query(
+                'declare function local:f($x) { $x }; '
+                'let $y as integer := local:f("a") return $y'
+            ).to_python()
+
+    def test_for_annotation_enforced_at_runtime(self):
+        engine = Rumble()
+        with pytest.raises(TypeException):
+            engine.query(
+                'declare function local:f($x) { $x }; '
+                'for $y as integer in local:f(("a", "b")) return $y'
+            ).to_python()
+
+    def test_parameter_annotation_enforced_at_runtime(self):
+        engine = Rumble()
+        with pytest.raises(TypeException):
+            engine.query(
+                'declare function local:f($x as integer) { $x }; '
+                'declare function local:g($x) { local:f($x) }; '
+                'local:g("a")'
+            ).to_python()
+
+    def test_matching_annotations_run_fine(self):
+        engine = Rumble()
+        result = engine.query(
+            'declare function local:f($x as integer) as integer '
+            '{ $x * 2 }; '
+            'for $y as integer in (1, 2, 3) return local:f($y)'
+        ).to_python()
+        assert result == [2, 4, 6]
+
+    def test_global_annotation_enforced(self):
+        engine = Rumble()
+        with pytest.raises(TypeException):
+            engine.query(
+                'declare function local:id($x) { $x }; '
+                'declare variable $g as integer := local:id("a"); $g'
+            ).to_python()
+
+
+class TestGroupByScoping:
+    def test_non_grouping_variable_rebound_as_sequence(self):
+        module = parse(
+            "for $x in (1, 2, 3) group by $k := $x mod 2 return $x"
+        )
+        analyse(module)
+        return_clause = module.expression.clauses[-1]
+        binding = return_clause.static_context.lookup_variable("x")
+        assert isinstance(binding, Binding)
+        assert binding.type.arity == "+"
+        assert binding.type.kind == "integer"
+
+    def test_count_not_folded_after_group_by(self):
+        engine = Rumble()
+        result = engine.query(
+            "for $x in (1, 2, 3, 4) group by $k := $x mod 2 "
+            "order by $k return count($x)"
+        ).to_python()
+        assert result == [2, 2]
+
+
+class TestFlworShapeErrors:
+    def test_missing_return_has_code_and_position(self):
+        from repro.jsoniq.static_analysis import _analyse_flwor
+
+        flwor = ast.FlworExpression(
+            [ast.ForClause("x", ast.Literal("integer", 1))],
+            line=3, column=7,
+        )
+        with pytest.raises(StaticException) as info:
+            _analyse_flwor(flwor, StaticContext())
+        assert info.value.code == "XPST0003"
+        assert info.value.line == 3
+        assert info.value.column == 7
+
+    def test_bad_first_clause_has_code_and_position(self):
+        from repro.jsoniq.static_analysis import _analyse_flwor
+
+        flwor = ast.FlworExpression([
+            ast.WhereClause(ast.Literal("boolean", True)),
+            ast.ReturnClause(ast.Literal("integer", 1)),
+        ], line=2, column=4)
+        with pytest.raises(StaticException) as info:
+            _analyse_flwor(flwor, StaticContext())
+        assert info.value.code == "XPST0003"
+        assert info.value.line == 2
+        assert info.value.column == 4
+
+
+class TestExecutionModes:
+    def test_local_by_default(self):
+        module = parse("1 + 1")
+        analyse(module)
+        assert module.expression.execution_mode == LOCAL
+
+    def test_json_file_seeds_rdd(self):
+        module = parse('for $x in json-file("d.json") return $x.a')
+        analyse(module)
+        assert module.expression.execution_mode == RDD
+        for_clause = module.expression.clauses[0]
+        assert for_clause.execution_mode == RDD
+
+    def test_structured_json_file_seeds_dataframe(self):
+        module = parse('structured-json-file("d.json")')
+        analyse(module)
+        assert module.expression.execution_mode == "dataframe"
+
+    def test_mode_propagates_through_clauses(self):
+        module = parse(
+            'for $x in parallelize((1, 2)) where $x gt 1 '
+            'let $y := $x + 1 return $y'
+        )
+        analyse(module)
+        for clause in module.expression.clauses:
+            assert clause.execution_mode == RDD
+
+    def test_local_expression_inside_rdd_flwor(self):
+        module = parse('for $x in json-file("d") return $x.a + 1')
+        analyse(module)
+        return_expr = module.expression.clauses[-1].expression
+        assert return_expr.execution_mode == LOCAL
+
+
+class TestExplain:
+    def test_explain_shows_types_and_modes(self):
+        engine = Rumble()
+        plan = engine.explain(
+            'for $x in json-file("d.json") return $x.a'
+        )
+        assert "Static plan" in plan
+        assert "mode=rdd" in plan
+        assert "type=" in plan
+        assert "ForClause $x" in plan
+
+    def test_explain_shows_inferred_types(self):
+        engine = Rumble()
+        plan = engine.explain("1 + 2")
+        assert "type=integer" in plan
+
+
+class TestCompilerWins:
+    def test_count_fold(self):
+        from repro.jsoniq.compiler import Compiler
+
+        module = parse("let $x := (1, 2, 3) return count($x)")
+        analyse(module)
+        compiler = Compiler()
+        compiler.compile_module(module)
+        # $x has static type integer+, not an exact count — no fold.
+        assert compiler.stats["count_fold"] == 0
+
+        module = parse("for $x in (1, 2, 3) return count($x)")
+        analyse(module)
+        compiler = Compiler()
+        compiler.compile_module(module)
+        assert compiler.stats["count_fold"] == 1
+
+    def test_count_fold_correct_result(self):
+        engine = Rumble()
+        assert engine.query(
+            "for $x in (1, 2, 3) return count($x)"
+        ).to_python() == [1, 1, 1]
+
+    def test_fast_arithmetic_flagged(self):
+        from repro.jsoniq.compiler import Compiler
+
+        module = parse("for $x in (1, 2) return $x * 2")
+        analyse(module)
+        compiler = Compiler()
+        compiler.compile_module(module)
+        assert compiler.stats["fast_arithmetic"] == 1
+
+    def test_fast_comparison_flagged(self):
+        from repro.jsoniq.compiler import Compiler
+
+        module = parse("for $x in (1, 2) where $x gt 1 return $x")
+        analyse(module)
+        compiler = Compiler()
+        compiler.compile_module(module)
+        assert compiler.stats["fast_comparison"] == 1
+
+    def test_fast_paths_preserve_results(self):
+        engine = Rumble()
+        assert engine.query(
+            "for $x in (1, 2, 3, 4) where $x gt 2 return $x * 10"
+        ).to_python() == [30, 40]
+
+    def test_profile_reports_static_metrics(self):
+        engine = Rumble()
+        report = engine.profile("for $x in (1, 2) where $x gt 1 return $x")
+        counters = report.metrics["counters"]
+        assert counters["rumble.static.nodes"] > 0
+        assert counters["rumble.static.bindings"] >= 1
+        assert counters[
+            "rumble.static.fastpath{kind=fast_comparison}"
+        ] == 1
+
+
+class TestStaticAnalysisProperty:
+    """Queries that pass static analysis never die of type confusion:
+    they run to completion or raise a well-typed JsoniqException."""
+
+    @hypothesis.given(seed=st.integers(min_value=0, max_value=10_000))
+    @hypothesis.settings(
+        max_examples=40, deadline=None,
+        suppress_health_check=[hypothesis.HealthCheck.too_slow],
+    )
+    def test_fuzzed_pipelines_fail_only_dynamically(self, seed):
+        import random
+
+        from tests.test_fuzz_queries import PipelineBuilder, random_dataset
+
+        engine = Rumble()
+        rng = random.Random(seed)
+        data = random_dataset(rng, rng.randint(0, 15))
+        template = PipelineBuilder(rng).build()
+        query = template.format(src="$data[]")
+        try:
+            engine.query(query, {"data": [data]}).to_python()
+        except JsoniqException:
+            pass  # a *dynamic* failure is allowed; confusion is not
