@@ -8,6 +8,7 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -19,9 +20,51 @@ from repro.datasets import (
     write_reddit,
 )
 
+#: ``RUMBLE_BENCH_SMOKE=1`` shrinks every dataset so the whole suite —
+#: and the CI regression gate — finishes in well under a minute while
+#: keeping seeds, query shapes and figure names identical.
+SMOKE = os.environ.get("RUMBLE_BENCH_SMOKE", "") not in ("", "0")
+
 #: Laptop-scale object counts (the paper uses 16M confusion / 54M reddit).
-CONFUSION_OBJECTS = 20_000
-REDDIT_OBJECTS = 10_000
+CONFUSION_OBJECTS = 8_000 if SMOKE else 20_000
+REDDIT_OBJECTS = 2_000 if SMOKE else 10_000
+HETEROGENEOUS_OBJECTS = 1_000 if SMOKE else 5_000
+SWEEP_SIZES = (
+    [500, 1_000, 2_000, 4_000]
+    if SMOKE
+    else [1_000, 2_000, 4_000, 8_000, 16_000, 32_000]
+)
+
+#: Figures recorded this session, written to BENCH_pr4.json at exit.
+#: Each entry: name -> {"seconds_on", "seconds_off", "speedup",
+#: "counters", ...} (see test_regression_gate.py).
+BENCH_RECORD: dict = {}
+
+#: Where the per-session figure record lands.  Committed from a real
+#: run; the CI gate regenerates it and diffs speedups against
+#: BENCH_baseline.json.
+BENCH_OUT = os.environ.get(
+    "RUMBLE_BENCH_OUT",
+    os.path.join(os.path.dirname(__file__), "BENCH_pr4.json"),
+)
+
+
+@pytest.fixture(scope="session")
+def bench_record() -> dict:
+    return BENCH_RECORD
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not BENCH_RECORD:
+        return
+    payload = {
+        "smoke": SMOKE,
+        "confusion_objects": CONFUSION_OBJECTS,
+        "figures": {name: BENCH_RECORD[name] for name in sorted(BENCH_RECORD)},
+    }
+    with open(BENCH_OUT, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="session")
@@ -44,7 +87,7 @@ def reddit_path(data_dir: str) -> str:
 @pytest.fixture(scope="session")
 def heterogeneous_path(data_dir: str) -> str:
     path = os.path.join(data_dir, "messy.json")
-    return write_heterogeneous(path, 5_000)
+    return write_heterogeneous(path, HETEROGENEOUS_OBJECTS)
 
 
 @pytest.fixture(scope="session")
@@ -58,9 +101,8 @@ def confusion_20x_dir(data_dir: str, confusion_path: str) -> str:
 @pytest.fixture(scope="session")
 def confusion_sweep_paths(data_dir: str) -> dict:
     """Geometrically growing datasets for the Figure 12 sweep."""
-    sizes = [1_000, 2_000, 4_000, 8_000, 16_000, 32_000]
     paths = {}
-    for size in sizes:
+    for size in SWEEP_SIZES:
         path = os.path.join(data_dir, "confusion-{}.json".format(size))
         paths[size] = write_confusion(path, size)
     return paths

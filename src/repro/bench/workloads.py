@@ -57,13 +57,21 @@ def make_rumble_engine(
     executors: int = 4,
     parallelism: int = 8,
     block_size: Optional[int] = None,
+    fusion: Optional[bool] = None,
+    pushdown: Optional[bool] = None,
 ) -> Rumble:
-    """A Rumble engine with a benchmark-friendly substrate."""
+    """A Rumble engine with a benchmark-friendly substrate.
+
+    ``fusion`` and ``pushdown`` toggle the optimizer layers for
+    ablation runs; ``None`` keeps the engine defaults (both on).
+    """
     return make_engine(
         executors=executors,
         parallelism=parallelism,
         block_size=block_size,
         config=RumbleConfig(materialization_cap=1_000_000),
+        fusion=fusion,
+        pushdown=pushdown,
     )
 
 

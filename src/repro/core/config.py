@@ -28,6 +28,15 @@ class RumbleConfig:
     parse_mode: str = "failfast"
     #: The field name a permissive read stores unparseable lines under.
     corrupt_record_field: str = "_corrupt_record"
+    #: Scan-level optimizations: projection pruning (skip wrapping of
+    #: unreferenced top-level keys), predicate pushdown into the JSON
+    #: reader, min/max file-stats partition pruning and the top-k
+    #: rewrite.  Off = the reference clause-by-clause evaluation the
+    #: differential tests compare against.  See docs/performance.md.
+    pushdown: bool = True
+    #: How many items batched pulls (:meth:`RuntimeIterator.next_batch`)
+    #: fetch per call on hot paths, instead of item-at-a-time ``next()``.
+    batch_size: int = 256
 
     def __post_init__(self) -> None:
         from repro.jsoniq.jsonlines import PARSE_MODES
@@ -38,3 +47,5 @@ class RumbleConfig:
                     self.parse_mode, ", ".join(PARSE_MODES)
                 )
             )
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")

@@ -100,6 +100,25 @@ class CompiledQuery:
         return "\n".join(lines)
 
 
+def _walk_iterators(root):
+    """DFS over a compiled iterator tree, following both expression
+    children and clause chains (yields every reachable iterator once)."""
+    seen = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node is None or id(node) in seen:
+            continue
+        seen.add(id(node))
+        yield node
+        stack.extend(getattr(node, "children", ()) or ())
+        for attribute in ("input_clause", "expression", "condition",
+                          "fallback", "order_clause"):
+            child = getattr(node, attribute, None)
+            if child is not None:
+                stack.append(child)
+
+
 def _to_items(value: object) -> List[Item]:
     if isinstance(value, Item):
         return [value]
@@ -145,13 +164,55 @@ class Rumble:
         """The statically annotated plan of a query, without running it.
 
         Every line shows a node with its inferred sequence type and
-        planned execution mode (``local``/``rdd``/``dataframe``).
+        planned execution mode (``local``/``rdd``/``dataframe``); an
+        optimizer section follows with the engine toggles and what the
+        pushdown planner decided for each FLWOR (projection, pushed
+        predicates, top-k rewrites).
         """
         from repro.jsoniq.analysis.explain import render_module
 
         module = jsoniq_parser.parse(query_text)
         static_analysis.analyse(module, external=external_variables or ())
-        return render_module(module)
+        lines = [render_module(module)]
+        iterator, _ = compile_main_module(module)
+        notes = self._optimizer_notes(iterator)
+        if notes:
+            lines.append("")
+            lines.extend(notes)
+        return "\n".join(lines)
+
+    def _optimizer_notes(self, iterator: RuntimeIterator) -> List[str]:
+        """The optimizer section of :meth:`explain`: global toggles plus
+        each compiled FLWOR's pushdown decisions."""
+        from repro.jsoniq.runtime.flwor.clauses import ReturnClauseIterator
+
+        lines = [
+            "Optimizer",
+            "  fusion: {}".format(
+                "on" if self.spark.spark_context.fusion_enabled else "off"
+            ),
+            "  pushdown: {}".format(
+                "on" if getattr(self.config, "pushdown", True) else "off"
+            ),
+        ]
+        decisions: List[str] = []
+        for root in _walk_iterators(iterator):
+            if not isinstance(root, ReturnClauseIterator):
+                continue
+            plan = root.pushdown_plan
+            if plan is not None:
+                decisions.extend(
+                    "    " + line for line in plan.describe()
+                )
+            if root.topk is not None:
+                decisions.append(
+                    "    top-k rewrite: heap keeps {} row(s), "
+                    "full sort elided".format(root.topk.limit)
+                )
+        if decisions:
+            lines.append("  scan/order decisions:")
+            lines.extend(decisions)
+        return lines
 
     def lint(self, query_text: str):
         """Diagnostics for a query (see docs/static_typing.md)."""
@@ -259,6 +320,8 @@ def make_engine(
     blacklist_threshold: Optional[int] = None,
     task_timeout: Optional[float] = None,
     retry_backoff: Optional[float] = None,
+    fusion: Optional[bool] = None,
+    pushdown: Optional[bool] = None,
 ) -> Rumble:
     """Build an engine with an explicitly sized substrate cluster.
 
@@ -269,6 +332,10 @@ def make_engine(
     ``fault_plan`` installs a :class:`repro.spark.FaultPlan` (the chaos
     harness); the remaining keyword arguments override the fault-
     tolerance defaults documented in docs/fault_tolerance.md.
+
+    ``fusion`` toggles narrow-transformation fusion in the substrate and
+    ``pushdown`` the engine's scan/order optimizations — the ablation
+    pair the benchmark regression suite measures (docs/performance.md).
     """
     conf = SparkConf()
     conf.set("spark.executor.instances", executors)
@@ -288,6 +355,13 @@ def make_engine(
         conf.set("spark.task.timeoutSeconds", task_timeout)
     if retry_backoff is not None:
         conf.set("spark.task.retryBackoffSeconds", retry_backoff)
+    if fusion is not None:
+        conf.set("spark.fusion.enabled", fusion)
+    if pushdown is not None:
+        if config is None:
+            config = RumbleConfig(pushdown=pushdown)
+        else:
+            config.pushdown = pushdown
     from repro.spark import SparkContext
 
     return Rumble(SparkSession(SparkContext(conf)), config)

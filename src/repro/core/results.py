@@ -59,7 +59,13 @@ class SequenceOfItems:
     def count(self) -> int:
         if self.is_rdd():
             return self.rdd().count()
-        return sum(1 for _ in self.items())
+        # Batched pulls: one generator resumption per chunk, not per item.
+        return sum(
+            len(batch)
+            for batch in self._iterator.iterate_batches(
+                self._context, self._config.batch_size
+            )
+        )
 
     def collect(self, cap: Optional[int] = None) -> List[Item]:
         """Materialize on the driver, applying the configured cap."""

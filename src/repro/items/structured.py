@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
 
 from repro.items.base import Item, make_type_error
 
@@ -32,6 +32,12 @@ class ObjectItem(Item):
         value = self.pairs.get(key)
         if value is not None:
             yield value
+
+    def get_item(self, key: str) -> Optional[Item]:
+        """The value under ``key``, or None when absent — the single-key
+        path object lookups use (lazily decoded items override it to
+        wrap just the requested value)."""
+        return self.pairs.get(key)
 
     def to_python(self):
         return {key: value.to_python() for key, value in self.pairs.items()}

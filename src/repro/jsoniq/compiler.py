@@ -306,6 +306,12 @@ class Compiler:
         if folded is not None:
             return folded
         arguments = [self.compile(argument) for argument in node.arguments]
+        if node.name == "count" and len(arguments) == 1:
+            # ``count(for ... return $v)``: the bare-variable return only
+            # feeds a cardinality, so the scan may still project.
+            plan = getattr(arguments[0], "pushdown_plan", None)
+            if plan is not None and plan.bare_return:
+                plan.count_only = True
         if is_builtin(node.name, len(arguments)):
             return build_function_iterator(node.name, arguments)
         key = (node.name, len(arguments))
@@ -440,9 +446,15 @@ class Compiler:
                 chain = CountClauseIterator(chain, clause.variable)
                 bound_so_far.append(clause.variable)
             elif isinstance(clause, ast.ReturnClause):
-                return ReturnClauseIterator(
+                result = ReturnClauseIterator(
                     chain, self.compile(clause.expression)
                 )
+                # Scan pushdown + top-k planning (dormant until a runtime
+                # with config.pushdown enables them).
+                from repro.jsoniq.runtime.flwor import pushdown
+
+                pushdown.annotate(node, result)
+                return result
         raise StaticException("FLWOR without return clause")
 
 

@@ -89,6 +89,18 @@ class JsonFileIterator(RuntimeIterator):
         return True
 
     def get_rdd(self, context: DynamicContext):
+        runtime, path, min_partitions = self._resolve(context)
+        mode, corrupt_field = _parse_settings(runtime)
+        lines = runtime.spark.spark_context.text_file(
+            path, min_partitions,
+            decode_errors="strict" if mode == "failfast" else "replace",
+        )
+        return lines.map_partitions(
+            _json_lines_reader(runtime, mode, corrupt_field)
+        )
+
+    def _resolve(self, context: DynamicContext):
+        """(runtime, path, min_partitions) shared by both read paths."""
         runtime = _runtime(context)
         path = _one_string_argument(self.path, context, "json-file")
         min_partitions = None
@@ -101,14 +113,87 @@ class JsonFileIterator(RuntimeIterator):
                     "json-file() partition count must be a number"
                 )
             min_partitions = int(partitions_item.value)
+        return runtime, path, min_partitions
+
+    def get_rdd_pushed(self, context: DynamicContext, plan):
+        """The pushdown read path (see flwor/pushdown.py): min/max file
+        pruning, then per-record predicate pruning and projection applied
+        on the decoded dicts before items are built."""
+        from repro.jsoniq.jsonlines import iter_json_lines_pushed
+        from repro.jsoniq.runtime.base import _obs_of
+        from repro.spark import storage
+        from repro.spark.rdd import RDD
+
+        runtime, path, min_partitions = self._resolve(context)
         mode, corrupt_field = _parse_settings(runtime)
-        lines = runtime.spark.spark_context.text_file(
-            path, min_partitions,
-            decode_errors="strict" if mode == "failfast" else "replace",
+        context_ = runtime.spark.spark_context
+        blocks, pruned_files = storage.split_input_pruned(
+            path,
+            min_partitions=min_partitions,
+            block_size=int(context_.conf.get("spark.storage.blockSize")),
+            range_predicates=plan.range_predicates,
         )
-        return lines.map_partitions(
-            _json_lines_reader(runtime, mode, corrupt_field)
+        obs = _obs_of(context)
+        if obs is not None:
+            obs.metrics.counter("rumble.pushdown.scans").inc()
+            if pruned_files:
+                obs.metrics.counter(
+                    "rumble.pushdown.files_pruned"
+                ).inc(pruned_files)
+        if not blocks:
+            return context_.empty_rdd()
+        decode_errors = "strict" if mode == "failfast" else "replace"
+
+        def compute(split: int):
+            return blocks[split].read_lines(decode_errors=decode_errors)
+
+        lines = RDD(
+            context_, compute, len(blocks),
+            name="textFile(pushed:{})".format(path),
         )
+        predicates = tuple(
+            predicate.raw for predicate in plan.predicates
+        )
+        projection = plan.effective_projection()  # logged, not applied:
+        # lazy item wrapping already defers unreferenced keys.
+        on_malformed = None
+        if mode != "failfast":
+            faults = context_.faults
+            kind = (
+                "malformed_dropped" if mode == "dropmalformed"
+                else "malformed_captured"
+            )
+
+            def on_malformed(line, error):
+                faults.record(
+                    kind, "MalformedRecord", mode=mode,
+                    reason=str(error)[:120],
+                )
+
+        on_pruned = None
+        if obs is not None:
+            pruned_counter = obs.metrics.counter(
+                "rumble.pushdown.records_pruned"
+            )
+            on_pruned = pruned_counter.inc
+            if projection is not None:
+                obs.metrics.counter("rumble.pushdown.projections").inc()
+            if predicates:
+                obs.metrics.counter(
+                    "rumble.pushdown.predicates"
+                ).inc(len(predicates))
+
+        def read(lines_iter) -> Iterator[Item]:
+            return iter_json_lines_pushed(
+                lines_iter,
+                predicates=predicates,
+                mode=mode,
+                corrupt_field=corrupt_field,
+                on_malformed=on_malformed,
+                on_pruned=on_pruned,
+            )
+
+        return lines.map_partitions(read)
 
 
 @iterator_function("json-lines", [1, 2])

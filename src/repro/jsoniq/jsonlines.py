@@ -67,8 +67,61 @@ def parse_json_line(text: str) -> Item:
 _new_string = StringItem.__new__
 _new_integer = IntegerItem.__new__
 _new_double = DoubleItem.__new__
-_new_object = ObjectItem.__new__
 _new_array = ArrayItem.__new__
+
+_ABSENT = object()
+
+
+class LazyObjectItem(ObjectItem):
+    """An object item whose values wrap on first access.
+
+    The C JSON decoder hands back a plain dict, and most records are
+    only ever probed for a handful of keys (a where predicate, a
+    grouping key, a sort key) before being counted or discarded —
+    wrapping every value eagerly is the single biggest allocation cost
+    of a scan.  Single-key probes (``lookup``/``get_item``) wrap just
+    the requested value; any structural access through ``pairs``
+    materializes the full mapping once and caches it.
+    """
+
+    #: ``pushdown_verified`` is set (to True) by the pushed scan only on
+    #: records every pushed predicate proved definitively true, letting
+    #: the retained where clause skip re-evaluation; it stays *unset*
+    #: otherwise, so readers must use ``getattr(..., False)``.
+    __slots__ = ("_raw", "pushdown_verified")
+    #: The parent's slot descriptor, kept reachable after the property
+    #: below shadows its name.
+    _pairs_slot = ObjectItem.pairs
+
+    def __init__(self, raw):
+        self._raw = raw
+
+    @property
+    def pairs(self):
+        slot = LazyObjectItem._pairs_slot
+        try:
+            return slot.__get__(self, LazyObjectItem)
+        except AttributeError:
+            pairs = {
+                key: _wrap_fast(value)
+                for key, value in self._raw.items()
+            }
+            slot.__set__(self, pairs)
+            return pairs
+
+    def keys(self):
+        return list(self._raw.keys())
+
+    def get_item(self, key):
+        value = self._raw.get(key, _ABSENT)
+        if value is _ABSENT:
+            return None
+        return _wrap_fast(value)
+
+    def lookup(self, key):
+        value = self._raw.get(key, _ABSENT)
+        if value is not _ABSENT:
+            yield _wrap_fast(value)
 
 
 def _wrap_fast(value) -> Item:
@@ -77,6 +130,7 @@ def _wrap_fast(value) -> Item:
     Items are built through ``__new__`` with direct slot assignment —
     the values coming out of the C JSON decoder are already of the right
     Python types, so the constructors' normalization is skipped.
+    Objects wrap lazily (:class:`LazyObjectItem`).
     """
     kind = type(value)
     if kind is str:
@@ -90,9 +144,7 @@ def _wrap_fast(value) -> Item:
         item.value = value
         return item
     if kind is dict:
-        boxed = _new_object(ObjectItem)
-        boxed.pairs = {key: _wrap_fast(v) for key, v in value.items()}
-        return boxed
+        return LazyObjectItem(value)
     if kind is list:
         wrapped = _new_array(ArrayItem)
         wrapped.members = [_wrap_fast(v) for v in value]
@@ -153,6 +205,94 @@ def iter_json_lines(
                 on_malformed(stripped, error)
             if mode == "permissive":
                 yield ObjectItem({corrupt_field: StringItem(stripped)})
+
+
+def iter_json_lines_pushed(
+    lines,
+    predicates=(),
+    mode: str = "failfast",
+    corrupt_field: str = CORRUPT_RECORD_FIELD,
+    on_malformed=None,
+    on_pruned=None,
+) -> Iterator[Item]:
+    """Decode JSON lines with scan-level predicate pushdown applied.
+
+    ``predicates`` are three-valued callables over the *decoded* dict
+    (see :mod:`repro.jsoniq.runtime.flwor.pushdown`): a definite
+    ``False`` prunes the record before any item is built; ``True`` and
+    ``None`` (unknown) keep it for the retained where clause.  Pruning
+    only ever *skips work* the reference path proves redundant —
+    outcomes are identical with it off.  (Key projection needs no scan
+    support: :class:`LazyObjectItem` already defers value wrapping to
+    the keys a query actually touches.)
+
+    Non-object records have no top-level keys, so any pushed predicate
+    rejects them definitively (an object lookup on them is the empty
+    sequence); with no predicates they pass through unchanged.
+    ``on_pruned()`` is called once per record skipped here.
+    """
+    import json
+
+    if mode not in PARSE_MODES:
+        raise ValueError(
+            "unknown parse mode {!r} (expected one of {})".format(
+                mode, ", ".join(PARSE_MODES)
+            )
+        )
+    loads = json.loads
+    predicates = tuple(predicates)
+    for line in lines:
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = loads(stripped)
+        except ValueError as error:
+            wrapped = JsonSyntaxError(str(error))
+            if mode == "failfast":
+                raise wrapped from error
+            if on_malformed is not None:
+                on_malformed(stripped, wrapped)
+            if mode == "permissive":
+                # A corrupt record has only the corrupt field: every
+                # pushed predicate reads a missing key — definite False.
+                if predicates:
+                    if on_pruned is not None:
+                        on_pruned()
+                    continue
+                yield ObjectItem({corrupt_field: StringItem(stripped)})
+            continue
+        if type(record) is dict:
+            if predicates:
+                keep = True
+                verified = True
+                for predicate in predicates:
+                    verdict = predicate(record)
+                    if verdict is False:
+                        keep = False
+                        break
+                    if verdict is not True:
+                        verified = False
+                if not keep:
+                    if on_pruned is not None:
+                        on_pruned()
+                    continue
+                item = LazyObjectItem(record)
+                if verified:
+                    # Every pushed predicate returned a definite True:
+                    # the retained where clauses they came from cannot
+                    # reject (or error on) this record, so they may
+                    # skip re-evaluating it.
+                    item.pushdown_verified = True
+                yield item
+                continue
+        elif predicates:
+            # Object lookups on a non-object yield the empty sequence:
+            # the where clause is guaranteed to reject this record.
+            if on_pruned is not None:
+                on_pruned()
+            continue
+        yield _wrap_fast(record)
 
 
 def _skip_ws(text: str, position: int) -> int:

@@ -9,6 +9,7 @@ the pull API) and optionally the RDD hooks.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Iterator, List, Optional
 
 from repro.items import Item
@@ -71,6 +72,30 @@ class RuntimeIterator:
         item = self._lookahead
         self._lookahead = None
         return item
+
+    def next_batch(self, max_items: Optional[int] = None) -> List[Item]:
+        """Pull up to ``max_items`` items in one call (the batched pull
+        API): one ``islice`` drain instead of a ``has_next()``/``next()``
+        round-trip per item.  Returns a short (possibly empty) list when
+        the iterator exhausts; ``None`` means drain everything.
+        """
+        self._require_open()
+        batch: List[Item] = []
+        if self._lookahead is not None:
+            batch.append(self._lookahead)
+            self._lookahead = None
+        if self._exhausted:
+            return batch
+        if max_items is None:
+            batch.extend(self._generator)
+            self._exhausted = True
+            return batch
+        wanted = max_items - len(batch)
+        if wanted > 0:
+            batch.extend(islice(self._generator, wanted))
+            if len(batch) < max_items:
+                self._exhausted = True
+        return batch
 
     def reset(self, context: DynamicContext) -> None:
         self._require_open()
@@ -153,13 +178,36 @@ class RuntimeIterator:
         self, context: DynamicContext, limit: Optional[int] = None
     ) -> List[Item]:
         """Evaluate via the local API only (no Spark job), optionally
-        stopping after ``limit`` items."""
-        items: List[Item] = []
-        for item in self._generate(context):
-            items.append(item)
-            if limit is not None and len(items) >= limit:
-                break
-        return items
+        stopping after ``limit`` items.
+
+        Drains through ``list()``/``islice`` in C rather than an
+        append-per-item Python loop — this is the per-row hot path of
+        every EVALUATE_EXPRESSION call in the DataFrame mapping.
+        """
+        if limit is None:
+            return list(self._generate(context))
+        return list(islice(self._generate(context), limit))
+
+    def iterate_batches(
+        self, context: DynamicContext, batch_size: Optional[int] = None
+    ) -> Iterator[List[Item]]:
+        """Stream the result in chunks of up to ``batch_size`` items.
+
+        The chunked consumption pattern of the driver-side paths
+        (:class:`repro.core.results.SequenceOfItems`): one generator
+        resumption per batch instead of per item.  ``batch_size``
+        defaults to the engine's ``RumbleConfig.batch_size``.
+        """
+        if batch_size is None:
+            runtime = context.runtime
+            config = getattr(runtime, "config", None) if runtime else None
+            batch_size = getattr(config, "batch_size", 256) or 256
+        iterator = self.iterate(context)
+        while True:
+            batch = list(islice(iterator, batch_size))
+            if not batch:
+                return
+            yield batch
 
     def effective_boolean_value(self, context: DynamicContext) -> bool:
         """The EBV of this expression's result (empty = false; a first

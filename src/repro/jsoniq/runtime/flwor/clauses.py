@@ -145,7 +145,7 @@ def _make_fast_extractor(expression: RuntimeIterator):
         out: List[Item] = []
         for item in items:
             if item.is_object:
-                value = item.pairs.get(key)
+                value = item.get_item(key)
                 if value is not None:
                     out.append(value)
         return out
@@ -221,6 +221,10 @@ class ForClauseIterator(ClauseIterator):
     followed by ``EXPLODE``.
     """
 
+    #: Attached by :mod:`repro.jsoniq.runtime.flwor.pushdown` when this is
+    #: the leading clause of a pushdown-eligible chain.
+    pushdown_plan = None
+
     def __init__(
         self,
         input_clause: Optional[ClauseIterator],
@@ -271,7 +275,15 @@ class ForClauseIterator(ClauseIterator):
         runtime = context.runtime
         obs = _obs_of(context)
         if self.input_clause is None:
-            rdd = self.expression.get_rdd(context)
+            plan = self.pushdown_plan
+            if (
+                plan is not None
+                and getattr(runtime.config, "pushdown", True)
+                and hasattr(self.expression, "get_rdd_pushed")
+            ):
+                rdd = self.expression.get_rdd_pushed(context, plan)
+            else:
+                rdd = self.expression.get_rdd(context)
             variable = self.variable
             if obs is not None:
                 scanned = obs.metrics.counter(
@@ -537,6 +549,12 @@ class WindowClauseIterator(ClauseIterator):
 class WhereClauseIterator(ClauseIterator):
     """``where expr`` — Section 4.6: a selection."""
 
+    #: Attached by :mod:`repro.jsoniq.runtime.flwor.pushdown` when this
+    #: clause's condition was compiled into a pushed scan predicate:
+    #: rows the scan marked ``pushdown_verified`` (every pushed
+    #: predicate returned a definite True) skip re-evaluation.
+    pushdown_plan = None
+
     def __init__(self, input_clause: ClauseIterator,
                  condition: RuntimeIterator):
         super().__init__(input_clause)
@@ -558,6 +576,23 @@ class WhereClauseIterator(ClauseIterator):
                 return condition.effective_boolean_value(
                     _row_context(context, row)
                 )
+
+        plan = self.pushdown_plan
+        if plan is not None and getattr(
+            context.runtime.config, "pushdown", True
+        ):
+            variable = plan.variable
+            checked = predicate
+
+            def predicate(row: Dict[str, object]) -> bool:
+                items = row.get(variable)
+                if (
+                    items is not None
+                    and len(items) == 1
+                    and getattr(items[0], "pushdown_verified", False)
+                ):
+                    return True
+                return checked(row)
 
         obs = _obs_of(context)
         if obs is not None:
@@ -1020,6 +1055,10 @@ class ReturnClauseIterator(RuntimeIterator):
     sequence of items, RDD-backed whenever the clause chain supports
     DataFrames.
     """
+
+    #: Attached by :mod:`repro.jsoniq.runtime.flwor.pushdown`.
+    pushdown_plan = None
+    topk = None
 
     def __init__(self, input_clause: ClauseIterator,
                  expression: RuntimeIterator):

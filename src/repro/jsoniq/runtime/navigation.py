@@ -44,7 +44,7 @@ class ObjectLookupIterator(TransformingIterator):
                 key_item.serialize().strip('"')
             )
         if item.is_object:
-            value = item.pairs.get(key)
+            value = item.get_item(key)
             if value is not None:
                 yield value
             return

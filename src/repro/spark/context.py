@@ -27,6 +27,9 @@ class SparkConf:
             "spark.blacklist.threshold": 2,
             #: A :class:`repro.spark.faults.FaultPlan` instance, or None.
             "spark.chaos.plan": None,
+            #: Whole-pipeline fusion of narrow transformations (see
+            #: :mod:`repro.spark.fusion` and docs/performance.md).
+            "spark.fusion.enabled": True,
         }
         self._settings.update(settings)
 
@@ -65,6 +68,10 @@ class SparkContext:
             ),
         )
         self.shuffle_metrics = ShuffleMetrics()
+        #: Consulted by every narrow derivation (see RDD._derive_narrow).
+        self.fusion_enabled = bool(
+            self.conf.get("spark.fusion.enabled", True)
+        )
         #: The active observability bundle (None when not profiling);
         #: installed/removed by :meth:`repro.obs.Observability.attach`.
         self.obs = None

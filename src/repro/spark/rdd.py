@@ -23,6 +23,7 @@ from typing import (
     Tuple,
 )
 
+from repro.spark import fusion
 from repro.spark.shuffle import (
     HashPartitioner,
     Partitioner,
@@ -58,6 +59,11 @@ class RDD:
         self._children: List["weakref.ref[RDD]"] = []
         #: Callables clearing this RDD's own memoized state.
         self._memo_resets: List[Callable[[], None]] = []
+        #: Fusion lineage: when this RDD is a fusable narrow child, the
+        #: parent it reads from and the operator it applies (see
+        #: :mod:`repro.spark.fusion`).  ``None`` marks a pipeline source.
+        self._fuse_parent: Optional["RDD"] = None
+        self._fuse_op: Optional[fusion.NarrowOp] = None
 
     # -- Internal plumbing ---------------------------------------------------
     def _obs(self):
@@ -96,6 +102,47 @@ class RDD:
             num_partitions or self.num_partitions,
             name="{}<-{}".format(name, self.name),
         ))
+
+    def _derive_narrow(self, kind: str, func: Callable, name: str) -> "RDD":
+        """Derive a fusable narrow child (map/filter/flatMap family).
+
+        With fusion enabled the child records only an operator
+        descriptor; its compute recomposes the whole chain into one
+        generated per-partition pipeline.  With fusion disabled it falls
+        back to the historical nested-generator derivation — the
+        reference semantics the property tests compare against.
+        """
+        if not getattr(self.context, "fusion_enabled", True):
+            return self._derive(fusion.legacy_transform(kind, func), name)
+        child = RDD(
+            self.context,
+            None,
+            self.num_partitions,
+            name="{}<-{}".format(name, self.name),
+        )
+        child._fuse_parent = self
+        child._fuse_op = fusion.NarrowOp(kind, func)
+        child._compute = child._compute_fused
+        return self._register_child(child)
+
+    def _compute_fused(self, split: int) -> Iterator[Any]:
+        """Evaluate partition ``split`` through the fused pipeline.
+
+        The chain walk and pipeline composition happen *per call*, so a
+        retried or speculatively re-run task always gets fresh
+        generators — no iterator state is shared across attempts.
+        """
+        ops = fusion.fused_chain(self)
+        source = fusion.fusion_source(self)
+        obs = self._obs()
+        if obs is not None:
+            obs.metrics.counter("rumble.fuse.pipelines").inc()
+            obs.metrics.counter("rumble.fuse.fused_ops").inc(len(ops))
+            if len(ops) > 1:
+                obs.metrics.counter("rumble.fuse.chains").inc()
+        return fusion.run_pipeline(
+            ops, split, source.compute_partition(split)
+        )
 
     def _run_all_partitions(self) -> List[List[Any]]:
         """Evaluate every partition as one stage on the executor pool."""
@@ -152,38 +199,30 @@ class RDD:
 
     # -- Narrow transformations ------------------------------------------------
     def map(self, func: Callable[[Any], Any]) -> "RDD":
-        return self._derive(
-            lambda _, part: (func(record) for record in part), "map"
-        )
+        return self._derive_narrow(fusion.KIND_MAP, func, "map")
 
     def flat_map(self, func: Callable[[Any], Iterable[Any]]) -> "RDD":
-        return self._derive(
-            lambda _, part: (
-                out for record in part for out in func(record)
-            ),
-            "flatMap",
-        )
+        return self._derive_narrow(fusion.KIND_FLATMAP, func, "flatMap")
 
     flatMap = flat_map
 
     def filter(self, predicate: Callable[[Any], bool]) -> "RDD":
-        return self._derive(
-            lambda _, part: (r for r in part if predicate(r)), "filter"
-        )
+        return self._derive_narrow(fusion.KIND_FILTER, predicate, "filter")
 
     def map_partitions(
         self, func: Callable[[Iterator[Any]], Iterable[Any]]
     ) -> "RDD":
-        return self._derive(lambda _, part: iter(func(part)), "mapPartitions")
+        return self._derive_narrow(
+            fusion.KIND_PARTITION, func, "mapPartitions"
+        )
 
     mapPartitions = map_partitions
 
     def map_partitions_with_index(
         self, func: Callable[[int, Iterator[Any]], Iterable[Any]]
     ) -> "RDD":
-        return self._derive(
-            lambda split, part: iter(func(split, part)),
-            "mapPartitionsWithIndex",
+        return self._derive_narrow(
+            fusion.KIND_PARTITION_INDEX, func, "mapPartitionsWithIndex"
         )
 
     mapPartitionsWithIndex = map_partitions_with_index
@@ -200,7 +239,9 @@ class RDD:
         return self.map(lambda pair: pair[1])
 
     def glom(self) -> "RDD":
-        return self._derive(lambda _, part: iter([list(part)]), "glom")
+        return self._derive_narrow(
+            fusion.KIND_PARTITION, lambda part: [list(part)], "glom"
+        )
 
     def union(self, other: "RDD") -> "RDD":
         left, left_count = self, self.num_partitions
@@ -259,13 +300,8 @@ class RDD:
     zipWithIndex = zip_with_index
 
     def _derive_with_index(self, transform, name: str) -> "RDD":
-        parent = self
-
-        def compute(split: int) -> Iterator[Any]:
-            return transform(split, parent.compute_partition(split))
-
-        return self._register_child(
-            RDD(self.context, compute, self.num_partitions, name=name)
+        return self._derive_narrow(
+            fusion.KIND_PARTITION_INDEX, transform, name
         )
 
     def sample(self, fraction: float, seed: int = 17) -> "RDD":
@@ -484,12 +520,27 @@ class RDD:
         return paired.reduce_by_key(lambda a, _: a, num_partitions).keys()
 
     def repartition(self, num_partitions: int) -> "RDD":
-        counter = itertools.count()
+        """Redistribute records across ``num_partitions`` via a shuffle.
+
+        The routing key is a pure function of each record's (partition,
+        position), never shared mutable state: a map task that is re-run
+        — lineage recovery, or a speculative backup attempt racing the
+        original — must route every record to the same bucket it got the
+        first time, or recomputed map outputs would disagree with the
+        ones already served.
+        """
+        width = self.num_partitions
+
+        def tag(split: int, part: Iterator[Any]) -> Iterator[Any]:
+            return (
+                (position * width + split, record)
+                for position, record in enumerate(part)
+            )
+
+        tagged = self.map_partitions_with_index(tag)
         partitioner = HashPartitioner(num_partitions)
-        shuffled = self._shuffled(
-            lambda part: ((next(counter), r) for r in part),
-            partitioner,
-            "repartition",
+        shuffled = tagged._shuffled(
+            lambda part: part, partitioner, "repartition"
         )
         return shuffled.values()
 

@@ -14,9 +14,11 @@ class Catalog:
 
     def __init__(self) -> None:
         self._views: Dict[str, object] = {}
+        self._row_counts: Dict[str, int] = {}
 
     def register(self, name: str, frame) -> None:
         self._views[name.lower()] = frame
+        self._row_counts.pop(name.lower(), None)
 
     def lookup(self, name: str):
         try:
@@ -26,8 +28,19 @@ class Catalog:
                 "table or view not found: {}".format(name)
             ) from None
 
+    def row_count(self, name: str) -> int:
+        """The view's row count, counted once and cached — the table
+        statistic behind the optimizer's cost model."""
+        key = name.lower()
+        cached = self._row_counts.get(key)
+        if cached is None:
+            cached = self.lookup(name).rdd.count()
+            self._row_counts[key] = cached
+        return cached
+
     def drop(self, name: str) -> None:
         self._views.pop(name.lower(), None)
+        self._row_counts.pop(name.lower(), None)
 
     def names(self) -> List[str]:
         return sorted(self._views)

@@ -6,8 +6,8 @@ import heapq
 from typing import Any, Dict, List, Optional
 
 from repro.spark.column import Alias, ColumnRef
-from repro.spark.dataframe import DataFrame, _null_safe_key
-from repro.spark.sql.optimizer import optimize
+from repro.spark.dataframe import DataFrame, _hashable, _null_safe_key
+from repro.spark.sql.optimizer import annotate_costs, optimize
 from repro.spark.sql.parser import parse_sql
 from repro.spark.sql.plan import (
     Aggregate,
@@ -31,7 +31,7 @@ def run_sql(session, query: str, rules: Optional[List[str]] = None) -> DataFrame
     """
     obs = session.spark_context.obs
     if obs is None or not obs.enabled:
-        plan = optimize(parse_sql(query), rules)
+        plan = annotate_costs(optimize(parse_sql(query), rules), session)
         return execute(session, plan)
 
     from repro.obs.events import SQL_EXECUTION_END, SQL_EXECUTION_START
@@ -42,7 +42,7 @@ def run_sql(session, query: str, rules: Optional[List[str]] = None) -> DataFrame
         with obs.tracer.span("sql.parse"):
             parsed = parse_sql(query)
         with obs.tracer.span("sql.optimize"):
-            plan = optimize(parsed, rules)
+            plan = annotate_costs(optimize(parsed, rules), session)
         with obs.tracer.span("sql.execute"):
             frame = execute(session, plan)
     obs.emit(SQL_EXECUTION_END, query=query)
@@ -50,13 +50,22 @@ def run_sql(session, query: str, rules: Optional[List[str]] = None) -> DataFrame
 
 
 def explain(session, query: str, rules: Optional[List[str]] = None) -> str:
-    """The optimized plan as explain-style text."""
-    return optimize(parse_sql(query), rules).describe()
+    """The optimized, cost-annotated plan as explain-style text."""
+    return annotate_costs(
+        optimize(parse_sql(query), rules), session
+    ).describe()
 
 
 def execute(session, plan: LogicalPlan) -> DataFrame:
     if isinstance(plan, Scan):
-        return session.catalog.lookup(plan.view)
+        frame = session.catalog.lookup(plan.view)
+        if plan.columns is not None:
+            # Keep only the pruned columns the view actually has (the
+            # optimizer over-approximates across join sides).
+            keep = [name for name in frame.columns if name in plan.columns]
+            if len(keep) < len(frame.columns):
+                frame = frame.select(*[ColumnRef(name) for name in keep])
+        return frame
     if isinstance(plan, Filter):
         return execute(session, plan.child).where(plan.condition)
     if isinstance(plan, Project):
@@ -86,6 +95,14 @@ def execute(session, plan: LogicalPlan) -> DataFrame:
             right = right.with_column_renamed(
                 plan.right_key, plan.left_key
             )
+        strategy = plan.strategy or "shuffle-hash"
+        if strategy == "broadcast-right" or (
+            strategy == "broadcast-left" and plan.how == "inner"
+        ):
+            return _execute_broadcast_join(
+                session, left, right, plan.left_key, plan.how,
+                broadcast_left=(strategy == "broadcast-left"),
+            )
         return left.join(right, on=plan.left_key, how=plan.how)
     if isinstance(plan, Sort):
         return execute(session, plan.child).order_by(*plan.orders)
@@ -94,6 +111,67 @@ def execute(session, plan: LogicalPlan) -> DataFrame:
     if isinstance(plan, TopK):
         return _execute_topk(session, plan)
     raise TypeError("cannot execute plan node {!r}".format(plan))
+
+
+def _execute_broadcast_join(
+    session, left: DataFrame, right: DataFrame, key: str, how: str,
+    broadcast_left: bool,
+) -> DataFrame:
+    """Broadcast-hash join: collect the small side into a driver-built
+    hash table and map the big side's partitions over it — no shuffle.
+
+    Row-merge semantics mirror :meth:`DataFrame.join` exactly (left
+    columns win on collision), so the strategy choice is invisible in
+    results.  A left outer join only ever broadcasts its right side.
+    """
+    from repro.spark.types import StructField, StructType, infer_type
+
+    def key_of(row: Dict[str, Any]):
+        return _hashable(row.get(key))
+
+    small, big = (left, right) if broadcast_left else (right, left)
+    table: Dict[Any, List[Dict[str, Any]]] = {}
+    for row in small.rdd.collect():
+        table.setdefault(key_of(row), []).append(row)
+
+    if broadcast_left:  # inner only: merge(lrow, rrow) keeps left values
+        def emit(rrow: Dict[str, Any]) -> List[Dict[str, Any]]:
+            merged = []
+            for lrow in table.get(key_of(rrow), ()):
+                out = dict(rrow)
+                out.update(lrow)
+                merged.append(out)
+            return merged
+    elif how == "inner":
+        def emit(lrow: Dict[str, Any]) -> List[Dict[str, Any]]:
+            merged = []
+            for rrow in table.get(key_of(lrow), ()):
+                out = dict(rrow)
+                out.update(lrow)
+                merged.append(out)
+            return merged
+    else:
+        null_right = {
+            name: None for name in right.columns if name != key
+        }
+
+        def emit(lrow: Dict[str, Any]) -> List[Dict[str, Any]]:
+            rights = table.get(key_of(lrow))
+            if not rights:
+                out = dict(null_right)
+                out.update(lrow)
+                return [out]
+            merged = []
+            for rrow in rights:
+                out = dict(rrow)
+                out.update(lrow)
+                merged.append(out)
+            return merged
+
+    joined = big.rdd.flat_map(emit)
+    names = list(dict.fromkeys(left.columns + right.columns))
+    fields = [StructField(name, infer_type(None)) for name in names]
+    return DataFrame(session, joined, StructType(fields))
 
 
 def _execute_topk(session, plan: TopK) -> DataFrame:

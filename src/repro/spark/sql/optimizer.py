@@ -1,4 +1,4 @@
-"""Catalyst-lite: rule-based logical optimization.
+"""Catalyst-lite: rule-based logical optimization plus a cost model.
 
 Rules, applied bottom-up to fixpoint:
 
@@ -6,7 +6,15 @@ Rules, applied bottom-up to fixpoint:
 * **predicate pushdown** — a Filter sliding under a pass-through Project;
 * **filter fusion** — adjacent Filters merge into one conjunction;
 * **top-k fusion** — ``Limit(Sort(...))`` becomes a heap-based TopK,
-  avoiding the full sort shuffle.
+  avoiding the full sort shuffle;
+* **projection pruning** — a single top-down pass restricting each Scan
+  to the columns the rest of the plan can observe.
+
+After the rule rewrites, :func:`annotate_costs` walks the plan with a
+row-count/selectivity cost model (Scan cardinalities come from cached
+catalog statistics) and picks physical join strategies: a side whose
+estimate is under the broadcast threshold is hash-broadcast to every
+partition of the other side instead of shuffled.
 
 These are the optimizations Rumble gets "for free" by expressing FLWOR
 clauses in Spark SQL (paper, Section 4.3), so the benchmark suite carries
@@ -15,7 +23,7 @@ an ablation that toggles them.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from repro.spark.column import (
     Alias,
@@ -26,10 +34,13 @@ from repro.spark.column import (
     UnaryOp,
 )
 from repro.spark.sql.plan import (
+    Aggregate,
     Filter,
+    Join,
     Limit,
     LogicalPlan,
     Project,
+    Scan,
     Sort,
     TopK,
     transform_up,
@@ -42,7 +53,20 @@ ALL_RULES = (
     "predicate_pushdown",
     "limit_pushdown",
     "topk_fusion",
+    "projection_pruning",
 )
+
+#: A join side at or under this estimated row count is broadcast rather
+#: than shuffled (override per session with the
+#: ``spark.sql.broadcastRowThreshold`` conf key).
+BROADCAST_ROW_THRESHOLD = 10_000
+
+#: Default selectivity of a filter the model knows nothing about, and the
+#: tighter guess for an equality-with-literal predicate.
+FILTER_SELECTIVITY = 0.25
+EQUALITY_SELECTIVITY = 0.1
+#: Grouping collapse factor: how many input rows one group absorbs.
+AGGREGATE_SELECTIVITY = 0.2
 
 
 def optimize(plan: LogicalPlan, rules: Optional[List[str]] = None) -> LogicalPlan:
@@ -61,8 +85,10 @@ def optimize(plan: LogicalPlan, rules: Optional[List[str]] = None) -> LogicalPla
         if "topk_fusion" in enabled:
             rewritten = transform_up(rewritten, _fuse_topk)
         if rewritten.describe() == plan.describe():
-            return rewritten
+            break
         plan = rewritten
+    if "projection_pruning" in enabled:
+        plan = _prune_scan_columns(plan, None)
     return plan
 
 
@@ -170,3 +196,183 @@ def _fuse_topk(plan: LogicalPlan) -> Optional[LogicalPlan]:
         sort = plan.child
         return TopK(sort.child, sort.orders, plan.count)
     return None
+
+
+# -- Projection pruning (top-down) --------------------------------------------
+
+def _prune_scan_columns(
+    plan: LogicalPlan, required: Optional[Set[str]]
+) -> LogicalPlan:
+    """Restrict every Scan to the columns its ancestors can observe.
+
+    ``required`` is the set of column names the *parent* needs from this
+    subtree; ``None`` means "everything" (a star projection, a row UDF, or
+    the plan root).  The executor intersects a pruned Scan's column list
+    with the view's actual schema, so over-approximation is always safe.
+    """
+    if isinstance(plan, Scan):
+        if required is None:
+            return plan
+        return Scan(plan.view, sorted(required))
+    if isinstance(plan, Project):
+        if plan.star:
+            needed = None
+        else:
+            needed = set()
+            for _, expr in plan.columns:
+                refs = expr.references()
+                if "*" in refs:
+                    needed = None
+                    break
+                needed.update(refs)
+        return Project(
+            _prune_scan_columns(plan.child, needed), plan.columns, plan.star
+        )
+    if isinstance(plan, Filter):
+        needed = _widen(required, plan.condition.references())
+        return Filter(_prune_scan_columns(plan.child, needed), plan.condition)
+    if isinstance(plan, Aggregate):
+        needed: Optional[Set[str]] = set()
+        for _, expr in plan.groupings:
+            refs = expr.references()
+            if "*" in refs:
+                needed = None
+                break
+            needed.update(refs)
+        if needed is not None:
+            for agg in plan.aggregates:
+                if agg.column is None:
+                    continue  # COUNT(*) reads no column
+                refs = agg.column.references()
+                if "*" in refs:
+                    needed = None
+                    break
+                needed.update(refs)
+        return Aggregate(
+            _prune_scan_columns(plan.child, needed),
+            plan.groupings, plan.aggregates,
+        )
+    if isinstance(plan, (Sort, TopK)):
+        refs: List[str] = []
+        for order in plan.orders:
+            refs.extend(order.column.references())
+        needed = _widen(required, refs)
+        pruned = _prune_scan_columns(plan.child, needed)
+        if isinstance(plan, Sort):
+            return Sort(pruned, plan.orders)
+        return TopK(pruned, plan.orders, plan.count)
+    if isinstance(plan, Limit):
+        return Limit(_prune_scan_columns(plan.child, required), plan.count)
+    if isinstance(plan, Join):
+        # Both sides may own any required column (schemas are unknown at
+        # plan time), so each side gets the full requirement plus its key.
+        left_needed = _widen(required, [plan.left_key])
+        right_needed = _widen(required, [plan.right_key])
+        return Join(
+            _prune_scan_columns(plan.left, left_needed),
+            _prune_scan_columns(plan.right, right_needed),
+            plan.left_key, plan.right_key, plan.how, plan.strategy,
+        )
+    # Unknown node kind: stop pruning underneath it.
+    children = [_prune_scan_columns(c, None) for c in plan.children()]
+    return plan.with_children(children) if children else plan
+
+
+def _widen(
+    required: Optional[Set[str]], extra
+) -> Optional[Set[str]]:
+    if required is None or "*" in extra:
+        return None
+    return set(required) | set(extra)
+
+
+# -- Cost model ---------------------------------------------------------------
+
+def annotate_costs(plan: LogicalPlan, session) -> LogicalPlan:
+    """Estimate per-node cardinalities and pick join strategies.
+
+    Mutates the (freshly rewritten) plan in place: every node gets
+    ``est_rows`` and every Join a ``strategy``.  Scan estimates come from
+    :meth:`repro.spark.sql.catalog.Catalog.row_count`, which counts a
+    view once and caches the answer.
+    """
+    threshold = BROADCAST_ROW_THRESHOLD
+    if session is not None:
+        conf = session.spark_context.conf
+        threshold = int(
+            conf.get("spark.sql.broadcastRowThreshold", threshold)
+        )
+    _estimate(plan, session, threshold)
+    return plan
+
+
+def _estimate(plan: LogicalPlan, session, threshold: int) -> int:
+    child_rows = [
+        _estimate(child, session, threshold) for child in plan.children()
+    ]
+    if isinstance(plan, Scan):
+        rows = _scan_rows(plan, session)
+    elif isinstance(plan, Filter):
+        rows = max(1, int(child_rows[0] * _selectivity(plan.condition)))
+    elif isinstance(plan, Aggregate):
+        if not plan.groupings:
+            rows = 1
+        else:
+            rows = max(1, int(child_rows[0] * AGGREGATE_SELECTIVITY))
+    elif isinstance(plan, Join):
+        left_rows, right_rows = child_rows
+        # Foreign-key heuristic: an equi-join keeps about as many rows
+        # as its larger input; a left join never drops left rows.
+        rows = max(left_rows, right_rows) if plan.how == "inner" \
+            else left_rows
+        if plan.strategy is None:
+            smaller = min(left_rows, right_rows)
+            if smaller <= threshold:
+                plan.strategy = (
+                    "broadcast-left" if left_rows <= right_rows
+                    else "broadcast-right"
+                )
+                if plan.how == "left" and plan.strategy == "broadcast-left":
+                    # A left outer join must stream the left side to keep
+                    # unmatched rows; only the right side can broadcast.
+                    plan.strategy = (
+                        "broadcast-right" if right_rows <= threshold
+                        else "shuffle-hash"
+                    )
+            else:
+                plan.strategy = "shuffle-hash"
+    elif isinstance(plan, (Limit, TopK)):
+        rows = min(plan.count, child_rows[0])
+    else:  # Project, Sort, anything row-preserving
+        rows = child_rows[0] if child_rows else 0
+    plan.est_rows = rows
+    return rows
+
+
+def _scan_rows(plan: Scan, session) -> int:
+    if session is None:
+        return 1000
+    try:
+        return session.catalog.row_count(plan.view)
+    except KeyError:
+        return 1000
+
+
+def _selectivity(condition: Column) -> float:
+    """A textbook selectivity guess for one predicate tree."""
+    if isinstance(condition, BinaryOp):
+        if condition.op == "AND":
+            return _selectivity(condition.left) * _selectivity(
+                condition.right
+            )
+        if condition.op == "OR":
+            left = _selectivity(condition.left)
+            right = _selectivity(condition.right)
+            return min(1.0, left + right - left * right)
+        if condition.op in ("=", "=="):
+            if isinstance(condition.left, Literal) or isinstance(
+                condition.right, Literal
+            ):
+                return EQUALITY_SELECTIVITY
+            return FILTER_SELECTIVITY
+    return FILTER_SELECTIVITY

@@ -2,13 +2,17 @@
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.spark.column import Column, SortOrder
 
 
 class LogicalPlan:
     """Base node; children are exposed for generic rewriting."""
+
+    #: Estimated output cardinality, set by the optimizer's cost pass
+    #: (:func:`repro.spark.sql.optimizer.annotate_costs`); None = unknown.
+    est_rows = None
 
     def children(self) -> List["LogicalPlan"]:
         return []
@@ -18,7 +22,10 @@ class LogicalPlan:
 
     def describe(self, indent: int = 0) -> str:
         """Explain-style text rendering of the plan subtree."""
-        line = " " * indent + self._label()
+        label = self._label()
+        if self.est_rows is not None:
+            label += " [est_rows={}]".format(self.est_rows)
+        line = " " * indent + label
         return "\n".join(
             [line] + [child.describe(indent + 2) for child in self.children()]
         )
@@ -28,15 +35,24 @@ class LogicalPlan:
 
 
 class Scan(LogicalPlan):
-    """Read a registered temp view."""
+    """Read a registered temp view.
 
-    def __init__(self, view: str):
+    ``columns`` (set by the projection-pruning rule) restricts the scan
+    to the columns the rest of the plan can observe; None reads all.
+    """
+
+    def __init__(self, view: str, columns: Optional[List[str]] = None):
         self.view = view
+        self.columns = columns
 
     def with_children(self, children: List[LogicalPlan]) -> "Scan":
         return self
 
     def _label(self) -> str:
+        if self.columns is not None:
+            return "Scan({}, columns=[{}])".format(
+                self.view, ", ".join(self.columns)
+            )
         return "Scan({})".format(self.view)
 
 
@@ -81,27 +97,37 @@ class Filter(LogicalPlan):
 
 
 class Join(LogicalPlan):
-    """Equi-join of two inputs on one key per side (inner or left)."""
+    """Equi-join of two inputs on one key per side (inner or left).
+
+    ``strategy`` is chosen by the cost model: ``shuffle-hash`` (default)
+    or ``broadcast-left``/``broadcast-right`` when the named side's
+    estimated cardinality is under the broadcast threshold.
+    """
 
     def __init__(self, left: LogicalPlan, right: LogicalPlan,
-                 left_key: str, right_key: str, how: str = "inner"):
+                 left_key: str, right_key: str, how: str = "inner",
+                 strategy: Optional[str] = None):
         self.left = left
         self.right = right
         self.left_key = left_key
         self.right_key = right_key
         self.how = how
+        self.strategy = strategy
 
     def children(self) -> List["LogicalPlan"]:
         return [self.left, self.right]
 
     def with_children(self, children: List["LogicalPlan"]) -> "Join":
         return Join(children[0], children[1], self.left_key,
-                    self.right_key, self.how)
+                    self.right_key, self.how, self.strategy)
 
     def _label(self) -> str:
-        return "Join[{}]({} = {})".format(
+        label = "Join[{}]({} = {})".format(
             self.how, self.left_key, self.right_key
         )
+        if self.strategy is not None:
+            label += " using {}".format(self.strategy)
+        return label
 
 
 class Aggregate(LogicalPlan):

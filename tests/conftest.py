@@ -11,6 +11,21 @@ from repro.core import Rumble, RumbleConfig, make_engine
 from repro.spark import SparkSession
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden explain snapshots under tests/golden/ "
+             "instead of asserting against them",
+    )
+
+
+@pytest.fixture()
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture()
 def rumble() -> Rumble:
     return Rumble(config=RumbleConfig(materialization_cap=100_000))

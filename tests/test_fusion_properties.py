@@ -1,0 +1,211 @@
+"""Property tests (hypothesis): fusion and pushdown are semantics-free.
+
+Random narrow-op chains and FLWOR pipelines run fused and unfused (and
+under injected chaos with fixed seeds); the optimized execution must
+produce identical results and identical fault-recovery outcomes.
+"""
+
+import itertools
+import json
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import RumbleConfig, make_engine
+from repro.spark import SparkConf, SparkContext
+from repro.spark.faults import FaultPlan
+
+# -- Generated narrow-op chains -----------------------------------------------
+
+#: A fixed table of narrow transformations; hypothesis draws index
+#: sequences into it, so every generated chain is reproducible.
+OPS = [
+    ("map", lambda x: x * 2),
+    ("map", lambda x: x - 3),
+    ("filter", lambda x: x % 2 == 0),
+    ("filter", lambda x: x > 5),
+    ("flat_map", lambda x: [x, x + 1]),
+    ("flat_map", lambda x: [] if x % 3 == 0 else [x]),
+    ("map_partitions", lambda part: (x * x for x in part)),
+]
+
+op_chains = st.lists(
+    st.integers(min_value=0, max_value=len(OPS) - 1), max_size=6
+)
+int_data = st.lists(
+    st.integers(min_value=-100, max_value=100), max_size=40
+)
+
+
+def apply_chain(rdd, indices):
+    for index in indices:
+        name, func = OPS[index]
+        rdd = getattr(rdd, name)(func)
+    return rdd
+
+
+def reference_chain(data, indices):
+    """Plain-Python semantics of the same chain."""
+    items = list(data)
+    for index in indices:
+        name, func = OPS[index]
+        if name == "map":
+            items = [func(x) for x in items]
+        elif name == "filter":
+            items = [x for x in items if func(x)]
+        elif name == "flat_map":
+            items = [y for x in items for y in func(x)]
+        else:  # map_partitions applies per partition; order is preserved
+            items = [x * x for x in items]
+    return items
+
+
+def _context(fused: bool, plan=None) -> SparkContext:
+    conf = SparkConf()
+    conf.set("spark.default.parallelism", 4)
+    conf.set("spark.fusion.enabled", fused)
+    if plan is not None:
+        conf.set("spark.chaos.plan", plan)
+    return SparkContext(conf)
+
+
+class TestRddChains:
+    @given(data=int_data, chain=op_chains,
+           partitions=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_fused_matches_unfused(self, data, chain, partitions):
+        fused = apply_chain(
+            _context(True).parallelize(data, partitions), chain
+        ).collect()
+        unfused = apply_chain(
+            _context(False).parallelize(data, partitions), chain
+        ).collect()
+        assert fused == unfused == reference_chain(data, chain)
+
+    @given(data=int_data, chain=op_chains,
+           seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_chaos_recovery_identical(self, data, chain, seed):
+        """Under a fixed chaos seed, fused and unfused runs both recover
+        via lineage and agree with the fault-free reference."""
+        results = []
+        for fused in (True, False):
+            plan = FaultPlan(
+                seed=seed, crash_rate=0.4, max_failures_per_task=1
+            )
+            sc = _context(fused, plan)
+            results.append(
+                apply_chain(sc.parallelize(data, 3), chain).collect()
+            )
+        assert results[0] == results[1] == reference_chain(data, chain)
+
+    @given(data=int_data, chain=op_chains,
+           seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_chaos_seed_replays_identically(self, data, chain, seed):
+        """The same seed injects the same faults into the same fused
+        pipeline twice — and both runs return the same answer."""
+        runs = []
+        for _ in range(2):
+            plan = FaultPlan(
+                seed=seed, crash_rate=0.4, max_failures_per_task=1
+            )
+            sc = _context(True, plan)
+            runs.append((
+                apply_chain(sc.parallelize(data, 3), chain).collect(),
+                dict(plan.injected),
+            ))
+        assert runs[0] == runs[1]
+
+
+# -- Generated FLWOR pipelines ------------------------------------------------
+
+WHERE_CLAUSES = [
+    "",
+    "where $o.v ge {lo}\n",
+    "where $o.v lt {lo}\n",
+    "where $o.tag eq \"a\"\n",
+]
+ORDER_CLAUSES = ["", "order by $o.v ascending\n", "order by $o.v descending\n"]
+RETURNS = ["return $o.v", "return { \"v\": $o.v, \"tag\": $o.tag }"]
+
+flwor_shapes = st.tuples(
+    st.integers(min_value=0, max_value=len(WHERE_CLAUSES) - 1),
+    st.integers(min_value=0, max_value=len(ORDER_CLAUSES) - 1),
+    st.integers(min_value=0, max_value=len(RETURNS) - 1),
+)
+
+record_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=-50, max_value=50),
+        st.sampled_from(["a", "b", "c"]),
+    ),
+    max_size=30,
+)
+
+_file_counter = itertools.count()
+
+
+def _engine(optimized: bool, plan=None):
+    return make_engine(
+        executors=2,
+        parallelism=4,
+        config=RumbleConfig(materialization_cap=100_000),
+        fault_plan=plan,
+        fusion=optimized,
+        pushdown=optimized,
+    )
+
+
+def _flwor_query(path: str, shape, lo: int) -> str:
+    where_index, order_index, return_index = shape
+    return (
+        'for $o in json-file("{path}")\n{where}{order}{ret}'.format(
+            path=path,
+            where=WHERE_CLAUSES[where_index].format(lo=lo),
+            order=ORDER_CLAUSES[order_index],
+            ret=RETURNS[return_index],
+        )
+    )
+
+
+class TestFlworPipelines:
+    @given(records=record_lists, shape=flwor_shapes,
+           lo=st.integers(min_value=-50, max_value=50))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_pushdown_matches_reference(self, tmp_path, records, shape, lo):
+        path = os.path.join(
+            str(tmp_path), "data{}.json".format(next(_file_counter))
+        )
+        with open(path, "w", encoding="utf-8") as handle:
+            for v, tag in records:
+                handle.write(json.dumps({"v": v, "tag": tag}) + "\n")
+        query = _flwor_query(path, shape, lo)
+        optimized = _engine(True).query(query).to_python(cap=100_000)
+        reference = _engine(False).query(query).to_python(cap=100_000)
+        assert optimized == reference
+
+    @given(records=record_lists, shape=flwor_shapes,
+           lo=st.integers(min_value=-50, max_value=50),
+           seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_chaos_outcome_identical(self, tmp_path, records, shape, lo,
+                                     seed):
+        path = os.path.join(
+            str(tmp_path), "data{}.json".format(next(_file_counter))
+        )
+        with open(path, "w", encoding="utf-8") as handle:
+            for v, tag in records:
+                handle.write(json.dumps({"v": v, "tag": tag}) + "\n")
+        query = _flwor_query(path, shape, lo)
+        outputs = []
+        for optimized in (True, False):
+            plan = FaultPlan(
+                seed=seed, crash_rate=0.5, max_failures_per_task=1
+            )
+            engine = _engine(optimized, plan)
+            outputs.append(engine.query(query).to_python(cap=100_000))
+        assert outputs[0] == outputs[1]
