@@ -1,0 +1,262 @@
+"""The benchmark regression gate for adaptive query execution.
+
+Two workloads over the same Zipf-skewed confusion dataset (~60% of all
+records land on one country, so one shuffle bucket dwarfs the rest):
+
+* the **kernel**: a substrate-level skewed ``group_by_key`` — parse the
+  JSON lines, key by country, group, count per group.  The group-build
+  of the fat bucket dominates the reduce stage, which is exactly the
+  work adaptive skew splitting parallelizes, so this is the gated
+  headline number;
+* the **query**: the ``skew_group`` JSONiq workload from
+  ``repro.bench.workloads``.  Its per-group predicate counting runs
+  downstream of the split (serially, inside the reduce task), so its
+  win is diluted — it is asserted for result equality and for the
+  ``rumble.adaptive.*`` counters, and its timings are recorded
+  informationally.
+
+Each side is measured with adaptive execution **on** and **off**,
+interleaved best-of-N so machine-load drift cannot bias one side, with
+the collector disabled around the timed region.  Three quantities per
+kernel run:
+
+* wall-clock (informational — inline executors serialize everything,
+  so partitioning barely moves it);
+* the simulated cluster makespan of all recorded stages
+  (:meth:`ExecutorPool.simulated_wall_clock`), where skew-split
+  sub-stages are credited for the parallelism they expose;
+* the credited makespan of just the ``groupByKey`` stages — the stage
+  the skewed key actually hits, and the gated headline.
+
+Results land in ``BENCH_pr5.json`` via the session recorder, next to
+the ``rumble.adaptive.*`` counters proving the re-planning fired.
+
+Assertions:
+
+* always: results are identical adaptive on/off (kernel and query);
+  the adaptive counters are non-zero with adaptive on — including the
+  skew-split counters — and zero with it off; the kernel's group-stage
+  makespan improves (>= GROUP_FLOOR);
+* with ``RUMBLE_BENCH_GATE=1`` (the CI job): the group-stage win must
+  reach GROUP_TARGET and the kernel's whole-job simulated makespan
+  must improve by SIM_TARGET.
+
+Run it the way CI does::
+
+    RUMBLE_BENCH_SMOKE=1 RUMBLE_BENCH_GATE=1 PYTHONPATH=src \
+        python -m pytest benchmarks/test_adaptive_gate.py -q
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from typing import Dict
+
+import pytest
+
+from repro.bench.workloads import make_rumble_engine, rumble_query
+from repro.datasets import write_skewed_confusion
+from repro.spark import SparkConf, SparkContext
+
+SMOKE = os.environ.get("RUMBLE_BENCH_SMOKE", "") not in ("", "0")
+GATE = os.environ.get("RUMBLE_BENCH_GATE", "") not in ("", "0")
+
+#: Scale of the skewed dataset; the Zipf exponent puts ~60% of all
+#: records on one country, so one reduce bucket dwarfs the rest.
+SKEW_OBJECTS = 30_000 if SMOKE else 60_000
+SKEW_EXPONENT = 2.2
+
+EXECUTORS = 8
+BLOCK_SIZE = 65536
+ROUNDS = 5
+#: The kernel group-stage makespan improvement every environment must
+#: show (observed: 4-14x on the skewed group-build).
+GROUP_FLOOR = 1.3
+#: The win CI enforces on the kernel group stage.
+GROUP_TARGET = 1.5
+#: The whole-kernel simulated-makespan win CI enforces (observed:
+#: 1.15-2.1x; the map stage is unaffected by adaptation, so the
+#: whole-job ratio is the stage win diluted by Amdahl).
+SIM_TARGET = 1.05
+
+
+def _kernel_context(adaptive: bool) -> SparkContext:
+    conf = SparkConf()
+    conf.set("spark.default.parallelism", 8)
+    conf.set("spark.storage.blockSize", BLOCK_SIZE)
+    conf.set("spark.adaptive.enabled", adaptive)
+    return SparkContext(conf)
+
+
+def _group_stage_makespan(pool) -> float:
+    """Credited makespan of the groupByKey stages only (nested
+    skew-split sub-stages contribute ``makespan - total``, exactly as
+    in :meth:`ExecutorPool.simulated_wall_clock`)."""
+    total = 0.0
+    for stage in pool.stages:
+        if "groupByKey" not in stage.label:
+            continue
+        makespan = stage.makespan(EXECUTORS)
+        if stage.nested:
+            total += makespan - stage.total_seconds
+        else:
+            total += makespan
+    return total
+
+
+def _run_kernel(adaptive: bool, path: str) -> Dict:
+    """One timed run of the skewed group-by kernel at substrate level."""
+    sc = _kernel_context(adaptive)
+    pairs = (
+        sc.text_file(path)
+        .map(lambda line: json.loads(line))
+        .map(lambda obj: (obj["country"], obj["guess"]))
+    )
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        result = sorted(pairs.group_by_key().map_values(len).collect())
+        wall = time.perf_counter() - start
+    finally:
+        gc.enable()
+    return {
+        "wall": wall,
+        "sim": sc.executors.simulated_wall_clock(EXECUTORS),
+        "group_sim": _group_stage_makespan(sc.executors),
+        "result": result,
+        "counters": dict(sc.adaptive.counts),
+    }
+
+
+def _run_query(adaptive: bool, query: str) -> Dict:
+    """One run of the skew_group JSONiq workload (results + counters)."""
+    engine = make_rumble_engine(
+        executors=EXECUTORS,
+        parallelism=8,
+        block_size=BLOCK_SIZE,
+        adaptive=adaptive,
+    )
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        result = engine.query(query).to_python()
+        wall = time.perf_counter() - start
+    finally:
+        gc.enable()
+    return {
+        "wall": wall,
+        "result": sorted(result, key=lambda row: row["country"]),
+        "counters": dict(engine.spark.spark_context.adaptive.counts),
+    }
+
+
+@pytest.fixture(scope="module")
+def skew_path(tmp_path_factory) -> str:
+    directory = tmp_path_factory.mktemp("skew-data")
+    return write_skewed_confusion(
+        str(directory / "skewed-confusion.json"),
+        SKEW_OBJECTS,
+        seed=7,
+        skew=SKEW_EXPONENT,
+    )
+
+
+def _measure(path: str, rounds: int = ROUNDS) -> Dict:
+    """Interleaved best-of-N skewed group-by kernel, adaptive on/off."""
+    best = {"on": None, "off": None}
+    for _ in range(rounds):
+        for side, adaptive in (("on", True), ("off", False)):
+            run = _run_kernel(adaptive, path)
+            if best[side] is None or run["group_sim"] < \
+                    best[side]["group_sim"]:
+                best[side] = run
+    return best
+
+
+@pytest.fixture(scope="module")
+def adaptive_figure(skew_path, bench_record) -> Dict:
+    """Measure the figure, re-measuring (the established retry pattern
+    of test_regression_gate.py) if noise eats the win on a first
+    attempt."""
+    best = _measure(skew_path)
+    for _ in range(2):
+        ratio = best["off"]["group_sim"] / best["on"]["group_sim"]
+        if ratio >= GROUP_TARGET and \
+                best["off"]["sim"] / best["on"]["sim"] >= SIM_TARGET:
+            break
+        retry = _measure(skew_path, rounds=3)
+        for side in ("on", "off"):
+            if retry[side]["group_sim"] < best[side]["group_sim"]:
+                best[side] = retry[side]
+    query = rumble_query("skew_group", skew_path)
+    query_on = _run_query(True, query)
+    query_off = _run_query(False, query)
+    on, off = best["on"], best["off"]
+    figure = {
+        "kind": "skew_group",
+        "objects": SKEW_OBJECTS,
+        "zipf_exponent": SKEW_EXPONENT,
+        "kernel_seconds_on": round(on["wall"], 4),
+        "kernel_seconds_off": round(off["wall"], 4),
+        "sim_makespan_on": round(on["sim"], 4),
+        "sim_makespan_off": round(off["sim"], 4),
+        "sim_speedup": round(off["sim"] / on["sim"], 3),
+        "group_makespan_on": round(on["group_sim"], 5),
+        "group_makespan_off": round(off["group_sim"], 5),
+        "group_speedup": round(off["group_sim"] / on["group_sim"], 3),
+        "query_seconds_on": round(query_on["wall"], 4),
+        "query_seconds_off": round(query_off["wall"], 4),
+        "counters_on": on["counters"],
+        "counters_off": off["counters"],
+        "query_counters_on": query_on["counters"],
+        "query_counters_off": query_off["counters"],
+    }
+    bench_record["adaptive-skew-group"] = dict(figure)
+    figure["_results"] = {
+        "kernel": (on["result"], off["result"]),
+        "query": (query_on["result"], query_off["result"]),
+    }
+    return figure
+
+
+def test_results_identical(adaptive_figure):
+    """Adaptive re-planning must be invisible in the answer — at the
+    substrate level and through the full JSONiq pipeline."""
+    kernel_on, kernel_off = adaptive_figure["_results"]["kernel"]
+    assert kernel_on == kernel_off
+    query_on, query_off = adaptive_figure["_results"]["query"]
+    assert query_on == query_off
+    assert query_on  # the query actually grouped something
+
+
+def test_adaptive_counters_fire(adaptive_figure):
+    """Coalescing and skew splitting actually ran with adaptive on —
+    and did not with it off."""
+    for key in ("counters_on", "query_counters_on"):
+        on = adaptive_figure[key]
+        assert on.get("coalesced_buckets", 0) > 0, (key, on)
+        assert on.get("skew_splits", 0) > 0, (key, on)
+        assert on.get("skew_subtasks", 0) >= 2 * on["skew_splits"], (key, on)
+    assert adaptive_figure["counters_off"] == {}
+    assert adaptive_figure["query_counters_off"] == {}
+
+
+def test_skewed_group_stage_improves(adaptive_figure):
+    """The gated headline: the skewed groupByKey stage's simulated
+    makespan must improve with adaptive execution on."""
+    speedup = adaptive_figure["group_speedup"]
+    assert speedup >= GROUP_FLOOR, adaptive_figure
+    if GATE:
+        assert speedup >= GROUP_TARGET, adaptive_figure
+
+
+def test_whole_job_improves(adaptive_figure):
+    """The whole kernel's simulated makespan — map stage included —
+    must also come out ahead on the simulated cluster."""
+    if GATE:
+        assert adaptive_figure["sim_speedup"] >= SIM_TARGET, adaptive_figure

@@ -81,6 +81,22 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 0.05)",
     )
     parser.add_argument(
+        "--adaptive", dest="adaptive", action="store_true", default=None,
+        help="force adaptive query execution on (runtime partition "
+             "coalescing, skew splitting, join re-planning; the default "
+             "follows spark.adaptive.enabled / RUMBLE_ADAPTIVE)",
+    )
+    parser.add_argument(
+        "--no-adaptive", dest="adaptive", action="store_false",
+        help="force adaptive query execution off",
+    )
+    parser.add_argument(
+        "--memory-budget", type=int, metavar="BYTES",
+        help="bound the unified memory pool (cached partitions + shuffle "
+             "buckets) to this many bytes; overflow evicts LRU cached "
+             "partitions and spills shuffle buckets to disk",
+    )
+    parser.add_argument(
         "--lint", action="store_true",
         help="statically analyse the query and print diagnostics instead "
              "of running it; exits 1 when any error-severity diagnostic "
@@ -105,10 +121,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     arguments = build_parser().parse_args(argv)
-    config = RumbleConfig(
-        materialization_cap=arguments.cap, warn_on_cap=True,
-        parse_mode=arguments.parse_mode,
-    )
+    try:
+        config = RumbleConfig(
+            materialization_cap=arguments.cap, warn_on_cap=True,
+            parse_mode=arguments.parse_mode,
+            adaptive=arguments.adaptive,
+            memory_budget=arguments.memory_budget,
+        )
+    except ValueError as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 2
     if arguments.chaos_seed is not None:
         from repro.core import make_engine
         from repro.spark import FaultPlan

@@ -45,6 +45,16 @@ RUMBLE_QUERIES: Dict[str, str] = {
         'where $c le 10\n'
         'return $i'
     ),
+    # Group-by on a Zipf-skewed key (generate the input with
+    # datasets.write_skewed_confusion): one country holds ~half the
+    # records, so one reduce bucket dwarfs the rest — the workload the
+    # adaptive skew-splitting benchmark gates on.
+    "skew_group": (
+        'for $i in json-file("{path}")\n'
+        'group by $c := $i.country\n'
+        'return {{ "country": $c, "count": count($i),\n'
+        '          "correct": count($i[$$.guess eq $$.target]) }}'
+    ),
 }
 
 
@@ -59,11 +69,15 @@ def make_rumble_engine(
     block_size: Optional[int] = None,
     fusion: Optional[bool] = None,
     pushdown: Optional[bool] = None,
+    adaptive: Optional[bool] = None,
+    memory_budget: Optional[int] = None,
 ) -> Rumble:
     """A Rumble engine with a benchmark-friendly substrate.
 
-    ``fusion`` and ``pushdown`` toggle the optimizer layers for
-    ablation runs; ``None`` keeps the engine defaults (both on).
+    ``fusion``, ``pushdown`` and ``adaptive`` toggle the optimizer
+    layers for ablation runs; ``None`` keeps the engine defaults (all
+    on).  ``memory_budget`` bounds the unified memory pool in bytes,
+    forcing eviction and spill for memory-pressure runs.
     """
     return make_engine(
         executors=executors,
@@ -72,6 +86,8 @@ def make_rumble_engine(
         config=RumbleConfig(materialization_cap=1_000_000),
         fusion=fusion,
         pushdown=pushdown,
+        adaptive=adaptive,
+        memory_budget=memory_budget,
     )
 
 

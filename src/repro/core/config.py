@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 
 @dataclass
@@ -37,6 +37,14 @@ class RumbleConfig:
     #: How many items batched pulls (:meth:`RuntimeIterator.next_batch`)
     #: fetch per call on hot paths, instead of item-at-a-time ``next()``.
     batch_size: int = 256
+    #: Adaptive query execution (runtime partition coalescing, skew
+    #: splitting and join re-planning; see docs/performance.md).  None
+    #: inherits the substrate default (``spark.adaptive.enabled``).
+    adaptive: Optional[bool] = None
+    #: Unified memory budget in bytes over cached partitions and shuffle
+    #: buckets (``spark.memory.budgetBytes``).  None inherits the
+    #: substrate default (unbounded unless ``RUMBLE_MEMORY_BUDGET`` set).
+    memory_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         from repro.jsoniq.jsonlines import PARSE_MODES
@@ -49,3 +57,5 @@ class RumbleConfig:
             )
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.memory_budget is not None and self.memory_budget <= 0:
+            raise ValueError("memory_budget must be positive")

@@ -136,6 +136,11 @@ class Rumble:
                  config: Optional[RumbleConfig] = None):
         self.spark = spark or SparkSession()
         self.config = config or RumbleConfig()
+        context = self.spark.spark_context
+        if self.config.adaptive is not None:
+            context.adaptive.enabled = self.config.adaptive
+        if self.config.memory_budget is not None:
+            context.memory.set_budget(self.config.memory_budget)
         self.runtime = RumbleRuntime(self.spark, self.config)
 
     # -- Compilation ---------------------------------------------------------------
@@ -179,6 +184,10 @@ class Rumble:
         if notes:
             lines.append("")
             lines.extend(notes)
+        replan = self._adaptive_replan_notes()
+        if replan:
+            lines.append("")
+            lines.extend(replan)
         return "\n".join(lines)
 
     def _optimizer_notes(self, iterator: RuntimeIterator) -> List[str]:
@@ -186,13 +195,22 @@ class Rumble:
         each compiled FLWOR's pushdown decisions."""
         from repro.jsoniq.runtime.flwor.clauses import ReturnClauseIterator
 
+        context = self.spark.spark_context
+        memory = context.memory
         lines = [
             "Optimizer",
             "  fusion: {}".format(
-                "on" if self.spark.spark_context.fusion_enabled else "off"
+                "on" if context.fusion_enabled else "off"
             ),
             "  pushdown: {}".format(
                 "on" if getattr(self.config, "pushdown", True) else "off"
+            ),
+            "  adaptive: {}".format(
+                "on" if context.adaptive.enabled else "off"
+            ),
+            "  memory budget: {}".format(
+                "{} bytes".format(memory.budget)
+                if memory.limited else "unbounded"
             ),
         ]
         decisions: List[str] = []
@@ -212,6 +230,47 @@ class Rumble:
         if decisions:
             lines.append("  scan/order decisions:")
             lines.extend(decisions)
+        return lines
+
+    def _adaptive_replan_notes(self) -> List[str]:
+        """The post-run adaptive section of :meth:`explain`: what the
+        runtime re-planned during the most recent execution, with the
+        measured statistics that triggered each decision.  Empty until a
+        query has run (or when nothing was adapted)."""
+        entries = self.spark.spark_context.adaptive.entries
+        if not entries:
+            return []
+        lines = ["Adaptive re-plan (last run)"]
+        for entry in entries:
+            if entry.get("kind") == "join":
+                lines.append(
+                    "  join: {} -> {} (measured rows: left={}, right={},"
+                    " broadcast threshold={})".format(
+                        entry["initial"], entry["final"],
+                        entry["left_rows"], entry["right_rows"],
+                        entry["threshold"],
+                    )
+                )
+                continue
+            unit = "bytes" if entry.get("weighed") else "records"
+            if entry.get("coalesced", 0) > 0:
+                lines.append(
+                    "  {}: {} buckets -> {} partitions "
+                    "({} coalesced; target {} {})".format(
+                        entry.get("name", "shuffle"), entry["buckets"],
+                        entry["partitions"], entry["coalesced"],
+                        entry["target"], unit,
+                    )
+                )
+            for split in entry.get("splits", ()):
+                lines.append(
+                    "  {}: skewed bucket {} split into {} sub-tasks "
+                    "({} {} vs. median {})".format(
+                        entry.get("name", "shuffle"), split["bucket"],
+                        split["subtasks"], split["weight"], unit,
+                        split["median"],
+                    )
+                )
         return lines
 
     def lint(self, query_text: str):
@@ -322,6 +381,8 @@ def make_engine(
     retry_backoff: Optional[float] = None,
     fusion: Optional[bool] = None,
     pushdown: Optional[bool] = None,
+    adaptive: Optional[bool] = None,
+    memory_budget: Optional[int] = None,
 ) -> Rumble:
     """Build an engine with an explicitly sized substrate cluster.
 
@@ -336,6 +397,11 @@ def make_engine(
     ``fusion`` toggles narrow-transformation fusion in the substrate and
     ``pushdown`` the engine's scan/order optimizations — the ablation
     pair the benchmark regression suite measures (docs/performance.md).
+
+    ``adaptive`` toggles adaptive query execution (runtime partition
+    coalescing, skew splitting, join re-planning) and ``memory_budget``
+    bounds the unified memory pool in bytes, enabling LRU eviction of
+    cached partitions and shuffle-bucket spill (docs/performance.md).
     """
     conf = SparkConf()
     conf.set("spark.executor.instances", executors)
@@ -357,6 +423,10 @@ def make_engine(
         conf.set("spark.task.retryBackoffSeconds", retry_backoff)
     if fusion is not None:
         conf.set("spark.fusion.enabled", fusion)
+    if adaptive is not None:
+        conf.set("spark.adaptive.enabled", adaptive)
+    if memory_budget is not None:
+        conf.set("spark.memory.budgetBytes", memory_budget)
     if pushdown is not None:
         if config is None:
             config = RumbleConfig(pushdown=pushdown)

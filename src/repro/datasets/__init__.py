@@ -11,7 +11,9 @@
 from repro.datasets.heterogeneous import generate_heterogeneous, write_heterogeneous
 from repro.datasets.language_game import (
     generate_confusion,
+    generate_skewed_confusion,
     write_confusion,
+    write_skewed_confusion,
 )
 from repro.datasets.reddit import generate_reddit, write_reddit
 from repro.datasets.replicate import replicate_file
@@ -19,6 +21,8 @@ from repro.datasets.replicate import replicate_file
 __all__ = [
     "generate_confusion",
     "write_confusion",
+    "generate_skewed_confusion",
+    "write_skewed_confusion",
     "generate_reddit",
     "write_reddit",
     "generate_heterogeneous",

@@ -80,3 +80,48 @@ def write_confusion(path: str, num_objects: int, seed: int = 42) -> str:
             handle.write(json.dumps(record, separators=(",", ":")))
             handle.write("\n")
     return path
+
+
+def generate_skewed_confusion(
+    num_objects: int, seed: int = 42, skew: float = 1.8
+) -> Iterator[Dict[str, object]]:
+    """Confusion objects whose ``country`` key is heavily Zipf-skewed.
+
+    The stock generator draws countries uniformly; this variant raises
+    the Zipf exponent so one country dominates — the hot-key workload
+    the adaptive skew-splitting benchmark groups on.  ``skew`` is the
+    Zipf exponent ``s`` in ``weight(rank) = 1 / (rank + 1) ** s``; at
+    1.8 roughly half of all records land on the first country.
+    """
+    rng = random.Random(seed)
+    language_weights = _zipf_weights(len(LANGUAGES))
+    country_weights = [
+        1.0 / (rank + 1) ** skew for rank in range(len(COUNTRIES))
+    ]
+    for index in range(num_objects):
+        target = rng.choices(LANGUAGES, weights=language_weights, k=1)[0]
+        if rng.random() < 0.73:
+            guess = target
+        else:
+            guess = rng.choice(LANGUAGES)
+        yield {
+            "guess": guess,
+            "target": target,
+            "country": rng.choices(
+                COUNTRIES, weights=country_weights, k=1
+            )[0],
+            "sample": hashlib.md5(
+                "{}-{}".format(seed, index).encode()
+            ).hexdigest(),
+        }
+
+
+def write_skewed_confusion(
+    path: str, num_objects: int, seed: int = 42, skew: float = 1.8
+) -> str:
+    """Write the skewed-country dataset as JSON Lines; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in generate_skewed_confusion(num_objects, seed, skew):
+            handle.write(json.dumps(record, separators=(",", ":")))
+            handle.write("\n")
+    return path

@@ -123,6 +123,23 @@ class LazyObjectItem(ObjectItem):
         if value is not _ABSENT:
             yield _wrap_fast(value)
 
+    def __reduce__(self):
+        # The default slot-based pickling would setattr ``pairs`` on
+        # load, which the property above has no setter for; rebuild from
+        # the raw dict instead (the wrapped values re-derive lazily).
+        # Needed by the memory manager's disk tier, which round-trips
+        # spilled partitions through pickle.
+        verified = getattr(self, "pushdown_verified", _ABSENT)
+        if verified is _ABSENT:
+            return (LazyObjectItem, (self._raw,))
+        return (_restore_lazy_object, (self._raw, verified))
+
+
+def _restore_lazy_object(raw, verified) -> "LazyObjectItem":
+    item = LazyObjectItem(raw)
+    item.pushdown_verified = verified
+    return item
+
 
 def _wrap_fast(value) -> Item:
     """Wrap a decoded JSON value, minimal dispatch (hot path).

@@ -20,11 +20,16 @@ per-row paths neither allocate nor record when observability is off.
 from __future__ import annotations
 
 from repro.obs.events import (
+    ADAPTIVE_COALESCE,
+    ADAPTIVE_JOIN_REPLAN,
+    ADAPTIVE_SKEW_SPLIT,
     EventLog,
     EXECUTOR_BLACKLISTED,
     EXECUTOR_REMOVED,
     FAULT_INJECTED,
     MALFORMED_RECORD,
+    MEMORY_EVICTION,
+    SHUFFLE_SPILL,
     SHUFFLE_COMPLETED,
     SHUFFLE_FETCH_FAILED,
     SHUFFLE_RECOVERY,
@@ -88,6 +93,56 @@ class Observability:
         self.metrics.counter("rumble.shuffle.bytes").inc(size)
         self.emit(SHUFFLE_COMPLETED, records=records, bytes=size)
 
+    def on_adaptive(self, counter: str, value: int = 1) -> None:
+        """Called by :class:`repro.spark.shuffle.AdaptiveRuntime`."""
+        self.metrics.counter("rumble.adaptive." + counter).inc(value)
+
+    def on_adaptive_event(self, entry: dict) -> None:
+        """One adaptive re-plan decision, ledgered into the event log."""
+        if entry.get("kind") == "join":
+            self.emit(
+                ADAPTIVE_JOIN_REPLAN,
+                initial=entry["initial"],
+                final=entry["final"],
+                left_rows=entry["left_rows"],
+                right_rows=entry["right_rows"],
+                threshold=entry["threshold"],
+            )
+            return
+        if entry.get("coalesced", 0) > 0:
+            self.emit(
+                ADAPTIVE_COALESCE,
+                shuffle_id=entry.get("shuffle_id"),
+                name=entry.get("name"),
+                buckets=entry["buckets"],
+                partitions=entry["partitions"],
+                coalesced=entry["coalesced"],
+                weighed=entry["weighed"],
+            )
+        for split in entry.get("splits", ()):
+            self.emit(
+                ADAPTIVE_SKEW_SPLIT,
+                shuffle_id=entry.get("shuffle_id"),
+                name=entry.get("name"),
+                bucket=split["bucket"],
+                weight=split["weight"],
+                median=split["median"],
+                subtasks=split["subtasks"],
+            )
+
+    def on_memory(self, counter: str, value: int = 1) -> None:
+        """Called by :class:`repro.spark.memory.MemoryManager`."""
+        self.metrics.counter("rumble.memory." + counter).inc(value)
+
+    def on_memory_event(self, payload: dict) -> None:
+        """One eviction or spill decision, ledgered into the event log."""
+        fields = dict(payload)
+        kind = fields.pop("kind", None)
+        if kind == "bucket_spill":
+            self.emit(SHUFFLE_SPILL, **fields)
+        elif kind == "eviction":
+            self.emit(MEMORY_EVICTION, **fields)
+
     # -- Wiring into a substrate context -------------------------------------
     def attach(self, spark_context) -> None:
         """Subscribe to a SparkContext's executors and shuffle layer.
@@ -105,6 +160,12 @@ class Observability:
         faults = getattr(spark_context, "faults", None)
         if faults is not None:
             faults.observer = self
+        adaptive = getattr(spark_context, "adaptive", None)
+        if adaptive is not None:
+            adaptive.observer = self
+        memory = getattr(spark_context, "memory", None)
+        if memory is not None:
+            memory.observer = self
 
     def detach(self, spark_context) -> None:
         if spark_context.obs is self:
@@ -119,6 +180,12 @@ class Observability:
         faults = getattr(spark_context, "faults", None)
         if faults is not None and faults.observer is self:
             faults.observer = None
+        adaptive = getattr(spark_context, "adaptive", None)
+        if adaptive is not None and adaptive.observer is self:
+            adaptive.observer = None
+        memory = getattr(spark_context, "memory", None)
+        if memory is not None and memory.observer is self:
+            memory.observer = None
 
 
 #: The engine-wide default: observability off, no-op tracer, and the
@@ -157,4 +224,9 @@ __all__ = [
     "SPECULATIVE_TASK_SUBMITTED",
     "SPECULATIVE_TASK_END",
     "MALFORMED_RECORD",
+    "ADAPTIVE_COALESCE",
+    "ADAPTIVE_SKEW_SPLIT",
+    "ADAPTIVE_JOIN_REPLAN",
+    "MEMORY_EVICTION",
+    "SHUFFLE_SPILL",
 ]

@@ -37,6 +37,16 @@ SHUFFLE_FETCH_FAILED = "ShuffleFetchFailed"
 SHUFFLE_RECOVERY = "ShuffleRecovery"
 MALFORMED_RECORD = "MalformedRecord"
 
+#: Adaptive-execution vocabulary (emitted through the AdaptiveRuntime;
+#: see docs/performance.md "Adaptive execution & memory").
+ADAPTIVE_COALESCE = "AdaptiveShufflePartitionsCoalesced"
+ADAPTIVE_SKEW_SPLIT = "AdaptiveSkewedPartitionSplit"
+ADAPTIVE_JOIN_REPLAN = "AdaptiveJoinReplanned"
+
+#: Unified-memory-manager vocabulary (emitted through the MemoryManager).
+MEMORY_EVICTION = "BlockEvicted"
+SHUFFLE_SPILL = "ShuffleBucketSpilled"
+
 
 class EventLog:
     """An append-only, thread-safe list of event dicts.

@@ -146,4 +146,21 @@ class ProfileReport:
             lines.append("  {} materialization(s), {} partition hit(s)".format(
                 materializations, cache_hits
             ))
+
+        for section, prefix in (
+            ("adaptive", "rumble.adaptive."),
+            ("memory", "rumble.memory."),
+        ):
+            counters = self.metrics.get("counters", {})
+            found = {
+                name[len(prefix):]: value
+                for name, value in counters.items()
+                if name.startswith(prefix) and value
+            }
+            if found:
+                lines.append("-- {} --".format(section))
+                lines.append("  " + ", ".join(
+                    "{}={}".format(name, found[name])
+                    for name in sorted(found)
+                ))
         return "\n".join(lines)

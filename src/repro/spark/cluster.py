@@ -71,10 +71,17 @@ class TaskMetrics:
 
 @dataclass
 class StageMetrics:
-    """Costs of one stage: the unit between two shuffle boundaries."""
+    """Costs of one stage: the unit between two shuffle boundaries.
+
+    ``nested`` marks a stage whose tasks ran *inside* another stage's
+    task (adaptive skew-split sub-tasks): its seconds are already part
+    of the enclosing task's occupancy, so makespan reporting must not
+    count them twice (see :meth:`ExecutorPool.simulated_wall_clock`).
+    """
 
     stage_id: int
     label: str = ""
+    nested: bool = False
     tasks: List[TaskMetrics] = field(default_factory=list)
 
     @property
@@ -134,6 +141,10 @@ class ExecutorPool:
         self._executor_failures: Dict[int, int] = {}
         self._next_executor_id = num_executors
         self._lock = threading.Lock()
+        #: Per-thread count of tasks currently executing — lets
+        #: run_stage detect stages launched from inside a task (adaptive
+        #: skew-split sub-stages) for double-count-free makespans.
+        self._task_depth = threading.local()
 
     def add_listener(self, listener: Any) -> None:
         if listener not in self.listeners:
@@ -148,10 +159,21 @@ class ExecutorPool:
             listener.emit(event, **fields)
 
     def run_stage(
-        self, tasks: Sequence[Callable[[], Any]], label: str = ""
+        self, tasks: Sequence[Callable[[], Any]], label: str = "",
+        nested: Optional[bool] = None,
     ) -> List[Any]:
-        """Execute every task, returning results in task order."""
-        stage = StageMetrics(stage_id=self._next_stage_id, label=label)
+        """Execute every task, returning results in task order.
+
+        ``nested`` marks the stage's seconds as already contained in an
+        enclosing task's occupancy; by default it is detected from the
+        call site (a stage launched while a task of this pool is running
+        on the same thread is nested).
+        """
+        if nested is None:
+            nested = getattr(self._task_depth, "value", 0) > 0
+        stage = StageMetrics(
+            stage_id=self._next_stage_id, label=label, nested=nested
+        )
         self._next_stage_id += 1
         self.stages.append(stage)
         if self.listeners:
@@ -244,6 +266,15 @@ class ExecutorPool:
 
     # -- Task execution ------------------------------------------------------
     def _run_task(
+        self, stage: StageMetrics, index: int, task: Callable[[], Any]
+    ) -> Any:
+        self._task_depth.value = getattr(self._task_depth, "value", 0) + 1
+        try:
+            return self._run_task_inner(stage, index, task)
+        finally:
+            self._task_depth.value -= 1
+
+    def _run_task_inner(
         self, stage: StageMetrics, index: int, task: Callable[[], Any]
     ) -> Any:
         metrics = TaskMetrics(partition=index, seconds=0.0, attempts=0)
@@ -428,10 +459,21 @@ class ExecutorPool:
         """Makespan of the recorded stages on ``num_executors`` executors.
 
         Stages are barriers: stage *k+1* starts only when stage *k* is done,
-        so the total is the sum of per-stage makespans.
+        so the total is the sum of per-stage makespans.  A *nested* stage
+        (skew-split sub-tasks) ran serially inside an enclosing task whose
+        occupancy already contains its total seconds; it contributes
+        ``makespan - total_seconds`` — crediting back the serial time and
+        charging what the sub-tasks cost when spread over the executors.
         """
         executors = num_executors or self.num_executors
-        return sum(stage.makespan(executors) for stage in self.stages)
+        total = 0.0
+        for stage in self.stages:
+            makespan = stage.makespan(executors)
+            if stage.nested:
+                total += makespan - stage.total_seconds
+            else:
+                total += makespan
+        return total
 
     def reset_metrics(self) -> None:
         self.stages = []

@@ -2,12 +2,27 @@
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, Iterable, List, Optional
 
 from repro.spark.cluster import ExecutorPool
 from repro.spark.faults import FaultManager
-from repro.spark.shuffle import ShuffleMetrics
+from repro.spark.memory import MemoryManager
+from repro.spark.shuffle import AdaptiveRuntime, ShuffleMetrics
 from repro.spark import storage
+
+
+def _env_memory_budget() -> Optional[int]:
+    """Default memory budget from ``RUMBLE_MEMORY_BUDGET`` (bytes): lets
+    CI force eviction and spill onto an unmodified test suite."""
+    raw = os.environ.get("RUMBLE_MEMORY_BUDGET", "").strip()
+    if not raw:
+        return None
+    return int(raw)
+
+
+def _env_adaptive_default() -> bool:
+    return os.environ.get("RUMBLE_ADAPTIVE", "1") not in ("0", "false", "")
 
 
 class SparkConf:
@@ -30,6 +45,13 @@ class SparkConf:
             #: Whole-pipeline fusion of narrow transformations (see
             #: :mod:`repro.spark.fusion` and docs/performance.md).
             "spark.fusion.enabled": True,
+            # -- Adaptive execution (see docs/performance.md) ---------------
+            "spark.adaptive.enabled": _env_adaptive_default(),
+            "spark.adaptive.targetPartitionBytes": 1 << 20,
+            "spark.adaptive.targetPartitionRecords": 4096,
+            "spark.adaptive.skewFactor": 4.0,
+            # -- Unified memory manager (None = unbounded, zero overhead) ---
+            "spark.memory.budgetBytes": _env_memory_budget(),
         }
         self._settings.update(settings)
 
@@ -71,6 +93,25 @@ class SparkContext:
         #: Consulted by every narrow derivation (see RDD._derive_narrow).
         self.fusion_enabled = bool(
             self.conf.get("spark.fusion.enabled", True)
+        )
+        #: Adaptive-execution knobs + re-plan ledger, consulted by every
+        #: default-count wide transformation (see RDD._shuffled).
+        self.adaptive = AdaptiveRuntime(
+            enabled=bool(self.conf.get("spark.adaptive.enabled", True)),
+            target_bytes=int(
+                self.conf.get("spark.adaptive.targetPartitionBytes", 1 << 20)
+            ),
+            skew_factor=float(
+                self.conf.get("spark.adaptive.skewFactor", 4.0)
+            ),
+            target_records=int(
+                self.conf.get("spark.adaptive.targetPartitionRecords", 4096)
+            ),
+        )
+        #: The unified memory budget over cached partitions and shuffle
+        #: buckets; inert (no weighing, no spill) when the budget is None.
+        self.memory = MemoryManager(
+            budget=self.conf.get("spark.memory.budgetBytes")
         )
         #: The active observability bundle (None when not profiling);
         #: installed/removed by :meth:`repro.obs.Observability.attach`.
@@ -139,6 +180,8 @@ class SparkContext:
         self.executors.reset_metrics()
         self.shuffle_metrics.reset()
         self.faults.reset()
+        self.adaptive.reset()
+        self.memory.reset_counters()
 
 
 class SparkSession:

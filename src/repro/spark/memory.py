@@ -1,0 +1,202 @@
+"""The unified memory manager: one budget over all materialized state.
+
+Spark divides executor memory between *storage* (cached partitions) and
+*execution* (shuffle buffers) under a single unified pool; this module
+reproduces that contract for the simulated substrate.  A
+:class:`MemoryManager` with a byte budget (``spark.memory.budgetBytes``)
+accounts every cached RDD partition and every map-side shuffle bucket,
+using the same pickled-size weighing ``bucketize`` already performs.
+When the pool overflows:
+
+* cached partitions are evicted in LRU order — ``MEMORY_AND_DISK``
+  partitions move to a :class:`repro.spark.storage.SpillStore` block,
+  ``MEMORY_ONLY`` partitions are dropped and recomputed from lineage on
+  the next read;
+* oversized shuffle buckets are spilled to storage blocks and fetched
+  lazily on the reduce side.
+
+With no budget configured (the default) the manager is inert: nothing is
+weighed, accounted, or spilled, so unbounded runs pay zero overhead.
+All decisions land in the always-on ``counts`` dict and — when an
+observability instance is attached — in ``rumble.memory.*`` counters and
+the event log.
+"""
+
+from __future__ import annotations
+
+import pickle
+import weakref
+from collections import OrderedDict
+from typing import Optional
+
+from repro.spark.storage import SpillHandle, SpillStore
+
+
+class _Entry:
+    __slots__ = ("kind", "size", "ref", "split")
+
+    def __init__(self, kind: str, size: int, ref=None, split: int = 0):
+        self.kind = kind  # "cached" | "shuffle"
+        self.size = size
+        self.ref = ref
+        self.split = split
+
+
+class MemoryManager:
+    """Budgeted accounting of cached partitions and shuffle buckets."""
+
+    def __init__(self, budget: Optional[int] = None,
+                 store: Optional[SpillStore] = None):
+        if budget is not None and budget <= 0:
+            raise ValueError("memory budget must be positive")
+        self.budget = budget
+        self.store = store if store is not None else SpillStore()
+        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
+        self.used = 0
+        self.counts: dict = {}
+        self.observer = None
+
+    # -- configuration ---------------------------------------------------
+
+    @property
+    def limited(self) -> bool:
+        return self.budget is not None
+
+    def set_budget(self, budget: Optional[int]) -> None:
+        if budget is not None and budget <= 0:
+            raise ValueError("memory budget must be positive")
+        self.budget = budget
+        if self.limited:
+            self._shrink()
+
+    # -- weighing --------------------------------------------------------
+
+    def weigh(self, records) -> Optional[int]:
+        """Pickled size of a record list; ``None`` when unpicklable
+        (such partitions stay resident and unaccounted)."""
+        try:
+            return len(pickle.dumps(records, protocol=4))
+        except Exception:
+            return None
+
+    # -- cached RDD partitions -------------------------------------------
+
+    def register_partition(self, rdd, split: int, records: list) -> None:
+        """Account one just-materialized cached partition and evict LRU
+        entries if the pool now overflows."""
+        if not self.limited:
+            return
+        size = self.weigh(records)
+        if size is None:
+            return
+        key = ("rdd", id(rdd), split)
+        self._drop(key)
+        self._entries[key] = _Entry(
+            "cached", size, ref=weakref.ref(rdd), split=split
+        )
+        self.used += size
+        self.record("cached_bytes", size)
+        self._shrink()
+
+    def touch(self, rdd, split: int) -> None:
+        """LRU bump on a cache hit."""
+        key = ("rdd", id(rdd), split)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+
+    def forget_rdd(self, rdd) -> None:
+        """Stop accounting an unpersisted RDD (its spill handles are
+        released by the RDD itself)."""
+        prefix = ("rdd", id(rdd))
+        for key in [k for k in self._entries if k[:2] == prefix]:
+            self._drop(key)
+
+    # -- shuffle buckets -------------------------------------------------
+
+    def admit_bucket(self, shuffle_id: int, map_index: int,
+                     bucket_index: int, records: list, size: int):
+        """Account one map-output bucket; returns the bucket itself or a
+        :class:`SpillHandle` when it was pushed to the disk tier."""
+        if not self.limited or not records:
+            return records
+        if size > max(1, self.budget // 8):
+            return self._spill_bucket(shuffle_id, bucket_index, records, size)
+        key = ("shuffle", shuffle_id, map_index, bucket_index)
+        self._drop(key)
+        self._entries[key] = _Entry("shuffle", size)
+        self.used += size
+        self._shrink()
+        if self.used > self.budget:
+            # Eviction alone could not make room: execution memory is
+            # full of other live buckets, so this one goes to disk.
+            self._drop(key)
+            return self._spill_bucket(shuffle_id, bucket_index, records, size)
+        return records
+
+    def release_shuffle(self, shuffle_id: int) -> None:
+        """Drop the accounting of one shuffle's buckets (its memoized
+        state was invalidated)."""
+        for key in [k for k in self._entries
+                    if k[0] == "shuffle" and k[1] == shuffle_id]:
+            self._drop(key)
+
+    def _spill_bucket(self, shuffle_id: int, bucket_index: int,
+                      records: list, size: int) -> SpillHandle:
+        handle = self.store.put(records)
+        self.record("bucket_spills")
+        self.record("spilled_bytes", handle.bytes)
+        if self.observer is not None:
+            self.observer.on_memory_event({
+                "kind": "bucket_spill",
+                "shuffle_id": shuffle_id,
+                "bucket": bucket_index,
+                "records": len(records),
+                "bytes": handle.bytes,
+            })
+        return handle
+
+    # -- eviction --------------------------------------------------------
+
+    def _shrink(self) -> None:
+        while self.used > self.budget:
+            victim = None
+            for key, entry in self._entries.items():
+                if entry.kind == "cached":
+                    victim = key
+                    break
+            if victim is None:
+                return
+            entry = self._entries[victim]
+            self._drop(victim)
+            rdd = entry.ref() if entry.ref is not None else None
+            if rdd is None:
+                continue
+            outcome = rdd._evict_cached(entry.split, self.store)
+            self.record("evictions")
+            if outcome == "spilled":
+                self.record("evicted_to_disk")
+            else:
+                self.record("evicted_dropped")
+            if self.observer is not None:
+                self.observer.on_memory_event({
+                    "kind": "eviction",
+                    "rdd": getattr(rdd, "name", "rdd"),
+                    "split": entry.split,
+                    "bytes": entry.size,
+                    "outcome": outcome,
+                })
+
+    def _drop(self, key) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self.used -= entry.size
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def record(self, counter: str, value: int = 1) -> None:
+        self.counts[counter] = self.counts.get(counter, 0) + value
+        if self.observer is not None:
+            self.observer.on_memory(counter, value)
+
+    def reset_counters(self) -> None:
+        self.counts = {}

@@ -28,8 +28,19 @@ from repro.spark.shuffle import (
     HashPartitioner,
     Partitioner,
     RangePartitioner,
+    ShuffleStats,
     bucketize,
 )
+from repro.spark.storage import (
+    MEMORY_AND_DISK,
+    MEMORY_ONLY,
+    STORAGE_LEVELS,
+    SpillHandle,
+)
+
+#: Sentinel marking a cached partition that was LRU-evicted under a
+#: ``MEMORY_ONLY`` storage level: the slot recomputes from lineage.
+_EVICTED = object()
 
 
 class RDD:
@@ -38,18 +49,24 @@ class RDD:
     ``compute(split)`` returns an iterator over the records of partition
     ``split``.  Narrow transformations wrap the parent's compute; wide ones
     materialize through a shuffle on first use and then serve buckets.
+
+    ``num_partitions`` may be deferred (a callable) when the RDD sits
+    downstream of an *adaptive* shuffle whose reduce partitioning is only
+    known once the map side has run and been measured; reading the
+    property resolves it.
     """
 
     def __init__(
         self,
         context,
         compute: Callable[[int], Iterator[Any]],
-        num_partitions: int,
+        num_partitions,
         name: str = "rdd",
     ):
         self.context = context
         self._compute = compute
-        self.num_partitions = max(1, num_partitions)
+        self._num_partitions = num_partitions
+        self._storage_level = MEMORY_ONLY
         self.name = name
         self.rdd_id = context.next_rdd_id()
         self._cache: Optional[List[List[Any]]] = None
@@ -64,8 +81,32 @@ class RDD:
         #: :mod:`repro.spark.fusion`).  ``None`` marks a pipeline source.
         self._fuse_parent: Optional["RDD"] = None
         self._fuse_op: Optional[fusion.NarrowOp] = None
+        #: Driver-side hook run before this RDD is evaluated as a
+        #: stage: a shuffle child (or a narrow descendant of one) sets
+        #: it to materialize the upstream map outputs as their *own*
+        #: top-level stage — matching Spark, where a shuffle boundary
+        #: always splits stages — instead of lazily inside whichever
+        #: reduce task happens to fetch first, which would bill the
+        #: whole map side to that one task.
+        self._stage_prepare: Optional[Callable[[], None]] = None
 
     # -- Internal plumbing ---------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        count = self._num_partitions
+        if callable(count):
+            count = count()
+        return max(1, count)
+
+    def _count_provider(self):
+        """This RDD's partition count for a derived child: the static
+        int when known, or a deferred callable when this RDD's own count
+        is still dynamic (an unmaterialized adaptive shuffle)."""
+        if callable(self._num_partitions):
+            parent = self
+            return lambda: parent.num_partitions
+        return self._num_partitions
+
     def _obs(self):
         """The active observability bundle, or None when not profiling."""
         obs = self.context.obs
@@ -78,12 +119,45 @@ class RDD:
         return child
 
     def compute_partition(self, split: int) -> Iterator[Any]:
-        if self._cache is not None:
-            obs = self._obs()
-            if obs is not None:
-                obs.metrics.counter("rumble.rdd.cache.hits").inc()
-            return iter(self._cache[split])
+        cache = self._cache
+        if cache is not None:
+            entry = cache[split]
+            if type(entry) is list:
+                obs = self._obs()
+                if obs is not None:
+                    obs.metrics.counter("rumble.rdd.cache.hits").inc()
+                memory = getattr(self.context, "memory", None)
+                if memory is not None and memory.limited:
+                    memory.touch(self, split)
+                return iter(entry)
+            memory = getattr(self.context, "memory", None)
+            if entry is _EVICTED:
+                # Dropped under memory pressure: recompute from lineage.
+                if memory is not None:
+                    memory.record("cache_recomputes")
+                return self._recompute_evicted(split)
+            # Spilled to the disk tier: read the block back.
+            if memory is not None:
+                memory.record("disk_reads")
+            return iter(entry.read())
         return self._compute(split)
+
+    def _recompute_evicted(self, split: int) -> Iterator[Any]:
+        """Recompute an LRU-dropped cached partition from lineage.
+
+        The fusion walkers treat any cached RDD as a pipeline source, so
+        a fused RDD whose cache slot was evicted cannot recompute
+        through ``_compute_fused`` (it would cycle back to itself);
+        rebuild the chain from its parent instead, with its own operator
+        appended."""
+        if self._fuse_op is None:
+            return self._compute(split)
+        parent = self._fuse_parent
+        ops = fusion.fused_chain(parent) + [self._fuse_op]
+        source = fusion.fusion_source(parent)
+        return fusion.run_pipeline(
+            ops, split, source.compute_partition(split)
+        )
 
     def _derive(
         self,
@@ -96,12 +170,15 @@ class RDD:
         def compute(split: int) -> Iterator[Any]:
             return transform(split, parent.compute_partition(split))
 
-        return self._register_child(RDD(
+        child = RDD(
             self.context,
             compute,
-            num_partitions or self.num_partitions,
+            num_partitions if num_partitions is not None
+            else self._count_provider(),
             name="{}<-{}".format(name, self.name),
-        ))
+        )
+        child._stage_prepare = self._stage_prepare
+        return self._register_child(child)
 
     def _derive_narrow(self, kind: str, func: Callable, name: str) -> "RDD":
         """Derive a fusable narrow child (map/filter/flatMap family).
@@ -117,12 +194,13 @@ class RDD:
         child = RDD(
             self.context,
             None,
-            self.num_partitions,
+            self._count_provider(),
             name="{}<-{}".format(name, self.name),
         )
         child._fuse_parent = self
         child._fuse_op = fusion.NarrowOp(kind, func)
         child._compute = child._compute_fused
+        child._stage_prepare = self._stage_prepare
         return self._register_child(child)
 
     def _compute_fused(self, split: int) -> Iterator[Any]:
@@ -147,7 +225,18 @@ class RDD:
     def _run_all_partitions(self) -> List[List[Any]]:
         """Evaluate every partition as one stage on the executor pool."""
         if self._cache is not None:
-            return self._cache
+            cache = self._cache
+            if all(type(entry) is list for entry in cache):
+                return cache
+            # Some partitions were evicted or spilled: serve each slot
+            # through compute_partition, which recomputes or reads back.
+            return [
+                list(self.compute_partition(split))
+                for split in range(len(cache))
+            ]
+
+        if self._stage_prepare is not None:
+            self._stage_prepare()
 
         def make_task(split: int) -> Callable[[], List[Any]]:
             return lambda: list(self.compute_partition(split))
@@ -156,18 +245,57 @@ class RDD:
         return self.context.executors.run_stage(tasks, label=self.name)
 
     # -- Caching -------------------------------------------------------------
-    def cache(self) -> "RDD":
-        """Materialize on first evaluation and serve from memory after."""
+    def persist(self, level: str = MEMORY_ONLY) -> "RDD":
+        """Materialize on first evaluation and serve from memory after.
+
+        ``MEMORY_AND_DISK`` partitions evicted by the memory manager are
+        written to the disk tier and read back; ``MEMORY_ONLY`` (the
+        ``cache()`` default) recomputes evicted partitions from lineage.
+        """
+        if level not in STORAGE_LEVELS:
+            raise ValueError("unknown storage level: {!r}".format(level))
+        self._storage_level = level
         if self._cache is None:
             obs = self._obs()
             if obs is not None:
                 obs.metrics.counter(
                     "rumble.rdd.cache.materializations"
                 ).inc()
-            self._cache = self._run_all_partitions()
+            self._cache = list(self._run_all_partitions())
+            memory = getattr(self.context, "memory", None)
+            if memory is not None and memory.limited:
+                for split in range(len(self._cache)):
+                    records = self._cache[split]
+                    if type(records) is list:
+                        memory.register_partition(self, split, records)
         return self
 
-    persist = cache
+    def cache(self) -> "RDD":
+        return self.persist(MEMORY_ONLY)
+
+    def _evict_cached(self, split: int, store) -> str:
+        """Memory-manager callback: evict one cached partition, to disk
+        (``MEMORY_AND_DISK``) or by dropping it (``MEMORY_ONLY``)."""
+        cache = self._cache
+        if cache is None or type(cache[split]) is not list:
+            return "gone"
+        if self._storage_level == MEMORY_AND_DISK:
+            cache[split] = store.put(cache[split])
+            return "spilled"
+        cache[split] = _EVICTED
+        return "dropped"
+
+    def _drop_cache(self) -> None:
+        cache = self._cache
+        if cache is None:
+            return
+        memory = getattr(self.context, "memory", None)
+        if memory is not None:
+            memory.forget_rdd(self)
+        for entry in cache:
+            if isinstance(entry, SpillHandle):
+                entry.release()
+        self._cache = None
 
     def unpersist(self) -> "RDD":
         """Drop the materialized partitions and invalidate lineage.
@@ -178,7 +306,7 @@ class RDD:
         silently serve stale data on re-evaluation, so invalidation
         cascades through every registered descendant.
         """
-        self._cache = None
+        self._drop_cache()
         self._invalidate_children()
         return self
 
@@ -192,7 +320,7 @@ class RDD:
         self._children = live
 
     def _invalidate(self) -> None:
-        self._cache = None
+        self._drop_cache()
         for reset in self._memo_resets:
             reset()
         self._invalidate_children()
@@ -244,17 +372,29 @@ class RDD:
         )
 
     def union(self, other: "RDD") -> "RDD":
-        left, left_count = self, self.num_partitions
+        left = self
+        left_provider = self._count_provider()
+        right_provider = other._count_provider()
+
+        def left_count() -> int:
+            if callable(left_provider):
+                return left_provider()
+            return left_provider
 
         def compute(split: int) -> Iterator[Any]:
-            if split < left_count:
+            count = left_count()
+            if split < count:
                 return left.compute_partition(split)
-            return other.compute_partition(split - left_count)
+            return other.compute_partition(split - count)
 
+        if callable(left_provider) or callable(right_provider):
+            total = lambda: left.num_partitions + other.num_partitions
+        else:
+            total = left_provider + right_provider
         child = RDD(
             self.context,
             compute,
-            left_count + other.num_partitions,
+            total,
             name="union",
         )
         self._register_child(child)
@@ -315,8 +455,12 @@ class RDD:
     def _shuffled(
         self,
         to_pairs: Callable[[Iterator[Any]], Iterator[Tuple[Any, Any]]],
-        partitioner: Partitioner,
+        partitioner,
         name: str,
+        bucket_op: Optional[Callable] = None,
+        split_op: Optional[Callable] = None,
+        combine: Optional[Callable] = None,
+        adaptable: bool = False,
     ) -> "RDD":
         """Build the child of a shuffle boundary.
 
@@ -332,33 +476,92 @@ class RDD:
         the chaos plan) invalidates only the lost map output, and only
         that producing partition is re-run — not the reading task, not
         the whole upstream stage.
+
+        ``partitioner`` may be a factory callable, resolved when the map
+        side first runs, so default-count shuffles never force upstream
+        materialization at build time.
+
+        Adaptive execution (``adaptable=True`` and the context's
+        :class:`~repro.spark.shuffle.AdaptiveRuntime` enabled) replans
+        the reduce side from the measured per-bucket sizes: one reduce
+        partition serves a run of *adjacent* coalesced buckets, or a
+        single skewed bucket whose map outputs run as parallel sub-tasks
+        (``split_op``) merged afterwards (``combine``).  ``bucket_op`` —
+        the wide operator itself (reduce/group/sort of one bucket) —
+        runs inside the child so coalescing stays invisible downstream:
+        buckets are key-disjoint (hash) or cover adjacent key ranges
+        (range), so applying it to the concatenated run reproduces the
+        per-bucket outputs in order.
+
+        With a bounded memory budget, map-output buckets are accounted
+        and oversized ones spill to the disk tier as lazily-read
+        blocks; chaos recovery releases and rewrites a lost map output's
+        blocks, keeping replay exactly-once through spilled state.
         """
         parent = self
         context = self.context
         state: Dict[str, Any] = {}
         shuffle_id = context.next_shuffle_id()
+        adaptive = getattr(context, "adaptive", None)
+        memory = getattr(context, "memory", None)
+        adapt = bool(adaptable and adaptive is not None and adaptive.enabled)
 
-        def build_map_outputs() -> List[List[List[Tuple[Any, Any]]]]:
+        def get_partitioner() -> Partitioner:
+            if "partitioner" not in state:
+                state["partitioner"] = (
+                    partitioner() if callable(partitioner) else partitioner
+                )
+            return state["partitioner"]
+
+        def build_map_outputs() -> List[List[Any]]:
             if "outputs" not in state:
+                routing = get_partitioner()
                 parts = parent._run_all_partitions()
                 metrics = context.shuffle_metrics
-                weigh = metrics.measure_bytes
+                limited = memory is not None and memory.limited
+                weigh = metrics.measure_bytes or limited
+                stats = ShuffleStats(routing.num_partitions)
                 outputs = []
                 moved = 0
                 size = 0
-                for part in parts:
-                    buckets, part_moved, part_size = bucketize(
-                        to_pairs(iter(part)), partitioner, weigh
+                for map_index, part in enumerate(parts):
+                    buckets, part_moved, part_size, bucket_bytes = bucketize(
+                        to_pairs(iter(part)), routing, weigh
                     )
+                    stats.add_map_output(buckets, bucket_bytes, weigh)
+                    if limited:
+                        buckets = [
+                            memory.admit_bucket(
+                                shuffle_id, map_index, index, bucket,
+                                bucket_bytes[index],
+                            )
+                            for index, bucket in enumerate(buckets)
+                        ]
                     outputs.append(buckets)
                     moved += part_moved
                     size += part_size
                 state["outputs"] = outputs
-                metrics.record(moved, size)
+                state["stats"] = stats
+                metrics.record(
+                    moved, size if metrics.measure_bytes else 0
+                )
             return state["outputs"]
 
+        def adapted_plan():
+            if "plan" not in state:
+                build_map_outputs()
+                plan, info = adaptive.plan(state["stats"])
+                state["plan"] = plan
+                if info["coalesced"] > 0 or info["splits"]:
+                    adaptive.record_shuffle(shuffle_id, name, info)
+            return state["plan"]
+
         def recompute_map_output(lost: int) -> None:
-            """Lineage recovery: re-run only the producing partition."""
+            """Lineage recovery: re-run only the producing partition.
+
+            The lost output's spilled blocks are released and the fresh
+            buckets re-admitted, so replay stays exactly-once through
+            the disk tier (same data, no orphaned blocks)."""
 
             def recompute_task() -> List[Any]:
                 return list(parent.compute_partition(lost))
@@ -367,54 +570,143 @@ class RDD:
                 [recompute_task],
                 label="recompute({}<-{})".format(name, parent.name),
             )[0]
-            buckets, _, _ = bucketize(to_pairs(iter(part)), partitioner)
+            limited = memory is not None and memory.limited
+            buckets, _, _, bucket_bytes = bucketize(
+                to_pairs(iter(part)), get_partitioner(), limited
+            )
+            for entry in state["outputs"][lost]:
+                if isinstance(entry, SpillHandle):
+                    entry.release()
+            if limited:
+                buckets = [
+                    memory.admit_bucket(
+                        shuffle_id, lost, index, bucket, bucket_bytes[index]
+                    )
+                    for index, bucket in enumerate(buckets)
+                ]
             state["outputs"][lost] = buckets
             context.faults.record(
                 "recomputed_partitions", "ShuffleRecovery",
                 shuffle_id=shuffle_id, map_partition=lost,
             )
 
-        def fetch(split: int) -> List[List[Tuple[Any, Any]]]:
-            """The reduce-side fetch of bucket ``split``, with recovery."""
-            outputs = build_map_outputs()
+        def ensure_recovered(split: int) -> None:
+            """Consult the chaos plan for bucket ``split`` once, keyed by
+            the *original* bucket index so injection sites are identical
+            whether or not the reduce side was adapted."""
             plan = context.faults.plan
-            if plan is not None:
-                recovered = state.setdefault("recovered", set())
-                if split not in recovered:
-                    recovered.add(split)
-                    budget = context.executors.max_retries + 1
-                    for attempt in range(1, budget + 1):
-                        lost = plan.fetch_failure(
-                            shuffle_id, split, attempt, len(outputs)
-                        )
-                        if lost is None:
-                            break
-                        context.faults.record(
-                            "fetch_failures", "ShuffleFetchFailed",
-                            shuffle_id=shuffle_id, reduce_partition=split,
-                            attempt=attempt, map_partition=lost,
-                        )
-                        recompute_map_output(lost)
-                    else:
-                        from repro.spark.faults import ShuffleFetchFailure
+            if plan is None:
+                return
+            recovered = state.setdefault("recovered", set())
+            if split in recovered:
+                return
+            recovered.add(split)
+            outputs = state["outputs"]
+            budget = context.executors.max_retries + 1
+            for attempt in range(1, budget + 1):
+                lost = plan.fetch_failure(
+                    shuffle_id, split, attempt, len(outputs)
+                )
+                if lost is None:
+                    break
+                context.faults.record(
+                    "fetch_failures", "ShuffleFetchFailed",
+                    shuffle_id=shuffle_id, reduce_partition=split,
+                    attempt=attempt, map_partition=lost,
+                )
+                recompute_map_output(lost)
+            else:
+                from repro.spark.faults import ShuffleFetchFailure
 
-                        raise ShuffleFetchFailure(shuffle_id, split, lost)
-                    outputs = state["outputs"]
-            return [output[split] for output in outputs]
+                raise ShuffleFetchFailure(shuffle_id, split, lost)
 
-        def compute(split: int) -> Iterator[Tuple[Any, Any]]:
-            return itertools.chain.from_iterable(fetch(split))
+        def fetch(split: int) -> List[Any]:
+            """The reduce-side fetch of bucket ``split``, with recovery."""
+            build_map_outputs()
+            ensure_recovered(split)
+            return [output[split] for output in state["outputs"]]
 
+        def serve_buckets(buckets) -> Iterator[Any]:
+            stream = itertools.chain.from_iterable(
+                itertools.chain.from_iterable(fetch(bucket))
+                for bucket in buckets
+            )
+            return bucket_op(stream) if bucket_op is not None else stream
+
+        def compute_split(spec) -> Iterator[Any]:
+            """Serve one skewed bucket via parallel sub-tasks over its
+            contiguous map-output ranges, merged after the wide op."""
+            bucket = spec.buckets[0]
+            build_map_outputs()
+            ensure_recovered(bucket)
+            outputs = state["outputs"]
+
+            def make_subtask(lo: int, hi: int):
+                def subtask() -> List[Any]:
+                    stream = itertools.chain.from_iterable(
+                        outputs[map_index][bucket]
+                        for map_index in range(lo, hi)
+                    )
+                    if split_op is not None:
+                        return list(split_op(stream))
+                    return list(stream)
+
+                return subtask
+
+            partials = context.executors.run_stage(
+                [make_subtask(lo, hi) for lo, hi in spec.split_ranges],
+                label="skew-split({})".format(name),
+            )
+            if split_op is not None and combine is not None:
+                return combine(partials)
+            merged = itertools.chain.from_iterable(partials)
+            return bucket_op(merged) if bucket_op is not None else merged
+
+        def compute(split: int) -> Iterator[Any]:
+            if not adapt:
+                return serve_buckets((split,))
+            spec = adapted_plan()[split]
+            if spec.split_ranges:
+                return compute_split(spec)
+            return serve_buckets(spec.buckets)
+
+        if adapt:
+            child_count = lambda: len(adapted_plan())
+        elif callable(partitioner):
+            child_count = lambda: get_partitioner().num_partitions
+        else:
+            child_count = partitioner.num_partitions
         child = RDD(
             self.context,
             compute,
-            partitioner.num_partitions,
+            child_count,
             name="{}<-{}".format(name, self.name),
         )
-        # The memoized buckets are the "shuffle files" of this boundary;
-        # invalidating the parent's cache must also drop them.
-        child._memo_resets.append(state.clear)
+        child._stage_prepare = adapted_plan if adapt else build_map_outputs
+
+        def reset_state() -> None:
+            # The memoized buckets are the "shuffle files" of this
+            # boundary; invalidating the parent's cache must also drop
+            # them — including their accounting and disk blocks.
+            if memory is not None:
+                memory.release_shuffle(shuffle_id)
+            for buckets in state.get("outputs", ()):
+                for entry in buckets:
+                    if isinstance(entry, SpillHandle):
+                        entry.release()
+            state.clear()
+
+        child._memo_resets.append(reset_state)
         return self._register_child(child)
+
+    def _make_partitioner(self, num_partitions: Optional[int]):
+        """A static partitioner for an explicit count, or a deferred
+        factory for the default count (so building a shuffle over a
+        dynamically-partitioned parent stays lazy)."""
+        if num_partitions is not None:
+            return HashPartitioner(num_partitions)
+        parent = self
+        return lambda: HashPartitioner(parent.num_partitions)
 
     def reduce_by_key(
         self, func: Callable[[Any, Any], Any],
@@ -422,38 +714,58 @@ class RDD:
     ) -> "RDD":
         """Combine values per key with map-side pre-aggregation, as Spark
         does: each input partition reduces locally before the shuffle."""
-        def combine_local(part: Iterator[Tuple[Any, Any]]):
-            acc: Dict[Any, Any] = {}
-            for key, value in part:
-                acc[key] = func(acc[key], value) if key in acc else value
-            return iter(acc.items())
-
-        partitioner = HashPartitioner(
-            num_partitions or self.num_partitions
-        )
-        shuffled = self._shuffled(combine_local, partitioner, "reduceByKey")
-
         def reduce_bucket(part: Iterator[Tuple[Any, Any]]):
             acc: Dict[Any, Any] = {}
             for key, value in part:
                 acc[key] = func(acc[key], value) if key in acc else value
             return iter(acc.items())
 
-        return shuffled.map_partitions(reduce_bucket)
+        return self._shuffled(
+            reduce_bucket,  # map-side pre-aggregation
+            self._make_partitioner(num_partitions),
+            "reduceByKey",
+            bucket_op=reduce_bucket,
+            split_op=reduce_bucket,
+            # Sub-task partials are (key, value) items of partial
+            # reductions; reducing their concatenation is exactly the
+            # whole-bucket reduce (first-seen key order composes).
+            combine=lambda partials: reduce_bucket(
+                itertools.chain.from_iterable(partials)
+            ),
+            adaptable=num_partitions is None,
+        )
 
     reduceByKey = reduce_by_key
 
-    def group_by_key(self, num_partitions: Optional[int] = None) -> "RDD":
-        partitioner = HashPartitioner(num_partitions or self.num_partitions)
-        shuffled = self._shuffled(lambda part: part, partitioner, "groupByKey")
-
+    def group_by_key(
+        self,
+        num_partitions: Optional[int] = None,
+        adaptable: Optional[bool] = None,
+    ) -> "RDD":
         def group_bucket(part: Iterator[Tuple[Any, Any]]):
             groups: Dict[Any, List[Any]] = {}
             for key, value in part:
                 groups.setdefault(key, []).append(value)
             return iter(groups.items())
 
-        return shuffled.map_partitions(group_bucket)
+        def merge_groups(partials):
+            groups: Dict[Any, List[Any]] = {}
+            for partial in partials:
+                for key, values in partial:
+                    groups.setdefault(key, []).extend(values)
+            return iter(groups.items())
+
+        if adaptable is None:
+            adaptable = num_partitions is None
+        return self._shuffled(
+            lambda part: part,
+            self._make_partitioner(num_partitions),
+            "groupByKey",
+            bucket_op=group_bucket,
+            split_op=group_bucket,
+            combine=merge_groups,
+            adaptable=adaptable,
+        )
 
     groupByKey = group_by_key
 
@@ -481,17 +793,25 @@ class RDD:
         partitioner = RangePartitioner(
             target, [key_func(r) for r in sample] or [0]
         )
-        shuffled = self._shuffled(
-            lambda part: ((key_func(r), r) for r in part),
-            partitioner,
-            "sortBy",
-        )
 
         def sort_bucket(part: Iterator[Tuple[Any, Any]]):
             pairs = sorted(part, key=lambda kv: kv[0], reverse=not ascending)
             return iter(pair[1] for pair in pairs)
 
-        sorted_rdd = shuffled.map_partitions(sort_bucket)
+        def sort_run(part: Iterator[Tuple[Any, Any]]):
+            return sorted(part, key=lambda kv: kv[0], reverse=not ascending)
+
+        sorted_rdd = self._shuffled(
+            lambda part: ((key_func(r), r) for r in part),
+            partitioner,
+            "sortBy",
+            bucket_op=sort_bucket,
+            split_op=sort_run,
+            combine=lambda partials: _merge_sorted_pair_runs(
+                partials, ascending
+            ),
+            adaptable=num_partitions is None,
+        )
         if ascending:
             return sorted_rdd
         # Descending order must also reverse the partition order.
@@ -501,7 +821,9 @@ class RDD:
             return parent.compute_partition(parent.num_partitions - 1 - split)
 
         return parent._register_child(
-            RDD(self.context, compute, parent.num_partitions, "sortByDesc")
+            RDD(
+                self.context, compute, parent._count_provider(), "sortByDesc"
+            )
         )
 
     sortBy = sort_by
@@ -529,9 +851,12 @@ class RDD:
         first time, or recomputed map outputs would disagree with the
         ones already served.
         """
-        width = self.num_partitions
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        provider = self._count_provider()
 
         def tag(split: int, part: Iterator[Any]) -> Iterator[Any]:
+            width = provider() if callable(provider) else provider
             return (
                 (position * width + split, record)
                 for position, record in enumerate(part)
@@ -545,11 +870,20 @@ class RDD:
         return shuffled.values()
 
     def coalesce(self, num_partitions: int) -> "RDD":
-        """Merge partitions without a shuffle."""
+        """Reduce the partition count without a shuffle, merging
+        round-robin groups of partitions; growing the count needs the
+        records redistributed, so it delegates to :meth:`repartition`
+        (the same narrow-shrink / shuffle-grow split as Spark's
+        ``coalesce(n, shuffle=)``)."""
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
         parent = self
-        target = min(num_partitions, self.num_partitions)
+        current = self.num_partitions
+        if num_partitions > current:
+            return self.repartition(num_partitions)
+        target = min(num_partitions, current)
         groups: List[List[int]] = [[] for _ in range(target)]
-        for split in range(self.num_partitions):
+        for split in range(current):
             groups[split % target].append(split)
 
         def compute(split: int) -> Iterator[Any]:
@@ -567,7 +901,9 @@ class RDD:
         target = num_partitions or max(self.num_partitions, other.num_partitions)
         left = self.map(lambda pair: (pair[0], ("L", pair[1])))
         right = other.map(lambda pair: (pair[0], ("R", pair[1])))
-        grouped = left.union(right).group_by_key(target)
+        grouped = left.union(right).group_by_key(
+            target, adaptable=num_partitions is None
+        )
 
         def emit(pair):
             key, tagged = pair
@@ -703,3 +1039,48 @@ def _fold_partition(part: Iterator[Any], zero, seq_op) -> Any:
     for record in part:
         acc = seq_op(acc, record)
     return acc
+
+
+class _ReverseKey:
+    """Inverts comparisons so the k-way merge can emit descending runs
+    through a min-heap; equality still compares values so ties fall
+    through to the run-index tiebreak."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other):
+        return other.value < self.value
+
+    def __eq__(self, other):
+        return self.value == other.value
+
+
+def _merge_sorted_pair_runs(runs, ascending: bool) -> Iterator[Any]:
+    """Stable k-way merge of sorted ``(key, record)`` runs, yielding
+    records.  Ties resolve to the earlier run — the skew sub-tasks cover
+    contiguous map ranges in order, so this reproduces exactly what one
+    stable sort over the concatenated bucket would emit."""
+    import heapq
+
+    heap = []
+    for index, run in enumerate(runs):
+        iterator = iter(run)
+        for pair in iterator:
+            key = pair[0] if ascending else _ReverseKey(pair[0])
+            heap.append((key, index, pair, iterator))
+            break
+    heapq.heapify(heap)
+    while heap:
+        _, index, pair, iterator = heap[0]
+        yield pair[1]
+        replaced = False
+        for nxt in iterator:
+            key = nxt[0] if ascending else _ReverseKey(nxt[0])
+            heapq.heapreplace(heap, (key, index, nxt, iterator))
+            replaced = True
+            break
+        if not replaced:
+            heapq.heappop(heap)

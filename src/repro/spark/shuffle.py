@@ -128,25 +128,33 @@ def bucketize(
     pairs: Iterable[Tuple[Any, Any]],
     partitioner: Partitioner,
     weigh: bool = False,
-) -> Tuple[List[List[Tuple[Any, Any]]], int, int]:
+) -> Tuple[List[List[Tuple[Any, Any]]], int, int, List[int]]:
     """Route one map partition's pairs into per-reducer buckets.
 
     This is the *map side* of a shuffle: the returned bucket list is the
     map output one task writes, kept separately per producing partition
     so a lost output can be recomputed alone (lineage recovery).
-    Returns ``(buckets, records_moved, approximate_bytes)``.
+    Returns ``(buckets, records_moved, approximate_bytes, bucket_bytes)``
+    where ``bucket_bytes[i]`` is the pickled size of bucket ``i`` (all
+    zeros unless ``weigh``).  Each pair is pickled at most once; the
+    same measurement feeds both :class:`ShuffleMetrics` and the
+    per-bucket :class:`ShuffleStats`.
     """
     buckets: List[List[Tuple[Any, Any]]] = [
         [] for _ in range(partitioner.num_partitions)
     ]
+    bucket_bytes = [0] * partitioner.num_partitions
     moved = 0
     size = 0
     for pair in pairs:
-        buckets[partitioner.partition_for(pair[0])].append(pair)
+        target = partitioner.partition_for(pair[0])
+        buckets[target].append(pair)
         moved += 1
         if weigh:
-            size += len(pickle.dumps(pair, protocol=4))
-    return buckets, moved, size
+            weight = len(pickle.dumps(pair, protocol=4))
+            size += weight
+            bucket_bytes[target] += weight
+    return buckets, moved, size, bucket_bytes
 
 
 def shuffle_pairs(
@@ -166,7 +174,7 @@ def shuffle_pairs(
     size = 0
     weigh = measure_bytes or (metrics is not None and metrics.measure_bytes)
     for partition in partitions:
-        part_buckets, part_moved, part_size = bucketize(
+        part_buckets, part_moved, part_size, _ = bucketize(
             partition, partitioner, weigh
         )
         for index, bucket in enumerate(part_buckets):
@@ -176,3 +184,248 @@ def shuffle_pairs(
     if metrics is not None:
         metrics.record(moved, size)
     return buckets
+
+
+class ShuffleStats:
+    """Per-bucket map-output statistics attached to one stage boundary.
+
+    Filled map partition by map partition as ``bucketize`` runs; the
+    reduce side reads it to coalesce small buckets and split skewed
+    ones.  Record counts are always exact; byte sizes are only filled
+    when the shuffle weighed its pairs (``measure_bytes`` profiling or a
+    bounded memory budget) — the adaptive planner falls back to record
+    counts otherwise, so unmeasured runs pay no pickling cost.
+    """
+
+    def __init__(self, num_buckets: int):
+        self.num_buckets = num_buckets
+        self.records = [0] * num_buckets
+        self.bytes = [0] * num_buckets
+        #: Per map partition, per bucket record counts — the skew
+        #: splitter uses these to cut a hot bucket into contiguous
+        #: map-output ranges of roughly equal size.
+        self.map_records: List[List[int]] = []
+        self.map_bytes: List[List[int]] = []
+        self.weighed = False
+
+    def add_map_output(
+        self,
+        buckets: Sequence[Sequence[Any]],
+        bucket_bytes: Sequence[int],
+        weighed: bool,
+    ) -> None:
+        counts = [len(bucket) for bucket in buckets]
+        self.map_records.append(counts)
+        self.map_bytes.append(list(bucket_bytes))
+        for index, count in enumerate(counts):
+            self.records[index] += count
+            self.bytes[index] += bucket_bytes[index]
+        self.weighed = self.weighed or weighed
+
+    @property
+    def num_maps(self) -> int:
+        return len(self.map_records)
+
+    def weight(self, bucket: int) -> int:
+        """The planning weight of a bucket: bytes when measured,
+        record count otherwise."""
+        return self.bytes[bucket] if self.weighed else self.records[bucket]
+
+    def map_weights(self, bucket: int) -> List[int]:
+        rows = self.map_bytes if self.weighed else self.map_records
+        return [row[bucket] for row in rows]
+
+
+@dataclass(frozen=True)
+class AdaptedPartition:
+    """One reduce partition of an adapted shuffle.
+
+    ``buckets`` is a run of *adjacent* original bucket indexes served by
+    this partition (length > 1 means they were coalesced).  When
+    ``split_ranges`` is set the partition serves a single skewed bucket
+    whose map outputs are processed as sub-tasks over the given
+    half-open ``(map_lo, map_hi)`` ranges, merged after the wide op.
+    """
+
+    buckets: Tuple[int, ...]
+    split_ranges: Tuple[Tuple[int, int], ...] = ()
+
+
+def plan_adaptive_partitions(
+    stats: ShuffleStats,
+    target_bytes: int,
+    skew_factor: float,
+    target_records: int = 4096,
+) -> Tuple[List[AdaptedPartition], dict]:
+    """Turn measured per-bucket sizes into an adapted partitioning.
+
+    Adjacent buckets are greedily coalesced until the running weight
+    reaches the target (bytes when the shuffle was weighed, records
+    otherwise).  A bucket heavier than ``skew_factor`` times the median
+    non-empty bucket is kept alone and split into contiguous map-output
+    ranges.  Returns ``(partitions, info)`` where ``info`` carries the
+    numbers the ledger and ``explain()`` report.
+
+    Coalescing only ever merges *adjacent* buckets, which preserves the
+    exact record order a non-adaptive run produces: hash buckets are
+    key-disjoint, and range-partitioned sort buckets cover adjacent key
+    ranges, so processing the concatenated stream through the same
+    per-bucket operator yields byte-identical output.
+    """
+    target = target_bytes if stats.weighed else target_records
+    weights = [stats.weight(index) for index in range(stats.num_buckets)]
+    nonzero = sorted(weight for weight in weights if weight > 0)
+    median = nonzero[len(nonzero) // 2] if nonzero else 0
+    skew_cut = skew_factor * median if median else float("inf")
+
+    partitions: List[AdaptedPartition] = []
+    splits: List[dict] = []
+    run: List[int] = []
+    run_weight = 0
+
+    def flush_run() -> None:
+        nonlocal run, run_weight
+        if run:
+            partitions.append(AdaptedPartition(buckets=tuple(run)))
+            run = []
+            run_weight = 0
+
+    for index, weight in enumerate(weights):
+        skewed = (
+            weight > skew_cut
+            and weight > max(1, target // 4)
+            and stats.num_maps > 1
+        )
+        if skewed:
+            flush_run()
+            ranges = _split_map_ranges(
+                stats.map_weights(index), weight, target
+            )
+            if len(ranges) > 1:
+                partitions.append(
+                    AdaptedPartition(
+                        buckets=(index,), split_ranges=tuple(ranges)
+                    )
+                )
+                splits.append({
+                    "bucket": index,
+                    "weight": weight,
+                    "median": median,
+                    "subtasks": len(ranges),
+                })
+                continue
+            # A single map produced the whole bucket: nothing to split.
+        if run and run_weight + weight > target:
+            flush_run()
+        run.append(index)
+        run_weight += weight
+    flush_run()
+    if not partitions:
+        partitions.append(AdaptedPartition(buckets=(0,)))
+    info = {
+        "buckets": stats.num_buckets,
+        "partitions": len(partitions),
+        "coalesced": stats.num_buckets - len(partitions),
+        "splits": splits,
+        "weighed": stats.weighed,
+        "target": target,
+    }
+    return partitions, info
+
+
+def _split_map_ranges(
+    map_weights: List[int], total: int, target: int
+) -> List[Tuple[int, int]]:
+    """Cut ``range(len(map_weights))`` into contiguous chunks of roughly
+    ``total / n`` weight, where ``n = clamp(total/target, 2, num_maps)``."""
+    num_maps = len(map_weights)
+    chunks = max(2, -(-total // max(1, target)))
+    chunks = min(chunks, num_maps)
+    per_chunk = total / chunks
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    acc = 0
+    for index, weight in enumerate(map_weights):
+        acc += weight
+        remaining_maps = num_maps - index - 1
+        remaining_chunks = len(ranges) + 1
+        if acc >= per_chunk * remaining_chunks and remaining_maps >= 1 \
+                and len(ranges) < chunks - 1:
+            ranges.append((start, index + 1))
+            start = index + 1
+    ranges.append((start, num_maps))
+    return [r for r in ranges if r[0] < r[1]]
+
+
+class AdaptiveRuntime:
+    """Per-context adaptive-execution switchboard and ledger.
+
+    Holds the configuration knobs, always-on counters (``counts``), and
+    the re-plan ledger that ``Rumble.explain()`` renders after a run.
+    When an :class:`repro.obs.Observability` instance is attached as
+    ``observer``, every recorded decision is mirrored to
+    ``rumble.adaptive.*`` counters and the event log.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        target_bytes: int = 1 << 20,
+        skew_factor: float = 4.0,
+        target_records: int = 4096,
+    ):
+        self.enabled = enabled
+        self.target_bytes = target_bytes
+        self.skew_factor = skew_factor
+        self.target_records = target_records
+        self.counts: dict = {}
+        self.entries: List[dict] = []
+        self.observer = None
+
+    def plan(self, stats: ShuffleStats) -> Tuple[List[AdaptedPartition], dict]:
+        return plan_adaptive_partitions(
+            stats, self.target_bytes, self.skew_factor, self.target_records
+        )
+
+    def record(self, counter: str, value: int = 1) -> None:
+        self.counts[counter] = self.counts.get(counter, 0) + value
+        if self.observer is not None:
+            self.observer.on_adaptive(counter, value)
+
+    def record_shuffle(self, shuffle_id: int, name: str, info: dict) -> None:
+        """Ledger one adapted stage boundary (and its skew splits)."""
+        if info["coalesced"] > 0:
+            self.record("coalesced_buckets", info["coalesced"])
+            self.record("coalesce_plans")
+        for split in info["splits"]:
+            self.record("skew_splits")
+            self.record("skew_subtasks", split["subtasks"])
+        entry = dict(info, kind="shuffle", shuffle_id=shuffle_id, name=name)
+        self.entries.append(entry)
+        if self.observer is not None:
+            self.observer.on_adaptive_event(entry)
+
+    def record_join_replan(
+        self,
+        initial: str,
+        final: str,
+        left_rows: int,
+        right_rows: int,
+        threshold: int,
+    ) -> None:
+        self.record("join_replans")
+        entry = {
+            "kind": "join",
+            "initial": initial,
+            "final": final,
+            "left_rows": left_rows,
+            "right_rows": right_rows,
+            "threshold": threshold,
+        }
+        self.entries.append(entry)
+        if self.observer is not None:
+            self.observer.on_adaptive_event(entry)
+
+    def reset(self) -> None:
+        self.counts = {}
+        self.entries = []

@@ -96,6 +96,8 @@ def execute(session, plan: LogicalPlan) -> DataFrame:
                 plan.right_key, plan.left_key
             )
         strategy = plan.strategy or "shuffle-hash"
+        if strategy == "shuffle-hash":
+            strategy = _maybe_replan_join(session, plan, left, right)
         if strategy == "broadcast-right" or (
             strategy == "broadcast-left" and plan.how == "inner"
         ):
@@ -111,6 +113,51 @@ def execute(session, plan: LogicalPlan) -> DataFrame:
     if isinstance(plan, TopK):
         return _execute_topk(session, plan)
     raise TypeError("cannot execute plan node {!r}".format(plan))
+
+
+def _maybe_replan_join(session, plan, left: DataFrame,
+                       right: DataFrame) -> str:
+    """Adaptive join re-planning (runtime stats beat the estimate).
+
+    The static cost model picked ``shuffle-hash`` from catalog-derived
+    cardinality guesses; here, with the inputs actually computed, the
+    *measured* row counts are consulted against the same broadcast
+    threshold and the join switches to broadcast-hash mid-execution when
+    a side undercuts it.  The selection rule mirrors
+    :func:`repro.spark.sql.optimizer.annotate_costs` exactly, so the
+    re-plan only ever makes the choice the optimizer would have made
+    with perfect estimates.  Counting materializes the inputs the join
+    was about to shuffle anyway; both sides are cached so the
+    measurement is not paid twice.
+    """
+    context = session.spark_context
+    adaptive = getattr(context, "adaptive", None)
+    if adaptive is None or not adaptive.enabled:
+        return "shuffle-hash"
+    from repro.spark.sql.optimizer import BROADCAST_ROW_THRESHOLD
+
+    threshold = int(context.conf.get(
+        "spark.sql.broadcastRowThreshold", BROADCAST_ROW_THRESHOLD
+    ))
+    left.rdd.cache()
+    right.rdd.cache()
+    left_rows = left.rdd.count()
+    right_rows = right.rdd.count()
+    if min(left_rows, right_rows) > threshold:
+        return "shuffle-hash"
+    final = (
+        "broadcast-left" if left_rows <= right_rows else "broadcast-right"
+    )
+    if plan.how == "left" and final == "broadcast-left":
+        # A left outer join must stream the left side to keep unmatched
+        # rows; only the right side can broadcast.
+        if right_rows > threshold:
+            return "shuffle-hash"
+        final = "broadcast-right"
+    adaptive.record_join_replan(
+        "shuffle-hash", final, left_rows, right_rows, threshold
+    )
+    return final
 
 
 def _execute_broadcast_join(

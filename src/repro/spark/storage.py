@@ -376,3 +376,109 @@ def write_partitioned_text(
         written.append(path)
     open(os.path.join(local, "_SUCCESS"), "w").close()
     return written
+
+
+# ---------------------------------------------------------------------------
+# Disk tier for the memory manager: spilled partitions and shuffle buckets.
+# ---------------------------------------------------------------------------
+
+#: Storage levels for ``RDD.persist(level)``.  ``MEMORY_ONLY`` (the
+#: ``cache()`` default) drops evicted partitions and recomputes them from
+#: lineage; ``MEMORY_AND_DISK`` writes them to a :class:`SpillStore`
+#: block instead, so eviction costs a disk read rather than a recompute.
+MEMORY_ONLY = "MEMORY_ONLY"
+MEMORY_AND_DISK = "MEMORY_AND_DISK"
+STORAGE_LEVELS = (MEMORY_ONLY, MEMORY_AND_DISK)
+
+
+class SpillHandle:
+    """A lazily-read pickled block written by :class:`SpillStore`.
+
+    Iterating the handle re-reads the block from disk each time, so a
+    spilled shuffle bucket or cached partition can be consumed by
+    retried and speculative task attempts exactly like its in-memory
+    form (the data is immutable once written — exactly-once semantics
+    reduce to reading the same bytes again).
+    """
+
+    __slots__ = ("store", "path", "records", "bytes", "released")
+
+    def __init__(self, store: "SpillStore", path: str, records: int,
+                 size: int):
+        self.store = store
+        self.path = path
+        self.records = records
+        self.bytes = size
+        self.released = False
+
+    def read(self) -> list:
+        return self.store.read(self)
+
+    def __iter__(self):
+        return iter(self.read())
+
+    def release(self) -> None:
+        self.store.release(self)
+
+
+class SpillStore:
+    """The disk tier: one temp directory of pickled blocks.
+
+    Created lazily on first spill so unbounded-memory runs never touch
+    the filesystem.  Blocks are immutable after :meth:`put`; they are
+    removed by :meth:`release` (unpersist / shuffle-state invalidation)
+    or wholesale by :meth:`clear`.
+    """
+
+    def __init__(self, directory: Optional[str] = None):
+        self._directory = directory
+        self._sequence = 0
+        self.spilled_blocks = 0
+        self.spilled_bytes = 0
+
+    @property
+    def directory(self) -> str:
+        if self._directory is None:
+            import tempfile
+
+            self._directory = tempfile.mkdtemp(prefix="rumble-spill-")
+        return self._directory
+
+    def put(self, records: list) -> SpillHandle:
+        import pickle
+
+        payload = pickle.dumps(list(records), protocol=4)
+        self._sequence += 1
+        path = os.path.join(
+            self.directory, "block-{:06d}.bin".format(self._sequence)
+        )
+        with open(path, "wb") as handle:
+            handle.write(payload)
+        self.spilled_blocks += 1
+        self.spilled_bytes += len(payload)
+        return SpillHandle(self, path, len(records), len(payload))
+
+    def read(self, handle: SpillHandle) -> list:
+        import pickle
+
+        if handle.released:
+            raise StorageError("spill block already released: " + handle.path)
+        with open(handle.path, "rb") as stream:
+            return pickle.loads(stream.read())
+
+    def release(self, handle: SpillHandle) -> None:
+        if handle.released:
+            return
+        handle.released = True
+        try:
+            os.remove(handle.path)
+        except OSError:
+            pass
+
+    def clear(self) -> None:
+        if self._directory is None:
+            return
+        import shutil
+
+        shutil.rmtree(self._directory, ignore_errors=True)
+        self._directory = None

@@ -1,0 +1,219 @@
+"""Property tests (hypothesis): adaptive execution is semantics-free.
+
+Random wide-op pipelines and FLWOR queries run with adaptive execution
+on and off (and under injected chaos with fixed seeds, and under a tiny
+memory budget that forces eviction and spill); the adapted execution
+must produce identical results in every configuration.  This mirrors
+``tests/test_fusion_properties.py`` for the adaptive/memory layer.
+"""
+
+import itertools
+import json
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import RumbleConfig, make_engine
+from repro.spark import SparkConf, SparkContext
+from repro.spark.faults import FaultPlan
+
+# -- Generated wide-op pipelines ----------------------------------------------
+
+#: Wide transformations only — the ops adaptive planning rewires.
+WIDE_OPS = [
+    ("reduce", lambda rdd: rdd.reduce_by_key(lambda a, b: a + b)),
+    ("group", lambda rdd: rdd.group_by_key().map_values(sorted)),
+    ("sort_asc", lambda rdd: rdd.sort_by(lambda p: p[0])),
+    ("sort_desc", lambda rdd: rdd.sort_by(lambda p: p[0], ascending=False)),
+]
+
+pair_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=-20, max_value=20),
+        st.integers(min_value=-100, max_value=100),
+    ),
+    max_size=60,
+)
+
+
+def _context(adaptive: bool, budget=None, plan=None) -> SparkContext:
+    conf = SparkConf()
+    conf.set("spark.default.parallelism", 6)
+    conf.set("spark.adaptive.enabled", adaptive)
+    # Tiny targets so coalescing and skew splitting actually trigger on
+    # test-sized data.
+    conf.set("spark.adaptive.targetPartitionRecords", 8)
+    conf.set("spark.adaptive.targetPartitionBytes", 256)
+    conf.set("spark.memory.budgetBytes", budget)
+    if plan is not None:
+        conf.set("spark.chaos.plan", plan)
+    return SparkContext(conf)
+
+
+def _run(sc, pairs, op_index, partitions):
+    rdd = sc.parallelize(pairs, partitions)
+    return WIDE_OPS[op_index][1](rdd).collect()
+
+
+class TestWidePipelines:
+    @given(pairs=pair_lists,
+           op_index=st.integers(min_value=0, max_value=len(WIDE_OPS) - 1),
+           partitions=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=50, deadline=None)
+    def test_adaptive_matches_static(self, pairs, op_index, partitions):
+        adapted = _run(_context(True), pairs, op_index, partitions)
+        static = _run(_context(False), pairs, op_index, partitions)
+        assert adapted == static
+
+    @given(pairs=pair_lists,
+           op_index=st.integers(min_value=0, max_value=len(WIDE_OPS) - 1),
+           partitions=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_spill_matches_unbounded(self, pairs, op_index, partitions):
+        """A budget small enough to spill every nonempty bucket must not
+        change any result."""
+        bounded = _run(
+            _context(True, budget=128), pairs, op_index, partitions
+        )
+        unbounded = _run(_context(True), pairs, op_index, partitions)
+        assert bounded == unbounded
+
+    @given(pairs=pair_lists,
+           op_index=st.integers(min_value=0, max_value=len(WIDE_OPS) - 1),
+           seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_chaos_outcome_identical(self, pairs, op_index, seed):
+        """The same chaos seed, adaptive on vs. off: both recover via
+        lineage to the same answer."""
+        outputs = []
+        for adaptive in (True, False):
+            plan = FaultPlan(
+                seed=seed, crash_rate=0.3, fetch_failure_rate=0.3,
+                max_failures_per_task=1,
+            )
+            sc = _context(adaptive, plan=plan)
+            outputs.append(_run(sc, pairs, op_index, 4))
+        assert outputs[0] == outputs[1]
+
+    @given(pairs=pair_lists,
+           op_index=st.integers(min_value=0, max_value=len(WIDE_OPS) - 1),
+           seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_chaos_identity_through_spilled_state(self, pairs, op_index,
+                                                  seed):
+        """Fetch failures recovered through spilled shuffle buckets give
+        the same answer as the unbounded run under the same seed."""
+        outputs = []
+        for budget in (None, 128):
+            plan = FaultPlan(
+                seed=seed, fetch_failure_rate=0.4,
+                max_failures_per_task=1,
+            )
+            sc = _context(True, budget=budget, plan=plan)
+            outputs.append(_run(sc, pairs, op_index, 4))
+        assert outputs[0] == outputs[1]
+
+
+# -- Paper-shaped FLWOR queries ----------------------------------------------
+
+#: The canonical query shapes of the paper's evaluation (Section 6.1):
+#: grouping, ordering, and a join through a nested FLWOR.
+QUERIES = [
+    'for $o in json-file("{path}")\n'
+    'group by $k := $o.k\n'
+    'return {{ "k": $k, "n": count($o), "sum": sum($o.v) }}',
+
+    'for $o in json-file("{path}")\n'
+    'order by $o.v ascending, $o.k descending\n'
+    'return $o.v',
+
+    'for $o in json-file("{path}")\n'
+    'where $o.v ge 0\n'
+    'group by $k := $o.k\n'
+    'order by $k ascending\n'
+    'return [ $k, count($o) ]',
+]
+
+record_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=-50, max_value=50),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+_file_counter = itertools.count()
+
+
+def _engine(adaptive: bool, budget=None, plan=None):
+    return make_engine(
+        executors=2,
+        parallelism=4,
+        config=RumbleConfig(
+            materialization_cap=100_000,
+            adaptive=adaptive,
+            memory_budget=budget,
+        ),
+        fault_plan=plan,
+    )
+
+
+def _write(tmp_path, records) -> str:
+    path = os.path.join(
+        str(tmp_path), "data{}.json".format(next(_file_counter))
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        for k, v in records:
+            handle.write(json.dumps({"k": k, "v": v}) + "\n")
+    return path
+
+
+class TestFlworQueries:
+    @given(records=record_lists,
+           query_index=st.integers(min_value=0,
+                                   max_value=len(QUERIES) - 1))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_adaptive_matches_static(self, tmp_path, records, query_index):
+        path = _write(tmp_path, records)
+        query = QUERIES[query_index].format(path=path)
+        adapted = _engine(True).query(query).to_python(cap=100_000)
+        static = _engine(False).query(query).to_python(cap=100_000)
+        assert adapted == static
+
+    @given(records=record_lists,
+           query_index=st.integers(min_value=0,
+                                   max_value=len(QUERIES) - 1))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_tiny_budget_matches_unbounded(self, tmp_path, records,
+                                           query_index):
+        path = _write(tmp_path, records)
+        query = QUERIES[query_index].format(path=path)
+        bounded = _engine(True, budget=512).query(query).to_python(
+            cap=100_000
+        )
+        unbounded = _engine(True).query(query).to_python(cap=100_000)
+        assert bounded == unbounded
+
+    @given(records=record_lists,
+           query_index=st.integers(min_value=0,
+                                   max_value=len(QUERIES) - 1),
+           seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_chaos_seed_with_spill(self, tmp_path, records, query_index,
+                                   seed):
+        """Fixed chaos seed + budget forcing spill: the recovered answer
+        matches the fault-free static plan."""
+        path = _write(tmp_path, records)
+        query = QUERIES[query_index].format(path=path)
+        reference = _engine(False).query(query).to_python(cap=100_000)
+        plan = FaultPlan(
+            seed=seed, crash_rate=0.3, fetch_failure_rate=0.3,
+            max_failures_per_task=1,
+        )
+        chaotic = _engine(True, budget=512, plan=plan)
+        assert chaotic.query(query).to_python(cap=100_000) == reference

@@ -97,7 +97,15 @@ def data_path(tmp_path_factory):
 
 @pytest.fixture(scope="module")
 def engine():
-    return make_engine(executors=2, parallelism=4)
+    built = make_engine(executors=2, parallelism=4)
+    # The snapshots pin exact text, so the adaptive/memory lines must
+    # not follow RUMBLE_ADAPTIVE / RUMBLE_MEMORY_BUDGET from the
+    # environment (the memory-pressure CI job runs the whole suite
+    # with a tight budget).
+    context = built.spark.spark_context
+    context.adaptive.enabled = True
+    context.memory.set_budget(None)
+    return built
 
 
 @pytest.mark.parametrize("name", sorted(GOLDEN_QUERIES))

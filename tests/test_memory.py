@@ -1,0 +1,209 @@
+"""The unified memory manager: budget accounting, LRU eviction to the
+disk tier, shuffle-bucket spill, and exactness through all of it."""
+
+import pytest
+
+from repro.spark import SparkConf, SparkContext
+from repro.spark.memory import MemoryManager
+from repro.spark.rdd import RDD
+from repro.spark.storage import (
+    MEMORY_AND_DISK,
+    MEMORY_ONLY,
+    SpillHandle,
+    SpillStore,
+    StorageError,
+)
+
+
+def make_context(budget=None, **settings):
+    conf = SparkConf()
+    conf.set("spark.default.parallelism", 4)
+    conf.set("spark.memory.budgetBytes", budget)
+    for key, value in settings.items():
+        conf.set(key, value)
+    return SparkContext(conf)
+
+
+class TestSpillStore:
+    def test_round_trip(self):
+        store = SpillStore()
+        handle = store.put([1, "two", {"three": 3}])
+        assert handle.read() == [1, "two", {"three": 3}]
+        # Iteration re-reads from disk every time.
+        assert list(handle) == list(handle)
+        store.clear()
+
+    def test_release_frees_block(self):
+        store = SpillStore()
+        handle = store.put(list(range(10)))
+        handle.release()
+        with pytest.raises(StorageError):
+            handle.read()
+        store.clear()
+
+    def test_stats(self):
+        store = SpillStore()
+        first = store.put([1])
+        second = store.put([2, 3])
+        assert store.spilled_blocks == 2
+        assert store.spilled_bytes == first.bytes + second.bytes
+        store.clear()
+
+
+class TestMemoryManager:
+    def test_inert_without_budget(self):
+        manager = MemoryManager()
+        assert not manager.limited
+        records = list(range(100))
+        assert manager.admit_bucket(0, 0, 0, records, 10**9) is records
+        assert manager.counts == {}
+        assert manager.used == 0
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MemoryManager(budget=0)
+        manager = MemoryManager()
+        with pytest.raises(ValueError):
+            manager.set_budget(-1)
+
+    def test_oversized_bucket_spills(self):
+        manager = MemoryManager(budget=256)
+        records = list(range(500))
+        admitted = manager.admit_bucket(0, 0, 0, records, 4096)
+        assert isinstance(admitted, SpillHandle)
+        assert admitted.read() == records
+        assert manager.counts["bucket_spills"] == 1
+        assert manager.counts["spilled_bytes"] > 0
+        manager.store.clear()
+
+    def test_small_bucket_stays_resident(self):
+        manager = MemoryManager(budget=10_000)
+        records = [1, 2, 3]
+        assert manager.admit_bucket(0, 0, 0, records, 30) is records
+        assert manager.used == 30
+
+    def test_release_shuffle_frees_accounting(self):
+        manager = MemoryManager(budget=10_000)
+        manager.admit_bucket(7, 0, 0, [1], 100)
+        manager.admit_bucket(7, 1, 0, [2], 200)
+        manager.admit_bucket(8, 0, 0, [3], 50)
+        manager.release_shuffle(7)
+        assert manager.used == 50
+
+
+class TestCachedPartitionEviction:
+    def test_memory_only_eviction_recomputes_from_lineage(self):
+        sc = make_context(budget=512)
+        trace = []
+
+        def observed(x):
+            trace.append(x)
+            return x * 2
+
+        cached = sc.parallelize(range(200), 4).map(observed).cache()
+        assert cached.collect() == [x * 2 for x in range(200)]
+        # Materializing later partitions may already evict (and force a
+        # recompute of) earlier ones, so the first pass sees every
+        # element at least once.
+        first_pass = len(trace)
+        assert first_pass >= 200
+        # The budget is far below the cached footprint: partitions were
+        # dropped, so a re-read recomputes (at least) the evicted ones.
+        assert sc.memory.counts.get("evictions", 0) > 0
+        assert sc.memory.counts.get("evicted_dropped", 0) > 0
+        assert cached.collect() == [x * 2 for x in range(200)]
+        assert len(trace) > first_pass
+        assert sc.memory.counts.get("cache_recomputes", 0) > 0
+
+    def test_memory_and_disk_eviction_reads_back(self):
+        sc = make_context(budget=256)
+        trace = []
+
+        def observed(x):
+            trace.append(x)
+            return x + 1
+
+        cached = sc.parallelize(range(200), 4).map(observed).persist(
+            MEMORY_AND_DISK
+        )
+        assert cached.collect() == [x + 1 for x in range(200)]
+        assert len(trace) == 200
+        assert sc.memory.counts.get("evicted_to_disk", 0) > 0
+        # Disk-tier partitions serve reads without recomputation.
+        assert cached.collect() == [x + 1 for x in range(200)]
+        assert len(trace) == 200
+        assert sc.memory.counts.get("disk_reads", 0) > 0
+
+    def test_unlimited_context_never_evicts(self):
+        sc = make_context(budget=None)
+        cached = sc.parallelize(range(500), 4).cache()
+        cached.collect()
+        cached.collect()
+        assert sc.memory.counts == {}
+
+    def test_persist_level_validated(self):
+        sc = make_context()
+        rdd = sc.parallelize([1, 2, 3])
+        with pytest.raises(ValueError):
+            rdd.persist("OFF_HEAP")
+        assert rdd.persist(MEMORY_ONLY) is rdd
+
+    def test_unpersist_releases_accounting(self):
+        sc = make_context(budget=1 << 20)
+        cached = sc.parallelize(range(50), 2).cache()
+        cached.collect()
+        assert sc.memory.used > 0
+        cached.unpersist()
+        assert sc.memory.used == 0
+
+    def test_lru_evicts_coldest_first(self):
+        sc = make_context(budget=300)
+        first = sc.parallelize(range(100), 1).cache()
+        first.collect()
+        second = sc.parallelize(range(100, 200), 1).cache()
+        second.collect()  # overflows: `first` is the LRU victim
+        assert sc.memory.counts.get("evictions", 0) >= 1
+        assert first.collect() == list(range(100))
+
+
+class TestShuffleSpill:
+    def test_group_by_exact_under_tiny_budget(self):
+        bounded = make_context(budget=1024)
+        unbounded = make_context()
+
+        def run(sc):
+            pairs = sc.parallelize(
+                [(i % 7, i) for i in range(300)], 5
+            )
+            return sorted(pairs.group_by_key().collect())
+
+        assert run(bounded) == run(unbounded)
+        assert bounded.memory.counts.get("bucket_spills", 0) > 0
+
+    def test_sort_exact_under_tiny_budget(self):
+        bounded = make_context(budget=1024)
+        data = [((i * 37) % 100, i) for i in range(200)]
+        ordered = bounded.parallelize(data, 4).sort_by(lambda p: p[0])
+        assert ordered.collect() == sorted(data, key=lambda p: p[0])
+
+    def test_reduce_by_key_exact_under_tiny_budget(self):
+        bounded = make_context(budget=512)
+        pairs = bounded.parallelize([(i % 5, 1) for i in range(250)], 5)
+        counts = dict(pairs.reduce_by_key(lambda a, b: a + b).collect())
+        assert counts == {k: 50 for k in range(5)}
+
+
+class TestChaosThroughSpill:
+    def test_fetch_failure_recovery_with_spilled_buckets(self):
+        from repro.spark.faults import FaultPlan
+
+        results = []
+        for budget in (None, 700):
+            plan = FaultPlan(
+                seed=11, fetch_failure_rate=0.5, max_failures_per_task=1
+            )
+            sc = make_context(budget=budget)
+            sc.faults.plan = plan
+            pairs = sc.parallelize([(i % 6, i) for i in range(240)], 4)
+            results.append(sorted(pairs.group_by_key().collect()))
+        assert results[0] == results[1]

@@ -335,3 +335,61 @@ class TestUnpersistLineage:
         source["offset"] = 10
         cached.unpersist()
         assert ordered.collect() == [13, 12, 11]
+
+
+class TestRepartitionCoalesce:
+    def test_repartition_grows(self, sc):
+        rdd = sc.parallelize(range(20), 2).repartition(6)
+        assert rdd.num_partitions == 6
+        assert sorted(rdd.collect()) == list(range(20))
+
+    def test_repartition_shrinks(self, sc):
+        rdd = sc.parallelize(range(20), 8).repartition(3)
+        assert rdd.num_partitions == 3
+        assert sorted(rdd.collect()) == list(range(20))
+
+    def test_repartition_spreads_records(self, sc):
+        # One fat source partition fans out across every target.
+        rdd = sc.parallelize(range(100), 1).repartition(4)
+        sizes = [
+            len(list(rdd.compute_partition(i)))
+            for i in range(rdd.num_partitions)
+        ]
+        assert sum(sizes) == 100
+        assert all(size > 0 for size in sizes)
+
+    def test_repartition_is_deterministic(self, sc):
+        first = sc.parallelize(range(50), 3).repartition(5).collect()
+        second = sc.parallelize(range(50), 3).repartition(5).collect()
+        assert first == second
+
+    def test_coalesce_shrinks_without_shuffle(self, sc):
+        before = sc.shuffle_metrics.shuffles
+        rdd = sc.parallelize(range(12), 6).coalesce(2)
+        assert rdd.num_partitions == 2
+        assert sorted(rdd.collect()) == list(range(12))
+        rdd.collect()
+        assert sc.shuffle_metrics.shuffles == before
+
+    def test_coalesce_preserves_partition_order_within_groups(self, sc):
+        rdd = sc.parallelize(range(9), 3)
+        merged = rdd.coalesce(1)
+        assert merged.collect() == list(range(9))
+
+    def test_coalesce_grow_delegates_to_repartition(self, sc):
+        rdd = sc.parallelize(range(10), 2).coalesce(5)
+        assert rdd.num_partitions == 5
+        assert sorted(rdd.collect()) == list(range(10))
+
+    def test_invalid_counts_raise(self, sc):
+        rdd = sc.parallelize(range(4), 2)
+        with pytest.raises(ValueError):
+            rdd.repartition(0)
+        with pytest.raises(ValueError):
+            rdd.coalesce(-1)
+
+    def test_repartition_then_reduce(self, sc):
+        pairs = sc.parallelize(
+            [(i % 3, 1) for i in range(30)], 2
+        ).repartition(4).reduce_by_key(lambda a, b: a + b)
+        assert dict(pairs.collect()) == {0: 10, 1: 10, 2: 10}
