@@ -6,6 +6,7 @@ Usage::
     python -m repro --query-file query.jq --output out-dir
     python -m repro --shell
     echo 'count(json-file("data.json"));' | python -m repro --shell
+    python -m repro serve --port 8090 --max-concurrent 8
 """
 
 from __future__ import annotations
@@ -119,7 +120,118 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the multi-tenant JSONiq query server "
+                    "(POST /query, GET /status, GET /metrics; "
+                    "see docs/serving.md).",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default "
+        "127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=8090,
+        help="bind port (default 8090; 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--executors", type=int, default=4,
+        help="simulated executors per tenant engine (default 4)",
+    )
+    parser.add_argument(
+        "--parallelism", type=int, default=8,
+        help="default RDD parallelism per tenant engine (default 8)",
+    )
+    parser.add_argument(
+        "--max-concurrent", type=int, default=4,
+        help="queries executing at once, server-wide (default 4)",
+    )
+    parser.add_argument(
+        "--tenant-quota", type=int, default=2,
+        help="concurrent queries per tenant (default 2)",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=32,
+        help="waiting queries before load shedding with 429 (default 32)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="default per-query timeout in seconds (default 30)",
+    )
+    parser.add_argument(
+        "--plan-cache", type=int, default=128, metavar="ENTRIES",
+        help="plan cache capacity per tenant; 0 disables (default 128)",
+    )
+    parser.add_argument(
+        "--result-cache", type=int, default=64, metavar="ENTRIES",
+        help="result cache capacity per tenant; 0 disables (default 64)",
+    )
+    parser.add_argument(
+        "--cap", type=int, default=200,
+        help="maximum items returned per query (default 200)",
+    )
+    parser.add_argument(
+        "--mount", action="append", default=[], metavar="SCHEME=DIR",
+        help="serve scheme:// URIs from a local directory",
+    )
+    return parser
+
+
+def serve_main(argv) -> int:
+    arguments = build_serve_parser().parse_args(argv)
+    import asyncio
+
+    from repro.core.config import RumbleConfig
+    from repro.server.http import serve
+    from repro.server.service import QueryService
+    from repro.spark import storage
+
+    for mount in arguments.mount:
+        scheme, _, root = mount.partition("=")
+        if not root:
+            print("bad --mount (expected SCHEME=DIR):", mount,
+                  file=sys.stderr)
+            return 2
+        storage.REGISTRY.mount(scheme, root)
+    try:
+        session_config = RumbleConfig(
+            materialization_cap=arguments.cap,
+            plan_cache_size=arguments.plan_cache,
+            result_cache_size=arguments.result_cache,
+        )
+        service = QueryService(
+            max_concurrent=arguments.max_concurrent,
+            tenant_quota=arguments.tenant_quota,
+            queue_limit=arguments.queue_limit,
+            default_timeout=arguments.timeout,
+            executors=arguments.executors,
+            parallelism=arguments.parallelism,
+            session_config=session_config,
+            result_cap=arguments.cap,
+        )
+    except ValueError as error:
+        print("error: {}".format(error), file=sys.stderr)
+        return 2
+
+    def ready(host: str, port: int) -> None:
+        # The exact line tests and tooling wait for before connecting.
+        print("listening on http://{}:{}".format(host, port), flush=True)
+
+    try:
+        asyncio.run(serve(
+            service, host=arguments.host, port=arguments.port, ready=ready
+        ))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     arguments = build_parser().parse_args(argv)
     try:
         config = RumbleConfig(

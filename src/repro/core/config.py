@@ -45,6 +45,14 @@ class RumbleConfig:
     #: buckets (``spark.memory.budgetBytes``).  None inherits the
     #: substrate default (unbounded unless ``RUMBLE_MEMORY_BUDGET`` set).
     memory_budget: Optional[int] = None
+    #: Capacity (entries) of the normalized-AST plan cache; 0 disables
+    #: it.  With a cache, repeated query shapes skip the whole
+    #: lex→parse→analyse→compile→optimize front-end (docs/serving.md).
+    plan_cache_size: int = 0
+    #: Capacity (entries) of the per-session result cache; 0 disables
+    #: it.  Cached results are keyed on (plan, collection fingerprints)
+    #: and invalidated through storage lineage (docs/serving.md).
+    result_cache_size: int = 0
 
     def __post_init__(self) -> None:
         from repro.jsoniq.jsonlines import PARSE_MODES
@@ -59,3 +67,7 @@ class RumbleConfig:
             raise ValueError("batch_size must be >= 1")
         if self.memory_budget is not None and self.memory_budget <= 0:
             raise ValueError("memory_budget must be positive")
+        if self.plan_cache_size < 0:
+            raise ValueError("plan_cache_size must be >= 0")
+        if self.result_cache_size < 0:
+            raise ValueError("result_cache_size must be >= 0")

@@ -42,9 +42,16 @@ class RumbleRuntime:
         #: partitions) is built once per name — the broadcast-variable
         #: role in real Spark.
         self.collection_rdds: Dict[str, object] = {}
+        #: Monotonic version per registered collection — the lineage
+        #: fingerprint of *in-memory* collections (file-backed ones are
+        #: fingerprinted through the storage layer; docs/serving.md).
+        self.collection_versions: Dict[str, int] = {}
 
     def invalidate_collection(self, name: str) -> None:
         self.collection_rdds.pop(name, None)
+        self.collection_versions[name] = (
+            self.collection_versions.get(name, 0) + 1
+        )
 
 
 class CompiledQuery:
@@ -57,10 +64,15 @@ class CompiledQuery:
         self.iterator = iterator
         self.globals = globals_
 
-    def run(self, bindings: Optional[Dict[str, object]] = None
-            ) -> SequenceOfItems:
-        """Execute, optionally binding external variables to Python values."""
-        context = self._engine.fresh_context()
+    def run(self, bindings: Optional[Dict[str, object]] = None,
+            context: Optional[DynamicContext] = None) -> SequenceOfItems:
+        """Execute, optionally binding external variables to Python values.
+
+        ``context`` lets callers (the plan cache) supply a root context
+        that already carries parameter-slot bindings.
+        """
+        if context is None:
+            context = self._engine.fresh_context()
         if bindings:
             for name, value in bindings.items():
                 context.bind(name, _to_items(value))
@@ -117,6 +129,12 @@ def _walk_iterators(root):
             child = getattr(node, attribute, None)
             if child is not None:
                 stack.append(child)
+        # UDF call sites: the body hangs off the shared UserFunction, not
+        # the children list (the seen-set makes recursive bodies safe).
+        function = getattr(node, "function", None)
+        body = getattr(function, "body", None)
+        if body is not None:
+            stack.append(body)
 
 
 def _to_items(value: object) -> List[Item]:
@@ -142,6 +160,21 @@ class Rumble:
         if self.config.memory_budget is not None:
             context.memory.set_budget(self.config.memory_budget)
         self.runtime = RumbleRuntime(self.spark, self.config)
+        #: Normalized-AST plan cache (None when disabled): repeated query
+        #: shapes skip the whole compile front-end.  See docs/serving.md.
+        self.plan_cache = None
+        if getattr(self.config, "plan_cache_size", 0):
+            from repro.server.plan_cache import PlanCache
+
+            self.plan_cache = PlanCache(self.config.plan_cache_size)
+        #: Lineage-invalidated result cache (None when disabled): repeated
+        #: identical queries over unchanged inputs replay materialized
+        #: results.  See docs/serving.md.
+        self.result_cache = None
+        if getattr(self.config, "result_cache_size", 0):
+            from repro.server.result_cache import ResultCache
+
+            self.result_cache = ResultCache(self.config.result_cache_size)
 
     # -- Compilation ---------------------------------------------------------------
     def compile(self, query_text: str,
@@ -158,10 +191,36 @@ class Rumble:
     def query(self, query_text: str,
               bindings: Optional[Dict[str, object]] = None
               ) -> SequenceOfItems:
+        # External bindings are host values outside the cache key: a
+        # bound query always bypasses the result cache (the *plan* cache
+        # still applies — binding names are part of its key).
+        cache_results = self.result_cache is not None and not bindings
+        if cache_results:
+            cached = self.result_cache.lookup(self, query_text)
+            if cached is not None:
+                return cached
+        if self.plan_cache is not None:
+            plan, literals, _ = self.plan_cache.fetch(
+                self, query_text,
+                external=tuple(sorted(bindings or ())),
+            )
+            context = plan.prepare_context(literals)
+            result = plan.run_with(literals, bindings, context=context)
+            if cache_results:
+                return self.result_cache.execute(
+                    self, query_text, plan.iterator, context, result
+                )
+            return result
         compiled = self.compile(
             query_text, external_variables=bindings or ()
         )
-        return compiled.run(bindings)
+        context = self.fresh_context()
+        result = compiled.run(bindings, context=context)
+        if cache_results:
+            return self.result_cache.execute(
+                self, query_text, compiled.iterator, context, result
+            )
+        return result
 
     # -- Static tooling ----------------------------------------------------------------
     def explain(self, query_text: str,

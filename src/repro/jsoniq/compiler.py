@@ -147,6 +147,14 @@ class Compiler:
         return method(node)
 
     def _compile_Literal(self, node: ast.Literal) -> RuntimeIterator:
+        slot = getattr(node, "parameter_slot", None)
+        if slot is not None:
+            # The plan cache marked this literal as a run-time parameter
+            # (see repro.server.plan_cache): compile a slot reader, not a
+            # constant, so the plan can be reused with other values.
+            from repro.jsoniq.runtime.primary import ParameterIterator
+
+            return ParameterIterator(slot, node.kind, node.value)
         return LiteralIterator(node.kind, node.value)
 
     def _compile_EmptySequence(self, node) -> RuntimeIterator:

@@ -45,6 +45,44 @@ class LiteralIterator(RuntimeIterator):
         yield self.item
 
 
+class ParameterIterator(RuntimeIterator):
+    """A literal lifted into a plan-cache parameter slot.
+
+    The plan cache (``repro.server.plan_cache``) normalizes queries by
+    replacing run-time-only literals with numbered slots, so one
+    compiled plan serves every query of the same shape.  At run time the
+    slot reads its value from the root dynamic context (bound under the
+    reserved name ``#<slot>``, which no JSONiq variable can collide
+    with); when no value is bound — e.g. the plan is run directly as a
+    :class:`~repro.core.engine.CompiledQuery` — it falls back to the
+    literal the plan was first compiled from, reproducing that query
+    exactly.
+
+    Deliberately *not* a :class:`LiteralIterator` subclass: compile-time
+    machinery that specializes on literal values (constant lookup keys,
+    pushdown predicates, top-k bounds) must never treat a slot as a
+    constant.
+    """
+
+    def __init__(self, slot: int, kind: str, value):
+        super().__init__()
+        self.slot = slot
+        self.kind = kind
+        self._binding_name = "#{}".format(slot)
+        #: The first-seen literal, used when no parameter is bound.
+        self.item: Item = LiteralIterator(kind, value).item
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        frame = context
+        while frame is not None:
+            binding = frame._variables.get(self._binding_name)
+            if binding is not None:
+                yield binding[0]
+                return
+            frame = frame.parent
+        yield self.item
+
+
 class EmptySequenceIterator(RuntimeIterator):
     """The ``()`` expression."""
 

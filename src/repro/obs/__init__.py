@@ -188,9 +188,48 @@ class Observability:
             memory.observer = None
 
 
+class _DiscardMetrics(MetricsRegistry):
+    """A registry that hands out unregistered instruments.
+
+    Mutations land on throwaway objects, never on shared state — so the
+    process-wide :data:`NOOP` bundle cannot leak counts between engines
+    even if an instrumentation site forgets its ``obs.enabled`` guard.
+    """
+
+    def counter(self, name: str, **labels) -> Counter:
+        return Counter(name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return Gauge(name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return Histogram(name, labels)
+
+
+class _DiscardEvents(EventLog):
+    """An event log that drops everything (same shared-state argument)."""
+
+    def emit(self, event: str, **fields) -> None:
+        return None
+
+
+class _DisabledObservability(Observability):
+    """The shared disabled bundle: every sink discards.
+
+    :data:`NOOP` is one process-wide instance referenced by every
+    engine's runtime; it must hold no mutable state.
+    """
+
+    def __init__(self):
+        super().__init__(enabled=False)
+        self.metrics = _DiscardMetrics()
+        self.events = _DiscardEvents()
+
+
 #: The engine-wide default: observability off, no-op tracer, and the
 #: instrumentation guards short-circuit on ``enabled`` being False.
-NOOP = Observability(enabled=False)
+#: Writes that slip past a guard are discarded, never accumulated.
+NOOP = _DisabledObservability()
 
 __all__ = [
     "Observability",

@@ -16,6 +16,7 @@ never reaches the registry at all (call sites guard on
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Tuple
 
 
@@ -34,36 +35,45 @@ def render_name(name: str, labels: Dict[str, object]) -> str:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("name", "labels", "value")
+    ``inc`` is locked: a multi-tenant server drives one registry from
+    many executor threads, and ``self.value += amount`` is a read-
+    modify-write that can drop updates under free-threaded interleaving.
+    """
+
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: Dict[str, object]):
         self.name = name
         self.labels = labels
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up; got {}".format(amount))
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A value that can go up and down (or hold a string, e.g. a mode)."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: Dict[str, object]):
         self.name = name
         self.labels = labels
         self.value: object = None
+        self._lock = threading.Lock()
 
     def set(self, value: object) -> None:
         self.value = value
 
     def add(self, amount: float) -> None:
-        self.value = (self.value or 0) + amount
+        with self._lock:
+            self.value = (self.value or 0) + amount
 
 
 class Histogram:
@@ -78,6 +88,7 @@ class Histogram:
         self.values: List[float] = []
 
     def observe(self, value: float) -> None:
+        # list.append is atomic; readers only take len()/copies.
         self.values.append(value)
 
     @property
@@ -120,33 +131,49 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Get-or-create registry of all instruments of one profiled run."""
+    """Get-or-create registry of all instruments of one profiled run.
+
+    Get-or-create is locked so two threads racing on a new key share one
+    instrument instead of each counting into a private orphan.
+    """
 
     def __init__(self):
         self._counters: Dict[Tuple, Counter] = {}
         self._gauges: Dict[Tuple, Gauge] = {}
         self._histograms: Dict[Tuple, Histogram] = {}
+        self._lock = threading.Lock()
 
     # -- Instrument accessors ------------------------------------------------
     def counter(self, name: str, **labels) -> Counter:
         key = _key(name, labels)
         instrument = self._counters.get(key)
         if instrument is None:
-            instrument = self._counters[key] = Counter(name, labels)
+            with self._lock:
+                instrument = self._counters.get(key)
+                if instrument is None:
+                    instrument = self._counters[key] = Counter(name, labels)
         return instrument
 
     def gauge(self, name: str, **labels) -> Gauge:
         key = _key(name, labels)
         instrument = self._gauges.get(key)
         if instrument is None:
-            instrument = self._gauges[key] = Gauge(name, labels)
+            with self._lock:
+                instrument = self._gauges.get(key)
+                if instrument is None:
+                    instrument = self._gauges[key] = Gauge(name, labels)
         return instrument
 
     def histogram(self, name: str, **labels) -> Histogram:
         key = _key(name, labels)
         instrument = self._histograms.get(key)
         if instrument is None:
-            instrument = self._histograms[key] = Histogram(name, labels)
+            with self._lock:
+                instrument = self._histograms.get(key)
+                if instrument is None:
+                    instrument = self._histograms[key] = Histogram(
+                        name, labels
+                    )
         return instrument
 
     # -- Read access ---------------------------------------------------------

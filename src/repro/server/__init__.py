@@ -1,0 +1,27 @@
+"""The multi-tenant query serving layer (docs/serving.md).
+
+Turns the library engine into a long-lived service: per-tenant
+:class:`~repro.server.session.Session` engines behind a fair-share
+:class:`~repro.server.admission.AdmissionController`, fronted by an
+asyncio HTTP endpoint (:mod:`repro.server.http`), with two caches that
+make repeated traffic cheap — the normalized-AST
+:class:`~repro.server.plan_cache.PlanCache` and the lineage-invalidated
+:class:`~repro.server.result_cache.ResultCache`.
+"""
+
+from repro.server.admission import AdmissionController, QueryRejected
+from repro.server.http import RumbleServer
+from repro.server.plan_cache import PlanCache
+from repro.server.result_cache import ResultCache
+from repro.server.service import QueryService
+from repro.server.session import Session
+
+__all__ = [
+    "AdmissionController",
+    "QueryRejected",
+    "PlanCache",
+    "ResultCache",
+    "QueryService",
+    "RumbleServer",
+    "Session",
+]

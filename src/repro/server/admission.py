@@ -1,0 +1,143 @@
+"""Fair-share admission control for the multi-tenant query service.
+
+Three limits shape the load (all enforced on the event loop, so no
+additional locking is needed):
+
+* ``max_concurrent`` — total queries executing at once, server-wide.
+  Defaults to the simulated cluster's executor count: admitting more
+  than the substrate can physically run only adds queueing *inside*
+  the engine where per-tenant fairness no longer applies.
+* ``tenant_quota`` — concurrent queries per tenant.  A tenant flooding
+  the server occupies at most its quota of the global slots; other
+  tenants' queries overtake the flooder's backlog.
+* ``queue_limit`` — waiting queries, server-wide.  Beyond it the
+  controller *sheds load*: :class:`QueryRejected` maps to HTTP 429 so
+  clients back off instead of piling onto an already saturated server
+  (tail latency stays bounded; see docs/serving.md).
+
+Waiters are FIFO within a tenant (asyncio semaphore order) and the
+global semaphore interleaves tenants by arrival, which together with the
+per-tenant quota yields the fair-share property the stress test in
+tests/test_server.py asserts: no tenant starves while another tenant
+holds more than its quota.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+from typing import Dict
+
+
+class QueryRejected(Exception):
+    """The server is saturated; the client should retry later (HTTP 429)."""
+
+    def __init__(self, queued: int, queue_limit: int):
+        super().__init__(
+            "server saturated: {} queries queued (limit {})".format(
+                queued, queue_limit
+            )
+        )
+        self.queued = queued
+        self.queue_limit = queue_limit
+
+
+class AdmissionController:
+    """Semaphore-bounded, quota-shaped, load-shedding admission."""
+
+    def __init__(self, max_concurrent: int = 4, tenant_quota: int = 2,
+                 queue_limit: int = 32, metrics=None):
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if tenant_quota < 1:
+            raise ValueError("tenant_quota must be >= 1")
+        if queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0")
+        self.max_concurrent = max_concurrent
+        self.tenant_quota = tenant_quota
+        self.queue_limit = queue_limit
+        self.metrics = metrics
+        self._global = asyncio.Semaphore(max_concurrent)
+        self._tenant_slots: Dict[str, asyncio.Semaphore] = {}
+        self.running = 0
+        self.queued = 0
+        self.running_by_tenant: Dict[str, int] = {}
+        self.admitted = 0
+        self.rejected = 0
+        self.completed = 0
+
+    def _tenant(self, tenant: str) -> asyncio.Semaphore:
+        slot = self._tenant_slots.get(tenant)
+        if slot is None:
+            slot = self._tenant_slots[tenant] = asyncio.Semaphore(
+                self.tenant_quota
+            )
+        return slot
+
+    def _gauge(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("rumble.server.running").set(self.running)
+            self.metrics.gauge("rumble.server.queued").set(self.queued)
+
+    @asynccontextmanager
+    async def admit(self, tenant: str):
+        """Hold one execution slot for ``tenant`` for the block's duration.
+
+        Raises :class:`QueryRejected` immediately (no waiting) when the
+        queue is full — shed load at the door, not after queueing.
+        """
+        if self.queued >= self.queue_limit:
+            self.rejected += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "rumble.server.rejected", tenant=tenant
+                ).inc()
+            raise QueryRejected(self.queued, self.queue_limit)
+        tenant_slot = self._tenant(tenant)
+        self.queued += 1
+        self._gauge()
+        try:
+            await tenant_slot.acquire()
+            try:
+                await self._global.acquire()
+            except BaseException:
+                tenant_slot.release()
+                raise
+        finally:
+            self.queued -= 1
+        self.running += 1
+        self.running_by_tenant[tenant] = (
+            self.running_by_tenant.get(tenant, 0) + 1
+        )
+        self.admitted += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "rumble.server.admitted", tenant=tenant
+            ).inc()
+        self._gauge()
+        try:
+            yield
+        finally:
+            self.running -= 1
+            self.running_by_tenant[tenant] -= 1
+            self.completed += 1
+            self._global.release()
+            tenant_slot.release()
+            self._gauge()
+
+    def snapshot(self) -> dict:
+        return {
+            "max_concurrent": self.max_concurrent,
+            "tenant_quota": self.tenant_quota,
+            "queue_limit": self.queue_limit,
+            "running": self.running,
+            "queued": self.queued,
+            "running_by_tenant": {
+                tenant: count
+                for tenant, count in sorted(self.running_by_tenant.items())
+                if count
+            },
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+        }

@@ -1,0 +1,225 @@
+"""A stdlib-only asyncio HTTP/1.1 front-end for the query service.
+
+Endpoints (JSON in, JSON out):
+
+* ``POST /query`` — body ``{"query": "...", "tenant": "...",
+  "bindings": {...}, "timeout": seconds}``; only ``query`` is required
+  (tenant defaults to ``"default"``).  The response status mirrors the
+  payload's ``status`` field (200/400/408/429/500).
+* ``GET /status`` — uptime, admission-controller state, per-session
+  counters and cache statistics.
+* ``GET /metrics`` — the server-wide metrics snapshot plus each
+  tenant's isolated registry.
+
+The implementation is deliberately minimal — request line, headers,
+``Content-Length``-framed bodies, keep-alive — because the container
+offers no HTTP framework and the engine's value is elsewhere; it is the
+serving shape (long-lived process, concurrent clients, load shedding)
+that matters, not HTTP feature coverage.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+
+from repro.server.service import QueryService
+
+#: Refuse bodies beyond this size (a protective bound, not a feature).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+MAX_HEADER_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+def _response_bytes(status: int, payload: dict,
+                    keep_alive: bool) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        "HTTP/1.1 {} {}\r\n"
+        "Content-Type: application/json\r\n"
+        "Content-Length: {}\r\n"
+        "Connection: {}\r\n"
+        "\r\n"
+    ).format(
+        status, _REASONS.get(status, "Unknown"), len(body),
+        "keep-alive" if keep_alive else "close",
+    )
+    return head.encode("ascii") + body
+
+
+class RumbleServer:
+    """The asyncio server wrapping one :class:`QueryService`."""
+
+    def __init__(self, service: QueryService,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        bound = self._server.sockets[0].getsockname()
+        self.host, self.port = bound[0], bound[1]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.service.close()
+
+    # -- Connection handling -------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get(
+                    "connection", "keep-alive"
+                ).lower() != "close"
+                status, payload = await self._dispatch(method, path, body)
+                writer.write(_response_bytes(status, payload, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """(method, path, headers, body) or None at clean connection end."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as partial:
+            if not partial.partial:
+                return None
+            raise
+        except asyncio.LimitOverrunError:
+            raise asyncio.IncompleteReadError(b"", None)
+        if len(head) > MAX_HEADER_BYTES:
+            return "GET", "/__overflow__", {}, b""
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) < 2:
+            return "GET", "/__malformed__", {}, b""
+        method, path = parts[0].upper(), parts[1]
+        headers = {}
+        for line in lines[1:]:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            return method, "/__too_large__", headers, b""
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _dispatch(self, method: str, path: str,
+                        body: bytes) -> Tuple[int, dict]:
+        path = path.split("?", 1)[0]
+        if path == "/__too_large__":
+            return 413, {"status": 413, "error": {
+                "code": "too_large",
+                "message": "request body exceeds {} bytes".format(
+                    MAX_BODY_BYTES
+                ),
+            }}
+        if path in ("/__malformed__", "/__overflow__"):
+            return 400, {"status": 400, "error": {
+                "code": "malformed", "message": "unparseable request",
+            }}
+        if path == "/query":
+            if method != "POST":
+                return 405, {"status": 405, "error": {
+                    "code": "method", "message": "use POST /query",
+                }}
+            return await self._handle_query(body)
+        if path == "/status":
+            if method != "GET":
+                return 405, {"status": 405, "error": {
+                    "code": "method", "message": "use GET /status",
+                }}
+            return 200, self.service.status()
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"status": 405, "error": {
+                    "code": "method", "message": "use GET /metrics",
+                }}
+            return 200, self.service.metrics_snapshot()
+        return 404, {"status": 404, "error": {
+            "code": "not_found", "message": "no such endpoint " + path,
+        }}
+
+    async def _handle_query(self, body: bytes) -> Tuple[int, dict]:
+        try:
+            request = json.loads(body.decode("utf-8") or "{}")
+        except (ValueError, UnicodeDecodeError):
+            return 400, {"status": 400, "error": {
+                "code": "bad_json", "message": "request body is not JSON",
+            }}
+        if not isinstance(request, dict) or not isinstance(
+            request.get("query"), str
+        ):
+            return 400, {"status": 400, "error": {
+                "code": "bad_request",
+                "message": 'body must be {"query": "...", ...}',
+            }}
+        tenant = request.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            return 400, {"status": 400, "error": {
+                "code": "bad_tenant", "message": "tenant must be a string",
+            }}
+        bindings = request.get("bindings")
+        if bindings is not None and not isinstance(bindings, dict):
+            return 400, {"status": 400, "error": {
+                "code": "bad_bindings",
+                "message": "bindings must be an object",
+            }}
+        timeout = request.get("timeout")
+        if timeout is not None and not isinstance(timeout, (int, float)):
+            return 400, {"status": 400, "error": {
+                "code": "bad_timeout", "message": "timeout must be a number",
+            }}
+        payload = await self.service.execute(
+            tenant, request["query"], bindings=bindings, timeout=timeout
+        )
+        return payload.get("status", 500), payload
+
+
+async def serve(service: QueryService, host: str = "127.0.0.1",
+                port: int = 8090, ready=None) -> None:
+    """Start a server and block forever (the CLI entry point's core)."""
+    server = RumbleServer(service, host=host, port=port)
+    bound_host, bound_port = await server.start()
+    if ready is not None:
+        ready(bound_host, bound_port)
+    await server.serve_forever()

@@ -1,0 +1,203 @@
+"""The multi-tenant query service: sessions + admission + execution.
+
+:class:`QueryService` is the transport-independent core the HTTP layer
+(:mod:`repro.server.http`), the CLI (``repro serve``) and the tests all
+drive.  One call path::
+
+    service = QueryService(max_concurrent=4, tenant_quota=2)
+    payload = await service.execute("tenant-a", "1 + 1")
+
+``execute`` admits the query through the fair-share controller, runs it
+on the tenant's session in a worker thread (the engine is synchronous),
+enforces the per-query timeout, and normalizes every outcome into a
+JSON-able payload with an HTTP-style status:
+
+========  =====================================================
+status    meaning
+========  =====================================================
+200       success: ``{"items": [...], "count": n, ...}``
+400       query error (parse/static/type/dynamic), with the
+          W3C-style error code
+408       the per-query timeout elapsed
+429       load shed by the admission controller
+500       unexpected engine failure
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional
+
+from repro.core.config import RumbleConfig
+from repro.jsoniq.errors import JsoniqException
+from repro.obs.metrics import MetricsRegistry
+from repro.server.admission import AdmissionController, QueryRejected
+from repro.server.session import Session
+
+
+class QueryService:
+    """Sessions, admission, a worker pool, and service-wide metrics."""
+
+    def __init__(self,
+                 max_concurrent: int = 4,
+                 tenant_quota: int = 2,
+                 queue_limit: int = 32,
+                 default_timeout: float = 30.0,
+                 executors: int = 4,
+                 parallelism: int = 8,
+                 session_config: Optional[RumbleConfig] = None,
+                 result_cap: Optional[int] = None):
+        self.metrics = MetricsRegistry()
+        self.admission = AdmissionController(
+            max_concurrent=max_concurrent,
+            tenant_quota=tenant_quota,
+            queue_limit=queue_limit,
+            metrics=self.metrics,
+        )
+        self.default_timeout = default_timeout
+        self.result_cap = result_cap
+        self._executors = executors
+        self._parallelism = parallelism
+        self._session_config = session_config
+        self._sessions: Dict[str, Session] = {}
+        self._sessions_lock = asyncio.Lock()
+        # Worker threads bound to the admission ceiling: admitted queries
+        # never wait for a thread behind un-admitted work.
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_concurrent,
+            thread_name_prefix="rumble-query",
+        )
+        self.started_at = time.time()
+
+    # -- Sessions ------------------------------------------------------------
+    async def session(self, tenant: str) -> Session:
+        existing = self._sessions.get(tenant)
+        if existing is not None:
+            return existing
+        async with self._sessions_lock:
+            existing = self._sessions.get(tenant)
+            if existing is not None:
+                return existing
+            loop = asyncio.get_running_loop()
+            # Engine construction touches the filesystem-free substrate
+            # only, but still costs a few ms: keep it off the event loop.
+            session = await loop.run_in_executor(
+                self._pool, self._build_session, tenant
+            )
+            self._sessions[tenant] = session
+            return session
+
+    def _build_session(self, tenant: str) -> Session:
+        config = self._session_config
+        if config is not None:
+            # Each tenant gets its own config copy: collections and other
+            # mutable fields must not alias across sessions.
+            from dataclasses import replace
+
+            config = replace(config, collections=dict(config.collections))
+        return Session(
+            tenant,
+            config=config,
+            executors=self._executors,
+            parallelism=self._parallelism,
+        )
+
+    # -- Execution -----------------------------------------------------------
+    async def execute(self, tenant: str, query_text: str,
+                      bindings: Optional[Dict[str, object]] = None,
+                      timeout: Optional[float] = None) -> dict:
+        """Run one query for one tenant; always returns a payload dict."""
+        started = time.perf_counter()
+        try:
+            async with self.admission.admit(tenant):
+                session = await self.session(tenant)
+                loop = asyncio.get_running_loop()
+                future = loop.run_in_executor(
+                    self._pool,
+                    lambda: session.query(
+                        query_text, bindings=bindings, cap=self.result_cap
+                    ),
+                )
+                effective = (
+                    timeout if timeout is not None else self.default_timeout
+                )
+                try:
+                    payload = await asyncio.wait_for(future, effective)
+                except asyncio.TimeoutError:
+                    # The worker thread cannot be interrupted; it finishes
+                    # in the background while the client gets the 408.
+                    self.metrics.counter(
+                        "rumble.server.timeouts", tenant=tenant
+                    ).inc()
+                    return self._error(
+                        408, "timeout",
+                        "query exceeded the {}s timeout".format(effective),
+                        tenant, started,
+                    )
+        except QueryRejected as rejection:
+            return self._error(
+                429, "rejected", str(rejection), tenant, started,
+                retryable=True,
+            )
+        except JsoniqException as error:
+            return self._error(
+                400, error.code, str(error), tenant, started,
+            )
+        except Exception as error:  # pragma: no cover - defensive
+            return self._error(
+                500, "internal", "{}: {}".format(
+                    type(error).__name__, error
+                ), tenant, started,
+            )
+        payload["status"] = 200
+        payload["tenant"] = tenant
+        payload["seconds"] = round(time.perf_counter() - started, 6)
+        self.metrics.counter("rumble.server.queries", tenant=tenant).inc()
+        self.metrics.histogram("rumble.server.seconds").observe(
+            payload["seconds"]
+        )
+        return payload
+
+    def _error(self, status: int, code: str, message: str, tenant: str,
+               started: float, retryable: bool = False) -> dict:
+        self.metrics.counter(
+            "rumble.server.errors", status=status
+        ).inc()
+        return {
+            "status": status,
+            "tenant": tenant,
+            "error": {
+                "code": code,
+                "message": message,
+                "retryable": retryable,
+            },
+            "seconds": round(time.perf_counter() - started, 6),
+        }
+
+    # -- Introspection -------------------------------------------------------
+    def status(self) -> dict:
+        return {
+            "status": 200,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "admission": self.admission.snapshot(),
+            "sessions": {
+                tenant: session.snapshot()
+                for tenant, session in sorted(self._sessions.items())
+            },
+        }
+
+    def metrics_snapshot(self) -> dict:
+        return {
+            "status": 200,
+            "server": self.metrics.snapshot(),
+            "tenants": {
+                tenant: session.obs.metrics.snapshot()
+                for tenant, session in sorted(self._sessions.items())
+            },
+        }
+
+    async def close(self) -> None:
+        self._pool.shutdown(wait=False)

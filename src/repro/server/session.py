@@ -1,0 +1,94 @@
+"""Per-tenant sessions: an engine, its caches, and isolated metrics.
+
+Each tenant gets its own :class:`~repro.core.engine.Rumble` engine —
+its own simulated SparkContext, plan cache, result cache, collections
+and observability bundle — so tenants can neither observe nor perturb
+each other's state.  What they *share* is the nominal cluster capacity,
+enforced above the sessions by the admission controller.
+
+Engine execution is serialized per session with a lock: the simulated
+substrate keeps per-context mutable state (shuffle metrics, the
+adaptive ledger, fault accounting) that is not safe under concurrent
+runs.  Cross-tenant parallelism is unaffected — different sessions run
+concurrently in the service's thread pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.core.config import RumbleConfig
+from repro.core.engine import Rumble, make_engine
+from repro.obs import Observability
+
+
+class Session:
+    """One tenant's engine plus bookkeeping."""
+
+    def __init__(self, tenant: str,
+                 config: Optional[RumbleConfig] = None,
+                 executors: int = 4,
+                 parallelism: int = 8,
+                 engine: Optional[Rumble] = None):
+        self.tenant = tenant
+        self.config = config or RumbleConfig(plan_cache_size=128,
+                                             result_cache_size=64)
+        self.engine = engine if engine is not None else make_engine(
+            executors=executors, parallelism=parallelism, config=self.config
+        )
+        #: Per-session observability: cache and engine counters accumulate
+        #: here, never in a shared registry (tenant isolation).
+        self.obs = Observability(enabled=True)
+        self.engine.runtime.obs = self.obs
+        self._lock = threading.Lock()
+        self.queries = 0
+        self.errors = 0
+        self.total_seconds = 0.0
+        self.created_at = time.time()
+
+    def query(self, query_text: str,
+              bindings: Optional[Dict[str, object]] = None,
+              cap: Optional[int] = None) -> dict:
+        """Execute one query, returning a JSON-able payload.
+
+        Runs in a worker thread of the service's pool; the lock keeps
+        one session's engine single-writer (see module docstring).
+        """
+        started = time.perf_counter()
+        with self._lock:
+            try:
+                result = self.engine.query(query_text, bindings=bindings)
+                items = [
+                    item.to_python() for item in result.collect(cap)
+                ]
+            except Exception:
+                self.errors += 1
+                raise
+            finally:
+                self.queries += 1
+                self.total_seconds += time.perf_counter() - started
+        return {"items": items, "count": len(items)}
+
+    def register_collection(self, name: str, source: object) -> None:
+        with self._lock:
+            self.engine.register_collection(name, source)
+
+    def cache_stats(self) -> dict:
+        stats = {}
+        if self.engine.plan_cache is not None:
+            stats["plan_cache"] = self.engine.plan_cache.stats()
+        if self.engine.result_cache is not None:
+            stats["result_cache"] = self.engine.result_cache.stats()
+        return stats
+
+    def snapshot(self) -> dict:
+        payload = {
+            "tenant": self.tenant,
+            "queries": self.queries,
+            "errors": self.errors,
+            "total_seconds": round(self.total_seconds, 6),
+        }
+        payload.update(self.cache_stats())
+        return payload

@@ -13,6 +13,7 @@ scheme roots (e.g. mount ``hdfs://`` onto a temp dir) without monkeypatching.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -70,20 +71,26 @@ class FileSystemRegistry:
 
     def __init__(self) -> None:
         self._mounts: Dict[str, str] = {}
+        # The registry is process-wide shared state; concurrently serving
+        # engines (repro.server) mount and resolve from many threads.
+        self._lock = threading.Lock()
 
     def mount(self, scheme: str, root: str) -> None:
         """Serve ``scheme://...`` paths from the local directory ``root``."""
-        self._mounts[scheme] = os.path.abspath(root)
+        with self._lock:
+            self._mounts[scheme] = os.path.abspath(root)
 
     def unmount(self, scheme: str) -> None:
-        self._mounts.pop(scheme, None)
+        with self._lock:
+            self._mounts.pop(scheme, None)
 
     def resolve(self, uri: str) -> str:
         """Translate a URI into a local filesystem path."""
         scheme, rest = split_uri(uri)
         if scheme in (None, "file"):
             return rest
-        root = self._mounts.get(scheme)
+        with self._lock:
+            root = self._mounts.get(scheme)
         if root is None:
             raise StorageError(
                 "no filesystem mounted for scheme {!r} (uri {!r})".format(
@@ -138,6 +145,29 @@ def list_input_files(local_path: str) -> List[str]:
         )
         return [os.path.join(local_path, name) for name in names]
     return [local_path]
+
+
+def fingerprint_uri(uri: str) -> Tuple:
+    """The lineage fingerprint of the input behind a URI.
+
+    A tuple of ``(path, size, mtime_ns)`` per concrete file the URI
+    expands to — the result cache's invalidation signal: any append,
+    rewrite, rotation, or even a same-size in-place edit (mtime moves)
+    changes the fingerprint.  An unresolvable or missing input yields a
+    distinct ``("missing", uri)`` marker so a cached error state never
+    masks a file that has since appeared.
+    """
+    try:
+        local = REGISTRY.resolve(uri)
+        files = list_input_files(local)
+        return tuple(
+            (path, stat.st_size, stat.st_mtime_ns)
+            for path, stat in (
+                (path, os.stat(path)) for path in sorted(files)
+            )
+        )
+    except (StorageError, OSError):
+        return ("missing", uri)
 
 
 def split_input(

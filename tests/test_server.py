@@ -1,0 +1,447 @@
+"""The serving layer, tested over real sockets and real concurrency.
+
+Four layers:
+
+* endpoint contracts — every response shape the HTTP surface can
+  produce (200/400/404/405/408/413/429, keep-alive, malformed input);
+* tenant isolation — per-tenant sessions, configs, collections and
+  metric registries never bleed into each other;
+* the stress harness — 100+ concurrent mixed-tenant queries through
+  the admission controller, asserting the fair-share invariants
+  (global ceiling, per-tenant quota, bounded queue, no starvation);
+* a subprocess smoke test of ``python -m repro serve``.
+"""
+
+import asyncio
+import json
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+
+from repro.server import QueryRejected, QueryService, RumbleServer
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+# -- A tiny asyncio HTTP/1.1 client ------------------------------------------
+
+async def _raw_request(host, port, data):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(data)
+        await writer.drain()
+        head = await reader.readuntil(b"\r\n\r\n")
+        status = int(head.split(b" ", 2)[1])
+        headers = {}
+        for line in head.decode("latin-1").split("\r\n")[1:]:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        body = await reader.readexactly(int(headers.get("content-length", 0)))
+        return status, json.loads(body) if body else None
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def _request(host, port, method, path, payload=None):
+    body = json.dumps(payload).encode() if payload is not None else b""
+    head = (
+        "{} {} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n"
+        "Connection: close\r\n\r\n"
+    ).format(method, path, host, len(body))
+    return await _raw_request(host, port, head.encode() + body)
+
+
+async def _query(host, port, query, **extra):
+    payload = {"query": query}
+    payload.update(extra)
+    return await _request(host, port, "POST", "/query", payload)
+
+
+def _service(**overrides):
+    defaults = dict(max_concurrent=4, tenant_quota=2, queue_limit=32,
+                    default_timeout=30.0, executors=2, parallelism=4)
+    defaults.update(overrides)
+    return QueryService(**defaults)
+
+
+async def _with_server(scenario, **service_overrides):
+    """Start a server on an ephemeral port, run scenario(host, port)."""
+    service = _service(**service_overrides)
+    server = RumbleServer(service, port=0)
+    host, port = await server.start()
+    try:
+        return await scenario(host, port, service)
+    finally:
+        await server.close()
+
+
+def run(scenario, **service_overrides):
+    return asyncio.run(_with_server(scenario, **service_overrides))
+
+
+# -- Endpoint contracts ------------------------------------------------------
+
+class TestQueryEndpoint:
+    def test_success_shape(self):
+        async def scenario(host, port, service):
+            status, payload = await _query(host, port, "1 + 1")
+            assert status == 200
+            assert payload["status"] == 200
+            assert payload["items"] == [2]
+            assert payload["count"] == 1
+            assert payload["tenant"] == "default"
+            assert payload["seconds"] >= 0
+        run(scenario)
+
+    def test_parse_error_shape(self):
+        async def scenario(host, port, service):
+            status, payload = await _query(host, port, "for $x in")
+            assert status == 400
+            assert payload["error"]["code"] == "XPST0003"
+            assert payload["error"]["retryable"] is False
+            assert payload["error"]["message"]
+        run(scenario)
+
+    def test_type_error_shape(self):
+        async def scenario(host, port, service):
+            status, payload = await _query(host, port, '1 + "a"')
+            assert status == 400
+            assert payload["error"]["code"].startswith("XP")
+        run(scenario)
+
+    def test_undefined_variable_is_static_error(self):
+        async def scenario(host, port, service):
+            status, payload = await _query(host, port, "$nope")
+            assert status == 400
+            assert payload["error"]["code"] == "XPST0008"
+        run(scenario)
+
+    def test_bindings_round_trip(self):
+        async def scenario(host, port, service):
+            status, payload = await _query(
+                host, port, "$n * $n", bindings={"n": 7}
+            )
+            assert status == 200
+            assert payload["items"] == [49]
+        run(scenario)
+
+    def test_timeout_returns_408(self):
+        async def scenario(host, port, service):
+            status, payload = await _query(
+                host, port,
+                "sum(for $x in 1 to 2000000 return $x * $x)",
+                timeout=0.001,
+            )
+            assert status == 408
+            assert payload["error"]["code"] == "timeout"
+        run(scenario)
+
+    def test_result_cap_applies(self):
+        async def scenario(host, port, service):
+            status, payload = await _query(host, port, "1 to 1000")
+            assert status == 200
+            assert payload["count"] == 5
+            assert payload["items"] == [1, 2, 3, 4, 5]
+        run(scenario, result_cap=5)
+
+
+class TestProtocolEdges:
+    def test_wrong_method_and_path(self):
+        async def scenario(host, port, service):
+            status, payload = await _request(host, port, "GET", "/query")
+            assert status == 405
+            status, payload = await _request(host, port, "POST", "/status")
+            assert status == 405
+            status, payload = await _request(host, port, "GET", "/nowhere")
+            assert status == 404
+            assert payload["error"]["code"] == "not_found"
+        run(scenario)
+
+    def test_bad_json_body(self):
+        async def scenario(host, port, service):
+            raw = (b"POST /query HTTP/1.1\r\nHost: x\r\n"
+                   b"Content-Length: 9\r\nConnection: close\r\n\r\n"
+                   b"not json!")
+            status, payload = await _raw_request(host, port, raw)
+            assert status == 400
+            assert payload["error"]["code"] == "bad_json"
+        run(scenario)
+
+    def test_missing_query_field(self):
+        async def scenario(host, port, service):
+            status, payload = await _request(
+                host, port, "POST", "/query", {"tenant": "a"}
+            )
+            assert status == 400
+            assert payload["error"]["code"] == "bad_request"
+        run(scenario)
+
+    def test_bad_field_types(self):
+        async def scenario(host, port, service):
+            for extra, code in (
+                ({"tenant": 7}, "bad_tenant"),
+                ({"bindings": [1]}, "bad_bindings"),
+                ({"timeout": "soon"}, "bad_timeout"),
+            ):
+                status, payload = await _query(host, port, "1", **extra)
+                assert status == 400
+                assert payload["error"]["code"] == code
+        run(scenario)
+
+    def test_oversized_body_is_413(self):
+        async def scenario(host, port, service):
+            raw = (b"POST /query HTTP/1.1\r\nHost: x\r\n"
+                   b"Content-Length: 99999999\r\n\r\n")
+            status, payload = await _raw_request(host, port, raw)
+            assert status == 413
+        run(scenario)
+
+    def test_keep_alive_serves_multiple_requests(self):
+        async def scenario(host, port, service):
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                for expected in ([2], [6]):
+                    body = json.dumps(
+                        {"query": "1 + {}".format(expected[0] - 1)}
+                    ).encode()
+                    writer.write((
+                        "POST /query HTTP/1.1\r\nHost: x\r\n"
+                        "Content-Length: {}\r\n\r\n".format(len(body))
+                    ).encode() + body)
+                    await writer.drain()
+                    head = await reader.readuntil(b"\r\n\r\n")
+                    length = int(re.search(
+                        rb"content-length: (\d+)", head, re.I
+                    ).group(1))
+                    payload = json.loads(await reader.readexactly(length))
+                    assert payload["items"] == expected
+            finally:
+                writer.close()
+                await writer.wait_closed()
+        run(scenario)
+
+    def test_status_and_metrics_endpoints(self):
+        async def scenario(host, port, service):
+            await _query(host, port, "1 + 1", tenant="alpha")
+            status, payload = await _request(host, port, "GET", "/status")
+            assert status == 200
+            assert payload["uptime_seconds"] >= 0
+            assert payload["admission"]["max_concurrent"] == 4
+            assert payload["admission"]["completed"] >= 1
+            assert "alpha" in payload["sessions"]
+            assert payload["sessions"]["alpha"]["queries"] == 1
+            status, metrics = await _request(host, port, "GET", "/metrics")
+            assert status == 200
+            counters = metrics["server"]["counters"]
+            assert any("rumble.server.queries" in k for k in counters)
+            assert "alpha" in metrics["tenants"]
+        run(scenario)
+
+
+# -- Tenant isolation --------------------------------------------------------
+
+class TestTenantIsolation:
+    def test_sessions_and_metrics_are_separate(self):
+        async def scenario(host, port, service):
+            # Bindings bypass the result cache, so the repeat exercises
+            # the plan cache; without bindings it would be a result-cache
+            # hit instead (both are per-tenant).
+            await _query(host, port, "$n to 3", tenant="a",
+                         bindings={"n": 1})
+            await _query(host, port, "$n to 3", tenant="a",
+                         bindings={"n": 2})
+            await _query(host, port, '"x"', tenant="b")
+            session_a = await service.session("a")
+            session_b = await service.session("b")
+            assert session_a.engine is not session_b.engine
+            assert session_a.snapshot()["queries"] == 2
+            assert session_b.snapshot()["queries"] == 1
+            # Plan-cache traffic stays in the owning tenant's registry.
+            a_counters = session_a.obs.metrics.snapshot()["counters"]
+            b_counters = session_b.obs.metrics.snapshot()["counters"]
+            a_hits = sum(v for k, v in a_counters.items()
+                         if "plancache.hits" in k)
+            b_hits = sum(v for k, v in b_counters.items()
+                         if "plancache.hits" in k)
+            assert a_hits == 1 and b_hits == 0
+        run(scenario)
+
+    def test_collections_do_not_leak_across_tenants(self):
+        async def scenario(host, port, service):
+            session_a = await service.session("a")
+            session_a.register_collection("orders", [{"id": 1}])
+            status, payload = await _query(
+                host, port, 'count(collection("orders"))', tenant="a"
+            )
+            assert status == 200 and payload["items"] == [1]
+            status, payload = await _query(
+                host, port, 'count(collection("orders"))', tenant="b"
+            )
+            assert status == 400
+            assert payload["error"]["code"] == "FODC0002"
+        run(scenario)
+
+
+# -- Admission: shedding and fairness ----------------------------------------
+
+class TestAdmission:
+    def test_shed_load_returns_retryable_429(self):
+        async def scenario(host, port, service):
+            slow = "sum(for $x in 1 to 300000 return $x)"
+            results = await asyncio.gather(*[
+                _query(host, port, slow) for _ in range(10)
+            ])
+            codes = [status for status, _ in results]
+            assert 200 in codes
+            assert 429 in codes
+            shed = [p for status, p in results if status == 429]
+            assert all(p["error"]["retryable"] is True for p in shed)
+            snap = service.admission.snapshot()
+            assert snap["rejected"] == len(shed)
+            assert snap["admitted"] + snap["rejected"] == 10
+        run(scenario, max_concurrent=1, tenant_quota=1, queue_limit=1)
+
+    def test_direct_rejection_exception(self):
+        async def scenario():
+            from repro.server.admission import AdmissionController
+
+            control = AdmissionController(
+                max_concurrent=1, tenant_quota=1, queue_limit=0
+            )
+            with pytest.raises(QueryRejected):
+                async with control.admit("t"):
+                    pass
+        asyncio.run(scenario())
+
+
+class TestStress:
+    """The pinning harness: 120 concurrent mixed-tenant queries."""
+
+    TENANTS = ("alpha", "beta", "gamma")
+    QUERIES = (
+        "1 + 1",
+        "count(for $x in 1 to 5000 return $x)",
+        "for $x in 1 to 4 return $x * $x",
+        'string-join(for $x in 1 to 50 return "x", "")',
+    )
+
+    def test_fair_share_under_load(self):
+        observed = {"running": 0, "by_tenant": {}}
+
+        async def monitor(service, stop):
+            while not stop.is_set():
+                snap = service.admission.snapshot()
+                observed["running"] = max(
+                    observed["running"], snap["running"]
+                )
+                for tenant, count in snap["running_by_tenant"].items():
+                    observed["by_tenant"][tenant] = max(
+                        observed["by_tenant"].get(tenant, 0), count
+                    )
+                assert snap["queued"] <= service.admission.queue_limit
+                await asyncio.sleep(0.001)
+
+        async def scenario(host, port, service):
+            stop = asyncio.Event()
+            watcher = asyncio.create_task(monitor(service, stop))
+            jobs = [
+                service.execute(
+                    self.TENANTS[i % 3],
+                    self.QUERIES[i % len(self.QUERIES)],
+                )
+                for i in range(120)
+            ]
+            payloads = await asyncio.gather(*jobs)
+            stop.set()
+            await watcher
+
+            assert len(payloads) == 120
+            by_status = {}
+            for payload in payloads:
+                by_status.setdefault(payload["status"], []).append(payload)
+            # The queue is sized for the burst: everything completes.
+            assert set(by_status) == {200}, {
+                s: p[0]["error"] for s, p in by_status.items() if s != 200
+            }
+            # Global ceiling and per-tenant quotas were never exceeded.
+            assert 1 <= observed["running"] <= 4
+            assert all(c <= 2 for c in observed["by_tenant"].values())
+            # No tenant starved: each got its full share completed.
+            for tenant in self.TENANTS:
+                done = [p for p in payloads if p["tenant"] == tenant]
+                assert len(done) == 40
+            snap = service.admission.snapshot()
+            assert snap["admitted"] == snap["completed"] == 120
+            assert snap["running"] == 0 and snap["queued"] == 0
+            # Repeated shapes made the caches earn their keep (identical
+            # no-binding repeats land in the result cache, parameterized
+            # variants in the plan cache).
+            hits = 0
+            for tenant in self.TENANTS:
+                session = await service.session(tenant)
+                hits += session.engine.plan_cache.hits
+                hits += session.engine.result_cache.hits
+            assert hits >= 100
+        run(scenario, max_concurrent=4, tenant_quota=2, queue_limit=200)
+
+    def test_burst_with_shedding_accounts_for_everything(self):
+        async def scenario(host, port, service):
+            slow = "count(for $x in 1 to 30000 return $x)"
+            payloads = await asyncio.gather(*[
+                service.execute(self.TENANTS[i % 3], slow)
+                for i in range(60)
+            ])
+            ok = sum(1 for p in payloads if p["status"] == 200)
+            shed = sum(1 for p in payloads if p["status"] == 429)
+            assert ok + shed == 60
+            assert shed > 0, "a 60-burst into a 6-queue must shed"
+            snap = service.admission.snapshot()
+            assert snap["admitted"] == snap["completed"] == ok
+            assert snap["rejected"] == shed
+        run(scenario, max_concurrent=2, tenant_quota=1, queue_limit=6)
+
+
+# -- CLI subprocess smoke ----------------------------------------------------
+
+class TestServeCli:
+    def test_serve_round_trip(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--max-concurrent", "2", "--cap", "10"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+        )
+        try:
+            line = process.stdout.readline().decode()
+            match = re.search(r"listening on http://([\d.]+):(\d+)", line)
+            assert match, "server must announce its address, got: " + line
+            host, port = match.group(1), int(match.group(2))
+
+            import urllib.request
+
+            request = urllib.request.Request(
+                "http://{}:{}/query".format(host, port),
+                data=json.dumps({"query": "1 to 3"}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                payload = json.loads(response.read())
+            assert payload["items"] == [1, 2, 3]
+
+            with urllib.request.urlopen(
+                "http://{}:{}/status".format(host, port), timeout=30
+            ) as response:
+                status_payload = json.loads(response.read())
+            assert status_payload["admission"]["completed"] == 1
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
