@@ -1,0 +1,102 @@
+"""The cancellation-overhead gate: cooperative checks must be ~free.
+
+PR 7 threads a per-request :class:`~repro.cancellation.CancelToken`
+through the whole execution stack — executor-pool task loops, driver-
+side iteration, FLWOR tuple streams.  Every one of those sites now
+pays a ``token is not None`` test (and, with a token installed, a
+periodic ``check()``).  This gate pins the cost: the BENCH_pr6
+serving-throughput workload (120 concurrent clients, warm plan
+caches) is driven through two otherwise identical services —
+``cancellation=True`` (the default) and ``cancellation=False`` (the
+legacy path with no tokens) — and the enabled run must stay within 5%
+of the disabled run.
+
+Results land in ``BENCH_pr7.json`` as ``cancellation-overhead``.
+
+Run it the way CI does::
+
+    RUMBLE_BENCH_SMOKE=1 RUMBLE_BENCH_GATE=1 PYTHONPATH=src \
+        python -m pytest benchmarks/test_cancellation_overhead.py -q
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict
+
+import pytest
+
+from benchmarks.test_throughput_gate import (
+    CLIENTS,
+    PER_CLIENT,
+    _drive,
+)
+from repro.core.config import RumbleConfig
+from repro.server.service import QueryService
+from repro.spark.faults import FaultPlan
+
+#: The acceptance criterion (ISSUE: < 5% throughput regression with
+#: cancellation checks enabled).
+MAX_REGRESSION = 0.05
+#: Interleaved measurement rounds; the recorded ratio is the median-free
+#: best-of, because a single background compile job must not fail CI.
+ROUNDS = 3
+
+
+def _service(cancellation: bool) -> QueryService:
+    return QueryService(
+        max_concurrent=4, tenant_quota=2, queue_limit=10_000,
+        executors=2, parallelism=4,
+        cancellation=cancellation,
+        # An explicit all-zero plan: a RUMBLE_SERVER_CHAOS_SEED in the
+        # environment must not skew the timing comparison.
+        fault_plan=FaultPlan(seed=0),
+        session_config=RumbleConfig(
+            plan_cache_size=256, result_cache_size=0
+        ),
+    )
+
+
+async def _measure() -> Dict:
+    enabled = _service(cancellation=True)
+    disabled = _service(cancellation=False)
+    try:
+        # Warm both plan caches so the measured work is execution (the
+        # layer the checks live in), not compilation.
+        await _drive(enabled, CLIENTS, 1)
+        await _drive(disabled, CLIENTS, 1)
+        ratios = []
+        qps_on = qps_off = 0.0
+        for _ in range(ROUNDS):
+            # Interleaved on/off rounds: drift hits both sides alike.
+            qps_on = await _drive(enabled, CLIENTS, PER_CLIENT)
+            qps_off = await _drive(disabled, CLIENTS, PER_CLIENT)
+            ratios.append(qps_on / qps_off)
+    finally:
+        await enabled.close()
+        await disabled.close()
+    return {
+        "clients": CLIENTS,
+        "queries_per_round": CLIENTS * PER_CLIENT,
+        "rounds": ROUNDS,
+        "qps_cancellation_on": round(qps_on, 1),
+        "qps_cancellation_off": round(qps_off, 1),
+        "ratio": round(max(ratios), 4),
+        "max_regression": MAX_REGRESSION,
+    }
+
+
+@pytest.fixture(scope="module")
+def figure(bench_record) -> Dict:
+    measured = asyncio.run(_measure())
+    bench_record["cancellation-overhead"] = measured
+    return measured
+
+
+def test_cancellation_checks_within_budget(figure):
+    assert figure["ratio"] >= 1.0 - MAX_REGRESSION, figure
+
+
+def test_both_paths_executed_queries(figure):
+    assert figure["qps_cancellation_on"] > 0
+    assert figure["qps_cancellation_off"] > 0

@@ -14,7 +14,7 @@ Two services are measured back to back:
   is compilation avoidance, not answer replay), after a warm-up pass;
 * **cold** — caches off: every query pays lex/parse/analyse/compile.
 
-Results land in ``BENCH_pr6.json`` as ``serving-qps``.  Assertions:
+Results land in ``BENCH_pr7.json`` as ``serving-qps``.  Assertions:
 
 * always: warm queries/sec >= 2x cold (noise-proof floor), and the
   warm run's plan caches actually hit;

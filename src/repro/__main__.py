@@ -175,17 +175,40 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--mount", action="append", default=[], metavar="SCHEME=DIR",
         help="serve scheme:// URIs from a local directory",
     )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="on SIGTERM/SIGINT, how long to wait for in-flight queries "
+             "before cancelling them (default 5)",
+    )
+    parser.add_argument(
+        "--event-log", metavar="DIR",
+        help="flush per-tenant event logs to this directory as JSONL "
+             "during graceful shutdown",
+    )
+    parser.add_argument(
+        "--no-cancellation", dest="cancellation", action="store_false",
+        help="disable cooperative cancellation (timeouts then only "
+             "abandon the response; the worker runs to completion)",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, metavar="SEED",
+        help="inject deterministic serving-layer faults (slow client "
+             "reads, worker deaths, cancellation races) with this seed; "
+             "equivalent to RUMBLE_SERVER_CHAOS_SEED",
+    )
     return parser
 
 
 def serve_main(argv) -> int:
     arguments = build_serve_parser().parse_args(argv)
     import asyncio
+    import signal
 
     from repro.core.config import RumbleConfig
     from repro.server.http import serve
     from repro.server.service import QueryService
     from repro.spark import storage
+    from repro.spark.faults import FaultPlan
 
     for mount in arguments.mount:
         scheme, _, root = mount.partition("=")
@@ -194,6 +217,14 @@ def serve_main(argv) -> int:
                   file=sys.stderr)
             return 2
         storage.REGISTRY.mount(scheme, root)
+    fault_plan = None
+    if arguments.chaos_seed is not None:
+        fault_plan = FaultPlan(
+            seed=arguments.chaos_seed,
+            slow_client_rate=0.05,
+            worker_death_rate=0.05,
+            cancel_race_rate=0.05,
+        )
     try:
         session_config = RumbleConfig(
             materialization_cap=arguments.cap,
@@ -209,6 +240,10 @@ def serve_main(argv) -> int:
             parallelism=arguments.parallelism,
             session_config=session_config,
             result_cap=arguments.cap,
+            drain_timeout=arguments.drain_timeout,
+            cancellation=arguments.cancellation,
+            fault_plan=fault_plan,
+            event_log_dir=arguments.event_log,
         )
     except ValueError as error:
         print("error: {}".format(error), file=sys.stderr)
@@ -219,11 +254,22 @@ def serve_main(argv) -> int:
         print("listening on http://{}:{}".format(host, port), flush=True)
 
     try:
-        asyncio.run(serve(
-            service, host=arguments.host, port=arguments.port, ready=ready
+        summary = asyncio.run(serve(
+            service, host=arguments.host, port=arguments.port, ready=ready,
+            drain_timeout=arguments.drain_timeout,
+            shutdown_signals=(signal.SIGTERM, signal.SIGINT),
         ))
     except KeyboardInterrupt:
-        pass
+        # Signal handlers could not be installed on this platform and
+        # Ctrl-C arrived the classic way: exit without a drain summary.
+        return 0
+    print(
+        "drained: {} completed, {} cancelled at the drain deadline".format(
+            summary.get("drained", 0),
+            summary.get("cancelled_at_deadline", 0),
+        ),
+        file=sys.stderr,
+    )
     return 0
 
 

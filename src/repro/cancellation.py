@@ -1,0 +1,124 @@
+"""Cooperative cancellation and deadline propagation.
+
+One :class:`CancelToken` is created per request (by the serving layer,
+or by any embedding caller) and installed on the engine for the query's
+duration.  The substrate checks it *cooperatively* at its natural
+boundaries — before every partition task attempt in the executor pool,
+between partitions of driver-side iteration, and every few tuples at
+FLWOR clause boundaries — so a timeout, an explicit cancel or an
+expired deadline stops the work within one boundary instead of letting
+the query run to completion in the background.
+
+Design constraints:
+
+* **No imports from the rest of the package.**  The token is consulted
+  from ``repro.spark`` and ``repro.jsoniq`` alike; keeping this module
+  dependency-free avoids the ``repro.core -> engine -> spark`` cycle.
+* **Thread-safe by construction.**  The waiter (an asyncio event loop)
+  cancels from one thread while the worker checks from another; the
+  token's state is a single attribute write observed under the GIL, so
+  no lock is needed on the hot path.
+* **Non-retryable failure.**  :class:`QueryCancelledError` carries
+  ``retryable = False`` so the executor pool's retry/speculation
+  machinery treats a cancelled attempt as a permanent outcome rather
+  than recomputing the partition (see ``spark/cluster.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Iterator, Optional
+
+
+class QueryCancelledError(RuntimeError):
+    """The query's token was cancelled or its deadline expired.
+
+    ``reason`` is a short machine-readable tag the serving layer maps to
+    an HTTP status: ``"timeout"``/``"deadline"`` become 408,
+    ``"cancelled"``/``"disconnected"`` become 499, ``"shutdown"``
+    becomes 503.
+    """
+
+    #: Never retried by the executor pool: re-running a cancelled task
+    #: would resurrect exactly the work cancellation is meant to stop.
+    retryable = False
+
+    def __init__(self, reason: str = "cancelled"):
+        super().__init__("query cancelled ({})".format(reason))
+        self.reason = reason
+
+
+class CancelToken:
+    """A cancel flag plus an optional monotonic deadline.
+
+    ``cancel()`` may be called from any thread, any number of times; the
+    first reason wins.  ``check()`` raises :class:`QueryCancelledError`
+    once the token is cancelled or past its deadline, and is cheap
+    enough for per-partition use (an attribute load, and a
+    ``time.monotonic()`` call only when a deadline is set).
+    """
+
+    __slots__ = ("deadline", "reason", "checks", "_cancelled")
+
+    def __init__(self, deadline: Optional[float] = None,
+                 timeout: Optional[float] = None):
+        if deadline is None and timeout is not None:
+            deadline = time.monotonic() + timeout
+        #: Absolute ``time.monotonic()`` instant, or None for no deadline.
+        self.deadline = deadline
+        self.reason: Optional[str] = None
+        #: How many cooperative checks ran (observability + tests).
+        self.checks = 0
+        self._cancelled = False
+
+    # -- State transitions ---------------------------------------------------
+    def cancel(self, reason: str = "cancelled") -> bool:
+        """Cancel the token; returns False if it already was."""
+        if self._cancelled:
+            return False
+        self.reason = reason
+        self._cancelled = True
+        return True
+
+    # -- Queries -------------------------------------------------------------
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() > self.deadline
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (may be negative), or None."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def is_set(self) -> bool:
+        """True when a check would raise (cancelled or past deadline)."""
+        return self._cancelled or self.expired()
+
+    def check(self) -> None:
+        """Raise :class:`QueryCancelledError` if cancelled or expired."""
+        self.checks += 1
+        if self._cancelled:
+            raise QueryCancelledError(self.reason or "cancelled")
+        if self.expired():
+            self.reason = self.reason or "deadline"
+            self._cancelled = True
+            raise QueryCancelledError(self.reason)
+
+    def guard(self, iterable: Iterable, stride: int = 64) -> Iterator:
+        """Re-yield ``iterable``, checking every ``stride`` elements.
+
+        The stride keeps the per-element cost to one increment and one
+        masked comparison; boundaries (FLWOR clauses, batch loops) wrap
+        their streams with this instead of open-coding the counter.
+        """
+        count = 0
+        for element in iterable:
+            count += 1
+            if count >= stride:
+                count = 0
+                self.check()
+            yield element

@@ -12,6 +12,7 @@ execution (local or on the Spark substrate), all behind one class::
 from __future__ import annotations
 
 import warnings
+from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.config import RumbleConfig
@@ -37,6 +38,11 @@ class RumbleRuntime:
         #: default is the shared disabled bundle, so per-row guards reduce
         #: to one attribute load and a falsy ``enabled`` check.
         self.obs = NOOP
+        #: The active request's :class:`repro.cancellation.CancelToken`
+        #: (None outside a request lifecycle).  Runtime iterators reach
+        #: it as ``context.runtime.cancel`` for their clause-boundary
+        #: checks; installed/restored by :meth:`Rumble.cancel_scope`.
+        self.cancel = None
         #: Memoized collection RDDs: nested FLWOR closures re-evaluate
         #: ``collection(...)`` per tuple, so the RDD (and its cached
         #: partitions) is built once per name — the broadcast-variable
@@ -65,12 +71,19 @@ class CompiledQuery:
         self.globals = globals_
 
     def run(self, bindings: Optional[Dict[str, object]] = None,
-            context: Optional[DynamicContext] = None) -> SequenceOfItems:
+            context: Optional[DynamicContext] = None,
+            cancel=None) -> SequenceOfItems:
         """Execute, optionally binding external variables to Python values.
 
         ``context`` lets callers (the plan cache) supply a root context
-        that already carries parameter-slot bindings.
+        that already carries parameter-slot bindings.  ``cancel``
+        installs a :class:`repro.cancellation.CancelToken` on the engine
+        for this query; because execution is lazy it stays installed
+        until replaced — callers that interleave queries should prefer
+        :meth:`Rumble.cancel_scope`.
         """
+        if cancel is not None:
+            self._engine.install_cancel(cancel)
         if context is None:
             context = self._engine.fresh_context()
         if bindings:
@@ -187,13 +200,49 @@ class Rumble:
         iterator, globals_ = compile_main_module(module)
         return CompiledQuery(self, module, iterator, globals_)
 
+    # -- Request lifecycle -----------------------------------------------------------
+    def install_cancel(self, token) -> None:
+        """Install ``token`` as the engine's active cancel token.
+
+        Three consumers read it: runtime iterators (FLWOR clause
+        boundaries, via ``context.runtime.cancel``), the executor pool
+        (partition-task boundaries) and driver-side RDD iteration.  One
+        engine runs one query at a time (the serving layer serializes
+        per session), so a single installed token is the whole protocol.
+        """
+        context = self.spark.spark_context
+        self.runtime.cancel = token
+        context.cancel = token
+        context.executors.cancel = token
+
+    @contextmanager
+    def cancel_scope(self, token):
+        """Install ``token`` for a ``with`` block, then restore.
+
+        The scope must cover *consumption* of the result, not just
+        :meth:`query` — execution is lazy, so the cooperative checks run
+        while the sequence is being collected.
+        """
+        context = self.spark.spark_context
+        previous = (
+            self.runtime.cancel, context.cancel, context.executors.cancel
+        )
+        self.install_cancel(token)
+        try:
+            yield token
+        finally:
+            (self.runtime.cancel, context.cancel,
+             context.executors.cancel) = previous
+
     # -- One-shot execution ----------------------------------------------------------
     def query(self, query_text: str,
-              bindings: Optional[Dict[str, object]] = None
-              ) -> SequenceOfItems:
+              bindings: Optional[Dict[str, object]] = None,
+              cancel=None) -> SequenceOfItems:
         # External bindings are host values outside the cache key: a
         # bound query always bypasses the result cache (the *plan* cache
         # still applies — binding names are part of its key).
+        if cancel is not None:
+            self.install_cancel(cancel)
         cache_results = self.result_cache is not None and not bindings
         if cache_results:
             cached = self.result_cache.lookup(self, query_text)

@@ -32,6 +32,19 @@ def _obs_of(context: DynamicContext):
     return obs
 
 
+def _cancel_of(context: DynamicContext):
+    """The active request's cancel token, or None (library use).
+
+    Same guard shape as :func:`_obs_of`: the un-cancellable path pays
+    two attribute loads, so boundary checks stay free when no request
+    lifecycle is attached.
+    """
+    runtime = context.runtime
+    if runtime is None:
+        return None
+    return getattr(runtime, "cancel", None)
+
+
 class RuntimeIterator:
     """An executable expression returning a sequence of items."""
 
@@ -202,8 +215,14 @@ class RuntimeIterator:
             runtime = context.runtime
             config = getattr(runtime, "config", None) if runtime else None
             batch_size = getattr(config, "batch_size", 256) or 256
+        cancel = _cancel_of(context)
         iterator = self.iterate(context)
         while True:
+            if cancel is not None:
+                # Driver-side consumption boundary: one check per batch
+                # covers expressions that never cross a clause or
+                # partition boundary (pure local pipelines).
+                cancel.check()
             batch = list(islice(iterator, batch_size))
             if not batch:
                 return

@@ -23,7 +23,7 @@ from repro.items import (
     ordering_tuple,
 )
 from repro.jsoniq.errors import TypeException
-from repro.jsoniq.runtime.base import RuntimeIterator, _obs_of
+from repro.jsoniq.runtime.base import RuntimeIterator, _cancel_of, _obs_of
 from repro.jsoniq.runtime.dynamic_context import DynamicContext
 from repro.jsoniq.runtime.flwor.tuples import CountedSequence, FlworTuple
 from repro.spark.column import col, explode, row_udf
@@ -66,6 +66,12 @@ class ClauseIterator:
             return
         stream = self.input_clause.tuple_stream(context)
         obs = _obs_of(context)
+        cancel = _cancel_of(context)
+        if cancel is not None:
+            # The FLWOR clause-boundary check: every clause funnels its
+            # input tuples through here, so a cancelled request stops
+            # within one stride of tuples at the innermost active clause.
+            stream = cancel.guard(stream)
         if obs is None:
             yield from stream
             return
@@ -1079,7 +1085,14 @@ class ReturnClauseIterator(RuntimeIterator):
             obs.metrics.counter(
                 "rumble.execution.switches", via="flwor-local"
             ).inc()
-        for tuple_ in self.input_clause.tuple_stream(context):
+        stream = self.input_clause.tuple_stream(context)
+        cancel = _cancel_of(context)
+        if cancel is not None:
+            # The return clause is the last boundary a tuple crosses;
+            # guarding it covers single-clause FLWORs whose input never
+            # transits another clause's _input_tuples.
+            stream = cancel.guard(stream)
+        for tuple_ in stream:
             yield from _evaluate_in_tuple(self.expression, tuple_, context)
 
     def is_rdd(self, context: DynamicContext) -> bool:

@@ -9,7 +9,9 @@ make repeated traffic cheap — the normalized-AST
 :class:`~repro.server.result_cache.ResultCache`.
 """
 
+from repro.cancellation import CancelToken, QueryCancelledError
 from repro.server.admission import AdmissionController, QueryRejected
+from repro.server.breaker import CircuitBreaker
 from repro.server.http import RumbleServer
 from repro.server.plan_cache import PlanCache
 from repro.server.result_cache import ResultCache
@@ -18,6 +20,9 @@ from repro.server.session import Session
 
 __all__ = [
     "AdmissionController",
+    "CancelToken",
+    "CircuitBreaker",
+    "QueryCancelledError",
     "QueryRejected",
     "PlanCache",
     "ResultCache",

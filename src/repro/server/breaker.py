@@ -1,0 +1,110 @@
+"""A per-tenant circuit breaker for the query service.
+
+A tenant whose queries keep timing out or crashing the engine is most
+likely re-submitting the same poisonous workload; letting it keep
+occupying admission slots starves well-behaved tenants.  The breaker
+watches *infrastructure* outcomes only — timeouts (408) and internal
+errors (500).  Query-level errors (400: parse, type, undefined
+variable) never trip it: a user debugging a query is not an outage.
+
+States per tenant (the classic three):
+
+* **closed** — normal operation; consecutive failures are counted and
+  any success resets the count.
+* **open** — after ``threshold`` consecutive failures.  Requests are
+  rejected up front with 503 + ``Retry-After`` (the remaining cooldown)
+  without consuming an admission slot.
+* **half-open** — once the cooldown elapses, exactly one probe query is
+  let through; success closes the circuit, failure re-opens it for a
+  full cooldown.
+
+The clock is injectable so tests drive state transitions without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+
+class _TenantCircuit:
+    __slots__ = ("failures", "opened_at", "state", "trips")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self.state = "closed"
+        self.trips = 0
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker, one circuit per tenant."""
+
+    def __init__(self, threshold: int = 5, cooldown: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self._circuits: Dict[str, _TenantCircuit] = {}
+
+    def _circuit(self, tenant: str) -> _TenantCircuit:
+        circuit = self._circuits.get(tenant)
+        if circuit is None:
+            circuit = self._circuits[tenant] = _TenantCircuit()
+        return circuit
+
+    # -- The two entry points the service calls ------------------------------
+    def check(self, tenant: str) -> Optional[float]:
+        """None when the request may proceed, else the seconds the
+        client should wait before retrying (the ``Retry-After`` value).
+
+        Transitions open -> half-open as a side effect when the cooldown
+        has elapsed; the caller's request becomes the probe.
+        """
+        circuit = self._circuits.get(tenant)
+        if circuit is None or circuit.state == "closed":
+            return None
+        if circuit.state == "half-open":
+            # One probe at a time: further requests keep waiting.
+            return self.cooldown
+        elapsed = self.clock() - (circuit.opened_at or 0.0)
+        if elapsed >= self.cooldown:
+            circuit.state = "half-open"
+            return None
+        return max(0.1, self.cooldown - elapsed)
+
+    def record(self, tenant: str, ok: bool) -> None:
+        """Record one infrastructure outcome for ``tenant``."""
+        circuit = self._circuit(tenant)
+        if ok:
+            circuit.failures = 0
+            if circuit.state != "closed":
+                circuit.state = "closed"
+                circuit.opened_at = None
+            return
+        circuit.failures += 1
+        if circuit.state == "half-open" or (
+            circuit.state == "closed"
+            and circuit.failures >= self.threshold
+        ):
+            circuit.state = "open"
+            circuit.opened_at = self.clock()
+            circuit.trips += 1
+
+    # -- Introspection -------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            tenant: {
+                "state": circuit.state,
+                "consecutive_failures": circuit.failures,
+                "trips": circuit.trips,
+            }
+            for tenant, circuit in sorted(self._circuits.items())
+            if circuit.state != "closed" or circuit.trips
+            or circuit.failures
+        }

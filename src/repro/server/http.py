@@ -3,26 +3,42 @@
 Endpoints (JSON in, JSON out):
 
 * ``POST /query`` — body ``{"query": "...", "tenant": "...",
-  "bindings": {...}, "timeout": seconds}``; only ``query`` is required
-  (tenant defaults to ``"default"``).  The response status mirrors the
-  payload's ``status`` field (200/400/408/429/500).
-* ``GET /status`` — uptime, admission-controller state, per-session
-  counters and cache statistics.
+  "bindings": {...}, "timeout": seconds, "query_id": "..."}``; only
+  ``query`` is required (tenant defaults to ``"default"``).  The
+  response status mirrors the payload's ``status`` field
+  (200/400/408/429/499/500/503).  Supplying a ``query_id`` makes the
+  query addressable by ``POST /cancel``; a client that disconnects
+  mid-query gets it cancelled automatically.
+* ``POST /cancel`` — body ``{"query_id": "..."}``; cancels the matching
+  in-flight query (its ``/query`` response becomes 499).
+* ``GET /status`` — uptime, admission-controller state, lifecycle
+  state (drain/breaker/pressure), per-session counters and cache
+  statistics.
 * ``GET /metrics`` — the server-wide metrics snapshot plus each
   tenant's isolated registry.
+
+Error responses that invite a retry (429, 503) carry a ``Retry-After``
+header mirroring the payload's ``error.retry_after`` seconds, and every
+error payload carries ``error.retryable``.
+
+Malformed input — an unparseable request line, a non-numeric or
+negative ``Content-Length``, an oversized header block, a truncated
+body — yields a clean 400 (and closes the connection, since framing is
+lost) instead of a dropped connection or an unhandled exception.
 
 The implementation is deliberately minimal — request line, headers,
 ``Content-Length``-framed bodies, keep-alive — because the container
 offers no HTTP framework and the engine's value is elsewhere; it is the
-serving shape (long-lived process, concurrent clients, load shedding)
-that matters, not HTTP feature coverage.
+serving shape (long-lived process, concurrent clients, load shedding,
+lifecycle robustness) that matters, not HTTP feature coverage.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-from typing import Optional, Tuple
+import signal as signal_module
+from typing import Iterable, Optional, Tuple
 
 from repro.server.service import QueryService
 
@@ -38,24 +54,105 @@ _REASONS = {
     408: "Request Timeout",
     413: "Payload Too Large",
     429: "Too Many Requests",
+    499: "Client Closed Request",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Marker paths produced by the request reader for protocol-level
+#: failures; handled in ``_dispatch`` so they share the JSON error
+#: shape.  All of them force the connection closed (framing is lost).
+_BAD_REQUEST_MARKERS = {
+    "/__malformed__": "unparseable request line",
+    "/__overflow__": "header block exceeds {} bytes".format(
+        MAX_HEADER_BYTES
+    ),
+    "/__bad_length__": "Content-Length is not a non-negative integer",
+    "/__truncated__": "connection closed before the full body arrived",
 }
 
 
-def _response_bytes(status: int, payload: dict,
-                    keep_alive: bool) -> bytes:
+def _response_bytes(status: int, payload: dict, keep_alive: bool) -> bytes:
     body = json.dumps(payload).encode("utf-8")
-    head = (
-        "HTTP/1.1 {} {}\r\n"
-        "Content-Type: application/json\r\n"
-        "Content-Length: {}\r\n"
-        "Connection: {}\r\n"
-        "\r\n"
-    ).format(
-        status, _REASONS.get(status, "Unknown"), len(body),
-        "keep-alive" if keep_alive else "close",
-    )
+    lines = [
+        "HTTP/1.1 {} {}".format(status, _REASONS.get(status, "Unknown")),
+        "Content-Type: application/json",
+        "Content-Length: {}".format(len(body)),
+        "Connection: {}".format("keep-alive" if keep_alive else "close"),
+    ]
+    retry_after = None
+    if status in (429, 503) and isinstance(payload.get("error"), dict):
+        retry_after = payload["error"].get("retry_after")
+    if status in (429, 503):
+        # Mirror retryability in the header clients actually obey.
+        lines.append("Retry-After: {}".format(
+            max(1, round(retry_after)) if retry_after else 1
+        ))
+    head = "\r\n".join(lines) + "\r\n\r\n"
     return head.encode("ascii") + body
+
+
+class _BufferedReader:
+    """Framing reader with push-back over an ``asyncio.StreamReader``.
+
+    Owning the buffer (instead of using ``readuntil``) buys two things:
+    oversized header blocks become a detectable condition rather than a
+    ``LimitOverrunError`` that poisons the stream, and the disconnect
+    watcher can speculatively read one chunk and push it back when it
+    turns out to be the next pipelined request rather than EOF.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader):
+        self._reader = reader
+        self._buffer = bytearray()
+
+    def push(self, data: bytes) -> None:
+        self._buffer[:0] = data
+
+    async def read_head(self, limit: int):
+        """Read through the header terminator.
+
+        Returns ``(head_bytes, status)`` where status is ``"ok"``,
+        ``"overflow"`` (no terminator within ``limit``) or ``"eof"``
+        (connection ended first; ``head_bytes`` holds any partial data).
+        """
+        terminator = b"\r\n\r\n"
+        while True:
+            index = self._buffer.find(terminator)
+            if index >= 0:
+                end = index + len(terminator)
+                if end > limit:
+                    return b"", "overflow"
+                head = bytes(self._buffer[:end])
+                del self._buffer[:end]
+                return head, "ok"
+            if len(self._buffer) > limit:
+                return b"", "overflow"
+            chunk = await self._reader.read(65536)
+            if not chunk:
+                return bytes(self._buffer), "eof"
+            self._buffer.extend(chunk)
+
+    async def read_exactly(self, count: int) -> bytes:
+        while len(self._buffer) < count:
+            chunk = await self._reader.read(65536)
+            if not chunk:
+                raise asyncio.IncompleteReadError(
+                    bytes(self._buffer), count
+                )
+            self._buffer.extend(chunk)
+        body = bytes(self._buffer[:count])
+        del self._buffer[:count]
+        return body
+
+    async def read_any(self) -> bytes:
+        """The disconnect watcher's read: buffered bytes if any, else
+        one chunk from the socket (``b""`` means the client left)."""
+        if self._buffer:
+            data = bytes(self._buffer)
+            self._buffer.clear()
+            return data
+        return await self._reader.read(65536)
 
 
 class RumbleServer:
@@ -67,6 +164,7 @@ class RumbleServer:
         self.host = host
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
+        self._connection_index = 0
 
     async def start(self) -> Tuple[str, int]:
         """Bind and start serving; returns the bound (host, port)."""
@@ -82,25 +180,48 @@ class RumbleServer:
         async with self._server:
             await self._server.serve_forever()
 
-    async def close(self) -> None:
+    async def close(self, drain_timeout: Optional[float] = None) -> dict:
+        """Stop accepting connections, then drain the service."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        await self.service.close()
+        return await self.service.close(drain_timeout)
 
     # -- Connection handling -------------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        buffered = _BufferedReader(reader)
+        self._connection_index += 1
+        connection = self._connection_index
+        request_number = 0
         try:
             while True:
-                request = await self._read_request(reader)
+                request = await self._read_request(buffered)
                 if request is None:
                     break
                 method, path, headers, body = request
+                request_number += 1
                 keep_alive = headers.get(
                     "connection", "keep-alive"
                 ).lower() != "close"
-                status, payload = await self._dispatch(method, path, body)
+                plan = self.service.fault_plan
+                if plan is not None and path == "/query":
+                    index = self.service.next_request_index()
+                    if plan.server_fault("slow_client_read", index):
+                        # A client trickling its body: the handler stays
+                        # parked here while other connections progress.
+                        await asyncio.sleep(0.02)
+                    if plan.server_fault("client_disconnect", index):
+                        # The client vanished mid-request: no response
+                        # can be written; drop the connection the way
+                        # the kernel would surface it.
+                        break
+                status, payload = await self._dispatch(
+                    method, path, body, buffered,
+                    "conn{}-{}".format(connection, request_number),
+                )
+                if status is None:
+                    break  # client disconnected while the query ran
                 writer.write(_response_bytes(status, payload, keep_alive))
                 await writer.drain()
                 if not keep_alive:
@@ -112,39 +233,58 @@ class RumbleServer:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
-    async def _read_request(self, reader: asyncio.StreamReader):
-        """(method, path, headers, body) or None at clean connection end."""
-        try:
-            head = await reader.readuntil(b"\r\n\r\n")
-        except asyncio.IncompleteReadError as partial:
-            if not partial.partial:
+    async def _read_request(self, buffered: _BufferedReader):
+        """(method, path, headers, body) or None at clean connection end.
+
+        Protocol-level failures return a marker path (see
+        ``_BAD_REQUEST_MARKERS``) with ``Connection: close`` forced, so
+        the client gets a clean 400/413 before the connection drops.
+        """
+        head, state = await buffered.read_head(MAX_HEADER_BYTES)
+        if state == "overflow":
+            return "GET", "/__overflow__", {"connection": "close"}, b""
+        if state == "eof":
+            if not head:
                 return None
-            raise
-        except asyncio.LimitOverrunError:
-            raise asyncio.IncompleteReadError(b"", None)
-        if len(head) > MAX_HEADER_BYTES:
-            return "GET", "/__overflow__", {}, b""
+            # Bytes arrived but the header block never completed.
+            return "GET", "/__malformed__", {"connection": "close"}, b""
         lines = head.decode("latin-1").split("\r\n")
         parts = lines[0].split(" ")
         if len(parts) < 2:
-            return "GET", "/__malformed__", {}, b""
+            return "GET", "/__malformed__", {"connection": "close"}, b""
         method, path = parts[0].upper(), parts[1]
         headers = {}
         for line in lines[1:]:
             if ":" in line:
                 name, _, value = line.partition(":")
                 headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", 0) or 0)
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+            if length < 0:
+                raise ValueError(raw_length)
+        except ValueError:
+            headers["connection"] = "close"
+            return method, "/__bad_length__", headers, b""
         if length > MAX_BODY_BYTES:
+            headers["connection"] = "close"
             return method, "/__too_large__", headers, b""
-        body = await reader.readexactly(length) if length else b""
+        if length:
+            try:
+                body = await buffered.read_exactly(length)
+            except asyncio.IncompleteReadError:
+                headers["connection"] = "close"
+                return method, "/__truncated__", headers, b""
+        else:
+            body = b""
         return method, path, headers, body
 
-    async def _dispatch(self, method: str, path: str,
-                        body: bytes) -> Tuple[int, dict]:
+    async def _dispatch(self, method: str, path: str, body: bytes,
+                        buffered: Optional[_BufferedReader] = None,
+                        internal_id: Optional[str] = None):
         path = path.split("?", 1)[0]
         if path == "/__too_large__":
             return 413, {"status": 413, "error": {
@@ -152,39 +292,80 @@ class RumbleServer:
                 "message": "request body exceeds {} bytes".format(
                     MAX_BODY_BYTES
                 ),
+                "retryable": False,
             }}
-        if path in ("/__malformed__", "/__overflow__"):
+        if path in _BAD_REQUEST_MARKERS:
             return 400, {"status": 400, "error": {
-                "code": "malformed", "message": "unparseable request",
+                "code": "malformed",
+                "message": _BAD_REQUEST_MARKERS[path],
+                "retryable": False,
             }}
         if path == "/query":
             if method != "POST":
                 return 405, {"status": 405, "error": {
                     "code": "method", "message": "use POST /query",
+                    "retryable": False,
                 }}
-            return await self._handle_query(body)
+            return await self._handle_query(body, buffered, internal_id)
+        if path == "/cancel":
+            if method != "POST":
+                return 405, {"status": 405, "error": {
+                    "code": "method", "message": "use POST /cancel",
+                    "retryable": False,
+                }}
+            return self._handle_cancel(body)
         if path == "/status":
             if method != "GET":
                 return 405, {"status": 405, "error": {
                     "code": "method", "message": "use GET /status",
+                    "retryable": False,
                 }}
             return 200, self.service.status()
         if path == "/metrics":
             if method != "GET":
                 return 405, {"status": 405, "error": {
                     "code": "method", "message": "use GET /metrics",
+                    "retryable": False,
                 }}
             return 200, self.service.metrics_snapshot()
         return 404, {"status": 404, "error": {
             "code": "not_found", "message": "no such endpoint " + path,
+            "retryable": False,
         }}
 
-    async def _handle_query(self, body: bytes) -> Tuple[int, dict]:
+    def _handle_cancel(self, body: bytes):
+        try:
+            request = json.loads(body.decode("utf-8") or "{}")
+        except (ValueError, UnicodeDecodeError):
+            request = None
+        if not isinstance(request, dict) or not isinstance(
+            request.get("query_id"), str
+        ):
+            return 400, {"status": 400, "error": {
+                "code": "bad_request",
+                "message": 'body must be {"query_id": "..."}',
+                "retryable": False,
+            }}
+        query_id = request["query_id"]
+        cancelled = self.service.cancel(query_id)
+        if not cancelled:
+            return 404, {"status": 404, "error": {
+                "code": "unknown_query",
+                "message": "no in-flight query " + query_id,
+                "retryable": False,
+            }}
+        return 200, {"status": 200, "cancelled": True,
+                     "query_id": query_id}
+
+    async def _handle_query(self, body: bytes,
+                            buffered: Optional[_BufferedReader],
+                            internal_id: Optional[str]):
         try:
             request = json.loads(body.decode("utf-8") or "{}")
         except (ValueError, UnicodeDecodeError):
             return 400, {"status": 400, "error": {
                 "code": "bad_json", "message": "request body is not JSON",
+                "retryable": False,
             }}
         if not isinstance(request, dict) or not isinstance(
             request.get("query"), str
@@ -192,34 +373,123 @@ class RumbleServer:
             return 400, {"status": 400, "error": {
                 "code": "bad_request",
                 "message": 'body must be {"query": "...", ...}',
+                "retryable": False,
             }}
         tenant = request.get("tenant", "default")
         if not isinstance(tenant, str) or not tenant:
             return 400, {"status": 400, "error": {
                 "code": "bad_tenant", "message": "tenant must be a string",
+                "retryable": False,
             }}
         bindings = request.get("bindings")
         if bindings is not None and not isinstance(bindings, dict):
             return 400, {"status": 400, "error": {
                 "code": "bad_bindings",
                 "message": "bindings must be an object",
+                "retryable": False,
             }}
         timeout = request.get("timeout")
         if timeout is not None and not isinstance(timeout, (int, float)):
             return 400, {"status": 400, "error": {
                 "code": "bad_timeout", "message": "timeout must be a number",
+                "retryable": False,
             }}
-        payload = await self.service.execute(
-            tenant, request["query"], bindings=bindings, timeout=timeout
+        query_id = request.get("query_id")
+        if query_id is not None and not isinstance(query_id, str):
+            return 400, {"status": 400, "error": {
+                "code": "bad_query_id",
+                "message": "query_id must be a string",
+                "retryable": False,
+            }}
+        effective_id = query_id or internal_id
+        execute = self.service.execute(
+            tenant, request["query"], bindings=bindings,
+            timeout=timeout, query_id=effective_id,
         )
+        if buffered is None:
+            payload = await execute
+            return payload.get("status", 500), payload
+        # Run the query concurrently with a disconnect watcher: a client
+        # that goes away mid-query gets its work cancelled instead of
+        # burning a worker for nobody.
+        query_task = asyncio.ensure_future(execute)
+        watcher = asyncio.ensure_future(buffered.read_any())
+        await asyncio.wait(
+            {query_task, watcher}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if watcher.done():
+            try:
+                data = watcher.result()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                data = b""
+            if data:
+                # Pipelined bytes of the next request: give them back.
+                buffered.push(data)
+            else:
+                # EOF: the client disconnected.  Cancel the query (its
+                # 499 payload is unsendable) and drop the connection.
+                if effective_id is not None and not query_task.done():
+                    self.service.cancel(
+                        effective_id, reason="disconnected"
+                    )
+                try:
+                    await query_task
+                except Exception:
+                    pass
+                return None, None
+        else:
+            watcher.cancel()
+            try:
+                await watcher
+            except (asyncio.CancelledError, ConnectionResetError,
+                    BrokenPipeError, OSError):
+                pass
+        payload = await query_task
         return payload.get("status", 500), payload
 
 
 async def serve(service: QueryService, host: str = "127.0.0.1",
-                port: int = 8090, ready=None) -> None:
-    """Start a server and block forever (the CLI entry point's core)."""
+                port: int = 8090, ready=None,
+                drain_timeout: Optional[float] = None,
+                shutdown_signals: Iterable[int] = ()) -> dict:
+    """Start a server and block until a shutdown signal (the CLI core).
+
+    With no ``shutdown_signals`` this blocks forever (KeyboardInterrupt
+    propagates, preserving Ctrl-C behavior).  On a signal the server
+    stops accepting, drains in-flight queries against ``drain_timeout``
+    and returns the drain summary.
+    """
     server = RumbleServer(service, host=host, port=port)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed = []
+    # Handlers go in before the ready callback fires: a supervisor that
+    # sends SIGTERM the instant it sees the ready line must hit our
+    # drain path, not the default handler.
+    for signum in shutdown_signals:
+        try:
+            loop.add_signal_handler(signum, stop.set)
+            installed.append(signum)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            signal_module.signal(
+                signum, lambda *_args: loop.call_soon_threadsafe(stop.set)
+            )
+            installed.append(signum)
     bound_host, bound_port = await server.start()
     if ready is not None:
         ready(bound_host, bound_port)
-    await server.serve_forever()
+    forever = asyncio.ensure_future(server.serve_forever())
+    try:
+        await stop.wait()
+    finally:
+        forever.cancel()
+        try:
+            await forever
+        except (asyncio.CancelledError, Exception):
+            pass
+        for signum in installed:
+            try:
+                loop.remove_signal_handler(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+    return await server.close(drain_timeout)

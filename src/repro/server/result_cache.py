@@ -175,6 +175,18 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def clear(self) -> int:
+        """Drop every entry (memory-pressure eviction); returns how many.
+
+        Counted as evictions: the entries were valid, the server just
+        needed the memory back (see docs/robustness.md, degraded modes).
+        """
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.evictions += dropped
+        return dropped
+
     def stats(self) -> dict:
         return {
             "hits": self.hits,
@@ -255,7 +267,3 @@ class ResultCache:
                 self.evictions += 1
         self._count(engine, "misses")
         return self._wrap(engine, items)
-
-    def clear(self) -> None:
-        with self._lock:
-            self._entries.clear()

@@ -15,10 +15,13 @@ concurrently in the service's thread pool.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+from contextlib import nullcontext
 from typing import Dict, Optional
 
+from repro.cancellation import QueryCancelledError
 from repro.core.config import RumbleConfig
 from repro.core.engine import Rumble, make_engine
 from repro.obs import Observability
@@ -45,24 +48,38 @@ class Session:
         self._lock = threading.Lock()
         self.queries = 0
         self.errors = 0
+        self.cancelled = 0
         self.total_seconds = 0.0
         self.created_at = time.time()
 
     def query(self, query_text: str,
               bindings: Optional[Dict[str, object]] = None,
-              cap: Optional[int] = None) -> dict:
+              cap: Optional[int] = None,
+              cancel=None) -> dict:
         """Execute one query, returning a JSON-able payload.
 
         Runs in a worker thread of the service's pool; the lock keeps
         one session's engine single-writer (see module docstring).
+        ``cancel`` is the request's :class:`~repro.cancellation
+        .CancelToken`; the scope covers execution *and* collection
+        (results are lazy), so cooperative checks fire until the last
+        item is materialized.
         """
         started = time.perf_counter()
         with self._lock:
+            scope = (
+                self.engine.cancel_scope(cancel)
+                if cancel is not None else nullcontext()
+            )
             try:
-                result = self.engine.query(query_text, bindings=bindings)
-                items = [
-                    item.to_python() for item in result.collect(cap)
-                ]
+                with scope:
+                    result = self.engine.query(query_text, bindings=bindings)
+                    items = [
+                        item.to_python() for item in result.collect(cap)
+                    ]
+            except QueryCancelledError:
+                self.cancelled += 1
+                raise
             except Exception:
                 self.errors += 1
                 raise
@@ -83,11 +100,32 @@ class Session:
             stats["result_cache"] = self.engine.result_cache.stats()
         return stats
 
+    def evict_result_cache(self) -> int:
+        """Degraded-mode relief valve: drop cached answers, keep plans."""
+        cache = self.engine.result_cache
+        return cache.clear() if cache is not None else 0
+
+    def flush_events(self, directory: str) -> int:
+        """Write this session's event log as JSONL; returns the count.
+
+        Part of graceful shutdown: the events accumulated over the
+        session's lifetime (faults, recoveries, adaptive decisions)
+        must survive the process.
+        """
+        events = self.obs.events
+        count = len(events)
+        if count:
+            events.write(os.path.join(
+                directory, "events-{}.jsonl".format(self.tenant)
+            ))
+        return count
+
     def snapshot(self) -> dict:
         payload = {
             "tenant": self.tenant,
             "queries": self.queries,
             "errors": self.errors,
+            "cancelled": self.cancelled,
             "total_seconds": round(self.total_seconds, 6),
         }
         payload.update(self.cache_stats())

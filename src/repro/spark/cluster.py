@@ -131,6 +131,12 @@ class ExecutorPool:
         self.retry_backoff = retry_backoff
         self.stages: List[StageMetrics] = []
         self._next_stage_id = 0
+        #: The active :class:`repro.cancellation.CancelToken`, installed
+        #: per query by ``Rumble.cancel_scope``; None when no request
+        #: lifecycle is attached (library use).  Checked before every
+        #: task attempt, so a cancelled query stops scheduling new
+        #: partitions within one partition boundary.
+        self.cancel = None
         #: Event listeners (``listener.emit(event, **fields)``); empty by
         #: default, so the un-observed path pays one truthiness check.
         self.listeners: List[Any] = []
@@ -169,6 +175,9 @@ class ExecutorPool:
         call site (a stage launched while a task of this pool is running
         on the same thread is nested).
         """
+        token = self.cancel
+        if token is not None:
+            token.check()
         if nested is None:
             nested = getattr(self._task_depth, "value", 0) > 0
         stage = StageMetrics(
@@ -281,6 +290,12 @@ class ExecutorPool:
         plan = self.faults.plan
         last_error: Optional[BaseException] = None
         for attempt in range(1, self.max_retries + 2):
+            # The partition-boundary cancellation check: raised *between*
+            # attempts, outside the retry machinery, so a cancelled query
+            # neither starts new work nor counts as a task failure.
+            token = self.cancel
+            if token is not None:
+                token.check()
             metrics.attempts = attempt
             if attempt > 1 and self.retry_backoff > 0.0:
                 time.sleep(self.retry_backoff * (2 ** (attempt - 2)))
@@ -417,6 +432,12 @@ class ExecutorPool:
         partition, so both copies produce identical results and the
         winner's identity never changes the query's output.
         """
+        token = self.cancel
+        if token is not None and token.is_set():
+            # A cancelled query must not launch speculative copies: the
+            # original (already computed) result stands and the next
+            # partition boundary raises.
+            return result, elapsed
         self.faults.record(
             "speculative_launched", "SparkListenerSpeculativeTaskSubmitted",
             stage_id=stage.stage_id, partition=index, attempt=attempt,

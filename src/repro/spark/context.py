@@ -116,6 +116,10 @@ class SparkContext:
         #: The active observability bundle (None when not profiling);
         #: installed/removed by :meth:`repro.obs.Observability.attach`.
         self.obs = None
+        #: The active request's cancel token (None outside a request
+        #: lifecycle); installed by ``Rumble.cancel_scope`` alongside the
+        #: executor pool's copy, consulted by driver-side iteration.
+        self.cancel = None
         self._next_rdd_id = 0
         self._next_shuffle_id = 0
 

@@ -56,6 +56,19 @@ class ExecutorLostError(RuntimeError):
     retryable = True
 
 
+class InjectedWorkerDeath(RuntimeError):
+    """A chaos-harness-injected death of a serving worker thread.
+
+    Raised inside the query service's worker before the query starts;
+    the service reacts the way a real server reacts to a dead worker —
+    it resubmits the query on a fresh thread (once), so a seeded death
+    never changes the response.  Retryable by definition: the fault
+    models infrastructure, not the query.
+    """
+
+    retryable = True
+
+
 class ShuffleFetchFailure(RuntimeError):
     """Reading a shuffle bucket failed: a map output is gone.
 
@@ -126,6 +139,24 @@ def _site_rng(seed: int, *coordinates: int) -> random.Random:
     return random.Random(value)
 
 
+#: Serving-layer fault kinds -> the site-family coordinate mixed into
+#: :func:`_site_rng` (families 1-4 are the cluster/shuffle sites above).
+_SERVER_SITES = {
+    "slow_client_read": 5,
+    "client_disconnect": 6,
+    "worker_death": 7,
+    "cancel_race": 8,
+}
+
+#: Serving fault kind -> the rate attribute that drives it.
+_SERVER_RATES = {
+    "slow_client_read": "slow_client_rate",
+    "client_disconnect": "client_disconnect_rate",
+    "worker_death": "worker_death_rate",
+    "cancel_race": "cancel_race_rate",
+}
+
+
 class FaultPlan:
     """A deterministic schedule of infrastructure faults.
 
@@ -161,6 +192,11 @@ class FaultPlan:
         executor_deaths: Iterable[Tuple[int, int, int]] = (),
         fetch_failures: Optional[Dict[Tuple[int, int, int], int]] = None,
         slow_tasks: Optional[Dict[Tuple[int, int, int], float]] = None,
+        slow_client_rate: float = 0.0,
+        client_disconnect_rate: float = 0.0,
+        worker_death_rate: float = 0.0,
+        cancel_race_rate: float = 0.0,
+        server_faults: Optional[Dict[str, Iterable[int]]] = None,
     ):
         self.seed = seed
         self.crash_rate = crash_rate
@@ -179,6 +215,17 @@ class FaultPlan:
         self.slow_tasks: Dict[Tuple[int, int, int], float] = dict(
             slow_tasks or {}
         )
+        self.slow_client_rate = slow_client_rate
+        self.client_disconnect_rate = client_disconnect_rate
+        self.worker_death_rate = worker_death_rate
+        self.cancel_race_rate = cancel_race_rate
+        for kind in (server_faults or {}):
+            if kind not in _SERVER_SITES:
+                raise ValueError("unknown server fault kind: " + kind)
+        self.server_faults: Dict[str, Set[int]] = {
+            kind: set(indexes)
+            for kind, indexes in (server_faults or {}).items()
+        }
         self.injected: Dict[str, int] = {}
         self._lock = threading.Lock()
 
@@ -247,6 +294,33 @@ class FaultPlan:
                 self._count("fetch_failures")
                 return rng.randrange(num_map_partitions)
         return None
+
+    # -- Decision points consulted by the serving layer ----------------------
+    def server_fault(self, kind: str, request_index: int,
+                     attempt: int = 1) -> bool:
+        """Should serving fault ``kind`` hit request ``request_index``?
+
+        The site is ``(kind, request_index, attempt)`` and the decision
+        is a pure function of (seed, site), like every other fault —
+        with concurrent clients the *assignment* of indexes to clients
+        follows arrival order, but the multiset of decisions over
+        indexes ``1..N`` is interleaving-independent, so injected
+        counts and result identity still replay exactly under a seed.
+        Only first attempts are ever hit (rate-driven or explicit), so
+        one resubmission always recovers a worker death.
+        """
+        family = _SERVER_SITES[kind]
+        if attempt != 1:
+            return False
+        rate = getattr(self, _SERVER_RATES[kind])
+        hit = request_index in self.server_faults.get(kind, ()) or (
+            rate > 0.0
+            and _site_rng(self.seed, family, request_index, attempt).random()
+            < rate
+        )
+        if hit:
+            self._count(kind + "s")
+        return hit
 
     def reset_counts(self) -> None:
         with self._lock:

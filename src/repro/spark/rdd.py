@@ -697,6 +697,12 @@ class RDD:
             state.clear()
 
         child._memo_resets.append(reset_state)
+        # The shuffle state outlives no one: when the child RDD is
+        # garbage-collected — including mid-query, after a cancellation
+        # unwound the stack — its memoized buckets must release their
+        # memory accounting and any spill files.  ``reset_state`` is
+        # idempotent, so an explicit invalidation followed by GC is fine.
+        weakref.finalize(child, reset_state)
         return self._register_child(child)
 
     def _make_partitioner(self, num_partitions: Optional[int]):
@@ -945,6 +951,11 @@ class RDD:
         for split in range(self.num_partitions):
             if len(taken) >= count:
                 break
+            token = self.context.cancel
+            if token is not None:
+                # Driver-side incremental evaluation bypasses the
+                # executor pool: per-partition boundary check.
+                token.check()
             for record in self.compute_partition(split):
                 taken.append(record)
                 if len(taken) >= count:
@@ -1022,6 +1033,11 @@ class RDD:
 
     def to_local_iterator(self) -> Iterator[Any]:
         for split in range(self.num_partitions):
+            token = self.context.cancel
+            if token is not None:
+                # Driver-side iteration bypasses the executor pool, so
+                # it carries its own per-partition boundary check.
+                token.check()
             yield from self.compute_partition(split)
 
     toLocalIterator = to_local_iterator
