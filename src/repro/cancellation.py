@@ -15,9 +15,13 @@ Design constraints:
   from ``repro.spark`` and ``repro.jsoniq`` alike; keeping this module
   dependency-free avoids the ``repro.core -> engine -> spark`` cycle.
 * **Thread-safe by construction.**  The waiter (an asyncio event loop)
-  cancels from one thread while the worker checks from another; the
-  token's state is a single attribute write observed under the GIL, so
-  no lock is needed on the hot path.
+  cancels from one thread while the worker checks from another.  The
+  hot path — ``check()`` observing an already-set flag — stays
+  lock-free (a single attribute load under the GIL); only the
+  cancel *transition* takes a lock, so when two cancellers race (the
+  event-loop timeout against the drain loop, or ``/cancel`` against a
+  disconnect) exactly one wins, keeping the first-reason-wins contract
+  the 408/499/503 status mapping depends on.
 * **Non-retryable failure.**  :class:`QueryCancelledError` carries
   ``retryable = False`` so the executor pool's retry/speculation
   machinery treats a cancelled attempt as a permanent outcome rather
@@ -26,7 +30,9 @@ Design constraints:
 
 from __future__ import annotations
 
+import threading
 import time
+from itertools import islice
 from typing import Iterable, Iterator, Optional
 
 
@@ -58,7 +64,7 @@ class CancelToken:
     ``time.monotonic()`` call only when a deadline is set).
     """
 
-    __slots__ = ("deadline", "reason", "checks", "_cancelled")
+    __slots__ = ("deadline", "reason", "checks", "_cancelled", "_lock")
 
     def __init__(self, deadline: Optional[float] = None,
                  timeout: Optional[float] = None):
@@ -70,15 +76,22 @@ class CancelToken:
         #: How many cooperative checks ran (observability + tests).
         self.checks = 0
         self._cancelled = False
+        self._lock = threading.Lock()
 
     # -- State transitions ---------------------------------------------------
     def cancel(self, reason: str = "cancelled") -> bool:
-        """Cancel the token; returns False if it already was."""
-        if self._cancelled:
-            return False
-        self.reason = reason
-        self._cancelled = True
-        return True
+        """Cancel the token; returns False if it already was.
+
+        The transition is atomic: when two threads race (timeout vs.
+        drain, ``/cancel`` vs. disconnect), exactly one caller gets
+        True and its reason sticks.
+        """
+        with self._lock:
+            if self._cancelled:
+                return False
+            self.reason = reason
+            self._cancelled = True
+            return True
 
     # -- Queries -------------------------------------------------------------
     @property
@@ -104,21 +117,30 @@ class CancelToken:
         if self._cancelled:
             raise QueryCancelledError(self.reason or "cancelled")
         if self.expired():
-            self.reason = self.reason or "deadline"
-            self._cancelled = True
-            raise QueryCancelledError(self.reason)
+            # Latch through cancel() so an explicit cancel racing the
+            # deadline still yields one coherent reason.
+            self.cancel("deadline")
+            raise QueryCancelledError(self.reason or "deadline")
 
     def guard(self, iterable: Iterable, stride: int = 64) -> Iterator:
         """Re-yield ``iterable``, checking every ``stride`` elements.
 
-        The stride keeps the per-element cost to one increment and one
-        masked comparison; boundaries (FLWOR clauses, batch loops) wrap
-        their streams with this instead of open-coding the counter.
+        Elements are pulled in chunks of ``stride`` (``islice`` into a
+        list, then ``yield from``), so the steady-state per-element
+        cost is C-level generator delegation with *no* Python bytecode
+        — a guarded stream costs within noise of a bare one, which is
+        what lets every FLWOR clause afford a boundary check.  Streams
+        shorter than one stride (the common single-tuple clause input)
+        pay no check at all, exactly like the counter they replace.
+        The price is up to ``stride - 1`` elements of read-ahead from
+        the wrapped stream; cancellation latency stays one stride.
         """
-        count = 0
-        for element in iterable:
-            count += 1
-            if count >= stride:
-                count = 0
-                self.check()
-            yield element
+        iterator = iter(iterable)
+        while True:
+            chunk = list(islice(iterator, stride))
+            if len(chunk) < stride:
+                if chunk:
+                    yield from chunk
+                return
+            self.check()
+            yield from chunk

@@ -34,6 +34,14 @@ from repro.spark.types import StructField, StructType, infer_type
 class ClauseIterator:
     """Base of all clause iterators (returns tuple streams)."""
 
+    #: True when this clause can emit *more* tuples than it consumes
+    #: (``for``, ``window``).  Cancellation guards sit on the consumer
+    #: side of expanding producers only: a 1:1 clause (let/where/
+    #: order/count) re-yields tuples that already crossed a guarded
+    #: boundary upstream, so guarding it again would just re-check the
+    #: same tuples while taxing every clause hop with a generator.
+    expands = False
+
     def __init__(self, input_clause: Optional["ClauseIterator"]):
         self.input_clause = input_clause
 
@@ -67,10 +75,12 @@ class ClauseIterator:
         stream = self.input_clause.tuple_stream(context)
         obs = _obs_of(context)
         cancel = _cancel_of(context)
-        if cancel is not None:
-            # The FLWOR clause-boundary check: every clause funnels its
-            # input tuples through here, so a cancelled request stops
-            # within one stride of tuples at the innermost active clause.
+        if cancel is not None and self.input_clause.expands:
+            # The FLWOR clause-boundary check, placed where tuple
+            # counts can grow: any unbounded stream was emitted by an
+            # expanding clause, so guarding expanders' consumers (plus
+            # the return clause) stops a cancelled request within one
+            # stride of tuples without taxing 1:1 clause hops.
             stream = cancel.guard(stream)
         if obs is None:
             yield from stream
@@ -226,6 +236,8 @@ class ForClauseIterator(ClauseIterator):
     the source expression is an RDD); chained, it is an extended projection
     followed by ``EXPLODE``.
     """
+
+    expands = True
 
     #: Attached by :mod:`repro.jsoniq.runtime.flwor.pushdown` when this is
     #: the leading clause of a pushdown-eligible chain.
@@ -401,6 +413,8 @@ class WindowClauseIterator(ClauseIterator):
     to streaming platforms), so a FLWOR containing a window clause runs
     on the pull-based path.
     """
+
+    expands = True
 
     def __init__(
         self,

@@ -16,7 +16,13 @@ States per tenant (the classic three):
   without consuming an admission slot.
 * **half-open** — once the cooldown elapses, exactly one probe query is
   let through; success closes the circuit, failure re-opens it for a
-  full cooldown.
+  full cooldown.  A probe can also end *neutrally* — shed by admission
+  control (429), cancelled by the client (499), or refused by a
+  draining/degraded server (503): those outcomes say nothing about the
+  tenant's workload health, so the service calls :meth:`release` to
+  re-arm the probe slot and the next request probes again.  Without
+  that, a neutral probe would leave the circuit half-open forever and
+  lock the tenant out until restart.
 
 The clock is injectable so tests drive state transitions without
 sleeping.
@@ -29,11 +35,13 @@ from typing import Callable, Dict, Optional
 
 
 class _TenantCircuit:
-    __slots__ = ("failures", "opened_at", "state", "trips")
+    __slots__ = ("failures", "opened_at", "probing", "state", "trips")
 
     def __init__(self) -> None:
         self.failures = 0
         self.opened_at: Optional[float] = None
+        #: True while the half-open state's single probe is in flight.
+        self.probing = False
         self.state = "closed"
         self.trips = 0
 
@@ -70,17 +78,22 @@ class CircuitBreaker:
         if circuit is None or circuit.state == "closed":
             return None
         if circuit.state == "half-open":
-            # One probe at a time: further requests keep waiting.
-            return self.cooldown
+            if circuit.probing:
+                # One probe at a time: further requests keep waiting.
+                return self.cooldown
+            circuit.probing = True
+            return None
         elapsed = self.clock() - (circuit.opened_at or 0.0)
         if elapsed >= self.cooldown:
             circuit.state = "half-open"
+            circuit.probing = True
             return None
         return max(0.1, self.cooldown - elapsed)
 
     def record(self, tenant: str, ok: bool) -> None:
         """Record one infrastructure outcome for ``tenant``."""
         circuit = self._circuit(tenant)
+        circuit.probing = False
         if ok:
             circuit.failures = 0
             if circuit.state != "closed":
@@ -95,6 +108,19 @@ class CircuitBreaker:
             circuit.state = "open"
             circuit.opened_at = self.clock()
             circuit.trips += 1
+
+    def release(self, tenant: str) -> None:
+        """The request ended *neutrally* — shed (429), cancelled by the
+        client (499), or refused by a draining/degraded server (503).
+
+        A neutral outcome is no verdict on the tenant's workload, so it
+        neither closes nor re-opens the circuit; but if it consumed the
+        half-open probe slot, that slot must be re-armed or no verdict
+        can ever arrive and the tenant stays locked out forever.
+        """
+        circuit = self._circuits.get(tenant)
+        if circuit is not None:
+            circuit.probing = False
 
     # -- Introspection -------------------------------------------------------
     def snapshot(self) -> dict:

@@ -9,8 +9,11 @@ Endpoints (JSON in, JSON out):
   (200/400/408/429/499/500/503).  Supplying a ``query_id`` makes the
   query addressable by ``POST /cancel``; a client that disconnects
   mid-query gets it cancelled automatically.
-* ``POST /cancel`` — body ``{"query_id": "..."}``; cancels the matching
-  in-flight query (its ``/query`` response becomes 499).
+* ``POST /cancel`` — body ``{"query_id": "...", "tenant": "..."}``
+  (tenant defaults to ``"default"``, like ``/query``); cancels the
+  matching in-flight query (its ``/query`` response becomes 499).
+  Cancellation is tenant-scoped: a query can only be cancelled under
+  the tenant that submitted it, so no tenant can kill another's work.
 * ``GET /status`` — uptime, admission-controller state, lifecycle
   state (drain/breaker/pressure), per-session counters and cache
   statistics.
@@ -343,19 +346,30 @@ class RumbleServer:
         ):
             return 400, {"status": 400, "error": {
                 "code": "bad_request",
-                "message": 'body must be {"query_id": "..."}',
+                "message": 'body must be '
+                           '{"query_id": "...", "tenant": "..."}',
+                "retryable": False,
+            }}
+        tenant = request.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            return 400, {"status": 400, "error": {
+                "code": "bad_tenant", "message": "tenant must be a string",
                 "retryable": False,
             }}
         query_id = request["query_id"]
-        cancelled = self.service.cancel(query_id)
+        cancelled = self.service.cancel(query_id, tenant=tenant)
         if not cancelled:
+            # Another tenant's id looks exactly like an unknown one:
+            # the 404 leaks no cross-tenant information.
             return 404, {"status": 404, "error": {
                 "code": "unknown_query",
-                "message": "no in-flight query " + query_id,
+                "message": "no in-flight query {} for tenant {}".format(
+                    query_id, tenant
+                ),
                 "retryable": False,
             }}
         return 200, {"status": 200, "cancelled": True,
-                     "query_id": query_id}
+                     "query_id": query_id, "tenant": tenant}
 
     async def _handle_query(self, body: bytes,
                             buffered: Optional[_BufferedReader],
@@ -430,7 +444,8 @@ class RumbleServer:
                 # 499 payload is unsendable) and drop the connection.
                 if effective_id is not None and not query_task.done():
                     self.service.cancel(
-                        effective_id, reason="disconnected"
+                        effective_id, reason="disconnected",
+                        tenant=tenant,
                     )
                 try:
                     await query_task

@@ -58,7 +58,7 @@ import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.cancellation import CancelToken, QueryCancelledError
 from repro.core.config import RumbleConfig
@@ -159,8 +159,10 @@ class QueryService:
         # -- Request lifecycle state ------------------------------------------
         #: In-flight futures -> their cancel tokens (drain + shutdown).
         self._running: Dict[asyncio.Future, Optional[CancelToken]] = {}
-        #: Client-visible query ids -> tokens (``POST /cancel``).
-        self._inflight: Dict[str, CancelToken] = {}
+        #: ``(tenant, query_id)`` -> token (``POST /cancel``).  Keyed by
+        #: tenant so one tenant can never cancel another's query, and
+        #: duplicate ids within a tenant are rejected up front.
+        self._inflight: Dict[Tuple[str, str], CancelToken] = {}
         self._request_index = 0
         self._busy = 0
         self._busy_lock = threading.Lock()
@@ -254,9 +256,12 @@ class QueryService:
             ).inc(evicted)
 
     # -- Cancellation ---------------------------------------------------------
-    def cancel(self, query_id: str, reason: str = "cancelled") -> bool:
-        """Cancel the in-flight query registered as ``query_id``."""
-        token = self._inflight.get(query_id)
+    def cancel(self, query_id: str, reason: str = "cancelled",
+               tenant: str = "default") -> bool:
+        """Cancel ``tenant``'s in-flight query registered as
+        ``query_id``.  Cancellation is tenant-scoped: naming another
+        tenant's id is indistinguishable from an unknown id."""
+        token = self._inflight.get((tenant, query_id))
         if token is None:
             return False
         if token.cancel(reason):
@@ -292,6 +297,19 @@ class QueryService:
                 tenant, started, retryable=True,
                 retry_after=self.drain_timeout,
             )
+        inflight_key = (
+            (tenant, query_id)
+            if query_id is not None and self.cancellation else None
+        )
+        if inflight_key is not None and inflight_key in self._inflight:
+            # Rejected before the breaker check so no half-open probe
+            # slot is consumed by a request that never runs.
+            return self._error(
+                400, "duplicate_query_id",
+                "query id {!r} is already in flight for this "
+                "tenant".format(query_id),
+                tenant, started,
+            )
         wait = self.breaker.check(tenant)
         if wait is not None:
             self.metrics.counter(
@@ -309,6 +327,9 @@ class QueryService:
                 self.metrics.counter(
                     "rumble.server.degraded_rejected", tenant=tenant
                 ).inc()
+                # Shedding is no verdict on the tenant: re-arm the
+                # half-open probe slot if this request consumed it.
+                self.breaker.release(tenant)
                 return self._error(
                     503, "degraded",
                     "server under {} pressure; heavy queries are shed "
@@ -317,14 +338,15 @@ class QueryService:
                 )
         effective = timeout if timeout is not None else self.default_timeout
         token = CancelToken(timeout=effective) if self.cancellation else None
-        if query_id is not None and token is not None:
-            self._inflight[query_id] = token
+        if inflight_key is not None and token is not None:
+            self._inflight[inflight_key] = token
         try:
             async with self.admission.admit(tenant):
                 payload = await self._run_admitted(
                     tenant, query_text, bindings, token, effective
                 )
         except QueryRejected as rejection:
+            self.breaker.release(tenant)
             return self._error(
                 429, "rejected", str(rejection), tenant, started,
                 retryable=True, retry_after=1.0,
@@ -346,8 +368,8 @@ class QueryService:
                 ), tenant, started,
             )
         finally:
-            if query_id is not None:
-                self._inflight.pop(query_id, None)
+            if inflight_key is not None:
+                self._inflight.pop(inflight_key, None)
         if payload is None:
             # The per-query timeout elapsed; the worker was cancelled
             # cooperatively and unwinds on its own (freeing the slot's
@@ -454,6 +476,11 @@ class QueryService:
                 "query exceeded the {}s timeout".format(effective),
                 tenant, started,
             )
+        # A client-side cancel or a server drain is no verdict on the
+        # tenant's workload health: re-arm the breaker's half-open
+        # probe slot (if this request held it) without closing or
+        # re-opening the circuit.
+        self.breaker.release(tenant)
         if reason == "shutdown":
             return self._error(
                 503, "shutting_down",
@@ -541,9 +568,12 @@ class QueryService:
         2. Wait for in-flight queries up to the drain deadline.
         3. Cancel stragglers (their tokens raise at the next boundary)
            and give them a short grace period to unwind.
-        4. Flush event logs, then shut the worker pool down *with*
-           ``wait=True`` — safe now, because every worker either
-           finished or is unwinding a cancellation.
+        4. Flush event logs, then shut the worker pool down.  The join
+           runs off the event loop, and a worker that cannot be
+           stopped — ``cancellation=False``, or a long computation
+           between cooperative checkpoints — is *abandoned* rather
+           than waited for, so the drain deadline stays an upper
+           bound on ``close()`` instead of a suggestion.
         """
         async with self._close_lock:
             if self._closed:
@@ -576,11 +606,47 @@ class QueryService:
             if pending:
                 await asyncio.wait(pending, timeout=2.0)
             events = self.flush_event_logs()
-            self._pool.shutdown(wait=True, cancel_futures=True)
+            stuck = [f for f in self._running if not f.done()]
+            if stuck:
+                # These workers survived cancellation *and* the grace
+                # period (no tokens, or parked in a long compute):
+                # joining them would block the event loop indefinitely.
+                # Mark the pool shut down and abandon them.
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                abandoned = len(stuck)
+            else:
+                abandoned = await self._join_pool()
             self._closed = True
             self._drain_summary = {
                 "drained": self.admission.completed,
                 "cancelled_at_deadline": cancelled,
+                "abandoned_workers": abandoned,
                 "event_counts": events,
             }
             return dict(self._drain_summary)
+
+    async def _join_pool(self, grace: float = 2.0) -> int:
+        """Join the worker pool without blocking the event loop.
+
+        The blocking ``shutdown(wait=True)`` runs in a side thread;
+        if it has not finished within ``grace`` seconds (a worker
+        raced back into a long stretch between checkpoints), fall back
+        to ``wait=False`` and report the abandoned workers instead of
+        hanging the drain.
+        """
+        joined = threading.Event()
+
+        def join() -> None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            joined.set()
+
+        threading.Thread(
+            target=join, name="rumble-pool-join", daemon=True
+        ).start()
+        deadline = time.monotonic() + grace
+        while not joined.is_set():
+            if time.monotonic() >= deadline:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                return sum(1 for f in self._running if not f.done())
+            await asyncio.sleep(0.02)
+        return 0

@@ -26,6 +26,7 @@ import os
 import signal
 import subprocess
 import sys
+import threading
 import time
 
 import pytest
@@ -108,6 +109,31 @@ class TestCancelToken:
         assert token.checks == 2
         assert not token.is_set()
 
+    def test_concurrent_cancel_has_exactly_one_winner(self):
+        # The event-loop timeout racing the drain loop (or /cancel
+        # racing a disconnect) must produce one winner whose reason
+        # sticks — the 408/499/503 mapping depends on it.
+        for _ in range(30):
+            token = CancelToken()
+            barrier = threading.Barrier(2)
+            results = {}
+
+            def attempt(reason):
+                barrier.wait()
+                results[reason] = token.cancel(reason)
+
+            threads = [
+                threading.Thread(target=attempt, args=(reason,))
+                for reason in ("timeout", "disconnected")
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            winners = [r for r, won in results.items() if won]
+            assert len(winners) == 1
+            assert token.reason == winners[0]
+
 
 # -- CircuitBreaker (fake clock) ---------------------------------------------
 
@@ -171,6 +197,31 @@ class TestCircuitBreaker:
             breaker.record("a", False)
         assert breaker.check("a") is not None
         assert breaker.check("b") is None
+
+    def test_neutral_outcome_rearms_the_half_open_probe(self):
+        # A probe that ends without an infrastructure verdict (shed,
+        # cancelled, draining server) must give the slot back; before
+        # release() existed the circuit stayed half-open forever and
+        # the tenant was locked out until restart.
+        breaker, clock = self._breaker()
+        for _ in range(3):
+            breaker.record("a", False)
+        clock.now = 11.0
+        assert breaker.check("a") is None   # the probe goes through
+        assert breaker.check("a") == 10.0   # the slot is held
+        breaker.release("a")
+        assert breaker.check("a") is None   # the next request probes
+        breaker.record("a", True)
+        assert breaker.snapshot()["a"]["state"] == "closed"
+
+    def test_release_without_a_probe_is_a_no_op(self):
+        breaker, _ = self._breaker()
+        breaker.release("a")            # unknown tenant: fine
+        breaker.record("a", False)
+        breaker.release("a")            # closed circuit: no reset
+        breaker.record("a", False)
+        breaker.record("a", False)
+        assert breaker.check("a") is not None  # still opened at 3
 
 
 # -- FaultPlan serving sites --------------------------------------------------
@@ -366,10 +417,10 @@ class TestServiceLifecycle:
             task = asyncio.ensure_future(service.execute(
                 "a", SLOW_QUERY, timeout=30.0, query_id="q1"
             ))
-            while "q1" not in service._inflight:
+            while ("a", "q1") not in service._inflight:
                 await asyncio.sleep(0.01)
             await asyncio.sleep(0.05)
-            assert service.cancel("q1") is True
+            assert service.cancel("q1", tenant="a") is True
             payload = await task
             assert payload["status"] == 499
             assert payload["error"]["code"] == "cancelled"
@@ -382,6 +433,44 @@ class TestServiceLifecycle:
     def test_cancel_unknown_query_id(self):
         async def scenario(service):
             assert service.cancel("nope") is False
+        run_service(scenario)
+
+    def test_cancel_is_tenant_scoped(self):
+        async def scenario(service):
+            task = asyncio.ensure_future(service.execute(
+                "a", SLOW_QUERY, timeout=30.0, query_id="q1"
+            ))
+            while ("a", "q1") not in service._inflight:
+                await asyncio.sleep(0.01)
+            # Another tenant naming the id hits nothing: no tenant can
+            # kill another tenant's query.
+            assert service.cancel("q1", tenant="b") is False
+            assert service.cancel("q1", tenant="a") is True
+            payload = await task
+            assert payload["status"] == 499
+            await _drain_busy(service)
+        run_service(scenario)
+
+    def test_duplicate_query_id_is_rejected(self):
+        async def scenario(service):
+            task = asyncio.ensure_future(service.execute(
+                "a", SLOW_QUERY, timeout=30.0, query_id="dup"
+            ))
+            while ("a", "dup") not in service._inflight:
+                await asyncio.sleep(0.01)
+            # A second in-flight use of the id would make the first
+            # uncancellable; it is refused up front instead.
+            clash = await service.execute("a", "1 + 1", query_id="dup")
+            assert clash["status"] == 400
+            assert clash["error"]["code"] == "duplicate_query_id"
+            # A different tenant may reuse the id freely.
+            other = await service.execute("b", "1 + 1", query_id="dup")
+            assert other["status"] == 200
+            # The clash did not disturb the original registration.
+            assert service.cancel("dup", tenant="a") is True
+            payload = await task
+            assert payload["status"] == 499
+            await _drain_busy(service)
         run_service(scenario)
 
     def test_cancellation_disabled_keeps_legacy_timeout_shape(self):
@@ -436,6 +525,27 @@ class TestServiceLifecycle:
             assert payload["status"] in (499, 503)
         asyncio.run(scenario())
 
+    def test_close_is_bounded_with_a_stuck_worker(self):
+        # A worker parked in a long stretch between cooperative
+        # checkpoints (or running with cancellation disabled) cannot
+        # be joined; close() must abandon the pool at the grace
+        # deadline instead of blocking the event loop until the
+        # worker returns — the drain timeout is an upper bound, not a
+        # suggestion.
+        release = threading.Event()
+
+        async def scenario():
+            service = _service()
+            service._pool.submit(release.wait)
+            started = time.monotonic()
+            await service.close(drain_timeout=0.1)
+            assert time.monotonic() - started < 5.0
+
+        try:
+            asyncio.run(scenario())
+        finally:
+            release.set()
+
     def test_degraded_mode_sheds_heavy_queries(self):
         async def scenario(service):
             # Warm a result-cache entry, then force pressure on.
@@ -476,6 +586,32 @@ class TestServiceLifecycle:
             assert other["status"] == 200
             await _drain_busy(service)
         run_service(scenario, breaker_threshold=2, breaker_cooldown=60.0)
+
+    def test_neutral_probe_outcome_does_not_lock_the_tenant_out(self):
+        # The half-open probe ends in a client-side cancel (499): that
+        # is no verdict on the tenant's workload, so the probe slot
+        # must be re-armed.  Before the fix the circuit stayed
+        # half-open forever and every later request got 503.
+        async def scenario(service):
+            payload = await service.execute("a", SLOW_QUERY, timeout=0.1)
+            assert payload["status"] == 408  # trips at threshold 1
+            await _drain_busy(service)
+            await asyncio.sleep(0.35)  # the cooldown elapses
+            task = asyncio.ensure_future(service.execute(
+                "a", SLOW_QUERY, timeout=30.0, query_id="probe"
+            ))
+            while ("a", "probe") not in service._inflight:
+                await asyncio.sleep(0.01)
+            service.cancel("probe", tenant="a")
+            probe = await task
+            assert probe["status"] == 499
+            await _drain_busy(service)
+            # The next request becomes the new probe; its success
+            # closes the circuit instead of bouncing off a stuck
+            # half-open state.
+            payload = await service.execute("a", "1 + 1")
+            assert payload["status"] == 200
+        run_service(scenario, breaker_threshold=1, breaker_cooldown=0.3)
 
     def test_query_errors_do_not_trip_the_breaker(self):
         async def scenario(service):
@@ -563,16 +699,44 @@ class TestHttpLifecycle:
                 "query": SLOW_QUERY, "tenant": "a",
                 "query_id": "q-http", "timeout": 60,
             }))
-            while "q-http" not in service._inflight:
+            while ("a", "q-http") not in service._inflight:
                 await asyncio.sleep(0.01)
             await asyncio.sleep(0.05)
             status, _, payload = await _post(
-                host, port, "/cancel", {"query_id": "q-http"}
+                host, port, "/cancel",
+                {"query_id": "q-http", "tenant": "a"},
             )
             assert status == 200 and payload["cancelled"] is True
             status, _, payload = await query
             assert status == 499
             assert payload["error"]["code"] == "cancelled"
+            await _drain_busy(service)
+        run_server(scenario)
+
+    def test_cancel_is_tenant_scoped_over_http(self):
+        async def scenario(host, port, service):
+            query = asyncio.ensure_future(_post(host, port, "/query", {
+                "query": SLOW_QUERY, "tenant": "a",
+                "query_id": "q-scope", "timeout": 60,
+            }))
+            while ("a", "q-scope") not in service._inflight:
+                await asyncio.sleep(0.01)
+            # Another tenant naming the id gets the same 404 as an
+            # unknown id — no cross-tenant kill, no information leak.
+            status, _, payload = await _post(
+                host, port, "/cancel",
+                {"query_id": "q-scope", "tenant": "b"},
+            )
+            assert status == 404
+            assert payload["error"]["code"] == "unknown_query"
+            # The owner can still cancel it.
+            status, _, payload = await _post(
+                host, port, "/cancel",
+                {"query_id": "q-scope", "tenant": "a"},
+            )
+            assert status == 200 and payload["cancelled"] is True
+            status, _, payload = await query
+            assert status == 499
             await _drain_busy(service)
         run_server(scenario)
 
@@ -644,7 +808,7 @@ class TestHttpLifecycle:
             assert payload["error"]["retry_after"] == 1.0
             assert headers.get("retry-after") == "1"
             for i in range(2):
-                service.cancel("hog-{}".format(i))
+                service.cancel("hog-{}".format(i), tenant="a")
             for hog in hogs:
                 status, _, payload = await hog
                 assert status == 499
