@@ -117,6 +117,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --profile, also write the Spark-UI-style event log "
              "as JSON Lines to FILE",
     )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run under the concurrency sanitizer (lock-order analysis "
+             "+ lockset race detection; findings print to stderr; "
+             "equivalent to RUMBLE_SANITIZE=1)",
+    )
     return parser
 
 
@@ -196,6 +202,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
              "reads, worker deaths, cancellation races) with this seed; "
              "equivalent to RUMBLE_SERVER_CHAOS_SEED",
     )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run the server under the concurrency sanitizer; findings "
+             "print to stderr at shutdown (equivalent to "
+             "RUMBLE_SANITIZE=1)",
+    )
     return parser
 
 
@@ -210,6 +222,10 @@ def serve_main(argv) -> int:
     from repro.spark import storage
     from repro.spark.faults import FaultPlan
 
+    if arguments.sanitize:
+        from repro import sanitizer
+
+        sanitizer.enable()
     for mount in arguments.mount:
         scheme, _, root = mount.partition("=")
         if not root:
@@ -270,6 +286,7 @@ def serve_main(argv) -> int:
         ),
         file=sys.stderr,
     )
+    _report_sanitizer()
     return 0
 
 
@@ -285,6 +302,7 @@ def main(argv=None) -> int:
             parse_mode=arguments.parse_mode,
             adaptive=arguments.adaptive,
             memory_budget=arguments.memory_budget,
+            sanitize=arguments.sanitize,
         )
     except ValueError as error:
         print("error: {}".format(error), file=sys.stderr)
@@ -330,47 +348,54 @@ def main(argv=None) -> int:
         return _lint(query_text, arguments.format)
 
     try:
-        if arguments.profile:
-            report = engine.profile(query_text, cap=arguments.cap)
-            for item in report.items:
-                print(item.serialize())
-            print(report.render())
-            if arguments.profile_events:
-                from repro.obs import EventLog
-
-                log = EventLog()
-                log.events = list(report.events)
-                try:
-                    log.write(arguments.profile_events)
-                except OSError as error:
-                    print("cannot write --profile-events file: {}".format(
-                        error
-                    ), file=sys.stderr)
-                    return 1
-                print("wrote {} event(s) to {}".format(
-                    len(report.events), arguments.profile_events
-                ))
-            _report_chaos(engine, arguments)
-            return 0
-        result = engine.query(query_text)
-        if arguments.output:
-            files = result.write_json_lines(arguments.output)
-            print("wrote {} part file(s) to {}".format(
-                len(files), arguments.output
-            ))
-            _report_chaos(engine, arguments)
-            return 0
-        import warnings
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore")
-            for item in result.collect():
-                print(item.serialize())
-        _report_chaos(engine, arguments)
-        return 0
+        return _run(engine, query_text, arguments)
     except JsoniqException as error:
         print("error: {}".format(error), file=sys.stderr)
         return 1
+    finally:
+        _report_sanitizer()
+
+
+def _run(engine: Rumble, query_text: str, arguments) -> int:
+    """Execute (or profile) one query; shared exit path for main()."""
+    if arguments.profile:
+        report = engine.profile(query_text, cap=arguments.cap)
+        for item in report.items:
+            print(item.serialize())
+        print(report.render())
+        if arguments.profile_events:
+            from repro.obs import EventLog
+
+            log = EventLog()
+            log.events = list(report.events)
+            try:
+                log.write(arguments.profile_events)
+            except OSError as error:
+                print("cannot write --profile-events file: {}".format(
+                    error
+                ), file=sys.stderr)
+                return 1
+            print("wrote {} event(s) to {}".format(
+                len(report.events), arguments.profile_events
+            ))
+        _report_chaos(engine, arguments)
+        return 0
+    result = engine.query(query_text)
+    if arguments.output:
+        files = result.write_json_lines(arguments.output)
+        print("wrote {} part file(s) to {}".format(
+            len(files), arguments.output
+        ))
+        _report_chaos(engine, arguments)
+        return 0
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        for item in result.collect():
+            print(item.serialize())
+    _report_chaos(engine, arguments)
+    return 0
 
 
 def _lint(query_text: str, output_format: str) -> int:
@@ -389,6 +414,20 @@ def _lint(query_text: str, output_format: str) -> int:
     else:
         print("no issues found")
     return 1 if any(d.severity == ERROR for d in diagnostics) else 0
+
+
+def _report_sanitizer() -> None:
+    """Print any uncaptured sanitizer findings on stderr."""
+    from repro import sanitizer
+
+    if not sanitizer.enabled():
+        return
+    findings = sanitizer.drain_reports()
+    for report in findings:
+        print(report.render(), file=sys.stderr)
+    print(
+        "sanitizer: {} report(s)".format(len(findings)), file=sys.stderr
+    )
 
 
 def _report_chaos(engine: Rumble, arguments) -> None:

@@ -11,9 +11,11 @@ the query run to completion in the background.
 
 Design constraints:
 
-* **No imports from the rest of the package.**  The token is consulted
-  from ``repro.spark`` and ``repro.jsoniq`` alike; keeping this module
-  dependency-free avoids the ``repro.core -> engine -> spark`` cycle.
+* **No imports from the rest of the package** (except
+  ``repro.sanitizer``, which is itself dependency-free).  The token is
+  consulted from ``repro.spark`` and ``repro.jsoniq`` alike; keeping
+  this module free of engine imports avoids the
+  ``repro.core -> engine -> spark`` cycle.
 * **Thread-safe by construction.**  The waiter (an asyncio event loop)
   cancels from one thread while the worker checks from another.  The
   hot path — ``check()`` observing an already-set flag — stays
@@ -30,10 +32,11 @@ Design constraints:
 
 from __future__ import annotations
 
-import threading
 import time
 from itertools import islice
 from typing import Iterable, Iterator, Optional
+
+from repro.sanitizer import san_lock, shared_state
 
 
 class QueryCancelledError(RuntimeError):
@@ -54,6 +57,7 @@ class QueryCancelledError(RuntimeError):
         self.reason = reason
 
 
+@shared_state(allow=("checks",))
 class CancelToken:
     """A cancel flag plus an optional monotonic deadline.
 
@@ -76,7 +80,7 @@ class CancelToken:
         #: How many cooperative checks ran (observability + tests).
         self.checks = 0
         self._cancelled = False
-        self._lock = threading.Lock()
+        self._lock = san_lock("cancel.token")
 
     # -- State transitions ---------------------------------------------------
     def cancel(self, reason: str = "cancelled") -> bool:

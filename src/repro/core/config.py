@@ -53,6 +53,10 @@ class RumbleConfig:
     #: it.  Cached results are keyed on (plan, collection fingerprints)
     #: and invalidated through storage lineage (docs/serving.md).
     result_cache_size: int = 0
+    #: Turn the concurrency sanitizer on process-wide (lock-order
+    #: analysis + lockset race detection; docs/concurrency.md).  False
+    #: leaves it untouched — it may already be on via RUMBLE_SANITIZE.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         from repro.jsoniq.jsonlines import PARSE_MODES
@@ -71,3 +75,7 @@ class RumbleConfig:
             raise ValueError("plan_cache_size must be >= 0")
         if self.result_cache_size < 0:
             raise ValueError("result_cache_size must be >= 0")
+        if self.sanitize:
+            from repro import sanitizer
+
+            sanitizer.enable()

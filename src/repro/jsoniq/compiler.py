@@ -63,15 +63,30 @@ from repro.jsoniq.runtime.navigation import (
     PredicateIterator,
     SimpleMapIterator,
 )
+from repro.jsoniq.runtime.dynamic_context import DynamicContext
 from repro.jsoniq.runtime.primary import (
     ArrayConstructorIterator,
     CommaIterator,
     ContextItemIterator,
     EmptySequenceIterator,
+    FoldedConstantIterator,
     LiteralIterator,
     ObjectConstructorIterator,
     VariableIterator,
 )
+
+
+def _contains_parameter_slot(node: ast.AstNode) -> bool:
+    """Whether any literal under ``node`` was lifted into a plan-cache
+    parameter slot (its value changes per run — never foldable)."""
+    stack: List[ast.AstNode] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.Literal) \
+                and getattr(current, "parameter_slot", None) is not None:
+            return True
+        stack.extend(current.children())
+    return False
 
 
 class Compiler:
@@ -84,6 +99,7 @@ class Compiler:
         #: How often each type-driven rewrite fired; surfaced by the
         #: profiler as ``rumble.static.fastpath`` counters.
         self.stats: Dict[str, int] = {
+            "const_fold": 0,
             "count_fold": 0,
             "fast_arithmetic": 0,
             "fast_comparison": 0,
@@ -144,7 +160,48 @@ class Compiler:
             raise StaticException(
                 "no compilation rule for {}".format(type(node).__name__)
             )
-        return method(node)
+        iterator = method(node)
+        folded = self._maybe_fold(node, iterator)
+        return iterator if folded is None else folded
+
+    #: Operator nodes worth folding when constant: actual computations,
+    #: mirroring the linter's RBL003 scope (literal sequences and
+    #: ranges are data an author wrote down, not work to hoist).
+    _FOLDABLE = (
+        ast.BinaryExpression, ast.UnaryExpression,
+        ast.ComparisonExpression, ast.StringConcatExpression,
+    )
+
+    def _maybe_fold(self, node: ast.Expression,
+                    iterator: RuntimeIterator) -> Optional[RuntimeIterator]:
+        """RBL003 applied: evaluate a constant computation at compile
+        time and emit its single-item result as a constant.
+
+        Strictly conservative: only effect-free operator subtrees the
+        analyser proved constant, with a static arity of exactly one,
+        containing no plan-cache parameter slot (the slot's value
+        changes per run), and whose evaluation *succeeds* — a raising
+        subtree stays unfolded so runtime errors like ``1 div 0``
+        surface exactly where the author wrote them.
+        """
+        if not isinstance(node, self._FOLDABLE):
+            return None
+        if not getattr(node, "is_constant", False):
+            return None
+        static_type = getattr(node, "static_type", None)
+        if not isinstance(static_type, SType) \
+                or static_type.exact_count() != 1:
+            return None
+        if _contains_parameter_slot(node):
+            return None
+        try:
+            items = iterator.materialize_local(DynamicContext(), limit=2)
+        except Exception:
+            return None
+        if len(items) != 1:
+            return None
+        self.stats["const_fold"] += 1
+        return FoldedConstantIterator(items[0])
 
     def _compile_Literal(self, node: ast.Literal) -> RuntimeIterator:
         slot = getattr(node, "parameter_slot", None)

@@ -45,6 +45,24 @@ class LiteralIterator(RuntimeIterator):
         yield self.item
 
 
+class FoldedConstantIterator(RuntimeIterator):
+    """A constant computation evaluated once, at compile time.
+
+    The compiler applies the linter's RBL003 observation ("constant
+    subexpression could be computed once") to effect-free operator
+    subtrees whose static arity is exactly one and whose evaluation
+    succeeds; anything that raises stays unfolded so runtime errors
+    like ``1 div 0`` surface exactly where the author wrote them.
+    """
+
+    def __init__(self, item: Item):
+        super().__init__()
+        self.item = item
+
+    def _generate(self, context: DynamicContext) -> Iterator[Item]:
+        yield self.item
+
+
 class ParameterIterator(RuntimeIterator):
     """A literal lifted into a plan-cache parameter slot.
 

@@ -29,6 +29,7 @@ from repro.obs.events import (
     FAULT_INJECTED,
     MALFORMED_RECORD,
     MEMORY_EVICTION,
+    SANITIZER_REPORT,
     SHUFFLE_SPILL,
     SHUFFLE_COMPLETED,
     SHUFFLE_FETCH_FAILED,
@@ -52,6 +53,7 @@ from repro.obs.metrics import (
     render_name,
 )
 from repro.obs.profile import ProfileReport
+from repro import sanitizer
 from repro.obs.tracing import (
     NOOP_SPAN,
     NOOP_TRACER,
@@ -69,6 +71,11 @@ class Observability:
         self.tracer = Tracer() if enabled else NOOP_TRACER
         self.metrics = MetricsRegistry()
         self.events = EventLog()
+        if enabled and sanitizer.enabled():
+            # Mirror uncaptured sanitizer findings into this bundle as
+            # ``rumble.sanitizer.*`` counters and SanitizerReport
+            # events (weakly registered: bundles die with their scope).
+            sanitizer.add_observer(self)
 
     # -- Listener interface (executor pool, shuffle, SQL) --------------------
     def emit(self, event: str, **fields) -> None:
@@ -268,4 +275,5 @@ __all__ = [
     "ADAPTIVE_JOIN_REPLAN",
     "MEMORY_EVICTION",
     "SHUFFLE_SPILL",
+    "SANITIZER_REPORT",
 ]

@@ -12,8 +12,9 @@ log tests pin down.
 from __future__ import annotations
 
 import json
-import threading
 from typing import Dict, List, Optional
+
+from repro.sanitizer import san_lock, shared_state
 
 #: Event names, Spark's listener vocabulary.
 STAGE_SUBMITTED = "SparkListenerStageSubmitted"
@@ -47,7 +48,12 @@ ADAPTIVE_JOIN_REPLAN = "AdaptiveJoinReplanned"
 MEMORY_EVICTION = "BlockEvicted"
 SHUFFLE_SPILL = "ShuffleBucketSpilled"
 
+#: Concurrency-sanitizer vocabulary (mirrored from
+#: ``repro.sanitizer.reports`` for uncaptured findings).
+SANITIZER_REPORT = "SanitizerReport"
 
+
+@shared_state
 class EventLog:
     """An append-only, thread-safe list of event dicts.
 
@@ -57,7 +63,7 @@ class EventLog:
 
     def __init__(self):
         self.events: List[Dict[str, object]] = []
-        self._lock = threading.Lock()
+        self._lock = san_lock("obs.events")
         self._seq = 0
 
     def emit(self, event: str, **fields) -> Dict[str, object]:
@@ -75,9 +81,15 @@ class EventLog:
         return [e for e in self.events if e["event"] == event]
 
     # -- JSONL round trip ----------------------------------------------------
+    def snapshot(self) -> List[Dict[str, object]]:
+        """A point-in-time copy, taken under the lock: flushing while
+        workers are still appending must not tear the serialization."""
+        with self._lock:
+            return list(self.events)
+
     def to_jsonl(self) -> str:
         return "\n".join(
-            json.dumps(event, sort_keys=True) for event in self.events
+            json.dumps(event, sort_keys=True) for event in self.snapshot()
         )
 
     @staticmethod
@@ -89,9 +101,10 @@ class EventLog:
         return events
 
     def write(self, path: str) -> str:
+        text = self.to_jsonl()
         with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_jsonl())
-            if self.events:
+            handle.write(text)
+            if text:
                 handle.write("\n")
         return path
 

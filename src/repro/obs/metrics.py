@@ -16,8 +16,9 @@ never reaches the registry at all (call sites guard on
 
 from __future__ import annotations
 
-import threading
 from typing import Dict, List, Optional, Tuple
+
+from repro.sanitizer import san_lock, shared_state
 
 
 def _key(name: str, labels: Dict[str, object]) -> Tuple:
@@ -34,6 +35,7 @@ def render_name(name: str, labels: Dict[str, object]) -> str:
     return "{}{{{}}}".format(name, inner)
 
 
+@shared_state
 class Counter:
     """A monotonically increasing count.
 
@@ -48,7 +50,7 @@ class Counter:
         self.name = name
         self.labels = labels
         self.value = 0
-        self._lock = threading.Lock()
+        self._lock = san_lock("obs.metrics.instrument")
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
@@ -57,6 +59,7 @@ class Counter:
             self.value += amount
 
 
+@shared_state
 class Gauge:
     """A value that can go up and down (or hold a string, e.g. a mode)."""
 
@@ -66,16 +69,22 @@ class Gauge:
         self.name = name
         self.labels = labels
         self.value: object = None
-        self._lock = threading.Lock()
+        self._lock = san_lock("obs.metrics.instrument")
 
     def set(self, value: object) -> None:
-        self.value = value
+        # Locked like add(): a plain store is atomic under the GIL, but
+        # an unlocked set() racing add()'s read-modify-write can be
+        # overwritten by a stale sum — the first race the sanitizer's
+        # lockset tracker flagged in this file.
+        with self._lock:
+            self.value = value
 
     def add(self, amount: float) -> None:
         with self._lock:
             self.value = (self.value or 0) + amount
 
 
+@shared_state
 class Histogram:
     """A distribution of observed values (all samples kept: profiled runs
     observe thousands of values, not millions)."""
@@ -130,6 +139,7 @@ class Histogram:
         }
 
 
+@shared_state
 class MetricsRegistry:
     """Get-or-create registry of all instruments of one profiled run.
 
@@ -141,7 +151,7 @@ class MetricsRegistry:
         self._counters: Dict[Tuple, Counter] = {}
         self._gauges: Dict[Tuple, Gauge] = {}
         self._histograms: Dict[Tuple, Histogram] = {}
-        self._lock = threading.Lock()
+        self._lock = san_lock("obs.metrics.registry")
 
     # -- Instrument accessors ------------------------------------------------
     def counter(self, name: str, **labels) -> Counter:

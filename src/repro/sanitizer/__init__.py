@@ -1,0 +1,100 @@
+"""The concurrency sanitizer: runtime + static correctness tooling.
+
+Three layers (see ``docs/concurrency.md`` for the full contract):
+
+1. **Instrumented locks** (:mod:`repro.sanitizer.locks`) — every lock
+   site in the repository calls ``san_lock("<name>")`` instead of
+   ``threading.Lock()``.  Disabled, that returns a plain lock (zero
+   cost); enabled, a :class:`SanLock` that feeds a process-wide
+   lock-order graph with cycle detection (``potential-deadlock``) and
+   a documented-hierarchy check (``hierarchy-violation``).
+2. **Lockset race detection** (:mod:`repro.sanitizer.lockset`) —
+   classes annotated ``@shared_state`` get Eraser-style per-field
+   write tracking (``data-race`` when the candidate lockset empties).
+3. **Static self-lint** (:mod:`repro.sanitizer.lint`) — RSL rules over
+   the repository's own AST; ``python -m repro.sanitizer.lint src/``.
+
+Activation: ``RUMBLE_SANITIZE=1`` in the environment (covers locks
+created at import time), ``RumbleConfig(sanitize=True)``, or calling
+:func:`enable` directly.  All findings land in
+:mod:`repro.sanitizer.reports`; attach an observability instance with
+``add_observer`` to mirror them as ``rumble.sanitizer.*`` counters and
+``SanitizerReport`` events.
+"""
+
+from __future__ import annotations
+
+from repro.sanitizer import lockset as _lockset
+from repro.sanitizer import locks as _locks
+from repro.sanitizer import reports as _reports
+from repro.sanitizer.locks import (
+    SanCondition,
+    SanLock,
+    SanRLock,
+    san_condition,
+    san_lock,
+    san_rlock,
+)
+from repro.sanitizer.lockset import shared_state
+from repro.sanitizer.reports import (
+    Report,
+    add_observer,
+    capture,
+    drain_reports,
+    remove_observer,
+    reports,
+)
+from repro.sanitizer.state import STATE, env_wants_sanitize
+
+__all__ = [
+    "SanCondition", "SanLock", "SanRLock", "Report",
+    "san_condition", "san_lock", "san_rlock", "shared_state",
+    "add_observer", "remove_observer", "capture", "reports",
+    "drain_reports", "enable", "disable", "enabled", "reset",
+]
+
+
+def enabled() -> bool:
+    return STATE.active
+
+
+def enable() -> None:
+    """Turn the sanitizer on process-wide.
+
+    Locks constructed *after* this point are instrumented; already
+    registered ``@shared_state`` classes are instrumented immediately
+    (existing instances included, since the hook lives on the class).
+    """
+    if STATE.active:
+        return
+    STATE.active = True
+    for cls in _lockset.registry():
+        _lockset.instrument(cls)
+
+
+def disable() -> None:
+    """Turn the sanitizer off and drop its accumulated state.
+
+    Outstanding :class:`SanLock` instances keep working (their
+    analysis short-circuits on the flag); tracked classes get their
+    original ``__setattr__`` back.  Reports already recorded survive
+    until drained.
+    """
+    if not STATE.active:
+        return
+    STATE.active = False
+    for cls in _lockset.registry():
+        _lockset.deinstrument(cls)
+    _locks.reset()
+    _lockset.reset()
+
+
+def reset() -> None:
+    """Forget observed edges, locksets and reports (test isolation)."""
+    _locks.reset()
+    _lockset.reset()
+    _reports.reset()
+
+
+if env_wants_sanitize():
+    enable()

@@ -1,0 +1,397 @@
+"""The repository self-lint: RSL rules over our own Python AST.
+
+The PR 3 diagnostics engine (``repro.jsoniq.analysis.diagnostics``)
+gave queries a code/severity/position report format; this module points
+the same machinery back at the repository's *implementation*, encoding
+the concurrency conventions ``docs/concurrency.md`` documents:
+
+========  ========  =====================================================
+code      severity  meaning
+========  ========  =====================================================
+RSL001    error     attribute write on a ``@shared_state`` object outside
+                    any ``with <lock>:`` scope (skipped for classes
+                    marked ``async_confined=True`` — the static rule
+                    cannot see thread confinement; the runtime lockset
+                    tracker covers those)
+RSL002    error     ``<lock>.acquire()`` outside a ``with`` statement and
+                    without a matching ``.release()`` in an enclosing
+                    ``try``/``finally``
+RSL003    warning   blocking call (``time.sleep``, ``Future.result()``,
+                    ``<lock>.acquire()``) directly inside an
+                    ``async def`` — it would stall the event loop
+RSL004    error     lexically nested lock acquisitions contradicting the
+                    documented hierarchy (``repro.sanitizer.hierarchy``)
+========  ========  =====================================================
+
+Purely syntactic — nothing is imported or executed, so the lint runs on
+any tree of ``*.py`` files: ``python -m repro.sanitizer.lint src/``.
+Writes are tracked through ``self`` only and container mutation via
+method calls (``list.append``) is out of scope, matching the runtime
+tracker's write-only view.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import List, Optional, Set, Tuple
+
+from repro.jsoniq.analysis.diagnostics import (
+    ERROR,
+    WARNING,
+    Diagnostic,
+    DiagnosticSink,
+)
+from repro.sanitizer.hierarchy import RANK, SITE_ATTRS
+
+#: Lock-site attributes whose name alone identifies the hierarchy entry
+#: (``self._lock`` needs the enclosing class; ``service._busy_lock``
+#: does not, because exactly one class owns that attribute name).
+UNIQUE_ATTRS = {}
+for (_cls, _attr), _name in SITE_ATTRS.items():
+    UNIQUE_ATTRS[_attr] = None if _attr in UNIQUE_ATTRS else _name
+UNIQUE_ATTRS = {a: n for a, n in UNIQUE_ATTRS.items() if n is not None}
+
+
+def _is_lock_like(expr: ast.AST) -> bool:
+    """Heuristic: the expression names a mutex (``...lock...``)."""
+    if isinstance(expr, ast.Attribute):
+        return "lock" in expr.attr.lower()
+    if isinstance(expr, ast.Name):
+        return "lock" in expr.id.lower()
+    return False
+
+
+def _dotted(expr: ast.AST) -> Optional[str]:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        base = _dotted(expr.value)
+        return None if base is None else base + "." + expr.attr
+    return None
+
+
+class _SharedInfo:
+    __slots__ = ("shared", "allow", "confined")
+
+    def __init__(self, shared: bool, allow: Set[str], confined: bool):
+        self.shared = shared
+        self.allow = allow
+        self.confined = confined
+
+
+def _parse_shared_decorator(node: ast.ClassDef) -> _SharedInfo:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Attribute):
+            name = target.attr
+        elif isinstance(target, ast.Name):
+            name = target.id
+        else:
+            continue
+        if name != "shared_state":
+            continue
+        allow: Set[str] = set()
+        confined = False
+        if isinstance(dec, ast.Call):
+            for kw in dec.keywords:
+                if kw.arg == "allow" and isinstance(
+                        kw.value, (ast.Tuple, ast.List, ast.Set)):
+                    for elt in kw.value.elts:
+                        if isinstance(elt, ast.Constant) and isinstance(
+                                elt.value, str):
+                            allow.add(elt.value)
+                elif kw.arg == "async_confined" and isinstance(
+                        kw.value, ast.Constant):
+                    confined = bool(kw.value.value)
+        return _SharedInfo(True, allow, confined)
+    return _SharedInfo(False, set(), False)
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, sink: DiagnosticSink):
+        self.sink = sink
+        self.report = lambda code, severity, message, node: sink.report(
+            code, severity, message,
+            line=getattr(node, "lineno", 0),
+            column=getattr(node, "col_offset", 0),
+        )
+        self.class_stack: List[Tuple[str, _SharedInfo]] = []
+        self.func_stack: List[Tuple[str, bool]] = []
+        # Per-function lexical context (saved/restored across nested
+        # defs: a ``with`` in the enclosing function does not protect
+        # code that runs later inside a nested one).
+        self.with_locks: List[Tuple[bool, Optional[str]]] = []
+        self.if_stack: List[ast.If] = []
+        self.released: Set[str] = set()
+
+    # -- context management --------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append((node.name, _parse_shared_decorator(node)))
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    def _visit_function(self, node, is_async: bool) -> None:
+        self.func_stack.append((node.name, is_async))
+        saved_with, self.with_locks = self.with_locks, []
+        saved_if, self.if_stack = self.if_stack, []
+        saved_released = self.released
+        # The idiomatic pairing puts ``acquire()`` on the statement
+        # *before* the ``try``, so an enclosing-scope check would miss
+        # it; prescan the whole function for finally-releases instead.
+        self.released = self._finally_releases(node)
+        # Convention for internal helpers guarded by a *non-reentrant*
+        # lock: a docstring declaring "caller holds the lock" asserts
+        # the protection RSL001 cannot see lexically.
+        doc = ast.get_docstring(node) or ""
+        if "caller holds the lock" in doc.lower():
+            self.with_locks.append((True, None))
+        self.generic_visit(node)
+        self.with_locks = saved_with
+        self.if_stack = saved_if
+        self.released = saved_released
+        self.func_stack.pop()
+
+    @staticmethod
+    def _finally_releases(func_node) -> Set[str]:
+        released: Set[str] = set()
+        for sub in ast.walk(func_node):
+            if not isinstance(sub, ast.Try):
+                continue
+            for stmt in sub.finalbody:
+                for call in ast.walk(stmt):
+                    if (isinstance(call, ast.Call)
+                            and isinstance(call.func, ast.Attribute)
+                            and call.func.attr == "release"):
+                        dotted = _dotted(call.func.value)
+                        if dotted is not None:
+                            released.add(dotted)
+        return released
+
+    def visit_If(self, node: ast.If) -> None:
+        self.if_stack.append(node)
+        self.generic_visit(node)
+        self.if_stack.pop()
+
+    def _done_guarded(self, dotted: Optional[str]) -> bool:
+        """True when an enclosing ``if`` tested ``<dotted>.done()`` —
+        ``task.result()`` on a completed asyncio task is not blocking."""
+        if dotted is None:
+            return False
+        for branch in self.if_stack:
+            for sub in ast.walk(branch.test):
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "done"
+                        and _dotted(sub.func.value) == dotted):
+                    return True
+        return False
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, False)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, True)
+
+    def _lock_name_of(self, expr: ast.AST) -> Optional[str]:
+        """Map a with-item lock expression to a hierarchy lock name."""
+        if not isinstance(expr, ast.Attribute):
+            return None
+        if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+            for cls_name, _info in reversed(self.class_stack):
+                return SITE_ATTRS.get((cls_name, expr.attr))
+        return UNIQUE_ATTRS.get(expr.attr)
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node) -> None:
+        pushed = 0
+        for item in node.items:
+            expr = item.context_expr
+            if not _is_lock_like(expr):
+                continue
+            name = self._lock_name_of(expr)
+            rank = RANK.get(name) if name is not None else None
+            if rank is not None:
+                for _held_lockish, held_name in self.with_locks:
+                    held_rank = RANK.get(held_name) if held_name else None
+                    if held_rank is not None and held_rank > rank:
+                        self.report(
+                            "RSL004", ERROR,
+                            "lock {!r} (rank {}) acquired while holding "
+                            "{!r} (rank {}): contradicts the documented "
+                            "hierarchy".format(
+                                name, rank, held_name, held_rank
+                            ),
+                            expr,
+                        )
+                        break
+            self.with_locks.append((True, name))
+            pushed += 1
+        self.generic_visit(node)
+        del self.with_locks[len(self.with_locks) - pushed:]
+
+    # -- RSL001: unlocked writes to shared state -----------------------------
+
+    def _check_store(self, target: ast.AST, node: ast.AST) -> None:
+        if not self.class_stack or not self.func_stack:
+            return
+        _cls_name, info = self.class_stack[-1]
+        if not info.shared or info.confined:
+            return
+        func_name = self.func_stack[-1][0]
+        if func_name in ("__init__", "__new__"):
+            return
+        attr: Optional[ast.Attribute] = None
+        if isinstance(target, ast.Attribute):
+            attr = target
+        elif isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Attribute):
+            attr = target.value
+        if attr is None or not isinstance(attr.value, ast.Name):
+            return
+        if attr.value.id != "self" or attr.attr in info.allow:
+            return
+        if any(lockish for lockish, _name in self.with_locks):
+            return
+        self.report(
+            "RSL001", ERROR,
+            "write to shared state self.{} outside any 'with <lock>:' "
+            "scope (class {} is @shared_state)".format(
+                attr.attr, _cls_name
+            ),
+            node,
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_store(node.target, node)
+        self.generic_visit(node)
+
+    # -- RSL002 / RSL003: calls ----------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        in_async = bool(self.func_stack) and self.func_stack[-1][1]
+        if isinstance(func, ast.Attribute):
+            if func.attr == "acquire" and _is_lock_like(func.value):
+                dotted = _dotted(func.value) or "<lock>"
+                if in_async:
+                    self.report(
+                        "RSL003", WARNING,
+                        "blocking {}.acquire() directly inside an async "
+                        "function would stall the event loop".format(dotted),
+                        node,
+                    )
+                elif dotted not in self.released:
+                    self.report(
+                        "RSL002", ERROR,
+                        "{}.acquire() without 'with' and without a "
+                        "matching release() in an enclosing "
+                        "try/finally".format(dotted),
+                        node,
+                    )
+            elif (in_async and func.attr == "result"
+                    and not self._done_guarded(_dotted(func.value))):
+                self.report(
+                    "RSL003", WARNING,
+                    "blocking .result() directly inside an async function "
+                    "would stall the event loop (await it instead)",
+                    node,
+                )
+            elif (in_async and func.attr == "sleep"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "time"):
+                self.report(
+                    "RSL003", WARNING,
+                    "time.sleep() directly inside an async function would "
+                    "stall the event loop (use asyncio.sleep)",
+                    node,
+                )
+        self.generic_visit(node)
+
+
+def lint_source(source: str, filename: str = "<string>") -> List[Diagnostic]:
+    sink = DiagnosticSink()
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        sink.report(
+            "RSL000", ERROR, "syntax error: {}".format(exc.msg),
+            line=exc.lineno or 0, column=exc.offset or 0,
+        )
+        return sink.sorted()
+    _Checker(sink).visit(tree)
+    return sink.sorted()
+
+
+def iter_python_files(paths) -> List[str]:
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(
+                d for d in dirs
+                if d != "__pycache__" and not d.startswith(".")
+            )
+            out.extend(
+                os.path.join(root, f) for f in sorted(files)
+                if f.endswith(".py")
+            )
+    return out
+
+
+def lint_paths(paths) -> List[Tuple[str, Diagnostic]]:
+    findings: List[Tuple[str, Diagnostic]] = []
+    for filename in iter_python_files(paths):
+        with open(filename, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(
+            (filename, diag) for diag in lint_source(source, filename)
+        )
+    return findings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print("usage: python -m repro.sanitizer.lint <path> [path ...]",
+              file=sys.stderr)
+        return 2
+    missing = [path for path in argv if not os.path.exists(path)]
+    if missing:
+        for path in missing:
+            print("self-lint: no such path: {}".format(path),
+                  file=sys.stderr)
+        return 2
+    findings = lint_paths(argv)
+    for filename, diag in findings:
+        print("{}:{}".format(filename, diag.render()))
+    if findings:
+        print("self-lint: {} finding(s)".format(len(findings)),
+              file=sys.stderr)
+        return 1
+    print("self-lint: clean ({} files)".format(
+        len(iter_python_files(argv))))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

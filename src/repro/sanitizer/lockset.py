@@ -1,0 +1,223 @@
+"""Eraser-style lockset race detection for ``@shared_state`` classes.
+
+The classic Eraser algorithm, specialised to *writes*: for every field
+of a registered shared object the tracker runs a small state machine —
+
+* **exclusive** while only one thread has ever written the field
+  (object construction and single-threaded phases stay silent and
+  refine nothing — so the ubiquitous "initialize unlocked in the
+  constructor, then publish" pattern never false-positives); while
+  every recorded write still comes from ``__init__``, a write from a
+  different thread *transfers ownership* instead of sharing — the
+  "main constructs, worker uses" handoff;
+* on the first write from a *second* thread the field becomes
+  **shared** and its candidate lockset ``C`` starts as the locks that
+  write holds;
+* every later write refines ``C`` by intersection with the locks the
+  writer holds.  ``C`` going empty means no single lock protected all
+  writes — a ``data-race`` report carrying the two implicated write
+  stacks.
+
+We deliberately track writes only (reads would require instrumenting
+``__getattribute__``, whose cost is far beyond the sanitizer's 2x
+wall-clock budget); the serving stack's invariants are all of the
+"every mutation holds the structure's lock" form, so write-write
+coverage is what the manual audit was checking by hand.  For the same
+budget reason, steady-state writes (same owner while exclusive; held
+set covering the candidate lockset while shared) skip the per-write
+stack capture: the "previous write" stack in a report is then a
+*representative* earlier write of the field, not the literal last one.
+
+Instrumentation is installed by swapping the registered class's
+``__setattr__`` at :func:`repro.sanitizer.enable` time (the decorator
+alone is free), so existing instances are covered too.  Locks are
+identified per *instance* (``id``) — a lockset must prove that the same
+actual mutex covered every write.  Because ``id`` values can be reused
+after garbage collection, any tracked write issued from a function
+named ``__init__`` wipes all recorded state for that object id: every
+registered class initialises its fields in ``__init__``, so a recycled
+id is re-virginised before its first post-construction write.
+
+``@shared_state(allow=(...))`` exempts deliberately lock-free fields
+(e.g. ``CancelToken.checks``, a racy-by-design observability counter).
+``async_confined=True`` marks classes mutated only on the asyncio event
+loop: the runtime tracker still watches them (a write from a second
+thread starts a real lockset), but the static RSL001 rule — which
+cannot see thread confinement — skips them.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.sanitizer import locks as _locks
+from repro.sanitizer import reports as _reports
+from repro.sanitizer.state import STATE, suppressed
+
+Frame = Tuple[str, int, str]
+
+
+class _FieldState:
+    __slots__ = ("owner", "lockset", "stack", "thread", "reported",
+                 "cls_name", "init_only")
+
+    def __init__(self, owner: int, stack: Tuple[Frame, ...], thread: str,
+                 cls_name: str, init_only: bool):
+        self.owner = owner          # writing thread while exclusive
+        self.lockset: Optional[FrozenSet[int]] = None  # None => exclusive
+        self.stack = stack          # a representative write's stack
+        self.thread = thread        # that writer's thread name
+        self.reported = False
+        self.cls_name = cls_name
+        #: True while every write so far happened inside ``__init__``:
+        #: the object can still be handed off to another thread.
+        self.init_only = init_only
+
+
+_REGISTRY: List[type] = []
+_tracker_lock = threading.Lock()  # plain on purpose
+_fields: Dict[Tuple[int, str], _FieldState] = {}
+_by_id: Dict[int, Set[str]] = {}
+
+
+def shared_state(cls: Optional[type] = None, *, allow=(),
+                 async_confined: bool = False):
+    """Register a class whose instances are shared across threads.
+
+    Usable bare (``@shared_state``) or with options
+    (``@shared_state(allow=("checks",))``).  Registration is free; the
+    write-tracking ``__setattr__`` is only installed while the
+    sanitizer is enabled.
+    """
+    def decorate(target: type) -> type:
+        target.__san_shared__ = True
+        target.__san_allow__ = frozenset(allow)
+        target.__san_async_confined__ = bool(async_confined)
+        _REGISTRY.append(target)
+        if STATE.active:
+            instrument(target)
+        return target
+
+    if cls is not None:
+        return decorate(cls)
+    return decorate
+
+
+def registry() -> List[type]:
+    return list(_REGISTRY)
+
+
+def instrument(cls: type) -> None:
+    if cls.__dict__.get("__san_instrumented__"):
+        return
+    orig = cls.__setattr__
+
+    def tracking_setattr(self, name, value,
+                         __orig=orig, __cls=cls):
+        __orig(self, name, value)
+        if STATE.active and not suppressed():
+            if name not in __cls.__san_allow__:
+                _track_write(self, __cls.__name__, name)
+
+    cls.__san_orig_setattr__ = orig
+    cls.__setattr__ = tracking_setattr
+    cls.__san_instrumented__ = True
+
+
+def deinstrument(cls: type) -> None:
+    if not cls.__dict__.get("__san_instrumented__"):
+        return
+    cls.__setattr__ = cls.__san_orig_setattr__
+    cls.__san_instrumented__ = False
+
+
+def _track_write(obj, cls_name: str, field: str) -> None:
+    oid = id(obj)
+    tid = threading.get_ident()
+    frame = sys._getframe(2)  # the code that performed the write
+    in_init = frame.f_code.co_name == "__init__"
+    race: Optional[Tuple[_FieldState, Tuple[Frame, ...], str]] = None
+    with _tracker_lock:
+        if in_init:
+            # A constructor write: this object id is (being) born, so
+            # any state recorded under the same id belongs to a dead,
+            # garbage-collected predecessor.  Wipe it — otherwise id
+            # reuse would fabricate cross-object "races".
+            for name in _by_id.pop(oid, ()):
+                _fields.pop((oid, name), None)
+        key = (oid, field)
+        st = _fields.get(key)
+        if st is None or st.cls_name != cls_name:
+            _fields[key] = _FieldState(
+                tid, _locks.stack_from(frame, 8),
+                threading.current_thread().name, cls_name, in_init
+            )
+            _by_id.setdefault(oid, set()).add(field)
+            return
+        if st.reported:
+            return
+        if st.lockset is None and st.owner == tid:
+            # Steady single-threaded phase (classic Eraser
+            # "exclusive"): no lockset refinement, and the first
+            # write's (representative) stack is kept — capturing one
+            # per write is the dominant cost on per-item paths like
+            # metrics increments.
+            if not in_init:
+                st.init_only = False
+            return
+        if st.lockset is None and st.init_only:
+            # Ownership handoff: every write so far happened during
+            # construction, so the constructing thread published the
+            # object to exactly this thread ("main builds, worker
+            # uses").  Stay exclusive under the new owner.
+            st.owner = tid
+            st.init_only = in_init
+            st.stack = _locks.stack_from(frame, 8)
+            st.thread = threading.current_thread().name
+            return
+        held = _locks.held_lock_ids()
+        if st.lockset is None:
+            # First write from a second thread: the candidate lockset
+            # starts from *this* write's held set (canonical Eraser).
+            # Intersecting with the exclusive phase would flag the
+            # ubiquitous "initialize unlocked in the constructor, then
+            # share" pattern, which is safe — publication happens
+            # after construction.
+            st.lockset = held
+        elif st.lockset.issubset(held):
+            # Steady shared phase: the intersection cannot shrink, so
+            # neither the lockset nor the (representative) stack needs
+            # touching.
+            return
+        else:
+            st.lockset &= held
+        if not st.lockset:
+            st.reported = True
+            race = (st, _locks.stack_from(frame, 8),
+                    threading.current_thread().name)
+        else:
+            st.stack = _locks.stack_from(frame, 8)
+            st.thread = threading.current_thread().name
+    if race is not None:
+        st, cur_stack, cur_thread = race
+        _reports.record(
+            "data-race",
+            "{}.{}: writes from threads {!r} and {!r} share no common "
+            "lock (candidate lockset went empty)".format(
+                cls_name, field, st.thread, cur_thread
+            ),
+            stacks=[
+                ("previous write ({})".format(st.thread), st.stack),
+                ("current write ({})".format(cur_thread), cur_stack),
+            ],
+            object_class=cls_name,
+            field=field,
+        )
+
+
+def reset() -> None:
+    with _tracker_lock:
+        _fields.clear()
+        _by_id.clear()

@@ -1,0 +1,195 @@
+"""The sanitizer's report store.
+
+Every detector (lock-order graph, lockset tracker, hierarchy check)
+funnels its findings through :func:`record`.  Reports accumulate in a
+process-wide list that tests and the CLI drain; while a
+:func:`capture` block is active they are redirected into the caller's
+box instead, which is how the seeded-race *positive* tests assert on a
+report without tripping the suite-wide "no uncaptured reports" gate.
+
+Uncaptured reports are also mirrored into any registered
+:class:`repro.obs.Observability` instance as ``rumble.sanitizer.*``
+counters and a ``SanitizerReport`` JSONL event.  The mirror runs under
+:func:`repro.sanitizer.state.suppress` because the counters themselves
+take sanitized locks — without suppression a report about lock misuse
+could recursively generate reports about the reporting.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from contextlib import contextmanager
+from typing import Iterable, List, Optional, Tuple
+
+from repro.sanitizer.state import suppress
+
+#: Event name mirrored into the JSONL event log (kept in sync with
+#: ``repro.obs.events.SANITIZER_REPORT``; no import to avoid a cycle —
+#: ``repro.obs`` imports the sanitizer for its locks).
+SANITIZER_REPORT_EVENT = "SanitizerReport"
+
+Frame = Tuple[str, int, str]  # (filename, lineno, function)
+
+
+class Report:
+    """One sanitizer finding.
+
+    ``kind`` is a short machine tag: ``potential-deadlock``,
+    ``data-race``, ``hierarchy-violation`` or ``recursive-lock``.
+    ``stacks`` holds the *two* implicated acquisition/write stacks
+    (named so the rendering says which is which).
+    """
+
+    __slots__ = ("kind", "message", "stacks", "details")
+
+    def __init__(self, kind: str, message: str,
+                 stacks: Iterable[Tuple[str, Iterable[Frame]]] = (),
+                 **details):
+        self.kind = kind
+        self.message = message
+        self.stacks = tuple((label, tuple(frames)) for label, frames in stacks)
+        self.details = details
+
+    def render(self) -> str:
+        lines = ["[{}] {}".format(self.kind, self.message)]
+        for label, frames in self.stacks:
+            lines.append("  {}:".format(label))
+            for filename, lineno, function in frames:
+                lines.append(
+                    "    {}:{} in {}".format(filename, lineno, function)
+                )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "stacks": [
+                {
+                    "label": label,
+                    "frames": [
+                        {"file": f, "line": n, "function": fn}
+                        for f, n, fn in frames
+                    ],
+                }
+                for label, frames in self.stacks
+            ],
+            **self.details,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Report({!r}, {!r})".format(self.kind, self.message)
+
+
+_lock = threading.Lock()  # plain on purpose: guards the sanitizer itself
+_reports: List[Report] = []
+_captures: List[List[Report]] = []
+_observers: "weakref.WeakSet" = weakref.WeakSet()
+#: Reports whose mirroring is postponed because the recording thread
+#: was holding sanitized locks at record time (mirroring takes the
+#: observability locks itself — doing that under, say, the metrics
+#: registry lock would self-deadlock).  Flushed by the lock layer when
+#: the thread's held stack empties, and by :func:`drain_reports`.
+_pending_mirror: List[Report] = []
+
+
+def _holding_sanitized_locks() -> bool:
+    from repro.sanitizer import locks as _locks
+    return _locks.held_any()
+
+
+def record(kind: str, message: str,
+           stacks: Iterable[Tuple[str, Iterable[Frame]]] = (),
+           **details) -> Report:
+    report = Report(kind, message, stacks, **details)
+    defer = _holding_sanitized_locks()
+    with _lock:
+        if _captures:
+            _captures[-1].append(report)
+            return report
+        _reports.append(report)
+        if defer:
+            _pending_mirror.append(report)
+            return report
+        sinks = list(_observers)
+    _mirror(report, sinks)
+    return report
+
+
+def flush_mirror() -> None:
+    """Mirror any reports recorded while sanitized locks were held."""
+    if not _pending_mirror:
+        return
+    if _holding_sanitized_locks():
+        return  # still unsafe; a later release will flush
+    with _lock:
+        pending = list(_pending_mirror)
+        del _pending_mirror[:]
+        sinks = list(_observers)
+    for report in pending:
+        _mirror(report, sinks)
+
+
+def _mirror(report: Report, sinks) -> None:
+    with suppress():
+        for obs in sinks:
+            try:
+                obs.metrics.counter("rumble.sanitizer.reports").inc()
+                obs.metrics.counter(
+                    "rumble.sanitizer." + report.kind.replace("-", "_")
+                ).inc()
+                obs.events.emit(
+                    SANITIZER_REPORT_EVENT,
+                    kind=report.kind,
+                    message=report.message,
+                )
+            except Exception:  # a broken sink must not mask the finding
+                pass
+
+
+@contextmanager
+def capture():
+    """Redirect reports raised inside the block into the yielded list.
+
+    Captured reports never reach the global store or the observability
+    mirror — they belong to the test that provoked them.
+    """
+    box: List[Report] = []
+    with _lock:
+        _captures.append(box)
+    try:
+        yield box
+    finally:
+        with _lock:
+            _captures.remove(box)
+
+
+def reports() -> List[Report]:
+    with _lock:
+        return list(_reports)
+
+
+def drain_reports() -> List[Report]:
+    flush_mirror()
+    with _lock:
+        out = list(_reports)
+        del _reports[:]
+        return out
+
+
+def add_observer(obs) -> None:
+    """Mirror future uncaptured reports into ``obs`` (held weakly)."""
+    with _lock:
+        _observers.add(obs)
+
+
+def remove_observer(obs) -> None:
+    with _lock:
+        _observers.discard(obs)
+
+
+def reset() -> None:
+    with _lock:
+        del _reports[:]
+        del _pending_mirror[:]

@@ -1,0 +1,56 @@
+"""Process-wide activation state for the concurrency sanitizer.
+
+Kept in its own tiny module so every other sanitizer component (and the
+``san_lock`` call sites spread across the package) can consult one flag
+without import cycles.  The flag flips in exactly two places:
+
+* :func:`repro.sanitizer.enable` / ``disable`` (driven by
+  ``RumbleConfig(sanitize=True)`` or tests), and
+* import time, when ``RUMBLE_SANITIZE`` is set in the environment —
+  which is the only way to instrument locks created at module import
+  (e.g. the process-wide filesystem ``REGISTRY``).
+
+The sanitizer's own bookkeeping must never recurse into itself: when a
+report is mirrored into observability counters, those counters acquire
+sanitized locks, which would record edges and possibly new reports.
+:func:`suppress` marks such sections; instrumented code paths check
+:func:`suppressed` and skip *analysis* (never the underlying locking).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+
+
+class _State:
+    __slots__ = ("active",)
+
+    def __init__(self) -> None:
+        self.active = False
+
+
+STATE = _State()
+
+_tls = threading.local()
+
+
+def env_wants_sanitize() -> bool:
+    value = os.environ.get("RUMBLE_SANITIZE", "")
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+def suppressed() -> bool:
+    """True while the current thread is inside sanitizer bookkeeping."""
+    return getattr(_tls, "depth", 0) > 0
+
+
+@contextmanager
+def suppress():
+    """Disable analysis (not locking) on this thread for a section."""
+    _tls.depth = getattr(_tls, "depth", 0) + 1
+    try:
+        yield
+    finally:
+        _tls.depth -= 1

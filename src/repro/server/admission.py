@@ -27,6 +27,7 @@ from __future__ import annotations
 import asyncio
 from contextlib import asynccontextmanager
 from typing import Dict
+from repro.sanitizer import shared_state
 
 
 class QueryRejected(Exception):
@@ -42,6 +43,7 @@ class QueryRejected(Exception):
         self.queue_limit = queue_limit
 
 
+@shared_state(async_confined=True)
 class AdmissionController:
     """Semaphore-bounded, quota-shaped, load-shedding admission."""
 

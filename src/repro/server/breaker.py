@@ -32,8 +32,10 @@ from __future__ import annotations
 
 import time
 from typing import Callable, Dict, Optional
+from repro.sanitizer import shared_state
 
 
+@shared_state(async_confined=True)
 class _TenantCircuit:
     __slots__ = ("failures", "opened_at", "probing", "state", "trips")
 
@@ -46,6 +48,7 @@ class _TenantCircuit:
         self.trips = 0
 
 
+@shared_state(async_confined=True)
 class CircuitBreaker:
     """Consecutive-failure breaker, one circuit per tenant."""
 

@@ -37,7 +37,6 @@ enabled observability bundle.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from decimal import Decimal
 from typing import Dict, List, Optional, Set, Tuple
@@ -48,6 +47,7 @@ from repro.jsoniq import static_analysis
 from repro.jsoniq.compiler import compile_main_module
 from repro.jsoniq.lexer import tokenize
 from repro.jsoniq.runtime.primary import LiteralIterator
+from repro.sanitizer import san_lock, shared_state
 
 #: Token kinds that lex as literals and participate in normalization.
 #: ``true``/``false``/``null`` lex as keywords and stay structural.
@@ -228,6 +228,7 @@ class CachedPlan:
         return self._compiled.run(bindings, context=context)
 
 
+@shared_state
 class PlanCache:
     """LRU cache of compiled plans keyed on normalized query shape.
 
@@ -251,7 +252,7 @@ class PlanCache:
         if capacity < 1:
             raise ValueError("plan cache capacity must be >= 1")
         self.capacity = capacity
-        self._lock = threading.Lock()
+        self._lock = san_lock("server.plan_cache")
         #: (shape, external) -> structural ordinal tuple for that shape.
         self._structural: Dict[Tuple, Tuple[int, ...]] = {}
         self._plans: "OrderedDict[Tuple, CachedPlan]" = OrderedDict()

@@ -26,7 +26,6 @@ invalidates on its next lookup.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import List, Optional, Tuple
 
@@ -43,6 +42,7 @@ from repro.jsoniq.functions.registry import SimpleFunctionIterator
 from repro.jsoniq.runtime.base import RuntimeIterator
 from repro.jsoniq.runtime.primary import LiteralIterator, ParameterIterator
 from repro.spark import storage
+from repro.sanitizer import san_lock, shared_state
 
 #: Builtins whose value depends on when they run, not on their inputs.
 NONDETERMINISTIC_BUILTINS = frozenset(
@@ -150,6 +150,7 @@ class _Entry:
         self.items = items
 
 
+@shared_state
 class ResultCache:
     """LRU cache of materialized query results with lineage validation.
 
@@ -164,7 +165,7 @@ class ResultCache:
             raise ValueError("result cache capacity must be >= 1")
         self.capacity = capacity
         self.max_items = max_items
-        self._lock = threading.Lock()
+        self._lock = san_lock("server.result_cache")
         self._entries: "OrderedDict[Tuple, _Entry]" = OrderedDict()
         self.hits = 0
         self.misses = 0

@@ -68,6 +68,7 @@ from repro.server.admission import AdmissionController, QueryRejected
 from repro.server.breaker import CircuitBreaker
 from repro.server.session import Session
 from repro.spark.faults import FaultPlan, InjectedWorkerDeath
+from repro.sanitizer import san_lock, shared_state
 
 #: Source-scanning builtins whose presence marks a query *statically
 #: heavy*: under pressure these are rejected with 503 + Retry-After
@@ -102,6 +103,7 @@ def _env_chaos_plan() -> Optional[FaultPlan]:
     )
 
 
+@shared_state(async_confined=True)
 class QueryService:
     """Sessions, admission, a worker pool, and service-wide metrics."""
 
@@ -165,7 +167,7 @@ class QueryService:
         self._inflight: Dict[Tuple[str, str], CancelToken] = {}
         self._request_index = 0
         self._busy = 0
-        self._busy_lock = threading.Lock()
+        self._busy_lock = san_lock("server.service.busy")
         self._closing = False
         self._closed = False
         self._close_lock = asyncio.Lock()

@@ -16,7 +16,6 @@ concurrently in the service's thread pool.
 from __future__ import annotations
 
 import os
-import threading
 import time
 from contextlib import nullcontext
 from typing import Dict, Optional
@@ -25,8 +24,10 @@ from repro.cancellation import QueryCancelledError
 from repro.core.config import RumbleConfig
 from repro.core.engine import Rumble, make_engine
 from repro.obs import Observability
+from repro.sanitizer import san_lock, shared_state
 
 
+@shared_state
 class Session:
     """One tenant's engine plus bookkeeping."""
 
@@ -45,7 +46,7 @@ class Session:
         #: here, never in a shared registry (tenant isolation).
         self.obs = Observability(enabled=True)
         self.engine.runtime.obs = self.obs
-        self._lock = threading.Lock()
+        self._lock = san_lock("server.session")
         self.queries = 0
         self.errors = 0
         self.cancelled = 0

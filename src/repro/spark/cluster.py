@@ -34,6 +34,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
+from repro.sanitizer import san_lock
 from repro.spark.faults import (
     ExecutorLostError,
     FaultManager,
@@ -146,7 +147,7 @@ class ExecutorPool:
         self.dead: Set[int] = set()
         self._executor_failures: Dict[int, int] = {}
         self._next_executor_id = num_executors
-        self._lock = threading.Lock()
+        self._lock = san_lock("spark.cluster.pool")
         #: Per-thread count of tasks currently executing — lets
         #: run_stage detect stages launched from inside a task (adaptive
         #: skew-split sub-stages) for double-count-free makespans.

@@ -28,8 +28,9 @@ budget, every query returns results identical to a fault-free run.
 from __future__ import annotations
 
 import random
-import threading
 from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.sanitizer import san_lock
 
 
 class TaskFailure(RuntimeError):
@@ -227,7 +228,7 @@ class FaultPlan:
             for kind, indexes in (server_faults or {}).items()
         }
         self.injected: Dict[str, int] = {}
-        self._lock = threading.Lock()
+        self._lock = san_lock("spark.faults.plan")
 
     def _count(self, kind: str) -> None:
         with self._lock:
@@ -340,7 +341,7 @@ class FaultManager:
     def __init__(self, plan: Optional[FaultPlan] = None):
         self.plan = plan
         self.counts: Dict[str, int] = {}
-        self._lock = threading.Lock()
+        self._lock = san_lock("spark.faults.manager")
         #: The attached :class:`repro.obs.Observability`, installed and
         #: removed by its ``attach``/``detach``; None when not profiling.
         self.observer = None

@@ -29,6 +29,7 @@ import weakref
 from collections import OrderedDict
 from typing import Optional
 
+from repro.sanitizer import san_rlock, shared_state
 from repro.spark.storage import SpillHandle, SpillStore
 
 
@@ -42,8 +43,16 @@ class _Entry:
         self.split = split
 
 
+@shared_state
 class MemoryManager:
-    """Budgeted accounting of cached partitions and shuffle buckets."""
+    """Budgeted accounting of cached partitions and shuffle buckets.
+
+    Mutators take a reentrant lock: under the threaded executor two
+    task threads can register partitions or admit buckets at once, and
+    ``used`` / the LRU table are read-modify-writes.  Reentrant because
+    an admission can shrink, a shrink evicts through the RDD, and both
+    paths land back in :meth:`record` — all inside one task's call.
+    """
 
     def __init__(self, budget: Optional[int] = None,
                  store: Optional[SpillStore] = None):
@@ -55,6 +64,11 @@ class MemoryManager:
         self.used = 0
         self.counts: dict = {}
         self.observer = None
+        self._lock = san_rlock("spark.memory")
+        #: Shuffle ids released from GC finalizers (see
+        #: :meth:`release_shuffle_deferred`); drained lazily under the
+        #: lock by the next accounting operation.
+        self._deferred_releases: list = []
 
     # -- configuration ---------------------------------------------------
 
@@ -65,9 +79,10 @@ class MemoryManager:
     def set_budget(self, budget: Optional[int]) -> None:
         if budget is not None and budget <= 0:
             raise ValueError("memory budget must be positive")
-        self.budget = budget
-        if self.limited:
-            self._shrink()
+        with self._lock:
+            self.budget = budget
+            if self.limited:
+                self._shrink()
 
     # -- weighing --------------------------------------------------------
 
@@ -90,26 +105,30 @@ class MemoryManager:
         if size is None:
             return
         key = ("rdd", id(rdd), split)
-        self._drop(key)
-        self._entries[key] = _Entry(
-            "cached", size, ref=weakref.ref(rdd), split=split
-        )
-        self.used += size
-        self.record("cached_bytes", size)
-        self._shrink()
+        with self._lock:
+            self._drain_deferred()
+            self._drop(key)
+            self._entries[key] = _Entry(
+                "cached", size, ref=weakref.ref(rdd), split=split
+            )
+            self.used += size
+            self.record("cached_bytes", size)
+            self._shrink()
 
     def touch(self, rdd, split: int) -> None:
         """LRU bump on a cache hit."""
         key = ("rdd", id(rdd), split)
-        if key in self._entries:
-            self._entries.move_to_end(key)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
 
     def forget_rdd(self, rdd) -> None:
         """Stop accounting an unpersisted RDD (its spill handles are
         released by the RDD itself)."""
         prefix = ("rdd", id(rdd))
-        for key in [k for k in self._entries if k[:2] == prefix]:
-            self._drop(key)
+        with self._lock:
+            for key in [k for k in self._entries if k[:2] == prefix]:
+                self._drop(key)
 
     # -- shuffle buckets -------------------------------------------------
 
@@ -122,23 +141,52 @@ class MemoryManager:
         if size > max(1, self.budget // 8):
             return self._spill_bucket(shuffle_id, bucket_index, records, size)
         key = ("shuffle", shuffle_id, map_index, bucket_index)
-        self._drop(key)
-        self._entries[key] = _Entry("shuffle", size)
-        self.used += size
-        self._shrink()
-        if self.used > self.budget:
-            # Eviction alone could not make room: execution memory is
-            # full of other live buckets, so this one goes to disk.
+        with self._lock:
+            self._drain_deferred()
             self._drop(key)
-            return self._spill_bucket(shuffle_id, bucket_index, records, size)
+            self._entries[key] = _Entry("shuffle", size)
+            self.used += size
+            self._shrink()
+            if self.used > self.budget:
+                # Eviction alone could not make room: execution memory
+                # is full of other live buckets, so this one goes to
+                # disk.
+                self._drop(key)
+                return self._spill_bucket(
+                    shuffle_id, bucket_index, records, size
+                )
         return records
 
     def release_shuffle(self, shuffle_id: int) -> None:
         """Drop the accounting of one shuffle's buckets (its memoized
         state was invalidated)."""
-        for key in [k for k in self._entries
-                    if k[0] == "shuffle" and k[1] == shuffle_id]:
-            self._drop(key)
+        with self._lock:
+            self._drain_deferred()
+            for key in [k for k in self._entries
+                        if k[0] == "shuffle" and k[1] == shuffle_id]:
+                self._drop(key)
+
+    def release_shuffle_deferred(self, shuffle_id: int) -> None:
+        """GC-finalizer-safe :meth:`release_shuffle`.
+
+        ``weakref.finalize`` callbacks can interrupt any allocation on
+        any thread — including a thread already inside one of this
+        manager's critical sections, or holding an unrelated lock.
+        Taking ``self._lock`` there would mutate ``_entries`` under a
+        live iteration (the lock is reentrant) and teach the sanitizer
+        phantom lock-order edges, so the finalizer only enqueues the
+        id (``list.append`` is atomic under the GIL) and the next
+        accounting operation drops it.
+        """
+        self._deferred_releases.append(shuffle_id)
+
+    def _drain_deferred(self) -> None:
+        """Apply pending finalizer releases; caller holds the lock."""
+        while self._deferred_releases:
+            shuffle_id = self._deferred_releases.pop()
+            for key in [k for k in self._entries
+                        if k[0] == "shuffle" and k[1] == shuffle_id]:
+                self._drop(key)
 
     def _spill_bucket(self, shuffle_id: int, bucket_index: int,
                       records: list, size: int) -> SpillHandle:
@@ -187,16 +235,19 @@ class MemoryManager:
                 })
 
     def _drop(self, key) -> None:
-        entry = self._entries.pop(key, None)
-        if entry is not None:
-            self.used -= entry.size
+        with self._lock:  # reentrant: callers already hold it
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self.used -= entry.size
 
     # -- bookkeeping -----------------------------------------------------
 
     def record(self, counter: str, value: int = 1) -> None:
-        self.counts[counter] = self.counts.get(counter, 0) + value
+        with self._lock:
+            self.counts[counter] = self.counts.get(counter, 0) + value
         if self.observer is not None:
             self.observer.on_memory(counter, value)
 
     def reset_counters(self) -> None:
-        self.counts = {}
+        with self._lock:
+            self.counts = {}

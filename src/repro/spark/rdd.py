@@ -684,12 +684,19 @@ class RDD:
         )
         child._stage_prepare = adapted_plan if adapt else build_map_outputs
 
-        def reset_state() -> None:
+        def reset_state(from_gc: bool = False) -> None:
             # The memoized buckets are the "shuffle files" of this
             # boundary; invalidating the parent's cache must also drop
-            # them — including their accounting and disk blocks.
+            # them — including their accounting and disk blocks.  A GC
+            # finalizer can interrupt any thread at any allocation, so
+            # that path must not take the memory manager's lock: the
+            # accounting release is deferred (file removal below is
+            # lock-free and stays immediate).
             if memory is not None:
-                memory.release_shuffle(shuffle_id)
+                if from_gc:
+                    memory.release_shuffle_deferred(shuffle_id)
+                else:
+                    memory.release_shuffle(shuffle_id)
             for buckets in state.get("outputs", ()):
                 for entry in buckets:
                     if isinstance(entry, SpillHandle):
@@ -702,7 +709,7 @@ class RDD:
         # unwound the stack — its memoized buckets must release their
         # memory accounting and any spill files.  ``reset_state`` is
         # idempotent, so an explicit invalidation followed by GC is fine.
-        weakref.finalize(child, reset_state)
+        weakref.finalize(child, reset_state, True)
         return self._register_child(child)
 
     def _make_partitioner(self, num_partitions: Optional[int]):

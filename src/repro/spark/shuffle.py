@@ -13,6 +13,8 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, List, Sequence, Tuple
 
+from repro.sanitizer import san_lock, shared_state
+
 
 class Partitioner:
     """Maps a key to a partition index in ``range(num_partitions)``."""
@@ -186,6 +188,7 @@ def shuffle_pairs(
     return buckets
 
 
+@shared_state
 class ShuffleStats:
     """Per-bucket map-output statistics attached to one stage boundary.
 
@@ -195,6 +198,10 @@ class ShuffleStats:
     when the shuffle weighed its pairs (``measure_bytes`` profiling or a
     bounded memory budget) — the adaptive planner falls back to record
     counts otherwise, so unmeasured runs pay no pickling cost.
+
+    Mutation is locked: under the threaded executor two map tasks of
+    one stage land their outputs concurrently, and both the per-bucket
+    ``+=`` totals and the ``weighed`` flag are read-modify-writes.
     """
 
     def __init__(self, num_buckets: int):
@@ -207,6 +214,7 @@ class ShuffleStats:
         self.map_records: List[List[int]] = []
         self.map_bytes: List[List[int]] = []
         self.weighed = False
+        self._lock = san_lock("spark.shuffle.stats")
 
     def add_map_output(
         self,
@@ -215,12 +223,13 @@ class ShuffleStats:
         weighed: bool,
     ) -> None:
         counts = [len(bucket) for bucket in buckets]
-        self.map_records.append(counts)
-        self.map_bytes.append(list(bucket_bytes))
-        for index, count in enumerate(counts):
-            self.records[index] += count
-            self.bytes[index] += bucket_bytes[index]
-        self.weighed = self.weighed or weighed
+        with self._lock:
+            self.map_records.append(counts)
+            self.map_bytes.append(list(bucket_bytes))
+            for index, count in enumerate(counts):
+                self.records[index] += count
+                self.bytes[index] += bucket_bytes[index]
+            self.weighed = self.weighed or weighed
 
     @property
     def num_maps(self) -> int:

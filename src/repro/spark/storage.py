@@ -13,9 +13,10 @@ scheme roots (e.g. mount ``hdfs://`` onto a temp dir) without monkeypatching.
 from __future__ import annotations
 
 import os
-import threading
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.sanitizer import san_lock, shared_state
 
 #: Default block size used to split files into partitions (bytes).  Real
 #: HDFS uses 128 MB; we default far smaller so laptop-scale files still
@@ -66,6 +67,7 @@ class FileBlock:
                     yield text
 
 
+@shared_state
 class FileSystemRegistry:
     """Maps URI schemes (``hdfs``, ``s3``, ``file``) to local roots."""
 
@@ -73,7 +75,7 @@ class FileSystemRegistry:
         self._mounts: Dict[str, str] = {}
         # The registry is process-wide shared state; concurrently serving
         # engines (repro.server) mount and resolve from many threads.
-        self._lock = threading.Lock()
+        self._lock = san_lock("spark.storage.registry")
 
     def mount(self, scheme: str, root: str) -> None:
         """Serve ``scheme://...`` paths from the local directory ``root``."""

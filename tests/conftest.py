@@ -26,6 +26,32 @@ def update_golden(request) -> bool:
     return request.config.getoption("--update-golden")
 
 
+@pytest.fixture(autouse=True)
+def _sanitizer_gate():
+    """Fail any test that leaks an uncaptured sanitizer report.
+
+    Inert unless the suite runs under RUMBLE_SANITIZE=1 (the CI
+    ``sanitizer`` job does): every test then doubles as a negative
+    no-report check, while positive tests collect their seeded findings
+    through :func:`repro.sanitizer.capture` and stay exempt.
+    """
+    from repro import sanitizer
+
+    if not sanitizer.enabled():
+        yield
+        return
+    sanitizer.drain_reports()
+    yield
+    leaked = sanitizer.drain_reports()
+    if leaked:
+        pytest.fail(
+            "sanitizer reported {} finding(s):\n{}".format(
+                len(leaked),
+                "\n".join(report.render() for report in leaked),
+            )
+        )
+
+
 @pytest.fixture()
 def rumble() -> Rumble:
     return Rumble(config=RumbleConfig(materialization_cap=100_000))

@@ -1,0 +1,21 @@
+"""Fixture: exactly one RSL001 (unlocked write to @shared_state)."""
+
+from repro.sanitizer import san_lock, shared_state
+
+
+@shared_state(allow=("hits",))
+class Tally:
+    def __init__(self):
+        self._lock = san_lock("fixture.tally")
+        self.total = 0
+        self.hits = 0
+
+    def locked_bump(self, amount):
+        with self._lock:
+            self.total += amount
+
+    def allowed_bump(self):
+        self.hits += 1  # allowlisted: no finding
+
+    def racy_bump(self, amount):
+        self.total += amount  # RSL001: no lock held

@@ -1,0 +1,18 @@
+"""Fixture: exactly one RSL002 (bare acquire without with/try-finally)."""
+
+import threading
+
+_lock = threading.Lock()
+
+
+def good():
+    _lock.acquire()
+    try:
+        return 1
+    finally:
+        _lock.release()
+
+
+def bad():
+    _lock.acquire()  # RSL002: no with, no try/finally release
+    return 1

@@ -1,0 +1,16 @@
+"""Fixture: exactly one RSL003 (blocking call inside async def)."""
+
+import asyncio
+import time
+
+
+async def good():
+    await asyncio.sleep(0.01)
+
+
+async def bad():
+    time.sleep(0.01)  # RSL003: stalls the event loop
+
+
+def fine_in_sync_code():
+    time.sleep(0.0)

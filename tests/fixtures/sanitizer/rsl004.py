@@ -1,0 +1,23 @@
+"""Fixture: exactly one RSL004 (nested locks against the hierarchy)."""
+
+from repro.sanitizer import san_lock
+
+
+class Counter:
+    """Named like the real instrument so ``self._lock`` resolves to the
+    ``obs.metrics.instrument`` rank (a leaf: innermost of the order)."""
+
+    def __init__(self, service):
+        self._lock = san_lock("obs.metrics.instrument")
+        self.service = service
+        self.value = 0
+
+    def inverted(self):
+        with self._lock:
+            with self.service._busy_lock:  # RSL004: busy ranks outermost
+                self.value += 1
+
+    def consistent(self):
+        with self.service._busy_lock:
+            with self._lock:
+                self.value += 1

@@ -1,0 +1,136 @@
+"""RBL003 constant folding: semantically invisible, observably counted.
+
+The compiler folds effect-free constant operator subtrees (binary,
+unary, comparison, string concatenation) into a precomputed
+``FoldedConstantIterator``.  Evidence that the fold is safe:
+
+* a differential catalogue — every query runs through a normal
+  compiler and one with folding disabled, and the results must match;
+* a hypothesis property over random integer arithmetic shapes;
+* error preservation — a constant expression that *raises* (``1 div
+  0``) stays unfolded, so the dynamic error still surfaces at run time;
+* plan-cache interaction — parameter slots are never treated as
+  constants, so one cached plan keeps answering per-literal.
+"""
+
+from decimal import Decimal
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Rumble, RumbleConfig
+from repro.jsoniq.compiler import Compiler
+from repro.jsoniq.errors import DynamicException
+from repro.jsoniq.parser import parse
+from repro.jsoniq.runtime.primary import FoldedConstantIterator
+from repro.jsoniq.static_analysis import analyse
+
+
+def _compile(text: str) -> Compiler:
+    module = parse(text)
+    analyse(module)
+    compiler = Compiler()
+    compiler.compile_module(module)
+    return compiler
+
+
+def _run_unfolded(rumble, monkeypatch, text: str):
+    with monkeypatch.context() as patch:
+        patch.setattr(Compiler, "_maybe_fold",
+                      lambda self, node, iterator: None)
+        return rumble.query(text).to_python()
+
+
+#: (query, expected, minimum const_fold count).  The expectation is
+#: pinned twice: against the literal value and against an unfolded run.
+CATALOGUE = [
+    ("1 + 2", [3], 1),
+    ("2 * 3 + 4", [10], 2),
+    ("-5", [-5], 1),
+    ("7 mod 3", [1], 1),
+    ("7 div 2", [Decimal("3.5")], 1),
+    ("1 + 1.5e0", [2.5], 1),
+    ("1 eq 1", [True], 1),
+    ("2 lt 1", [False], 1),
+    ('"a" || "b"', ["ab"], 1),
+    ("(1 + 2) * (3 + 4)", [21], 3),
+    ("for $x in (1, 2) return $x + (2 * 3)", [7, 8], 1),
+]
+
+
+class TestFoldDifferential:
+    @pytest.mark.parametrize("text,expected,folds", CATALOGUE)
+    def test_folded_matches_unfolded(self, rumble, monkeypatch,
+                                     text, expected, folds):
+        assert rumble.query(text).to_python() == expected
+        assert _run_unfolded(rumble, monkeypatch, text) == expected
+
+    @pytest.mark.parametrize("text,expected,folds", CATALOGUE)
+    def test_fold_is_counted(self, text, expected, folds):
+        assert _compile(text).stats["const_fold"] >= folds
+
+    def test_folded_iterator_in_plan(self):
+        module = parse("1 + 2")
+        analyse(module)
+        iterator, _globals = Compiler().compile_module(module)
+        assert isinstance(iterator, FoldedConstantIterator)
+
+    @given(
+        a=st.integers(min_value=-10**6, max_value=10**6),
+        b=st.integers(min_value=-10**6, max_value=10**6),
+        c=st.integers(min_value=1, max_value=10**3),
+        op=st.sampled_from(["+", "-", "*", "idiv", "mod"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_arithmetic_differential(self, a, b, c, op):
+        text = "({} {} {}) * {}".format(a, op, b, c)
+        engine = Rumble()
+        folded = engine.query(text).to_python()
+        compiler = _compile(text)
+        assert compiler.stats["const_fold"] >= 1
+        original = Compiler._maybe_fold
+        try:
+            Compiler._maybe_fold = lambda self, node, iterator: None
+            unfolded = Rumble().query(text).to_python()
+        finally:
+            Compiler._maybe_fold = original
+        assert folded == unfolded
+
+
+class TestFoldConservatism:
+    def test_runtime_error_stays_at_runtime(self, rumble):
+        # 1 div 0 is constant but raising; folding must not swallow or
+        # hoist the error — and must not count it as a win.
+        assert _compile("1 div 0").stats["const_fold"] == 0
+        with pytest.raises(DynamicException) as info:
+            rumble.query("1 div 0").to_python()
+        assert info.value.code == "FOAR0001"
+
+    def test_error_inside_try_still_catchable(self, rumble):
+        assert rumble.query(
+            'try { 1 div 0 } catch FOAR0001 { "caught" }'
+        ).to_python() == ["caught"]
+
+    def test_non_constant_operands_not_folded(self):
+        assert _compile(
+            "for $x in (1, 2) return $x + 1"
+        ).stats["const_fold"] == 0
+
+    def test_variable_reference_not_folded(self):
+        assert _compile(
+            "let $a := 1 return $a + 2"
+        ).stats["const_fold"] == 0
+
+
+class TestFoldVsPlanCache:
+    def test_literals_are_not_baked_into_cached_plans(self):
+        # The plan cache lifts literals into parameter slots; a folder
+        # that ignored slots would bake the first query's literal into
+        # the shared plan.  Same-shape queries must keep their answers.
+        engine = Rumble(config=RumbleConfig(plan_cache_size=8))
+        first = engine.query("for $x in (1, 2) return $x + (10 * 2)")
+        second = engine.query("for $x in (1, 2) return $x + (10 * 7)")
+        assert first.to_python() == [21, 22]
+        assert second.to_python() == [71, 72]
+        stats = engine.plan_cache.stats()
+        assert stats["hits"] >= 1

@@ -505,7 +505,12 @@ class TestServiceLifecycle:
             task = asyncio.ensure_future(service.execute(
                 "a", "count(for $i in 1 to 200000 return $i)"
             ))
-            await asyncio.sleep(0.05)
+            # Wait until the query is actually in flight (a fixed sleep
+            # races admission under sanitizer/debug overhead).
+            for _ in range(400):
+                await asyncio.sleep(0.005)
+                if service.status()["lifecycle"]["inflight"]:
+                    break
             summary = await service.close(drain_timeout=10.0)
             payload = await task
             assert payload["status"] == 200

@@ -1,0 +1,439 @@
+"""The concurrency sanitizer: seeded positives, clean negatives, lint.
+
+Three groups (docs/concurrency.md):
+
+* **Seeded positives** — deliberately wrong toy code must produce the
+  matching report (``potential-deadlock``, ``hierarchy-violation``,
+  ``recursive-lock``, ``data-race``), each carrying both implicated
+  stacks.  Findings are collected through :func:`sanitizer.capture`, so
+  the suite-wide no-report gate in conftest.py stays green.
+* **Clean negatives** — correctly locked code, allowlisted fields and
+  reentrant re-acquisition must stay silent; hypothesis-driven
+  multi-thread stress on the real ``PlanCache`` / ``ResultCache`` /
+  ``MetricsRegistry`` structures must complete report-free.
+* **The static self-lint** — each RSL rule fires exactly once on its
+  fixture under ``tests/fixtures/sanitizer/`` and the repository's own
+  ``src/`` tree lints clean.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import sanitizer
+from repro.core import Rumble, RumbleConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.sanitizer import lint as san_lint
+from repro.sanitizer import locks as san_locks
+from repro.sanitizer.locks import SanLock, SanRLock
+from repro.sanitizer.lockset import shared_state
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIXTURES = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "fixtures", "sanitizer"
+)
+
+
+@contextlib.contextmanager
+def _sanitized():
+    """Run a block with the sanitizer on, restoring the prior state.
+
+    ``reset()`` on exit drops the toy lock-order edges the block seeded
+    so they cannot combine with real engine edges into fabricated
+    cycles later in the process.
+    """
+    was_on = sanitizer.enabled()
+    sanitizer.enable()
+    try:
+        yield
+    finally:
+        sanitizer.reset()
+        if not was_on:
+            sanitizer.disable()
+
+
+@pytest.fixture()
+def sanitize():
+    with _sanitized():
+        yield
+
+
+# -- Seeded positives: the detectors must fire ------------------------------
+
+class TestLockOrderGraph:
+    def test_inverted_order_reports_potential_deadlock(self, sanitize):
+        a = SanLock("t.deadlock.a")
+        b = SanLock("t.deadlock.b")
+        with sanitizer.capture() as box:
+            with a:
+                with b:
+                    pass
+            with b:
+                with a:
+                    pass
+        deadlocks = [r for r in box if r.kind == "potential-deadlock"]
+        assert len(deadlocks) == 1
+        report = deadlocks[0]
+        assert set(report.details["cycle"]) == {"t.deadlock.a",
+                                                "t.deadlock.b"}
+        # Both sides of the inversion are present, with real frames.
+        assert len(report.stacks) >= 2
+        assert all(frames for _label, frames in report.stacks)
+        assert __file__.rstrip("c") in report.render()
+
+    def test_consistent_order_is_silent(self, sanitize):
+        a = SanLock("t.order.a")
+        b = SanLock("t.order.b")
+        with sanitizer.capture() as box:
+            for _ in range(3):
+                with a:
+                    with b:
+                        pass
+        assert box == []
+
+    def test_cycle_through_three_locks(self, sanitize):
+        a, b, c = (SanLock("t.tri." + n) for n in "abc")
+        with sanitizer.capture() as box:
+            with a:
+                with b:
+                    pass
+            with b:
+                with c:
+                    pass
+            with c:
+                with a:
+                    pass
+        deadlocks = [r for r in box if r.kind == "potential-deadlock"]
+        assert len(deadlocks) == 1
+        assert set(deadlocks[0].details["cycle"]) == {
+            "t.tri.a", "t.tri.b", "t.tri.c"
+        }
+
+    def test_hierarchy_violation(self, sanitize):
+        # obs.metrics.registry is an inner (leaf-ward) rank;
+        # server.session is the outermost.  Nesting them inside-out
+        # contradicts the documented order even without a cycle.
+        inner = SanLock("obs.metrics.registry")
+        outer = SanLock("server.session")
+        with sanitizer.capture() as box:
+            with inner:
+                with outer:
+                    pass
+        violations = [r for r in box if r.kind == "hierarchy-violation"]
+        assert len(violations) == 1
+        assert violations[0].details["edge"] == [
+            "obs.metrics.registry", "server.session"
+        ]
+
+    def test_recursive_acquisition_of_plain_lock(self, sanitize):
+        lock = SanLock("t.recursive")
+        with sanitizer.capture() as box:
+            with lock:
+                # blocking=False: the real acquire would deadlock.
+                assert lock.acquire(blocking=False) is False
+        reports = [r for r in box if r.kind == "recursive-lock"]
+        assert len(reports) == 1
+
+    def test_rlock_reentry_is_silent(self, sanitize):
+        lock = SanRLock("t.rlock")
+        with sanitizer.capture() as box:
+            with lock:
+                with lock:
+                    pass
+        assert box == []
+
+
+@shared_state
+class _RacyToy:
+    """Two counters, no lock — the seeded data-race target."""
+
+    def __init__(self):
+        self.value = 0
+
+
+@shared_state(allow=("noisy",))
+class _AllowlistedToy:
+    def __init__(self):
+        self.noisy = 0
+
+
+@shared_state
+class _LockedToy:
+    def __init__(self):
+        self._lock = san_locks.san_lock("t.locked_toy")
+        self.value = 0
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+
+class TestLocksetRaces:
+    def test_unlocked_cross_thread_write_is_a_race(self, sanitize):
+        toy = _RacyToy()
+        toy.value = 1  # post-construction write on the main thread
+        with sanitizer.capture() as box:
+            worker = threading.Thread(
+                target=lambda: setattr(toy, "value", 2),
+                name="racer",
+            )
+            worker.start()
+            worker.join()
+        races = [r for r in box if r.kind == "data-race"]
+        assert len(races) == 1
+        report = races[0]
+        assert report.details["object_class"] == "_RacyToy"
+        assert report.details["field"] == "value"
+        # Both implicated writes, from distinct threads, with frames.
+        assert len(report.stacks) == 2
+        assert all(frames for _label, frames in report.stacks)
+        assert "racer" in report.message
+
+    def test_lock_protected_writes_are_silent(self, sanitize):
+        toy = _LockedToy()
+        with sanitizer.capture() as box:
+            workers = [
+                threading.Thread(target=toy.bump) for _ in range(4)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+        assert box == []
+        assert toy.value == 4
+
+    def test_allowlisted_field_is_exempt(self, sanitize):
+        toy = _AllowlistedToy()
+        toy.noisy = 1
+        with sanitizer.capture() as box:
+            worker = threading.Thread(
+                target=lambda: setattr(toy, "noisy", 2)
+            )
+            worker.start()
+            worker.join()
+        assert box == []
+
+    def test_cancel_token_check_is_allowlisted(self, sanitize):
+        # The real lock-free hot path: CancelToken.check() bumps its
+        # racy-by-design `checks` counter without the token lock.
+        from repro.cancellation import CancelToken
+
+        token = CancelToken()
+        token.check()
+        with sanitizer.capture() as box:
+            worker = threading.Thread(
+                target=lambda: [token.check() for _ in range(50)]
+            )
+            worker.start()
+            worker.join()
+        assert box == []
+
+    def test_id_reuse_does_not_fabricate_races(self, sanitize):
+        # Many short-lived toys written by alternating threads: each
+        # constructor write re-virginizes the (recycled) id.
+        with sanitizer.capture() as box:
+            for index in range(20):
+                toy = _RacyToy()
+                if index % 2:
+                    worker = threading.Thread(
+                        target=lambda t=toy: setattr(t, "value", 1)
+                    )
+                    worker.start()
+                    worker.join()
+                else:
+                    toy.value = 1
+                del toy
+        # A write by thread B on a fresh object after thread A wrote a
+        # *dead* object of the same id must not intersect locksets.
+        assert [r.kind for r in box] == []
+
+
+class TestReportPlumbing:
+    def test_reports_mirror_into_observability(self, sanitize):
+        from repro.obs import Observability
+
+        obs = Observability(enabled=True)
+        lock = SanLock("t.mirror")
+        with lock:
+            assert lock.acquire(blocking=False) is False  # seeded report
+        assert sanitizer.drain_reports()  # the report reached the store
+        assert obs.metrics.counter_value("rumble.sanitizer.reports") == 1
+        assert obs.metrics.counter_value(
+            "rumble.sanitizer.recursive_lock"
+        ) == 1
+        kinds = [e.get("kind") for e in obs.events.filter(
+            "SanitizerReport"
+        )]
+        assert kinds == ["recursive-lock"]
+
+    def test_captured_reports_are_not_mirrored(self, sanitize):
+        from repro.obs import Observability
+
+        obs = Observability(enabled=True)
+        lock = SanLock("t.capture")
+        with sanitizer.capture() as box:
+            with lock:
+                lock.acquire(blocking=False)
+        assert len(box) == 1
+        assert obs.metrics.counter_value("rumble.sanitizer.reports") == 0
+
+    def test_report_render_and_dict_shapes(self, sanitize):
+        lock = SanLock("t.shape")
+        with sanitizer.capture() as box:
+            with lock:
+                lock.acquire(blocking=False)
+        payload = box[0].to_dict()
+        assert payload["kind"] == "recursive-lock"
+        assert payload["stacks"] and payload["message"]
+        rendered = box[0].render()
+        assert "recursive-lock" in rendered and "t.shape" in rendered
+
+
+# -- Clean negatives: multi-thread stress on the real structures ------------
+
+def _fan_out(worker, count=4):
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+@settings(max_examples=10, deadline=None)
+@given(names=st.lists(
+    st.sampled_from(["alpha", "beta", "gamma", "delta"]),
+    min_size=1, max_size=12,
+))
+def test_metrics_registry_stress_is_race_free(names):
+    with _sanitized():
+        registry = MetricsRegistry()
+        with sanitizer.capture() as box:
+            def worker(index):
+                for name in names:
+                    registry.counter(name).inc()
+                    registry.gauge(name).set(index)
+                    registry.histogram(name).observe(float(index))
+
+            _fan_out(worker)
+        assert box == []
+        for name in set(names):
+            assert registry.counter_value(name) == 4 * names.count(name)
+
+
+@settings(max_examples=5, deadline=None)
+@given(values=st.lists(st.integers(min_value=0, max_value=50),
+                       min_size=1, max_size=6))
+def test_plan_cache_stress_is_race_free(values):
+    with _sanitized():
+        engine = Rumble(config=RumbleConfig(
+            materialization_cap=10_000, plan_cache_size=8
+        ))
+        with sanitizer.capture() as box:
+            def worker(index):
+                for value in values:
+                    got = engine.query(
+                        "for $i in 1 to 3 return $i + {}".format(value)
+                    ).to_python()
+                    assert got == [value + 1, value + 2, value + 3]
+
+            _fan_out(worker)
+        assert box == []
+        stats = engine.plan_cache.stats()
+        assert stats["hits"] + stats["misses"] == 4 * len(values)
+
+
+@settings(max_examples=5, deadline=None)
+@given(repeats=st.integers(min_value=1, max_value=4))
+def test_result_cache_stress_is_race_free(repeats):
+    with _sanitized():
+        engine = Rumble(config=RumbleConfig(
+            materialization_cap=10_000, result_cache_size=8
+        ))
+        with sanitizer.capture() as box:
+            def worker(index):
+                for _ in range(repeats):
+                    assert engine.query("1 + 1").to_python() == [2]
+                    assert engine.query("2 + 2").to_python() == [4]
+
+            _fan_out(worker)
+        assert box == []
+        stats = engine.result_cache.stats()
+        assert stats["hits"] + stats["misses"] == 8 * repeats
+
+
+def test_engine_query_report_free_under_sanitizer():
+    """A negative smoke over the whole engine front-to-back."""
+    with _sanitized():
+        with sanitizer.capture() as box:
+            engine = Rumble(config=RumbleConfig(materialization_cap=1000))
+            result = engine.query(
+                "for $i in 1 to 100 where $i mod 7 eq 0 return $i"
+            ).to_python()
+        assert result == [7, 14, 21, 28, 35, 42, 49, 56, 63, 70, 77,
+                          84, 91, 98]
+        assert box == []
+
+
+# -- Pay-for-what-you-use: the off switch -----------------------------------
+
+class TestActivation:
+    def test_factories_return_plain_primitives_when_off(self):
+        if sanitizer.enabled():
+            pytest.skip("suite runs under RUMBLE_SANITIZE")
+        assert type(san_locks.san_lock("t.off")) is type(threading.Lock())
+        assert not isinstance(san_locks.san_rlock("t.off"), SanRLock)
+
+    def test_factories_return_instrumented_locks_when_on(self, sanitize):
+        assert isinstance(san_locks.san_lock("t.on"), SanLock)
+        assert isinstance(san_locks.san_rlock("t.on"), SanRLock)
+
+    def test_config_flag_enables_process_wide(self):
+        was_on = sanitizer.enabled()
+        try:
+            RumbleConfig(sanitize=True)
+            assert sanitizer.enabled()
+        finally:
+            sanitizer.reset()
+            if not was_on:
+                sanitizer.disable()
+
+    def test_disable_restores_setattr(self):
+        if sanitizer.enabled():
+            pytest.skip("suite runs under RUMBLE_SANITIZE")
+        with _sanitized():
+            assert _RacyToy.__dict__.get("__san_instrumented__")
+        assert not _RacyToy.__dict__.get("__san_instrumented__")
+
+
+# -- The static self-lint ---------------------------------------------------
+
+class TestSelfLint:
+    @pytest.mark.parametrize("fixture,code,line", [
+        ("rsl001.py", "RSL001", 21),
+        ("rsl002.py", "RSL002", 17),
+        ("rsl003.py", "RSL003", 12),
+        ("rsl004.py", "RSL004", 17),
+    ])
+    def test_fixture_triggers_rule_exactly_once(self, fixture, code, line):
+        findings = san_lint.lint_paths([os.path.join(FIXTURES, fixture)])
+        assert [(d.code, d.line) for _f, d in findings] == [(code, line)]
+
+    def test_src_tree_lints_clean(self):
+        findings = san_lint.lint_paths([os.path.join(REPO_ROOT, "src")])
+        assert findings == [], "\n".join(
+            "{}: {}".format(f, d.render()) for f, d in findings
+        )
+
+    def test_cli_exit_codes(self, capsys):
+        assert san_lint.main([]) == 2
+        assert san_lint.main([os.path.join(FIXTURES, "rsl001.py")]) == 1
+        assert san_lint.main([os.path.join(REPO_ROOT, "src",
+                                           "repro", "sanitizer")]) == 0
+        out = capsys.readouterr().out
+        assert "RSL001" in out and "self-lint: clean" in out
