@@ -39,17 +39,21 @@ from repro.sanitizer.lockset import shared_state
 from repro.sanitizer.reports import (
     Report,
     add_observer,
+    all_reports,
     capture,
     drain_reports,
     remove_observer,
-    reports,
 )
 from repro.sanitizer.state import STATE, env_wants_sanitize
+
+# NB: the accessor is named ``all_reports`` (not ``reports``) so this
+# re-export cannot rebind the package attribute ``repro.sanitizer
+# .reports`` from the submodule to a function.
 
 __all__ = [
     "SanCondition", "SanLock", "SanRLock", "Report",
     "san_condition", "san_lock", "san_rlock", "shared_state",
-    "add_observer", "remove_observer", "capture", "reports",
+    "add_observer", "remove_observer", "capture", "all_reports",
     "drain_reports", "enable", "disable", "enabled", "reset",
 ]
 

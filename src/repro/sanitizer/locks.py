@@ -123,16 +123,20 @@ def _push(entry: _Held) -> None:
     _tls.version = getattr(_tls, "version", 0) + 1
 
 
-def _pop(lock) -> None:
+def _pop(lock, flush: bool = True) -> None:
     stack = _held_stack()
     for index in range(len(stack) - 1, -1, -1):
         if stack[index].lock is lock:
             del stack[index]
             _tls.version = getattr(_tls, "version", 0) + 1
-            if not stack:
+            if flush and not stack:
                 # Outermost release: now safe to mirror any reports
                 # recorded while this thread was inside a lock (the
-                # mirror itself takes observability locks).
+                # mirror itself takes observability locks).  Callers
+                # must have physically released the inner lock first —
+                # the mirror may need that very lock.  Condition waits
+                # pass ``flush=False`` because the condition's lock is
+                # still held at pop time.
                 _reports.flush_mirror()
             return
     # Tolerate an unmatched release: the lock may have been acquired
@@ -293,8 +297,12 @@ class SanLock:
         return ok
 
     def release(self) -> None:
-        _pop(self)
+        # Physical release first: _pop may flush deferred report
+        # mirroring, which acquires observability locks — if this lock
+        # *is* one of those, popping first would self-deadlock.  The
+        # held stack is thread-local, so the reorder is safe.
         self._inner.release()
+        _pop(self)
 
     def locked(self) -> bool:
         return self._inner.locked()
@@ -334,9 +342,11 @@ class SanRLock:
     def release(self) -> None:
         depth = getattr(self._local, "depth", 1) - 1
         self._local.depth = depth
+        # Physical release before _pop, as in SanLock.release: the
+        # deferred-mirror flush must never run while this lock is held.
+        self._inner.release()
         if depth == 0:
             _pop(self)
-        self._inner.release()
 
     def __enter__(self) -> "SanRLock":
         self.acquire()
@@ -377,7 +387,11 @@ class SanCondition:
         self.release()
 
     def wait(self, timeout: Optional[float] = None) -> bool:
-        _pop(self._san)
+        # flush=False: the condition's lock is still physically held
+        # here (the inner wait() releases it); flushing the deferred
+        # report mirror now could re-acquire that very lock.  Pending
+        # reports flush on the eventual plain release.
+        _pop(self._san, flush=False)
         try:
             return self._inner.wait(timeout)
         finally:
@@ -385,7 +399,7 @@ class SanCondition:
                 _push(_Held(self._san, self.name, capture_stack(2)))
 
     def wait_for(self, predicate, timeout: Optional[float] = None):
-        _pop(self._san)
+        _pop(self._san, flush=False)
         try:
             return self._inner.wait_for(predicate, timeout)
         finally:
@@ -417,8 +431,17 @@ def san_rlock(name: str = "rlock"):
 def san_condition(name: str = "condition", lock=None):
     if not STATE.active:
         return threading.Condition(lock)
-    san = lock if isinstance(lock, SanLock) else None
-    return SanCondition(lock=san, name=name)
+    if lock is not None and not isinstance(lock, SanLock):
+        # Silently substituting a fresh lock would let enabling the
+        # sanitizer change synchronization semantics: callers
+        # coordinating via the original mutex would lose mutual
+        # exclusion with the condition's waiters.
+        raise TypeError(
+            "san_condition(lock=...) needs a SanLock under the "
+            "sanitizer (got {}); build the lock with "
+            "san_lock()".format(type(lock).__name__)
+        )
+    return SanCondition(lock=lock, name=name)
 
 
 def edges() -> Dict[Tuple[str, str], tuple]:

@@ -84,7 +84,7 @@ class Report:
 
 _lock = threading.Lock()  # plain on purpose: guards the sanitizer itself
 _reports: List[Report] = []
-_captures: List[List[Report]] = []
+_captures: List["_Capture"] = []
 _observers: "weakref.WeakSet" = weakref.WeakSet()
 #: Reports whose mirroring is postponed because the recording thread
 #: was holding sanitized locks at record time (mirroring takes the
@@ -99,15 +99,40 @@ def _holding_sanitized_locks() -> bool:
     return _locks.held_any()
 
 
+class _Capture:
+    """One open capture window.
+
+    A window only diverts reports from the thread that opened it and
+    from threads created *after* it opened (the workers the capturing
+    test spawns).  A finding raised by a thread that already existed —
+    a server worker, a background flusher — still reaches the global
+    store and the observability mirror, so a concurrent genuine report
+    cannot be swallowed by an unrelated test's capture block.
+    """
+
+    __slots__ = ("box", "owner", "preexisting")
+
+    def __init__(self, box: List[Report], owner: int,
+                 preexisting: frozenset):
+        self.box = box
+        self.owner = owner
+        self.preexisting = preexisting
+
+    def accepts(self, thread_id: int) -> bool:
+        return thread_id == self.owner or thread_id not in self.preexisting
+
+
 def record(kind: str, message: str,
            stacks: Iterable[Tuple[str, Iterable[Frame]]] = (),
            **details) -> Report:
     report = Report(kind, message, stacks, **details)
     defer = _holding_sanitized_locks()
+    thread_id = threading.get_ident()
     with _lock:
-        if _captures:
-            _captures[-1].append(report)
-            return report
+        for window in reversed(_captures):
+            if window.accepts(thread_id):
+                window.box.append(report)
+                return report
         _reports.append(report)
         if defer:
             _pending_mirror.append(report)
@@ -153,19 +178,32 @@ def capture():
     """Redirect reports raised inside the block into the yielded list.
 
     Captured reports never reach the global store or the observability
-    mirror — they belong to the test that provoked them.
+    mirror — they belong to the test that provoked them.  The window is
+    scoped to the capturing thread and to threads started after it
+    opened; findings from pre-existing background threads bypass it
+    (see :class:`_Capture`).
     """
     box: List[Report] = []
+    owner = threading.get_ident()
+    preexisting = frozenset(
+        t.ident for t in threading.enumerate() if t.ident is not None
+    ) - {owner}
+    window = _Capture(box, owner, preexisting)
     with _lock:
-        _captures.append(box)
+        _captures.append(window)
     try:
         yield box
     finally:
         with _lock:
-            _captures.remove(box)
+            _captures.remove(window)
 
 
-def reports() -> List[Report]:
+def all_reports() -> List[Report]:
+    """A snapshot of the uncaptured reports recorded so far.
+
+    Named so the accessor cannot shadow this submodule when re-exported
+    from the package (``repro.sanitizer.reports`` stays the module).
+    """
     with _lock:
         return list(_reports)
 

@@ -30,7 +30,8 @@ from repro.core import Rumble, RumbleConfig
 from repro.obs.metrics import MetricsRegistry
 from repro.sanitizer import lint as san_lint
 from repro.sanitizer import locks as san_locks
-from repro.sanitizer.locks import SanLock, SanRLock
+from repro.sanitizer import reports as san_reports
+from repro.sanitizer.locks import SanCondition, SanLock, SanRLock
 from repro.sanitizer.lockset import shared_state
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -282,6 +283,95 @@ class TestReportPlumbing:
         assert len(box) == 1
         assert obs.metrics.counter_value("rumble.sanitizer.reports") == 0
 
+    def test_release_of_mirror_lock_flushes_without_self_deadlock(
+            self, sanitize):
+        # The deferred mirror acquires the metrics-registry lock; a
+        # report recorded while holding that very lock must only flush
+        # after the physical release (release() used to flush first and
+        # block forever re-acquiring its own still-held lock).
+        from repro.obs import Observability
+
+        obs = Observability(enabled=True)
+        done = threading.Event()
+
+        def worker():
+            with obs.metrics._lock:
+                san_reports.record("data-race", "seeded under registry lock")
+            done.set()
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        assert done.wait(5.0), "release() self-deadlocked on the mirror"
+        thread.join(5.0)
+        assert obs.metrics.counter_value("rumble.sanitizer.reports") == 1
+        assert [r.message for r in sanitizer.drain_reports()] == [
+            "seeded under registry lock"
+        ]
+
+    def test_condition_wait_defers_mirror_flush(self, sanitize):
+        # wait() pops the held-stack entry while the condition's lock
+        # is still physically held; flushing the mirror there would
+        # re-acquire that lock if the mirror needs it.
+        from repro.obs import Observability
+
+        obs = Observability(enabled=True)
+        condition = SanCondition(lock=obs.metrics._lock)
+        done = threading.Event()
+
+        def worker():
+            with condition:
+                san_reports.record("data-race", "seeded before wait")
+                condition.wait(timeout=0.05)
+            done.set()
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        assert done.wait(5.0), "wait() flushed the mirror under the lock"
+        thread.join(5.0)
+        assert obs.metrics.counter_value("rumble.sanitizer.reports") == 1
+        assert sanitizer.drain_reports()
+
+    def test_capture_ignores_preexisting_background_threads(self, sanitize):
+        # A finding from a thread that predates the capture window must
+        # reach the global store, not the unrelated test's box.
+        go = threading.Event()
+        recorded = threading.Event()
+
+        def background():
+            go.wait(5.0)
+            san_reports.record("data-race", "from a pre-existing thread")
+            recorded.set()
+
+        thread = threading.Thread(target=background, daemon=True)
+        thread.start()
+        with sanitizer.capture() as box:
+            go.set()
+            assert recorded.wait(5.0)
+            thread.join(5.0)
+        assert box == []
+        assert [r.message for r in sanitizer.drain_reports()] == [
+            "from a pre-existing thread"
+        ]
+
+    def test_capture_covers_threads_spawned_inside_the_window(
+            self, sanitize):
+        with sanitizer.capture() as box:
+            worker = threading.Thread(
+                target=lambda: san_reports.record("data-race", "from child")
+            )
+            worker.start()
+            worker.join(5.0)
+        assert [r.message for r in box] == ["from child"]
+
+    def test_reports_submodule_is_not_shadowed(self):
+        import repro.sanitizer as pkg
+        from repro.sanitizer import reports as reports_module
+
+        assert reports_module is san_reports  # the module, not a function
+        assert pkg.reports is reports_module
+        assert callable(pkg.all_reports)
+        assert "reports" not in pkg.__all__
+
     def test_report_render_and_dict_shapes(self, sanitize):
         lock = SanLock("t.shape")
         with sanitizer.capture() as box:
@@ -392,6 +482,23 @@ class TestActivation:
     def test_factories_return_instrumented_locks_when_on(self, sanitize):
         assert isinstance(san_locks.san_lock("t.on"), SanLock)
         assert isinstance(san_locks.san_rlock("t.on"), SanRLock)
+
+    def test_san_condition_rejects_foreign_lock_when_on(self, sanitize):
+        # Silently swapping a caller's plain mutex for a fresh one
+        # would change synchronization semantics; refuse instead.
+        with pytest.raises(TypeError):
+            san_locks.san_condition("t.cond", lock=threading.Lock())
+        lock = SanLock("t.cond.lock")
+        condition = san_locks.san_condition("t.cond", lock=lock)
+        assert isinstance(condition, SanCondition)
+        assert condition._san is lock
+
+    def test_san_condition_honors_plain_lock_when_off(self):
+        if sanitizer.enabled():
+            pytest.skip("suite runs under RUMBLE_SANITIZE")
+        plain = threading.Lock()
+        condition = san_locks.san_condition("t.cond.off", lock=plain)
+        assert condition._lock is plain
 
     def test_config_flag_enables_process_wide(self):
         was_on = sanitizer.enabled()
