@@ -45,7 +45,7 @@ BENCH_RECORD: dict = {}
 #: BENCH_baseline.json.
 BENCH_OUT = os.environ.get(
     "RUMBLE_BENCH_OUT",
-    os.path.join(os.path.dirname(__file__), "BENCH_pr7.json"),
+    os.path.join(os.path.dirname(__file__), "BENCH_pr9.json"),
 )
 
 

@@ -92,6 +92,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="force adaptive query execution off",
     )
     parser.add_argument(
+        "--columnar", dest="columnar", action="store_true", default=None,
+        help="force vectorized columnar execution on (shredded typed "
+             "batches, predicate masks, batch kernels; the default "
+             "follows RUMBLE_COLUMNAR)",
+    )
+    parser.add_argument(
+        "--no-columnar", dest="columnar", action="store_false",
+        help="force vectorized columnar execution off (row-at-a-time "
+             "reference scan)",
+    )
+    parser.add_argument(
         "--memory-budget", type=int, metavar="BYTES",
         help="bound the unified memory pool (cached partitions + shuffle "
              "buckets) to this many bytes; overflow evicts LRU cached "
@@ -303,6 +314,7 @@ def main(argv=None) -> int:
             adaptive=arguments.adaptive,
             memory_budget=arguments.memory_budget,
             sanitize=arguments.sanitize,
+            columnar=arguments.columnar,
         )
     except ValueError as error:
         print("error: {}".format(error), file=sys.stderr)

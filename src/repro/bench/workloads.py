@@ -71,13 +71,14 @@ def make_rumble_engine(
     pushdown: Optional[bool] = None,
     adaptive: Optional[bool] = None,
     memory_budget: Optional[int] = None,
+    columnar: Optional[bool] = None,
 ) -> Rumble:
     """A Rumble engine with a benchmark-friendly substrate.
 
-    ``fusion``, ``pushdown`` and ``adaptive`` toggle the optimizer
-    layers for ablation runs; ``None`` keeps the engine defaults (all
-    on).  ``memory_budget`` bounds the unified memory pool in bytes,
-    forcing eviction and spill for memory-pressure runs.
+    ``fusion``, ``pushdown``, ``adaptive`` and ``columnar`` toggle the
+    optimizer layers for ablation runs; ``None`` keeps the engine
+    defaults (all on).  ``memory_budget`` bounds the unified memory pool
+    in bytes, forcing eviction and spill for memory-pressure runs.
     """
     return make_engine(
         executors=executors,
@@ -88,6 +89,7 @@ def make_rumble_engine(
         pushdown=pushdown,
         adaptive=adaptive,
         memory_budget=memory_budget,
+        columnar=columnar,
     )
 
 

@@ -57,6 +57,13 @@ class RumbleConfig:
     #: analysis + lockset race detection; docs/concurrency.md).  False
     #: leaves it untouched — it may already be on via RUMBLE_SANITIZE.
     sanitize: bool = False
+    #: Vectorized columnar execution: shred scanned JSON-lines blocks
+    #: into typed column batches and run predicate masks / batch kernels
+    #: over them, boxing items only at the boundary (docs/performance.md,
+    #: "Columnar execution").  Requires :attr:`pushdown` (the columnar
+    #: scan rides the pushdown plan).  None inherits the process default
+    #: (``RUMBLE_COLUMNAR``, on unless set to ``0``/``false``/empty).
+    columnar: Optional[bool] = None
 
     def __post_init__(self) -> None:
         from repro.jsoniq.jsonlines import PARSE_MODES
@@ -79,3 +86,19 @@ class RumbleConfig:
             from repro import sanitizer
 
             sanitizer.enable()
+
+
+def columnar_enabled(config: "RumbleConfig") -> bool:
+    """Whether columnar execution is on for this engine: the config's
+    explicit choice, else the ``RUMBLE_COLUMNAR`` process default (on
+    unless ``0``/``false``/empty).  Columnar paths additionally require
+    pushdown — the batch scan is driven by the pushdown plan, and with
+    pushdown off the reference row path must stay untouched."""
+    import os
+
+    choice = getattr(config, "columnar", None)
+    if choice is None:
+        choice = os.environ.get("RUMBLE_COLUMNAR", "1") not in (
+            "0", "false", ""
+        )
+    return bool(choice) and getattr(config, "pushdown", True)

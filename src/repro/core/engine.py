@@ -15,7 +15,7 @@ import warnings
 from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.core.config import RumbleConfig
+from repro.core.config import RumbleConfig, columnar_enabled
 from repro.core.results import SequenceOfItems
 from repro.items import Item, item_from_python
 from repro.jsoniq import parser as jsoniq_parser
@@ -296,6 +296,10 @@ class Rumble:
         if replan:
             lines.append("")
             lines.extend(replan)
+        shreds = self._columnar_scan_notes()
+        if shreds:
+            lines.append("")
+            lines.extend(shreds)
         return "\n".join(lines)
 
     def _optimizer_notes(self, iterator: RuntimeIterator) -> List[str]:
@@ -320,7 +324,11 @@ class Rumble:
                 "{} bytes".format(memory.budget)
                 if memory.limited else "unbounded"
             ),
+            "  columnar: {}".format(
+                "on" if columnar_enabled(self.config) else "off"
+            ),
         ]
+        columnar_on = columnar_enabled(self.config)
         decisions: List[str] = []
         for root in _walk_iterators(iterator):
             if not isinstance(root, ReturnClauseIterator):
@@ -330,6 +338,11 @@ class Rumble:
                 decisions.extend(
                     "    " + line for line in plan.describe()
                 )
+            cplan = getattr(root, "columnar_plan", None)
+            if cplan is not None and columnar_on:
+                decisions.extend(
+                    "    " + line for line in cplan.describe()
+                )
             if root.topk is not None:
                 decisions.append(
                     "    top-k rewrite: heap keeps {} row(s), "
@@ -338,6 +351,35 @@ class Rumble:
         if decisions:
             lines.append("  scan/order decisions:")
             lines.extend(decisions)
+        return lines
+
+    def _columnar_scan_notes(self) -> List[str]:
+        """The post-run columnar section of :meth:`explain`: per-block
+        shred statistics of the most recent execution's columnar scans.
+        Empty until a columnar scan has run."""
+        ledger = self.spark.spark_context.columnar
+        entries = ledger.snapshot()
+        if not entries:
+            return []
+        lines = ["Columnar (last run)"]
+        for entry in entries:
+            start, length = entry.get("block", (0, 0))
+            lines.append(
+                "  {}[{}:{}]: rows={} shredded={} escaped={} pruned={}"
+                " cache={} schema=({})".format(
+                    entry.get("path", "?"), start, start + length,
+                    entry.get("rows", 0), entry.get("shredded", 0),
+                    entry.get("escaped", 0), entry.get("pruned", 0),
+                    "hit" if entry.get("cache_hit") else "miss",
+                    entry.get("schema", ""),
+                )
+            )
+        if ledger.truncated:
+            lines.append(
+                "  ... {} more block(s) not recorded".format(
+                    ledger.truncated
+                )
+            )
         return lines
 
     def _adaptive_replan_notes(self) -> List[str]:
@@ -491,6 +533,7 @@ def make_engine(
     pushdown: Optional[bool] = None,
     adaptive: Optional[bool] = None,
     memory_budget: Optional[int] = None,
+    columnar: Optional[bool] = None,
 ) -> Rumble:
     """Build an engine with an explicitly sized substrate cluster.
 
@@ -510,6 +553,10 @@ def make_engine(
     coalescing, skew splitting, join re-planning) and ``memory_budget``
     bounds the unified memory pool in bytes, enabling LRU eviction of
     cached partitions and shuffle-bucket spill (docs/performance.md).
+
+    ``columnar`` toggles the vectorized columnar scan (shredded typed
+    batches + predicate masks + batch kernels; docs/performance.md,
+    "Columnar execution").  None inherits ``RUMBLE_COLUMNAR``.
     """
     conf = SparkConf()
     conf.set("spark.executor.instances", executors)
@@ -540,6 +587,11 @@ def make_engine(
             config = RumbleConfig(pushdown=pushdown)
         else:
             config.pushdown = pushdown
+    if columnar is not None:
+        if config is None:
+            config = RumbleConfig(columnar=columnar)
+        else:
+            config.columnar = columnar
     from repro.spark import SparkContext
 
     return Rumble(SparkSession(SparkContext(conf)), config)

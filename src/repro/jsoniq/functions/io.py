@@ -195,6 +195,144 @@ class JsonFileIterator(RuntimeIterator):
 
         return lines.map_partitions(read)
 
+    def get_rdd_columnar(self, context: DynamicContext, plan):
+        """The vectorized scan: one :class:`MaskedBatch` per file block.
+
+        Result-identical to :meth:`get_rdd_pushed` by construction —
+        same file pruning, same decode, same three-valued predicate
+        semantics (vectorized into per-column masks) — so it reports the
+        same ``rumble.pushdown.*`` counters *plus* the
+        ``rumble.columnar.*`` family.  Consumers box surviving rows at
+        the boundary (:meth:`MaskedBatch.iter_boxed`) or run batch
+        kernels over the columns directly.
+
+        Shredded batches are cached process-wide by block fingerprint,
+        but only under ``failfast`` parsing: the tolerant modes report
+        every malformed line to the fault ledger per scan, which a cache
+        hit would silence.
+        """
+        from repro.items.columnar import BATCH_CACHE, PRUNED, MaskedBatch
+        from repro.jsoniq.jsonlines import shred_json_lines
+        from repro.jsoniq.runtime.base import _obs_of
+        from repro.spark import storage
+        from repro.spark.rdd import RDD
+
+        runtime, path, min_partitions = self._resolve(context)
+        mode, corrupt_field = _parse_settings(runtime)
+        context_ = runtime.spark.spark_context
+        blocks, pruned_files = storage.split_input_pruned(
+            path,
+            min_partitions=min_partitions,
+            block_size=int(context_.conf.get("spark.storage.blockSize")),
+            range_predicates=plan.range_predicates,
+        )
+        obs = _obs_of(context)
+        predicates = tuple(plan.predicates)
+        projection = plan.effective_projection()
+        counters = None
+        if obs is not None:
+            metrics = obs.metrics
+            metrics.counter("rumble.pushdown.scans").inc()
+            metrics.counter("rumble.columnar.scans").inc()
+            if pruned_files:
+                metrics.counter(
+                    "rumble.pushdown.files_pruned"
+                ).inc(pruned_files)
+            if projection is not None:
+                metrics.counter("rumble.pushdown.projections").inc()
+            if predicates:
+                metrics.counter(
+                    "rumble.pushdown.predicates"
+                ).inc(len(predicates))
+            counters = {
+                "batches": metrics.counter("rumble.columnar.batches"),
+                "shredded": metrics.counter("rumble.columnar.shredded_rows"),
+                "escaped": metrics.counter("rumble.columnar.escaped_rows"),
+                "pruned": metrics.counter("rumble.columnar.pruned_rows"),
+                "mask_rows": metrics.counter("rumble.columnar.mask_rows"),
+                "mask_selected": metrics.counter(
+                    "rumble.columnar.mask_selected"
+                ),
+                "cache_hits": metrics.counter("rumble.columnar.cache_hits"),
+                "records_pruned": metrics.counter(
+                    "rumble.pushdown.records_pruned"
+                ),
+            }
+        if not blocks:
+            return context_.empty_rdd()
+        decode_errors = "strict" if mode == "failfast" else "replace"
+        cacheable = mode == "failfast"
+        on_malformed = None
+        if mode != "failfast":
+            faults = context_.faults
+            kind = (
+                "malformed_dropped" if mode == "dropmalformed"
+                else "malformed_captured"
+            )
+
+            def on_malformed(line, error):
+                faults.record(
+                    kind, "MalformedRecord", mode=mode,
+                    reason=str(error)[:120],
+                )
+
+        ledger = getattr(context_, "columnar", None)
+
+        def compute(split: int):
+            block = blocks[split]
+            batch = None
+            key = None
+            if cacheable:
+                try:
+                    key = block.fingerprint()
+                except OSError:
+                    key = None
+                if key is not None:
+                    batch = BATCH_CACHE.get(key)
+            hit = batch is not None
+            if batch is None:
+                batch = shred_json_lines(
+                    block.read_lines(decode_errors=decode_errors),
+                    mode=mode,
+                    corrupt_field=corrupt_field,
+                    on_malformed=on_malformed,
+                )
+                if key is not None:
+                    BATCH_CACHE.put(key, batch)
+            statuses = batch.apply_predicates(predicates)
+            pruned = statuses.count(PRUNED) if predicates else 0
+            if counters is not None:
+                counters["batches"].inc()
+                counters["shredded"].inc(batch.shredded_count)
+                counters["escaped"].inc(len(batch.escaped))
+                if hit:
+                    counters["cache_hits"].inc()
+                if predicates:
+                    counters["records_pruned"].inc(pruned)
+                    counters["pruned"].inc(pruned)
+                    counters["mask_rows"].inc(batch.row_count)
+                    counters["mask_selected"].inc(batch.row_count - pruned)
+            if ledger is not None:
+                ledger.record(
+                    path=path,
+                    block=(block.start, block.length),
+                    rows=batch.row_count,
+                    shredded=batch.shredded_count,
+                    escaped=len(batch.escaped),
+                    pruned=pruned,
+                    cache_hit=hit,
+                    schema=(
+                        batch.schema.describe() if batch.schema is not None
+                        else "(no objects sampled)"
+                    ),
+                )
+            yield MaskedBatch(batch, statuses)
+
+        return RDD(
+            context_, compute, len(blocks),
+            name="columnarScan({})".format(path),
+        )
+
 
 @iterator_function("json-lines", [1, 2])
 class JsonLinesIterator(JsonFileIterator):

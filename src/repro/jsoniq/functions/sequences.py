@@ -37,6 +37,15 @@ class CountIterator(RuntimeIterator):
 
     def _generate(self, context: DynamicContext) -> Iterator[Item]:
         if self.source.is_rdd(context):
+            # The columnar count kernel (flwor/columnar.py) sums batch
+            # verdicts without boxing; None = gate closed, reference
+            # count action.
+            fast = getattr(self.source, "rdd_count", None)
+            if fast is not None:
+                total = fast(context)
+                if total is not None:
+                    yield IntegerItem(total)
+                    return
             yield IntegerItem(self.source.get_rdd(context).count())
             return
         total = sum(1 for _ in self.source.iterate(context))

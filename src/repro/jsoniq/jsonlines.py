@@ -312,6 +312,59 @@ def iter_json_lines_pushed(
         yield _wrap_fast(record)
 
 
+def shred_json_lines(
+    lines,
+    mode: str = "failfast",
+    corrupt_field: str = CORRUPT_RECORD_FIELD,
+    on_malformed=None,
+):
+    """Decode JSON lines and shred them into one ``ColumnBatch``.
+
+    The columnar twin of :func:`iter_json_lines_pushed` up to (but not
+    including) predicate evaluation: lines decode through the same C
+    ``json`` path with the same parse-mode semantics — failfast raises,
+    permissive replaces a bad line with a corrupt-record placeholder
+    (its row index lands in ``batch.corrupt_rows`` so a pushed scan can
+    prune it unconditionally, exactly like the row path), dropmalformed
+    skips it, and ``on_malformed`` fires for every tolerated bad line.
+    Predicate masks are applied later, per query, over the shared batch.
+    """
+    import json
+
+    from repro.items.columnar import shred_records
+
+    if mode not in PARSE_MODES:
+        raise ValueError(
+            "unknown parse mode {!r} (expected one of {})".format(
+                mode, ", ".join(PARSE_MODES)
+            )
+        )
+    loads = json.loads
+    records = []
+    corrupt_rows = set()
+    for line in lines:
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = loads(stripped)
+        except ValueError as error:
+            wrapped = JsonSyntaxError(str(error))
+            if mode == "failfast":
+                raise wrapped from error
+            if on_malformed is not None:
+                on_malformed(stripped, wrapped)
+            if mode == "permissive":
+                corrupt_rows.add(len(records))
+                records.append({corrupt_field: stripped})
+            continue
+        records.append(record)
+    batch = shred_records(records)
+    if corrupt_rows:
+        batch.corrupt_rows = frozenset(corrupt_rows)
+    return batch
+
+
 def _skip_ws(text: str, position: int) -> int:
     while position < len(text) and text[position] in _WHITESPACE:
         position += 1

@@ -242,6 +242,9 @@ class ForClauseIterator(ClauseIterator):
     #: Attached by :mod:`repro.jsoniq.runtime.flwor.pushdown` when this is
     #: the leading clause of a pushdown-eligible chain.
     pushdown_plan = None
+    #: Attached by :mod:`repro.jsoniq.runtime.flwor.columnar` alongside the
+    #: pushdown plan (the columnar decision record for explain + kernels).
+    columnar_plan = None
 
     def __init__(
         self,
@@ -289,12 +292,37 @@ class ForClauseIterator(ClauseIterator):
             return self.expression.is_rdd(context)
         return self.input_clause.supports_dataframe(context)
 
+    @staticmethod
+    def _columnar_on(runtime) -> bool:
+        from repro.core.config import columnar_enabled
+
+        return columnar_enabled(runtime.config)
+
     def get_dataframe(self, context: DynamicContext) -> DataFrame:
         runtime = context.runtime
         obs = _obs_of(context)
         if self.input_clause is None:
             plan = self.pushdown_plan
             if (
+                plan is not None
+                and plan.predicates
+                and getattr(runtime.config, "pushdown", True)
+                and hasattr(self.expression, "get_rdd_columnar")
+                and self._columnar_on(runtime)
+            ):
+                # The masked batch scan: predicates run as per-column
+                # masks over shredded batches; only surviving rows box
+                # at this boundary (verified ones pre-proved, exactly
+                # like the pushed row scan's pushdown_verified marks).
+                batches = self.expression.get_rdd_columnar(context, plan)
+
+                def unbox(masked_batches):
+                    for masked in masked_batches:
+                        yield from masked.iter_boxed()
+
+                unbox._columnar_label = "unbox[${}]".format(self.variable)
+                rdd = batches.map_partitions(unbox)
+            elif (
                 plan is not None
                 and getattr(runtime.config, "pushdown", True)
                 and hasattr(self.expression, "get_rdd_pushed")
@@ -656,6 +684,10 @@ class GroupByClauseIterator(ClauseIterator):
     the usage analysis allows (``variable_usage``).
     """
 
+    #: Attached by :mod:`repro.jsoniq.runtime.flwor.columnar` when this
+    #: group-by can pre-aggregate masked batches into partial rows.
+    columnar_kernel = None
+
     def __init__(
         self,
         input_clause: ClauseIterator,
@@ -732,8 +764,21 @@ class GroupByClauseIterator(ClauseIterator):
             yield self._merge_group(members)
 
     def get_dataframe(self, context: DynamicContext) -> DataFrame:
-        frame = self.input_clause.get_dataframe(context)
         key_names = self._key_names()
+        kernel = self.columnar_kernel
+        if kernel is not None:
+            # The columnar group-by count kernel: partial rows straight
+            # from masked batches (one per partition and key, counts
+            # pre-aggregated), same columns the reference ``encode``
+            # emits — the group/aggregate/order machinery below merges
+            # them unchanged.  None = gate closed, take the row path.
+            encoded = kernel.partial_rows(context)
+            if encoded is not None:
+                return self._aggregate_encoded(
+                    context, encoded, [kernel.cplan.plan.variable],
+                    key_names,
+                )
+        frame = self.input_clause.get_dataframe(context)
 
         # Extended projection: bind fresh keys, then the three native
         # columns per grouping variable (pure driver-side Python, as the
@@ -794,10 +839,19 @@ class GroupByClauseIterator(ClauseIterator):
             return [out]
 
         encoded = frame.rdd.flat_map(encode)
+        return self._aggregate_encoded(
+            context, encoded, list(frame.columns), key_names
+        )
+
+    def _aggregate_encoded(
+        self, context, encoded, source_columns, key_names
+    ) -> DataFrame:
+        """Group, aggregate and order pre-encoded rows (shared by the
+        reference encode path and the columnar kernel)."""
         variables = [
             name
             for name in set(
-                list(frame.columns) + key_names
+                list(source_columns) + key_names
             )
         ]
         native = []
@@ -815,7 +869,7 @@ class GroupByClauseIterator(ClauseIterator):
                     lambda values: values[0], alias=name,
                 )
             )
-        for name in frame.columns:
+        for name in source_columns:
             if name in key_names:
                 continue
             kind = self.variable_usage.get(name, USAGE_MATERIALIZE)
@@ -1079,6 +1133,8 @@ class ReturnClauseIterator(RuntimeIterator):
     #: Attached by :mod:`repro.jsoniq.runtime.flwor.pushdown`.
     pushdown_plan = None
     topk = None
+    #: Attached by :mod:`repro.jsoniq.runtime.flwor.columnar`.
+    columnar_plan = None
 
     def __init__(self, input_clause: ClauseIterator,
                  expression: RuntimeIterator):
@@ -1114,6 +1170,13 @@ class ReturnClauseIterator(RuntimeIterator):
             context.runtime is not None
             and self.input_clause.supports_dataframe(context)
         )
+
+    def rdd_count(self, context: DynamicContext):
+        """The columnar count kernel, or None to fall back to the
+        reference ``get_rdd().count()`` (see flwor/columnar.py)."""
+        from repro.jsoniq.runtime.flwor.columnar import rdd_count
+
+        return rdd_count(self, context)
 
     def get_rdd(self, context: DynamicContext):
         frame = self.input_clause.get_dataframe(context)

@@ -359,6 +359,13 @@ def annotate(flwor: ast.FlworExpression, return_iterator) -> None:
             head.pushdown_plan = plan
             return_iterator.pushdown_plan = plan
             _tag_covered_wheres(head, return_iterator, plan)
+            # Columnar consumers ride the same plan (masked batch scan,
+            # count kernel, group-by count kernel); must run before the
+            # top-k rewrite while the chain is still the plain clause
+            # list.  See flwor/columnar.py.
+            from repro.jsoniq.runtime.flwor.columnar import plan_columnar
+
+            plan_columnar(head, return_iterator, plan)
     _rewrite_topk(flwor, return_iterator)
 
 

@@ -37,6 +37,8 @@ LOCK_ORDER: Tuple[str, ...] = (
     "spark.memory",
     "spark.shuffle.stats",
     "spark.storage.registry",
+    "spark.columnar.ledger",
+    "items.columnar.batch_cache",
     "cancel.token",
     "obs.metrics.registry",
     "obs.events",
@@ -58,6 +60,8 @@ SITE_ATTRS: Dict[Tuple[str, str], str] = {
     ("MemoryManager", "_lock"): "spark.memory",
     ("ShuffleStats", "_lock"): "spark.shuffle.stats",
     ("FileSystemRegistry", "_lock"): "spark.storage.registry",
+    ("ColumnarLedger", "_lock"): "spark.columnar.ledger",
+    ("ColumnBatchCache", "_lock"): "items.columnar.batch_cache",
     ("CancelToken", "_lock"): "cancel.token",
     ("MetricsRegistry", "_lock"): "obs.metrics.registry",
     ("EventLog", "_lock"): "obs.events",

@@ -5,6 +5,7 @@ from __future__ import annotations
 import os
 from typing import Any, Dict, Iterable, List, Optional
 
+from repro.sanitizer import san_lock, shared_state
 from repro.spark.cluster import ExecutorPool
 from repro.spark.faults import FaultManager
 from repro.spark.memory import MemoryManager
@@ -23,6 +24,43 @@ def _env_memory_budget() -> Optional[int]:
 
 def _env_adaptive_default() -> bool:
     return os.environ.get("RUMBLE_ADAPTIVE", "1") not in ("0", "false", "")
+
+
+@shared_state
+class ColumnarLedger:
+    """Per-context shred statistics of the last run's columnar scans.
+
+    One entry per scanned block (capped: only the most recent
+    :attr:`CAP` survive), appended by ``get_rdd_columnar`` and rendered
+    by ``explain()``'s "Columnar (last run)" section.  Thread executors
+    append concurrently, hence the hierarchy lock
+    (``spark.columnar.ledger`` — acquired *after* the scan released the
+    batch-cache lock, never inside it).
+    """
+
+    CAP = 16
+
+    def __init__(self) -> None:
+        self.entries: List[Dict[str, Any]] = []
+        #: Blocks dropped once ``entries`` hit :attr:`CAP`.
+        self.truncated = 0
+        self._lock = san_lock("spark.columnar.ledger")
+
+    def record(self, **fields: Any) -> None:
+        with self._lock:
+            if len(self.entries) >= self.CAP:
+                self.truncated += 1
+                return
+            self.entries.append(fields)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self.entries)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.entries.clear()
+            self.truncated = 0
 
 
 class SparkConf:
@@ -113,6 +151,9 @@ class SparkContext:
         self.memory = MemoryManager(
             budget=self.conf.get("spark.memory.budgetBytes")
         )
+        #: Shred statistics of the last run's columnar scans, rendered
+        #: by explain() (see flwor/columnar.py and items/columnar.py).
+        self.columnar = ColumnarLedger()
         #: The active observability bundle (None when not profiling);
         #: installed/removed by :meth:`repro.obs.Observability.attach`.
         self.obs = None
@@ -186,6 +227,7 @@ class SparkContext:
         self.faults.reset()
         self.adaptive.reset()
         self.memory.reset_counters()
+        self.columnar.reset()
 
 
 class SparkSession:

@@ -174,8 +174,14 @@ def fusion_source(rdd):
 
 
 def describe_chain(rdd) -> str:
-    """``map+filter+flatmap``-style summary of an RDD's fused chain."""
+    """``map+filter+flatmap``-style summary of an RDD's fused chain.
+
+    An operator function may carry a ``_columnar_label`` attribute (set
+    by the columnar boxing boundary, e.g. ``unbox[$v]``) that replaces
+    its generic kind in the summary."""
     ops = fused_chain(rdd)
     if not ops:
         return "(unfused)"
-    return "+".join(op.kind for op in ops)
+    return "+".join(
+        getattr(op.func, "_columnar_label", op.kind) for op in ops
+    )

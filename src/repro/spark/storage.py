@@ -40,6 +40,15 @@ class FileBlock:
     start: int
     length: int
 
+    def fingerprint(self) -> Tuple:
+        """The block's cache identity: its byte range plus the file's
+        stat fingerprint, so the shredded-batch cache invalidates on any
+        rewrite (same signal as :func:`fingerprint_uri`).  Raises
+        ``OSError`` if the file vanished — callers skip caching then."""
+        stat = os.stat(self.path)
+        return (self.path, self.start, self.length,
+                stat.st_size, stat.st_mtime_ns)
+
     def read_lines(self, decode_errors: str = "strict") -> Iterator[str]:
         """Yield the block's lines.  ``decode_errors`` follows the codec
         convention (``"strict"``, ``"replace"``, ...): the tolerant parse

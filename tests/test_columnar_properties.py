@@ -1,0 +1,209 @@
+"""Property tests (hypothesis): columnar shredding is semantics-free.
+
+Three pins, extending ``tests/test_fusion_properties.py`` to the
+columnar layer:
+
+* **Round trip** — shredding arbitrary messy JSON rows (mixed scalars,
+  nested lists, unknown keys, non-objects) and rebuilding them yields
+  the exact original records, key order and int/float distinction
+  included, whether a row shredded or escaped.
+* **FLWOR identity** — generated FLWOR pipelines over generated messy
+  files produce identical *outcomes* (results or errors, message
+  included) with columnar on and off.
+* **Chaos identity** — under a fixed chaos seed with speculation,
+  adaptive execution and a tight memory budget forcing spill, the
+  columnar and row paths still agree.
+"""
+
+import itertools
+import json
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import RumbleConfig, make_engine
+from repro.items.columnar import shred_records
+from repro.jsoniq.errors import JsoniqException
+from repro.spark.faults import FaultPlan
+
+# -- Shred / unshred round trip -----------------------------------------------
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=8),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=4), children, max_size=4),
+    ),
+    max_leaves=8,
+)
+#: Top-level rows: mostly objects (the regular case), sometimes not.
+json_rows = st.lists(
+    st.one_of(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c", "d"]), json_values, max_size=4
+        ),
+        json_values,
+    ),
+    max_size=25,
+)
+
+
+class TestRoundTrip:
+    @given(records=json_rows)
+    @settings(max_examples=120, deadline=None)
+    def test_rebuild_is_exact(self, records):
+        """Every row rebuilds to its original record — compared through
+        ``json.dumps`` so key order and 1-vs-1.0 both count."""
+        batch = shred_records(records)
+        assert batch.row_count == len(records)
+        for row, original in enumerate(records):
+            rebuilt = batch.rebuild_record(row)
+            assert json.dumps(rebuilt, sort_keys=False) \
+                == json.dumps(original, sort_keys=False)
+
+    @given(records=json_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_boxing_is_exact(self, records):
+        """The boxed item stream equals the records, escape hatch and
+        all (shredded + escaped row counts must cover the batch)."""
+        batch = shred_records(records)
+        assert [item.to_python() for item in batch.iter_items()] == records
+        assert batch.shredded_count + len(batch.escaped) == len(records)
+
+
+# -- Generated FLWOR pipelines over messy files -------------------------------
+
+WHERE_CLAUSES = [
+    "",
+    "where $o.v ge {lo}\n",
+    "where $o.v lt {lo}\n",
+    "where $o.tag eq \"a\"\n",
+    "where $o.v ge {lo}\nwhere $o.tag ne \"c\"\n",
+]
+GROUP_OR_ORDER = [
+    "",
+    "order by $o.v ascending\n",
+    "group by $t := $o.tag\n",
+]
+RETURNS = {
+    "": ["return $o.v", "return { \"v\": $o.v, \"tag\": $o.tag }"],
+    "order": ["return $o.v"],
+    # After group-by only the keys and aggregates stay in scope.
+    "group": ["return { \"tag\": $t, \"count\": count($o) }"],
+}
+
+#: Per-row messiness: regular rows, floats, nulls, missing keys,
+#: re-ordered keys (escape), unknown keys, non-objects, array values.
+ROW_VARIANTS = [
+    lambda v, tag: {"v": v, "tag": tag},
+    lambda v, tag: {"v": float(v), "tag": tag},
+    lambda v, tag: {"v": None, "tag": tag},
+    lambda v, tag: {"tag": tag},
+    lambda v, tag: {"tag": tag, "v": v},          # re-ordered: escapes
+    lambda v, tag: {"v": v, "tag": tag, "extra": [v, tag]},
+    lambda v, tag: [v, tag],                       # non-object: escapes
+    lambda v, tag: {"v": [v], "tag": tag},         # array value
+]
+
+flwor_shapes = st.tuples(
+    st.integers(min_value=0, max_value=len(WHERE_CLAUSES) - 1),
+    st.integers(min_value=0, max_value=len(GROUP_OR_ORDER) - 1),
+    st.integers(min_value=0, max_value=1),
+)
+messy_records = st.lists(
+    st.tuples(
+        st.integers(min_value=-50, max_value=50),
+        st.sampled_from(["a", "b", "c"]),
+        st.integers(min_value=0, max_value=len(ROW_VARIANTS) - 1),
+    ),
+    max_size=30,
+)
+
+_file_counter = itertools.count()
+
+
+def _engine(columnar: bool, plan=None, memory_budget=None):
+    return make_engine(
+        executors=2,
+        parallelism=4,
+        config=RumbleConfig(materialization_cap=100_000),
+        fault_plan=plan,
+        memory_budget=memory_budget,
+        columnar=columnar,
+    )
+
+
+def _write_messy(tmp_path, records) -> str:
+    path = os.path.join(
+        str(tmp_path), "messy{}.json".format(next(_file_counter))
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        for v, tag, variant in records:
+            handle.write(json.dumps(ROW_VARIANTS[variant](v, tag)) + "\n")
+    return path
+
+
+def _flwor_query(path: str, shape, lo: int) -> str:
+    where_index, middle_index, return_index = shape
+    middle = GROUP_OR_ORDER[middle_index]
+    kind = "group" if "group" in middle else (
+        "order" if "order" in middle else ""
+    )
+    returns = RETURNS[kind]
+    return 'for $o in json-file("{path}")\n{where}{middle}{ret}'.format(
+        path=path,
+        where=WHERE_CLAUSES[where_index].format(lo=lo),
+        middle=middle,
+        ret=returns[return_index % len(returns)],
+    )
+
+
+def _outcome(engine, query):
+    """The observable outcome: the results, or the error raised —
+    messy rows make some generated queries legitimately fail (e.g. an
+    array value under ``order by``), and the failure must match too."""
+    try:
+        return ("ok", engine.query(query).to_python(cap=100_000))
+    except JsoniqException as error:
+        return ("error", type(error).__name__, str(error))
+
+
+class TestFlworIdentity:
+    @given(records=messy_records, shape=flwor_shapes,
+           lo=st.integers(min_value=-50, max_value=50))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_columnar_matches_row_path(self, tmp_path, records, shape, lo):
+        path = _write_messy(tmp_path, records)
+        query = _flwor_query(path, shape, lo)
+        assert _outcome(_engine(True), query) \
+            == _outcome(_engine(False), query)
+
+    @given(records=messy_records, shape=flwor_shapes,
+           lo=st.integers(min_value=-50, max_value=50),
+           seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_chaos_outcome_identical(self, tmp_path, records, shape, lo,
+                                     seed):
+        """Fixed chaos seed + speculation + adaptive + a 64 KiB memory
+        budget (forcing eviction and spill): the shredded path must
+        recover to the same outcome as the row path."""
+        path = _write_messy(tmp_path, records)
+        query = _flwor_query(path, shape, lo)
+        outcomes = []
+        for columnar in (True, False):
+            plan = FaultPlan(
+                seed=seed, crash_rate=0.4, max_failures_per_task=1
+            )
+            engine = _engine(columnar, plan=plan, memory_budget=64 * 1024)
+            outcomes.append(_outcome(engine, query))
+        assert outcomes[0] == outcomes[1]

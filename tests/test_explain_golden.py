@@ -79,6 +79,14 @@ GOLDEN_QUERIES = {
         'group by $key := $i.key\n'
         'return {{ "key": $key, "count": count($i) }}'
     ),
+    # Pins the columnar planner's *declined* decision: with no pushed
+    # predicate to build a mask from, the scan stays on the row path
+    # (contrast with bare_return_no_projection, where the masked batch
+    # scan is taken).
+    "columnar_declined_no_predicates": (
+        'for $o in json-file("{path}")\n'
+        'return $o'
+    ),
 }
 
 
@@ -97,11 +105,11 @@ def data_path(tmp_path_factory):
 
 @pytest.fixture(scope="module")
 def engine():
-    built = make_engine(executors=2, parallelism=4)
-    # The snapshots pin exact text, so the adaptive/memory lines must
-    # not follow RUMBLE_ADAPTIVE / RUMBLE_MEMORY_BUDGET from the
-    # environment (the memory-pressure CI job runs the whole suite
-    # with a tight budget).
+    built = make_engine(executors=2, parallelism=4, columnar=True)
+    # The snapshots pin exact text, so the adaptive/memory/columnar
+    # lines must not follow RUMBLE_ADAPTIVE / RUMBLE_MEMORY_BUDGET /
+    # RUMBLE_COLUMNAR from the environment (the memory-pressure and
+    # columnar CI jobs run the whole suite with those knobs turned).
     context = built.spark.spark_context
     context.adaptive.enabled = True
     context.memory.set_budget(None)
