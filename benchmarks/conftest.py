@@ -35,7 +35,7 @@ SWEEP_SIZES = (
     else [1_000, 2_000, 4_000, 8_000, 16_000, 32_000]
 )
 
-#: Figures recorded this session, written to BENCH_pr6.json at exit.
+#: Figures recorded this session, written to BENCH_OUT at exit.
 #: Each entry: name -> {"seconds_on", "seconds_off", "speedup",
 #: "counters", ...} (see test_regression_gate.py).
 BENCH_RECORD: dict = {}
@@ -45,7 +45,7 @@ BENCH_RECORD: dict = {}
 #: BENCH_baseline.json.
 BENCH_OUT = os.environ.get(
     "RUMBLE_BENCH_OUT",
-    os.path.join(os.path.dirname(__file__), "BENCH_pr9.json"),
+    os.path.join(os.path.dirname(__file__), "BENCH_pr10.json"),
 )
 
 

@@ -103,6 +103,17 @@ def build_parser() -> argparse.ArgumentParser:
              "reference scan)",
     )
     parser.add_argument(
+        "--codegen", dest="codegen", action="store_true", default=None,
+        help="force whole-stage code generation on (eligible pipelines "
+             "compile into one generated Python loop over columnar "
+             "batches; the default follows RUMBLE_CODEGEN)",
+    )
+    parser.add_argument(
+        "--no-codegen", dest="codegen", action="store_false",
+        help="force whole-stage code generation off (closure-chained "
+             "interpreted pipeline)",
+    )
+    parser.add_argument(
         "--memory-budget", type=int, metavar="BYTES",
         help="bound the unified memory pool (cached partitions + shuffle "
              "buckets) to this many bytes; overflow evicts LRU cached "
@@ -315,6 +326,7 @@ def main(argv=None) -> int:
             memory_budget=arguments.memory_budget,
             sanitize=arguments.sanitize,
             columnar=arguments.columnar,
+            codegen=arguments.codegen,
         )
     except ValueError as error:
         print("error: {}".format(error), file=sys.stderr)

@@ -72,13 +72,15 @@ def make_rumble_engine(
     adaptive: Optional[bool] = None,
     memory_budget: Optional[int] = None,
     columnar: Optional[bool] = None,
+    codegen: Optional[bool] = None,
 ) -> Rumble:
     """A Rumble engine with a benchmark-friendly substrate.
 
-    ``fusion``, ``pushdown``, ``adaptive`` and ``columnar`` toggle the
-    optimizer layers for ablation runs; ``None`` keeps the engine
-    defaults (all on).  ``memory_budget`` bounds the unified memory pool
-    in bytes, forcing eviction and spill for memory-pressure runs.
+    ``fusion``, ``pushdown``, ``adaptive``, ``columnar`` and ``codegen``
+    toggle the optimizer layers for ablation runs; ``None`` keeps the
+    engine defaults (all on).  ``memory_budget`` bounds the unified
+    memory pool in bytes, forcing eviction and spill for
+    memory-pressure runs.
     """
     return make_engine(
         executors=executors,
@@ -90,6 +92,7 @@ def make_rumble_engine(
         adaptive=adaptive,
         memory_budget=memory_budget,
         columnar=columnar,
+        codegen=codegen,
     )
 
 

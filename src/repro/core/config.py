@@ -64,6 +64,14 @@ class RumbleConfig:
     #: scan rides the pushdown plan).  None inherits the process default
     #: (``RUMBLE_COLUMNAR``, on unless set to ``0``/``false``/empty).
     columnar: Optional[bool] = None
+    #: Whole-stage code generation: compile a fused narrow-chain +
+    #: pushdown pipeline into one generated Python function (a flat
+    #: per-partition loop, specialized on static types) instead of the
+    #: closure-chained interpreter (docs/performance.md, "Whole-stage
+    #: code generation").  Requires :attr:`pushdown` (codegen rides the
+    #: pushdown plan).  None inherits the process default
+    #: (``RUMBLE_CODEGEN``, on unless set to ``0``/``false``/empty).
+    codegen: Optional[bool] = None
 
     def __post_init__(self) -> None:
         from repro.jsoniq.jsonlines import PARSE_MODES
@@ -99,6 +107,22 @@ def columnar_enabled(config: "RumbleConfig") -> bool:
     choice = getattr(config, "columnar", None)
     if choice is None:
         choice = os.environ.get("RUMBLE_COLUMNAR", "1") not in (
+            "0", "false", ""
+        )
+    return bool(choice) and getattr(config, "pushdown", True)
+
+
+def codegen_enabled(config: "RumbleConfig") -> bool:
+    """Whether whole-stage code generation is on for this engine: the
+    config's explicit choice, else the ``RUMBLE_CODEGEN`` process
+    default (on unless ``0``/``false``/empty).  Codegen additionally
+    requires pushdown — generated loops consume the pushdown plan, and
+    with pushdown off the reference row path must stay untouched."""
+    import os
+
+    choice = getattr(config, "codegen", None)
+    if choice is None:
+        choice = os.environ.get("RUMBLE_CODEGEN", "1") not in (
             "0", "false", ""
         )
     return bool(choice) and getattr(config, "pushdown", True)

@@ -15,7 +15,11 @@ import warnings
 from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.core.config import RumbleConfig, columnar_enabled
+from repro.core.config import (
+    RumbleConfig,
+    codegen_enabled,
+    columnar_enabled,
+)
 from repro.core.results import SequenceOfItems
 from repro.items import Item, item_from_python
 from repro.jsoniq import parser as jsoniq_parser
@@ -327,9 +331,14 @@ class Rumble:
             "  columnar: {}".format(
                 "on" if columnar_enabled(self.config) else "off"
             ),
+            "  codegen: {}".format(
+                "on" if codegen_enabled(self.config) else "off"
+            ),
         ]
         columnar_on = columnar_enabled(self.config)
+        codegen_on = codegen_enabled(self.config) and columnar_on
         decisions: List[str] = []
+        sources: List[str] = []
         for root in _walk_iterators(iterator):
             if not isinstance(root, ReturnClauseIterator):
                 continue
@@ -343,6 +352,13 @@ class Rumble:
                 decisions.extend(
                     "    " + line for line in cplan.describe()
                 )
+            cgplan = getattr(root, "codegen_plan", None)
+            if cgplan is not None and codegen_on:
+                decisions.extend(
+                    "    " + line for line in cgplan.describe()
+                )
+                if cgplan.supported and not cgplan.plan.count_only:
+                    sources.append(cgplan.source)
             if root.topk is not None:
                 decisions.append(
                     "    top-k rewrite: heap keeps {} row(s), "
@@ -351,6 +367,12 @@ class Rumble:
         if decisions:
             lines.append("  scan/order decisions:")
             lines.extend(decisions)
+        for index, source in enumerate(sources):
+            lines.append("")
+            lines.append("Generated stage {}".format(index + 1))
+            lines.extend(
+                "  " + line for line in source.rstrip("\n").split("\n")
+            )
         return lines
 
     def _columnar_scan_notes(self) -> List[str]:
@@ -466,11 +488,25 @@ class Rumble:
 
                     compiler = Compiler()
                     iterator, globals_ = compiler.compile_module(module)
+                    codegen_on = codegen_enabled(
+                        self.config
+                    ) and columnar_enabled(self.config)
                     for kind, fired in compiler.stats.items():
-                        if fired:
-                            obs.metrics.counter(
-                                "rumble.static.fastpath", kind=kind
-                            ).inc(fired)
+                        if not fired:
+                            continue
+                        if kind.startswith("codegen_"):
+                            # The emitter's specialization tally; only
+                            # meaningful (and only reported) when the
+                            # generated stage can actually run.
+                            if codegen_on:
+                                obs.metrics.counter(
+                                    "rumble.codegen.specialized",
+                                    kind=kind[len("codegen_"):],
+                                ).inc(fired)
+                            continue
+                        obs.metrics.counter(
+                            "rumble.static.fastpath", kind=kind
+                        ).inc(fired)
                     compiled = CompiledQuery(self, module, iterator, globals_)
                 with obs.tracer.span("optimize") as opt_span:
                     # Physical planning: choose the execution mode per
@@ -534,6 +570,7 @@ def make_engine(
     adaptive: Optional[bool] = None,
     memory_budget: Optional[int] = None,
     columnar: Optional[bool] = None,
+    codegen: Optional[bool] = None,
 ) -> Rumble:
     """Build an engine with an explicitly sized substrate cluster.
 
@@ -557,6 +594,11 @@ def make_engine(
     ``columnar`` toggles the vectorized columnar scan (shredded typed
     batches + predicate masks + batch kernels; docs/performance.md,
     "Columnar execution").  None inherits ``RUMBLE_COLUMNAR``.
+
+    ``codegen`` toggles whole-stage code generation (eligible pipelines
+    compile into one generated Python loop over the columnar batches;
+    docs/performance.md, "Whole-stage code generation").  None inherits
+    ``RUMBLE_CODEGEN``.
     """
     conf = SparkConf()
     conf.set("spark.executor.instances", executors)
@@ -592,6 +634,11 @@ def make_engine(
             config = RumbleConfig(columnar=columnar)
         else:
             config.columnar = columnar
+    if codegen is not None:
+        if config is None:
+            config = RumbleConfig(codegen=codegen)
+        else:
+            config.codegen = codegen
     from repro.spark import SparkContext
 
     return Rumble(SparkSession(SparkContext(conf)), config)

@@ -25,6 +25,7 @@ Type a JSONiq query, end it with ';' on its own line. Commands:
   :cap N     set the materialization cap
   :profile   toggle per-query profiling (phases, operators, shuffle)
   :lint      toggle linting (diagnostics precede each query's results)
+  :codegen   toggle whole-stage code generation for this session
   :quit      leave the shell
 """
 
@@ -105,6 +106,14 @@ class RumbleShell:
             self._print("linting {}".format(
                 "on" if self.linting else "off"
             ))
+        elif command == ":codegen":
+            from repro.core.config import codegen_enabled
+
+            # Flip from the currently *effective* setting (an unset
+            # config inherits RUMBLE_CODEGEN) to an explicit choice.
+            enabled = not codegen_enabled(self.engine.config)
+            self.engine.config.codegen = enabled
+            self._print("codegen {}".format("on" if enabled else "off"))
         else:
             self._print("unknown command: " + line)
         return True

@@ -1,0 +1,47 @@
+"""Whole-stage Python code generation for fused + columnar pipelines.
+
+The interpreter pays per-item virtual dispatch on every operator hop —
+the overhead Flare removes from Spark by collapsing a plan into one
+generated loop, and that HyPer-style produce/consume compilation shows
+compounds with a columnar substrate.  This package compiles an eligible
+FLWOR chain (leading ``json-file`` scan + covered where prefix + return
+expression) into **one generated Python function**: textual emission →
+``compile()`` → closure, replacing the closure-chained per-partition
+pipeline (unbox → bind → predicate → EVALUATE_EXPRESSION) with a single
+flat, mask-aware loop straight over :class:`~repro.items.columnar.
+ColumnBatch` vectors, boxing items only at the yield boundary.
+
+Layering mirrors :mod:`repro.jsoniq.runtime.flwor.columnar`:
+
+* :func:`plan_codegen` runs at compile time (from ``pushdown.annotate``)
+  and attaches a :class:`CodegenPlan` — the decision record plus, when
+  the chain is supported, the generated source — to the head for-clause
+  and the return clause;
+* :func:`stage_rdd` is the runtime consumer ``ReturnClauseIterator.
+  get_rdd`` asks first; it returns the generated stage's RDD, or None
+  whenever a gate fails (``RumbleConfig.codegen`` / ``RUMBLE_CODEGEN``,
+  which also requires pushdown + columnar) so the interpreter stays the
+  untouched reference path.
+
+Specialization is type-driven (PR 3): when static inference proved both
+operands single-numeric (``BinaryArithmeticIterator.static_numeric``)
+the emitter writes ``a + b`` with **no** atomization/singleton/
+cardinality checks at all; unproven operands get one inlined raw-type
+guard whose failure routes that row to the reference evaluator, so
+errors and edge cases stay byte-identical by construction.
+"""
+
+from repro.jsoniq.codegen.emitter import Unsupported, emit_source
+from repro.jsoniq.codegen.plan import (
+    CodegenPlan,
+    plan_codegen,
+    stage_rdd,
+)
+
+__all__ = [
+    "CodegenPlan",
+    "Unsupported",
+    "emit_source",
+    "plan_codegen",
+    "stage_rdd",
+]

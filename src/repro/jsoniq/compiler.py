@@ -519,6 +519,15 @@ class Compiler:
                 from repro.jsoniq.runtime.flwor import pushdown
 
                 pushdown.annotate(node, result)
+                cgplan = getattr(result, "codegen_plan", None)
+                if cgplan is not None and cgplan.supported:
+                    # Surface the emitter's per-shape specialization
+                    # tally next to the static-fastpath stats; the
+                    # profiler splits the ``codegen_`` prefix back out
+                    # as ``rumble.codegen.specialized`` counters.
+                    for kind, fired in cgplan.stage.specializations.items():
+                        key = "codegen_" + kind
+                        self.stats[key] = self.stats.get(key, 0) + fired
                 return result
         raise StaticException("FLWOR without return clause")
 

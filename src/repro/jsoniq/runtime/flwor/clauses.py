@@ -245,6 +245,9 @@ class ForClauseIterator(ClauseIterator):
     #: Attached by :mod:`repro.jsoniq.runtime.flwor.columnar` alongside the
     #: pushdown plan (the columnar decision record for explain + kernels).
     columnar_plan = None
+    #: Attached by :mod:`repro.jsoniq.codegen` alongside the pushdown plan
+    #: (the whole-stage codegen decision record for explain + the stage).
+    codegen_plan = None
 
     def __init__(
         self,
@@ -1135,6 +1138,8 @@ class ReturnClauseIterator(RuntimeIterator):
     topk = None
     #: Attached by :mod:`repro.jsoniq.runtime.flwor.columnar`.
     columnar_plan = None
+    #: Attached by :mod:`repro.jsoniq.codegen`.
+    codegen_plan = None
 
     def __init__(self, input_clause: ClauseIterator,
                  expression: RuntimeIterator):
@@ -1179,6 +1184,15 @@ class ReturnClauseIterator(RuntimeIterator):
         return rdd_count(self, context)
 
     def get_rdd(self, context: DynamicContext):
+        from repro.jsoniq.codegen import stage_rdd
+
+        # Whole-stage codegen first: one generated loop straight over
+        # the masked batches replaces the unbox → bind → evaluate
+        # pipeline below.  None means some gate failed — the
+        # interpreted path stays the untouched reference.
+        staged = stage_rdd(self, context)
+        if staged is not None:
+            return staged
         frame = self.input_clause.get_dataframe(context)
         expression = self.expression
         obs = _obs_of(context)

@@ -366,6 +366,13 @@ def annotate(flwor: ast.FlworExpression, return_iterator) -> None:
             from repro.jsoniq.runtime.flwor.columnar import plan_columnar
 
             plan_columnar(head, return_iterator, plan)
+            # Whole-stage codegen rides the same plan one layer higher:
+            # when the full chain (scan + covered wheres + return) fits
+            # the emitter's shapes, the pipeline compiles into a single
+            # generated loop.  See jsoniq/codegen/.
+            from repro.jsoniq.codegen import plan_codegen
+
+            plan_codegen(head, return_iterator, plan)
     _rewrite_topk(flwor, return_iterator)
 
 

@@ -1,0 +1,146 @@
+"""Property tests (hypothesis): whole-stage codegen is semantics-free.
+
+Extends ``tests/test_columnar_properties.py`` one layer up: the same
+generated FLWOR pipelines over the same generated messy files must
+produce identical *outcomes* (results or errors, message included)
+with codegen on and off — including arithmetic and comparison return
+shapes that exercise the emitter's guards and per-row fallback — and
+the agreement must survive a fixed chaos seed with speculation,
+adaptive execution and a tight memory budget forcing spill.
+"""
+
+import itertools
+import json
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import RumbleConfig, make_engine
+from repro.jsoniq.errors import JsoniqException
+from repro.spark.faults import FaultPlan
+
+WHERE_CLAUSES = [
+    "",
+    "where $o.v ge {lo}\n",
+    "where $o.v lt {lo}\n",
+    "where $o.tag eq \"a\"\n",
+    "where $o.v ge {lo}\nwhere $o.tag ne \"c\"\n",
+]
+#: Return shapes the emitter specializes (column reads, guarded
+#: arithmetic and comparisons, object construction, bare returns) plus
+#: ones it declines — both sides of the decision must stay identical.
+RETURNS = [
+    "return $o",
+    "return $o.v",
+    "return { \"v\": $o.v, \"tag\": $o.tag }",
+    "return { \"sum\": $o.v + $o.v, \"t\": $o.tag }",
+    "return { \"hit\": $o.v eq {lo}, \"ge\": $o.v ge {lo} }",
+    "return { \"cmp\": $o.v = $o.tag }",
+    "return $o.v * 2",
+    "return { \"m\": $o.missing, \"s\": $o.v - {lo} }",
+]
+
+#: Per-row messiness: regular rows, floats, nulls, missing keys,
+#: re-ordered keys (escape), unknown keys, non-objects, array values,
+#: string-typed v (fires the arithmetic/comparison fallback).
+ROW_VARIANTS = [
+    lambda v, tag: {"v": v, "tag": tag},
+    lambda v, tag: {"v": float(v), "tag": tag},
+    lambda v, tag: {"v": None, "tag": tag},
+    lambda v, tag: {"tag": tag},
+    lambda v, tag: {"tag": tag, "v": v},          # re-ordered: escapes
+    lambda v, tag: {"v": v, "tag": tag, "extra": [v, tag]},
+    lambda v, tag: [v, tag],                       # non-object: escapes
+    lambda v, tag: {"v": [v], "tag": tag},         # array value
+    lambda v, tag: {"v": str(v), "tag": tag},      # string v: fallback
+]
+
+flwor_shapes = st.tuples(
+    st.integers(min_value=0, max_value=len(WHERE_CLAUSES) - 1),
+    st.integers(min_value=0, max_value=len(RETURNS) - 1),
+)
+messy_records = st.lists(
+    st.tuples(
+        st.integers(min_value=-50, max_value=50),
+        st.sampled_from(["a", "b", "c"]),
+        st.integers(min_value=0, max_value=len(ROW_VARIANTS) - 1),
+    ),
+    max_size=30,
+)
+
+_file_counter = itertools.count()
+
+
+def _engine(codegen: bool, plan=None, memory_budget=None):
+    return make_engine(
+        executors=2,
+        parallelism=4,
+        config=RumbleConfig(materialization_cap=100_000),
+        fault_plan=plan,
+        memory_budget=memory_budget,
+        codegen=codegen,
+    )
+
+
+def _write_messy(tmp_path, records) -> str:
+    path = os.path.join(
+        str(tmp_path), "messy{}.json".format(next(_file_counter))
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        for v, tag, variant in records:
+            handle.write(json.dumps(ROW_VARIANTS[variant](v, tag)) + "\n")
+    return path
+
+
+def _flwor_query(path: str, shape, lo: int) -> str:
+    where_index, return_index = shape
+    return 'for $o in json-file("{path}")\n{where}{ret}'.format(
+        path=path,
+        where=WHERE_CLAUSES[where_index].format(lo=lo),
+        ret=RETURNS[return_index].replace("{lo}", str(lo)),
+    )
+
+
+def _outcome(engine, query):
+    """The observable outcome: the results, or the error raised —
+    messy rows make some generated queries legitimately fail (e.g.
+    arithmetic over a string value), and the failure must match too."""
+    try:
+        return ("ok", engine.query(query).to_python(cap=100_000))
+    except JsoniqException as error:
+        return ("error", type(error).__name__, str(error))
+
+
+class TestCodegenIdentity:
+    @given(records=messy_records, shape=flwor_shapes,
+           lo=st.integers(min_value=-50, max_value=50))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_codegen_matches_interpreter(self, tmp_path, records, shape,
+                                         lo):
+        path = _write_messy(tmp_path, records)
+        query = _flwor_query(path, shape, lo)
+        assert _outcome(_engine(True), query) \
+            == _outcome(_engine(False), query)
+
+    @given(records=messy_records, shape=flwor_shapes,
+           lo=st.integers(min_value=-50, max_value=50),
+           seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_chaos_outcome_identical(self, tmp_path, records, shape, lo,
+                                     seed):
+        """Fixed chaos seed + speculation + adaptive + a 64 KiB memory
+        budget (forcing eviction and spill): the generated stage must
+        recover to the same outcome as the interpreter."""
+        path = _write_messy(tmp_path, records)
+        query = _flwor_query(path, shape, lo)
+        outcomes = []
+        for codegen in (True, False):
+            plan = FaultPlan(
+                seed=seed, crash_rate=0.4, max_failures_per_task=1
+            )
+            engine = _engine(codegen, plan=plan, memory_budget=64 * 1024)
+            outcomes.append(_outcome(engine, query))
+        assert outcomes[0] == outcomes[1]

@@ -87,6 +87,14 @@ GOLDEN_QUERIES = {
         'for $o in json-file("{path}")\n'
         'return $o'
     ),
+    # Pins the emitted whole-stage source itself: a map pipeline with a
+    # guarded arithmetic, a column projection and an object constructor
+    # (the "Generated stage" section shows the exact generated loop).
+    "codegen_specialized_map": (
+        'for $o in json-file("{path}")\n'
+        'where $o.v ge 10\n'
+        'return {{ "double": $o.v * 2, "tag": $o.tag }}'
+    ),
 }
 
 
@@ -105,11 +113,14 @@ def data_path(tmp_path_factory):
 
 @pytest.fixture(scope="module")
 def engine():
-    built = make_engine(executors=2, parallelism=4, columnar=True)
-    # The snapshots pin exact text, so the adaptive/memory/columnar
-    # lines must not follow RUMBLE_ADAPTIVE / RUMBLE_MEMORY_BUDGET /
-    # RUMBLE_COLUMNAR from the environment (the memory-pressure and
-    # columnar CI jobs run the whole suite with those knobs turned).
+    built = make_engine(
+        executors=2, parallelism=4, columnar=True, codegen=True
+    )
+    # The snapshots pin exact text, so the adaptive/memory/columnar/
+    # codegen lines must not follow RUMBLE_ADAPTIVE /
+    # RUMBLE_MEMORY_BUDGET / RUMBLE_COLUMNAR / RUMBLE_CODEGEN from the
+    # environment (the memory-pressure, columnar and codegen CI jobs
+    # run the whole suite with those knobs turned).
     context = built.spark.spark_context
     context.adaptive.enabled = True
     context.memory.set_budget(None)
